@@ -1,0 +1,852 @@
+//! `approaches` — the communication strategies the paper compares, behind
+//! one interface.
+//!
+//! The paper's point about *unmodified applications* (§3.4, `LD_PRELOAD`)
+//! translates here into the [`Comm`] trait: application drivers (QCD
+//! stencil, FFT, CNN) are written once against it and run unchanged under
+//! every strategy:
+//!
+//! | variant | paper §2/§5 | mechanism here |
+//! |---|---|---|
+//! | [`Baseline`] | FUNNELED, master does all MPI | direct `mpisim` calls |
+//! | [`IprobeComm`] | baseline + periodic `MPI_Iprobe` | [`Comm::progress_hint`] issues a probe |
+//! | [`CommSelf`] (locked) | THREAD_MULTIPLE + dedicated thread blocked in MPI | helper task polling the progress engine under the global lock |
+//! | [`CommSelf`] (unlocked) | Cray core specialization | helper polling below the locking layer; the library still runs `MPI_THREAD_MULTIPLE` (as `MPICH_ASYNC_PROGRESS` forces) |
+//! | [`OffloadComm`] | the paper's contribution | `offload::SimOffload` |
+//!
+//! [`AnyComm`] packs them behind one concrete type so experiment harnesses
+//! can select a strategy at runtime while application code stays generic.
+
+use destime::futures::race;
+use destime::sync::Flag;
+use destime::{Env, Nanos};
+use mpisim::{Bytes, Dtype, Mpi, Rank, ReduceOp, Status, Tag, ThreadLevel, COMM_WORLD};
+use offload::{OffReq, SimColl, SimOffload};
+use std::future::Future;
+
+/// Which strategy to run an experiment under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Approach {
+    Baseline,
+    Iprobe,
+    CommSelf,
+    CoreSpec,
+    Offload,
+}
+
+impl Approach {
+    pub const ALL: [Approach; 5] = [
+        Approach::Baseline,
+        Approach::Iprobe,
+        Approach::CommSelf,
+        Approach::CoreSpec,
+        Approach::Offload,
+    ];
+
+    /// The four approaches of the paper's main comparisons (core-spec
+    /// appears only in Fig 9b).
+    pub const PAPER: [Approach; 4] = [
+        Approach::Baseline,
+        Approach::Iprobe,
+        Approach::CommSelf,
+        Approach::Offload,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::Baseline => "baseline",
+            Approach::Iprobe => "iprobe",
+            Approach::CommSelf => "comm-self",
+            Approach::CoreSpec => "core-spec",
+            Approach::Offload => "offload",
+        }
+    }
+
+    /// Thread level the MPI library must be initialized with.
+    /// `app_is_multithreaded`: will application threads call MPI
+    /// concurrently themselves (the Fig 6/Fig 12 scenarios)?
+    pub fn thread_level(self, app_is_multithreaded: bool) -> ThreadLevel {
+        match self {
+            // comm-self *requires* MULTIPLE (its helper and the master are
+            // both inside MPI).
+            Approach::CommSelf => ThreadLevel::Multiple,
+            // Offload funnels everything through the offload thread no
+            // matter what the application does — that is the whole point.
+            Approach::Offload => ThreadLevel::Funneled,
+            // Cray's asynchronous-progress support (MPICH_ASYNC_PROGRESS,
+            // the feature core specialization hosts) forces the library
+            // into THREAD_MULTIPLE: the progress engine runs on the
+            // reserved core, but every application call still pays the
+            // reentrancy cost. This is why core-spec trails offload in the
+            // paper's Fig 9(b) despite having dedicated progress.
+            Approach::CoreSpec => ThreadLevel::Multiple,
+            Approach::Baseline | Approach::Iprobe => {
+                if app_is_multithreaded {
+                    ThreadLevel::Multiple
+                } else {
+                    ThreadLevel::Funneled
+                }
+            }
+        }
+    }
+
+    /// How many cores this approach takes away from the application team.
+    pub fn dedicated_cores(self) -> usize {
+        match self {
+            Approach::Baseline | Approach::Iprobe => 0,
+            Approach::CommSelf | Approach::CoreSpec | Approach::Offload => 1,
+        }
+    }
+
+    /// Construct the strategy for one rank. Must be called once per rank
+    /// inside the universe closure; pair with [`Comm::finalize`].
+    pub fn make(self, mpi: Mpi) -> AnyComm {
+        match self {
+            Approach::Baseline => AnyComm::Baseline(Baseline { mpi }),
+            Approach::Iprobe => AnyComm::Iprobe(IprobeComm { mpi }),
+            Approach::CommSelf => AnyComm::CommSelf(CommSelf::start(mpi, true)),
+            Approach::CoreSpec => AnyComm::CoreSpec(CommSelf::start(mpi, false)),
+            Approach::Offload => AnyComm::Offload(OffloadComm {
+                off: SimOffload::start(mpi),
+            }),
+        }
+    }
+}
+
+/// A request handle from any strategy.
+#[derive(Clone)]
+pub enum CommReq {
+    Direct(mpisim::Request),
+    Off(OffReq),
+}
+
+impl CommReq {
+    pub fn is_done(&self) -> bool {
+        match self {
+            CommReq::Direct(r) => r.is_done(),
+            CommReq::Off(r) => r.is_done(),
+        }
+    }
+
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            CommReq::Direct(r) => r.status(),
+            CommReq::Off(r) => r.status(),
+        }
+    }
+
+    pub fn take_data(&self) -> Option<Bytes> {
+        match self {
+            CommReq::Direct(r) => r.take_data(),
+            CommReq::Off(r) => r.take_data(),
+        }
+    }
+
+    fn direct(&self) -> &mpisim::Request {
+        match self {
+            CommReq::Direct(r) => r,
+            CommReq::Off(_) => unreachable!("direct strategy handed an offload request"),
+        }
+    }
+
+    fn off(&self) -> &OffReq {
+        match self {
+            CommReq::Off(r) => r,
+            CommReq::Direct(_) => unreachable!("offload strategy handed a direct request"),
+        }
+    }
+}
+
+/// The uniform communication interface applications are written against.
+///
+/// All operations address `COMM_WORLD`; experiments needing
+/// sub-communicators (Fig 12's thread-groups) use [`Comm::mpi`] directly.
+#[allow(async_fn_in_trait)] // single-threaded executor: no Send bounds needed
+pub trait Comm: Clone + 'static {
+    fn rank(&self) -> Rank;
+    fn size(&self) -> usize;
+    fn env(&self) -> &Env;
+    fn approach(&self) -> Approach;
+    /// Escape hatch to the underlying simulated MPI (communicator
+    /// management, statistics).
+    fn mpi(&self) -> &Mpi;
+
+    async fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> CommReq;
+    async fn irecv(&self, src: Option<Rank>, tag: Option<Tag>) -> CommReq;
+    async fn wait(&self, req: &CommReq) -> Option<Status>;
+    async fn waitall(&self, reqs: &[CommReq]);
+    async fn test(&self, req: &CommReq) -> bool;
+
+    /// The `PROGRESS` insertion point of Listing 1: a no-op except for the
+    /// iprobe approach, where the master thread pays for an `MPI_Iprobe`.
+    async fn progress_hint(&self);
+
+    async fn barrier(&self);
+    async fn allreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> Bytes;
+    async fn iallreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq;
+    async fn alltoall(&self, input: Bytes, block: usize) -> Bytes;
+    async fn ialltoall(&self, input: Bytes, block: usize) -> CommReq;
+    async fn allgather(&self, mine: Bytes) -> Bytes;
+    async fn bcast(&self, root: Rank, payload: Bytes) -> Bytes;
+    async fn ibarrier(&self) -> CommReq;
+    async fn ibcast(&self, root: Rank, payload: Bytes) -> CommReq;
+    async fn ireduce(&self, root: Rank, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq;
+    async fn iallgather(&self, mine: Bytes) -> CommReq;
+    async fn igather(&self, root: Rank, mine: Bytes) -> CommReq;
+    async fn iscatter(&self, root: Rank, input: Option<Bytes>, block: usize) -> CommReq;
+
+    /// Blocking send convenience.
+    async fn send(&self, dst: Rank, tag: Tag, payload: Bytes) {
+        let r = self.isend(dst, tag, payload).await;
+        self.wait(&r).await;
+    }
+
+    /// Blocking receive convenience.
+    async fn recv(&self, src: Option<Rank>, tag: Option<Tag>) -> (Status, Bytes) {
+        let r = self.irecv(src, tag).await;
+        let st = self.wait(&r).await.expect("recv completes with status");
+        (st, r.take_data().expect("recv completes with data"))
+    }
+
+    /// Tear down helper threads; call exactly once per rank at the end.
+    async fn finalize(&self);
+}
+
+// ---------------------------------------------------------------------------
+// Direct strategies (baseline, iprobe, comm-self, core-spec)
+// ---------------------------------------------------------------------------
+
+/// Shared implementation for strategies that let the application call the
+/// MPI library directly.
+macro_rules! direct_comm_body {
+    () => {
+        fn rank(&self) -> Rank {
+            self.mpi.rank()
+        }
+        fn size(&self) -> usize {
+            self.mpi.size()
+        }
+        fn env(&self) -> &Env {
+            self.mpi.env()
+        }
+        fn mpi(&self) -> &Mpi {
+            &self.mpi
+        }
+        async fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> CommReq {
+            CommReq::Direct(self.mpi.isend(COMM_WORLD, dst, tag, payload).await)
+        }
+        async fn irecv(&self, src: Option<Rank>, tag: Option<Tag>) -> CommReq {
+            CommReq::Direct(self.mpi.irecv(COMM_WORLD, src, tag).await)
+        }
+        async fn wait(&self, req: &CommReq) -> Option<Status> {
+            self.mpi.wait(req.direct()).await
+        }
+        async fn waitall(&self, reqs: &[CommReq]) {
+            let direct: Vec<mpisim::Request> =
+                reqs.iter().map(|r| r.direct().clone()).collect();
+            self.mpi.waitall(&direct).await;
+        }
+        async fn test(&self, req: &CommReq) -> bool {
+            self.mpi.test(req.direct()).await
+        }
+        async fn barrier(&self) {
+            self.mpi.barrier(COMM_WORLD).await;
+        }
+        async fn allreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> Bytes {
+            self.mpi.allreduce(COMM_WORLD, payload, dtype, op).await
+        }
+        async fn iallreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+            CommReq::Direct(self.mpi.iallreduce(COMM_WORLD, payload, dtype, op).await)
+        }
+        async fn alltoall(&self, input: Bytes, block: usize) -> Bytes {
+            self.mpi.alltoall(COMM_WORLD, input, block).await
+        }
+        async fn ialltoall(&self, input: Bytes, block: usize) -> CommReq {
+            CommReq::Direct(self.mpi.ialltoall(COMM_WORLD, input, block).await)
+        }
+        async fn allgather(&self, mine: Bytes) -> Bytes {
+            self.mpi.allgather(COMM_WORLD, mine).await
+        }
+        async fn bcast(&self, root: Rank, payload: Bytes) -> Bytes {
+            self.mpi.bcast(COMM_WORLD, root, payload).await
+        }
+        async fn ibarrier(&self) -> CommReq {
+            CommReq::Direct(self.mpi.ibarrier(COMM_WORLD).await)
+        }
+        async fn ibcast(&self, root: Rank, payload: Bytes) -> CommReq {
+            CommReq::Direct(self.mpi.ibcast(COMM_WORLD, root, payload).await)
+        }
+        async fn ireduce(&self, root: Rank, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+            CommReq::Direct(self.mpi.ireduce(COMM_WORLD, root, payload, dtype, op).await)
+        }
+        async fn iallgather(&self, mine: Bytes) -> CommReq {
+            CommReq::Direct(self.mpi.iallgather(COMM_WORLD, mine).await)
+        }
+        async fn igather(&self, root: Rank, mine: Bytes) -> CommReq {
+            CommReq::Direct(self.mpi.igather(COMM_WORLD, root, mine).await)
+        }
+        async fn iscatter(&self, root: Rank, input: Option<Bytes>, block: usize) -> CommReq {
+            CommReq::Direct(self.mpi.iscatter(COMM_WORLD, root, input, block).await)
+        }
+    };
+}
+
+/// Direct MPI calls from the application (funneled master-only pattern, or
+/// raw THREAD_MULTIPLE if the universe was initialized so). No progress
+/// help of any kind — the paper's *baseline*.
+#[derive(Clone)]
+pub struct Baseline {
+    mpi: Mpi,
+}
+
+impl Baseline {
+    pub fn new(mpi: Mpi) -> Self {
+        Self { mpi }
+    }
+}
+
+impl Comm for Baseline {
+    direct_comm_body!();
+    fn approach(&self) -> Approach {
+        Approach::Baseline
+    }
+    async fn progress_hint(&self) {}
+    async fn finalize(&self) {}
+}
+
+/// Baseline plus explicit `MPI_Iprobe` progress pokes from the master
+/// thread at the application's `PROGRESS` points (§2.1). The probe costs
+/// the master real time — the load-imbalance downside the paper describes.
+#[derive(Clone)]
+pub struct IprobeComm {
+    mpi: Mpi,
+}
+
+impl IprobeComm {
+    pub fn new(mpi: Mpi) -> Self {
+        Self { mpi }
+    }
+}
+
+impl Comm for IprobeComm {
+    direct_comm_body!();
+    fn approach(&self) -> Approach {
+        Approach::Iprobe
+    }
+    async fn progress_hint(&self) {
+        let _ = self.mpi.iprobe(COMM_WORLD, None, None).await;
+    }
+    async fn finalize(&self) {}
+}
+
+/// A dedicated progress helper on one core of the rank.
+///
+/// With `locked = true` this is the *comm-self* approach (§2.2): the
+/// universe runs `MPI_THREAD_MULTIPLE` and the helper repeatedly enters
+/// MPI — taking the global lock and contending with application threads —
+/// exactly like a thread blocked in `MPI_Recv` on a dup of
+/// `MPI_COMM_SELF` spinning inside the progress engine.
+///
+/// With `locked = false` it models Cray *core specialization* (Fig 9b): the
+/// progress engine runs on a dedicated core below the MPI locking layer, so
+/// application calls do not contend with it.
+#[derive(Clone)]
+pub struct CommSelf {
+    mpi: Mpi,
+    shutdown: Flag,
+    locked: bool,
+}
+
+impl CommSelf {
+    pub fn start(mpi: Mpi, locked: bool) -> Self {
+        if locked {
+            assert_eq!(
+                mpi.thread_level(),
+                ThreadLevel::Multiple,
+                "comm-self requires MPI_THREAD_MULTIPLE (paper §2.2)"
+            );
+        }
+        let shutdown = Flag::new();
+        let this = Self {
+            mpi: mpi.clone(),
+            shutdown: shutdown.clone(),
+            locked,
+        };
+        let env = mpi.env().clone();
+        env.spawn(helper_loop(mpi, shutdown, locked));
+        this
+    }
+}
+
+async fn helper_loop(mpi: Mpi, shutdown: Flag, locked: bool) {
+    let env = mpi.env().clone();
+    let gap: Nanos = mpi.profile().self_thread_gap_ns;
+    loop {
+        if shutdown.is_set() {
+            return;
+        }
+        if locked {
+            // Enter MPI like any THREAD_MULTIPLE caller: lock + poll.
+            mpi.progress_once().await;
+        } else {
+            // Core specialization: drive the progress engine below the
+            // application-visible locking layer.
+            mpi.progress_unlocked().await;
+        }
+        // Event-driven duty cycle: the helper conceptually spins, but the
+        // model only materializes the polls that *do* something — it wakes
+        // for the next wire arrival (or new deposit), rate-limited to one
+        // poll per `gap`. Between arrivals a real spinning helper also
+        // accomplishes nothing; contention with application calls still
+        // emerges whenever traffic is flowing, which is when it matters.
+        let wait = Box::pin(async {
+            env.advance(gap).await;
+            mpi.park_until_activity().await;
+        });
+        let _ = race(shutdown.wait(), wait).await;
+    }
+}
+
+impl Comm for CommSelf {
+    direct_comm_body!();
+    fn approach(&self) -> Approach {
+        if self.locked {
+            Approach::CommSelf
+        } else {
+            Approach::CoreSpec
+        }
+    }
+    async fn progress_hint(&self) {}
+    async fn finalize(&self) {
+        self.shutdown.set();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offload
+// ---------------------------------------------------------------------------
+
+/// The paper's contribution, wrapping [`offload::SimOffload`].
+#[derive(Clone)]
+pub struct OffloadComm {
+    off: SimOffload,
+}
+
+impl OffloadComm {
+    pub fn new(mpi: Mpi) -> Self {
+        Self {
+            off: SimOffload::start(mpi),
+        }
+    }
+
+    pub fn offload(&self) -> &SimOffload {
+        &self.off
+    }
+}
+
+impl Comm for OffloadComm {
+    fn rank(&self) -> Rank {
+        self.off.rank()
+    }
+    fn size(&self) -> usize {
+        self.off.size()
+    }
+    fn env(&self) -> &Env {
+        self.off.env()
+    }
+    fn approach(&self) -> Approach {
+        Approach::Offload
+    }
+    fn mpi(&self) -> &Mpi {
+        self.off.mpi()
+    }
+    async fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> CommReq {
+        CommReq::Off(self.off.isend(COMM_WORLD, dst, tag, payload).await)
+    }
+    async fn irecv(&self, src: Option<Rank>, tag: Option<Tag>) -> CommReq {
+        CommReq::Off(self.off.irecv(COMM_WORLD, src, tag).await)
+    }
+    async fn wait(&self, req: &CommReq) -> Option<Status> {
+        self.off.wait(req.off()).await
+    }
+    async fn waitall(&self, reqs: &[CommReq]) {
+        for r in reqs {
+            self.off.wait(r.off()).await;
+        }
+    }
+    async fn test(&self, req: &CommReq) -> bool {
+        self.off.test(req.off()).await
+    }
+    async fn progress_hint(&self) {}
+    async fn barrier(&self) {
+        self.off.barrier(COMM_WORLD).await;
+    }
+    async fn allreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> Bytes {
+        self.off.allreduce(COMM_WORLD, payload, dtype, op).await
+    }
+    async fn iallreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Allreduce { payload, dtype, op })
+                .await,
+        )
+    }
+    async fn alltoall(&self, input: Bytes, block: usize) -> Bytes {
+        self.off.alltoall(COMM_WORLD, input, block).await
+    }
+    async fn ialltoall(&self, input: Bytes, block: usize) -> CommReq {
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Alltoall { input, block })
+                .await,
+        )
+    }
+    async fn allgather(&self, mine: Bytes) -> Bytes {
+        self.off.allgather(COMM_WORLD, mine).await
+    }
+    async fn bcast(&self, root: Rank, payload: Bytes) -> Bytes {
+        self.off.bcast(COMM_WORLD, root, payload).await
+    }
+    async fn ibarrier(&self) -> CommReq {
+        CommReq::Off(self.off.icoll(COMM_WORLD, SimColl::Barrier).await)
+    }
+    async fn ibcast(&self, root: Rank, payload: Bytes) -> CommReq {
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Bcast { root, payload })
+                .await,
+        )
+    }
+    async fn ireduce(&self, root: Rank, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+        CommReq::Off(
+            self.off
+                .icoll(
+                    COMM_WORLD,
+                    SimColl::Reduce {
+                        root,
+                        payload,
+                        dtype,
+                        op,
+                    },
+                )
+                .await,
+        )
+    }
+    async fn iallgather(&self, mine: Bytes) -> CommReq {
+        CommReq::Off(self.off.icoll(COMM_WORLD, SimColl::Allgather { mine }).await)
+    }
+    async fn igather(&self, root: Rank, mine: Bytes) -> CommReq {
+        CommReq::Off(self.off.icoll(COMM_WORLD, SimColl::Gather { root, mine }).await)
+    }
+    async fn iscatter(&self, root: Rank, input: Option<Bytes>, block: usize) -> CommReq {
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Scatter { root, input, block })
+                .await,
+        )
+    }
+    async fn finalize(&self) {
+        self.off.shutdown().await;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AnyComm: runtime strategy selection with static application code
+// ---------------------------------------------------------------------------
+
+/// Runtime-selected strategy implementing [`Comm`] by delegation.
+#[derive(Clone)]
+pub enum AnyComm {
+    Baseline(Baseline),
+    Iprobe(IprobeComm),
+    CommSelf(CommSelf),
+    CoreSpec(CommSelf),
+    Offload(OffloadComm),
+}
+
+macro_rules! delegate {
+    ($self:ident, $c:ident => $body:expr) => {
+        match $self {
+            AnyComm::Baseline($c) => $body,
+            AnyComm::Iprobe($c) => $body,
+            AnyComm::CommSelf($c) => $body,
+            AnyComm::CoreSpec($c) => $body,
+            AnyComm::Offload($c) => $body,
+        }
+    };
+}
+
+impl Comm for AnyComm {
+    fn rank(&self) -> Rank {
+        delegate!(self, c => c.rank())
+    }
+    fn size(&self) -> usize {
+        delegate!(self, c => c.size())
+    }
+    fn env(&self) -> &Env {
+        delegate!(self, c => c.env())
+    }
+    fn approach(&self) -> Approach {
+        delegate!(self, c => c.approach())
+    }
+    fn mpi(&self) -> &Mpi {
+        delegate!(self, c => c.mpi())
+    }
+    async fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> CommReq {
+        delegate!(self, c => c.isend(dst, tag, payload).await)
+    }
+    async fn irecv(&self, src: Option<Rank>, tag: Option<Tag>) -> CommReq {
+        delegate!(self, c => c.irecv(src, tag).await)
+    }
+    async fn wait(&self, req: &CommReq) -> Option<Status> {
+        delegate!(self, c => c.wait(req).await)
+    }
+    async fn waitall(&self, reqs: &[CommReq]) {
+        delegate!(self, c => c.waitall(reqs).await)
+    }
+    async fn test(&self, req: &CommReq) -> bool {
+        delegate!(self, c => c.test(req).await)
+    }
+    async fn progress_hint(&self) {
+        delegate!(self, c => c.progress_hint().await)
+    }
+    async fn barrier(&self) {
+        delegate!(self, c => c.barrier().await)
+    }
+    async fn allreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> Bytes {
+        delegate!(self, c => c.allreduce(payload, dtype, op).await)
+    }
+    async fn iallreduce(&self, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+        delegate!(self, c => c.iallreduce(payload, dtype, op).await)
+    }
+    async fn alltoall(&self, input: Bytes, block: usize) -> Bytes {
+        delegate!(self, c => c.alltoall(input, block).await)
+    }
+    async fn ialltoall(&self, input: Bytes, block: usize) -> CommReq {
+        delegate!(self, c => c.ialltoall(input, block).await)
+    }
+    async fn allgather(&self, mine: Bytes) -> Bytes {
+        delegate!(self, c => c.allgather(mine).await)
+    }
+    async fn bcast(&self, root: Rank, payload: Bytes) -> Bytes {
+        delegate!(self, c => c.bcast(root, payload).await)
+    }
+    async fn ibarrier(&self) -> CommReq {
+        delegate!(self, c => c.ibarrier().await)
+    }
+    async fn ibcast(&self, root: Rank, payload: Bytes) -> CommReq {
+        delegate!(self, c => c.ibcast(root, payload).await)
+    }
+    async fn ireduce(&self, root: Rank, payload: Bytes, dtype: Dtype, op: ReduceOp) -> CommReq {
+        delegate!(self, c => c.ireduce(root, payload, dtype, op).await)
+    }
+    async fn iallgather(&self, mine: Bytes) -> CommReq {
+        delegate!(self, c => c.iallgather(mine).await)
+    }
+    async fn igather(&self, root: Rank, mine: Bytes) -> CommReq {
+        delegate!(self, c => c.igather(root, mine).await)
+    }
+    async fn iscatter(&self, root: Rank, input: Option<Bytes>, block: usize) -> CommReq {
+        delegate!(self, c => c.iscatter(root, input, block).await)
+    }
+    async fn finalize(&self) {
+        delegate!(self, c => c.finalize().await)
+    }
+}
+
+/// Run an experiment closure under `approach` on `n` ranks: constructs the
+/// universe at the right thread level, builds the strategy per rank, and
+/// finalizes it after the closure returns.
+pub fn run_approach<T, F, Fut>(
+    n: usize,
+    profile: simnet::MachineProfile,
+    approach: Approach,
+    app_is_multithreaded: bool,
+    f: F,
+) -> (Vec<T>, Nanos)
+where
+    T: 'static,
+    F: Fn(AnyComm) -> Fut + 'static,
+    Fut: Future<Output = T> + 'static,
+{
+    let level = approach.thread_level(app_is_multithreaded);
+    let f = std::rc::Rc::new(f);
+    mpisim::Universe::new(n, profile, level).run(move |mpi| {
+        let f = f.clone();
+        async move {
+            let comm = approach.make(mpi);
+            let out = f(comm.clone()).await;
+            comm.finalize().await;
+            out
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{bytes_to_f64s, f64s_to_bytes};
+    use simnet::MachineProfile;
+
+    /// Application code written once against `Comm` — a small halo-style
+    /// exchange with an allreduce — must produce identical results under
+    /// every approach.
+    async fn mini_app(comm: AnyComm) -> f64 {
+        let (r, p) = (comm.rank(), comm.size());
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        let rx = comm.irecv(Some(left), Some(1)).await;
+        let tx = comm
+            .isend(right, 1, Bytes::real(f64s_to_bytes(&[r as f64])))
+            .await;
+        comm.progress_hint().await;
+        comm.env().advance(10_000).await; // compute
+        comm.waitall(&[rx.clone(), tx]).await;
+        let from_left = bytes_to_f64s(&rx.take_data().expect("halo data").to_vec())[0];
+        let total = comm
+            .allreduce(
+                Bytes::real(f64s_to_bytes(&[from_left])),
+                Dtype::F64,
+                ReduceOp::Sum,
+            )
+            .await;
+        bytes_to_f64s(&total.to_vec())[0]
+    }
+
+    #[test]
+    fn all_approaches_run_the_same_app_correctly() {
+        let expect: f64 = (0..4).map(|r| r as f64).sum();
+        for approach in Approach::ALL {
+            let (outs, _) = run_approach(4, MachineProfile::xeon(), approach, false, mini_app);
+            for (r, &o) in outs.iter().enumerate() {
+                assert_eq!(o, expect, "approach {} rank {r}", approach.name());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_levels_match_requirements() {
+        assert_eq!(
+            Approach::CommSelf.thread_level(false),
+            ThreadLevel::Multiple
+        );
+        assert_eq!(Approach::Offload.thread_level(true), ThreadLevel::Funneled);
+        assert_eq!(
+            Approach::Baseline.thread_level(false),
+            ThreadLevel::Funneled
+        );
+        assert_eq!(Approach::Baseline.thread_level(true), ThreadLevel::Multiple);
+    }
+
+    #[test]
+    fn dedicated_core_accounting() {
+        assert_eq!(Approach::Baseline.dedicated_cores(), 0);
+        assert_eq!(Approach::Iprobe.dedicated_cores(), 0);
+        assert_eq!(Approach::CommSelf.dedicated_cores(), 1);
+        assert_eq!(Approach::CoreSpec.dedicated_cores(), 1);
+        assert_eq!(Approach::Offload.dedicated_cores(), 1);
+    }
+
+    /// The headline behaviour: for a large (rendezvous) message overlapped
+    /// with compute, the wait time under offload/comm-self/core-spec is far
+    /// below baseline's.
+    #[test]
+    fn async_progress_approaches_overlap_rendezvous() {
+        let n = 1 << 20;
+        let compute: Nanos = 10_000_000;
+        let wait_time = |approach: Approach| {
+            let (outs, _) = run_approach(
+                2,
+                MachineProfile::xeon(),
+                approach,
+                false,
+                move |comm: AnyComm| async move {
+                    let env = comm.env().clone();
+                    let peer = 1 - comm.rank();
+                    let rx = comm.irecv(Some(peer), Some(1)).await;
+                    let tx = comm.isend(peer, 1, Bytes::synthetic(n)).await;
+                    env.advance(compute).await;
+                    let t = env.now();
+                    comm.waitall(&[rx, tx]).await;
+                    env.now() - t
+                },
+            );
+            outs[0].max(outs[1])
+        };
+        let base = wait_time(Approach::Baseline);
+        let offl = wait_time(Approach::Offload);
+        let cself = wait_time(Approach::CommSelf);
+        let cspec = wait_time(Approach::CoreSpec);
+        assert!(
+            offl * 5 < base,
+            "offload wait {offl}ns must be far below baseline {base}ns"
+        );
+        assert!(cself * 2 < base, "comm-self wait {cself}ns vs {base}ns");
+        assert!(cspec * 2 < base, "core-spec wait {cspec}ns vs {base}ns");
+    }
+
+    /// Posting cost ordering (Fig 4): offload posts are cheapest; comm-self
+    /// pays the THREAD_MULTIPLE penalty over baseline.
+    #[test]
+    fn posting_cost_ordering_matches_fig4() {
+        let post_time = |approach: Approach| {
+            let (outs, _) = run_approach(
+                2,
+                MachineProfile::xeon(),
+                approach,
+                false,
+                move |comm: AnyComm| async move {
+                    let env = comm.env().clone();
+                    if comm.rank() == 0 {
+                        let t0 = env.now();
+                        let tx = comm.isend(1, 1, Bytes::synthetic(64 * 1024)).await;
+                        let dt = env.now() - t0;
+                        comm.wait(&tx).await;
+                        dt
+                    } else {
+                        let (_, _) = comm.recv(Some(0), Some(1)).await;
+                        0
+                    }
+                },
+            );
+            outs[0]
+        };
+        let base = post_time(Approach::Baseline);
+        let cself = post_time(Approach::CommSelf);
+        let offl = post_time(Approach::Offload);
+        assert!(offl < 300, "offload posting must be ~140ns, got {offl}ns");
+        assert!(base > offl * 10, "baseline {base}ns ≫ offload {offl}ns");
+        assert!(cself > base, "comm-self {cself}ns > baseline {base}ns");
+    }
+
+    /// Nonblocking collectives overlap under offload but not baseline
+    /// (Fig 3).
+    #[test]
+    fn nbc_overlap_favours_offload() {
+        let wait_time = |approach: Approach| {
+            let (outs, _) = run_approach(
+                8,
+                MachineProfile::xeon(),
+                approach,
+                false,
+                move |comm: AnyComm| async move {
+                    let env = comm.env().clone();
+                    let r = comm
+                        .iallreduce(Bytes::synthetic(16 * 1024), Dtype::F64, ReduceOp::Sum)
+                        .await;
+                    env.advance(3_000_000).await;
+                    let t = env.now();
+                    comm.wait(&r).await;
+                    env.now() - t
+                },
+            );
+            *outs.iter().max().expect("ranks")
+        };
+        let base = wait_time(Approach::Baseline);
+        let offl = wait_time(Approach::Offload);
+        assert!(
+            offl * 3 < base,
+            "offload NBC wait {offl}ns must be well below baseline {base}ns"
+        );
+    }
+}

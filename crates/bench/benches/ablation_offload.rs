@@ -1,0 +1,142 @@
+//! Ablations of the design choices called out in DESIGN.md §6, run as
+//! model-parameter sweeps:
+//!
+//! 1. **Command-queue cost** — what if the queue were a contended mutex
+//!    (per-op cost 5–35× higher)? Sweeps `cmd_enqueue_ns` and reports the
+//!    offloaded posting cost and QCD iteration time.
+//! 2. **comm-self polling duty cycle** — the helper's poll gap trades
+//!    progress timeliness against lock contention.
+//! 3. **Eager/rendezvous threshold** — moves Fig 2's overlap cliff.
+//! 4. **Multiple offload threads** (the paper's §7 future work) — extra
+//!    dedicated cores parallelize the per-message software path.
+
+use approaches::Approach;
+use bench::{emit, us};
+use harness::{isend_issue_cost, overlap_p2p, Table};
+use qcd::{lattice_32x256, run_dslash, DslashConfig};
+use simnet::MachineProfile;
+
+fn main() {
+    // 1. Queue cost sweep.
+    let mut t = Table::new(vec![
+        "enqueue ns",
+        "isend issue us",
+        "qcd iter us (64 nodes)",
+    ]);
+    for enqueue_ns in [70u64, 350, 1_000, 2_500] {
+        let mut p = MachineProfile::xeon();
+        p.cmd_enqueue_ns = enqueue_ns;
+        let issue = isend_issue_cost(p.clone(), Approach::Offload, 64 * 1024, 5);
+        let cfg = DslashConfig {
+            lattice: lattice_32x256(),
+            nodes: 64,
+            iterations: 3,
+            progress_hints: 4,
+        };
+        let r = run_dslash(p, Approach::Offload, &cfg);
+        t.row(vec![
+            enqueue_ns.to_string(),
+            us(issue),
+            us(r.phases.total),
+        ]);
+    }
+    emit(
+        "ablation_queue_cost",
+        "Ablation 1 — command-queue per-op cost (lock-free vs lock-based regimes)",
+        &t,
+    );
+
+    // 2. comm-self polling gap.
+    let mut t = Table::new(vec![
+        "poll gap ns",
+        "overlap % (1 MB)",
+        "latency-like isend issue us (4 KB)",
+    ]);
+    for gap in [150u64, 1_000, 10_000, 100_000] {
+        let mut p = MachineProfile::xeon();
+        p.self_thread_gap_ns = gap;
+        let ov = overlap_p2p(p.clone(), Approach::CommSelf, 1 << 20, 3);
+        let issue = isend_issue_cost(p, Approach::CommSelf, 4 * 1024, 5);
+        t.row(vec![
+            gap.to_string(),
+            format!("{:.1}", ov.overlap_pct),
+            us(issue),
+        ]);
+    }
+    emit(
+        "ablation_commself_gap",
+        "Ablation 2 — comm-self helper polling duty cycle",
+        &t,
+    );
+
+    // 3. Eager threshold.
+    let mut t = Table::new(vec![
+        "threshold",
+        "baseline overlap % (64 KB)",
+        "baseline isend issue us (64 KB)",
+    ]);
+    for threshold in [16 * 1024usize, 128 * 1024, 1 << 20] {
+        let mut p = MachineProfile::xeon();
+        p.eager_threshold = threshold;
+        let ov = overlap_p2p(p.clone(), Approach::Baseline, 64 * 1024, 3);
+        let issue = isend_issue_cost(p, Approach::Baseline, 64 * 1024, 5);
+        t.row(vec![
+            harness::fmt_bytes(threshold),
+            format!("{:.1}", ov.overlap_pct),
+            us(issue),
+        ]);
+    }
+    emit(
+        "ablation_eager_threshold",
+        "Ablation 3 — eager/rendezvous threshold vs overlap at 64 KB",
+        &t,
+    );
+
+    // 4. Multiple offload threads (future work, §7): wait time for a
+    // 16-message eager burst between two ranks.
+    let mut t = Table::new(vec!["offload threads", "burst wait us"]);
+    for threads in [1usize, 2, 4] {
+        let (outs, _) = mpisim::Universe::new(
+            2,
+            {
+                let mut p = MachineProfile::xeon();
+                p.ranks_per_node = 1;
+                p
+            },
+            mpisim::ThreadLevel::Funneled,
+        )
+        .run(move |mpi| {
+            let off = offload::SimOffload::start_multi(mpi, threads);
+            Box::pin(async move {
+                let env = off.env().clone();
+                let out = if off.rank() == 0 {
+                    let mut reqs = Vec::new();
+                    for i in 0..16u32 {
+                        reqs.push(
+                            off.isend(mpisim::COMM_WORLD, 1, i, mpisim::Bytes::synthetic(100 * 1024))
+                                .await,
+                        );
+                    }
+                    let t0 = env.now();
+                    off.waitall(&reqs).await;
+                    env.now() - t0
+                } else {
+                    let mut reqs = Vec::new();
+                    for i in 0..16u32 {
+                        reqs.push(off.irecv(mpisim::COMM_WORLD, Some(0), Some(i)).await);
+                    }
+                    off.waitall(&reqs).await;
+                    0
+                };
+                off.shutdown().await;
+                out
+            })
+        });
+        t.row(vec![threads.to_string(), us(outs[0])]);
+    }
+    emit(
+        "ablation_multi_offload",
+        "Ablation 4 — multiple offload threads (paper §7 future work)",
+        &t,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 2 — compute–communication overlap for nonblocking point-to-point
+//! calls: post / overlap / wait time as a percentage of communication time
+//! versus message size, for baseline, comm-self, and offload.
+
+use approaches::Approach;
+use bench::{emit, pct, size_label, sizes_pow2};
+use harness::{overlap_p2p, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let mut t = Table::new(vec![
+        "size", "approach", "post %", "overlap %", "wait %", "comm us",
+    ]);
+    for &size in &sizes_pow2(64, 2 << 20) {
+        for &a in &approaches {
+            let r = overlap_p2p(MachineProfile::xeon(), a, size, 3);
+            t.row(vec![
+                size_label(size),
+                a.name().to_string(),
+                pct(r.post_pct),
+                pct(r.overlap_pct),
+                pct(r.wait_pct),
+                bench::us(r.comm_ns),
+            ]);
+        }
+    }
+    emit(
+        "fig02_overlap_p2p",
+        "Fig 2 — p2p compute-communication overlap (Endeavor Xeon model)",
+        &t,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 3 — compute–communication overlap for nonblocking MPI
+//! collectives at 8 bytes (a) and 16 KB (b) per rank, on 16 ranks.
+
+use approaches::Approach;
+use bench::{emit, pct};
+use harness::{nbc_overlap, CollOp, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let ranks = 16;
+    for (panel, size) in [("a", 8usize), ("b", 16 * 1024)] {
+        let mut t = Table::new(vec![
+            "collective",
+            "baseline %",
+            "comm-self %",
+            "offload %",
+        ]);
+        for op in CollOp::ALL {
+            let mut cells = vec![op.name().to_string()];
+            for &a in &approaches {
+                let overlap = nbc_overlap(MachineProfile::xeon(), a, ranks, op, size, 3);
+                cells.push(pct(overlap));
+            }
+            t.row(cells);
+        }
+        emit(
+            &format!("fig03{panel}_overlap_nbc"),
+            &format!("Fig 3({panel}) — NBC overlap, {size} B per rank, {ranks} ranks"),
+            &t,
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 4 — time spent issuing a nonblocking `MPI_Isend` (modified OSU
+//! ping-pong) versus message size: the baseline's eager-copy cost rises to
+//! the 128 KB rendezvous threshold then drops; comm-self adds the
+//! THREAD_MULTIPLE penalty; offload is flat at the command-queue cost.
+
+use approaches::Approach;
+use bench::{emit, size_label, sizes_pow2, us};
+use harness::{isend_issue_cost, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let mut t = Table::new(vec![
+        "size",
+        "baseline us",
+        "comm-self us",
+        "offload us",
+    ]);
+    for &size in &sizes_pow2(64, 2 << 20) {
+        let mut cells = vec![size_label(size)];
+        for &a in &approaches {
+            let ns = isend_issue_cost(MachineProfile::xeon(), a, size, 5);
+            cells.push(us(ns));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig04_isend_issue",
+        "Fig 4 — MPI_Isend issue time (OSU ping-pong, Endeavor Xeon model)",
+        &t,
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 5 — nonblocking collective issue latency at 8 B (a) and 8 KB (b)
+//! per rank on 16 nodes (32 ranks).
+
+use approaches::Approach;
+use bench::{emit, us};
+use harness::{nbc_issue_cost, CollOp, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let ranks = 32; // 16 Endeavor nodes × 2 ranks
+    for (panel, size) in [("a", 8usize), ("b", 8 * 1024)] {
+        let mut t = Table::new(vec![
+            "collective",
+            "baseline us",
+            "comm-self us",
+            "offload us",
+        ]);
+        for op in CollOp::ALL {
+            let mut cells = vec![op.name().to_string()];
+            for &a in &approaches {
+                let ns = nbc_issue_cost(MachineProfile::xeon(), a, ranks, op, size, 3);
+                cells.push(us(ns));
+            }
+            t.row(cells);
+        }
+        emit(
+            &format!("fig05{panel}_nbc_issue"),
+            &format!("Fig 5({panel}) — I<collective> issue latency, {size} B, 16 nodes"),
+            &t,
+        );
+    }
+}

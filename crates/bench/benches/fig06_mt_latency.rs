@@ -1,0 +1,33 @@
+//! Figure 6 — OSU multithreaded latency with 2 / 4 / 8 concurrent thread
+//! pairs under `MPI_THREAD_MULTIPLE`: the baseline and comm-self serialize
+//! on the library lock; offload's lock-free command queue keeps scaling.
+
+use approaches::Approach;
+use bench::{emit, size_label, sizes_pow2, us};
+use harness::{osu_mt_latency, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    for (panel, threads) in [("a", 2usize), ("b", 4), ("c", 8)] {
+        let mut t = Table::new(vec![
+            "size",
+            "baseline us",
+            "comm-self us",
+            "offload us",
+        ]);
+        for &size in &sizes_pow2(8, 16 * 1024) {
+            let mut cells = vec![size_label(size)];
+            for &a in &approaches {
+                let ns = osu_mt_latency(MachineProfile::xeon(), a, threads, size, 4);
+                cells.push(us(ns));
+            }
+            t.row(cells);
+        }
+        emit(
+            &format!("fig06{panel}_mt_latency"),
+            &format!("Fig 6({panel}) — OSU multithreaded latency, {threads} thread pairs"),
+            &t,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 7 — OSU latency (a) and unidirectional bandwidth (b) on the
+//! Endeavor Xeon model: the offload approach adds a small constant latency
+//! and preserves bandwidth; comm-self pays the THREAD_MULTIPLE overhead and
+//! halves mid-size bandwidth.
+
+use approaches::Approach;
+use bench::{emit, size_label, sizes_pow2, us};
+use harness::{osu_bandwidth, osu_latency, Table};
+use simnet::MachineProfile;
+
+pub fn run(profile: MachineProfile, tag: &str, title_suffix: &str) {
+    let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let mut t = Table::new(vec![
+        "size",
+        "baseline us",
+        "comm-self us",
+        "offload us",
+    ]);
+    for &size in &sizes_pow2(8, 64 * 1024) {
+        let mut cells = vec![size_label(size)];
+        for &a in &approaches {
+            cells.push(us(osu_latency(profile.clone(), a, size, 10)));
+        }
+        t.row(cells);
+    }
+    emit(
+        &format!("{tag}a_osu_latency"),
+        &format!("{title_suffix}(a) — OSU one-way latency"),
+        &t,
+    );
+
+    let mut t = Table::new(vec![
+        "size",
+        "baseline GB/s",
+        "comm-self GB/s",
+        "offload GB/s",
+    ]);
+    for &size in &sizes_pow2(1024, 4 << 20) {
+        let mut cells = vec![size_label(size)];
+        for &a in &approaches {
+            let bw = osu_bandwidth(profile.clone(), a, size, 32, 3);
+            cells.push(format!("{bw:.2}"));
+        }
+        t.row(cells);
+    }
+    emit(
+        &format!("{tag}b_osu_bandwidth"),
+        &format!("{title_suffix}(b) — OSU unidirectional bandwidth"),
+        &t,
+    );
+}
+
+fn main() {
+    run(MachineProfile::xeon(), "fig07", "Fig 7 Xeon ");
+}

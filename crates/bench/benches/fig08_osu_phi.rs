@@ -1,0 +1,46 @@
+//! Figure 8 — OSU latency (a) and bandwidth (b) on the Xeon Phi coprocessor
+//! model: same shapes as Fig 7 with all software-path costs inflated by the
+//! slow scalar cores (offload overhead grows from ~0.3 µs to ~1.7 µs).
+//!
+//! The paper could not run comm-self on this platform
+//! (`MPI_THREAD_MULTIPLE` unsupported); we include it anyway as model
+//! output but mark the baseline/offload pair as the paper-comparable
+//! series.
+
+use approaches::Approach;
+use bench::{emit, size_label, sizes_pow2, us};
+use harness::{osu_bandwidth, osu_latency, Table};
+use simnet::MachineProfile;
+
+fn main() {
+    let approaches = [Approach::Baseline, Approach::Offload];
+    let profile = MachineProfile::xeon_phi();
+    let mut t = Table::new(vec!["size", "baseline us", "offload us"]);
+    for &size in &sizes_pow2(8, 64 * 1024) {
+        let mut cells = vec![size_label(size)];
+        for &a in &approaches {
+            cells.push(us(osu_latency(profile.clone(), a, size, 10)));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig08a_osu_latency_phi",
+        "Fig 8(a) — OSU one-way latency (Xeon Phi model)",
+        &t,
+    );
+
+    let mut t = Table::new(vec!["size", "baseline GB/s", "offload GB/s"]);
+    for &size in &sizes_pow2(1024, 4 << 20) {
+        let mut cells = vec![size_label(size)];
+        for &a in &approaches {
+            let bw = osu_bandwidth(profile.clone(), a, size, 32, 3);
+            cells.push(format!("{bw:.2}"));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig08b_osu_bandwidth_phi",
+        "Fig 8(b) — OSU unidirectional bandwidth (Xeon Phi model)",
+        &t,
+    );
+}

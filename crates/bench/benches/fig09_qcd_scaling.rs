@@ -1,0 +1,71 @@
+//! Figure 9 — Wilson-Dslash strong scaling (TFLOP/s): (a) Endeavor Xeon
+//! model on 32³×256 and 48³×512 lattices under baseline / iprobe /
+//! comm-self / offload; (b) NERSC Edison model on 48³×512 with the Cray
+//! core-specialization analogue added.
+
+use approaches::Approach;
+use bench::emit;
+use harness::Table;
+use qcd::{lattice_32x256, lattice_48x512, run_dslash, DslashConfig, Dims};
+use simnet::MachineProfile;
+
+fn sweep(
+    name: &str,
+    title: &str,
+    profile: MachineProfile,
+    lattice: Dims,
+    nodes_list: &[usize],
+    approaches: &[Approach],
+) {
+    let mut headers = vec!["nodes".to_string()];
+    headers.extend(approaches.iter().map(|a| format!("{} TF", a.name())));
+    let mut t = Table::new(headers);
+    for &nodes in nodes_list {
+        let cfg = DslashConfig {
+            lattice,
+            nodes,
+            iterations: 3,
+            progress_hints: 4,
+        };
+        let mut cells = vec![nodes.to_string()];
+        for &a in approaches {
+            let r = run_dslash(profile.clone(), a, &cfg);
+            cells.push(format!("{:.2}", r.tflops));
+        }
+        t.row(cells);
+    }
+    emit(name, title, &t);
+}
+
+fn main() {
+    sweep(
+        "fig09a_qcd_scaling_32",
+        "Fig 9(a) — Dslash strong scaling, 32³×256 (Endeavor Xeon model)",
+        MachineProfile::xeon(),
+        lattice_32x256(),
+        &[8, 16, 32, 64, 128, 256],
+        &Approach::PAPER,
+    );
+    sweep(
+        "fig09a_qcd_scaling_48",
+        "Fig 9(a) — Dslash strong scaling, 48³×512 (Endeavor Xeon model)",
+        MachineProfile::xeon(),
+        lattice_48x512(),
+        &[32, 64, 128, 256],
+        &Approach::PAPER,
+    );
+    sweep(
+        "fig09b_qcd_scaling_edison",
+        "Fig 9(b) — Dslash strong scaling, 48³×512 (NERSC Edison model, incl. core-spec)",
+        MachineProfile::edison(),
+        lattice_48x512(),
+        &[64, 144, 288, 576, 1152],
+        &[
+            Approach::Baseline,
+            Approach::Iprobe,
+            Approach::CommSelf,
+            Approach::CoreSpec,
+            Approach::Offload,
+        ],
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 11 — full QCD solver performance (CG/BiCGStab iteration = two
+//! Dslash applications + BLAS-1 + global reductions): the Allreduce latency
+//! and the poorly-scaling BLAS pull performance below the bare Dslash
+//! numbers of Fig 9.
+
+use approaches::Approach;
+use bench::emit;
+use harness::Table;
+use qcd::{lattice_32x256, run_solver, DslashConfig};
+use simnet::MachineProfile;
+
+fn main() {
+    let mut headers = vec!["nodes".to_string()];
+    headers.extend(Approach::PAPER.iter().map(|a| format!("{} TF", a.name())));
+    let mut t = Table::new(headers);
+    for nodes in [8usize, 16, 32, 64, 128, 256] {
+        let cfg = DslashConfig {
+            lattice: lattice_32x256(),
+            nodes,
+            iterations: 3,
+            progress_hints: 4,
+        };
+        let mut cells = vec![nodes.to_string()];
+        for &a in &Approach::PAPER {
+            let r = run_solver(MachineProfile::xeon(), a, &cfg);
+            cells.push(format!("{:.2}", r.tflops));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig11_qcd_solver",
+        "Fig 11 — QCD solver performance, 32³×256 (Endeavor Xeon model)",
+        &t,
+    );
+}

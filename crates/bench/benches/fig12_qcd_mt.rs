@@ -1,0 +1,42 @@
+//! Figure 12 — Wilson-Dslash with `MPI_THREAD_MULTIPLE` thread-groups:
+//! the team splits into groups whose leaders issue the halo exchange
+//! concurrently; performance is reported relative to the same approach's
+//! funneled (single-master) run. Only the offload infrastructure benefits
+//! from concurrent issuing, because its THREAD_MULTIPLE path is lock-free.
+
+use approaches::Approach;
+use bench::emit;
+use harness::Table;
+use qcd::{lattice_32x256, run_dslash, run_dslash_thread_groups, DslashConfig};
+use simnet::MachineProfile;
+
+fn main() {
+    let groups = 4;
+    let mut headers = vec!["nodes".to_string()];
+    headers.extend(
+        Approach::PAPER
+            .iter()
+            .map(|a| format!("{} rel %", a.name())),
+    );
+    let mut t = Table::new(headers);
+    for nodes in [16usize, 32, 64, 128] {
+        let cfg = DslashConfig {
+            lattice: lattice_32x256(),
+            nodes,
+            iterations: 3,
+            progress_hints: 4,
+        };
+        let mut cells = vec![nodes.to_string()];
+        for &a in &Approach::PAPER {
+            let funneled = run_dslash(MachineProfile::xeon(), a, &cfg);
+            let mt = run_dslash_thread_groups(MachineProfile::xeon(), a, &cfg, groups);
+            cells.push(format!("{:.1}", 100.0 * mt.tflops / funneled.tflops));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig12_qcd_mt",
+        "Fig 12 — Dslash with thread-groups + MPI_THREAD_MULTIPLE, relative to funneled (%)",
+        &t,
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 13 — FFT weak scaling: (a) Endeavor Xeon model with 2^29 points
+//! per node (baseline / comm-self / offload), (b) Xeon Phi model with 2^25
+//! points per node (baseline / offload — the paper could not run comm-self
+//! there).
+
+use approaches::Approach;
+use bench::emit;
+use fft1d::{run_fft, FftConfig};
+use harness::Table;
+use simnet::MachineProfile;
+
+fn main() {
+    // (a) Xeon
+    let mut t = Table::new(vec![
+        "nodes",
+        "baseline GF",
+        "comm-self GF",
+        "offload GF",
+    ]);
+    for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
+        let mut cfg = FftConfig::xeon_weak(nodes);
+        if nodes >= 64 {
+            cfg.iterations = 1; // keep the all-to-all message count sane
+        }
+        let mut cells = vec![nodes.to_string()];
+        for a in [Approach::Baseline, Approach::CommSelf, Approach::Offload] {
+            let r = run_fft(MachineProfile::xeon(), a, &cfg);
+            cells.push(format!("{:.0}", r.gflops));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig13a_fft_scaling_xeon",
+        "Fig 13(a) — FFT weak scaling, 2^29 points/node (Endeavor Xeon model)",
+        &t,
+    );
+
+    // (b) Xeon Phi
+    let mut t = Table::new(vec!["nodes", "baseline GF", "offload GF"]);
+    for nodes in [2usize, 4, 8, 16, 32, 64] {
+        let cfg = FftConfig::phi_weak(nodes);
+        let mut cells = vec![nodes.to_string()];
+        for a in [Approach::Baseline, Approach::Offload] {
+            let r = run_fft(MachineProfile::xeon_phi(), a, &cfg);
+            cells.push(format!("{:.0}", r.gflops));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig13b_fft_scaling_phi",
+        "Fig 13(b) — FFT weak scaling, 2^25 points/node (Xeon Phi model)",
+        &t,
+    );
+}

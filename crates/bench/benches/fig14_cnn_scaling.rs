@@ -1,0 +1,35 @@
+//! Figure 14 — deep-learning CNN training performance (hybrid parallelism,
+//! AlexNet-class model, global minibatch 256) under baseline / iprobe /
+//! comm-self / offload: similar up to ~8 nodes (compute-bound), then the
+//! async-progress approaches pull ahead as the gradient all-reduces and FC
+//! all-to-alls start to matter.
+
+use approaches::Approach;
+use bench::emit;
+use cnn::{run_cnn, CnnConfig};
+use harness::Table;
+use simnet::MachineProfile;
+
+fn main() {
+    let mut headers = vec!["nodes".to_string()];
+    headers.extend(
+        Approach::PAPER
+            .iter()
+            .map(|a| format!("{} img/s", a.name())),
+    );
+    let mut t = Table::new(headers);
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+        let cfg = CnnConfig::paper(nodes);
+        let mut cells = vec![nodes.to_string()];
+        for &a in &Approach::PAPER {
+            let r = run_cnn(MachineProfile::xeon(), a, &cfg);
+            cells.push(format!("{:.0}", r.images_per_sec));
+        }
+        t.row(cells);
+    }
+    emit(
+        "fig14_cnn_scaling",
+        "Fig 14 — CNN training throughput, minibatch 256 (Endeavor Xeon model)",
+        &t,
+    );
+}

@@ -1,0 +1,65 @@
+//! Table 1 — QCD Dslash time spent per iteration on a 32³×256 lattice
+//! (Endeavor Xeon model): internal-compute / post / wait / misc split for
+//! baseline vs offload, with the paper's derived columns (internal-compute
+//! slowdown, post-time reduction, wait-time reduction).
+
+use approaches::Approach;
+use bench::{emit, us};
+use harness::Table;
+use qcd::{lattice_32x256, run_dslash, DslashConfig};
+use simnet::MachineProfile;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "nodes",
+        "base int us",
+        "base post us",
+        "base wait us",
+        "base misc us",
+        "base total us",
+        "off int us",
+        "off post us",
+        "off wait us",
+        "off misc us",
+        "off total us",
+        "int slowdown %",
+        "post reduction %",
+        "wait reduction %",
+        "max msg KB",
+    ]);
+    for nodes in [8usize, 16, 32, 64, 128, 256] {
+        let cfg = DslashConfig {
+            lattice: lattice_32x256(),
+            nodes,
+            iterations: 3,
+            progress_hints: 4,
+        };
+        let base = run_dslash(MachineProfile::xeon(), Approach::Baseline, &cfg);
+        let offl = run_dslash(MachineProfile::xeon(), Approach::Offload, &cfg);
+        let slow = 100.0 * (offl.phases.internal as f64 / base.phases.internal.max(1) as f64 - 1.0);
+        let post_red = 100.0 * (1.0 - offl.phases.post as f64 / base.phases.post.max(1) as f64);
+        let wait_red = 100.0 * (1.0 - offl.phases.wait as f64 / base.phases.wait.max(1) as f64);
+        t.row(vec![
+            nodes.to_string(),
+            us(base.phases.internal),
+            us(base.phases.post),
+            us(base.phases.wait),
+            us(base.phases.misc),
+            us(base.phases.total),
+            us(offl.phases.internal),
+            us(offl.phases.post),
+            us(offl.phases.wait),
+            us(offl.phases.misc),
+            us(offl.phases.total),
+            format!("{slow:.1}"),
+            format!("{post_red:.1}"),
+            format!("{wait_red:.1}"),
+            (base.max_face_bytes / 1024).to_string(),
+        ]);
+    }
+    emit(
+        "table1_qcd_split",
+        "Table 1 — QCD Dslash per-iteration split, 32³×256 (Endeavor Xeon model)",
+        &t,
+    );
+}

@@ -1,0 +1,59 @@
+//! Table 2 — FFT time split on the Xeon Phi coprocessor cluster model
+//! (2^25 points per node, segmented low-communication pipeline): internal /
+//! post / wait / misc for baseline vs offload plus the derived reduction
+//! columns.
+
+use approaches::Approach;
+use bench::emit;
+use fft1d::{run_fft, FftConfig};
+use harness::Table;
+use simnet::MachineProfile;
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "nodes",
+        "base int ms",
+        "base post ms",
+        "base wait ms",
+        "base misc ms",
+        "base total ms",
+        "off int ms",
+        "off post ms",
+        "off wait ms",
+        "off misc ms",
+        "off total ms",
+        "post reduction %",
+        "wait reduction %",
+    ]);
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let cfg = FftConfig::phi_weak(nodes);
+        let base = run_fft(MachineProfile::xeon_phi(), Approach::Baseline, &cfg);
+        let offl = run_fft(MachineProfile::xeon_phi(), Approach::Offload, &cfg);
+        let post_red = 100.0 * (1.0 - offl.phases.post as f64 / base.phases.post.max(1) as f64);
+        let wait_red = 100.0 * (1.0 - offl.phases.wait as f64 / base.phases.wait.max(1) as f64);
+        t.row(vec![
+            nodes.to_string(),
+            ms(base.phases.internal),
+            ms(base.phases.post),
+            ms(base.phases.wait),
+            ms(base.phases.misc),
+            ms(base.phases.total),
+            ms(offl.phases.internal),
+            ms(offl.phases.post),
+            ms(offl.phases.wait),
+            ms(offl.phases.misc),
+            ms(offl.phases.total),
+            format!("{post_red:.1}"),
+            format!("{wait_red:.1}"),
+        ]);
+    }
+    emit(
+        "table2_fft_split",
+        "Table 2 — FFT per-iteration split, 2^25 points/node (Xeon Phi model)",
+        &t,
+    );
+}

@@ -1,0 +1,70 @@
+//! Shared helpers for the per-figure/per-table bench targets.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper: it prints the rows/series to stdout and drops a CSV under
+//! `target/paper_reports/` so EXPERIMENTS.md can reference stable artifacts.
+
+use harness::Table;
+use std::path::PathBuf;
+
+/// Standard power-of-two byte sweep `lo..=hi`.
+pub fn sizes_pow2(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut s = lo;
+    while s <= hi {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Pretty size label (B/KB/MB).
+pub fn size_label(b: usize) -> String {
+    harness::fmt_bytes(b)
+}
+
+/// Where report CSVs land: `<workspace>/target/paper_reports`.
+pub fn report_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+        // Bench binaries run with the crate as cwd; anchor at the
+        // workspace root instead.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").into()
+    });
+    let dir = PathBuf::from(target).join("paper_reports");
+    std::fs::create_dir_all(&dir).expect("create report directory");
+    dir
+}
+
+/// Print the table and save its CSV twin.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    table.print(title);
+    let path = report_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write report CSV");
+    println!("[saved {}]", path.display());
+}
+
+/// Microseconds with 2 decimals.
+pub fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e3)
+}
+
+/// Percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_sweep() {
+        assert_eq!(sizes_pow2(64, 512), vec![64, 128, 256, 512]);
+        assert_eq!(sizes_pow2(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(1_234), "1.23");
+    }
+}

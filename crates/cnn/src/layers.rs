@@ -1,0 +1,462 @@
+//! CNN layers with forward and backward passes (direct, unoptimized but
+//! correct implementations, validated by finite-difference checks).
+
+use crate::tensor::Tensor;
+use numeric::SplitMix64;
+
+/// 2-D convolution, stride 1, zero padding `pad`.
+pub struct Conv2d {
+    /// Weights `[out_c, in_c, kh, kw]`.
+    pub weight: Tensor,
+    pub bias: Vec<f32>,
+    pub pad: usize,
+    pub grad_weight: Tensor,
+    pub grad_bias: Vec<f32>,
+}
+
+impl Conv2d {
+    pub fn new(in_c: usize, out_c: usize, k: usize, pad: usize, rng: &mut SplitMix64) -> Self {
+        let fan_in = (in_c * k * k) as f64;
+        Self {
+            weight: Tensor::randn([out_c, in_c, k, k], rng, (2.0 / fan_in).sqrt()),
+            bias: vec![0.0; out_c],
+            pad,
+            grad_weight: Tensor::zeros([out_c, in_c, k, k]),
+            grad_bias: vec![0.0; out_c],
+        }
+    }
+
+    pub fn out_shape(&self, input: &[usize; 4]) -> [usize; 4] {
+        let [n, _, h, w] = *input;
+        let k = self.weight.shape[2];
+        [
+            n,
+            self.weight.shape[0],
+            h + 2 * self.pad + 1 - k,
+            w + 2 * self.pad + 1 - k,
+        ]
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let [n, in_c, h, w] = x.shape;
+        assert_eq!(in_c, self.weight.shape[1]);
+        let k = self.weight.shape[2];
+        let out_shape = self.out_shape(&x.shape);
+        let mut y = Tensor::zeros(out_shape);
+        let [_, out_c, oh, ow] = out_shape;
+        for ni in 0..n {
+            for oc in 0..out_c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..in_c {
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let hi = i + ki;
+                                    let wj = j + kj;
+                                    if hi < self.pad
+                                        || wj < self.pad
+                                        || hi - self.pad >= h
+                                        || wj - self.pad >= w
+                                    {
+                                        continue;
+                                    }
+                                    acc += x.at(ni, ic, hi - self.pad, wj - self.pad)
+                                        * self.weight.at(oc, ic, ki, kj);
+                                }
+                            }
+                        }
+                        *y.at_mut(ni, oc, i, j) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward: accumulates weight/bias gradients, returns `dL/dx`.
+    pub fn backward(&mut self, x: &Tensor, dy: &Tensor) -> Tensor {
+        let [n, in_c, h, w] = x.shape;
+        let k = self.weight.shape[2];
+        let [_, out_c, oh, ow] = dy.shape;
+        let mut dx = Tensor::zeros(x.shape);
+        for ni in 0..n {
+            for oc in 0..out_c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let g = dy.at(ni, oc, i, j);
+                        self.grad_bias[oc] += g;
+                        for ic in 0..in_c {
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let hi = i + ki;
+                                    let wj = j + kj;
+                                    if hi < self.pad
+                                        || wj < self.pad
+                                        || hi - self.pad >= h
+                                        || wj - self.pad >= w
+                                    {
+                                        continue;
+                                    }
+                                    let xi = x.at(ni, ic, hi - self.pad, wj - self.pad);
+                                    *self.grad_weight.at_mut(oc, ic, ki, kj) += g * xi;
+                                    *dx.at_mut(ni, ic, hi - self.pad, wj - self.pad) +=
+                                        g * self.weight.at(oc, ic, ki, kj);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.data.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.weight.axpy(-lr, &self.grad_weight.clone());
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// Fully connected layer on flattened inputs.
+pub struct Linear {
+    /// `[out, in]` weights stored as a `[out, in, 1, 1]` tensor.
+    pub weight: Tensor,
+    pub bias: Vec<f32>,
+    pub grad_weight: Tensor,
+    pub grad_bias: Vec<f32>,
+}
+
+impl Linear {
+    pub fn new(in_f: usize, out_f: usize, rng: &mut SplitMix64) -> Self {
+        Self {
+            weight: Tensor::randn([out_f, in_f, 1, 1], rng, (2.0 / in_f as f64).sqrt()),
+            bias: vec![0.0; out_f],
+            grad_weight: Tensor::zeros([out_f, in_f, 1, 1]),
+            grad_bias: vec![0.0; out_f],
+        }
+    }
+
+    /// `x`: `[n, in]` flattened as `[n, in, 1, 1]`. Output `[n, out, 1, 1]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let n = x.shape[0];
+        let in_f = self.weight.shape[1];
+        let out_f = self.weight.shape[0];
+        assert_eq!(x.len(), n * in_f, "flattened input size");
+        let mut y = Tensor::zeros([n, out_f, 1, 1]);
+        for ni in 0..n {
+            let xin = &x.data[ni * in_f..(ni + 1) * in_f];
+            for o in 0..out_f {
+                let row = &self.weight.data[o * in_f..(o + 1) * in_f];
+                let mut acc = self.bias[o];
+                for (xv, wv) in xin.iter().zip(row) {
+                    acc += xv * wv;
+                }
+                y.data[ni * out_f + o] = acc;
+            }
+        }
+        y
+    }
+
+    pub fn backward(&mut self, x: &Tensor, dy: &Tensor) -> Tensor {
+        let n = x.shape[0];
+        let in_f = self.weight.shape[1];
+        let out_f = self.weight.shape[0];
+        let mut dx = Tensor::zeros(x.shape);
+        for ni in 0..n {
+            let xin = &x.data[ni * in_f..(ni + 1) * in_f];
+            for o in 0..out_f {
+                let g = dy.data[ni * out_f + o];
+                self.grad_bias[o] += g;
+                let row = &mut self.grad_weight.data[o * in_f..(o + 1) * in_f];
+                for (gw, xv) in row.iter_mut().zip(xin) {
+                    *gw += g * xv;
+                }
+                let wrow = &self.weight.data[o * in_f..(o + 1) * in_f];
+                let dxr = &mut dx.data[ni * in_f..(ni + 1) * in_f];
+                for (dxe, wv) in dxr.iter_mut().zip(wrow) {
+                    *dxe += g * wv;
+                }
+            }
+        }
+        dx
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.data.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.weight.axpy(-lr, &self.grad_weight.clone());
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// ReLU activation.
+pub fn relu_forward(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    for v in y.data.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    y
+}
+
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    let mut dx = dy.clone();
+    for (d, &xv) in dx.data.iter_mut().zip(&x.data) {
+        if xv <= 0.0 {
+            *d = 0.0;
+        }
+    }
+    dx
+}
+
+/// 2×2 max pooling (stride 2). Returns output and argmax indices for
+/// backward.
+pub fn maxpool2_forward(x: &Tensor) -> (Tensor, Vec<usize>) {
+    let [n, c, h, w] = x.shape;
+    assert!(h % 2 == 0 && w % 2 == 0, "pooling needs even extents");
+    let mut y = Tensor::zeros([n, c, h / 2, w / 2]);
+    let mut arg = vec![0usize; y.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            for i in 0..h / 2 {
+                for j in 0..w / 2 {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut bi = 0;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let idx = x.idx(ni, ci, 2 * i + di, 2 * j + dj);
+                            if x.data[idx] > best {
+                                best = x.data[idx];
+                                bi = idx;
+                            }
+                        }
+                    }
+                    let oi = y.idx(ni, ci, i, j);
+                    y.data[oi] = best;
+                    arg[oi] = bi;
+                }
+            }
+        }
+    }
+    (y, arg)
+}
+
+pub fn maxpool2_backward(x_shape: [usize; 4], arg: &[usize], dy: &Tensor) -> Tensor {
+    let mut dx = Tensor::zeros(x_shape);
+    for (oi, &src) in arg.iter().enumerate() {
+        dx.data[src] += dy.data[oi];
+    }
+    dx
+}
+
+/// Softmax + cross-entropy over `[n, classes]`; returns (mean loss, dlogits).
+pub fn softmax_xent(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.shape[0];
+    let k = logits.len() / n;
+    assert_eq!(labels.len(), n);
+    let mut dlogits = Tensor::zeros(logits.shape);
+    let mut loss = 0.0f64;
+    for ni in 0..n {
+        let row = &logits.data[ni * k..(ni + 1) * k];
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - m) as f64).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let label = labels[ni];
+        assert!(label < k);
+        loss += -(exps[label] / z).ln();
+        for (j, &e) in exps.iter().enumerate() {
+            let p = (e / z) as f32;
+            dlogits.data[ni * k + j] = (p - f32::from(j == label)) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(99)
+    }
+
+    /// Generic finite-difference check of dL/dx for a scalar loss
+    /// L = sum(y * probe).
+    fn fd_check_input<F: Fn(&Tensor) -> Tensor>(
+        forward: F,
+        backward_dx: &Tensor,
+        x: &Tensor,
+        probe: &Tensor,
+        tol: f32,
+    ) {
+        let eps = 1e-2f32;
+        for trial in 0..8 {
+            let i = (trial * 37) % x.len();
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let lp: f32 = forward(&xp)
+                .data
+                .iter()
+                .zip(&probe.data)
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = forward(&xm)
+                .data
+                .iter()
+                .zip(&probe.data)
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = backward_dx.data[i];
+            assert!(
+                (num - ana).abs() < tol * (1.0 + num.abs().max(ana.abs())),
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut r = rng();
+        let x = Tensor::randn([2, 2, 5, 5], &mut r, 1.0);
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut r);
+        let y = conv.forward(&x);
+        let probe = Tensor::randn(y.shape, &mut r, 1.0);
+        let dx = conv.backward(&x, &probe);
+        fd_check_input(|x| conv.forward(x), &dx, &x, &probe, 2e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradient_check() {
+        let mut r = rng();
+        let x = Tensor::randn([1, 2, 4, 4], &mut r, 1.0);
+        let mut conv = Conv2d::new(2, 2, 3, 1, &mut r);
+        let y = conv.forward(&x);
+        let probe = Tensor::randn(y.shape, &mut r, 1.0);
+        conv.zero_grad();
+        let _ = conv.backward(&x, &probe);
+        let eps = 1e-2f32;
+        for i in [0usize, 7, 13, 20] {
+            let mut cp = Conv2d::new(2, 2, 3, 1, &mut rng());
+            cp.weight = conv.weight.clone();
+            cp.bias = conv.bias.clone();
+            cp.weight.data[i] += eps;
+            let lp: f32 = cp
+                .forward(&x)
+                .data
+                .iter()
+                .zip(&probe.data)
+                .map(|(a, b)| a * b)
+                .sum();
+            cp.weight.data[i] -= 2.0 * eps;
+            let lm: f32 = cp
+                .forward(&x)
+                .data
+                .iter()
+                .zip(&probe.data)
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.grad_weight.data[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "w[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut r = rng();
+        let x = Tensor::randn([3, 6, 1, 1], &mut r, 1.0);
+        let mut lin = Linear::new(6, 4, &mut r);
+        let y = lin.forward(&x);
+        let probe = Tensor::randn(y.shape, &mut r, 1.0);
+        let dx = lin.backward(&x, &probe);
+        fd_check_input(|x| lin.forward(x), &dx, &x, &probe, 1e-2);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut x = Tensor::zeros([1, 1, 1, 4]);
+        x.data = vec![-1.0, 2.0, -3.0, 4.0];
+        let y = relu_forward(&x);
+        assert_eq!(y.data, vec![0.0, 2.0, 0.0, 4.0]);
+        let mut dy = Tensor::zeros(x.shape);
+        dy.data = vec![1.0, 1.0, 1.0, 1.0];
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.data, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_selects_max_and_routes_gradient() {
+        let mut x = Tensor::zeros([1, 1, 2, 2]);
+        x.data = vec![1.0, 5.0, 3.0, 2.0];
+        let (y, arg) = maxpool2_forward(&x);
+        assert_eq!(y.data, vec![5.0]);
+        let mut dy = Tensor::zeros([1, 1, 1, 1]);
+        dy.data = vec![2.0];
+        let dx = maxpool2_backward(x.shape, &arg, &dy);
+        assert_eq!(dx.data, vec![0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_xent_gradient_sums_to_zero_per_row() {
+        let mut r = rng();
+        let logits = Tensor::randn([4, 5, 1, 1], &mut r, 1.0);
+        let labels = vec![0usize, 2, 4, 1];
+        let (loss, d) = softmax_xent(&logits, &labels);
+        assert!(loss > 0.0);
+        for ni in 0..4 {
+            let s: f32 = d.data[ni * 5..(ni + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_xent_gradient_check() {
+        let mut r = rng();
+        let logits = Tensor::randn([2, 4, 1, 1], &mut r, 1.0);
+        let labels = vec![1usize, 3];
+        let (_, d) = softmax_xent(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let (a, _) = softmax_xent(&lp, &labels);
+            let (b, _) = softmax_xent(&lm, &labels);
+            let num = (a - b) / (2.0 * eps);
+            assert!(
+                (num - d.data[i]).abs() < 1e-3,
+                "logit {i}: numeric {num} vs analytic {}",
+                d.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let mut logits = Tensor::zeros([1, 3, 1, 1]);
+        logits.data = vec![20.0, -10.0, -10.0];
+        let (loss, _) = softmax_xent(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+}

@@ -1,0 +1,18 @@
+//! `cnn` — convolutional neural network training application (paper §5.3).
+//!
+//! Real layers (direct convolution, pooling, fully connected, softmax
+//! cross-entropy) with gradient-checked backpropagation and SGD, a
+//! data-parallel training path whose gradient all-reduce flows through the
+//! `Comm` abstraction, and the hybrid-parallelism (data-parallel conv +
+//! model-parallel FC) discrete-event driver reproducing Fig 14.
+
+pub mod layers;
+pub mod model;
+pub mod network;
+pub mod sim_driver;
+pub mod tensor;
+
+pub use model::{alexnet_like, conv_gradient_bytes, LayerKind, LayerSpec};
+pub use network::{synthetic_batch, SmallCnn};
+pub use sim_driver::{run_cnn, CnnConfig, CnnReport};
+pub use tensor::Tensor;

@@ -1,0 +1,99 @@
+//! Cost descriptors of the large CNN used for the Fig 14 scaling study:
+//! an AlexNet-class network trained with hybrid parallelism [22, 35] —
+//! data parallelism for the convolutional layers (weight-gradient
+//! all-reduce, overlappable with backpropagation) and model parallelism
+//! for the fully connected layers (synchronized activation all-to-alls).
+
+/// Layer parallelization class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Data parallel: replicated weights, gradients all-reduced.
+    Conv,
+    /// Model parallel: weights sharded, activations exchanged all-to-all.
+    Fc,
+}
+
+/// Cost descriptor of one layer.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    pub name: &'static str,
+    pub kind: LayerKind,
+    /// Forward multiply-accumulate count per image (backward ≈ 2×).
+    pub macs_per_image: f64,
+    /// Parameter bytes (f32).
+    pub weight_bytes: usize,
+    /// Activation bytes per image entering the layer (f32) — the payload
+    /// of the model-parallel exchange for FC layers.
+    pub activation_bytes_per_image: usize,
+}
+
+impl LayerSpec {
+    pub fn flops_fwd(&self, images: usize) -> f64 {
+        2.0 * self.macs_per_image * images as f64
+    }
+
+    pub fn flops_bwd(&self, images: usize) -> f64 {
+        2.0 * self.flops_fwd(images)
+    }
+}
+
+/// AlexNet-like network (canonical MAC/parameter counts).
+pub fn alexnet_like() -> Vec<LayerSpec> {
+    use LayerKind::*;
+    let f = |name, kind, macs: f64, params: usize, act: usize| LayerSpec {
+        name,
+        kind,
+        macs_per_image: macs,
+        weight_bytes: params * 4,
+        activation_bytes_per_image: act * 4,
+    };
+    vec![
+        f("conv1", Conv, 105.4e6, 34_944, 154_587),
+        f("conv2", Conv, 223.9e6, 307_456, 69_984),
+        f("conv3", Conv, 149.5e6, 885_120, 43_264),
+        f("conv4", Conv, 224.3e6, 1_327_488, 64_896),
+        f("conv5", Conv, 149.5e6, 884_992, 43_264),
+        f("fc6", Fc, 37.7e6, 37_752_832, 9_216),
+        f("fc7", Fc, 16.8e6, 16_781_312, 4_096),
+        f("fc8", Fc, 4.1e6, 4_097_000, 4_096),
+    ]
+}
+
+/// Total forward FLOPs per image.
+pub fn total_fwd_flops_per_image(layers: &[LayerSpec]) -> f64 {
+    layers.iter().map(|l| 2.0 * l.macs_per_image).sum()
+}
+
+/// Total data-parallel gradient bytes (conv layers only).
+pub fn conv_gradient_bytes(layers: &[LayerSpec]) -> usize {
+    layers
+        .iter()
+        .filter(|l| l.kind == LayerKind::Conv)
+        .map(|l| l.weight_bytes)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_totals_are_canonical() {
+        let layers = alexnet_like();
+        assert_eq!(layers.len(), 8);
+        // ~0.7 GMAC forward per image, ~61M parameters.
+        let macs: f64 = layers.iter().map(|l| l.macs_per_image).sum();
+        assert!((0.6e9..1.2e9).contains(&macs), "total MACs {macs}");
+        let params: usize = layers.iter().map(|l| l.weight_bytes / 4).sum();
+        assert!((55_000_000..70_000_000).contains(&params), "params {params}");
+        // FC layers dominate parameters; conv layers dominate compute.
+        let conv_grad = conv_gradient_bytes(&layers);
+        assert!(conv_grad < params * 4 / 10, "conv grads are the small part");
+    }
+
+    #[test]
+    fn backward_costs_twice_forward() {
+        let l = &alexnet_like()[0];
+        assert!((l.flops_bwd(3) - 2.0 * l.flops_fwd(3)).abs() < 1.0);
+    }
+}

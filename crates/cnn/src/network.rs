@@ -1,0 +1,219 @@
+//! A small but complete CNN (conv → relu → pool → fc → softmax) with SGD
+//! training, plus gradient access for data-parallel training.
+
+use crate::layers::{
+    maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, softmax_xent, Conv2d,
+    Linear,
+};
+use crate::tensor::Tensor;
+use numeric::SplitMix64;
+
+/// conv(in→f, 3×3, pad 1) → relu → maxpool2 → fc → logits.
+pub struct SmallCnn {
+    pub conv: Conv2d,
+    pub fc: Linear,
+    pub input_shape: [usize; 4],
+    pub classes: usize,
+}
+
+impl SmallCnn {
+    pub fn new(
+        in_c: usize,
+        h: usize,
+        w: usize,
+        filters: usize,
+        classes: usize,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        assert!(h.is_multiple_of(2) && w.is_multiple_of(2));
+        let fc_in = filters * (h / 2) * (w / 2);
+        Self {
+            conv: Conv2d::new(in_c, filters, 3, 1, rng),
+            fc: Linear::new(fc_in, classes, rng),
+            input_shape: [0, in_c, h, w],
+            classes,
+        }
+    }
+
+    /// Forward + backward on one minibatch; accumulates gradients and
+    /// returns the mean loss.
+    pub fn forward_backward(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let a1 = self.conv.forward(x);
+        let a2 = relu_forward(&a1);
+        let (a3, arg) = maxpool2_forward(&a2);
+        let n = x.shape[0];
+        let flat = Tensor {
+            shape: [n, a3.len() / n, 1, 1],
+            data: a3.data.clone(),
+        };
+        let logits = self.fc.forward(&flat);
+        let (loss, dlogits) = softmax_xent(&logits, labels);
+        let dflat = self.fc.backward(&flat, &dlogits);
+        let d3 = Tensor {
+            shape: a3.shape,
+            data: dflat.data,
+        };
+        let d2 = maxpool2_backward(a2.shape, &arg, &d3);
+        let d1 = relu_backward(&a1, &d2);
+        let _ = self.conv.backward(x, &d1);
+        loss
+    }
+
+    /// Evaluation forward pass: predicted classes.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let a1 = self.conv.forward(x);
+        let a2 = relu_forward(&a1);
+        let (a3, _) = maxpool2_forward(&a2);
+        let n = x.shape[0];
+        let flat = Tensor {
+            shape: [n, a3.len() / n, 1, 1],
+            data: a3.data,
+        };
+        let logits = self.fc.forward(&flat);
+        let k = self.classes;
+        (0..n)
+            .map(|ni| {
+                let row = &logits.data[ni * k..(ni + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .expect("nonempty row")
+            })
+            .collect()
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.conv.zero_grad();
+        self.fc.zero_grad();
+    }
+
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.conv.sgd_step(lr);
+        self.fc.sgd_step(lr);
+    }
+
+    /// Flatten all gradients (the payload of a data-parallel all-reduce).
+    pub fn gradients(&self) -> Vec<f32> {
+        let mut g = Vec::new();
+        g.extend_from_slice(&self.conv.grad_weight.data);
+        g.extend_from_slice(&self.conv.grad_bias);
+        g.extend_from_slice(&self.fc.grad_weight.data);
+        g.extend_from_slice(&self.fc.grad_bias);
+        g
+    }
+
+    /// Overwrite gradients from a flattened buffer.
+    pub fn set_gradients(&mut self, g: &[f32]) {
+        let mut off = 0;
+        let mut take = |n: usize| {
+            let s = &g[off..off + n];
+            off += n;
+            s.to_vec()
+        };
+        let n = self.conv.grad_weight.len();
+        self.conv.grad_weight.data = take(n);
+        let n = self.conv.grad_bias.len();
+        self.conv.grad_bias = take(n);
+        let n = self.fc.grad_weight.len();
+        self.fc.grad_weight.data = take(n);
+        let n = self.fc.grad_bias.len();
+        self.fc.grad_bias = take(n);
+        assert_eq!(off, g.len());
+    }
+}
+
+/// Synthetic classification task: which quadrant holds the bright blob.
+pub fn synthetic_batch(
+    n: usize,
+    h: usize,
+    w: usize,
+    rng: &mut SplitMix64,
+) -> (Tensor, Vec<usize>) {
+    let mut x = Tensor::zeros([n, 1, h, w]);
+    let mut labels = Vec::with_capacity(n);
+    for ni in 0..n {
+        let q = (rng.next_u64() % 4) as usize;
+        labels.push(q);
+        let (h0, w0) = ((q / 2) * h / 2, (q % 2) * w / 2);
+        for i in 0..h / 2 {
+            for j in 0..w / 2 {
+                *x.at_mut(ni, 0, h0 + i, w0 + j) = 1.0 + 0.1 * rng.next_sym() as f32;
+            }
+        }
+        // Background noise.
+        for i in 0..h {
+            for j in 0..w {
+                *x.at_mut(ni, 0, i, j) += 0.05 * rng.next_sym() as f32;
+            }
+        }
+    }
+    (x, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_reduces_loss_and_learns_quadrants() {
+        let mut rng = SplitMix64::new(2024);
+        let mut net = SmallCnn::new(1, 8, 8, 4, 4, &mut rng);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let (x, labels) = synthetic_batch(16, 8, 8, &mut rng);
+            net.zero_grad();
+            let loss = net.forward_backward(&x, &labels);
+            net.sgd_step(0.1);
+            if first_loss.is_none() {
+                first_loss = Some(loss);
+            }
+            last_loss = loss;
+        }
+        let first = first_loss.expect("ran at least one step");
+        assert!(
+            last_loss < first * 0.5,
+            "loss should halve: first {first}, last {last_loss}"
+        );
+        // Accuracy on fresh data.
+        let (x, labels) = synthetic_batch(64, 8, 8, &mut rng);
+        let pred = net.predict(&x);
+        let correct = pred
+            .iter()
+            .zip(&labels)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            correct >= 48,
+            "should classify most quadrants, got {correct}/64"
+        );
+    }
+
+    #[test]
+    fn gradient_roundtrip_via_flat_buffer() {
+        let mut rng = SplitMix64::new(5);
+        let mut net = SmallCnn::new(1, 4, 4, 2, 4, &mut rng);
+        let (x, labels) = synthetic_batch(4, 4, 4, &mut rng);
+        net.zero_grad();
+        let _ = net.forward_backward(&x, &labels);
+        let g = net.gradients();
+        let mut scaled: Vec<f32> = g.iter().map(|v| v * 0.5).collect();
+        net.set_gradients(&scaled);
+        scaled.clear();
+        let g2 = net.gradients();
+        for (a, b) in g.iter().zip(&g2) {
+            assert!((a * 0.5 - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut rng = SplitMix64::new(6);
+        let mut net = SmallCnn::new(1, 4, 4, 2, 4, &mut rng);
+        let (x, labels) = synthetic_batch(2, 4, 4, &mut rng);
+        let _ = net.forward_backward(&x, &labels);
+        net.zero_grad();
+        assert!(net.gradients().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal NCHW tensor for the CNN layers.
+
+use numeric::SplitMix64;
+
+/// Dense f32 tensor with shape `[n, c, h, w]` (row-major, w fastest).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    pub shape: [usize; 4],
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(shape: [usize; 4]) -> Self {
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape,
+        }
+    }
+
+    /// He-style initialization scaled by fan-in.
+    pub fn randn(shape: [usize; 4], rng: &mut SplitMix64, scale: f64) -> Self {
+        Self {
+            data: (0..shape.iter().product())
+                .map(|_| (rng.next_gaussian() * scale) as f32)
+                .collect(),
+            shape,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn idx(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let [_, cs, hs, ws] = self.shape;
+        debug_assert!(c < cs && h < hs && w < ws);
+        ((n * cs + c) * hs + h) * ws + w
+    }
+
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx(n, c, h, w)]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.idx(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// `self += a * other` element-wise.
+    pub fn axpy(&mut self, a: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape);
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += a * y;
+        }
+    }
+
+    pub fn scale(&mut self, a: f32) {
+        for x in self.data.iter_mut() {
+            *x *= a;
+        }
+    }
+
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major_w_fastest() {
+        let mut t = Tensor::zeros([2, 3, 4, 5]);
+        *t.at_mut(1, 2, 3, 4) = 7.0;
+        assert_eq!(t.data[((3 + 2) * 4 + 3) * 5 + 4], 7.0);
+        assert_eq!(t.at(1, 2, 3, 4), 7.0);
+        assert_eq!(t.len(), 120);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::zeros([1, 1, 1, 3]);
+        let mut b = Tensor::zeros([1, 1, 1, 3]);
+        b.data = vec![1.0, 2.0, 3.0];
+        a.axpy(2.0, &b);
+        assert_eq!(a.data, vec![2.0, 4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.data, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn randn_respects_scale() {
+        let mut rng = SplitMix64::new(4);
+        let t = Tensor::randn([1, 1, 10, 10], &mut rng, 0.01);
+        assert!(t.norm_sqr() < 1.0);
+        assert!(t.norm_sqr() > 0.0);
+    }
+}

@@ -1,0 +1,646 @@
+//! Live mode: the offload infrastructure on real OS threads (paper §3).
+//!
+//! One dedicated offload thread per rank services the lock-free command
+//! queue and is the only thread that touches the message layer (`rtmpi`).
+//! Application threads — any number, concurrently, i.e. full
+//! `MPI_THREAD_MULTIPLE` semantics — serialize their calls into
+//! [`Command`]s, allocate a request-pool slot for the reply, and either
+//! return immediately (nonblocking) or spin on the slot's done flag
+//! (blocking), never entering the message layer themselves.
+//!
+//! Blocking collectives are *converted to nonblocking schedules* inside the
+//! offload thread (paper §3.3): a barrier or allreduce issued by one
+//! application thread never prevents the offload thread from servicing
+//! other threads' commands. The schedules are the same round-based
+//! constructions used by the simulated MPI (`mpisim::nbc`) — one
+//! implementation of the algorithms, two executors.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mpisim::nbc::{self, DataSrc, RecvAction, Round};
+use mpisim::types::{combine, Bytes};
+
+use crate::pool::{Handle, RequestPool};
+use crate::queue::MpmcQueue;
+
+/// Application tags must stay below this (internal collective tag space).
+pub const TAG_INTERNAL_BASE: u32 = mpisim::TAG_INTERNAL_BASE;
+
+/// Result of a completed offloaded operation.
+#[derive(Clone, Debug)]
+pub enum Completion {
+    /// A send was handed to the message layer.
+    Sent,
+    /// A receive completed.
+    Received(rtmpi::Status, Arc<Vec<u8>>),
+    /// A collective completed; payload is its result buffer (empty for
+    /// barrier).
+    Collective(Arc<Vec<u8>>),
+}
+
+/// A serialized MPI call (what travels on the command queue).
+pub enum Command {
+    Isend {
+        dst: usize,
+        tag: u32,
+        data: Arc<Vec<u8>>,
+        slot: Handle,
+    },
+    Irecv {
+        src: Option<usize>,
+        tag: Option<u32>,
+        slot: Handle,
+    },
+    Collective {
+        kind: CollKind,
+        slot: Handle,
+    },
+    /// Finish outstanding work, then exit the offload thread.
+    Shutdown,
+}
+
+/// Offloadable collective operations.
+pub enum CollKind {
+    Barrier,
+    /// Element-wise f64 sum allreduce.
+    AllreduceF64Sum(Vec<u8>),
+    /// Personalized all-to-all of `block`-byte blocks.
+    Alltoall { input: Vec<u8>, block: usize },
+    /// Broadcast from `root` (payload on root only).
+    Bcast { root: usize, payload: Vec<u8> },
+    /// Allgather of equal contributions.
+    Allgather { mine: Vec<u8> },
+}
+
+/// Cloneable per-rank handle used by application threads.
+#[derive(Clone)]
+pub struct OffloadHandle {
+    queue: Arc<MpmcQueue<Command>>,
+    pool: Arc<RequestPool<Completion>>,
+    rank: usize,
+    size: usize,
+}
+
+/// Owner object for one rank: join the offload thread via [`finalize`].
+///
+/// [`finalize`]: OffloadRank::finalize
+pub struct OffloadRank {
+    handle: OffloadHandle,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Build an `n`-rank live world: spawns one offload thread per rank over a
+/// fresh `rtmpi` world. This is the `MPI_Init` interposition point of the
+/// paper's `LD_PRELOAD` library.
+pub fn offload_world(n: usize) -> Vec<OffloadRank> {
+    offload_world_sized(n, 1024, 1024)
+}
+
+/// As [`offload_world`] with explicit command-queue and request-pool sizes.
+pub fn offload_world_sized(n: usize, queue_cap: usize, pool_cap: usize) -> Vec<OffloadRank> {
+    rtmpi::world(n)
+        .into_iter()
+        .map(|mpi| {
+            let queue = Arc::new(MpmcQueue::with_capacity(queue_cap));
+            let pool = Arc::new(RequestPool::with_capacity(pool_cap));
+            let handle = OffloadHandle {
+                queue: queue.clone(),
+                pool: pool.clone(),
+                rank: mpi.rank(),
+                size: mpi.size(),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("offload-{}", mpi.rank()))
+                .spawn(move || offload_main(mpi, queue, pool))
+                .expect("spawn offload thread");
+            OffloadRank {
+                handle,
+                thread: Some(thread),
+            }
+        })
+        .collect()
+}
+
+impl OffloadRank {
+    pub fn handle(&self) -> OffloadHandle {
+        self.handle.clone()
+    }
+
+    /// Shut the offload thread down after it drains outstanding work
+    /// (the `MPI_Finalize` interposition point).
+    pub fn finalize(mut self) {
+        self.handle.queue.push_blocking(Command::Shutdown);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("offload thread exits cleanly");
+        }
+    }
+}
+
+impl Drop for OffloadRank {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.handle.queue.push_blocking(Command::Shutdown);
+            t.join().expect("offload thread exits cleanly");
+        }
+    }
+}
+
+impl OffloadHandle {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Nonblocking send: serialize, enqueue, return. The visible cost is
+    /// one pool allocation plus one queue push — independent of message
+    /// size (paper Fig 4).
+    pub fn isend(&self, dst: usize, tag: u32, data: Arc<Vec<u8>>) -> Handle {
+        assert!(tag < TAG_INTERNAL_BASE, "application tag too large");
+        let slot = self.pool.alloc_blocking();
+        self.queue.push_blocking(Command::Isend {
+            dst,
+            tag,
+            data,
+            slot,
+        });
+        slot
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv(&self, src: Option<usize>, tag: Option<u32>) -> Handle {
+        let slot = self.pool.alloc_blocking();
+        self.queue.push_blocking(Command::Irecv { src, tag, slot });
+        slot
+    }
+
+    /// `MPI_Test`: a single done-flag check — no MPI entry at all.
+    pub fn test(&self, h: Handle) -> bool {
+        self.pool.is_done(h)
+    }
+
+    /// `MPI_Wait`: spin on the done flag, take the completion, free the
+    /// slot.
+    pub fn wait(&self, h: Handle) -> Completion {
+        self.pool.wait_take(h).expect("completion value present")
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: usize, tag: u32, data: Arc<Vec<u8>>) {
+        let h = self.isend(dst, tag, data);
+        match self.wait(h) {
+            Completion::Sent => {}
+            other => panic!("send completed as {other:?}"),
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<usize>, tag: Option<u32>) -> (rtmpi::Status, Arc<Vec<u8>>) {
+        let h = self.irecv(src, tag);
+        match self.wait(h) {
+            Completion::Received(st, data) => (st, data),
+            other => panic!("recv completed as {other:?}"),
+        }
+    }
+
+    fn collective(&self, kind: CollKind) -> Arc<Vec<u8>> {
+        let slot = self.pool.alloc_blocking();
+        self.queue.push_blocking(Command::Collective { kind, slot });
+        match self.wait(slot) {
+            Completion::Collective(out) => out,
+            other => panic!("collective completed as {other:?}"),
+        }
+    }
+
+    /// Offloaded barrier.
+    pub fn barrier(&self) {
+        let _ = self.collective(CollKind::Barrier);
+    }
+
+    /// Offloaded f64 sum allreduce.
+    pub fn allreduce_f64_sum(&self, mine: &[f64]) -> Vec<f64> {
+        let bytes: Vec<u8> = mine.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let out = self.collective(CollKind::AllreduceF64Sum(bytes));
+        out.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte lane")))
+            .collect()
+    }
+
+    /// Offloaded all-to-all.
+    pub fn alltoall(&self, input: Vec<u8>, block: usize) -> Vec<u8> {
+        assert_eq!(input.len(), self.size * block);
+        let out = self.collective(CollKind::Alltoall { input, block });
+        out.as_ref().clone()
+    }
+
+    /// Offloaded broadcast.
+    pub fn bcast(&self, root: usize, payload: Vec<u8>) -> Vec<u8> {
+        let out = self.collective(CollKind::Bcast { root, payload });
+        out.as_ref().clone()
+    }
+
+    /// Offloaded allgather.
+    pub fn allgather(&self, mine: Vec<u8>) -> Vec<u8> {
+        let out = self.collective(CollKind::Allgather { mine });
+        out.as_ref().clone()
+    }
+
+    /// Queue depth (diagnostics).
+    pub fn queued_commands(&self) -> usize {
+        self.queue.approx_len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The offload thread.
+// ---------------------------------------------------------------------------
+
+struct LiveNbc {
+    rounds: Vec<Round>,
+    cur: usize,
+    inflight: Vec<(rtmpi::RtRequest, RecvAction)>,
+    acc: Vec<u8>,
+    input: Option<Vec<u8>>,
+    tag: u32,
+    slot: Handle,
+}
+
+fn offload_main(
+    mpi: rtmpi::RtMpi,
+    queue: Arc<MpmcQueue<Command>>,
+    pool: Arc<RequestPool<Completion>>,
+) {
+    let mut inflight_recv: Vec<(Handle, rtmpi::RtRequest)> = Vec::new();
+    let mut nbcs: Vec<LiveNbc> = Vec::new();
+    let mut coll_seq: u32 = 0;
+    let mut open = true;
+    loop {
+        let mut advanced = false;
+        // 1. Drain the command queue.
+        while let Some(cmd) = queue.pop() {
+            advanced = true;
+            match cmd {
+                Command::Isend {
+                    dst,
+                    tag,
+                    data,
+                    slot,
+                } => {
+                    // rtmpi sends complete at hand-off.
+                    let _ = mpi.isend(dst, tag, data);
+                    pool.complete(slot, Completion::Sent);
+                }
+                Command::Irecv { src, tag, slot } => {
+                    let req = mpi.irecv(src, tag);
+                    inflight_recv.push((slot, req));
+                }
+                Command::Collective { kind, slot } => {
+                    coll_seq = coll_seq.wrapping_add(1);
+                    let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
+                    nbcs.push(start_live_nbc(&mpi, kind, tag, slot));
+                }
+                Command::Shutdown => open = false,
+            }
+        }
+        // 2. Sweep in-flight receives (the MPI_Testany analogue).
+        inflight_recv.retain(|(slot, req)| {
+            if let Some((st, data)) = req.try_take() {
+                pool.complete(*slot, Completion::Received(st, data));
+                advanced = true;
+                false
+            } else {
+                true
+            }
+        });
+        // 3. Advance collective schedules.
+        let mut i = 0;
+        while i < nbcs.len() {
+            if advance_live_nbc(&mpi, &mut nbcs[i]) {
+                let done = nbcs.swap_remove(i);
+                pool.complete(done.slot, Completion::Collective(Arc::new(done.acc)));
+                advanced = true;
+            } else {
+                i += 1;
+            }
+        }
+        // 4. Exit or idle.
+        if !open && inflight_recv.is_empty() && nbcs.is_empty() && queue.is_empty() {
+            return;
+        }
+        if !advanced {
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn start_live_nbc(mpi: &rtmpi::RtMpi, kind: CollKind, tag: u32, slot: Handle) -> LiveNbc {
+    let (p, r) = (mpi.size(), mpi.rank());
+    let (acc, input, rounds) = match kind {
+        CollKind::Barrier => (Vec::new(), None, nbc::barrier_rounds(p, r)),
+        CollKind::AllreduceF64Sum(mine) => {
+            let rounds = nbc::allreduce_rounds_sized(
+                p,
+                r,
+                mpisim::Dtype::F64,
+                mpisim::ReduceOp::Sum,
+                mine.len(),
+            );
+            (mine, None, rounds)
+        }
+        CollKind::Alltoall { input, block } => {
+            assert_eq!(input.len(), p * block);
+            let mut acc = vec![0u8; p * block];
+            acc[r * block..(r + 1) * block].copy_from_slice(&input[r * block..(r + 1) * block]);
+            (acc, Some(input), nbc::alltoall_rounds(p, r, block))
+        }
+        CollKind::Bcast { root, payload } => {
+            let acc = if r == root { payload } else { Vec::new() };
+            (acc, None, nbc::bcast_rounds(p, r, root))
+        }
+        CollKind::Allgather { mine } => {
+            let block = mine.len();
+            let mut acc = vec![0u8; p * block];
+            acc[r * block..(r + 1) * block].copy_from_slice(&mine);
+            (acc, None, nbc::allgather_rounds(p, r, block))
+        }
+    };
+    let mut inst = LiveNbc {
+        rounds,
+        cur: 0,
+        inflight: Vec::new(),
+        acc,
+        input,
+        tag,
+        slot,
+    };
+    post_live_round(mpi, &mut inst);
+    inst
+}
+
+/// Post rounds starting at `cur` until one has pending receives (or the
+/// schedule ends).
+fn post_live_round(mpi: &rtmpi::RtMpi, inst: &mut LiveNbc) {
+    while inst.cur < inst.rounds.len() {
+        let round = inst.rounds[inst.cur].clone();
+        for send in &round.sends {
+            let data = resolve_live(inst, &send.data);
+            let _ = mpi.isend(send.peer, inst.tag, Arc::new(data));
+        }
+        for recv in &round.recvs {
+            let req = mpi.irecv(Some(recv.peer), Some(inst.tag));
+            inst.inflight.push((req, recv.action.clone()));
+        }
+        if inst.inflight.iter().all(|(r, _)| r.is_done()) {
+            apply_live_actions(inst);
+            inst.cur += 1;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Returns true when the schedule has fully completed.
+fn advance_live_nbc(mpi: &rtmpi::RtMpi, inst: &mut LiveNbc) -> bool {
+    if inst.cur >= inst.rounds.len() {
+        return true;
+    }
+    if !inst.inflight.iter().all(|(r, _)| r.is_done()) {
+        return false;
+    }
+    apply_live_actions(inst);
+    inst.cur += 1;
+    post_live_round(mpi, inst);
+    inst.cur >= inst.rounds.len()
+}
+
+fn apply_live_actions(inst: &mut LiveNbc) {
+    for (req, action) in std::mem::take(&mut inst.inflight) {
+        let (_, data) = req.try_take().expect("completed recv has data");
+        match action {
+            RecvAction::Discard => {}
+            RecvAction::ReplaceAcc => inst.acc = data.as_ref().clone(),
+            RecvAction::CombineAcc { dtype, op } => {
+                combine(dtype, op, &mut inst.acc, &data);
+            }
+            RecvAction::CombineAt { offset, dtype, op } => {
+                let end = offset + data.len();
+                combine(dtype, op, &mut inst.acc[offset..end], &data);
+            }
+            RecvAction::StoreAt(off) => {
+                inst.acc[off..off + data.len()].copy_from_slice(&data);
+            }
+        }
+    }
+}
+
+fn resolve_live(inst: &LiveNbc, src: &DataSrc) -> Vec<u8> {
+    match src {
+        DataSrc::Acc => inst.acc.clone(),
+        DataSrc::AccChunk(r) => inst.acc[r.clone()].to_vec(),
+        DataSrc::InputChunk(r) => inst.input.as_ref().expect("input buffer")[r.clone()].to_vec(),
+        DataSrc::Fixed(b) => match b {
+            Bytes::Real(v) => v.as_ref().clone(),
+            Bytes::Synthetic(n) => vec![0; *n],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_live<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(OffloadHandle) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let ranks = offload_world(n);
+        let handles: Vec<_> = ranks
+            .iter()
+            .map(|r| {
+                let h = r.handle();
+                let f = f.clone();
+                thread::spawn(move || f(h))
+            })
+            .collect();
+        let outs = handles
+            .into_iter()
+            .map(|h| h.join().expect("app thread"))
+            .collect();
+        for r in ranks {
+            r.finalize();
+        }
+        outs
+    }
+
+    #[test]
+    fn offloaded_ping_pong() {
+        let outs = run_live(2, |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 5, Arc::new(vec![1, 2, 3]));
+                let (_, d) = mpi.recv(Some(1), Some(6));
+                d.as_ref().clone()
+            } else {
+                let (st, d) = mpi.recv(Some(0), Some(5));
+                assert_eq!(st.source, 0);
+                let mut back = d.as_ref().clone();
+                back.reverse();
+                mpi.send(0, 6, Arc::new(back));
+                Vec::new()
+            }
+        });
+        assert_eq!(outs[0], vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn isend_returns_before_receiver_posts() {
+        let outs = run_live(2, |mpi| {
+            if mpi.rank() == 0 {
+                let h = mpi.isend(1, 1, Arc::new(vec![7u8; 100]));
+                // The handle is usable immediately.
+                let c = mpi.wait(h);
+                matches!(c, Completion::Sent)
+            } else {
+                thread::sleep(std::time::Duration::from_millis(2));
+                let (_, d) = mpi.recv(Some(0), Some(1));
+                d.len() == 100
+            }
+        });
+        assert!(outs[0] && outs[1]);
+    }
+
+    #[test]
+    fn test_polls_done_flag_only() {
+        let outs = run_live(2, |mpi| {
+            if mpi.rank() == 0 {
+                thread::sleep(std::time::Duration::from_millis(3));
+                mpi.send(1, 2, Arc::new(vec![1]));
+                true
+            } else {
+                let h = mpi.irecv(Some(0), Some(2));
+                let mut polls = 0u64;
+                while !mpi.test(h) {
+                    polls += 1;
+                    thread::yield_now();
+                }
+                let _ = mpi.wait(h);
+                polls > 0
+            }
+        });
+        assert!(outs[1], "receiver actually had to poll");
+    }
+
+    #[test]
+    fn offloaded_barrier_synchronizes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = Arc::new(AtomicU32::new(0));
+        let c2 = counter.clone();
+        let outs = run_live(4, move |mpi| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            mpi.barrier();
+            // Everyone must have incremented before anyone passes.
+            c2.load(Ordering::SeqCst)
+        });
+        for o in outs {
+            assert_eq!(o, 4);
+        }
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn offloaded_allreduce_sums() {
+        let outs = run_live(4, |mpi| mpi.allreduce_f64_sum(&[mpi.rank() as f64, 1.0]));
+        for o in outs {
+            assert_eq!(o, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn offloaded_alltoall_transposes() {
+        let outs = run_live(3, |mpi| {
+            let input: Vec<u8> = (0..3).map(|d| (mpi.rank() * 3 + d) as u8).collect();
+            mpi.alltoall(input, 1)
+        });
+        for (r, o) in outs.iter().enumerate() {
+            let expect: Vec<u8> = (0..3).map(|s| (s * 3 + r) as u8).collect();
+            assert_eq!(o, &expect);
+        }
+    }
+
+    #[test]
+    fn offloaded_bcast_and_allgather() {
+        let outs = run_live(3, |mpi| {
+            let payload = if mpi.rank() == 1 { vec![5u8, 6] } else { vec![] };
+            let b = mpi.bcast(1, payload);
+            let g = mpi.allgather(vec![mpi.rank() as u8]);
+            (b, g)
+        });
+        for (b, g) in outs {
+            assert_eq!(b, vec![5, 6]);
+            assert_eq!(g, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn concurrent_app_threads_share_one_rank() {
+        // THREAD_MULTIPLE: several app threads of the same rank issue
+        // concurrently; the single offload thread serializes into rtmpi.
+        let ranks = offload_world(2);
+        let h0 = ranks[0].handle();
+        let h1 = ranks[1].handle();
+        let senders: Vec<_> = (0..4u32)
+            .map(|t| {
+                let h = h0.clone();
+                thread::spawn(move || {
+                    for i in 0..50u32 {
+                        h.send(1, t, Arc::new(vec![(t * 100 + i % 100) as u8]));
+                    }
+                })
+            })
+            .collect();
+        let receiver = thread::spawn(move || {
+            let mut per_tag = vec![0u32; 4];
+            for _ in 0..200 {
+                let (st, _) = h1.recv(Some(0), None);
+                per_tag[st.tag as usize] += 1;
+            }
+            per_tag
+        });
+        for s in senders {
+            s.join().expect("sender");
+        }
+        let per_tag = receiver.join().expect("receiver");
+        assert_eq!(per_tag, vec![50; 4]);
+        for r in ranks {
+            r.finalize();
+        }
+    }
+
+    #[test]
+    fn many_outstanding_requests_cycle_the_pool() {
+        let outs = run_live(2, |mpi| {
+            if mpi.rank() == 0 {
+                for batch in 0..20 {
+                    let hs: Vec<_> = (0..64)
+                        .map(|i| mpi.isend(1, 3, Arc::new(vec![(batch * 64 + i) as u8])))
+                        .collect();
+                    for h in hs {
+                        let _ = mpi.wait(h);
+                    }
+                }
+                0
+            } else {
+                let mut n = 0;
+                for _ in 0..(20 * 64) {
+                    let _ = mpi.recv(Some(0), Some(3));
+                    n += 1;
+                }
+                n
+            }
+        });
+        assert_eq!(outs[1], 20 * 64);
+    }
+}

@@ -1,0 +1,354 @@
+//! The request pool (paper §3.1): a fixed array of request slots managed as
+//! a lock-free free list, with a per-slot *done flag*.
+//!
+//! A nonblocking offloaded call must return an `MPI_Request` to the
+//! application **before** the offload thread has issued the real MPI call.
+//! The pool provides that: the application thread allocates a slot
+//! (lock-free, "array-based singly linked list" — a Treiber stack of slot
+//! indices), embeds the slot handle in the command, and later waits on the
+//! slot's done flag. The offload thread writes the completion value into
+//! the slot and raises the flag with release ordering; the owner reads it
+//! with acquire ordering.
+//!
+//! ABA and stale handles are prevented two ways:
+//! * the free-list head packs a 32-bit *tag* bumped on every pop, so a
+//!   concurrent pop/push/pop cannot redirect a CAS (classic counted
+//!   pointer);
+//! * each slot carries a *generation* bumped on `free`, and handles embed
+//!   the generation they were allocated under, so use-after-free of a
+//!   handle is detected (`is_done`/`take` on a stale handle panics in
+//!   debug, returns conservative answers in release).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+const NIL: u32 = u32::MAX;
+
+struct PoolSlot<T> {
+    /// Free-list link (valid while the slot is free).
+    next: AtomicU32,
+    /// Bumped on every `free`; handles must match.
+    generation: AtomicU32,
+    /// Raised by the completing thread with `Release`.
+    done: AtomicBool,
+    /// Completion value; written before `done`, read after it.
+    value: UnsafeCell<Option<T>>,
+}
+
+/// Fixed-capacity lock-free request pool.
+pub struct RequestPool<T> {
+    slots: Box<[PoolSlot<T>]>,
+    /// Packed head: upper 32 bits = pop tag, lower 32 = slot index or NIL.
+    head: CachePadded<AtomicU64>,
+    outstanding: CachePadded<AtomicU32>,
+}
+
+// SAFETY: a slot's value cell has exactly one writer (the completer, before
+// the Release store of `done`) and one reader (the handle owner, after its
+// Acquire load of `done`); slots are never reused until freed by the owner.
+unsafe impl<T: Send> Send for RequestPool<T> {}
+unsafe impl<T: Send> Sync for RequestPool<T> {}
+
+/// Handle to an allocated request slot (the application's `MPI_Request`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Handle {
+    pub(crate) idx: u32,
+    pub(crate) generation: u32,
+}
+
+impl Handle {
+    /// Slot index within the pool (diagnostics).
+    pub fn index(&self) -> u32 {
+        self.idx
+    }
+
+    /// Generation the handle was allocated under (diagnostics).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
+
+impl<T> RequestPool<T> {
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0 && cap < NIL as usize);
+        let slots: Box<[PoolSlot<T>]> = (0..cap)
+            .map(|i| PoolSlot {
+                next: AtomicU32::new(if i + 1 < cap { (i + 1) as u32 } else { NIL }),
+                generation: AtomicU32::new(0),
+                done: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            })
+            .collect();
+        Self {
+            slots,
+            head: CachePadded::new(AtomicU64::new(pack(0, 0))),
+            outstanding: CachePadded::new(AtomicU32::new(0)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Currently allocated slots.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed) as usize
+    }
+
+    /// Allocate a slot; `None` if the pool is exhausted.
+    pub fn alloc(&self) -> Option<Handle> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, idx) = unpack(head);
+            if idx == NIL {
+                return None;
+            }
+            let next = self.slots[idx as usize].next.load(Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    let slot = &self.slots[idx as usize];
+                    slot.done.store(false, Ordering::Relaxed);
+                    self.outstanding.fetch_add(1, Ordering::Relaxed);
+                    return Some(Handle {
+                        idx,
+                        generation: slot.generation.load(Ordering::Relaxed),
+                    });
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Spin (yielding) until a slot is available.
+    pub fn alloc_blocking(&self) -> Handle {
+        let mut spins = 0u32;
+        loop {
+            if let Some(h) = self.alloc() {
+                return h;
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn check(&self, h: Handle) -> &PoolSlot<T> {
+        let slot = &self.slots[h.idx as usize];
+        debug_assert_eq!(
+            slot.generation.load(Ordering::Relaxed),
+            h.generation,
+            "stale request handle"
+        );
+        slot
+    }
+
+    /// Complete the request: publish `value` and raise the done flag.
+    /// Called by the offload thread exactly once per allocation.
+    pub fn complete(&self, h: Handle, value: T) {
+        let slot = self.check(h);
+        debug_assert!(!slot.done.load(Ordering::Relaxed), "double completion");
+        // SAFETY: sole writer before the Release store below.
+        unsafe { *slot.value.get() = Some(value) };
+        slot.done.store(true, Ordering::Release);
+    }
+
+    /// Has the request completed? (The application's `MPI_Test` fast path.)
+    pub fn is_done(&self, h: Handle) -> bool {
+        let slot = &self.slots[h.idx as usize];
+        slot.generation.load(Ordering::Relaxed) == h.generation
+            && slot.done.load(Ordering::Acquire)
+    }
+
+    /// Take the completion value. Only the handle owner may call, and only
+    /// after `is_done`.
+    pub fn take(&self, h: Handle) -> Option<T> {
+        let slot = self.check(h);
+        if !slot.done.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: owner-side read after the Acquire load; the completer
+        // wrote before its Release store and will not touch the slot again.
+        unsafe { (*slot.value.get()).take() }
+    }
+
+    /// Return the slot to the free list, invalidating all existing handles
+    /// to it. Only the handle owner may call.
+    pub fn free(&self, h: Handle) {
+        let slot = self.check(h);
+        // SAFETY: owner has exclusive access; drop any untaken value.
+        unsafe { *slot.value.get() = None };
+        slot.generation.fetch_add(1, Ordering::Relaxed);
+        slot.done.store(false, Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, idx) = unpack(head);
+            slot.next.store(idx, Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), h.idx),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Spin-wait (yielding) for completion, then take the value and free
+    /// the slot — the full `MPI_Wait` fast path of the offload design.
+    pub fn wait_take(&self, h: Handle) -> Option<T> {
+        let mut spins = 0u32;
+        while !self.is_done(h) {
+            spins += 1;
+            if spins > 256 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let v = self.take(h);
+        self.free(h);
+        v
+    }
+}
+
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn alloc_complete_take_free_roundtrip() {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(4);
+        let h = pool.alloc().expect("slot");
+        assert!(!pool.is_done(h));
+        assert_eq!(pool.take(h), None);
+        pool.complete(h, 77);
+        assert!(pool.is_done(h));
+        assert_eq!(pool.take(h), Some(77));
+        pool.free(h);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let pool: RequestPool<()> = RequestPool::with_capacity(2);
+        let a = pool.alloc().expect("first");
+        let _b = pool.alloc().expect("second");
+        assert!(pool.alloc().is_none());
+        pool.free(a);
+        assert!(pool.alloc().is_some());
+    }
+
+    #[test]
+    fn generation_invalidates_stale_handles() {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(1);
+        let h1 = pool.alloc().expect("slot");
+        pool.complete(h1, 1);
+        assert!(pool.is_done(h1));
+        pool.free(h1);
+        let h2 = pool.alloc().expect("reused slot");
+        assert_eq!(h1.idx, h2.idx);
+        assert_ne!(h1.generation, h2.generation);
+        // The stale handle no longer reads as done.
+        assert!(!pool.is_done(h1));
+        assert!(!pool.is_done(h2));
+        pool.complete(h2, 2);
+        assert!(pool.is_done(h2));
+    }
+
+    #[test]
+    fn untaken_values_are_dropped_on_free() {
+        let pool: RequestPool<Arc<()>> = RequestPool::with_capacity(1);
+        let marker = Arc::new(());
+        let h = pool.alloc().expect("slot");
+        pool.complete(h, marker.clone());
+        assert_eq!(Arc::strong_count(&marker), 2);
+        pool.free(h); // value dropped without take
+        assert_eq!(Arc::strong_count(&marker), 1);
+    }
+
+    #[test]
+    fn wait_take_spins_until_completion() {
+        let pool: Arc<RequestPool<u64>> = Arc::new(RequestPool::with_capacity(4));
+        let h = pool.alloc().expect("slot");
+        let completer = {
+            let pool = pool.clone();
+            thread::spawn(move || {
+                thread::sleep(std::time::Duration::from_millis(5));
+                pool.complete(h, 42);
+            })
+        };
+        assert_eq!(pool.wait_take(h), Some(42));
+        completer.join().expect("completer");
+    }
+
+    /// The offload pattern under stress: many "application" threads
+    /// allocate and wait; one "offload" thread completes. Every allocation
+    /// must round-trip its unique payload exactly once.
+    #[test]
+    fn producer_completer_stress() {
+        const APP_THREADS: u64 = 4;
+        const PER: u64 = 500;
+        let pool: Arc<RequestPool<u64>> = Arc::new(RequestPool::with_capacity(16));
+        let work: Arc<crate::queue::MpmcQueue<(Handle, u64)>> =
+            Arc::new(crate::queue::MpmcQueue::with_capacity(64));
+        let offload = {
+            let pool = pool.clone();
+            let work = work.clone();
+            thread::spawn(move || {
+                let mut served = 0;
+                while served < APP_THREADS * PER {
+                    if let Some((h, v)) = work.pop() {
+                        pool.complete(h, v * 2);
+                        served += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+        let apps: Vec<_> = (0..APP_THREADS)
+            .map(|t| {
+                let pool = pool.clone();
+                let work = work.clone();
+                thread::spawn(move || {
+                    for i in 0..PER {
+                        let v = t * PER + i;
+                        let h = pool.alloc_blocking();
+                        work.push_blocking((h, v));
+                        assert_eq!(pool.wait_take(h), Some(v * 2));
+                    }
+                })
+            })
+            .collect();
+        for a in apps {
+            a.join().expect("app thread");
+        }
+        offload.join().expect("offload thread");
+        assert_eq!(pool.outstanding(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The lock-free bounded MPMC command queue (paper §3.1, §3.3).
+//!
+//! Application threads (any number, concurrently — this is what makes the
+//! infrastructure's `MPI_THREAD_MULTIPLE` support scale) enqueue serialized
+//! MPI commands; the single offload thread dequeues them. The design is the
+//! classic Dmitry Vyukov bounded MPMC ring: each slot carries a sequence
+//! number that encodes both *which lap* of the ring it belongs to and
+//! whether it currently holds a value, so producers and consumers
+//! synchronize per-slot with one CAS on the shared cursor and
+//! acquire/release accesses on the slot sequence — no locks anywhere.
+//!
+//! Memory ordering notes (see *Rust Atomics and Locks*, ch. 3):
+//! * A producer publishes its value with `seq.store(pos + 1, Release)`;
+//!   the consumer's `seq.load(Acquire)` then happens-after the value write.
+//! * Symmetrically the consumer releases the emptied slot with
+//!   `seq.store(pos + mask + 1, Release)` for the producer's next lap.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free multi-producer/multi-consumer queue.
+pub struct MpmcQueue<T> {
+    buffer: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: values are transferred between threads through the queue with
+// release/acquire handoff on each slot's sequence number; a slot's value is
+// accessed only by the unique thread that won the corresponding CAS.
+unsafe impl<T: Send> Send for MpmcQueue<T> {}
+unsafe impl<T: Send> Sync for MpmcQueue<T> {}
+
+impl<T> MpmcQueue<T> {
+    /// Create a queue with capacity `cap` (rounded up to a power of two,
+    /// minimum 2).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            buffer,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Try to enqueue; returns the value back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    // Slot free for this lap: claim it.
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: winning the CAS gives exclusive write
+                            // access to this slot until we bump `seq`.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return Err(value), // full (lap behind)
+                _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Try to dequeue; `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: winning the CAS gives exclusive read
+                            // access; the producer's Release store on `seq`
+                            // made the value visible.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq
+                                .store(pos + self.mask + 1, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Spin (with yields) until the value is enqueued. Used by application
+    /// threads when the command queue is momentarily full.
+    pub fn push_blocking(&self, mut value: T) {
+        let mut spins = 0u32;
+        loop {
+            match self.push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    value = v;
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate number of queued items (racy; diagnostics only).
+    pub fn approx_len(&self) -> usize {
+        let e = self.enqueue_pos.load(Ordering::Relaxed);
+        let d = self.dequeue_pos.load(Ordering::Relaxed);
+        e.saturating_sub(d)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.approx_len() == 0
+    }
+}
+
+impl<T> Drop for MpmcQueue<T> {
+    fn drop(&mut self) {
+        // Drain any remaining values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = MpmcQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(i).expect("has room");
+        }
+        assert!(q.push(99).is_err(), "queue is full");
+        for i in 0..8 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(MpmcQueue::<u8>::with_capacity(0).capacity(), 2);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(8).capacity(), 8);
+        assert_eq!(MpmcQueue::<u8>::with_capacity(9).capacity(), 16);
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let q = MpmcQueue::with_capacity(4);
+        for lap in 0..100 {
+            for i in 0..4 {
+                q.push(lap * 4 + i).expect("room");
+            }
+            for i in 0..4 {
+                assert_eq!(q.pop(), Some(lap * 4 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_dropped_on_queue_drop() {
+        let counter = Arc::new(AtomicU64::new(0));
+        struct Tracked(Arc<AtomicU64>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q = MpmcQueue::with_capacity(8);
+            for _ in 0..5 {
+                q.push(Tracked(counter.clone())).map_err(|_| ()).unwrap();
+            }
+            let _ = q.pop(); // 1 dropped here
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    /// MPSC stress: many producers, one consumer (the offload pattern).
+    /// On a single-core host this still exercises the atomics via
+    /// preemption.
+    #[test]
+    fn mpsc_stress_preserves_all_items() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 2_000;
+        let q = Arc::new(MpmcQueue::with_capacity(64));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    q.push_blocking(p * PER + i);
+                }
+            }));
+        }
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut seen = vec![Vec::new(); PRODUCERS as usize];
+                let mut got = 0;
+                while got < PRODUCERS * PER {
+                    if let Some(v) = q.pop() {
+                        seen[(v / PER) as usize].push(v % PER);
+                        got += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().expect("producer");
+        }
+        let seen = consumer.join().expect("consumer");
+        for (p, items) in seen.iter().enumerate() {
+            assert_eq!(items.len() as u64, PER, "producer {p} count");
+            // Per-producer FIFO must be preserved.
+            assert!(
+                items.windows(2).all(|w| w[0] < w[1]),
+                "producer {p} order violated"
+            );
+        }
+    }
+
+    /// MPMC stress: concurrent producers and consumers; total multiset of
+    /// items must be preserved exactly.
+    #[test]
+    fn mpmc_stress_no_loss_no_duplication() {
+        const N: u64 = 4_000;
+        let q = Arc::new(MpmcQueue::with_capacity(32));
+        let sum = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..N {
+                        q.push_blocking(p * N + i + 1);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                let sum = sum.clone();
+                let count = count.clone();
+                thread::spawn(move || loop {
+                    if count.load(Ordering::SeqCst) >= 2 * N {
+                        break;
+                    }
+                    if let Some(v) = q.pop() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().expect("producer");
+        }
+        for h in consumers {
+            h.join().expect("consumer");
+        }
+        let expect: u64 = (1..=N).sum::<u64>() + (N + 1..=2 * N).sum::<u64>();
+        assert_eq!(count.load(Ordering::SeqCst), 2 * N);
+        assert_eq!(sum.load(Ordering::SeqCst), expect);
+    }
+}

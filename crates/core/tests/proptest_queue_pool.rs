@@ -1,0 +1,110 @@
+//! Property-based tests of the lock-free structures against reference
+//! models: any interleaving of operations must behave like the sequential
+//! model (single-threaded linearization), and pool handles must never
+//! alias live slots.
+
+use offload::{MpmcQueue, RequestPool};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Push(u32),
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![any::<u32>().prop_map(QueueOp::Push), Just(QueueOp::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    /// Single-threaded, the lock-free queue is exactly a bounded FIFO.
+    #[test]
+    fn queue_matches_fifo_model(ops in queue_ops(), cap in 1usize..32) {
+        let q: MpmcQueue<u32> = MpmcQueue::with_capacity(cap);
+        let real_cap = q.capacity();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                QueueOp::Push(v) => {
+                    let got = q.push(v);
+                    if model.len() < real_cap {
+                        prop_assert!(got.is_ok(), "push rejected below capacity");
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(got, Err(v), "push accepted beyond capacity");
+                    }
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+        }
+        // Drain and compare the tails.
+        while let Some(v) = q.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// The pool never hands out two live handles to the same slot, and
+    /// free slots always come back.
+    #[test]
+    fn pool_never_aliases_live_slots(script in prop::collection::vec(any::<bool>(), 1..300), cap in 1usize..16) {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(cap);
+        let mut live: Vec<offload::Handle> = Vec::new();
+        for alloc in script {
+            if alloc {
+                match pool.alloc() {
+                    Some(h) => {
+                        prop_assert!(live.len() < cap, "alloc past capacity");
+                        for other in &live {
+                            prop_assert!(
+                                other.index() != h.index(),
+                                "slot {} aliased",
+                                h.index()
+                            );
+                        }
+                        live.push(h);
+                    }
+                    None => prop_assert_eq!(live.len(), cap, "spurious exhaustion"),
+                }
+            } else if let Some(h) = live.pop() {
+                pool.free(h);
+            }
+        }
+        prop_assert_eq!(pool.outstanding(), live.len());
+        // Everything can be released and reacquired.
+        for h in live.drain(..) {
+            pool.free(h);
+        }
+        let all: Vec<_> = (0..cap).map(|_| pool.alloc().expect("full capacity")).collect();
+        prop_assert!(pool.alloc().is_none());
+        for h in all {
+            pool.free(h);
+        }
+    }
+
+    /// Completion values round-trip exactly, and stale (freed) handles
+    /// never read as done.
+    #[test]
+    fn pool_completion_roundtrip(values in prop::collection::vec(any::<u32>(), 1..64)) {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(8);
+        let mut stale: Vec<offload::Handle> = Vec::new();
+        for v in values {
+            let h = pool.alloc_blocking();
+            prop_assert!(!pool.is_done(h));
+            pool.complete(h, v);
+            prop_assert!(pool.is_done(h));
+            prop_assert_eq!(pool.take(h), Some(v));
+            pool.free(h);
+            for s in &stale {
+                prop_assert!(!pool.is_done(*s), "stale handle reads done");
+            }
+            stale.push(h);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Unbounded in-simulation channels (MPMC over simulated threads).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChanInner<T> {
+    queue: RefCell<VecDeque<T>>,
+    waiters: RefCell<VecDeque<Waker>>,
+    senders: std::cell::Cell<usize>,
+}
+
+/// Create an unbounded channel. Any number of producers/consumers (they are
+/// all tasks on the single-threaded executor).
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(ChanInner {
+        queue: RefCell::new(VecDeque::new()),
+        waiters: RefCell::new(VecDeque::new()),
+        senders: std::cell::Cell::new(1),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Sending half. Cloning increments the sender count; when all senders drop,
+/// receivers see `None` after the queue drains.
+pub struct Sender<T> {
+    inner: Rc<ChanInner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.set(self.inner.senders.get() + 1);
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let n = self.inner.senders.get() - 1;
+        self.inner.senders.set(n);
+        if n == 0 {
+            // Wake receivers so they can observe disconnection.
+            for w in self.inner.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value, waking one waiting receiver.
+    pub fn send(&self, value: T) {
+        self.inner.queue.borrow_mut().push_back(value);
+        if let Some(w) = self.inner.waiters.borrow_mut().pop_front() {
+            w.wake();
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    inner: Rc<ChanInner<T>>,
+}
+
+// Manual impl: cloning a receiver never clones values, so no `T: Clone`
+// bound (a `derive` would add one).
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next value; `None` once all senders dropped and the queue
+    /// is empty.
+    pub fn recv(&self) -> Recv<T> {
+        Recv {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.borrow_mut().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+pub struct Recv<T> {
+    inner: Rc<ChanInner<T>>,
+}
+
+impl<T> Future for Recv<T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        if let Some(v) = self.inner.queue.borrow_mut().pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if self.inner.senders.get() == 0 {
+            return Poll::Ready(None);
+        }
+        self.inner.waiters.borrow_mut().push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    #[test]
+    fn send_then_recv() {
+        Sim::new().run(|_env| async move {
+            let (tx, rx) = channel();
+            tx.send(1u32);
+            tx.send(2);
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+        });
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        Sim::new().run(|env| async move {
+            let (tx, rx) = channel();
+            let env2 = env.clone();
+            let producer = env.spawn(async move {
+                env2.advance(250).await;
+                tx.send(7u32);
+            });
+            assert_eq!(rx.recv().await, Some(7));
+            assert_eq!(env.now(), 250);
+            producer.join().await;
+        });
+    }
+
+    #[test]
+    fn disconnection_yields_none() {
+        Sim::new().run(|env| async move {
+            let (tx, rx) = channel::<u32>();
+            let env2 = env.clone();
+            let producer = env.spawn(async move {
+                tx.send(1);
+                env2.advance(10).await;
+                drop(tx);
+            });
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, None);
+            producer.join().await;
+        });
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        Sim::new().run(|_env| async move {
+            let (tx, rx) = channel();
+            assert_eq!(rx.try_recv(), None);
+            tx.send(3u8);
+            assert_eq!(rx.try_recv(), Some(3));
+        });
+    }
+
+    #[test]
+    fn multiple_receivers_share_fifo() {
+        Sim::new().run(|env| async move {
+            let (tx, rx) = channel();
+            let rx2 = rx.clone();
+            let a = env.spawn(async move { rx.recv().await });
+            let b = env.spawn(async move { rx2.recv().await });
+            env.advance(1).await;
+            tx.send(10u32);
+            tx.send(20u32);
+            let (x, y) = (a.join().await, b.join().await);
+            let mut got = vec![x.unwrap(), y.unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![10, 20]);
+        });
+    }
+}

@@ -1,0 +1,538 @@
+//! The deterministic single-threaded executor and virtual clock.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::sync::Flag;
+use crate::Nanos;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// State shared between [`Env`] handles and the executor.
+pub(crate) struct Core {
+    now: Cell<Nanos>,
+    seq: Cell<u64>,
+    /// Pending timers, earliest first.
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    /// Futures spawned while the executor is running, collected on the next
+    /// scheduling step.
+    spawned: RefCell<Vec<(usize, LocalFuture)>>,
+    next_task_id: Cell<usize>,
+    live_tasks: Cell<usize>,
+    /// Tasks woken at the current instant; drained FIFO for determinism.
+    ready: Arc<Mutex<Vec<usize>>>,
+    /// Total events processed; guards against runaway simulations.
+    events: Cell<u64>,
+    max_events: Cell<u64>,
+}
+
+struct TimerEntry {
+    deadline: Nanos,
+    seq: u64,
+    fired: Rc<Cell<bool>>,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Waker implementation: pushes the task id onto the shared ready list.
+struct TaskWaker {
+    id: usize,
+    ready: Arc<Mutex<Vec<usize>>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        let mut q = self.ready.lock().expect("ready list poisoned");
+        if !q.contains(&self.id) {
+            q.push(self.id);
+        }
+    }
+}
+
+/// A handle to the simulation usable from inside tasks: spawn, read the
+/// clock, advance virtual time. Cheap to clone.
+#[derive(Clone)]
+pub struct Env {
+    core: Rc<Core>,
+}
+
+impl Env {
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.core.now.get()
+    }
+
+    /// Advance this task's virtual time by `dt` nanoseconds (models the task
+    /// computing / busy for that long). `advance(0)` is a deterministic
+    /// yield point: the task is re-queued at the current instant.
+    pub fn advance(&self, dt: Nanos) -> Sleep {
+        Sleep {
+            core: self.core.clone(),
+            deadline: self.core.now.get().saturating_add(dt),
+            fired: None,
+        }
+    }
+
+    /// Sleep until an absolute virtual deadline (no-op if in the past).
+    pub fn sleep_until(&self, deadline: Nanos) -> Sleep {
+        Sleep {
+            core: self.core.clone(),
+            deadline,
+            fired: None,
+        }
+    }
+
+    /// Spawn a task; returns a [`JoinHandle`] resolving to its output.
+    pub fn spawn<T: 'static, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+    {
+        let id = self.core.next_task_id.get();
+        self.core.next_task_id.set(id + 1);
+        self.core.live_tasks.set(self.core.live_tasks.get() + 1);
+        let slot: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let done = Flag::new();
+        let handle = JoinHandle {
+            slot: slot.clone(),
+            done: done.clone(),
+        };
+        let wrapped = Box::pin(async move {
+            let out = fut.await;
+            *slot.borrow_mut() = Some(out);
+            done.set();
+        });
+        self.core.spawned.borrow_mut().push((id, wrapped));
+        // Make the new task runnable at the current instant.
+        self.core
+            .ready
+            .lock()
+            .expect("ready list poisoned")
+            .push(id);
+        handle
+    }
+
+    pub(crate) fn register_timer(&self, deadline: Nanos, fired: Rc<Cell<bool>>, waker: Waker) {
+        let seq = self.core.seq.get();
+        self.core.seq.set(seq + 1);
+        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            fired,
+            waker,
+        }));
+    }
+}
+
+/// Future returned by [`Env::advance`] / [`Env::sleep_until`].
+pub struct Sleep {
+    core: Rc<Core>,
+    deadline: Nanos,
+    fired: Option<Rc<Cell<bool>>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &self.fired {
+            Some(flag) => {
+                if flag.get() {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+            None => {
+                // Even for an already-expired deadline we go through the
+                // timer heap so that `advance(0)` acts as a fair yield.
+                let flag = Rc::new(Cell::new(false));
+                let deadline = self.deadline.max(self.core.now.get());
+                let env = Env {
+                    core: self.core.clone(),
+                };
+                env.register_timer(deadline, flag.clone(), cx.waker().clone());
+                self.fired = Some(flag);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<Option<T>>>,
+    done: Flag,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in virtual time) for the task to complete and take its output.
+    pub async fn join(self) -> T {
+        self.done.wait().await;
+        self.slot
+            .borrow_mut()
+            .take()
+            .expect("task output already taken")
+    }
+
+    /// True once the task has completed.
+    pub fn is_done(&self) -> bool {
+        self.done.is_set()
+    }
+}
+
+/// The simulation executor.
+pub struct Sim {
+    core: Rc<Core>,
+    tasks: Vec<Option<(usize, LocalFuture)>>,
+    /// Map from task id to slot in `tasks`; ids are dense so a Vec works.
+    index: Vec<Option<usize>>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    pub fn new() -> Self {
+        Self {
+            core: Rc::new(Core {
+                now: Cell::new(0),
+                seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                spawned: RefCell::new(Vec::new()),
+                next_task_id: Cell::new(0),
+                live_tasks: Cell::new(0),
+                ready: Arc::new(Mutex::new(Vec::new())),
+                events: Cell::new(0),
+                max_events: Cell::new(u64::MAX),
+            }),
+            tasks: Vec::new(),
+            index: Vec::new(),
+        }
+    }
+
+    /// Abort (panic) after this many scheduling events; a backstop against
+    /// accidentally non-terminating models.
+    pub fn with_max_events(self, max: u64) -> Self {
+        self.core.max_events.set(max);
+        self
+    }
+
+    /// Run a root task to completion together with everything it spawns.
+    /// Returns the final virtual time in nanoseconds.
+    ///
+    /// Panics on deadlock (runnable set empty, no timers pending, tasks
+    /// remaining).
+    pub fn run<T: 'static, F, Fut>(mut self, root: F) -> Nanos
+    where
+        F: FnOnce(Env) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
+        let env = Env {
+            core: self.core.clone(),
+        };
+        let _root_handle = env.spawn(root(env.clone()));
+        loop {
+            self.adopt_spawned();
+            // Drain every task runnable at the current instant.
+            loop {
+                let next = {
+                    let mut q = self.core.ready.lock().expect("ready list poisoned");
+                    if q.is_empty() {
+                        None
+                    } else {
+                        Some(q.remove(0))
+                    }
+                };
+                let Some(id) = next else { break };
+                self.poll_task(id);
+                self.adopt_spawned();
+            }
+            // Nothing runnable now: advance the clock to the next timer.
+            let fired_any = self.fire_next_timer_batch();
+            if !fired_any {
+                if self.core.live_tasks.get() == 0 {
+                    return self.core.now.get();
+                }
+                panic!(
+                    "destime: deadlock at t={}ns with {} live task(s) \
+                     (no runnable task, no pending timer)",
+                    self.core.now.get(),
+                    self.core.live_tasks.get()
+                );
+            }
+        }
+    }
+
+    fn adopt_spawned(&mut self) {
+        let new = std::mem::take(&mut *self.core.spawned.borrow_mut());
+        for (id, fut) in new {
+            if self.index.len() <= id {
+                self.index.resize(id + 1, None);
+            }
+            self.index[id] = Some(self.tasks.len());
+            self.tasks.push(Some((id, fut)));
+        }
+    }
+
+    fn poll_task(&mut self, id: usize) {
+        let Some(Some(slot)) = self.index.get(id).copied().map(Some) else {
+            return;
+        };
+        let Some(slot) = slot else { return };
+        let Some((tid, mut fut)) = self.tasks[slot].take() else {
+            return; // already completed
+        };
+        debug_assert_eq!(tid, id);
+        let ev = self.core.events.get() + 1;
+        self.core.events.set(ev);
+        assert!(
+            ev <= self.core.max_events.get(),
+            "destime: exceeded max_events={} (runaway simulation?)",
+            self.core.max_events.get()
+        );
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.core.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.core.live_tasks.set(self.core.live_tasks.get() - 1);
+                self.index[id] = None;
+            }
+            Poll::Pending => {
+                self.tasks[slot] = Some((id, fut));
+            }
+        }
+    }
+
+    /// Pop all timers sharing the earliest deadline; returns false if none.
+    fn fire_next_timer_batch(&mut self) -> bool {
+        let mut timers = self.core.timers.borrow_mut();
+        let Some(Reverse(first)) = timers.pop() else {
+            return false;
+        };
+        let t = first.deadline;
+        debug_assert!(t >= self.core.now.get(), "timer in the past");
+        self.core.now.set(t);
+        first.fired.set(true);
+        first.waker.wake();
+        while let Some(Reverse(entry)) = timers.peek() {
+            if entry.deadline != t {
+                break;
+            }
+            let Reverse(entry) = timers.pop().expect("peeked entry vanished");
+            entry.fired.set(true);
+            entry.waker.wake();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let t = Sim::new().run(|env| async move {
+            assert_eq!(env.now(), 0);
+            env.advance(100).await;
+            assert_eq!(env.now(), 100);
+            env.advance(50).await;
+            assert_eq!(env.now(), 150);
+        });
+        assert_eq!(t, 150);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop_in_time() {
+        let t = Sim::new().run(|env| async move {
+            env.advance(100).await;
+            env.sleep_until(40).await; // in the past: wakes at 100
+            assert_eq!(env.now(), 100);
+        });
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_deterministically() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        Sim::new().run({
+            let order = order.clone();
+            move |env| async move {
+                let mut handles = Vec::new();
+                for i in 0..3u64 {
+                    let env2 = env.clone();
+                    let order = order.clone();
+                    handles.push(env.spawn(async move {
+                        env2.advance(10 * (3 - i)).await;
+                        order.borrow_mut().push(i);
+                    }));
+                }
+                for h in handles {
+                    h.join().await;
+                }
+            }
+        });
+        // Task 2 sleeps 10ns, task 1 sleeps 20ns, task 0 sleeps 30ns.
+        assert_eq!(*order.borrow(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        Sim::new().run({
+            let order = order.clone();
+            move |env| async move {
+                let mut handles = Vec::new();
+                for i in 0..4u64 {
+                    let env2 = env.clone();
+                    let order = order.clone();
+                    handles.push(env.spawn(async move {
+                        env2.advance(100).await;
+                        order.borrow_mut().push(i);
+                    }));
+                }
+                for h in handles {
+                    h.join().await;
+                }
+            }
+        });
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        Sim::new().run(|env| async move {
+            let h = env.spawn(async { "hello" });
+            assert_eq!(h.join().await, "hello");
+        });
+    }
+
+    #[test]
+    fn join_waits_for_completion_time() {
+        Sim::new().run(|env| async move {
+            let env2 = env.clone();
+            let h = env.spawn(async move {
+                env2.advance(777).await;
+                5u8
+            });
+            let v = h.join().await;
+            assert_eq!(v, 5);
+            assert_eq!(env.now(), 777);
+        });
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let t = Sim::new().run(|env| async move {
+            let env2 = env.clone();
+            let outer = env.spawn(async move {
+                let env3 = env2.clone();
+                let inner = env2.spawn(async move {
+                    env3.advance(10).await;
+                    1u32
+                });
+                inner.join().await + 1
+            });
+            assert_eq!(outer.join().await, 2);
+        });
+        assert_eq!(t, 10);
+    }
+
+    #[test]
+    fn advance_zero_yields_fairly() {
+        // Two tasks ping-ponging with advance(0) should interleave rather
+        // than one starving the other.
+        let order = Rc::new(RefCell::new(Vec::new()));
+        Sim::new().run({
+            let order = order.clone();
+            move |env| async move {
+                let mut handles = Vec::new();
+                for id in 0..2u64 {
+                    let env2 = env.clone();
+                    let order = order.clone();
+                    handles.push(env.spawn(async move {
+                        for _ in 0..3 {
+                            order.borrow_mut().push(id);
+                            env2.advance(0).await;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().await;
+                }
+            }
+        });
+        assert_eq!(*order.borrow(), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        Sim::new().run(|env| async move {
+            let flag = crate::sync::Flag::new();
+            // Nobody ever sets the flag.
+            let _ = env;
+            flag.wait().await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn runaway_guard_trips() {
+        Sim::new().with_max_events(100).run(|env| async move {
+            loop {
+                env.advance(1).await;
+            }
+        });
+    }
+
+    #[test]
+    fn runs_many_tasks() {
+        let t = Sim::new().run(|env| async move {
+            let mut handles = Vec::new();
+            for i in 0..1000u64 {
+                let env2 = env.clone();
+                handles.push(env.spawn(async move {
+                    env2.advance(i % 97).await;
+                    i
+                }));
+            }
+            let mut total = 0;
+            for h in handles {
+                total += h.join().await;
+            }
+            assert_eq!(total, 999 * 1000 / 2);
+        });
+        assert_eq!(t, 96);
+    }
+}

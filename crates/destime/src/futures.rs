@@ -1,0 +1,90 @@
+//! Minimal future combinators needed by the simulation layers.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Outcome of [`race`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    Left(A),
+    Right(B),
+}
+
+/// Run two futures concurrently; resolve with whichever finishes first
+/// (left wins ties). The loser is dropped.
+pub fn race<FA, FB>(a: FA, b: FB) -> Race<FA, FB> {
+    Race { a, b }
+}
+
+pub struct Race<FA, FB> {
+    a: FA,
+    b: FB,
+}
+
+impl<FA, FB> Future for Race<FA, FB>
+where
+    FA: Future + Unpin,
+    FB: Future + Unpin,
+{
+    type Output = Either<FA::Output, FB::Output>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        if let Poll::Ready(v) = Pin::new(&mut this.a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut this.b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, Env};
+
+    #[test]
+    fn left_wins_tie() {
+        Sim::new().run(|env: Env| async move {
+            let a = env.advance(100);
+            let b = env.advance(100);
+            match race(a, b).await {
+                Either::Left(()) => {}
+                Either::Right(()) => panic!("left should win ties"),
+            }
+            assert_eq!(env.now(), 100);
+        });
+    }
+
+    #[test]
+    fn earlier_deadline_wins() {
+        Sim::new().run(|env: Env| async move {
+            let a = env.advance(200);
+            let b = env.advance(50);
+            match race(a, b).await {
+                Either::Right(()) => assert_eq!(env.now(), 50),
+                Either::Left(()) => panic!("right should win"),
+            }
+        });
+    }
+
+    #[test]
+    fn signal_vs_deadline() {
+        Sim::new().run(|env: Env| async move {
+            let sig = crate::sync::Signal::new();
+            let s2 = sig.clone();
+            let env2 = env.clone();
+            let notifier = env.spawn(async move {
+                env2.advance(30).await;
+                s2.notify();
+            });
+            match race(sig.wait(), env.advance(1000)).await {
+                Either::Left(()) => assert_eq!(env.now(), 30),
+                Either::Right(()) => panic!("signal should win"),
+            }
+            notifier.join().await;
+        });
+    }
+}

@@ -1,0 +1,68 @@
+//! `destime` — a deterministic discrete-event simulation (DES) engine built
+//! on single-threaded `async` tasks over a **virtual clock**.
+//!
+//! # Why a DES?
+//!
+//! The SC'15 offloading paper measures phenomena — compute/communication
+//! overlap, posting latency, lock contention under `MPI_THREAD_MULTIPLE` —
+//! across hundreds of cluster nodes. Reproducing those *timings* with real
+//! OS threads on this machine would measure the host scheduler, not the
+//! modelled system. Instead, every simulated hardware thread is an async
+//! task; "computing for `t` ns" is [`Env::advance`], which schedules the
+//! task's wake-up on the virtual clock. The executor runs tasks one at a
+//! time in a deterministic `(time, sequence)` order, so simulated runs are
+//! bit-for-bit reproducible and can model arbitrarily many nodes.
+//!
+//! # Model
+//!
+//! * Virtual time is `u64` nanoseconds ([`Nanos`]).
+//! * Tasks only advance time explicitly (via [`Env::advance`] / timers).
+//!   Everything executed between two awaits is logically instantaneous.
+//! * Synchronization primitives ([`sync::Signal`], [`sync::Flag`],
+//!   [`sync::SimMutex`], [`sync::SimBarrier`]) wake waiters at the current
+//!   virtual instant; queueing delays are therefore *modelled*, emerging
+//!   from who holds what when — exactly what we need to reproduce lock
+//!   contention inside an MPI implementation.
+//! * If no task is runnable and no timer is pending while tasks remain, the
+//!   simulation is deadlocked and the executor panics with a diagnostic
+//!   (this catches protocol bugs such as a rendezvous with nobody polling
+//!   the progress engine — unless the model *intends* that stall and uses a
+//!   timeout).
+//!
+//! # Example
+//!
+//! ```
+//! use destime::Sim;
+//!
+//! let elapsed = Sim::new().run(|env| async move {
+//!     let worker = env.spawn({
+//!         let env = env.clone();
+//!         async move {
+//!             env.advance(500).await; // 500ns of simulated work
+//!             42u32
+//!         }
+//!     });
+//!     let value = worker.join().await;
+//!     assert_eq!(value, 42);
+//!     assert_eq!(env.now(), 500);
+//! });
+//! assert_eq!(elapsed, 500);
+//! ```
+
+pub mod channel;
+pub mod executor;
+pub mod futures;
+pub mod sync;
+
+pub use executor::{Env, JoinHandle, Sim};
+pub use futures::{race, Either};
+
+/// Virtual time in nanoseconds.
+pub type Nanos = u64;
+
+/// 1 microsecond in [`Nanos`].
+pub const MICRO: Nanos = 1_000;
+/// 1 millisecond in [`Nanos`].
+pub const MILLI: Nanos = 1_000_000;
+/// 1 second in [`Nanos`].
+pub const SEC: Nanos = 1_000_000_000;

@@ -1,0 +1,646 @@
+//! Virtual-time synchronization primitives.
+//!
+//! All primitives are single-threaded (`Rc`-based): they synchronize
+//! *simulated* threads (tasks) on the virtual clock, not OS threads. Wakes
+//! take effect at the current virtual instant; any modelled cost (lock hold
+//! times, wake-up latencies) is expressed by the caller with
+//! [`crate::Env::advance`].
+
+use std::cell::{Cell, RefCell, RefMut};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// Flag: level-triggered one-way latch.
+// ---------------------------------------------------------------------------
+
+struct FlagInner {
+    set: Cell<bool>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// A one-shot, level-triggered latch: once [`Flag::set`] is called, all
+/// current and future [`Flag::wait`]s complete immediately.
+///
+/// This is the DES analogue of the paper's per-request *done flag* that
+/// application threads spin on while the offload thread completes their MPI
+/// operation.
+#[derive(Clone)]
+pub struct Flag {
+    inner: Rc<FlagInner>,
+}
+
+impl Default for Flag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Flag {
+    pub fn new() -> Self {
+        Self {
+            inner: Rc::new(FlagInner {
+                set: Cell::new(false),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Latch the flag and wake all waiters.
+    pub fn set(&self) {
+        if !self.inner.set.replace(true) {
+            for w in self.inner.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    pub fn is_set(&self) -> bool {
+        self.inner.set.get()
+    }
+
+    /// Complete once the flag is set.
+    pub fn wait(&self) -> FlagWait {
+        FlagWait {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+pub struct FlagWait {
+    inner: Rc<FlagInner>,
+}
+
+impl Future for FlagWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.set.get() {
+            Poll::Ready(())
+        } else {
+            self.inner.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signal: edge-triggered broadcast with an epoch counter.
+// ---------------------------------------------------------------------------
+
+struct SignalInner {
+    epoch: Cell<u64>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// Edge-triggered broadcast: [`Signal::wait`] completes when
+/// [`Signal::notify`] is called *after* the wait future was created.
+///
+/// Because the executor is single-threaded, the usual check-then-wait race
+/// does not exist: create the wait future, re-check your predicate, then
+/// await it.
+#[derive(Clone)]
+pub struct Signal {
+    inner: Rc<SignalInner>,
+}
+
+impl Default for Signal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Signal {
+    pub fn new() -> Self {
+        Self {
+            inner: Rc::new(SignalInner {
+                epoch: Cell::new(0),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Wake every waiter currently registered or holding a pre-created wait
+    /// future.
+    pub fn notify(&self) {
+        self.inner.epoch.set(self.inner.epoch.get() + 1);
+        for w in self.inner.waiters.borrow_mut().drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Current epoch (number of notifies so far).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.get()
+    }
+
+    /// Future completing at the next `notify` after this call.
+    pub fn wait(&self) -> SignalWait {
+        SignalWait {
+            inner: self.inner.clone(),
+            seen: self.inner.epoch.get(),
+        }
+    }
+}
+
+pub struct SignalWait {
+    inner: Rc<SignalInner>,
+    seen: u64,
+}
+
+impl Future for SignalWait {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.epoch.get() != self.seen {
+            Poll::Ready(())
+        } else {
+            self.inner.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimMutex: FIFO mutex over simulated threads.
+// ---------------------------------------------------------------------------
+
+struct LockWaiter {
+    granted: Rc<Cell<bool>>,
+    waker: Waker,
+}
+
+struct MutexInner<T> {
+    locked: Cell<bool>,
+    queue: RefCell<VecDeque<LockWaiter>>,
+    value: RefCell<T>,
+    contended: Cell<u64>,
+    acquisitions: Cell<u64>,
+}
+
+/// A FIFO mutex for simulated threads.
+///
+/// This is the building block for modelling the *global lock inside an MPI
+/// implementation* under `MPI_THREAD_MULTIPLE`: callers hold it for the
+/// modelled critical-section duration (`env.advance(cost)` while holding the
+/// guard), and queueing delays under contention then emerge naturally.
+pub struct SimMutex<T> {
+    inner: Rc<MutexInner<T>>,
+}
+
+impl<T> Clone for SimMutex<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> SimMutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Rc::new(MutexInner {
+                locked: Cell::new(false),
+                queue: RefCell::new(VecDeque::new()),
+                value: RefCell::new(value),
+                contended: Cell::new(0),
+                acquisitions: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Acquire the mutex, queueing FIFO behind current waiters.
+    pub fn lock(&self) -> LockFuture<T> {
+        LockFuture {
+            inner: self.inner.clone(),
+            granted: None,
+        }
+    }
+
+    /// Number of acquisitions that had to queue (for contention metrics).
+    pub fn contended_acquisitions(&self) -> u64 {
+        self.inner.contended.get()
+    }
+
+    /// Total acquisitions.
+    pub fn total_acquisitions(&self) -> u64 {
+        self.inner.acquisitions.get()
+    }
+
+    /// True if currently held.
+    pub fn is_locked(&self) -> bool {
+        self.inner.locked.get()
+    }
+}
+
+pub struct LockFuture<T> {
+    inner: Rc<MutexInner<T>>,
+    granted: Option<Rc<Cell<bool>>>,
+}
+
+impl<T> Future for LockFuture<T> {
+    type Output = SimMutexGuard<T>;
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &self.granted {
+            Some(flag) => {
+                if flag.get() {
+                    // Ownership was transferred to us by the releaser.
+                    Poll::Ready(SimMutexGuard {
+                        inner: self.inner.clone(),
+                    })
+                } else {
+                    Poll::Pending
+                }
+            }
+            None => {
+                self.inner
+                    .acquisitions
+                    .set(self.inner.acquisitions.get() + 1);
+                if !self.inner.locked.replace(true) {
+                    Poll::Ready(SimMutexGuard {
+                        inner: self.inner.clone(),
+                    })
+                } else {
+                    self.inner.contended.set(self.inner.contended.get() + 1);
+                    let granted = Rc::new(Cell::new(false));
+                    self.inner.queue.borrow_mut().push_back(LockWaiter {
+                        granted: granted.clone(),
+                        waker: cx.waker().clone(),
+                    });
+                    self.granted = Some(granted);
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard; dropping releases the mutex and hands it to the next waiter.
+pub struct SimMutexGuard<T> {
+    inner: Rc<MutexInner<T>>,
+}
+
+impl<T> SimMutexGuard<T> {
+    /// Borrow the protected value mutably. The borrow must not be held
+    /// across an `.await` (enforced at runtime by `RefCell`).
+    pub fn get_mut(&self) -> RefMut<'_, T> {
+        self.inner.value.borrow_mut()
+    }
+}
+
+impl<T> Drop for SimMutexGuard<T> {
+    fn drop(&mut self) {
+        let next = self.inner.queue.borrow_mut().pop_front();
+        match next {
+            Some(w) => {
+                // Transfer ownership directly (mutex stays locked).
+                w.granted.set(true);
+                w.waker.wake();
+            }
+            None => {
+                self.inner.locked.set(false);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimBarrier: reusable barrier over a fixed team size.
+// ---------------------------------------------------------------------------
+
+struct BarrierInner {
+    n: usize,
+    arrived: Cell<usize>,
+    generation: Cell<u64>,
+    waiters: RefCell<Vec<Waker>>,
+}
+
+/// A reusable barrier for `n` simulated threads (the DES analogue of
+/// `#pragma omp barrier`). The last arriver is reported as the *leader*.
+#[derive(Clone)]
+pub struct SimBarrier {
+    inner: Rc<BarrierInner>,
+}
+
+impl SimBarrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            inner: Rc::new(BarrierInner {
+                n,
+                arrived: Cell::new(0),
+                generation: Cell::new(0),
+                waiters: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn participants(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Wait for all `n` participants; resolves to `true` for the last
+    /// arriver.
+    pub fn wait(&self) -> BarrierWait {
+        let arrived = self.inner.arrived.get() + 1;
+        if arrived == self.inner.n {
+            self.inner.arrived.set(0);
+            self.inner.generation.set(self.inner.generation.get() + 1);
+            for w in self.inner.waiters.borrow_mut().drain(..) {
+                w.wake();
+            }
+            BarrierWait {
+                inner: self.inner.clone(),
+                gen: 0,
+                leader: true,
+            }
+        } else {
+            self.inner.arrived.set(arrived);
+            BarrierWait {
+                inner: self.inner.clone(),
+                gen: self.inner.generation.get(),
+                leader: false,
+            }
+        }
+    }
+}
+
+pub struct BarrierWait {
+    inner: Rc<BarrierInner>,
+    gen: u64,
+    leader: bool,
+}
+
+impl Future for BarrierWait {
+    type Output = bool;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        if self.leader || self.inner.generation.get() != self.gen {
+            Poll::Ready(self.leader)
+        } else {
+            self.inner.waiters.borrow_mut().push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore: counting permits (used to model finite resources, e.g. cores).
+// ---------------------------------------------------------------------------
+
+struct SemWaiter {
+    granted: Rc<Cell<bool>>,
+    waker: Waker,
+}
+
+struct SemInner {
+    permits: Cell<usize>,
+    queue: RefCell<VecDeque<SemWaiter>>,
+}
+
+/// FIFO counting semaphore.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<SemInner>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Self {
+            inner: Rc::new(SemInner {
+                permits: Cell::new(permits),
+                queue: RefCell::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    pub fn available(&self) -> usize {
+        self.inner.permits.get()
+    }
+
+    /// Acquire one permit (FIFO).
+    pub fn acquire(&self) -> SemAcquire {
+        SemAcquire {
+            inner: self.inner.clone(),
+            granted: None,
+        }
+    }
+
+    /// Release one permit, waking the next waiter if any.
+    pub fn release(&self) {
+        let next = self.inner.queue.borrow_mut().pop_front();
+        match next {
+            Some(w) => {
+                w.granted.set(true);
+                w.waker.wake();
+            }
+            None => self.inner.permits.set(self.inner.permits.get() + 1),
+        }
+    }
+}
+
+pub struct SemAcquire {
+    inner: Rc<SemInner>,
+    granted: Option<Rc<Cell<bool>>>,
+}
+
+impl Future for SemAcquire {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        match &self.granted {
+            Some(flag) => {
+                if flag.get() {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+            None => {
+                let p = self.inner.permits.get();
+                if p > 0 {
+                    self.inner.permits.set(p - 1);
+                    Poll::Ready(())
+                } else {
+                    let granted = Rc::new(Cell::new(false));
+                    self.inner.queue.borrow_mut().push_back(SemWaiter {
+                        granted: granted.clone(),
+                        waker: cx.waker().clone(),
+                    });
+                    self.granted = Some(granted);
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+    use std::rc::Rc;
+
+    #[test]
+    fn flag_wakes_waiters_and_stays_set() {
+        Sim::new().run(|env| async move {
+            let flag = Flag::new();
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let f = flag.clone();
+                handles.push(env.spawn(async move {
+                    f.wait().await;
+                }));
+            }
+            let setter = {
+                let env2 = env.clone();
+                let f = flag.clone();
+                env.spawn(async move {
+                    env2.advance(100).await;
+                    f.set();
+                })
+            };
+            for h in handles {
+                h.join().await;
+            }
+            setter.join().await;
+            assert_eq!(env.now(), 100);
+            // Late waiters complete immediately.
+            flag.wait().await;
+            assert_eq!(env.now(), 100);
+        });
+    }
+
+    #[test]
+    fn mutex_serializes_and_is_fifo() {
+        Sim::new().run(|env| async move {
+            let m: SimMutex<Vec<u32>> = SimMutex::new(Vec::new());
+            let mut handles = Vec::new();
+            for i in 0..4u32 {
+                let env2 = env.clone();
+                let m2 = m.clone();
+                handles.push(env.spawn(async move {
+                    // Stagger arrival so queue order is deterministic.
+                    env2.advance(i as u64).await;
+                    let g = m2.lock().await;
+                    env2.advance(100).await; // critical section
+                    g.get_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.join().await;
+            }
+            let g = m.lock().await;
+            assert_eq!(&*g.get_mut(), &vec![0, 1, 2, 3]);
+            drop(g);
+            // 4 critical sections of 100ns serialized.
+            assert_eq!(env.now(), 400);
+            assert_eq!(m.contended_acquisitions(), 3);
+            assert_eq!(m.total_acquisitions(), 5);
+        });
+    }
+
+    #[test]
+    fn mutex_handoff_keeps_lock_held() {
+        Sim::new().run(|env| async move {
+            let m = SimMutex::new(());
+            let g = m.lock().await;
+            let m2 = m.clone();
+            let waiter = env.spawn(async move {
+                let _g = m2.lock().await;
+            });
+            env.advance(10).await;
+            assert!(m.is_locked());
+            drop(g); // hand off
+            waiter.join().await;
+            assert!(!m.is_locked());
+        });
+    }
+
+    #[test]
+    fn barrier_releases_all_and_reuses() {
+        Sim::new().run(|env| async move {
+            let bar = SimBarrier::new(3);
+            let hits = Rc::new(Cell::new(0u32));
+            let mut handles = Vec::new();
+            for i in 0..3u64 {
+                let env2 = env.clone();
+                let b = bar.clone();
+                let hits = hits.clone();
+                handles.push(env.spawn(async move {
+                    for round in 0..2u64 {
+                        env2.advance(10 * (i + 1) + round).await;
+                        b.wait().await;
+                        hits.set(hits.get() + 1);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().await;
+            }
+            assert_eq!(hits.get(), 6);
+        });
+    }
+
+    #[test]
+    fn barrier_leader_is_last_arriver() {
+        Sim::new().run(|env| async move {
+            let bar = SimBarrier::new(2);
+            let b2 = bar.clone();
+            let env2 = env.clone();
+            let h = env.spawn(async move {
+                env2.advance(100).await;
+                b2.wait().await
+            });
+            let early = bar.wait().await;
+            assert!(!early);
+            assert!(h.join().await);
+        });
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        Sim::new().run(|env| async move {
+            let sem = Semaphore::new(2);
+            let peak = Rc::new(Cell::new(0usize));
+            let cur = Rc::new(Cell::new(0usize));
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let env2 = env.clone();
+                let sem2 = sem.clone();
+                let peak = peak.clone();
+                let cur = cur.clone();
+                handles.push(env.spawn(async move {
+                    sem2.acquire().await;
+                    cur.set(cur.get() + 1);
+                    peak.set(peak.get().max(cur.get()));
+                    env2.advance(100).await;
+                    cur.set(cur.get() - 1);
+                    sem2.release();
+                }));
+            }
+            for h in handles {
+                h.join().await;
+            }
+            assert_eq!(peak.get(), 2);
+            // 6 jobs of 100ns at concurrency 2 => 300ns.
+            assert_eq!(env.now(), 300);
+        });
+    }
+
+    #[test]
+    fn signal_is_edge_triggered() {
+        Sim::new().run(|env| async move {
+            let sig = Signal::new();
+            let s2 = sig.clone();
+            let env2 = env.clone();
+            let h = env.spawn(async move {
+                let w = s2.wait();
+                w.await;
+                env2.now()
+            });
+            env.advance(50).await;
+            sig.notify();
+            assert_eq!(h.join().await, 50);
+        });
+    }
+}

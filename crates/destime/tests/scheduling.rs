@@ -1,0 +1,165 @@
+//! Integration tests of the DES executor's scheduling guarantees: the
+//! properties every layer above (mpisim timing, offload modelling) relies
+//! on.
+
+use destime::sync::{SimBarrier, SimMutex};
+use destime::{race, Either, Env, Sim};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn virtual_time_is_independent_of_task_count() {
+    // N tasks each computing 1ms concurrently finish at t=1ms for any N —
+    // tasks model threads on their own cores.
+    for n in [1usize, 10, 100, 1000] {
+        let t = Sim::new().run(move |env: Env| async move {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let env = env.clone();
+                    env.clone().spawn(async move { env.advance(1_000_000).await })
+                })
+                .collect();
+            for h in handles {
+                h.join().await;
+            }
+        });
+        assert_eq!(t, 1_000_000, "n={n}");
+    }
+}
+
+#[test]
+fn mutex_queueing_time_is_exact() {
+    // k tasks each holding a mutex for h ns serialize to exactly k*h.
+    for (k, h) in [(3u64, 500u64), (8, 1_000), (16, 250)] {
+        let t = Sim::new().run(move |env: Env| async move {
+            let m = SimMutex::new(());
+            let handles: Vec<_> = (0..k)
+                .map(|_| {
+                    let env = env.clone();
+                    let m = m.clone();
+                    env.clone().spawn(async move {
+                        let g = m.lock().await;
+                        env.advance(h).await;
+                        drop(g);
+                    })
+                })
+                .collect();
+            for hd in handles {
+                hd.join().await;
+            }
+        });
+        assert_eq!(t, k * h, "k={k} h={h}");
+    }
+}
+
+#[test]
+fn race_is_deterministic_under_identical_deadlines() {
+    for _ in 0..5 {
+        Sim::new().run(|env: Env| async move {
+            let a = env.advance(100);
+            let b = env.advance(100);
+            assert!(matches!(race(a, b).await, Either::Left(())));
+        });
+    }
+}
+
+#[test]
+fn repeated_runs_produce_identical_event_interleavings() {
+    let trace = || {
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        Sim::new().run(move |env: Env| {
+            let log = log2.clone();
+            async move {
+                let bar = SimBarrier::new(4);
+                let handles: Vec<_> = (0..4usize)
+                    .map(|i| {
+                        let env2 = env.clone();
+                        let log = log.clone();
+                        let bar = bar.clone();
+                        env.spawn(async move {
+                            for round in 0..5u64 {
+                                env2.advance((i as u64 * 13 + round * 7) % 40).await;
+                                log.borrow_mut().push((env2.now(), i));
+                                bar.wait().await;
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().await;
+                }
+            }
+        });
+        Rc::try_unwrap(log).expect("sole owner").into_inner()
+    };
+    assert_eq!(trace(), trace());
+}
+
+#[test]
+fn deeply_nested_spawn_chains_complete() {
+    // A chain of 500 tasks, each spawning the next.
+    fn link(env: Env, depth: usize) -> std::pin::Pin<Box<dyn std::future::Future<Output = u64>>> {
+        Box::pin(async move {
+            env.advance(1).await;
+            if depth == 0 {
+                env.now()
+            } else {
+                let env2 = env.clone();
+                env.spawn(link(env2, depth - 1)).join().await
+            }
+        })
+    }
+    Sim::new().run(|env: Env| async move {
+        let end = env.spawn(link(env.clone(), 500)).join().await;
+        assert_eq!(end, 501);
+    });
+}
+
+#[test]
+fn channel_throughput_is_unbounded_in_one_instant() {
+    // Channels carry any number of values without advancing the clock.
+    let t = Sim::new().run(|env: Env| async move {
+        let (tx, rx) = destime::channel::channel();
+        let producer = env.spawn(async move {
+            for i in 0..10_000u32 {
+                tx.send(i);
+            }
+        });
+        let consumer = env.spawn(async move {
+            let mut sum = 0u64;
+            for _ in 0..10_000 {
+                sum += rx.recv().await.expect("value") as u64;
+            }
+            sum
+        });
+        producer.join().await;
+        assert_eq!(consumer.join().await, 9_999 * 10_000 / 2);
+    });
+    assert_eq!(t, 0);
+}
+
+#[test]
+fn barrier_with_thousands_of_participants() {
+    let t = Sim::new().run(|env: Env| async move {
+        let bar = SimBarrier::new(2_000);
+        let handles: Vec<_> = (0..2_000u64)
+            .map(|i| {
+                let env2 = env.clone();
+                let bar = bar.clone();
+                env.spawn(async move {
+                    env2.advance(i % 97).await;
+                    bar.wait().await;
+                    env2.now()
+                })
+            })
+            .collect();
+        let mut exits = Vec::new();
+        for h in handles {
+            exits.push(h.join().await);
+        }
+        // Everyone leaves at the time of the last arriver.
+        assert!(exits.iter().all(|&t| t == 96));
+    });
+    assert_eq!(t, 96);
+}

@@ -1,0 +1,14 @@
+//! `fft1d` — distributed 1-D FFT application (paper §5.2).
+//!
+//! A real radix-2 local FFT, a real distributed transpose-algorithm FFT
+//! carrying complex data over the `Comm` abstraction (blocking and
+//! segmented/pipelined low-communication variants), and the discrete-event
+//! performance driver reproducing Table 2 and Figure 13.
+
+pub mod dist;
+pub mod local;
+pub mod sim_driver;
+
+pub use dist::{fft_dist, fft_dist_pipelined, DistPlan};
+pub use local::{dft, fft, fft_flops, ifft, max_rel_error};
+pub use sim_driver::{run_fft, FftConfig, FftReport};

@@ -1,0 +1,193 @@
+//! Node-local FFT kernels: iterative radix-2 Cooley–Tukey, the naive DFT
+//! reference, and inverse transforms.
+
+use numeric::Complex64;
+use std::f64::consts::TAU;
+
+/// In-place iterative radix-2 decimation-in-time FFT. `data.len()` must be
+/// a power of two.
+pub fn fft(data: &mut [Complex64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two size");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex64::one();
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (unnormalized forward conjugate trick, normalized by `1/n`).
+pub fn ifft(data: &mut [Complex64]) {
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        *c = c.conj();
+    }
+    fft(data);
+    for c in data.iter_mut() {
+        *c = c.conj().scale(1.0 / n);
+    }
+}
+
+/// O(N²) reference DFT.
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::zero();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -TAU * (k as f64) * (j as f64) / n as f64;
+                acc = acc.madd(x, Complex64::cis(ang));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// FLOP count of an N-point radix-2 complex FFT (the conventional
+/// `5 N log2 N` used in FFT performance reporting, e.g. Fig 13).
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// Maximum relative error between two complex vectors.
+pub fn max_rel_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let scale = b
+        .iter()
+        .map(|c| c.norm())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm() / scale)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::{Complex, SplitMix64};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Complex::new(rng.next_gaussian(), rng.next_gaussian()))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_dft_for_many_sizes() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256, 1024] {
+            let x = random_signal(n, 42 + n as u64);
+            let mut got = x.clone();
+            fft(&mut got);
+            let want = dft(&x);
+            assert!(
+                max_rel_error(&got, &want) < 1e-9,
+                "n={n}: rel err {}",
+                max_rel_error(&got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::zero(); 32];
+        x[0] = Complex64::one();
+        fft(&mut x);
+        for c in &x {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_is_a_spike() {
+        let n = 64;
+        let k0 = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(TAU * k0 as f64 * j as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, c) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((c.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(c.norm() < 1e-9, "leak at bin {k}: {}", c.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = random_signal(512, 7);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        assert!(max_rel_error(&y, &x) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let x = random_signal(256, 9);
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / 256.0;
+        assert!((ex - ey).abs() / ex < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = random_signal(128, 1);
+        let b = random_signal(128, 2);
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fsum = sum;
+        fft(&mut fsum);
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_rel_error(&fsum, &expect) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex64::zero(); 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn flop_model_is_sane() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert!((fft_flops(8) - 5.0 * 8.0 * 3.0).abs() < 1e-9);
+    }
+}

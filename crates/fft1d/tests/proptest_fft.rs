@@ -1,0 +1,81 @@
+//! Property-based tests of the FFT kernels: classical transform identities
+//! over random signals and sizes.
+
+use fft1d::local::{dft, fft, ifft, max_rel_error};
+use numeric::{Complex, Complex64, SplitMix64};
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+fn signal(log_n: u32, seed: u64) -> Vec<Complex64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..1usize << log_n)
+        .map(|_| Complex::new(rng.next_gaussian(), rng.next_gaussian()))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn fft_matches_dft(log_n in 0u32..9, seed in any::<u64>()) {
+        let x = signal(log_n, seed);
+        let mut got = x.clone();
+        fft(&mut got);
+        let want = dft(&x);
+        prop_assert!(max_rel_error(&got, &want) < 1e-8);
+    }
+
+    #[test]
+    fn roundtrip_is_identity(log_n in 0u32..12, seed in any::<u64>()) {
+        let x = signal(log_n, seed);
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        prop_assert!(max_rel_error(&y, &x) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_conservation(log_n in 1u32..11, seed in any::<u64>()) {
+        let x = signal(log_n, seed);
+        let n = x.len() as f64;
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((ex - ey).abs() <= 1e-9 * ex.max(1.0));
+    }
+
+    /// Circular time shift ↔ linear phase in frequency.
+    #[test]
+    fn shift_theorem(log_n in 2u32..9, seed in any::<u64>(), shift in 0usize..64) {
+        let x = signal(log_n, seed);
+        let n = x.len();
+        let shift = shift % n;
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + n - shift) % n]).collect();
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let mut fs = shifted;
+        fft(&mut fs);
+        let expect: Vec<Complex64> = fx
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * Complex64::cis(-TAU * (shift * k) as f64 / n as f64))
+            .collect();
+        prop_assert!(max_rel_error(&fs, &expect) < 1e-8);
+    }
+
+    /// Conjugate symmetry for real-valued inputs: X[k] = conj(X[N-k]).
+    #[test]
+    fn real_input_has_hermitian_spectrum(log_n in 1u32..10, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1usize << log_n;
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex::new(rng.next_gaussian(), 0.0))
+            .collect();
+        let mut fx = x;
+        fft(&mut fx);
+        let scale = fx.iter().map(|c| c.norm()).fold(1.0f64, f64::max);
+        for k in 1..n {
+            let d = fx[k] - fx[n - k].conj();
+            prop_assert!(d.norm() < 1e-9 * scale, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! `harness` — experiment infrastructure: the paper's microbenchmarks over
+//! the `Comm` trait, table/CSV reporting, and wall-clock calibration of the
+//! real lock-free structures.
+
+pub mod calibrate;
+pub mod micro;
+pub mod table;
+
+pub use calibrate::{calibrate, Calibration};
+pub use micro::{
+    isend_issue_cost, nbc_issue_cost, nbc_overlap, osu_bandwidth, osu_latency, osu_mt_latency,
+    overlap_p2p, CollOp, OverlapResult,
+};
+pub use table::{fmt_bytes, fmt_ns, Table};

@@ -1,0 +1,719 @@
+//! The per-rank MPI handle: the async API simulated threads call.
+//!
+//! Every method models the corresponding MPI function, charging the calling
+//! simulated thread the modelled software cost and — when the library was
+//! initialized with `MPI_THREAD_MULTIPLE` — funnelling through the global
+//! library lock with its extra critical-section cost, exactly the overhead
+//! structure the paper attributes to multithreaded MPI implementations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use destime::futures::race;
+use destime::sync::SimMutex;
+use destime::{Env, Nanos};
+use simnet::Fabric;
+
+use crate::engine::{CommId, RankInner, ReqInner, WireMsg};
+use crate::nbc;
+use crate::types::{Bytes, Dtype, Rank, ReduceOp, Status, Tag, ThreadLevel, TAG_INTERNAL_BASE};
+
+/// `MPI_COMM_WORLD`.
+pub const COMM_WORLD: CommId = 0;
+
+/// A nonblocking-operation handle (`MPI_Request`).
+#[derive(Clone)]
+pub struct Request {
+    pub(crate) inner: Rc<ReqInner>,
+}
+
+impl Request {
+    pub fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+
+    /// Completion status (receives only; `None` before completion or for
+    /// sends).
+    pub fn status(&self) -> Option<Status> {
+        self.inner.status.get()
+    }
+
+    /// Take the received payload out of a completed receive/collective.
+    pub fn take_data(&self) -> Option<Bytes> {
+        self.inner.data.borrow_mut().take()
+    }
+}
+
+/// Shared world state: fabric plus each rank's engine cell.
+pub(crate) struct WorldInner {
+    pub env: Env,
+    pub fabric: Fabric<WireMsg>,
+    pub level: ThreadLevel,
+    pub ranks: Vec<RankCell>,
+}
+
+pub(crate) struct RankCell {
+    pub inner: RefCell<RankInner>,
+    /// The MPI library's global lock (taken only under `Multiple`).
+    pub lock: SimMutex<()>,
+}
+
+/// Per-rank MPI handle. Clone freely across the rank's simulated threads.
+#[derive(Clone)]
+pub struct Mpi {
+    pub(crate) world: Rc<WorldInner>,
+    pub(crate) rank: Rank,
+}
+
+impl Mpi {
+    /// World rank of this process.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.world.ranks.len()
+    }
+
+    /// Thread level the "cluster" was initialized with.
+    pub fn thread_level(&self) -> ThreadLevel {
+        self.world.level
+    }
+
+    pub fn env(&self) -> &Env {
+        &self.world.env
+    }
+
+    /// The machine profile this universe was built with.
+    pub fn profile(&self) -> simnet::MachineProfile {
+        self.world.fabric.profile().clone()
+    }
+
+    /// Size of a communicator.
+    pub fn comm_size(&self, comm: CommId) -> usize {
+        self.cell().inner.borrow().comm(comm).size()
+    }
+
+    /// This process's rank within a communicator.
+    pub fn comm_rank(&self, comm: CommId) -> Rank {
+        self.cell().inner.borrow().comm(comm).my_rank
+    }
+
+    fn cell(&self) -> &RankCell {
+        &self.world.ranks[self.rank]
+    }
+
+    /// Snapshot of engine statistics.
+    pub fn stats(&self) -> crate::engine::RankStats {
+        self.cell().inner.borrow().stats
+    }
+
+    /// Contended/total acquisitions of the library lock (diagnostics).
+    pub fn lock_contention(&self) -> (u64, u64) {
+        let l = &self.cell().lock;
+        (l.contended_acquisitions(), l.total_acquisitions())
+    }
+
+    // -- call prologue/epilogue ---------------------------------------------
+
+    /// Model entry into the MPI library: returns (guard, extra cost).
+    async fn enter(&self) -> (Option<destime::sync::SimMutexGuard<()>>, Nanos) {
+        if self.world.level.locked() {
+            let g = self.cell().lock.lock().await;
+            let extra = self.cell().inner.borrow().profile.mt_lock_extra_ns;
+            (Some(g), extra)
+        } else {
+            (None, 0)
+        }
+    }
+
+    // -- point-to-point -----------------------------------------------------
+
+    /// `MPI_Isend`.
+    pub async fn isend(
+        &self,
+        comm: CommId,
+        dst: Rank,
+        tag: Tag,
+        payload: impl Into<Bytes>,
+    ) -> Request {
+        debug_assert!(tag < TAG_INTERNAL_BASE, "application tag in internal space");
+        self.isend_internal(comm, dst, tag, payload.into()).await
+    }
+
+    pub(crate) async fn isend_internal(
+        &self,
+        comm: CommId,
+        dst: Rank,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Request {
+        let (guard, extra) = self.enter().await;
+        let (inner, cost) = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let base = eng.profile.mpi_call_overhead_ns;
+            let now = self.world.env.now() + base + extra;
+            let (r, c) = eng.isend(&self.world.fabric, now, comm, dst, tag, payload);
+            (r, base + extra + c)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+        Request { inner }
+    }
+
+    /// `MPI_Irecv`. `src`/`tag` of `None` are the wildcards.
+    pub async fn irecv(&self, comm: CommId, src: Option<Rank>, tag: Option<Tag>) -> Request {
+        let (guard, extra) = self.enter().await;
+        let (inner, cost) = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let base = eng.profile.mpi_call_overhead_ns;
+            let now = self.world.env.now() + base + extra;
+            let (r, c) = eng.irecv(&self.world.fabric, now, comm, src, tag);
+            (r, base + extra + c)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+        Request { inner }
+    }
+
+    /// One progress poll under the appropriate locking regime; charges the
+    /// caller. Returns after the poll.
+    pub async fn progress_once(&self) {
+        let (guard, extra) = self.enter().await;
+        let cost = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let now = self.world.env.now() + extra;
+            extra + eng.progress(&self.world.fabric, now)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+    }
+
+    /// One progress poll *below* the library's locking layer: used to model
+    /// progress agents that bypass application-visible mutual exclusion
+    /// (Cray core specialization, hardware progress engines). Charges the
+    /// caller the poll cost but never touches the global lock.
+    pub async fn progress_unlocked(&self) {
+        let cost = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let now = self.world.env.now();
+            eng.progress(&self.world.fabric, now)
+        };
+        self.world.env.advance(cost).await;
+    }
+
+    /// `MPI_Test`: one progress poll, then report completion.
+    pub async fn test(&self, req: &Request) -> bool {
+        if req.is_done() {
+            return true;
+        }
+        self.progress_once().await;
+        req.is_done()
+    }
+
+    /// `MPI_Testany` over a set of requests; returns the index of a
+    /// completed one if any.
+    pub async fn testany(&self, reqs: &[Request]) -> Option<usize> {
+        if let Some(i) = reqs.iter().position(Request::is_done) {
+            return Some(i);
+        }
+        self.progress_once().await;
+        reqs.iter().position(Request::is_done)
+    }
+
+    /// `MPI_Iprobe`.
+    pub async fn iprobe(
+        &self,
+        comm: CommId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Option<Status> {
+        self.progress_once().await;
+        self.cell().inner.borrow().iprobe(comm, src, tag)
+    }
+
+    /// `MPI_Wait`: poll the progress engine until the request completes,
+    /// sleeping (in virtual time) between polls until the next possible
+    /// state change — a new wire arrival or another thread completing the
+    /// request. Under `Multiple` the lock is re-acquired per poll, exactly
+    /// like the per-iteration global-lock dance inside MPICH-style waits.
+    pub async fn wait(&self, req: &Request) -> Option<Status> {
+        self.wait_all_slice(std::slice::from_ref(req)).await;
+        req.status()
+    }
+
+    /// `MPI_Waitall`.
+    pub async fn waitall(&self, reqs: &[Request]) {
+        self.wait_all_slice(reqs).await;
+    }
+
+    async fn wait_all_slice(&self, reqs: &[Request]) {
+        let env = self.world.env.clone();
+        // Model the call entry once.
+        let base = self.cell().inner.borrow().profile.mpi_call_overhead_ns;
+        env.advance(base).await;
+        loop {
+            if reqs.iter().all(Request::is_done) {
+                return;
+            }
+            self.progress_once().await;
+            if reqs.iter().all(Request::is_done) {
+                return;
+            }
+            self.sleep_until_state_change(reqs).await;
+        }
+    }
+
+    /// `MPI_Waitany`: returns the index of the first request to complete.
+    pub async fn waitany(&self, reqs: &[Request]) -> usize {
+        let env = self.world.env.clone();
+        let base = self.cell().inner.borrow().profile.mpi_call_overhead_ns;
+        env.advance(base).await;
+        loop {
+            if let Some(i) = reqs.iter().position(Request::is_done) {
+                return i;
+            }
+            self.progress_once().await;
+            if let Some(i) = reqs.iter().position(Request::is_done) {
+                return i;
+            }
+            self.sleep_until_state_change(reqs).await;
+        }
+    }
+
+    /// Park until something that could change request state happens: a
+    /// pending wire arrival comes due, a new packet is deposited, or a
+    /// request in `reqs` is completed by another thread (e.g. the offload
+    /// thread).
+    async fn sleep_until_state_change(&self, reqs: &[Request]) {
+        let env = self.world.env.clone();
+        let ep = self.world.fabric.endpoint(self.rank);
+        let arrivals = ep.arrival_signal().wait();
+        let done_any = wait_any_done(reqs);
+        match ep.next_arrival() {
+            Some(t) if t <= env.now() => { /* poll again immediately */ }
+            Some(t) => {
+                let _ = race(done_any, race(arrivals, env.sleep_until(t))).await;
+            }
+            None => {
+                let _ = race(done_any, arrivals).await;
+            }
+        }
+    }
+
+    /// Park (cost-free) until something could change this rank's MPI
+    /// state: the next pending wire arrival comes due, or a new packet is
+    /// deposited. Returns immediately if an arrival is already due.
+    ///
+    /// Used by progress daemons (the offload thread, comm-self helpers) to
+    /// model "polling continuously" without simulating every empty poll:
+    /// the daemon reacts to events at the same virtual instant it would
+    /// have discovered them by spinning.
+    pub async fn park_until_activity(&self) {
+        let env = self.world.env.clone();
+        let ep = self.world.fabric.endpoint(self.rank);
+        match ep.next_arrival() {
+            Some(t) if t <= env.now() => {}
+            Some(t) => {
+                let _ = race(ep.arrival_signal().wait(), env.sleep_until(t)).await;
+            }
+            None => ep.arrival_signal().wait().await,
+        }
+    }
+
+    /// Does this rank have any protocol state that a progress daemon
+    /// should keep polling for (pending arrivals, posted receives,
+    /// unexpected messages, or active collective schedules)?
+    pub fn has_pending_state(&self) -> bool {
+        let eng = self.cell().inner.borrow();
+        self.world.fabric.endpoint(self.rank).pending() > 0
+            || eng.active_nbcs() > 0
+            || eng.unexpected_depth() > 0
+            || eng.posted_depth() > 0
+    }
+
+    /// Blocking `MPI_Send`.
+    pub async fn send(&self, comm: CommId, dst: Rank, tag: Tag, payload: impl Into<Bytes>) {
+        let r = self.isend(comm, dst, tag, payload).await;
+        self.wait(&r).await;
+    }
+
+    /// Blocking `MPI_Recv`; returns `(status, payload)`.
+    pub async fn recv(
+        &self,
+        comm: CommId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> (Status, Bytes) {
+        let r = self.irecv(comm, src, tag).await;
+        let status = self.wait(&r).await.expect("recv completes with status");
+        let data = r.take_data().expect("recv completes with data");
+        (status, data)
+    }
+
+    // -- communicator management --------------------------------------------
+
+    /// `MPI_Comm_dup` (collective: every member must call, in matching
+    /// order per parent).
+    pub fn comm_dup(&self, parent: CommId) -> CommId {
+        self.cell().inner.borrow_mut().dup_comm(parent)
+    }
+
+    /// `MPI_Comm_split` by color (key = current rank order). Deterministic
+    /// and local in the model: membership is computed from the color map
+    /// provided by the caller, which must be identical on all members.
+    pub fn comm_split(&self, parent: CommId, colors: &[u64]) -> CommId {
+        let mut eng = self.cell().inner.borrow_mut();
+        let info = eng.comm(parent).clone();
+        assert_eq!(colors.len(), info.size(), "one color per member");
+        let my_color = colors[info.my_rank];
+        let members: Vec<Rank> = (0..info.size())
+            .filter(|&r| colors[r] == my_color)
+            .map(|r| info.world_of(r))
+            .collect();
+        let my_new = members
+            .iter()
+            .position(|&w| w == self.rank)
+            .expect("caller is a member of its own split");
+        eng.register_split(parent, my_color, Rc::new(members), my_new)
+    }
+
+    // -- nonblocking collectives ---------------------------------------------
+
+    fn next_coll_tag(&self, comm: CommId) -> Tag {
+        let mut eng = self.cell().inner.borrow_mut();
+        let seq = eng.coll_seq.entry(comm).or_insert(0);
+        *seq = seq.wrapping_add(1);
+        TAG_INTERNAL_BASE + (*seq % 0x0fff_ffff)
+    }
+
+    async fn start_nbc(
+        &self,
+        comm: CommId,
+        acc: Bytes,
+        input: Option<Bytes>,
+        rounds: Vec<nbc::Round>,
+    ) -> Request {
+        let ctx = self.next_coll_tag(comm);
+        let (guard, extra) = self.enter().await;
+        let (inner, cost) = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let base = eng.profile.mpi_call_overhead_ns;
+            let now = self.world.env.now() + base + extra;
+            let (r, c) = eng.start_nbc(&self.world.fabric, now, comm, ctx, acc, input, rounds);
+            (r, base + extra + c)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+        Request { inner }
+    }
+
+    /// `MPI_Ibarrier`.
+    pub async fn ibarrier(&self, comm: CommId) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        self.start_nbc(comm, Bytes::synthetic(0), None, nbc::barrier_rounds(p, r))
+            .await
+    }
+
+    /// `MPI_Ibcast`: root supplies the payload; everyone's completed
+    /// request carries the broadcast data.
+    pub async fn ibcast(&self, comm: CommId, root: Rank, payload: impl Into<Bytes>) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let acc = if r == root {
+            payload.into()
+        } else {
+            Bytes::synthetic(0)
+        };
+        self.start_nbc(comm, acc, None, nbc::bcast_rounds(p, r, root))
+            .await
+    }
+
+    /// `MPI_Ireduce` to `root`.
+    pub async fn ireduce(
+        &self,
+        comm: CommId,
+        root: Rank,
+        contribution: impl Into<Bytes>,
+        dtype: Dtype,
+        op: ReduceOp,
+    ) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        self.start_nbc(
+            comm,
+            contribution.into(),
+            None,
+            nbc::reduce_rounds(p, r, root, dtype, op),
+        )
+        .await
+    }
+
+    /// `MPI_Iallreduce`. Large payloads use the Rabenseifner
+    /// reduce-scatter + allgather schedule, small ones recursive doubling
+    /// (mirroring MPICH's size-dependent algorithm selection).
+    pub async fn iallreduce(
+        &self,
+        comm: CommId,
+        contribution: impl Into<Bytes>,
+        dtype: Dtype,
+        op: ReduceOp,
+    ) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let contribution = contribution.into();
+        let rounds = nbc::allreduce_rounds_sized(p, r, dtype, op, contribution.len());
+        self.start_nbc(comm, contribution, None, rounds).await
+    }
+
+    /// `MPI_Iallgather`: each rank contributes `block` bytes; the completed
+    /// request carries the concatenation.
+    pub async fn iallgather(&self, comm: CommId, contribution: impl Into<Bytes>) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let mine = contribution.into();
+        let block = mine.len();
+        let acc = prefill(p * block, r * block, &mine);
+        self.start_nbc(comm, acc, None, nbc::allgather_rounds(p, r, block))
+            .await
+    }
+
+    /// `MPI_Ialltoall`: `input` holds `P` blocks of `block` bytes, block
+    /// `i` destined for rank `i`. The completed request carries the output.
+    pub async fn ialltoall(&self, comm: CommId, input: impl Into<Bytes>, block: usize) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let input = input.into();
+        assert_eq!(input.len(), p * block, "all-to-all input shape");
+        let own = slice_of(&input, r * block..(r + 1) * block);
+        let acc = prefill(p * block, r * block, &own);
+        self.start_nbc(comm, acc, Some(input), nbc::alltoall_rounds(p, r, block))
+            .await
+    }
+
+    /// `MPI_Igather` to `root` of equal-size blocks.
+    pub async fn igather(
+        &self,
+        comm: CommId,
+        root: Rank,
+        contribution: impl Into<Bytes>,
+    ) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let mine = contribution.into();
+        let block = mine.len();
+        let acc = if r == root {
+            prefill(p * block, r * block, &mine)
+        } else {
+            mine
+        };
+        self.start_nbc(comm, acc, None, nbc::gather_rounds(p, r, root, block))
+            .await
+    }
+
+    /// `MPI_Iscatter` from `root`: root's `input` holds `P` blocks.
+    pub async fn iscatter(
+        &self,
+        comm: CommId,
+        root: Rank,
+        input: Option<Bytes>,
+        block: usize,
+    ) -> Request {
+        let (p, r) = self.comm_shape(comm);
+        let (acc, input) = if r == root {
+            let input = input.expect("root provides scatter input");
+            assert_eq!(input.len(), p * block, "scatter input shape");
+            let own = slice_of(&input, r * block..(r + 1) * block);
+            (own, Some(input))
+        } else {
+            (Bytes::synthetic(0), None)
+        };
+        self.start_nbc(comm, acc, input, nbc::scatter_rounds(p, r, root, block))
+            .await
+    }
+
+    fn comm_shape(&self, comm: CommId) -> (usize, Rank) {
+        let eng = self.cell().inner.borrow();
+        let info = eng.comm(comm);
+        (info.size(), info.my_rank)
+    }
+
+    // -- one-sided (RMA) -------------------------------------------------------
+
+    /// `MPI_Win_create` (collective: every rank calls, in matching order),
+    /// exposing `local` bytes for one-sided access.
+    pub async fn win_create(&self, local: Vec<u8>) -> crate::engine::WinId {
+        let id = self.cell().inner.borrow_mut().win_create(local);
+        // Window creation synchronizes (as in MPI).
+        self.barrier(COMM_WORLD).await;
+        id
+    }
+
+    /// Snapshot of this rank's window exposure buffer.
+    pub fn win_local(&self, win: crate::engine::WinId) -> Vec<u8> {
+        self.cell().inner.borrow().win_local(win).to_vec()
+    }
+
+    /// `MPI_Put`: one-sided write into `target`'s window. The request
+    /// completes at the origin once the target's progress engine applied
+    /// the data and the ack returned — which requires the *target* to poll
+    /// (the passive-target progress problem of Casper [30]).
+    pub async fn put(
+        &self,
+        win: crate::engine::WinId,
+        target: Rank,
+        offset: usize,
+        payload: impl Into<Bytes>,
+    ) -> Request {
+        let (guard, extra) = self.enter().await;
+        let (inner, cost) = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let base = eng.profile.mpi_call_overhead_ns;
+            let now = self.world.env.now() + base + extra;
+            let (r, c) = eng.rma_put(&self.world.fabric, now, win, target, offset, payload.into());
+            (r, base + extra + c)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+        Request { inner }
+    }
+
+    /// `MPI_Get`: one-sided read of `len` bytes from `target`'s window.
+    pub async fn get(
+        &self,
+        win: crate::engine::WinId,
+        target: Rank,
+        offset: usize,
+        len: usize,
+    ) -> Request {
+        let (guard, extra) = self.enter().await;
+        let (inner, cost) = {
+            let mut eng = self.cell().inner.borrow_mut();
+            let base = eng.profile.mpi_call_overhead_ns;
+            let now = self.world.env.now() + base + extra;
+            let (r, c) = eng.rma_get(&self.world.fabric, now, win, target, offset, len);
+            (r, base + extra + c)
+        };
+        self.world.env.advance(cost).await;
+        drop(guard);
+        Request { inner }
+    }
+
+    /// `MPI_Win_fence`: complete all locally-issued RMA on `win`, then
+    /// synchronize. After the fence, every rank's puts are visible in the
+    /// target windows.
+    pub async fn win_fence(&self, win: crate::engine::WinId) {
+        let pending = self.cell().inner.borrow_mut().take_rma_origin(win);
+        let reqs: Vec<Request> = pending
+            .into_iter()
+            .map(|inner| Request { inner })
+            .collect();
+        self.waitall(&reqs).await;
+        self.barrier(COMM_WORLD).await;
+    }
+
+    // -- blocking collectives -------------------------------------------------
+
+    /// `MPI_Barrier`.
+    pub async fn barrier(&self, comm: CommId) {
+        let r = self.ibarrier(comm).await;
+        self.wait(&r).await;
+    }
+
+    /// `MPI_Bcast`; returns the broadcast payload on every rank.
+    pub async fn bcast(&self, comm: CommId, root: Rank, payload: impl Into<Bytes>) -> Bytes {
+        let r = self.ibcast(comm, root, payload).await;
+        self.wait(&r).await;
+        r.take_data().expect("bcast result")
+    }
+
+    /// `MPI_Allreduce`; returns the reduced payload.
+    pub async fn allreduce(
+        &self,
+        comm: CommId,
+        contribution: impl Into<Bytes>,
+        dtype: Dtype,
+        op: ReduceOp,
+    ) -> Bytes {
+        let r = self.iallreduce(comm, contribution, dtype, op).await;
+        self.wait(&r).await;
+        r.take_data().expect("allreduce result")
+    }
+
+    /// `MPI_Reduce`; the root gets the reduction, others get their final
+    /// partial (callers should ignore it, as in MPI).
+    pub async fn reduce(
+        &self,
+        comm: CommId,
+        root: Rank,
+        contribution: impl Into<Bytes>,
+        dtype: Dtype,
+        op: ReduceOp,
+    ) -> Bytes {
+        let r = self.ireduce(comm, root, contribution, dtype, op).await;
+        self.wait(&r).await;
+        r.take_data().expect("reduce result")
+    }
+
+    /// `MPI_Allgather`.
+    pub async fn allgather(&self, comm: CommId, contribution: impl Into<Bytes>) -> Bytes {
+        let r = self.iallgather(comm, contribution).await;
+        self.wait(&r).await;
+        r.take_data().expect("allgather result")
+    }
+
+    /// `MPI_Alltoall`.
+    pub async fn alltoall(&self, comm: CommId, input: impl Into<Bytes>, block: usize) -> Bytes {
+        let r = self.ialltoall(comm, input, block).await;
+        self.wait(&r).await;
+        r.take_data().expect("alltoall result")
+    }
+}
+
+/// Future that resolves when any request in the set completes.
+fn wait_any_done(reqs: &[Request]) -> WaitAnyDone {
+    WaitAnyDone {
+        flags: reqs.iter().map(|r| r.inner.done.clone()).collect(),
+    }
+}
+
+struct WaitAnyDone {
+    flags: Vec<destime::sync::Flag>,
+}
+
+impl std::future::Future for WaitAnyDone {
+    type Output = ();
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<()> {
+        for f in &self.flags {
+            if f.is_set() {
+                return std::task::Poll::Ready(());
+            }
+        }
+        for f in &self.flags {
+            // Register with each flag; first set wins.
+            let mut w = f.wait();
+            if std::pin::Pin::new(&mut w).poll(cx).is_ready() {
+                return std::task::Poll::Ready(());
+            }
+        }
+        std::task::Poll::Pending
+    }
+}
+
+/// Build a `total`-byte buffer with `mine` placed at `offset` (synthetic
+/// stays synthetic).
+fn prefill(total: usize, offset: usize, mine: &Bytes) -> Bytes {
+    match mine.as_real() {
+        Some(data) => {
+            let mut out = vec![0u8; total];
+            out[offset..offset + data.len()].copy_from_slice(data);
+            Bytes::real(out)
+        }
+        None => Bytes::synthetic(total),
+    }
+}
+
+fn slice_of(b: &Bytes, range: std::ops::Range<usize>) -> Bytes {
+    match b.as_real() {
+        Some(v) => Bytes::real(v[range].to_vec()),
+        None => Bytes::synthetic(range.len()),
+    }
+}

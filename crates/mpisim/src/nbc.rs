@@ -1,0 +1,619 @@
+//! Round-based schedules for nonblocking collectives.
+//!
+//! Each collective is compiled into a vector of [`Round`]s at initiation
+//! (mirroring libNBC-style schedule construction). The progress engine
+//! advances one round at a time: post the round's internal point-to-point
+//! operations, wait for them (across progress polls), apply the receive
+//! actions (reduction combines, block placement), move on.
+//!
+//! The essential property this representation preserves is that a
+//! nonblocking collective only advances **when the progress engine runs**
+//! (paper §2, Figures 3 and 5): between polls, a schedule sits frozen at
+//! its current round no matter how much virtual time passes.
+//!
+//! Algorithms: dissemination barrier, binomial broadcast/reduce,
+//! recursive-doubling allreduce (power-of-two sizes; reduce+bcast
+//! composition otherwise), ring allgather, pairwise-exchange all-to-all,
+//! linear gather/scatter.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::engine::ReqInner;
+use crate::types::{Bytes, Dtype, Rank, ReduceOp, Tag};
+
+/// Where the payload of an internal send comes from.
+#[derive(Clone, Debug)]
+pub enum DataSrc {
+    /// The instance accumulator in its current state.
+    Acc,
+    /// A byte range of the accumulator.
+    AccChunk(Range<usize>),
+    /// A byte range of the immutable input buffer.
+    InputChunk(Range<usize>),
+    /// A fixed payload (e.g. the barrier token).
+    Fixed(Bytes),
+}
+
+/// What to do with the payload of an internal receive once it lands.
+#[derive(Clone, Debug)]
+pub enum RecvAction {
+    /// Drop it (barrier tokens).
+    Discard,
+    /// Replace the accumulator wholesale (broadcast).
+    ReplaceAcc,
+    /// Element-wise reduce into the accumulator.
+    CombineAcc { dtype: Dtype, op: ReduceOp },
+    /// Element-wise reduce into a byte range of the accumulator
+    /// (reduce-scatter phases).
+    CombineAt {
+        offset: usize,
+        dtype: Dtype,
+        op: ReduceOp,
+    },
+    /// Copy into the accumulator at a byte offset (gather/all-to-all).
+    StoreAt(usize),
+}
+
+/// Payloads at or above this size use the Rabenseifner (reduce-scatter +
+/// allgather) allreduce schedule, moving `2·len` bytes per rank instead of
+/// recursive doubling's `log2(P)·len` — matching what MPICH-family
+/// libraries do for large reductions.
+pub const ALLREDUCE_RSAG_THRESHOLD: usize = 16 * 1024;
+
+/// One send within a round.
+#[derive(Clone, Debug)]
+pub struct SendSpec {
+    /// Destination, as a communicator rank.
+    pub peer: Rank,
+    pub data: DataSrc,
+}
+
+/// One receive within a round.
+#[derive(Clone, Debug)]
+pub struct RecvSpec {
+    /// Source, as a communicator rank.
+    pub peer: Rank,
+    pub action: RecvAction,
+}
+
+/// A schedule step: all its ops are posted together and must all complete
+/// before the next round is posted.
+#[derive(Clone, Debug, Default)]
+pub struct Round {
+    pub sends: Vec<SendSpec>,
+    pub recvs: Vec<RecvSpec>,
+}
+
+impl Round {
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.recvs.is_empty()
+    }
+}
+
+/// A live collective: schedule + progress state. Owned by the engine.
+pub struct NbcInstance {
+    pub comm: crate::engine::CommId,
+    pub ctx_tag: Tag,
+    pub rounds: Vec<Round>,
+    pub cur: usize,
+    pub inflight: Vec<Rc<ReqInner>>,
+    pub recv_actions: Vec<(Rc<ReqInner>, RecvAction)>,
+    pub acc: Bytes,
+    pub input: Option<Bytes>,
+    pub user_req: Rc<ReqInner>,
+}
+
+fn ceil_log2(n: usize) -> u32 {
+    debug_assert!(n > 0);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// Dissemination barrier: `ceil(log2 P)` rounds, in round `k` send a token
+/// to `(r + 2^k) mod P` and receive one from `(r - 2^k) mod P`.
+pub fn barrier_rounds(p: usize, r: Rank) -> Vec<Round> {
+    debug_assert!(r < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    (0..ceil_log2(p))
+        .map(|k| {
+            let d = 1usize << k;
+            Round {
+                sends: vec![SendSpec {
+                    peer: (r + d) % p,
+                    data: DataSrc::Fixed(Bytes::real(vec![0])),
+                }],
+                recvs: vec![RecvSpec {
+                    peer: (r + p - d % p) % p,
+                    action: RecvAction::Discard,
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Binomial broadcast from `root`. The accumulator starts as the root's
+/// buffer (root) or empty (others) and is replaced on receive.
+pub fn bcast_rounds(p: usize, r: Rank, root: Rank) -> Vec<Round> {
+    debug_assert!(r < p && root < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    let vr = (r + p - root) % p; // virtual rank: root becomes 0
+    let q = ceil_log2(p);
+    let mut rounds = Vec::with_capacity(q as usize);
+    for j in 0..q {
+        let d = 1usize << j;
+        let mut round = Round::default();
+        if vr >= d && vr < 2 * d {
+            // Receive my copy from vr - d.
+            let peer_v = vr - d;
+            round.recvs.push(RecvSpec {
+                peer: (peer_v + root) % p,
+                action: RecvAction::ReplaceAcc,
+            });
+        } else if vr < d && vr + d < p {
+            round.sends.push(SendSpec {
+                peer: (vr + d + root) % p,
+                data: DataSrc::Acc,
+            });
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Binomial reduce to `root` (accumulator holds the local contribution and
+/// accumulates children; leaves send up).
+pub fn reduce_rounds(p: usize, r: Rank, root: Rank, dtype: Dtype, op: ReduceOp) -> Vec<Round> {
+    debug_assert!(r < p && root < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    let vr = (r + p - root) % p;
+    let q = ceil_log2(p);
+    let mut rounds = Vec::with_capacity(q as usize);
+    let mut sent = false;
+    for j in 0..q {
+        let d = 1usize << j;
+        let mut round = Round::default();
+        if !sent {
+            if vr & d != 0 {
+                round.sends.push(SendSpec {
+                    peer: ((vr - d) + root) % p,
+                    data: DataSrc::Acc,
+                });
+                sent = true;
+            } else if vr + d < p {
+                round.recvs.push(RecvSpec {
+                    peer: ((vr + d) + root) % p,
+                    action: RecvAction::CombineAcc { dtype, op },
+                });
+            }
+        }
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Allreduce of a `len`-byte payload. Large payloads on power-of-two rank
+/// counts (with `len` divisible by `p` and the dtype) use Rabenseifner's
+/// reduce-scatter + allgather; small ones use recursive doubling;
+/// non-power-of-two sizes compose binomial reduce-to-0 with broadcast.
+pub fn allreduce_rounds_sized(
+    p: usize,
+    r: Rank,
+    dtype: Dtype,
+    op: ReduceOp,
+    len: usize,
+) -> Vec<Round> {
+    if p > 1
+        && p.is_power_of_two()
+        && len >= ALLREDUCE_RSAG_THRESHOLD
+        && len.is_multiple_of(p * dtype.size())
+    {
+        return allreduce_rsag_rounds(p, r, dtype, op, len);
+    }
+    allreduce_rounds(p, r, dtype, op)
+}
+
+/// Rabenseifner allreduce: reduce-scatter by recursive halving, then
+/// allgather by recursive doubling. `2·len·(p-1)/p` bytes on the wire per
+/// rank, independent of `log2(p)`.
+pub fn allreduce_rsag_rounds(
+    p: usize,
+    r: Rank,
+    dtype: Dtype,
+    op: ReduceOp,
+    len: usize,
+) -> Vec<Round> {
+    debug_assert!(p.is_power_of_two() && r < p);
+    debug_assert_eq!(len % (p * dtype.size()), 0);
+    let q = ceil_log2(p);
+    let mut rounds = Vec::with_capacity(2 * q as usize);
+    // Reduce-scatter: halve the active range each round.
+    let (mut lo, mut hi) = (0usize, len);
+    for k in 0..q {
+        let half = (hi - lo) / 2;
+        let partner = r ^ (1usize << k);
+        if r & (1 << k) == 0 {
+            rounds.push(Round {
+                sends: vec![SendSpec {
+                    peer: partner,
+                    data: DataSrc::AccChunk(lo + half..hi),
+                }],
+                recvs: vec![RecvSpec {
+                    peer: partner,
+                    action: RecvAction::CombineAt {
+                        offset: lo,
+                        dtype,
+                        op,
+                    },
+                }],
+            });
+            hi = lo + half;
+        } else {
+            rounds.push(Round {
+                sends: vec![SendSpec {
+                    peer: partner,
+                    data: DataSrc::AccChunk(lo..lo + half),
+                }],
+                recvs: vec![RecvSpec {
+                    peer: partner,
+                    action: RecvAction::CombineAt {
+                        offset: lo + half,
+                        dtype,
+                        op,
+                    },
+                }],
+            });
+            lo += half;
+        }
+    }
+    // Allgather: double the owned range back up, reversing the bits.
+    for k in (0..q).rev() {
+        let partner = r ^ (1usize << k);
+        let size = hi - lo;
+        let partner_lo = if r & (1 << k) == 0 { hi } else { lo - size };
+        rounds.push(Round {
+            sends: vec![SendSpec {
+                peer: partner,
+                data: DataSrc::AccChunk(lo..hi),
+            }],
+            recvs: vec![RecvSpec {
+                peer: partner,
+                action: RecvAction::StoreAt(partner_lo),
+            }],
+        });
+        if r & (1 << k) == 0 {
+            hi += size;
+        } else {
+            lo -= size;
+        }
+    }
+    rounds
+}
+
+/// Allreduce. Power-of-two sizes use recursive doubling; otherwise the
+/// schedule composes binomial reduce-to-0 with binomial broadcast.
+pub fn allreduce_rounds(p: usize, r: Rank, dtype: Dtype, op: ReduceOp) -> Vec<Round> {
+    debug_assert!(r < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    if p.is_power_of_two() {
+        (0..ceil_log2(p))
+            .map(|k| {
+                let peer = r ^ (1usize << k);
+                Round {
+                    sends: vec![SendSpec {
+                        peer,
+                        data: DataSrc::Acc,
+                    }],
+                    recvs: vec![RecvSpec {
+                        peer,
+                        action: RecvAction::CombineAcc { dtype, op },
+                    }],
+                }
+            })
+            .collect()
+    } else {
+        let mut rounds = reduce_rounds(p, r, 0, dtype, op);
+        rounds.extend(bcast_rounds(p, r, 0));
+        rounds
+    }
+}
+
+/// Ring allgather of `block` bytes per rank. The accumulator is the output
+/// buffer of `p * block` bytes with the local contribution pre-placed at
+/// `r * block` by the caller.
+pub fn allgather_rounds(p: usize, r: Rank, block: usize) -> Vec<Round> {
+    debug_assert!(r < p);
+    let right = (r + 1) % p;
+    let left = (r + p - 1) % p;
+    (0..p.saturating_sub(1))
+        .map(|k| {
+            let send_block = (r + p - k) % p;
+            let recv_block = (r + p - k - 1) % p;
+            Round {
+                sends: vec![SendSpec {
+                    peer: right,
+                    data: DataSrc::AccChunk(send_block * block..(send_block + 1) * block),
+                }],
+                recvs: vec![RecvSpec {
+                    peer: left,
+                    action: RecvAction::StoreAt(recv_block * block),
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Pairwise-exchange all-to-all of `block` bytes per peer. The input buffer
+/// holds `p * block` bytes; the accumulator is the output buffer with the
+/// local block pre-placed by the caller.
+pub fn alltoall_rounds(p: usize, r: Rank, block: usize) -> Vec<Round> {
+    debug_assert!(r < p);
+    (1..p)
+        .map(|k| {
+            let dst = (r + k) % p;
+            let src = (r + p - k) % p;
+            Round {
+                sends: vec![SendSpec {
+                    peer: dst,
+                    data: DataSrc::InputChunk(dst * block..(dst + 1) * block),
+                }],
+                recvs: vec![RecvSpec {
+                    peer: src,
+                    action: RecvAction::StoreAt(src * block),
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Linear gather of `block` bytes per rank to `root`: non-roots send once,
+/// the root posts `P-1` receives in a single round. (A binomial tree would
+/// lower root congestion; linear matches common small-`P` implementations
+/// and keeps the root-bottleneck behaviour visible.)
+pub fn gather_rounds(p: usize, r: Rank, root: Rank, block: usize) -> Vec<Round> {
+    debug_assert!(r < p && root < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    if r == root {
+        vec![Round {
+            sends: Vec::new(),
+            recvs: (0..p)
+                .filter(|&s| s != root)
+                .map(|s| RecvSpec {
+                    peer: s,
+                    action: RecvAction::StoreAt(s * block),
+                })
+                .collect(),
+        }]
+    } else {
+        vec![Round {
+            sends: vec![SendSpec {
+                peer: root,
+                data: DataSrc::Acc,
+            }],
+            recvs: Vec::new(),
+        }]
+    }
+}
+
+/// Linear scatter of `block` bytes per rank from `root`.
+pub fn scatter_rounds(p: usize, r: Rank, root: Rank, block: usize) -> Vec<Round> {
+    debug_assert!(r < p && root < p);
+    if p == 1 {
+        return Vec::new();
+    }
+    if r == root {
+        vec![Round {
+            sends: (0..p)
+                .filter(|&d| d != root)
+                .map(|d| SendSpec {
+                    peer: d,
+                    data: DataSrc::InputChunk(d * block..(d + 1) * block),
+                })
+                .collect(),
+            recvs: Vec::new(),
+        }]
+    } else {
+        vec![Round {
+            sends: Vec::new(),
+            recvs: vec![RecvSpec {
+                peer: root,
+                action: RecvAction::ReplaceAcc,
+            }],
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn barrier_round_counts() {
+        assert!(barrier_rounds(1, 0).is_empty());
+        assert_eq!(barrier_rounds(2, 0).len(), 1);
+        assert_eq!(barrier_rounds(5, 3).len(), 3);
+        assert_eq!(barrier_rounds(8, 7).len(), 3);
+    }
+
+    /// Global consistency: in every round, rank A sends to B iff B receives
+    /// from A.
+    fn check_matched(p: usize, schedules: &[Vec<Round>]) {
+        let max_rounds = schedules.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..max_rounds {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for (r, sched) in schedules.iter().enumerate() {
+                if let Some(rd) = sched.get(round) {
+                    for s in &rd.sends {
+                        sends.push((r, s.peer));
+                    }
+                    for rc in &rd.recvs {
+                        recvs.push((rc.peer, r));
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs, "round {round} of {p} ranks mismatched");
+        }
+    }
+
+    #[test]
+    fn barrier_sends_match_recvs() {
+        for p in [2, 3, 4, 5, 8, 13] {
+            let schedules: Vec<_> = (0..p).map(|r| barrier_rounds(p, r)).collect();
+            check_matched(p, &schedules);
+        }
+    }
+
+    #[test]
+    fn bcast_sends_match_recvs_and_cover_all() {
+        for p in [2, 3, 4, 7, 8, 9] {
+            for root in [0, p - 1, p / 2] {
+                let schedules: Vec<_> = (0..p).map(|r| bcast_rounds(p, r, root)).collect();
+                check_matched(p, &schedules);
+                // Every non-root receives exactly once.
+                for (r, sched) in schedules.iter().enumerate() {
+                    let n: usize = sched.iter().map(|rd| rd.recvs.len()).sum();
+                    assert_eq!(n, usize::from(r != root), "rank {r} root {root} p {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sends_match_recvs_and_each_nonroot_sends_once() {
+        for p in [2, 3, 4, 6, 8, 11] {
+            for root in [0, p - 1] {
+                let schedules: Vec<_> = (0..p)
+                    .map(|r| reduce_rounds(p, r, root, Dtype::F64, ReduceOp::Sum))
+                    .collect();
+                check_matched(p, &schedules);
+                for (r, sched) in schedules.iter().enumerate() {
+                    let n: usize = sched.iter().map(|rd| rd.sends.len()).sum();
+                    assert_eq!(n, usize::from(r != root));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sends_match_recvs() {
+        for p in [2, 3, 4, 5, 8, 12, 16] {
+            let schedules: Vec<_> = (0..p)
+                .map(|r| allreduce_rounds(p, r, Dtype::F64, ReduceOp::Sum))
+                .collect();
+            check_matched(p, &schedules);
+        }
+    }
+
+    #[test]
+    fn allgather_blocks_rotate_fully() {
+        for p in [2, 3, 5, 8] {
+            let schedules: Vec<_> = (0..p).map(|r| allgather_rounds(p, r, 16)).collect();
+            check_matched(p, &schedules);
+            // Every rank stores every foreign block exactly once.
+            for (r, sched) in schedules.iter().enumerate() {
+                let mut offsets: Vec<usize> = sched
+                    .iter()
+                    .flat_map(|rd| rd.recvs.iter())
+                    .map(|rc| match rc.action {
+                        RecvAction::StoreAt(o) => o / 16,
+                        _ => panic!("allgather must store blocks"),
+                    })
+                    .collect();
+                offsets.sort_unstable();
+                let expect: Vec<usize> = (0..p).filter(|&b| b != r).collect();
+                assert_eq!(offsets, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_exchanges_every_pair() {
+        for p in [2, 3, 4, 7] {
+            let schedules: Vec<_> = (0..p).map(|r| alltoall_rounds(p, r, 8)).collect();
+            check_matched(p, &schedules);
+            for (r, sched) in schedules.iter().enumerate() {
+                let mut dsts: Vec<usize> = sched
+                    .iter()
+                    .flat_map(|rd| rd.sends.iter())
+                    .map(|s| s.peer)
+                    .collect();
+                dsts.sort_unstable();
+                let expect: Vec<usize> = (0..p).filter(|&d| d != r).collect();
+                assert_eq!(dsts, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_match() {
+        for p in [2, 4, 5] {
+            let g: Vec<_> = (0..p).map(|r| gather_rounds(p, r, 0, 4)).collect();
+            check_matched(p, &g);
+            let s: Vec<_> = (0..p).map(|r| scatter_rounds(p, r, 0, 4)).collect();
+            check_matched(p, &s);
+        }
+    }
+
+    #[test]
+    fn rsag_allreduce_sends_match_recvs_and_cover_every_block() {
+        for p in [2usize, 4, 8, 16] {
+            let len = p * 8 * 4; // divisible by p and the dtype
+            let schedules: Vec<_> = (0..p)
+                .map(|r| allreduce_rsag_rounds(p, r, Dtype::F64, ReduceOp::Sum, len))
+                .collect();
+            check_matched(p, &schedules);
+            // 2·log2(p) rounds; total bytes ≈ 2·len·(p-1)/p per rank.
+            for sched in &schedules {
+                assert_eq!(sched.len(), 2 * (p.trailing_zeros() as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn sized_selector_picks_the_right_algorithm() {
+        // Small payload → recursive doubling (log2 rounds).
+        let small = allreduce_rounds_sized(8, 0, Dtype::F64, ReduceOp::Sum, 64);
+        assert_eq!(small.len(), 3);
+        // Large divisible payload → RSAG (2·log2 rounds).
+        let large = allreduce_rounds_sized(8, 0, Dtype::F64, ReduceOp::Sum, 64 * 1024);
+        assert_eq!(large.len(), 6);
+        // Large but indivisible → falls back.
+        let odd = allreduce_rounds_sized(8, 0, Dtype::F64, ReduceOp::Sum, 64 * 1024 + 8);
+        assert_eq!(odd.len(), 3);
+        // Non-power-of-two stays on the reduce+bcast composite.
+        let np2 = allreduce_rounds_sized(6, 0, Dtype::F64, ReduceOp::Sum, 64 * 1024 + 16);
+        assert!(np2.len() > 3);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_empty() {
+        assert!(allreduce_rounds(1, 0, Dtype::F64, ReduceOp::Sum).is_empty());
+        assert!(alltoall_rounds(1, 0, 8).is_empty());
+        assert!(allgather_rounds(1, 0, 8).is_empty());
+        assert!(gather_rounds(1, 0, 0, 8).is_empty());
+        assert!(scatter_rounds(1, 0, 0, 8).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Cluster construction and execution.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+
+use destime::sync::SimMutex;
+use destime::{Env, Nanos, Sim};
+use simnet::{Fabric, MachineProfile};
+
+use crate::api::{Mpi, RankCell, WorldInner};
+use crate::engine::RankInner;
+use crate::types::ThreadLevel;
+
+/// A simulated MPI job: `n` ranks on a machine described by `profile`,
+/// initialized at `level`.
+pub struct Universe {
+    pub n_ranks: usize,
+    pub profile: MachineProfile,
+    pub level: ThreadLevel,
+    max_events: Option<u64>,
+}
+
+impl Universe {
+    pub fn new(n_ranks: usize, profile: MachineProfile, level: ThreadLevel) -> Self {
+        assert!(n_ranks > 0);
+        Self {
+            n_ranks,
+            profile,
+            level,
+            max_events: None,
+        }
+    }
+
+    /// Backstop event budget (see [`destime::Sim::with_max_events`]).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = Some(max);
+        self
+    }
+
+    /// Run one async closure per rank (the "application process"); returns
+    /// per-rank results and the final virtual time.
+    ///
+    /// The closure typically spawns further tasks for its OpenMP-like
+    /// thread team (see the `team` crate).
+    pub fn run<T, F, Fut>(self, per_rank: F) -> (Vec<T>, Nanos)
+    where
+        T: 'static,
+        F: Fn(Mpi) -> Fut + 'static,
+        Fut: Future<Output = T> + 'static,
+    {
+        let n = self.n_ranks;
+        let profile = self.profile.clone();
+        let level = self.level;
+        let mut sim = Sim::new();
+        if let Some(m) = self.max_events {
+            sim = sim.with_max_events(m);
+        }
+        let results: Rc<RefCell<Vec<Option<T>>>> =
+            Rc::new(RefCell::new((0..n).map(|_| None).collect()));
+        let results2 = results.clone();
+        let elapsed = sim.run(move |env: Env| {
+            let fabric: Fabric<crate::engine::WireMsg> = Fabric::new(n, profile.clone());
+            let world = Rc::new(WorldInner {
+                env: env.clone(),
+                fabric,
+                level,
+                ranks: (0..n)
+                    .map(|r| RankCell {
+                        inner: RefCell::new(RankInner::new(r, n, profile.clone())),
+                        lock: SimMutex::new(()),
+                    })
+                    .collect(),
+            });
+            let per_rank = Rc::new(per_rank);
+            async move {
+                let mut handles = Vec::with_capacity(n);
+                for r in 0..n {
+                    let mpi = Mpi {
+                        world: world.clone(),
+                        rank: r,
+                    };
+                    handles.push(env.spawn(per_rank(mpi)));
+                }
+                for (r, h) in handles.into_iter().enumerate() {
+                    let out = h.join().await;
+                    results2.borrow_mut()[r] = Some(out);
+                }
+            }
+        });
+        let results = Rc::try_unwrap(results)
+            .unwrap_or_else(|_| panic!("result vector still shared"))
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("rank task completed"))
+            .collect();
+        (results, elapsed)
+    }
+}
+
+/// Convenience: run a closure on `n` ranks with the Xeon profile at
+/// `Funneled`, returning per-rank outputs.
+pub fn run_funneled<T, F, Fut>(n: usize, per_rank: F) -> (Vec<T>, Nanos)
+where
+    T: 'static,
+    F: Fn(Mpi) -> Fut + 'static,
+    Fut: Future<Output = T> + 'static,
+{
+    Universe::new(n, MachineProfile::xeon(), ThreadLevel::Funneled).run(per_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let (out, _) = run_funneled(4, |mpi| async move { (mpi.rank(), mpi.size()) });
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_job_terminates_at_zero_cost_work() {
+        let (out, t) = run_funneled(1, |_mpi| async move { 42 });
+        assert_eq!(out, vec![42]);
+        assert_eq!(t, 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! Generic complex arithmetic over `f32`/`f64`.
+//!
+//! A tiny, `#[repr(C)]`, `Copy` complex type. The QCD crate builds SU(3)
+//! matrices and spinors from it; the FFT crate uses it for butterflies.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar abstraction so kernels can be written once for
+/// `f32` and `f64`.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    const ZERO: Self;
+    const ONE: Self;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+        }
+    };
+}
+impl_real!(f32);
+impl_real!(f64);
+
+/// Complex number with real part `re` and imaginary part `im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+pub type Complex32 = Complex<f32>;
+pub type Complex64 = Complex<f64>;
+
+impl<T: Real> Complex<T> {
+    pub const fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    pub fn i() -> Self {
+        Self::new(T::ZERO, T::ONE)
+    }
+
+    /// `e^{i theta}` for a real angle `theta`.
+    pub fn cis(theta: T) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by `i` (cheaper than a full complex multiply).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Self::new(self.im, -self.re)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Fused multiply-add: `self + a * b`.
+    #[inline]
+    pub fn madd(self, a: Self, b: Self) -> Self {
+        Self::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// `self + conj(a) * b`.
+    #[inline]
+    pub fn madd_conj(self, a: Self, b: Self) -> Self {
+        Self::new(
+            self.re + a.re * b.re + a.im * b.im,
+            self.im + a.re * b.im - a.im * b.re,
+        )
+    }
+
+    /// Reciprocal `1/z`; caller must ensure `z != 0`.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    pub fn to_c64(self) -> Complex64 {
+        Complex64::new(self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl<T: Real> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, o: Self) -> Self {
+        self * o.recip()
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, o: Self) {
+        *self = *self * o;
+    }
+}
+
+impl<T: Real> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: T) -> Self {
+        self.scale(s)
+    }
+}
+
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: Real> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}i)", self.re, self.im)
+    }
+}
+
+impl<T: Real> fmt::Display for Complex<T>
+where
+    T: fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}+{}i)", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = c(1.5, -2.0);
+        let b = c(-0.25, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = c(2.0, 3.0);
+        let b = c(-1.0, 0.5);
+        let p = a * b;
+        assert!((p.re - (-2.0 - 3.0 * 0.5)).abs() < 1e-12);
+        assert!((p.im - (2.0 * 0.5 + -3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = c(2.0, 3.0);
+        assert_eq!(a.conj().conj(), a);
+        let n = (a * a.conj()).re;
+        assert!((n - a.norm_sqr()).abs() < 1e-12);
+        assert!((a * a.conj()).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(2.0, 3.0);
+        let b = c(-1.0, 0.5);
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-12);
+        assert!((q.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_i_is_rotation() {
+        let a = c(2.0, 3.0);
+        assert_eq!(a.mul_i(), a * Complex64::i());
+        assert_eq!(a.mul_neg_i(), a * -Complex64::i());
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let z = Complex64::cis(k as f64 * 0.39269908169872414);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn madd_matches_composed_ops() {
+        let acc = c(0.5, -0.5);
+        let a = c(2.0, 3.0);
+        let b = c(-1.0, 0.5);
+        let r = acc.madd(a, b);
+        let e = acc + a * b;
+        assert!((r.re - e.re).abs() < 1e-12 && (r.im - e.im).abs() < 1e-12);
+        let r = acc.madd_conj(a, b);
+        let e = acc + a.conj() * b;
+        assert!((r.re - e.re).abs() < 1e-12 && (r.im - e.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_variant_works() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        let p = a * b;
+        assert!((p.re - 5.0).abs() < 1e-6);
+        assert!((p.im - 5.0).abs() < 1e-6);
+    }
+}

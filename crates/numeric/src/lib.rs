@@ -1,0 +1,16 @@
+//! Small numerical substrate shared by the QCD, FFT, and CNN application
+//! crates: complex arithmetic, deterministic RNG helpers, and a few
+//! statistics utilities used by the benchmark harness.
+//!
+//! Everything here is deliberately dependency-free and scalar; the
+//! applications in this workspace are validated for *correctness* against
+//! reference implementations, while their large-scale *performance* is
+//! modelled in the discrete-event simulator (see the `destime` crate).
+
+pub mod complex;
+pub mod rng;
+pub mod stats;
+
+pub use complex::{Complex, Complex32, Complex64};
+pub use rng::SplitMix64;
+pub use stats::Summary;

@@ -1,0 +1,162 @@
+//! Deterministic, seedable RNG used to generate synthetic workloads.
+//!
+//! SplitMix64 is tiny, fast, and has well-understood statistical quality for
+//! workload generation (it is the recommended seeder for xoshiro). We carry
+//! our own implementation so that simulation results are bit-reproducible
+//! regardless of `rand` version bumps.
+
+/// SplitMix64 PRNG.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    #[inline]
+    pub fn next_sym(&mut self) -> f64 {
+        2.0 * self.next_f64() - 1.0
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply trick (Lemire); slight modulo bias is irrelevant
+        // for workload generation but this avoids it anyway for typical sizes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Standard normal via Box–Muller (one value per call; simple and
+    /// deterministic, throughput is irrelevant here).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 > 1e-300 {
+                let u2 = self.next_f64();
+                let r = (-2.0 * u1.ln()).sqrt();
+                return r * (core::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+
+    /// Derive an independent stream for a sub-component (e.g. per rank).
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let mixed = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        Self::new(mixed)
+    }
+
+    /// Fill a slice with uniform bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut r = SplitMix64::new(1234);
+        let n = 50_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.next_gaussian();
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = SplitMix64::new(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Overwhelmingly unlikely to stay zero in any byte position for a
+        // 13-byte buffer with a decent generator... but test only that the
+        // buffer changed at all and that the call is deterministic.
+        let mut r2 = SplitMix64::new(5);
+        let mut buf2 = [0u8; 13];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SplitMix64::new(77);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,102 @@
+//! Summary statistics over benchmark samples.
+
+/// Order statistics and moments of a sample set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub median: f64,
+    pub p95: f64,
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let n = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Some(Self {
+            n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&pct));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let v = [1.0, 5.0, 9.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 9.0);
+        assert_eq!(percentile_sorted(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let a = Summary::of(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a, b);
+    }
+}

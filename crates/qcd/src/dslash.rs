@@ -1,0 +1,363 @@
+//! The Wilson-Dslash operator.
+//!
+//! `D ψ(x) = Σ_μ [ U_μ(x) (1 - γ_μ) ψ(x+μ) + U_μ†(x-μ) (1 + γ_μ) ψ(x-μ) ]`
+//!
+//! A 4-dimensional 9-point stencil whose site data are spinors and whose
+//! "coefficients" are the SU(3) gauge links (paper §5.1). The generic form
+//! [`dslash_generic`] takes accessor closures so the same kernel serves the
+//! single-rank periodic operator, the reference for halo-exchange tests,
+//! and the distributed slab operator built on ghost planes.
+
+use numeric::complex::Real;
+use numeric::SplitMix64;
+
+use crate::lattice::SiteIndex;
+use crate::su3::{project, Spinor, Su3};
+
+/// A spinor field over a local lattice (x fastest).
+#[derive(Clone)]
+pub struct FermionField<T: Real> {
+    pub site: SiteIndex,
+    pub data: Vec<Spinor<T>>,
+}
+
+impl<T: Real> FermionField<T> {
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        let site = SiteIndex::new(dims);
+        Self {
+            data: vec![Spinor::zero(); site.volume()],
+            site,
+        }
+    }
+
+    pub fn random(dims: [usize; 4], rng: &mut SplitMix64) -> Self {
+        let site = SiteIndex::new(dims);
+        Self {
+            data: (0..site.volume()).map(|_| Spinor::random(rng)).collect(),
+            site,
+        }
+    }
+
+    pub fn norm_sqr(&self) -> f64 {
+        self.data.iter().map(|s| s.norm_sqr().to_f64()).sum()
+    }
+
+    /// Global inner product `<self, other>` (real and imaginary parts).
+    pub fn dot(&self, other: &Self) -> (f64, f64) {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            let d = a.dot(b);
+            re += d.re.to_f64();
+            im += d.im.to_f64();
+        }
+        (re, im)
+    }
+
+    /// `self += a * other` (real scalar).
+    pub fn axpy_real(&mut self, a: T, other: &Self) {
+        for (s, o) in self.data.iter_mut().zip(&other.data) {
+            *s = s.axpy(numeric::Complex::new(a, T::ZERO), o);
+        }
+    }
+
+    pub fn scale(&mut self, a: T) {
+        for s in self.data.iter_mut() {
+            *s = s.scale(a);
+        }
+    }
+
+    pub fn sub_assign(&mut self, other: &Self) {
+        for (s, o) in self.data.iter_mut().zip(&other.data) {
+            *s = s.sub(o);
+        }
+    }
+}
+
+/// A gauge field: one SU(3) link per site per forward direction.
+#[derive(Clone)]
+pub struct GaugeField<T: Real> {
+    pub site: SiteIndex,
+    pub links: [Vec<Su3<T>>; 4],
+}
+
+impl<T: Real> GaugeField<T> {
+    pub fn unit(dims: [usize; 4]) -> Self {
+        let site = SiteIndex::new(dims);
+        Self {
+            links: std::array::from_fn(|_| vec![Su3::identity(); site.volume()]),
+            site,
+        }
+    }
+
+    pub fn random(dims: [usize; 4], rng: &mut SplitMix64) -> Self {
+        let site = SiteIndex::new(dims);
+        Self {
+            links: std::array::from_fn(|_| {
+                (0..site.volume()).map(|_| Su3::random(rng)).collect()
+            }),
+            site,
+        }
+    }
+}
+
+/// The generic Dslash kernel over accessor closures.
+///
+/// * `dims` — extents of the output region, iterated in x-fastest order;
+/// * `psi_at(c)` — spinor at coordinates `c` (may reach outside `dims`
+///   into ghost regions: coordinates are passed through untranslated as
+///   `isize`);
+/// * `link_at(mu, c)` — forward gauge link `U_μ(c)`.
+pub fn dslash_generic<T: Real>(
+    dims: [usize; 4],
+    psi_at: impl Fn([isize; 4]) -> Spinor<T>,
+    link_at: impl Fn(usize, [isize; 4]) -> Su3<T>,
+) -> Vec<Spinor<T>> {
+    let site = SiteIndex::new(dims);
+    let mut out = vec![Spinor::zero(); site.volume()];
+    for (i, o) in out.iter_mut().enumerate() {
+        let c = site.coords(i);
+        let ci = [c[0] as isize, c[1] as isize, c[2] as isize, c[3] as isize];
+        let mut acc = Spinor::zero();
+        for mu in 0..4 {
+            // Forward: U_mu(x) (1 - gamma_mu) psi(x+mu)
+            let mut cf = ci;
+            cf[mu] += 1;
+            let fwd = project(mu, T::ONE, &psi_at(cf));
+            let u = link_at(mu, ci);
+            let mut term = Spinor::zero();
+            for s in 0..4 {
+                term.s[s] = u.mul_vec(&fwd.s[s]);
+            }
+            acc = acc.add(&term);
+            // Backward: U_mu(x-mu)^dagger (1 + gamma_mu) psi(x-mu)
+            let mut cb = ci;
+            cb[mu] -= 1;
+            let bwd = project(mu, -T::ONE, &psi_at(cb));
+            let ub = link_at(mu, cb);
+            let mut term = Spinor::zero();
+            for s in 0..4 {
+                term.s[s] = ub.adj_mul_vec(&bwd.s[s]);
+            }
+            acc = acc.add(&term);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Single-rank Wilson-Dslash with periodic boundary conditions.
+pub fn dslash<T: Real>(gauge: &GaugeField<T>, psi: &FermionField<T>) -> FermionField<T> {
+    let dims = psi.site.dims;
+    let site = psi.site;
+    let wrap = move |c: [isize; 4]| -> usize {
+        let mut w = [0usize; 4];
+        for d in 0..4 {
+            let l = dims[d] as isize;
+            w[d] = c[d].rem_euclid(l) as usize;
+        }
+        site.index(w)
+    };
+    let data = dslash_generic(
+        dims,
+        |c| psi.data[wrap(c)],
+        |mu, c| gauge.links[mu][wrap(c)],
+    );
+    FermionField { site, data }
+}
+
+/// The Wilson fermion matrix `M ψ = ψ - κ D ψ`.
+pub fn wilson_m<T: Real>(
+    gauge: &GaugeField<T>,
+    kappa: T,
+    psi: &FermionField<T>,
+) -> FermionField<T> {
+    let mut d = dslash(gauge, psi);
+    for (o, p) in d.data.iter_mut().zip(&psi.data) {
+        *o = p.sub(&o.scale(kappa));
+    }
+    d
+}
+
+/// `M† ψ = ψ - κ D† ψ`, using `D† = γ5 D γ5` (Hermiticity of the Wilson
+/// operator). Implemented directly from the adjoint stencil:
+/// `D† ψ(x) = Σ_μ [ U_μ(x) (1 + γ_μ) ψ(x+μ) + U_μ†(x-μ) (1 - γ_μ) ψ(x-μ) ]`.
+pub fn wilson_m_dag<T: Real>(
+    gauge: &GaugeField<T>,
+    kappa: T,
+    psi: &FermionField<T>,
+) -> FermionField<T> {
+    let dims = psi.site.dims;
+    let site = psi.site;
+    let wrap = move |c: [isize; 4]| -> usize {
+        let mut w = [0usize; 4];
+        for d in 0..4 {
+            let l = dims[d] as isize;
+            w[d] = c[d].rem_euclid(l) as usize;
+        }
+        site.index(w)
+    };
+    let psi_at = |c: [isize; 4]| psi.data[wrap(c)];
+    let link_at = |mu: usize, c: [isize; 4]| gauge.links[mu][wrap(c)];
+    let mut out = vec![Spinor::zero(); site.volume()];
+    for (i, o) in out.iter_mut().enumerate() {
+        let c = site.coords(i);
+        let ci = [c[0] as isize, c[1] as isize, c[2] as isize, c[3] as isize];
+        let mut acc = Spinor::zero();
+        for mu in 0..4 {
+            let mut cf = ci;
+            cf[mu] += 1;
+            let fwd = project(mu, -T::ONE, &psi_at(cf)); // (1 + gamma)
+            let u = link_at(mu, ci);
+            let mut term = Spinor::zero();
+            for s in 0..4 {
+                term.s[s] = u.mul_vec(&fwd.s[s]);
+            }
+            acc = acc.add(&term);
+            let mut cb = ci;
+            cb[mu] -= 1;
+            let bwd = project(mu, T::ONE, &psi_at(cb)); // (1 - gamma)
+            let ub = link_at(mu, cb);
+            let mut term = Spinor::zero();
+            for s in 0..4 {
+                term.s[s] = ub.adj_mul_vec(&bwd.s[s]);
+            }
+            acc = acc.add(&term);
+        }
+        *o = acc;
+    }
+    let mut d = FermionField { site, data: out };
+    for (o, p) in d.data.iter_mut().zip(&psi.data) {
+        *o = p.sub(&o.scale(kappa));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0x5EED)
+    }
+
+    const DIMS: [usize; 4] = [4, 4, 4, 4];
+
+    #[test]
+    fn dslash_is_linear() {
+        let mut r = rng();
+        let gauge: GaugeField<f64> = GaugeField::random(DIMS, &mut r);
+        let a = FermionField::random(DIMS, &mut r);
+        let b = FermionField::random(DIMS, &mut r);
+        let mut apb = a.clone();
+        for (x, y) in apb.data.iter_mut().zip(&b.data) {
+            *x = x.add(y);
+        }
+        let d_apb = dslash(&gauge, &apb);
+        let da = dslash(&gauge, &a);
+        let db = dslash(&gauge, &b);
+        let mut expect = da;
+        for (x, y) in expect.data.iter_mut().zip(&db.data) {
+            *x = x.add(y);
+        }
+        let mut diff = d_apb;
+        diff.sub_assign(&expect);
+        assert!(diff.norm_sqr() < 1e-18 * expect.norm_sqr());
+    }
+
+    #[test]
+    fn free_field_dslash_on_constant_spinor_is_eight_times_identity_action() {
+        // With unit gauge links and a constant field, each of the 8 terms
+        // contributes (1 ∓ γ) ψ and the gammas cancel pairwise:
+        // D ψ = Σ_μ [(1-γ_μ) + (1+γ_μ)] ψ = 8 ψ.
+        let mut r = rng();
+        let gauge: GaugeField<f64> = GaugeField::unit(DIMS);
+        let spin = Spinor::random(&mut r);
+        let mut psi = FermionField::zeros(DIMS);
+        for s in psi.data.iter_mut() {
+            *s = spin;
+        }
+        let d = dslash(&gauge, &psi);
+        for s in &d.data {
+            let diff = s.sub(&spin.scale(8.0));
+            assert!(diff.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn mdag_is_the_adjoint_of_m() {
+        // <M† a, b> == <a, M b> for random fields.
+        let mut r = rng();
+        let gauge: GaugeField<f64> = GaugeField::random(DIMS, &mut r);
+        let a = FermionField::random(DIMS, &mut r);
+        let b = FermionField::random(DIMS, &mut r);
+        let kappa = 0.12;
+        let ma_dag = wilson_m_dag(&gauge, kappa, &a);
+        let mb = wilson_m(&gauge, kappa, &b);
+        let lhs = ma_dag.dot(&b);
+        let rhs = a.dot(&mb);
+        assert!(
+            (lhs.0 - rhs.0).abs() < 1e-8 && (lhs.1 - rhs.1).abs() < 1e-8,
+            "<M†a,b>={lhs:?} vs <a,Mb>={rhs:?}"
+        );
+    }
+
+    #[test]
+    fn dslash_moves_a_point_source_to_neighbors_only() {
+        let gauge: GaugeField<f64> = GaugeField::unit(DIMS);
+        let site = SiteIndex::new(DIMS);
+        let mut psi = FermionField::zeros(DIMS);
+        let src = site.index([1, 2, 3, 0]);
+        psi.data[src].s[0][0] = numeric::Complex::one();
+        let d = dslash(&gauge, &psi);
+        let mut support = 0;
+        for (i, s) in d.data.iter().enumerate() {
+            if s.norm_sqr() > 1e-24 {
+                support += 1;
+                // Each supported site must be a nearest neighbor of src.
+                let a = site.coords(i);
+                let b = site.coords(src);
+                let dist: usize = (0..4)
+                    .map(|d| {
+                        let l = DIMS[d];
+                        let diff = (a[d] + l - b[d]) % l;
+                        diff.min(l - diff)
+                    })
+                    .sum();
+                assert_eq!(dist, 1, "site {a:?} is not a neighbor of {b:?}");
+            }
+        }
+        assert_eq!(support, 8, "point source spreads to exactly 8 neighbors");
+    }
+
+    #[test]
+    fn f32_and_f64_agree() {
+        let mut r = rng();
+        let g64: GaugeField<f64> = GaugeField::random(DIMS, &mut r);
+        let mut r2 = rng();
+        let g32: GaugeField<f32> = GaugeField::random(DIMS, &mut r2);
+        let mut r = SplitMix64::new(42);
+        let p64 = FermionField::<f64>::random(DIMS, &mut r);
+        let mut r = SplitMix64::new(42);
+        let p32 = FermionField::<f32>::random(DIMS, &mut r);
+        let d64 = dslash(&g64, &p64);
+        let d32 = dslash(&g32, &p32);
+        let mut err: f64 = 0.0;
+        let mut norm: f64 = 0.0;
+        for (a, b) in d64.data.iter().zip(&d32.data) {
+            for s in 0..4 {
+                for c in 0..3 {
+                    let dr = a.s[s][c].re - b.s[s][c].re as f64;
+                    let di = a.s[s][c].im - b.s[s][c].im as f64;
+                    err += dr * dr + di * di;
+                    norm += a.s[s][c].norm_sqr();
+                }
+            }
+        }
+        assert!(
+            err / norm < 1e-10,
+            "relative f32/f64 deviation too large: {}",
+            err / norm
+        );
+    }
+}

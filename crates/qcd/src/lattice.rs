@@ -1,0 +1,347 @@
+//! 4-D lattice geometry: global extents, processor-grid decomposition, and
+//! the communication/compute accounting used by the simulation drivers.
+
+/// Direction indices.
+pub const X: usize = 0;
+pub const Y: usize = 1;
+pub const Z: usize = 2;
+pub const T: usize = 3;
+
+/// Wilson-Dslash floating-point work per site (the standard count used in
+/// LQCD performance reporting, e.g. the paper's TFLOPS figures).
+pub const DSLASH_FLOPS_PER_SITE: f64 = 1320.0;
+
+/// Bytes per half-spinor (2 spin × 3 color × complex f32) — the per-site
+/// payload of a spin-projected boundary exchange, which is what
+/// QPhiX-style implementations (paper §5.1) put on the wire.
+pub const HALFSPINOR_BYTES_F32: usize = 2 * 3 * 2 * 4;
+
+/// Global lattice extents `[x, y, z, t]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dims(pub [usize; 4]);
+
+impl Dims {
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+}
+
+/// The paper's two strong-scaling lattices.
+pub fn lattice_32x256() -> Dims {
+    Dims([32, 32, 32, 256])
+}
+
+pub fn lattice_48x512() -> Dims {
+    Dims([48, 48, 48, 512])
+}
+
+/// A rank's place in the 4-D processor grid.
+#[derive(Clone, Debug)]
+pub struct Decomposition {
+    pub global: Dims,
+    /// Processor grid `[px, py, pz, pt]`.
+    pub grid: [usize; 4],
+    /// Local extents `[lx, ly, lz, lt]`.
+    pub local: [usize; 4],
+}
+
+impl Decomposition {
+    /// Partition `global` over `n_ranks`, assigning factors to dimensions
+    /// in the paper's priority order: largest dimension first — T, then Z,
+    /// then Y, then X (§5.1).
+    pub fn new(global: Dims, n_ranks: usize) -> Self {
+        assert!(n_ranks > 0);
+        let mut grid = [1usize; 4];
+        let mut local = global.0;
+        let mut remaining = n_ranks;
+        let mut p = 2;
+        let mut factors = Vec::new();
+        while remaining > 1 {
+            while remaining.is_multiple_of(p) {
+                factors.push(p);
+                remaining /= p;
+            }
+            p += 1;
+        }
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            // Prefer splitting the dimension with the largest local extent
+            // that stays divisible; ties go T, Z, Y, X.
+            let mut best: Option<usize> = None;
+            for dim in [T, Z, Y, X] {
+                if local[dim].is_multiple_of(f) && local[dim] / f >= 2 {
+                    match best {
+                        None => best = Some(dim),
+                        Some(b) if local[dim] > local[b] => best = Some(dim),
+                        _ => {}
+                    }
+                }
+            }
+            let dim = best.unwrap_or_else(|| {
+                panic!("cannot decompose {global:?} over {n_ranks} ranks (factor {f})")
+            });
+            grid[dim] *= f;
+            local[dim] /= f;
+        }
+        Self {
+            global,
+            grid,
+            local,
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    pub fn local_volume(&self) -> usize {
+        self.local.iter().product()
+    }
+
+    /// Lexicographic coordinates of `rank` in the grid (x fastest).
+    pub fn coords(&self, rank: usize) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        let mut r = rank;
+        for d in 0..4 {
+            c[d] = r % self.grid[d];
+            r /= self.grid[d];
+        }
+        c
+    }
+
+    /// Rank at grid coordinates (periodic).
+    pub fn rank_at(&self, c: [usize; 4]) -> usize {
+        let mut r = 0;
+        for d in (0..4).rev() {
+            r = r * self.grid[d] + (c[d] % self.grid[d]);
+        }
+        r
+    }
+
+    /// Neighbor rank of `rank` one step along `dim` in direction `dir`
+    /// (+1/-1), periodic.
+    pub fn neighbor(&self, rank: usize, dim: usize, dir: isize) -> usize {
+        let mut c = self.coords(rank);
+        let g = self.grid[dim];
+        c[dim] = (c[dim] + g).wrapping_add_signed(dir) % g;
+        self.rank_at(c)
+    }
+
+    /// Is the lattice actually partitioned along `dim`? (No communication
+    /// otherwise — the face is local wraparound.)
+    pub fn is_partitioned(&self, dim: usize) -> bool {
+        self.grid[dim] > 1
+    }
+
+    /// Number of sites on the face orthogonal to `dim`.
+    pub fn face_sites(&self, dim: usize) -> usize {
+        self.local_volume() / self.local[dim]
+    }
+
+    /// Wire bytes of one face exchange along `dim` (spin-projected f32
+    /// half-spinors, as in the paper's QPhiX implementation).
+    pub fn face_bytes(&self, dim: usize) -> usize {
+        self.face_sites(dim) * HALFSPINOR_BYTES_F32
+    }
+
+    /// Face-site count summed over both faces of every partitioned
+    /// direction (each counted once per face it sits on).
+    pub fn boundary_sites(&self) -> usize {
+        (0..4)
+            .filter(|&d| self.is_partitioned(d))
+            .map(|d| 2 * self.face_sites(d))
+            .sum()
+    }
+
+    /// Internal-volume FLOPs for one Dslash application: every site's full
+    /// stencil *minus* the single-direction contributions that need a
+    /// remote neighbor. Each face site defers exactly one of its eight
+    /// direction terms, so only `1/8` of its work moves to the boundary
+    /// phase — the body compute stays close to the full local volume,
+    /// which is what makes the overlap window large (paper Table 1's
+    /// internal-compute column).
+    pub fn interior_flops(&self) -> f64 {
+        self.total_flops() - self.boundary_flops()
+    }
+
+    /// Boundary (post-exchange) FLOPs: one of eight direction terms per
+    /// face site.
+    pub fn boundary_flops(&self) -> f64 {
+        self.boundary_sites() as f64 * DSLASH_FLOPS_PER_SITE / 8.0
+    }
+
+    /// Total Dslash FLOPs per rank.
+    pub fn total_flops(&self) -> f64 {
+        self.local_volume() as f64 * DSLASH_FLOPS_PER_SITE
+    }
+
+    /// Bytes of pack+unpack copying per Dslash (each partitioned face is
+    /// written once on pack and read once on unpack, both directions).
+    pub fn pack_bytes(&self) -> usize {
+        (0..4)
+            .filter(|&d| self.is_partitioned(d))
+            .map(|d| 2 * self.face_bytes(d))
+            .sum::<usize>()
+            * 2
+    }
+}
+
+/// Site indexing helpers for local (single-rank) fields, x fastest.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteIndex {
+    pub dims: [usize; 4],
+}
+
+impl SiteIndex {
+    pub fn new(dims: [usize; 4]) -> Self {
+        Self { dims }
+    }
+
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    #[inline]
+    pub fn index(&self, c: [usize; 4]) -> usize {
+        let [lx, ly, lz, _] = self.dims;
+        c[0] + lx * (c[1] + ly * (c[2] + lz * c[3]))
+    }
+
+    #[inline]
+    pub fn coords(&self, mut i: usize) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for d in 0..4 {
+            c[d] = i % self.dims[d];
+            i /= self.dims[d];
+        }
+        c
+    }
+
+    /// Periodic neighbor site index.
+    #[inline]
+    pub fn neighbor(&self, i: usize, dim: usize, dir: isize) -> usize {
+        let mut c = self.coords(i);
+        let l = self.dims[dim];
+        c[dim] = (c[dim] + l).wrapping_add_signed(dir) % l;
+        self.index(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_decomposition_512_ranks_gives_48kb_messages() {
+        // 256 Endeavor nodes × 2 ranks/socket-pair = 512 ranks on 32³×256:
+        // the paper reports ~48 KB messages in every direction (Table 1
+        // discussion).
+        let d = Decomposition::new(lattice_32x256(), 512);
+        assert_eq!(d.n_ranks(), 512);
+        for dim in 0..4 {
+            if d.is_partitioned(dim) {
+                let kb = d.face_bytes(dim) as f64 / 1024.0;
+                assert!(
+                    (24.0..=96.0).contains(&kb),
+                    "face {dim} is {kb} KB, expected tens of KB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_prefers_t_then_z() {
+        let d = Decomposition::new(lattice_32x256(), 16);
+        // T=256 is largest: it should absorb the early factors.
+        assert!(d.grid[T] >= d.grid[Z]);
+        assert!(d.grid[T] >= d.grid[X]);
+        assert_eq!(d.n_ranks(), 16);
+        assert_eq!(
+            d.local_volume() * 16,
+            lattice_32x256().volume(),
+            "partition covers the lattice exactly"
+        );
+    }
+
+    #[test]
+    fn decomposition_handles_nonpow2() {
+        // Edison: 1152 nodes × 2 ranks = 2304 = 2^8 × 3^2.
+        let d = Decomposition::new(lattice_48x512(), 2304);
+        assert_eq!(d.n_ranks(), 2304);
+        assert_eq!(d.local_volume() * 2304, lattice_48x512().volume());
+        for dim in 0..4 {
+            assert!(d.local[dim] >= 2, "local extent {dim} = {}", d.local[dim]);
+        }
+    }
+
+    #[test]
+    fn coords_rank_roundtrip() {
+        let d = Decomposition::new(lattice_32x256(), 32);
+        for r in 0..32 {
+            assert_eq!(d.rank_at(d.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_periodic() {
+        let d = Decomposition::new(lattice_32x256(), 64);
+        for r in 0..64 {
+            for dim in 0..4 {
+                let fwd = d.neighbor(r, dim, 1);
+                assert_eq!(
+                    d.neighbor(fwd, dim, -1),
+                    r,
+                    "rank {r} dim {dim} +1 then -1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn face_accounting_is_consistent() {
+        let d = Decomposition::new(lattice_32x256(), 16);
+        for dim in 0..4 {
+            assert_eq!(d.face_sites(dim) * d.local[dim], d.local_volume());
+        }
+        let flops = d.interior_flops() + d.boundary_flops();
+        assert!((flops - d.total_flops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_rank_has_no_partitioned_dims() {
+        let d = Decomposition::new(Dims([8, 8, 8, 8]), 1);
+        for dim in 0..4 {
+            assert!(!d.is_partitioned(dim));
+        }
+        assert_eq!(d.boundary_sites(), 0);
+        assert_eq!(d.pack_bytes(), 0);
+    }
+
+    #[test]
+    fn site_index_roundtrip_and_neighbors() {
+        let s = SiteIndex::new([4, 6, 2, 8]);
+        for i in 0..s.volume() {
+            assert_eq!(s.index(s.coords(i)), i);
+        }
+        // Periodic wrap: +L steps returns home.
+        for dim in 0..4 {
+            let mut i = 17 % s.volume();
+            let start = i;
+            for _ in 0..s.dims[dim] {
+                i = s.neighbor(i, dim, 1);
+            }
+            assert_eq!(i, start);
+        }
+    }
+
+    #[test]
+    fn message_sizes_shrink_with_scale() {
+        // Strong scaling: per-rank faces shrink as ranks grow (this drives
+        // Table 1's eager/rendezvous crossover).
+        let small = Decomposition::new(lattice_32x256(), 16);
+        let large = Decomposition::new(lattice_32x256(), 512);
+        let max_face =
+            |d: &Decomposition| (0..4).map(|dim| d.face_bytes(dim)).max().expect("4 dims");
+        assert!(max_face(&large) < max_face(&small));
+    }
+}

@@ -1,0 +1,22 @@
+//! `qcd` — Lattice QCD Wilson-Dslash application (paper §5.1).
+//!
+//! Real numerical kernels (SU(3) algebra, DeGrand–Rossi gamma matrices,
+//! the Wilson-Dslash 9-point stencil in four dimensions, CG and BiCGStab
+//! solvers), a distributed slab operator carrying real spinor data over
+//! the `Comm` abstraction, and the discrete-event performance drivers
+//! that reproduce Table 1 and Figures 9–12.
+
+pub mod dist;
+pub mod dslash;
+pub mod lattice;
+pub mod sim_driver;
+pub mod solver;
+pub mod su3;
+
+pub use dslash::{dslash, wilson_m, wilson_m_dag, FermionField, GaugeField};
+pub use lattice::{lattice_32x256, lattice_48x512, Decomposition, Dims};
+pub use sim_driver::{
+    run_dslash, run_dslash_thread_groups, run_solver, DslashConfig, DslashReport, PhaseTimes,
+};
+pub use solver::{bicgstab, cg_normal, SolveStats};
+pub use su3::{Spinor, Su3};

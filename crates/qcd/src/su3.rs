@@ -1,0 +1,477 @@
+//! SU(3) color algebra and Wilson spinors.
+//!
+//! Data types for lattice QCD: 3×3 complex color matrices ascribed to
+//! links, 4-spinors (4 spin × 3 color complex components) ascribed to
+//! sites, and the gamma-matrix machinery of the Wilson-Dslash operator in
+//! the DeGrand–Rossi basis.
+
+use numeric::complex::{Complex, Real};
+use numeric::SplitMix64;
+
+/// A 3×3 complex color matrix (`m[row][col]`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Su3<T: Real> {
+    pub m: [[Complex<T>; 3]; 3],
+}
+
+/// A color vector: 3 complex components.
+pub type ColorVec<T> = [Complex<T>; 3];
+
+/// A Wilson 4-spinor: 4 spin components, each a color vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Spinor<T: Real> {
+    pub s: [ColorVec<T>; 4],
+}
+
+impl<T: Real> Su3<T> {
+    pub fn zero() -> Self {
+        Self {
+            m: [[Complex::zero(); 3]; 3],
+        }
+    }
+
+    pub fn identity() -> Self {
+        let mut u = Self::zero();
+        for i in 0..3 {
+            u.m[i][i] = Complex::one();
+        }
+        u
+    }
+
+    /// Hermitian conjugate (dagger).
+    pub fn adj(&self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[j][i].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul(&self, o: &Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = Complex::zero();
+                for k in 0..3 {
+                    acc = acc.madd(self.m[i][k], o.m[k][j]);
+                }
+                out.m[i][j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix × color-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: &ColorVec<T>) -> ColorVec<T> {
+        let mut out = [Complex::zero(); 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = Complex::zero()
+                .madd(self.m[i][0], v[0])
+                .madd(self.m[i][1], v[1])
+                .madd(self.m[i][2], v[2]);
+        }
+        out
+    }
+
+    /// Dagger × color-vector product (avoids materializing the adjoint).
+    #[inline]
+    pub fn adj_mul_vec(&self, v: &ColorVec<T>) -> ColorVec<T> {
+        let mut out = [Complex::zero(); 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = Complex::zero()
+                .madd_conj(self.m[0][i], v[0])
+                .madd_conj(self.m[1][i], v[1])
+                .madd_conj(self.m[2][i], v[2]);
+        }
+        out
+    }
+
+    /// A pseudo-random special-unitary-ish matrix: a unitary matrix built
+    /// by Gram–Schmidt from random complex entries (det phase not fixed —
+    /// unitarity is what the Dslash math relies on).
+    pub fn random(rng: &mut SplitMix64) -> Self {
+        let mut rows: [[Complex<T>; 3]; 3] = [[Complex::zero(); 3]; 3];
+        for row in rows.iter_mut() {
+            for c in row.iter_mut() {
+                *c = Complex::new(
+                    T::from_f64(rng.next_gaussian()),
+                    T::from_f64(rng.next_gaussian()),
+                );
+            }
+        }
+        // Gram–Schmidt orthonormalization of the rows.
+        for i in 0..3 {
+            for j in 0..i {
+                // rows[i] -= <rows[j], rows[i]> rows[j]
+                let mut dot = Complex::zero();
+                for k in 0..3 {
+                    dot = dot.madd_conj(rows[j][k], rows[i][k]);
+                }
+                for k in 0..3 {
+                    rows[i][k] -= rows[j][k] * dot;
+                }
+            }
+            let norm = rows[i]
+                .iter()
+                .map(|c| c.norm_sqr())
+                .sum::<T>()
+                .sqrt();
+            let inv = T::ONE / norm;
+            for k in 0..3 {
+                rows[i][k] = rows[i][k].scale(inv);
+            }
+        }
+        Self { m: rows }
+    }
+
+    /// Frobenius distance to the identity of `U U†` (unitarity check).
+    pub fn unitarity_error(&self) -> f64 {
+        let p = self.mul(&self.adj());
+        let mut err = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                err += (p.m[i][j].re.to_f64() - want).powi(2) + p.m[i][j].im.to_f64().powi(2);
+            }
+        }
+        err.sqrt()
+    }
+}
+
+impl<T: Real> Spinor<T> {
+    pub fn zero() -> Self {
+        Self {
+            s: [[Complex::zero(); 3]; 4],
+        }
+    }
+
+    pub fn random(rng: &mut SplitMix64) -> Self {
+        let mut out = Self::zero();
+        for sp in out.s.iter_mut() {
+            for c in sp.iter_mut() {
+                *c = Complex::new(
+                    T::from_f64(rng.next_gaussian()),
+                    T::from_f64(rng.next_gaussian()),
+                );
+            }
+        }
+        out
+    }
+
+    pub fn add(&self, o: &Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..4 {
+            for c in 0..3 {
+                out.s[i][c] = self.s[i][c] + o.s[i][c];
+            }
+        }
+        out
+    }
+
+    pub fn sub(&self, o: &Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..4 {
+            for c in 0..3 {
+                out.s[i][c] = self.s[i][c] - o.s[i][c];
+            }
+        }
+        out
+    }
+
+    pub fn scale(&self, a: T) -> Self {
+        let mut out = Self::zero();
+        for i in 0..4 {
+            for c in 0..3 {
+                out.s[i][c] = self.s[i][c].scale(a);
+            }
+        }
+        out
+    }
+
+    /// `self + a * o` with complex scalar `a`.
+    pub fn axpy(&self, a: Complex<T>, o: &Self) -> Self {
+        let mut out = Self::zero();
+        for i in 0..4 {
+            for c in 0..3 {
+                out.s[i][c] = self.s[i][c].madd(a, o.s[i][c]);
+            }
+        }
+        out
+    }
+
+    /// Global inner product contribution `<self, o>` (conjugate-linear in
+    /// `self`).
+    pub fn dot(&self, o: &Self) -> Complex<T> {
+        let mut acc = Complex::zero();
+        for i in 0..4 {
+            for c in 0..3 {
+                acc = acc.madd_conj(self.s[i][c], o.s[i][c]);
+            }
+        }
+        acc
+    }
+
+    pub fn norm_sqr(&self) -> T {
+        let mut acc = T::ZERO;
+        for i in 0..4 {
+            for c in 0..3 {
+                acc += self.s[i][c].norm_sqr();
+            }
+        }
+        acc
+    }
+}
+
+/// One element of a 4×4 gamma matrix in a sparse one-entry-per-row
+/// representation: row `i` has value `coef` at column `col`.
+///
+/// All DeGrand–Rossi gamma matrices (and ±1/±i multiples thereof) have
+/// exactly one nonzero per row, which makes spin-matrix application cheap.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinRow {
+    pub col: usize,
+    /// 0 => +1, 1 => +i, 2 => -1, 3 => -i (powers of i).
+    pub phase: u8,
+}
+
+/// A gamma matrix as 4 sparse rows.
+pub type Gamma = [SpinRow; 4];
+
+/// DeGrand–Rossi basis gamma matrices (γ_x, γ_y, γ_z, γ_t).
+///
+/// γ_x = [[0,0,0,i],[0,0,i,0],[0,-i,0,0],[-i,0,0,0]]
+/// γ_y = [[0,0,0,-1],[0,0,1,0],[0,1,0,0],[-1,0,0,0]]
+/// γ_z = [[0,0,i,0],[0,0,0,-i],[-i,0,0,0],[0,i,0,0]]
+/// γ_t = [[0,0,1,0],[0,0,0,1],[1,0,0,0],[0,1,0,0]]
+pub const GAMMAS: [Gamma; 4] = [
+    // γ_x
+    [
+        SpinRow { col: 3, phase: 1 },
+        SpinRow { col: 2, phase: 1 },
+        SpinRow { col: 1, phase: 3 },
+        SpinRow { col: 0, phase: 3 },
+    ],
+    // γ_y
+    [
+        SpinRow { col: 3, phase: 2 },
+        SpinRow { col: 2, phase: 0 },
+        SpinRow { col: 1, phase: 0 },
+        SpinRow { col: 0, phase: 2 },
+    ],
+    // γ_z
+    [
+        SpinRow { col: 2, phase: 1 },
+        SpinRow { col: 3, phase: 3 },
+        SpinRow { col: 0, phase: 3 },
+        SpinRow { col: 1, phase: 1 },
+    ],
+    // γ_t
+    [
+        SpinRow { col: 2, phase: 0 },
+        SpinRow { col: 3, phase: 0 },
+        SpinRow { col: 0, phase: 0 },
+        SpinRow { col: 1, phase: 0 },
+    ],
+];
+
+/// Apply a phase (power of i) to a complex value.
+#[inline]
+pub fn apply_phase<T: Real>(c: Complex<T>, phase: u8) -> Complex<T> {
+    match phase {
+        0 => c,
+        1 => c.mul_i(),
+        2 => -c,
+        3 => c.mul_neg_i(),
+        _ => unreachable!("phase is a power of i"),
+    }
+}
+
+/// `gamma_mu * psi`.
+pub fn gamma_mul<T: Real>(mu: usize, psi: &Spinor<T>) -> Spinor<T> {
+    let g = &GAMMAS[mu];
+    let mut out = Spinor::zero();
+    for i in 0..4 {
+        for c in 0..3 {
+            out.s[i][c] = apply_phase(psi.s[g[i].col][c], g[i].phase);
+        }
+    }
+    out
+}
+
+/// `(1 - sign*gamma_mu) * psi`, the Wilson projector applied as a full spin
+/// matrix. `sign` is `+1.0` or `-1.0`.
+pub fn project<T: Real>(mu: usize, sign: T, psi: &Spinor<T>) -> Spinor<T> {
+    let g = gamma_mul(mu, psi);
+    let mut out = Spinor::zero();
+    for i in 0..4 {
+        for c in 0..3 {
+            out.s[i][c] = psi.s[i][c] - g.s[i][c].scale(sign);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type C = Complex<f64>;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xDEADBEEF)
+    }
+
+    fn gamma_dense(mu: usize) -> [[C; 4]; 4] {
+        let mut m = [[C::zero(); 4]; 4];
+        for (i, row) in GAMMAS[mu].iter().enumerate() {
+            m[i][row.col] = apply_phase(C::one(), row.phase);
+        }
+        m
+    }
+
+    #[test]
+    fn gammas_square_to_identity() {
+        for mu in 0..4 {
+            let g = gamma_dense(mu);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut acc = C::zero();
+                    for k in 0..4 {
+                        acc = acc.madd(g[i][k], g[k][j]);
+                    }
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (acc.re - want).abs() < 1e-12 && acc.im.abs() < 1e-12,
+                        "gamma_{mu}^2 [{i}][{j}] = {acc:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gammas_anticommute() {
+        for mu in 0..4 {
+            for nu in 0..mu {
+                let a = gamma_dense(mu);
+                let b = gamma_dense(nu);
+                for i in 0..4 {
+                    for j in 0..4 {
+                        let mut ab = C::zero();
+                        let mut ba = C::zero();
+                        for k in 0..4 {
+                            ab = ab.madd(a[i][k], b[k][j]);
+                            ba = ba.madd(b[i][k], a[k][j]);
+                        }
+                        let s = ab + ba;
+                        assert!(
+                            s.re.abs() < 1e-12 && s.im.abs() < 1e-12,
+                            "{{γ_{mu}, γ_{nu}}} != 0 at [{i}][{j}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gammas_are_hermitian() {
+        for mu in 0..4 {
+            let g = gamma_dense(mu);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let d = g[i][j] - g[j][i].conj();
+                    assert!(d.re.abs() < 1e-12 && d.im.abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projector_matches_gamma_mul() {
+        let mut r = rng();
+        let psi: Spinor<f64> = Spinor::random(&mut r);
+        for mu in 0..4 {
+            for sign in [1.0, -1.0] {
+                let p = project(mu, sign, &psi);
+                let g = gamma_mul(mu, &psi);
+                for i in 0..4 {
+                    for c in 0..3 {
+                        let want = psi.s[i][c] - g.s[i][c].scale(sign);
+                        let d = p.s[i][c] - want;
+                        assert!(d.norm() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projectors_are_idempotent_up_to_factor_two() {
+        // P_± = (1 ∓ γ); P_±^2 = 2 P_±.
+        let mut r = rng();
+        let psi: Spinor<f64> = Spinor::random(&mut r);
+        for mu in 0..4 {
+            for sign in [1.0f64, -1.0] {
+                let once = project(mu, sign, &psi);
+                let twice = project(mu, sign, &once);
+                let scaled = once.scale(2.0);
+                let d = twice.sub(&scaled);
+                assert!(d.norm_sqr() < 1e-20, "mu={mu} sign={sign}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_su3_is_unitary() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let u: Su3<f64> = Su3::random(&mut r);
+            assert!(u.unitarity_error() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn adj_mul_vec_matches_explicit_adjoint() {
+        let mut r = rng();
+        let u: Su3<f64> = Su3::random(&mut r);
+        let psi: Spinor<f64> = Spinor::random(&mut r);
+        let v = psi.s[0];
+        let a = u.adj_mul_vec(&v);
+        let b = u.adj().mul_vec(&v);
+        for c in 0..3 {
+            assert!((a[c] - b[c]).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unitary_preserves_norm() {
+        let mut r = rng();
+        let u: Su3<f64> = Su3::random(&mut r);
+        let psi: Spinor<f64> = Spinor::random(&mut r);
+        let v = psi.s[1];
+        let w = u.mul_vec(&v);
+        let n1: f64 = v.iter().map(|c| c.norm_sqr()).sum();
+        let n2: f64 = w.iter().map(|c| c.norm_sqr()).sum();
+        assert!((n1 - n2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spinor_linear_algebra() {
+        let mut r = rng();
+        let a: Spinor<f64> = Spinor::random(&mut r);
+        let b: Spinor<f64> = Spinor::random(&mut r);
+        let sum = a.add(&b);
+        let diff = sum.sub(&b);
+        assert!(diff.sub(&a).norm_sqr() < 1e-20);
+        // <a,b> = conj(<b,a>)
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        assert!((ab - ba.conj()).norm() < 1e-12);
+        // norm² consistency
+        assert!((a.dot(&a).re - a.norm_sqr()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the QCD algebra: SU(3) group structure, spinor
+//! space linearity, and operator identities of the Wilson matrix over
+//! random gauge configurations.
+
+use numeric::SplitMix64;
+use proptest::prelude::*;
+use qcd::dslash::{dslash, wilson_m, wilson_m_dag, FermionField, GaugeField};
+use qcd::su3::{gamma_mul, project, Spinor, Su3};
+
+const DIMS: [usize; 4] = [4, 4, 2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random SU(3)-like matrices are unitary and closed under product.
+    #[test]
+    fn su3_unitarity_and_closure(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let a: Su3<f64> = Su3::random(&mut rng);
+        let b: Su3<f64> = Su3::random(&mut rng);
+        prop_assert!(a.unitarity_error() < 1e-9);
+        prop_assert!(b.unitarity_error() < 1e-9);
+        prop_assert!(a.mul(&b).unitarity_error() < 1e-8);
+        // (AB)† = B†A†
+        let lhs = a.mul(&b).adj();
+        let rhs = b.adj().mul(&a.adj());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs.m[i][j] - rhs.m[i][j]).norm() < 1e-10);
+            }
+        }
+    }
+
+    /// The Wilson projectors P± = 1 ∓ γ_μ satisfy P+ + P- = 2 and
+    /// P+ P- = 0 on arbitrary spinors.
+    #[test]
+    fn projector_algebra(seed in any::<u64>(), mu in 0usize..4) {
+        let mut rng = SplitMix64::new(seed);
+        let psi: Spinor<f64> = Spinor::random(&mut rng);
+        let plus = project(mu, 1.0, &psi); // 1 - γ
+        let minus = project(mu, -1.0, &psi); // 1 + γ
+        // Sum is 2ψ.
+        let sum = plus.add(&minus);
+        prop_assert!(sum.sub(&psi.scale(2.0)).norm_sqr() < 1e-18);
+        // P- applied to (1-γ)ψ gives 0: (1+γ)(1-γ) = 1 - γ² = 0.
+        let zero = project(mu, -1.0, &plus);
+        prop_assert!(zero.norm_sqr() < 1e-18 * (1.0 + psi.norm_sqr()));
+        // γ is an isometry.
+        let g = gamma_mul(mu, &psi);
+        prop_assert!((g.norm_sqr() - psi.norm_sqr()).abs() < 1e-10);
+    }
+
+    /// `<M† a, b> == <a, M b>` for random fields, gauge, and kappa — the
+    /// adjointness that CG-on-normal-equations depends on.
+    #[test]
+    fn wilson_adjointness(seed in any::<u64>(), kappa_milli in 0u32..200) {
+        let kappa = kappa_milli as f64 / 1000.0;
+        let mut rng = SplitMix64::new(seed);
+        let gauge: GaugeField<f64> = GaugeField::random(DIMS, &mut rng);
+        let a = FermionField::random(DIMS, &mut rng);
+        let b = FermionField::random(DIMS, &mut rng);
+        let lhs = wilson_m_dag(&gauge, kappa, &a).dot(&b);
+        let rhs = a.dot(&wilson_m(&gauge, kappa, &b));
+        let scale = a.norm_sqr().sqrt() * b.norm_sqr().sqrt();
+        prop_assert!((lhs.0 - rhs.0).abs() < 1e-9 * scale);
+        prop_assert!((lhs.1 - rhs.1).abs() < 1e-9 * scale);
+    }
+
+    /// Dslash is linear: D(αa + b) = αD(a) + D(b).
+    #[test]
+    fn dslash_linearity(seed in any::<u64>(), alpha_milli in -2000i32..2000) {
+        let alpha = alpha_milli as f64 / 1000.0;
+        let mut rng = SplitMix64::new(seed);
+        let gauge: GaugeField<f64> = GaugeField::random(DIMS, &mut rng);
+        let a = FermionField::random(DIMS, &mut rng);
+        let b = FermionField::random(DIMS, &mut rng);
+        let mut combo = a.clone();
+        combo.scale(alpha);
+        for (c, x) in combo.data.iter_mut().zip(&b.data) {
+            *c = c.add(x);
+        }
+        let lhs = dslash(&gauge, &combo);
+        let mut rhs = dslash(&gauge, &a);
+        rhs.scale(alpha);
+        let db = dslash(&gauge, &b);
+        for (r, x) in rhs.data.iter_mut().zip(&db.data) {
+            *r = r.add(x);
+        }
+        let mut diff = lhs;
+        diff.sub_assign(&rhs);
+        prop_assert!(diff.norm_sqr() < 1e-16 * (1.0 + rhs.norm_sqr()));
+    }
+
+    /// Gauge covariance sanity: with unit links, Dslash commutes with
+    /// lattice translations.
+    #[test]
+    fn free_dslash_commutes_with_translation(seed in any::<u64>(), dim in 0usize..4) {
+        let mut rng = SplitMix64::new(seed);
+        let gauge: GaugeField<f64> = GaugeField::unit(DIMS);
+        let psi = FermionField::random(DIMS, &mut rng);
+        let site = psi.site;
+        let translate = |f: &FermionField<f64>| {
+            let mut out = FermionField::zeros(DIMS);
+            for i in 0..site.volume() {
+                let j = site.neighbor(i, dim, 1);
+                out.data[j] = f.data[i];
+            }
+            out
+        };
+        let lhs = translate(&dslash(&gauge, &psi));
+        let rhs = dslash(&gauge, &translate(&psi));
+        let mut diff = lhs;
+        diff.sub_assign(&rhs);
+        prop_assert!(diff.norm_sqr() < 1e-18 * (1.0 + psi.norm_sqr()));
+    }
+}

@@ -1,0 +1,232 @@
+//! The interconnect: computes arrival timestamps and deposits packets.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use destime::Nanos;
+
+use crate::endpoint::Endpoint;
+use crate::profile::MachineProfile;
+
+/// Per-NIC serialization state.
+struct Nic {
+    /// Time at which the transmit side becomes free.
+    tx_free: Cell<Nanos>,
+    /// Time at which the receive side becomes free.
+    rx_free: Cell<Nanos>,
+}
+
+struct Inner<M> {
+    profile: MachineProfile,
+    nics: Vec<Nic>,
+    endpoints: Vec<Endpoint<M>>,
+    /// Last arrival time per (src, dst) pair: the fabric guarantees
+    /// non-overtaking delivery, which MPI message matching depends on.
+    pair_floor: RefCell<HashMap<(usize, usize), Nanos>>,
+    bytes_moved: Cell<u64>,
+    messages_moved: Cell<u64>,
+}
+
+/// Point-to-point fabric connecting `n` ranks.
+///
+/// Cost model per message of `b` bytes from rank `s` to rank `d`:
+///
+/// * intra-node (same node by `ranks_per_node`): shared-memory latency plus
+///   `b` at shared-memory bandwidth; no NIC involvement.
+/// * inter-node: the source NIC serializes injection (`tx_free`), the wire
+///   adds one-way latency, the destination NIC serializes ejection
+///   (`rx_free`) at link bandwidth. Ejection serialization is what produces
+///   realistic incast behaviour for all-to-all traffic: a node receiving
+///   from `P-1` peers takes `(P-1)·b / link_bw` no matter how parallel the
+///   senders are.
+///
+/// The fabric does **not** wake receivers; it deposits timestamped packets
+/// into [`Endpoint`]s that only a progress poll can drain.
+pub struct Fabric<M> {
+    inner: Rc<Inner<M>>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<M> Fabric<M> {
+    pub fn new(n_ranks: usize, profile: MachineProfile) -> Self {
+        assert!(n_ranks > 0);
+        // One NIC port per rank (dual-port HCAs, one port per socket, as on
+        // Endeavor-class nodes); intra-node traffic still bypasses the NIC.
+        Self {
+            inner: Rc::new(Inner {
+                profile,
+                nics: (0..n_ranks)
+                    .map(|_| Nic {
+                        tx_free: Cell::new(0),
+                        rx_free: Cell::new(0),
+                    })
+                    .collect(),
+                endpoints: (0..n_ranks).map(|_| Endpoint::new()).collect(),
+                pair_floor: RefCell::new(HashMap::new()),
+                bytes_moved: Cell::new(0),
+                messages_moved: Cell::new(0),
+            }),
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.inner.endpoints.len()
+    }
+
+    pub fn profile(&self) -> &MachineProfile {
+        &self.inner.profile
+    }
+
+    pub fn endpoint(&self, rank: usize) -> &Endpoint<M> {
+        &self.inner.endpoints[rank]
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        rank / self.inner.profile.ranks_per_node
+    }
+
+    /// True if `a` and `b` share a node (and hence use shared memory).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Transmit `bytes` of payload metadata `msg` from `src` to `dst` at
+    /// virtual time `now`. Returns the computed arrival time.
+    ///
+    /// The *caller* models any sender-side software cost (eager copies, call
+    /// overhead); this function models only the wire.
+    pub fn transmit(&self, src: usize, dst: usize, bytes: usize, now: Nanos, msg: M) -> Nanos {
+        let p = &self.inner.profile;
+        self.inner
+            .bytes_moved
+            .set(self.inner.bytes_moved.get() + bytes as u64);
+        self.inner
+            .messages_moved
+            .set(self.inner.messages_moved.get() + 1);
+        let arrival = if src == dst {
+            // Self-send: pure software, deliverable immediately.
+            now
+        } else if self.same_node(src, dst) {
+            now + p.shm_latency_ns + MachineProfile::transfer_ns(bytes, p.shm_gbps)
+        } else {
+            let tx = &self.inner.nics[src].tx_free;
+            let rx = &self.inner.nics[dst].rx_free;
+            let wire_ns = MachineProfile::transfer_ns(bytes, p.link_gbps);
+            let tx_start = now.max(tx.get());
+            let tx_done = tx_start + wire_ns;
+            tx.set(tx_done);
+            let reach = tx_done + p.nic_latency_ns;
+            // Ejection: the receiving NIC must also spend `wire_ns` pulling
+            // the message off the wire; concurrent arrivals serialize.
+            let rx_start = reach.saturating_sub(wire_ns).max(rx.get());
+            let rx_done = (rx_start + wire_ns).max(reach);
+            rx.set(rx_done);
+            rx_done
+        };
+        // Non-overtaking: two messages on the same (src, dst) pair are
+        // delivered in submission order even if concurrent progress agents
+        // stamped them at the same virtual instant.
+        let arrival = {
+            let mut floors = self.inner.pair_floor.borrow_mut();
+            let floor = floors.entry((src, dst)).or_insert(0);
+            let a = arrival.max(*floor);
+            *floor = a;
+            a
+        };
+        self.inner.endpoints[dst].deposit(arrival, msg);
+        arrival
+    }
+
+    /// Total payload bytes ever transmitted (diagnostics).
+    pub fn bytes_moved(&self) -> u64 {
+        self.inner.bytes_moved.get()
+    }
+
+    /// Total messages ever transmitted (diagnostics).
+    pub fn messages_moved(&self) -> u64 {
+        self.inner.messages_moved.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric<u32> {
+        Fabric::new(n, MachineProfile::xeon())
+    }
+
+    #[test]
+    fn self_send_is_immediate() {
+        let f = fabric(2);
+        let t = f.transmit(0, 0, 1024, 500, 1);
+        assert_eq!(t, 500);
+    }
+
+    #[test]
+    fn inter_node_includes_latency_and_bandwidth() {
+        let f = fabric(4); // ranks 0,1 on node 0; ranks 2,3 on node 1
+        let p = MachineProfile::xeon();
+        let bytes = 6_000; // 1000ns at 6 GB/s
+        let t = f.transmit(0, 2, bytes, 0, 1);
+        assert_eq!(t, 1_000 + p.nic_latency_ns);
+    }
+
+    #[test]
+    fn intra_node_uses_shared_memory() {
+        let f = fabric(4);
+        let p = MachineProfile::xeon();
+        let t = f.transmit(0, 1, 0, 0, 1);
+        assert_eq!(t, p.shm_latency_ns);
+        // Much cheaper than crossing the wire.
+        let t2 = f.transmit(0, 2, 0, 0, 2);
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn injection_serializes_per_nic() {
+        let f = fabric(4);
+        let bytes = 6_000; // 1000ns on the wire
+        let t1 = f.transmit(0, 2, bytes, 0, 1);
+        let t2 = f.transmit(0, 2, bytes, 0, 2); // same instant, same NIC
+        assert_eq!(t2 - t1, 1_000, "second message waits for the first");
+    }
+
+    #[test]
+    fn ejection_serializes_incast() {
+        // Two different source nodes hitting one destination NIC at the
+        // same instant: arrivals must be staggered by the wire time.
+        let f = Fabric::<u32>::new(6, MachineProfile::xeon()); // 3 nodes
+        let bytes = 6_000;
+        let a = f.transmit(0, 4, bytes, 0, 1); // node0 -> node2
+        let b = f.transmit(2, 4, bytes, 0, 2); // node1 -> node2
+        assert_eq!(b - a, 1_000);
+    }
+
+    #[test]
+    fn per_pair_fifo_is_preserved() {
+        let f = fabric(4);
+        let t1 = f.transmit(0, 2, 100, 0, 1);
+        let t2 = f.transmit(0, 2, 100, 0, 2);
+        assert!(t2 >= t1);
+        let delivered = f.endpoint(2).drain_ready(t2);
+        assert_eq!(delivered, vec![1, 2]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let f = fabric(2);
+        f.transmit(0, 1, 10, 0, 1);
+        f.transmit(1, 0, 20, 0, 2);
+        assert_eq!(f.bytes_moved(), 30);
+        assert_eq!(f.messages_moved(), 2);
+    }
+}

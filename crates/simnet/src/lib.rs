@@ -1,0 +1,28 @@
+//! `simnet` — node and interconnect model for the discrete-event simulator.
+//!
+//! Models the pieces of the paper's two testbeds that matter for the studied
+//! phenomena:
+//!
+//! * **Machine profiles** ([`MachineProfile`]): calibrated software-path and
+//!   hardware costs for Endeavor Xeon nodes, Endeavor Xeon Phi coprocessors,
+//!   and NERSC Edison (Cray Aries) nodes. Every cost in the simulation comes
+//!   from a profile, so experiments are explicit about their assumptions and
+//!   a single profile swap reruns an experiment "on the other machine".
+//! * **The fabric** ([`Fabric`]): point-to-point packet delivery with
+//!   one-way latency, per-NIC injection/ejection serialization at link
+//!   bandwidth (which is what makes all-to-alls stop scaling), and cheaper
+//!   intra-node (shared-memory) transfers.
+//!
+//! Crucially, the fabric only computes **arrival timestamps**. Delivery into
+//! MPI-level matching happens when the *progress engine polls* (see the
+//! `mpisim` crate); packets that have "arrived" sit invisible in the
+//! endpoint until some simulated thread enters MPI. That is precisely the
+//! asynchronous-progress problem the paper addresses.
+
+pub mod endpoint;
+pub mod fabric;
+pub mod profile;
+
+pub use endpoint::Endpoint;
+pub use fabric::Fabric;
+pub use profile::MachineProfile;

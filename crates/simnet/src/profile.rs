@@ -1,0 +1,260 @@
+//! Machine cost profiles.
+//!
+//! Every nanosecond charged anywhere in the simulation traces back to a
+//! field of [`MachineProfile`]. Default values are tuned so that the
+//! *microbenchmark shapes* of the paper's §4 are reproduced (eager →
+//! rendezvous crossover at 128 KiB, ~1.3 µs small-message one-way latency,
+//! +2.5 µs per-call `MPI_THREAD_MULTIPLE` penalty, ~0.14 µs offload posting
+//! cost, ~6× slower software paths on Xeon Phi). They are model inputs, not
+//! measurements of the host.
+
+use destime::Nanos;
+
+/// Cost/parameter profile for one simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineProfile {
+    /// Human-readable name used in report headers.
+    pub name: &'static str,
+
+    // -- node shape ---------------------------------------------------------
+    /// MPI ranks sharing one node (the paper runs one rank per socket).
+    pub ranks_per_node: usize,
+    /// Hardware threads (cores) usable by one rank's thread team.
+    pub cores_per_rank: usize,
+    /// Effective per-core compute rate for f32 workloads (GFLOP/s). Apps
+    /// convert FLOP counts to virtual time with this.
+    pub core_gflops_f32: f64,
+    /// Effective per-core compute rate for f64 workloads (GFLOP/s).
+    pub core_gflops_f64: f64,
+    /// Local memory copy bandwidth (GB/s) for pack/unpack style operations.
+    pub mem_copy_gbps: f64,
+
+    // -- MPI software path --------------------------------------------------
+    /// Messages at or below this size use the eager protocol.
+    pub eager_threshold: usize,
+    /// Base cost of entering/leaving any MPI call (FUNNELED, uncontended).
+    pub mpi_call_overhead_ns: Nanos,
+    /// Bandwidth of the internal eager-buffer copy performed inside
+    /// `MPI_Isend` (GB/s). This is what makes eager posting cost grow with
+    /// message size (paper Fig 4).
+    pub eager_copy_gbps: f64,
+    /// Cost to process one rendezvous control message (RTS or CTS).
+    pub rndv_ctrl_ns: Nanos,
+    /// Matching cost per delivered message (queue walk, tag compare).
+    pub match_cost_ns: Nanos,
+    /// Cost of one progress-engine poll that finds nothing.
+    pub progress_poll_ns: Nanos,
+    /// Extra critical-section length added to every MPI call when the
+    /// library was initialized with `MPI_THREAD_MULTIPLE` (global lock,
+    /// atomics, reentrancy checks — paper reports ~2.5 µs for Intel MPI).
+    pub mt_lock_extra_ns: Nanos,
+    /// How long the comm-self helper thread sleeps between progress polls
+    /// while "blocked" in its receive (models its lock acquisition duty
+    /// cycle).
+    pub self_thread_gap_ns: Nanos,
+
+    // -- interconnect -------------------------------------------------------
+    /// One-way wire latency between NICs on different nodes.
+    pub nic_latency_ns: Nanos,
+    /// Per-direction link bandwidth (GB/s).
+    pub link_gbps: f64,
+    /// Intra-node (shared memory) one-way latency.
+    pub shm_latency_ns: Nanos,
+    /// Intra-node copy bandwidth (GB/s).
+    pub shm_gbps: f64,
+
+    // -- offload infrastructure (the paper's contribution) ------------------
+    /// Application-side cost to serialize an MPI call into a command and
+    /// push it onto the lock-free command queue.
+    pub cmd_enqueue_ns: Nanos,
+    /// Offload-thread cost to pop and decode one command.
+    pub cmd_dequeue_ns: Nanos,
+    /// Request-pool slot allocation/free cost.
+    pub pool_alloc_ns: Nanos,
+    /// Cost for the application thread to check a done flag once.
+    pub done_check_ns: Nanos,
+    /// Cost of one `MPI_Test` the offload thread issues per in-flight
+    /// request while sweeping for progress.
+    pub test_sweep_ns: Nanos,
+}
+
+impl MachineProfile {
+    /// Endeavor: dual-socket Intel Xeon E5-2697 v3, InfiniBand FDR,
+    /// Intel MPI 5.0 (paper §4).
+    pub fn xeon() -> Self {
+        Self {
+            name: "endeavor-xeon",
+            ranks_per_node: 2,
+            cores_per_rank: 14,
+            core_gflops_f32: 29.0,
+            core_gflops_f64: 14.5,
+            mem_copy_gbps: 11.0,
+            eager_threshold: 128 * 1024,
+            mpi_call_overhead_ns: 250,
+            eager_copy_gbps: 11.0,
+            rndv_ctrl_ns: 300,
+            match_cost_ns: 40,
+            progress_poll_ns: 60,
+            mt_lock_extra_ns: 2_500,
+            self_thread_gap_ns: 150,
+            nic_latency_ns: 1_200,
+            link_gbps: 6.0,
+            shm_latency_ns: 350,
+            shm_gbps: 11.0,
+            cmd_enqueue_ns: 70,
+            cmd_dequeue_ns: 45,
+            pool_alloc_ns: 25,
+            done_check_ns: 10,
+            test_sweep_ns: 120,
+        }
+    }
+
+    /// Endeavor Xeon Phi coprocessor (61 in-order cores): same fabric, much
+    /// slower scalar software paths (paper Fig 8 reports offload overhead
+    /// growing from 0.3 µs to 1.7 µs). PCIe-attached NIC adds latency.
+    pub fn xeon_phi() -> Self {
+        let sw = 6; // scalar software-path slowdown vs Xeon
+        Self {
+            name: "endeavor-xeon-phi",
+            ranks_per_node: 1,
+            cores_per_rank: 60,
+            core_gflops_f32: 9.0,
+            core_gflops_f64: 4.5,
+            mem_copy_gbps: 6.0,
+            eager_threshold: 128 * 1024,
+            mpi_call_overhead_ns: 250 * sw,
+            eager_copy_gbps: 4.0,
+            rndv_ctrl_ns: 300 * sw,
+            match_cost_ns: 40 * sw,
+            progress_poll_ns: 60 * sw,
+            mt_lock_extra_ns: 2_500 * sw,
+            self_thread_gap_ns: 150 * sw,
+            nic_latency_ns: 2_600,
+            link_gbps: 5.0,
+            shm_latency_ns: 900,
+            shm_gbps: 5.0,
+            cmd_enqueue_ns: 70 * sw,
+            cmd_dequeue_ns: 45 * sw,
+            pool_alloc_ns: 25 * sw,
+            done_check_ns: 10 * sw,
+            test_sweep_ns: 120 * sw,
+        }
+    }
+
+    /// NERSC Edison: Cray XC30, dual-socket Xeon E5-2695 v2, Aries
+    /// dragonfly, Cray MPI.
+    pub fn edison() -> Self {
+        Self {
+            name: "nersc-edison",
+            ranks_per_node: 2,
+            cores_per_rank: 12,
+            core_gflops_f32: 22.0,
+            core_gflops_f64: 11.0,
+            mem_copy_gbps: 9.0,
+            eager_threshold: 8 * 1024, // Cray MPI defaults to a smaller eager cutoff
+            mpi_call_overhead_ns: 400,
+            eager_copy_gbps: 7.0,
+            rndv_ctrl_ns: 350,
+            match_cost_ns: 70,
+            progress_poll_ns: 100,
+            mt_lock_extra_ns: 3_000,
+            self_thread_gap_ns: 170,
+            nic_latency_ns: 1_300,
+            link_gbps: 8.0,
+            shm_latency_ns: 350,
+            shm_gbps: 10.0,
+            cmd_enqueue_ns: 80,
+            cmd_dequeue_ns: 50,
+            pool_alloc_ns: 28,
+            done_check_ns: 11,
+            test_sweep_ns: 130,
+        }
+    }
+
+    /// Time to push `bytes` through a `gbps` GB/s pipe, in ns.
+    pub fn transfer_ns(bytes: usize, gbps: f64) -> Nanos {
+        if bytes == 0 {
+            return 0;
+        }
+        (bytes as f64 / gbps).ceil() as Nanos
+    }
+
+    /// Virtual time to execute `flops` floating-point operations spread
+    /// perfectly over `threads` cores at the f32 rate.
+    pub fn compute_ns_f32(&self, flops: f64, threads: usize) -> Nanos {
+        compute_ns(flops, self.core_gflops_f32, threads)
+    }
+
+    /// Same for f64 workloads.
+    pub fn compute_ns_f64(&self, flops: f64, threads: usize) -> Nanos {
+        compute_ns(flops, self.core_gflops_f64, threads)
+    }
+
+    /// Local pack/unpack copy cost over `threads` cores.
+    pub fn copy_ns(&self, bytes: usize, threads: usize) -> Nanos {
+        if bytes == 0 {
+            return 0;
+        }
+        let t = threads.max(1) as f64;
+        (bytes as f64 / (self.mem_copy_gbps * t)).ceil() as Nanos
+    }
+
+    /// Whether a message of `bytes` uses the eager protocol.
+    pub fn is_eager(&self, bytes: usize) -> bool {
+        bytes <= self.eager_threshold
+    }
+}
+
+fn compute_ns(flops: f64, gflops_per_core: f64, threads: usize) -> Nanos {
+    if flops <= 0.0 {
+        return 0;
+    }
+    let t = threads.max(1) as f64;
+    (flops / (gflops_per_core * t)).ceil() as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        // 6 GB/s == 6 bytes/ns.
+        assert_eq!(MachineProfile::transfer_ns(6_000, 6.0), 1_000);
+        assert_eq!(MachineProfile::transfer_ns(0, 6.0), 0);
+        assert_eq!(MachineProfile::transfer_ns(3, 6.0), 1); // rounds up
+    }
+
+    #[test]
+    fn eager_cutoff_is_inclusive() {
+        let p = MachineProfile::xeon();
+        assert!(p.is_eager(128 * 1024));
+        assert!(!p.is_eager(128 * 1024 + 1));
+    }
+
+    #[test]
+    fn compute_time_scales_with_threads() {
+        let p = MachineProfile::xeon();
+        let one = p.compute_ns_f32(29.0e9, 1); // one core-second of work
+        let all = p.compute_ns_f32(29.0e9, 14);
+        assert_eq!(one, 1_000_000_000);
+        assert!(all < one / 13 && all > one / 15);
+    }
+
+    #[test]
+    fn phi_software_paths_are_slower() {
+        let x = MachineProfile::xeon();
+        let p = MachineProfile::xeon_phi();
+        assert!(p.mpi_call_overhead_ns > 4 * x.mpi_call_overhead_ns);
+        assert!(p.cmd_enqueue_ns > 4 * x.cmd_enqueue_ns);
+        assert!(p.core_gflops_f32 < x.core_gflops_f32);
+        assert!(p.cores_per_rank > x.cores_per_rank);
+    }
+
+    #[test]
+    fn copy_cost_parallelizes() {
+        let p = MachineProfile::xeon();
+        assert!(p.copy_ns(1 << 20, 14) < p.copy_ns(1 << 20, 1));
+        assert_eq!(p.copy_ns(0, 4), 0);
+    }
+}

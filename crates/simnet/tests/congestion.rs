@@ -1,0 +1,124 @@
+//! Fabric congestion properties: the serialization behaviour that makes
+//! all-to-alls stop scaling (paper §5.2) and incast traffic realistic.
+
+use simnet::{Fabric, MachineProfile};
+
+fn fabric(n: usize) -> Fabric<usize> {
+    let mut p = MachineProfile::xeon();
+    p.ranks_per_node = 1; // every rank on its own node: all traffic wired
+    Fabric::new(n, p)
+}
+
+#[test]
+fn incast_completion_scales_linearly_with_fanin() {
+    // n-1 senders to one receiver: the last arrival is gated by the
+    // receiver NIC draining (n-1) messages at link bandwidth.
+    let bytes = 60_000; // 10 µs of wire each at 6 GB/s
+    let per_msg = MachineProfile::transfer_ns(bytes, 6.0);
+    for n in [3usize, 5, 9] {
+        let f = fabric(n);
+        let mut last = 0;
+        for src in 1..n {
+            last = last.max(f.transmit(src, 0, bytes, 0, src));
+        }
+        let floor = per_msg * (n as u64 - 1);
+        assert!(
+            last >= floor,
+            "n={n}: last arrival {last} below serialization floor {floor}"
+        );
+        assert!(
+            last < floor + 1_000_000,
+            "n={n}: last arrival {last} far beyond floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn disjoint_pairs_do_not_interfere() {
+    // Pairwise traffic between disjoint rank pairs is fully parallel.
+    let bytes = 60_000;
+    let f = fabric(8);
+    let mut arrivals = Vec::new();
+    for pair in 0..4 {
+        arrivals.push(f.transmit(2 * pair, 2 * pair + 1, bytes, 0, pair));
+    }
+    // All pairs complete at the same time: no shared resources.
+    assert!(arrivals.windows(2).all(|w| w[0] == w[1]), "{arrivals:?}");
+}
+
+#[test]
+fn full_alltoall_pattern_is_receiver_bound() {
+    // Every rank sends to every other at t=0: each receiver's last arrival
+    // is ~(n-1) serialized messages, independent of sender parallelism.
+    let n = 6;
+    let bytes = 6_000; // 1 µs wire each
+    let per_msg = MachineProfile::transfer_ns(bytes, 6.0);
+    let f = fabric(n);
+    let mut last_per_dst = vec![0u64; n];
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                let t = f.transmit(src, dst, bytes, 0, src * n + dst);
+                last_per_dst[dst] = last_per_dst[dst].max(t);
+            }
+        }
+    }
+    for (dst, &t) in last_per_dst.iter().enumerate() {
+        assert!(
+            t >= per_msg * (n as u64 - 1),
+            "dst {dst} finished at {t}, below the ejection floor"
+        );
+    }
+    assert_eq!(f.messages_moved(), (n * (n - 1)) as u64);
+}
+
+#[test]
+fn staggered_senders_avoid_queueing() {
+    // If senders space their messages by at least the wire time, the
+    // receiver never queues and arrivals track send times.
+    let bytes = 6_000;
+    let per_msg = MachineProfile::transfer_ns(bytes, 6.0);
+    let f = fabric(4);
+    let latency = MachineProfile::xeon().nic_latency_ns;
+    for (i, src) in [1usize, 2, 3].iter().enumerate() {
+        let t_send = i as u64 * (per_msg + 100);
+        let arrival = f.transmit(*src, 0, bytes, t_send, *src);
+        assert_eq!(
+            arrival,
+            t_send + per_msg + latency,
+            "staggered message {i} queued unexpectedly"
+        );
+    }
+}
+
+#[test]
+fn intra_node_traffic_bypasses_nic_serialization() {
+    // With 2 ranks per node, neighbor traffic rides shared memory and does
+    // not consume NIC time.
+    let p = MachineProfile::xeon(); // ranks_per_node = 2
+    let f: Fabric<usize> = Fabric::new(4, p.clone());
+    let bytes = 60_000;
+    // Saturate rank 0's NIC with wire traffic...
+    let wired = f.transmit(0, 2, bytes, 0, 0);
+    // ...the intra-node message is unaffected.
+    let shm = f.transmit(0, 1, bytes, 0, 1);
+    assert!(shm < wired, "shm {shm} should beat the wired path {wired}");
+    assert_eq!(
+        shm,
+        p.shm_latency_ns + MachineProfile::transfer_ns(bytes, p.shm_gbps)
+    );
+}
+
+#[test]
+fn same_pair_delivery_never_overtakes() {
+    // Even when a later message is stamped with an earlier send time (as
+    // concurrent progress agents at one virtual instant can do), delivery
+    // order per (src, dst) pair is preserved — the non-overtaking rule MPI
+    // matching depends on.
+    let f = fabric(2);
+    let t1 = f.transmit(0, 1, 60_000, 1_000, 1); // big message, sent "late"
+    let t2 = f.transmit(0, 1, 64, 0, 2); // small message, stamped earlier
+    assert!(t2 >= t1, "message 2 ({t2}) must not overtake message 1 ({t1})");
+    let delivered = f.endpoint(1).drain_ready(t2.max(t1));
+    assert_eq!(delivered, vec![1, 2]);
+}

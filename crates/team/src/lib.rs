@@ -1,0 +1,277 @@
+//! `team` — an OpenMP-like thread team for simulated ranks.
+//!
+//! The paper's applications are MPI+OpenMP: each rank runs a team of
+//! threads that compute in parallel regions, synchronize at barriers, and
+//! funnel MPI calls through the master thread (or, with the *thread-groups*
+//! library of Fig 12, through one leader per group).
+//!
+//! In the DES, a "thread" is an async task pinned conceptually to one core
+//! of the rank's socket. [`Team::parallel`] mirrors `#pragma omp parallel`:
+//! it spawns `size` member tasks and joins them; [`Ctx::barrier`] mirrors
+//! `#pragma omp barrier`; [`Ctx::compute_share`] charges each member its
+//! slice of a parallel loop's work.
+//!
+//! When an approach dedicates one core to communication (the offload
+//! thread, the comm-self thread, Cray core specialization), the application
+//! team simply gets one fewer member — which is exactly how the paper
+//! accounts for the "small loss of compute resources" (Table 1's
+//! internal-compute slowdown column).
+
+use destime::sync::SimBarrier;
+use destime::{Env, Nanos};
+use std::future::Future;
+
+/// A parallel region runner for one simulated rank.
+#[derive(Clone)]
+pub struct Team {
+    env: Env,
+    size: usize,
+}
+
+/// Per-member context inside a parallel region.
+#[derive(Clone)]
+pub struct Ctx {
+    env: Env,
+    tid: usize,
+    size: usize,
+    barrier: SimBarrier,
+}
+
+impl Team {
+    pub fn new(env: Env, size: usize) -> Self {
+        assert!(size > 0, "a team needs at least one thread");
+        Self { env, size }
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every team member concurrently (the `omp parallel`
+    /// region); returns each member's result, indexed by thread id.
+    pub async fn parallel<T, F, Fut>(&self, f: F) -> Vec<T>
+    where
+        T: 'static,
+        F: Fn(Ctx) -> Fut,
+        Fut: Future<Output = T> + 'static,
+    {
+        let barrier = SimBarrier::new(self.size);
+        let mut handles = Vec::with_capacity(self.size);
+        for tid in 0..self.size {
+            let ctx = Ctx {
+                env: self.env.clone(),
+                tid,
+                size: self.size,
+                barrier: barrier.clone(),
+            };
+            handles.push(self.env.spawn(f(ctx)));
+        }
+        let mut out = Vec::with_capacity(self.size);
+        for h in handles {
+            out.push(h.join().await);
+        }
+        out
+    }
+}
+
+impl Ctx {
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True for thread 0 (the `omp master`).
+    pub fn is_master(&self) -> bool {
+        self.tid == 0
+    }
+
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// `#pragma omp barrier`; resolves to `true` for the last arriver.
+    pub async fn barrier(&self) -> bool {
+        self.barrier.wait().await
+    }
+
+    /// Charge this member its share of `total_ns` of perfectly-divisible
+    /// parallel work (a static-scheduled `omp for`).
+    pub async fn compute_share(&self, total_ns: Nanos) {
+        self.env.advance(total_ns / self.size as u64).await;
+    }
+
+    /// Charge this member `chunk_ns` of its own work.
+    pub async fn compute(&self, chunk_ns: Nanos) {
+        self.env.advance(chunk_ns).await;
+    }
+
+    /// Split the team into `n_groups` contiguous groups (the paper's
+    /// *thread-groups* library [33], used for the Fig 12 experiment).
+    /// Returns this member's group view. All members must call with the
+    /// same `n_groups`.
+    pub fn group(&self, n_groups: usize) -> Group {
+        assert!(n_groups > 0 && n_groups <= self.size);
+        let base = self.size / n_groups;
+        let extra = self.size % n_groups;
+        // Groups 0..extra have (base+1) members.
+        let mut start = 0;
+        let mut found = (0, 0, base);
+        for g in 0..n_groups {
+            let len = base + usize::from(g < extra);
+            if self.tid < start + len {
+                found = (g, self.tid - start, len);
+                break;
+            }
+            start += len;
+        }
+        let (gid, rank_in_group, members) = found;
+        Group {
+            gid,
+            rank_in_group,
+            members,
+            n_groups,
+        }
+    }
+}
+
+/// A member's view of its thread-group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Group index in `0..n_groups`.
+    pub gid: usize,
+    /// This thread's rank within the group.
+    pub rank_in_group: usize,
+    /// Number of threads in this group.
+    pub members: usize,
+    /// Total number of groups.
+    pub n_groups: usize,
+}
+
+impl Group {
+    /// The group leader issues the group's communication.
+    pub fn is_leader(&self) -> bool {
+        self.rank_in_group == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use destime::Sim;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn parallel_runs_all_members() {
+        Sim::new().run(|env| async move {
+            let team = Team::new(env, 4);
+            let out = team.parallel(|ctx| async move { ctx.tid() * 2 }).await;
+            assert_eq!(out, vec![0, 2, 4, 6]);
+        });
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let log: Rc<RefCell<Vec<(usize, u8)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = log.clone();
+        Sim::new().run(|env| async move {
+            let team = Team::new(env.clone(), 3);
+            team.parallel(move |ctx| {
+                let log = log2.clone();
+                async move {
+                    // Phase A takes tid-dependent time.
+                    ctx.compute((ctx.tid() as u64 + 1) * 100).await;
+                    log.borrow_mut().push((ctx.tid(), b'a'));
+                    ctx.barrier().await;
+                    log.borrow_mut().push((ctx.tid(), b'b'));
+                }
+            })
+            .await;
+        });
+        let log = log.borrow();
+        let first_b = log.iter().position(|&(_, p)| p == b'b').expect("some b");
+        assert!(
+            log[..first_b].iter().all(|&(_, p)| p == b'a'),
+            "all phase-a entries precede any phase-b entry: {log:?}"
+        );
+        assert_eq!(log.len(), 6);
+    }
+
+    #[test]
+    fn compute_share_divides_work() {
+        let t = Sim::new().run(|env| async move {
+            let team = Team::new(env, 4);
+            team.parallel(|ctx| async move {
+                ctx.compute_share(4_000).await;
+            })
+            .await;
+        });
+        assert_eq!(t, 1_000);
+    }
+
+    #[test]
+    fn smaller_team_takes_longer() {
+        let time_for = |n: usize| {
+            Sim::new().run(move |env| async move {
+                let team = Team::new(env, n);
+                team.parallel(|ctx| async move { ctx.compute_share(14_000).await })
+                    .await;
+            })
+        };
+        // The "dedicate one core to communication" cost: 14 threads vs 13.
+        assert_eq!(time_for(14), 1_000);
+        assert!(time_for(13) > time_for(14));
+    }
+
+    #[test]
+    fn master_is_thread_zero() {
+        Sim::new().run(|env| async move {
+            let team = Team::new(env, 3);
+            let out = team.parallel(|ctx| async move { ctx.is_master() }).await;
+            assert_eq!(out, vec![true, false, false]);
+        });
+    }
+
+    #[test]
+    fn groups_partition_evenly() {
+        Sim::new().run(|env| async move {
+            let team = Team::new(env, 8);
+            let out = team.parallel(|ctx| async move { ctx.group(4) }).await;
+            for (tid, g) in out.iter().enumerate() {
+                assert_eq!(g.gid, tid / 2);
+                assert_eq!(g.rank_in_group, tid % 2);
+                assert_eq!(g.members, 2);
+                assert_eq!(g.is_leader(), tid % 2 == 0);
+            }
+        });
+    }
+
+    #[test]
+    fn groups_partition_with_remainder() {
+        Sim::new().run(|env| async move {
+            let team = Team::new(env, 7);
+            let out = team.parallel(|ctx| async move { ctx.group(3) }).await;
+            // Sizes 3,2,2.
+            let sizes: Vec<usize> = out.iter().map(|g| g.members).collect();
+            assert_eq!(sizes, vec![3, 3, 3, 2, 2, 2, 2]);
+            let leaders: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.is_leader())
+                .map(|(t, _)| t)
+                .collect();
+            assert_eq!(leaders, vec![0, 3, 5]);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_size_team_rejected() {
+        Sim::new().run(|env| async move {
+            let _ = Team::new(env, 0);
+        });
+    }
+}

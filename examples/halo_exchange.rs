@@ -1,0 +1,87 @@
+//! The paper's Listing-1 scenario in the discrete-event model: a stencil
+//! halo exchange overlapped with internal-volume compute, run unmodified
+//! under all five approaches, printing the achieved overlap and phase
+//! split for each.
+//!
+//! Run: `cargo run --release --example halo_exchange`
+
+use approaches::{run_approach, AnyComm, Approach, Comm};
+use harness::Table;
+use mpisim::Bytes;
+use simnet::MachineProfile;
+
+const FACE_BYTES: usize = 512 * 1024; // rendezvous regime
+const COMPUTE_NS: u64 = 2_000_000; // 2 ms internal volume
+
+async fn stencil_iteration(comm: AnyComm) -> (u64, u64, u64) {
+    let env = comm.env().clone();
+    let (r, p) = (comm.rank(), comm.size());
+    let right = (r + 1) % p;
+    let left = (r + p - 1) % p;
+    // Post the boundary exchange (Listing 1, line 6).
+    let t0 = env.now();
+    let rx1 = comm.irecv(Some(left), Some(1)).await;
+    let rx2 = comm.irecv(Some(right), Some(2)).await;
+    let tx1 = comm.isend(right, 1, Bytes::synthetic(FACE_BYTES)).await;
+    let tx2 = comm.isend(left, 2, Bytes::synthetic(FACE_BYTES)).await;
+    let post = env.now() - t0;
+    // Internal volume processing with PROGRESS points (lines 7–17).
+    for _ in 0..8 {
+        env.advance(COMPUTE_NS / 8).await;
+        comm.progress_hint().await;
+    }
+    // Complete the exchange (line 18).
+    let t1 = env.now();
+    comm.waitall(&[rx1, rx2, tx1, tx2]).await;
+    let wait = env.now() - t1;
+    comm.barrier().await;
+    (post, wait, env.now() - t0)
+}
+
+fn main() {
+    println!(
+        "== halo exchange, {} faces, {} ms compute, 8 ranks (Endeavor Xeon model) ==",
+        harness::fmt_bytes(FACE_BYTES),
+        COMPUTE_NS / 1_000_000
+    );
+    let mut t = Table::new(vec![
+        "approach",
+        "post us",
+        "wait us",
+        "iteration us",
+        "comm hidden %",
+    ]);
+    let mut baseline_wait = None;
+    for approach in Approach::ALL {
+        let (outs, _) = run_approach(
+            8,
+            MachineProfile::xeon(),
+            approach,
+            false,
+            stencil_iteration,
+        );
+        let (post, wait, total) = outs
+            .iter()
+            .copied()
+            .max_by_key(|&(_, w, _)| w)
+            .expect("8 ranks");
+        if approach == Approach::Baseline {
+            baseline_wait = Some(wait.max(1));
+        }
+        let hidden = baseline_wait
+            .map(|bw| 100.0 * (1.0 - wait as f64 / bw as f64))
+            .unwrap_or(0.0);
+        t.row(vec![
+            approach.name().to_string(),
+            format!("{:.2}", post as f64 / 1e3),
+            format!("{:.2}", wait as f64 / 1e3),
+            format!("{:.2}", total as f64 / 1e3),
+            format!("{hidden:.1}"),
+        ]);
+    }
+    t.print("results (worst rank per approach)");
+    println!(
+        "\nThe offload approach posts in ~0.1 us and hides nearly the whole\n\
+         exchange under compute; the baseline pays the rendezvous at the wait."
+    );
+}

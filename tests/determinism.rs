@@ -1,0 +1,66 @@
+//! The discrete-event simulation must be bit-for-bit reproducible: the
+//! whole point of modelling in virtual time is that every experiment is
+//! exactly repeatable (DESIGN.md §7).
+
+use approaches::Approach;
+use cnn::{run_cnn, CnnConfig};
+use fft1d::{run_fft, FftConfig};
+use qcd::{lattice_32x256, run_dslash, DslashConfig};
+use simnet::MachineProfile;
+
+#[test]
+fn qcd_driver_is_deterministic() {
+    let cfg = DslashConfig {
+        lattice: lattice_32x256(),
+        nodes: 8,
+        iterations: 2,
+        progress_hints: 4,
+    };
+    for approach in [Approach::Baseline, Approach::CommSelf, Approach::Offload] {
+        let a = run_dslash(MachineProfile::xeon(), approach, &cfg);
+        let b = run_dslash(MachineProfile::xeon(), approach, &cfg);
+        assert_eq!(a.phases.total, b.phases.total, "{}", approach.name());
+        assert_eq!(a.phases.post, b.phases.post);
+        assert_eq!(a.phases.wait, b.phases.wait);
+        assert_eq!(a.tflops, b.tflops);
+    }
+}
+
+#[test]
+fn fft_driver_is_deterministic() {
+    let cfg = FftConfig {
+        points_per_node: 1 << 20,
+        nodes: 4,
+        segments: 4,
+        iterations: 2,
+        compute_overhead: 1.25,
+        fft_efficiency: 0.35,
+    };
+    let a = run_fft(MachineProfile::xeon(), Approach::Offload, &cfg);
+    let b = run_fft(MachineProfile::xeon(), Approach::Offload, &cfg);
+    assert_eq!(a.phases.total, b.phases.total);
+    assert_eq!(a.gflops, b.gflops);
+}
+
+#[test]
+fn cnn_driver_is_deterministic() {
+    let cfg = CnnConfig {
+        minibatch: 64,
+        nodes: 4,
+        iterations: 2,
+    };
+    let a = run_cnn(MachineProfile::xeon(), Approach::CommSelf, &cfg);
+    let b = run_cnn(MachineProfile::xeon(), Approach::CommSelf, &cfg);
+    assert_eq!(a.iter_ns, b.iter_ns);
+}
+
+#[test]
+fn microbenchmarks_are_deterministic() {
+    let a = harness::osu_latency(MachineProfile::xeon(), Approach::CommSelf, 1024, 5);
+    let b = harness::osu_latency(MachineProfile::xeon(), Approach::CommSelf, 1024, 5);
+    assert_eq!(a, b);
+    let a = harness::overlap_p2p(MachineProfile::xeon(), Approach::Offload, 1 << 20, 3);
+    let b = harness::overlap_p2p(MachineProfile::xeon(), Approach::Offload, 1 << 20, 3);
+    assert_eq!(a.comm_ns, b.comm_ns);
+    assert_eq!(a.wait_ns, b.wait_ns);
+}

@@ -1,0 +1,177 @@
+//! End-to-end assertions of the paper's headline claims, each run at a
+//! reduced scale that preserves the regime in question. These are the
+//! "does the reproduction actually reproduce" tests.
+
+use approaches::Approach;
+use cnn::{run_cnn, CnnConfig};
+use fft1d::{run_fft, FftConfig};
+use harness::{isend_issue_cost, osu_latency, osu_mt_latency, overlap_p2p};
+use qcd::{lattice_32x256, run_dslash, DslashConfig};
+use simnet::MachineProfile;
+
+fn xeon() -> MachineProfile {
+    MachineProfile::xeon()
+}
+
+/// Abstract §1: "we demonstrate significant performance improvement (up to
+/// 2X) for QCD" — the offload-vs-baseline gap must widen with scale and be
+/// substantial at the largest configuration.
+#[test]
+fn qcd_speedup_grows_with_scale() {
+    let cfg = |nodes| DslashConfig {
+        lattice: lattice_32x256(),
+        nodes,
+        iterations: 2,
+        progress_hints: 4,
+    };
+    let speedup = |nodes| {
+        let b = run_dslash(xeon(), Approach::Baseline, &cfg(nodes));
+        let o = run_dslash(xeon(), Approach::Offload, &cfg(nodes));
+        o.tflops / b.tflops
+    };
+    let small = speedup(8);
+    let large = speedup(128);
+    assert!(
+        large > small,
+        "speedup should grow with scale: {small:.3} -> {large:.3}"
+    );
+    assert!(
+        large > 1.15,
+        "offload should win clearly at 128 nodes, got {large:.3}x"
+    );
+}
+
+/// §4.2: the offload approach's Isend posting cost is constant (~140 ns)
+/// and orders of magnitude below the baseline's eager copy at 128 KB.
+#[test]
+fn posting_cost_claims() {
+    let off_64 = isend_issue_cost(xeon(), Approach::Offload, 64, 4);
+    let off_2m = isend_issue_cost(xeon(), Approach::Offload, 2 << 20, 4);
+    assert_eq!(off_64, off_2m);
+    assert!((50..=400).contains(&off_64), "~140ns, got {off_64}");
+    let base_128k = isend_issue_cost(xeon(), Approach::Baseline, 128 * 1024, 4);
+    assert!(base_128k > 50 * off_64);
+}
+
+/// §4.1/Fig 2: offload overlap stays above 85% for small messages and
+/// reaches ~99% for large ones; baseline collapses past the rendezvous
+/// threshold.
+#[test]
+fn overlap_claims() {
+    let off_small = overlap_p2p(xeon(), Approach::Offload, 4096, 3);
+    assert!(
+        off_small.overlap_pct > 85.0,
+        "offload 4KB overlap {}",
+        off_small.overlap_pct
+    );
+    let off_large = overlap_p2p(xeon(), Approach::Offload, 2 << 20, 3);
+    assert!(
+        off_large.overlap_pct > 95.0,
+        "offload 2MB overlap {}",
+        off_large.overlap_pct
+    );
+    let base_large = overlap_p2p(xeon(), Approach::Baseline, 2 << 20, 3);
+    assert!(
+        base_large.overlap_pct < 10.0,
+        "baseline 2MB overlap {}",
+        base_large.overlap_pct
+    );
+}
+
+/// §4.4/Fig 6: with 8 threads the offload approach's message latency beats
+/// the THREAD_MULTIPLE implementations "by up to 6X" — require at least 3X
+/// against comm-self and strictly better scaling than baseline.
+#[test]
+fn multithreaded_latency_claims() {
+    let base = osu_mt_latency(xeon(), Approach::Baseline, 8, 64, 3);
+    let cself = osu_mt_latency(xeon(), Approach::CommSelf, 8, 64, 3);
+    let off = osu_mt_latency(xeon(), Approach::Offload, 8, 64, 3);
+    assert!(
+        cself > 3 * off,
+        "comm-self {cself}ns should be ≥3x offload {off}ns"
+    );
+    assert!(base > 2 * off, "baseline {base}ns vs offload {off}ns");
+}
+
+/// §4.5/Fig 7a: offload adds ~0.3 µs to small-message latency; comm-self
+/// adds an order of magnitude more.
+#[test]
+fn latency_overhead_claims() {
+    let base = osu_latency(xeon(), Approach::Baseline, 64, 8);
+    let off = osu_latency(xeon(), Approach::Offload, 64, 8);
+    let cself = osu_latency(xeon(), Approach::CommSelf, 64, 8);
+    let off_overhead = off.saturating_sub(base);
+    let cself_overhead = cself.saturating_sub(base);
+    assert!(
+        (50..=1_000).contains(&off_overhead),
+        "offload overhead {off_overhead}ns should be a fraction of a µs"
+    );
+    assert!(
+        cself_overhead > 5 * off_overhead,
+        "comm-self overhead {cself_overhead}ns ≫ offload {off_overhead}ns"
+    );
+}
+
+/// §5.2/Fig 13: FFT gains ~20% at small-to-mid scale on Xeon.
+#[test]
+fn fft_improvement_claims() {
+    let cfg = FftConfig {
+        points_per_node: 1 << 24,
+        nodes: 8,
+        segments: 4,
+        iterations: 2,
+        compute_overhead: 1.25,
+        fft_efficiency: 0.35,
+    };
+    let b = run_fft(xeon(), Approach::Baseline, &cfg);
+    let o = run_fft(xeon(), Approach::Offload, &cfg);
+    let gain = o.gflops / b.gflops;
+    assert!(
+        gain > 1.05,
+        "offload should improve FFT at 8 nodes, got {gain:.3}x"
+    );
+}
+
+/// §5.3/Fig 14: CNN training ~equal at small node counts, offload ahead at
+/// scale.
+#[test]
+fn cnn_improvement_claims() {
+    let cfg = |nodes| CnnConfig {
+        minibatch: 256,
+        nodes,
+        iterations: 2,
+    };
+    let b_small = run_cnn(xeon(), Approach::Baseline, &cfg(2));
+    let o_small = run_cnn(xeon(), Approach::Offload, &cfg(2));
+    let ratio_small = o_small.images_per_sec / b_small.images_per_sec;
+    assert!(
+        (0.9..1.3).contains(&ratio_small),
+        "at 2 nodes the approaches should be close, got {ratio_small:.3}"
+    );
+    let b_big = run_cnn(xeon(), Approach::Baseline, &cfg(32));
+    let o_big = run_cnn(xeon(), Approach::Offload, &cfg(32));
+    let ratio_big = o_big.images_per_sec / b_big.images_per_sec;
+    assert!(
+        ratio_big > ratio_small,
+        "offload's advantage must grow with scale: {ratio_small:.3} -> {ratio_big:.3}"
+    );
+}
+
+/// §3: the internal-compute cost of dedicating a core is a few percent on
+/// a 14-core socket (Table 1's slowdown column stays under ~8%).
+#[test]
+fn dedicated_core_cost_is_nominal() {
+    let cfg = DslashConfig {
+        lattice: lattice_32x256(),
+        nodes: 8,
+        iterations: 2,
+        progress_hints: 4,
+    };
+    let b = run_dslash(xeon(), Approach::Baseline, &cfg);
+    let o = run_dslash(xeon(), Approach::Offload, &cfg);
+    let slowdown = o.phases.internal as f64 / b.phases.internal as f64;
+    assert!(
+        (1.0..1.10).contains(&slowdown),
+        "internal-compute slowdown {slowdown:.3} should be ~1/14"
+    );
+}
