@@ -101,13 +101,22 @@ impl Approach {
     /// Construct the strategy for one rank. Must be called once per rank
     /// inside the universe closure; pair with [`Comm::finalize`].
     pub fn make(self, mpi: Mpi) -> AnyComm {
+        self.make_traced(mpi, &obs::Recorder::disabled())
+    }
+
+    /// As [`make`] with a flight recorder: the offload strategy's service
+    /// thread emits virtual-clock events onto a per-rank track. Direct
+    /// strategies have no service thread and record nothing.
+    ///
+    /// [`make`]: Approach::make
+    pub fn make_traced(self, mpi: Mpi, recorder: &obs::Recorder) -> AnyComm {
         match self {
             Approach::Baseline => AnyComm::Baseline(Baseline { mpi }),
             Approach::Iprobe => AnyComm::Iprobe(IprobeComm { mpi }),
             Approach::CommSelf => AnyComm::CommSelf(CommSelf::start(mpi, true)),
             Approach::CoreSpec => AnyComm::CoreSpec(CommSelf::start(mpi, false)),
             Approach::Offload => AnyComm::Offload(OffloadComm {
-                off: SimOffload::start(mpi),
+                off: SimOffload::start_traced(mpi, recorder),
             }),
         }
     }
@@ -170,6 +179,13 @@ pub trait Comm: Clone + 'static {
     /// Escape hatch to the underlying simulated MPI (communicator
     /// management, statistics).
     fn mpi(&self) -> &Mpi;
+
+    /// This rank's MPI-engine metrics registry (progress polls, protocol
+    /// splits, queue depths, lock wait). Same registry for every strategy —
+    /// what differs between approaches is *who* drives it.
+    fn obs_registry(&self) -> obs::Registry {
+        self.mpi().obs_registry()
+    }
 
     async fn isend(&self, dst: Rank, tag: Tag, payload: Bytes) -> CommReq;
     async fn irecv(&self, src: Option<Rank>, tag: Option<Tag>) -> CommReq;
@@ -242,8 +258,7 @@ macro_rules! direct_comm_body {
             self.mpi.wait(req.direct()).await
         }
         async fn waitall(&self, reqs: &[CommReq]) {
-            let direct: Vec<mpisim::Request> =
-                reqs.iter().map(|r| r.direct().clone()).collect();
+            let direct: Vec<mpisim::Request> = reqs.iter().map(|r| r.direct().clone()).collect();
             self.mpi.waitall(&direct).await;
         }
         async fn test(&self, req: &CommReq) -> bool {
@@ -533,10 +548,18 @@ impl Comm for OffloadComm {
         )
     }
     async fn iallgather(&self, mine: Bytes) -> CommReq {
-        CommReq::Off(self.off.icoll(COMM_WORLD, SimColl::Allgather { mine }).await)
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Allgather { mine })
+                .await,
+        )
     }
     async fn igather(&self, root: Rank, mine: Bytes) -> CommReq {
-        CommReq::Off(self.off.icoll(COMM_WORLD, SimColl::Gather { root, mine }).await)
+        CommReq::Off(
+            self.off
+                .icoll(COMM_WORLD, SimColl::Gather { root, mine })
+                .await,
+        )
     }
     async fn iscatter(&self, root: Rank, input: Option<Bytes>, block: usize) -> CommReq {
         CommReq::Off(
@@ -562,6 +585,17 @@ pub enum AnyComm {
     CommSelf(CommSelf),
     CoreSpec(CommSelf),
     Offload(OffloadComm),
+}
+
+impl AnyComm {
+    /// The offload service thread's metrics registry (drain histograms,
+    /// sweep counters), when this strategy has one.
+    pub fn offload_service_obs(&self) -> Option<&obs::Registry> {
+        match self {
+            AnyComm::Offload(c) => Some(c.offload().obs()),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! delegate {
@@ -669,12 +703,40 @@ where
     F: Fn(AnyComm) -> Fut + 'static,
     Fut: Future<Output = T> + 'static,
 {
+    run_approach_traced(
+        n,
+        profile,
+        approach,
+        app_is_multithreaded,
+        obs::Recorder::disabled(),
+        f,
+    )
+}
+
+/// As [`run_approach`] with a flight recorder threaded through to each
+/// rank's strategy: under [`Approach::Offload`] every offload service
+/// thread gets its own virtual-clock track. Export the recorder with
+/// [`obs::Recorder::write_chrome_json`] after the run returns.
+pub fn run_approach_traced<T, F, Fut>(
+    n: usize,
+    profile: simnet::MachineProfile,
+    approach: Approach,
+    app_is_multithreaded: bool,
+    recorder: obs::Recorder,
+    f: F,
+) -> (Vec<T>, Nanos)
+where
+    T: 'static,
+    F: Fn(AnyComm) -> Fut + 'static,
+    Fut: Future<Output = T> + 'static,
+{
     let level = approach.thread_level(app_is_multithreaded);
     let f = std::rc::Rc::new(f);
     mpisim::Universe::new(n, profile, level).run(move |mpi| {
         let f = f.clone();
+        let recorder = recorder.clone();
         async move {
-            let comm = approach.make(mpi);
+            let comm = approach.make_traced(mpi, &recorder);
             let out = f(comm.clone()).await;
             comm.finalize().await;
             out

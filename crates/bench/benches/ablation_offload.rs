@@ -34,11 +34,7 @@ fn main() {
             progress_hints: 4,
         };
         let r = run_dslash(p, Approach::Offload, &cfg);
-        t.row(vec![
-            enqueue_ns.to_string(),
-            us(issue),
-            us(r.phases.total),
-        ]);
+        t.row(vec![enqueue_ns.to_string(), us(issue), us(r.phases.total)]);
     }
     emit(
         "ablation_queue_cost",
@@ -113,8 +109,13 @@ fn main() {
                     let mut reqs = Vec::new();
                     for i in 0..16u32 {
                         reqs.push(
-                            off.isend(mpisim::COMM_WORLD, 1, i, mpisim::Bytes::synthetic(100 * 1024))
-                                .await,
+                            off.isend(
+                                mpisim::COMM_WORLD,
+                                1,
+                                i,
+                                mpisim::Bytes::synthetic(100 * 1024),
+                            )
+                            .await,
                         );
                     }
                     let t0 = env.now();

@@ -10,12 +10,7 @@ fn main() {
     let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
     let ranks = 16;
     for (panel, size) in [("a", 8usize), ("b", 16 * 1024)] {
-        let mut t = Table::new(vec![
-            "collective",
-            "baseline %",
-            "comm-self %",
-            "offload %",
-        ]);
+        let mut t = Table::new(vec!["collective", "baseline %", "comm-self %", "offload %"]);
         for op in CollOp::ALL {
             let mut cells = vec![op.name().to_string()];
             for &a in &approaches {

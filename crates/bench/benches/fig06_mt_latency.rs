@@ -10,12 +10,7 @@ use simnet::MachineProfile;
 fn main() {
     let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
     for (panel, threads) in [("a", 2usize), ("b", 4), ("c", 8)] {
-        let mut t = Table::new(vec![
-            "size",
-            "baseline us",
-            "comm-self us",
-            "offload us",
-        ]);
+        let mut t = Table::new(vec!["size", "baseline us", "comm-self us", "offload us"]);
         for &size in &sizes_pow2(8, 16 * 1024) {
             let mut cells = vec![size_label(size)];
             for &a in &approaches {

@@ -10,12 +10,7 @@ use simnet::MachineProfile;
 
 pub fn run(profile: MachineProfile, tag: &str, title_suffix: &str) {
     let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
-    let mut t = Table::new(vec![
-        "size",
-        "baseline us",
-        "comm-self us",
-        "offload us",
-    ]);
+    let mut t = Table::new(vec!["size", "baseline us", "comm-self us", "offload us"]);
     for &size in &sizes_pow2(8, 64 * 1024) {
         let mut cells = vec![size_label(size)];
         for &a in &approaches {

@@ -6,7 +6,7 @@
 use approaches::Approach;
 use bench::emit;
 use harness::Table;
-use qcd::{lattice_32x256, lattice_48x512, run_dslash, DslashConfig, Dims};
+use qcd::{lattice_32x256, lattice_48x512, run_dslash, Dims, DslashConfig};
 use simnet::MachineProfile;
 
 fn sweep(

@@ -11,12 +11,7 @@ use simnet::MachineProfile;
 
 fn main() {
     // (a) Xeon
-    let mut t = Table::new(vec![
-        "nodes",
-        "baseline GF",
-        "comm-self GF",
-        "offload GF",
-    ]);
+    let mut t = Table::new(vec!["nodes", "baseline GF", "comm-self GF", "offload GF"]);
     for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
         let mut cfg = FftConfig::xeon_weak(nodes);
         if nodes >= 64 {

@@ -4,13 +4,44 @@
 //! benchmark suite.
 fn main() {
     let t0 = std::time::Instant::now();
-    let cfg = qcd::DslashConfig { lattice: qcd::lattice_32x256(), nodes: 256, iterations: 2, progress_hints: 4 };
-    let r = qcd::run_dslash(simnet::MachineProfile::xeon(), approaches::Approach::Offload, &cfg);
-    println!("qcd 256 nodes offload: {:?} tflops={:.1} wall={:?}", r.phases, r.tflops, t0.elapsed());
+    let cfg = qcd::DslashConfig {
+        lattice: qcd::lattice_32x256(),
+        nodes: 256,
+        iterations: 2,
+        progress_hints: 4,
+    };
+    let r = qcd::run_dslash(
+        simnet::MachineProfile::xeon(),
+        approaches::Approach::Offload,
+        &cfg,
+    );
+    println!(
+        "qcd 256 nodes offload: {:?} tflops={:.1} wall={:?}",
+        r.phases,
+        r.tflops,
+        t0.elapsed()
+    );
     let t0 = std::time::Instant::now();
-    let r = qcd::run_dslash(simnet::MachineProfile::xeon(), approaches::Approach::Baseline, &cfg);
-    println!("qcd 256 nodes baseline: {:?} tflops={:.1} wall={:?}", r.phases, r.tflops, t0.elapsed());
+    let r = qcd::run_dslash(
+        simnet::MachineProfile::xeon(),
+        approaches::Approach::Baseline,
+        &cfg,
+    );
+    println!(
+        "qcd 256 nodes baseline: {:?} tflops={:.1} wall={:?}",
+        r.phases,
+        r.tflops,
+        t0.elapsed()
+    );
     let t0 = std::time::Instant::now();
-    let f = fft1d::run_fft(simnet::MachineProfile::xeon(), approaches::Approach::Offload, &fft1d::FftConfig::xeon_weak(32));
-    println!("fft 32 nodes offload: gflops={:.0} wall={:?}", f.gflops, t0.elapsed());
+    let f = fft1d::run_fft(
+        simnet::MachineProfile::xeon(),
+        approaches::Approach::Offload,
+        &fft1d::FftConfig::xeon_weak(32),
+    );
+    println!(
+        "fft 32 nodes offload: gflops={:.0} wall={:?}",
+        f.gflops,
+        t0.elapsed()
+    );
 }

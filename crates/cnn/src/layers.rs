@@ -1,6 +1,8 @@
 //! CNN layers with forward and backward passes (direct, unoptimized but
 //! correct implementations, validated by finite-difference checks).
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+
 use crate::tensor::Tensor;
 use numeric::SplitMix64;
 

@@ -85,7 +85,10 @@ mod tests {
         let macs: f64 = layers.iter().map(|l| l.macs_per_image).sum();
         assert!((0.6e9..1.2e9).contains(&macs), "total MACs {macs}");
         let params: usize = layers.iter().map(|l| l.weight_bytes / 4).sum();
-        assert!((55_000_000..70_000_000).contains(&params), "params {params}");
+        assert!(
+            (55_000_000..70_000_000).contains(&params),
+            "params {params}"
+        );
         // FC layers dominate parameters; conv layers dominate compute.
         let conv_grad = conv_gradient_bytes(&layers);
         assert!(conv_grad < params * 4 / 10, "conv grads are the small part");

@@ -2,8 +2,7 @@
 //! training, plus gradient access for data-parallel training.
 
 use crate::layers::{
-    maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, softmax_xent, Conv2d,
-    Linear,
+    maxpool2_backward, maxpool2_forward, relu_backward, relu_forward, softmax_xent, Conv2d, Linear,
 };
 use crate::tensor::Tensor;
 use numeric::SplitMix64;
@@ -124,12 +123,7 @@ impl SmallCnn {
 }
 
 /// Synthetic classification task: which quadrant holds the bright blob.
-pub fn synthetic_batch(
-    n: usize,
-    h: usize,
-    w: usize,
-    rng: &mut SplitMix64,
-) -> (Tensor, Vec<usize>) {
+pub fn synthetic_batch(n: usize, h: usize, w: usize, rng: &mut SplitMix64) -> (Tensor, Vec<usize>) {
     let mut x = Tensor::zeros([n, 1, h, w]);
     let mut labels = Vec::with_capacity(n);
     for ni in 0..n {
@@ -179,11 +173,7 @@ mod tests {
         // Accuracy on fresh data.
         let (x, labels) = synthetic_batch(64, 8, 8, &mut rng);
         let pred = net.predict(&x);
-        let correct = pred
-            .iter()
-            .zip(&labels)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = pred.iter().zip(&labels).filter(|(a, b)| a == b).count();
         assert!(
             correct >= 48,
             "should classify most quadrants, got {correct}/64"

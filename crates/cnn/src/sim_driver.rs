@@ -126,15 +126,12 @@ async fn rank_driver<C: Comm>(
                                 // Synchronized activation exchange.
                                 let total = l.activation_bytes_per_image * local_images;
                                 let block = (total / p).max(1);
-                                let _ = comm
-                                    .alltoall(Bytes::synthetic(block * p), block)
-                                    .await;
+                                let _ = comm.alltoall(Bytes::synthetic(block * p), block).await;
                             }
                             ctx.barrier().await;
                             // Sharded weights: 1/p of the layer over the
                             // full minibatch.
-                            let ns = profile
-                                .compute_ns_f32(l.flops_fwd(fc_images) / p as f64, 1);
+                            let ns = profile.compute_ns_f32(l.flops_fwd(fc_images) / p as f64, 1);
                             ctx.compute_share(ns).await;
                         }
                     }
@@ -147,13 +144,10 @@ async fn rank_driver<C: Comm>(
                             if ctx.is_master() && p > 1 {
                                 let total = l.activation_bytes_per_image * local_images;
                                 let block = (total / p).max(1);
-                                let _ = comm
-                                    .alltoall(Bytes::synthetic(block * p), block)
-                                    .await;
+                                let _ = comm.alltoall(Bytes::synthetic(block * p), block).await;
                             }
                             ctx.barrier().await;
-                            let ns = profile
-                                .compute_ns_f32(l.flops_bwd(fc_images) / p as f64, 1);
+                            let ns = profile.compute_ns_f32(l.flops_bwd(fc_images) / p as f64, 1);
                             ctx.compute_share(ns).await;
                         }
                         LayerKind::Conv => {

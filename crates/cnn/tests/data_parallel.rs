@@ -75,11 +75,7 @@ fn distributed_weights(approach: Approach, steps: usize) -> Vec<Vec<f32>> {
                     // halve equals the full-batch mean.
                     let g = net.gradients();
                     let reduced = comm
-                        .allreduce(
-                            Bytes::real(f32s_to_bytes(&g)),
-                            Dtype::F32,
-                            ReduceOp::Sum,
-                        )
+                        .allreduce(Bytes::real(f32s_to_bytes(&g)), Dtype::F32, ReduceOp::Sum)
                         .await;
                     let mut summed = bytes_to_f32s(&reduced.to_vec());
                     for v in summed.iter_mut() {

@@ -21,8 +21,8 @@ use std::thread::JoinHandle;
 use mpisim::nbc::{self, DataSrc, RecvAction, Round};
 use mpisim::types::{combine, Bytes};
 
-use crate::pool::{Handle, RequestPool};
-use crate::queue::MpmcQueue;
+use crate::pool::{Handle, PoolMetrics, RequestPool};
+use crate::queue::{MpmcQueue, QueueMetrics};
 
 /// Application tags must stay below this (internal collective tag space).
 pub const TAG_INTERNAL_BASE: u32 = mpisim::TAG_INTERNAL_BASE;
@@ -66,11 +66,19 @@ pub enum CollKind {
     /// Element-wise f64 sum allreduce.
     AllreduceF64Sum(Vec<u8>),
     /// Personalized all-to-all of `block`-byte blocks.
-    Alltoall { input: Vec<u8>, block: usize },
+    Alltoall {
+        input: Vec<u8>,
+        block: usize,
+    },
     /// Broadcast from `root` (payload on root only).
-    Bcast { root: usize, payload: Vec<u8> },
+    Bcast {
+        root: usize,
+        payload: Vec<u8>,
+    },
     /// Allgather of equal contributions.
-    Allgather { mine: Vec<u8> },
+    Allgather {
+        mine: Vec<u8>,
+    },
 }
 
 /// Cloneable per-rank handle used by application threads.
@@ -78,6 +86,7 @@ pub enum CollKind {
 pub struct OffloadHandle {
     queue: Arc<MpmcQueue<Command>>,
     pool: Arc<RequestPool<Completion>>,
+    registry: obs::Registry,
     rank: usize,
     size: usize,
 }
@@ -102,17 +111,25 @@ pub fn offload_world_sized(n: usize, queue_cap: usize, pool_cap: usize) -> Vec<O
     rtmpi::world(n)
         .into_iter()
         .map(|mpi| {
-            let queue = Arc::new(MpmcQueue::with_capacity(queue_cap));
-            let pool = Arc::new(RequestPool::with_capacity(pool_cap));
+            let registry = obs::Registry::default();
+            let queue = Arc::new(MpmcQueue::with_metrics(
+                queue_cap,
+                QueueMetrics::registered(&registry, "queue"),
+            ));
+            let pool = Arc::new(RequestPool::with_metrics(
+                pool_cap,
+                PoolMetrics::registered(&registry, "pool"),
+            ));
             let handle = OffloadHandle {
                 queue: queue.clone(),
                 pool: pool.clone(),
+                registry: registry.clone(),
                 rank: mpi.rank(),
                 size: mpi.size(),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("offload-{}", mpi.rank()))
-                .spawn(move || offload_main(mpi, queue, pool))
+                .spawn(move || offload_main(mpi, queue, pool, registry))
                 .expect("spawn offload thread");
             OffloadRank {
                 handle,
@@ -252,6 +269,14 @@ impl OffloadHandle {
     pub fn queued_commands(&self) -> usize {
         self.queue.approx_len()
     }
+
+    /// This rank's metrics registry (queue/pool/offload-loop metrics).
+    ///
+    /// Snapshots taken here observe the offload thread live; take one
+    /// before and one after a phase and [`obs::Snapshot::diff`] them.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.registry
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -272,7 +297,16 @@ fn offload_main(
     mpi: rtmpi::RtMpi,
     queue: Arc<MpmcQueue<Command>>,
     pool: Arc<RequestPool<Completion>>,
+    reg: obs::Registry,
 ) {
+    // Metric handles are resolved once; per-iteration cost is a couple of
+    // relaxed atomic ops (and nothing at all in no-op builds).
+    let drained_hist = reg.histogram("offload.drained_per_wakeup");
+    let sweeps = reg.counter("offload.testany_sweeps");
+    let converted = reg.counter("offload.coll_converted");
+    let service_iters = reg.counter("offload.service_iters");
+    let idle_yields = reg.counter("offload.idle_yields");
+
     let mut inflight_recv: Vec<(Handle, rtmpi::RtRequest)> = Vec::new();
     let mut nbcs: Vec<LiveNbc> = Vec::new();
     let mut coll_seq: u32 = 0;
@@ -280,8 +314,10 @@ fn offload_main(
     loop {
         let mut advanced = false;
         // 1. Drain the command queue.
+        let mut drained = 0u64;
         while let Some(cmd) = queue.pop() {
             advanced = true;
+            drained += 1;
             match cmd {
                 Command::Isend {
                     dst,
@@ -298,6 +334,9 @@ fn offload_main(
                     inflight_recv.push((slot, req));
                 }
                 Command::Collective { kind, slot } => {
+                    // Blocking collective converted to a nonblocking
+                    // schedule (paper §3.3).
+                    converted.inc();
                     coll_seq = coll_seq.wrapping_add(1);
                     let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
                     nbcs.push(start_live_nbc(&mpi, kind, tag, slot));
@@ -305,7 +344,13 @@ fn offload_main(
                 Command::Shutdown => open = false,
             }
         }
+        if drained > 0 {
+            drained_hist.record(drained);
+        }
         // 2. Sweep in-flight receives (the MPI_Testany analogue).
+        if !inflight_recv.is_empty() {
+            sweeps.inc();
+        }
         inflight_recv.retain(|(slot, req)| {
             if let Some((st, data)) = req.try_take() {
                 pool.complete(*slot, Completion::Received(st, data));
@@ -330,7 +375,10 @@ fn offload_main(
         if !open && inflight_recv.is_empty() && nbcs.is_empty() && queue.is_empty() {
             return;
         }
-        if !advanced {
+        if advanced {
+            service_iters.inc();
+        } else {
+            idle_yields.inc();
             std::thread::yield_now();
         }
     }
@@ -573,7 +621,11 @@ mod tests {
     #[test]
     fn offloaded_bcast_and_allgather() {
         let outs = run_live(3, |mpi| {
-            let payload = if mpi.rank() == 1 { vec![5u8, 6] } else { vec![] };
+            let payload = if mpi.rank() == 1 {
+                vec![5u8, 6]
+            } else {
+                vec![]
+            };
             let b = mpi.bcast(1, payload);
             let g = mpi.allgather(vec![mpi.rank() as u8]);
             (b, g)

@@ -37,9 +37,37 @@ struct PoolSlot<T> {
     value: UnsafeCell<Option<T>>,
 }
 
+/// Flight-recorder signals of one pool: allocation traffic, exhaustion
+/// events, occupancy (with high-water mark), and stale-handle detections —
+/// each generation-tag mismatch is one caught would-be ABA/use-after-free.
+/// Recording costs a couple of `Relaxed` atomics; zero-sized no-ops when
+/// `obs`'s `enabled` feature is off.
+#[derive(Clone, Default)]
+pub struct PoolMetrics {
+    pub allocs: obs::Counter,
+    pub alloc_exhausted: obs::Counter,
+    pub frees: obs::Counter,
+    pub occupancy: obs::Gauge,
+    pub stale_detected: obs::Counter,
+}
+
+impl PoolMetrics {
+    /// Register the pool's metrics under `prefix` in `registry`.
+    pub fn registered(registry: &obs::Registry, prefix: &str) -> Self {
+        Self {
+            allocs: registry.counter(&format!("{prefix}.allocs")),
+            alloc_exhausted: registry.counter(&format!("{prefix}.exhausted")),
+            frees: registry.counter(&format!("{prefix}.frees")),
+            occupancy: registry.gauge(&format!("{prefix}.occupancy")),
+            stale_detected: registry.counter(&format!("{prefix}.stale_detected")),
+        }
+    }
+}
+
 /// Fixed-capacity lock-free request pool.
 pub struct RequestPool<T> {
     slots: Box<[PoolSlot<T>]>,
+    metrics: PoolMetrics,
     /// Packed head: upper 32 bits = pop tag, lower 32 = slot index or NIL.
     head: CachePadded<AtomicU64>,
     outstanding: CachePadded<AtomicU32>,
@@ -72,6 +100,12 @@ impl Handle {
 
 impl<T> RequestPool<T> {
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_metrics(cap, PoolMetrics::default())
+    }
+
+    /// Create a pool whose signals feed pre-registered metric handles
+    /// (see [`PoolMetrics::registered`]).
+    pub fn with_metrics(cap: usize, metrics: PoolMetrics) -> Self {
         assert!(cap > 0 && cap < NIL as usize);
         let slots: Box<[PoolSlot<T>]> = (0..cap)
             .map(|i| PoolSlot {
@@ -83,6 +117,7 @@ impl<T> RequestPool<T> {
             .collect();
         Self {
             slots,
+            metrics,
             head: CachePadded::new(AtomicU64::new(pack(0, 0))),
             outstanding: CachePadded::new(AtomicU32::new(0)),
         }
@@ -90,6 +125,10 @@ impl<T> RequestPool<T> {
 
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
     }
 
     /// Currently allocated slots.
@@ -103,6 +142,7 @@ impl<T> RequestPool<T> {
         loop {
             let (tag, idx) = unpack(head);
             if idx == NIL {
+                self.metrics.alloc_exhausted.inc();
                 return None;
             }
             let next = self.slots[idx as usize].next.load(Ordering::Relaxed);
@@ -115,7 +155,9 @@ impl<T> RequestPool<T> {
                 Ok(_) => {
                     let slot = &self.slots[idx as usize];
                     slot.done.store(false, Ordering::Relaxed);
-                    self.outstanding.fetch_add(1, Ordering::Relaxed);
+                    let was = self.outstanding.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.allocs.inc();
+                    self.metrics.occupancy.set(was as u64 + 1);
                     return Some(Handle {
                         idx,
                         generation: slot.generation.load(Ordering::Relaxed),
@@ -165,8 +207,13 @@ impl<T> RequestPool<T> {
     /// Has the request completed? (The application's `MPI_Test` fast path.)
     pub fn is_done(&self, h: Handle) -> bool {
         let slot = &self.slots[h.idx as usize];
-        slot.generation.load(Ordering::Relaxed) == h.generation
-            && slot.done.load(Ordering::Acquire)
+        if slot.generation.load(Ordering::Relaxed) != h.generation {
+            // Generation-tag mismatch: a stale handle outlived its slot —
+            // the ABA this pool's counted pointers exist to catch.
+            self.metrics.stale_detected.inc();
+            return false;
+        }
+        slot.done.load(Ordering::Acquire)
     }
 
     /// Take the completion value. Only the handle owner may call, and only
@@ -200,7 +247,9 @@ impl<T> RequestPool<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    let was = self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    self.metrics.frees.inc();
+                    self.metrics.occupancy.set(was.saturating_sub(1) as u64);
                     return;
                 }
                 Err(actual) => head = actual,

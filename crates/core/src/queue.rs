@@ -26,10 +26,38 @@ struct Slot<T> {
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
+/// Flight-recorder signals of one queue: push/pop outcomes (full/empty
+/// retries are the back-pressure signals of paper §3.3) and the depth
+/// high-water mark. Every recording site is a couple of `Relaxed` atomics;
+/// with `obs`'s `enabled` feature off the whole struct is zero-sized and
+/// the sites compile out.
+#[derive(Clone, Default)]
+pub struct QueueMetrics {
+    pub push_ok: obs::Counter,
+    pub push_full: obs::Counter,
+    pub pop_ok: obs::Counter,
+    pub pop_empty: obs::Counter,
+    pub depth: obs::Gauge,
+}
+
+impl QueueMetrics {
+    /// Register the queue's metrics under `prefix` in `registry`.
+    pub fn registered(registry: &obs::Registry, prefix: &str) -> Self {
+        Self {
+            push_ok: registry.counter(&format!("{prefix}.push_ok")),
+            push_full: registry.counter(&format!("{prefix}.push_full")),
+            pop_ok: registry.counter(&format!("{prefix}.pop_ok")),
+            pop_empty: registry.counter(&format!("{prefix}.pop_empty")),
+            depth: registry.gauge(&format!("{prefix}.depth")),
+        }
+    }
+}
+
 /// Bounded lock-free multi-producer/multi-consumer queue.
 pub struct MpmcQueue<T> {
     buffer: Box<[Slot<T>]>,
     mask: usize,
+    metrics: QueueMetrics,
     enqueue_pos: CachePadded<AtomicUsize>,
     dequeue_pos: CachePadded<AtomicUsize>,
 }
@@ -44,6 +72,12 @@ impl<T> MpmcQueue<T> {
     /// Create a queue with capacity `cap` (rounded up to a power of two,
     /// minimum 2).
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_metrics(cap, QueueMetrics::default())
+    }
+
+    /// Create a queue whose signals feed pre-registered metric handles
+    /// (see [`QueueMetrics::registered`]).
+    pub fn with_metrics(cap: usize, metrics: QueueMetrics) -> Self {
         let cap = cap.max(2).next_power_of_two();
         let buffer: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
@@ -54,6 +88,7 @@ impl<T> MpmcQueue<T> {
         Self {
             buffer,
             mask: cap - 1,
+            metrics,
             enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
             dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
         }
@@ -61,6 +96,10 @@ impl<T> MpmcQueue<T> {
 
     pub fn capacity(&self) -> usize {
         self.mask + 1
+    }
+
+    pub fn metrics(&self) -> &QueueMetrics {
+        &self.metrics
     }
 
     /// Try to enqueue; returns the value back if the queue is full.
@@ -83,12 +122,18 @@ impl<T> MpmcQueue<T> {
                             // access to this slot until we bump `seq`.
                             unsafe { (*slot.value.get()).write(value) };
                             slot.seq.store(pos + 1, Ordering::Release);
+                            self.metrics.push_ok.inc();
+                            self.metrics.depth.set(self.approx_len() as u64);
                             return Ok(());
                         }
                         Err(actual) => pos = actual,
                     }
                 }
-                d if d < 0 => return Err(value), // full (lap behind)
+                d if d < 0 => {
+                    // full (lap behind): the producer must retry or block
+                    self.metrics.push_full.inc();
+                    return Err(value);
+                }
                 _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
             }
         }
@@ -113,14 +158,17 @@ impl<T> MpmcQueue<T> {
                             // access; the producer's Release store on `seq`
                             // made the value visible.
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
-                            slot.seq
-                                .store(pos + self.mask + 1, Ordering::Release);
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            self.metrics.pop_ok.inc();
                             return Some(value);
                         }
                         Err(actual) => pos = actual,
                     }
                 }
-                d if d < 0 => return None, // empty
+                d if d < 0 => {
+                    self.metrics.pop_empty.inc();
+                    return None; // empty
+                }
                 _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
             }
         }
@@ -183,6 +231,26 @@ mod tests {
             assert_eq!(q.pop(), Some(i));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn full_and_empty_paths_hit_counters() {
+        let reg = obs::Registry::default();
+        let q = MpmcQueue::with_metrics(2, QueueMetrics::registered(&reg, "q"));
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.push(3).is_err(), "capacity exceeded");
+        let s = reg.snapshot();
+        assert_eq!(s.counter("q.push_ok"), 2);
+        assert_eq!(s.counter("q.push_full"), 1, "full retry must be counted");
+        assert_eq!(s.gauge("q.depth").high_water, 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("q.pop_ok"), 2);
+        assert_eq!(s.counter("q.pop_empty"), 1);
     }
 
     #[test]

@@ -124,7 +124,29 @@ struct Inner {
     env: Env,
     tx: Sender<SimCmd>,
     costs: Costs,
+    registry: obs::Registry,
     task: RefCell<Option<Vec<destime::JoinHandle<()>>>>,
+}
+
+/// Metric handles for the offload service loop, resolved once at startup.
+struct LoopObs {
+    drained: obs::Histogram,
+    sweeps: obs::Counter,
+    converted: obs::Counter,
+    retired: obs::Counter,
+    parks: obs::Counter,
+}
+
+impl LoopObs {
+    fn new(reg: &obs::Registry) -> Self {
+        Self {
+            drained: reg.histogram("offload.drained_per_wakeup"),
+            sweeps: reg.counter("offload.testany_sweeps"),
+            converted: reg.counter("offload.coll_converted"),
+            retired: reg.counter("offload.reqs_retired"),
+            parks: reg.counter("offload.deep_idle_parks"),
+        }
+    }
 }
 
 /// Per-rank offload service handle (simulation mode). Clone freely across
@@ -152,6 +174,21 @@ impl SimOffload {
     /// communication endpoints, i.e. no library-level lock between the
     /// offload threads.
     pub fn start_multi(mpi: Mpi, n: usize) -> Self {
+        Self::start_multi_traced(mpi, n, &obs::Recorder::disabled())
+    }
+
+    /// As [`start`] with a trace recorder: the offload thread emits
+    /// virtual-clock (DES time) events onto a per-rank track.
+    ///
+    /// [`start`]: SimOffload::start
+    pub fn start_traced(mpi: Mpi, recorder: &obs::Recorder) -> Self {
+        Self::start_multi_traced(mpi, 1, recorder)
+    }
+
+    /// As [`start_multi`] with a trace recorder.
+    ///
+    /// [`start_multi`]: SimOffload::start_multi
+    pub fn start_multi_traced(mpi: Mpi, n: usize, recorder: &obs::Recorder) -> Self {
         assert!(n >= 1, "at least one offload thread");
         let env = mpi.env().clone();
         let (tx, rx) = channel();
@@ -161,9 +198,18 @@ impl SimOffload {
             pool_alloc: p.pool_alloc_ns,
             done_check: p.done_check_ns,
         };
+        let registry = obs::Registry::default();
+        let rank = mpi.rank();
         let mut tasks = Vec::with_capacity(n);
-        for _ in 0..n {
-            tasks.push(env.spawn(offload_task(mpi.clone(), rx.clone())));
+        for i in 0..n {
+            let track =
+                recorder.track(rank as u32, 1 + i as u32, &format!("rank{rank}/offload{i}"));
+            tasks.push(env.spawn(offload_task(
+                mpi.clone(),
+                rx.clone(),
+                registry.clone(),
+                track,
+            )));
         }
         Self {
             inner: Rc::new(Inner {
@@ -171,6 +217,7 @@ impl SimOffload {
                 env,
                 tx,
                 costs,
+                registry,
                 task: RefCell::new(Some(tasks)),
             }),
         }
@@ -191,6 +238,11 @@ impl SimOffload {
     /// The underlying MPI handle (for communicator management).
     pub fn mpi(&self) -> &Mpi {
         &self.inner.mpi
+    }
+
+    /// This rank's offload-service metrics registry.
+    pub fn obs(&self) -> &obs::Registry {
+        &self.inner.registry
     }
 
     fn fresh_req(&self) -> OffReq {
@@ -271,12 +323,7 @@ impl SimOffload {
     }
 
     /// Blocking offloaded receive.
-    pub async fn recv(
-        &self,
-        comm: CommId,
-        src: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> (Status, Bytes) {
+    pub async fn recv(&self, comm: CommId, src: Option<Rank>, tag: Option<Tag>) -> (Status, Bytes) {
         let r = self.irecv(comm, src, tag).await;
         let st = self.wait(&r).await.expect("recv has status");
         (st, r.take_data().expect("recv has data"))
@@ -297,14 +344,7 @@ impl SimOffload {
         op: ReduceOp,
     ) -> Bytes {
         let r = self
-            .icoll(
-                comm,
-                SimColl::Allreduce {
-                    payload,
-                    dtype,
-                    op,
-                },
-            )
+            .icoll(comm, SimColl::Allreduce { payload, dtype, op })
             .await;
         self.wait(&r).await;
         r.take_data().expect("allreduce result")
@@ -359,27 +399,36 @@ struct InFlight {
 }
 
 /// The offload thread's main loop (DES task).
-async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>) {
+async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>, reg: obs::Registry, track: obs::Track) {
     let env = mpi.env().clone();
     let p = mpi.profile();
+    let lo = LoopObs::new(&reg);
     let mut inflight: Vec<InFlight> = Vec::new();
     let mut open = true;
     loop {
         // 1. Service queued commands first (application responsiveness).
         // Stop draining once this thread saw its shutdown token so sibling
         // offload threads (multi-threaded offload) get theirs.
+        let t_service = env.now();
+        let mut drained = 0u64;
         while open {
             let Some(cmd) = rx.try_recv() else { break };
             env.advance(p.cmd_dequeue_ns).await;
-            if !issue(&mpi, cmd, &mut inflight).await {
+            drained += 1;
+            if !issue(&mpi, cmd, &mut inflight, &lo).await {
                 open = false;
             }
+        }
+        if drained > 0 {
+            lo.drained.record(drained);
+            track.complete_at("drain", t_service, env.now());
         }
         // 2. Completion sweep over in-flight requests (MPI_Testany) plus a
         // progress poll — this is what guarantees asynchronous progress.
         // Testany short-circuits at completions: charge one probe plus one
         // per request retired, not a full-list scan per wake.
         if !inflight.is_empty() {
+            lo.sweeps.inc();
             mpi.progress_once().await;
             let before = inflight.len();
             inflight.retain(|f| {
@@ -392,6 +441,10 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>) {
                 }
             });
             let retired = (before - inflight.len()) as u64;
+            if retired > 0 {
+                lo.retired.add(retired);
+                track.instant_at("retire", env.now());
+            }
             env.advance(p.test_sweep_ns * (retired + 1)).await;
         }
         // 3. Park or exit.
@@ -400,10 +453,12 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>) {
                 return;
             }
             // Deep idle: only a new command can create work.
+            lo.parks.inc();
             match rx.recv().await {
                 Some(cmd) => {
                     env.advance(p.cmd_dequeue_ns).await;
-                    if !issue(&mpi, cmd, &mut inflight).await {
+                    lo.drained.record(1);
+                    if !issue(&mpi, cmd, &mut inflight, &lo).await {
                         open = false;
                     }
                 }
@@ -417,7 +472,8 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>) {
             match race(rx.recv(), activity).await {
                 Either::Left(Some(cmd)) => {
                     env.advance(p.cmd_dequeue_ns).await;
-                    if !issue(&mpi, cmd, &mut inflight).await {
+                    lo.drained.record(1);
+                    if !issue(&mpi, cmd, &mut inflight, &lo).await {
                         open = false;
                     }
                 }
@@ -429,7 +485,7 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>) {
 }
 
 /// Issue one command into MPI; returns false for `Shutdown`.
-async fn issue(mpi: &Mpi, cmd: SimCmd, inflight: &mut Vec<InFlight>) -> bool {
+async fn issue(mpi: &Mpi, cmd: SimCmd, inflight: &mut Vec<InFlight>, lo: &LoopObs) -> bool {
     match cmd {
         SimCmd::Isend {
             comm,
@@ -460,13 +516,12 @@ async fn issue(mpi: &Mpi, cmd: SimCmd, inflight: &mut Vec<InFlight>) -> bool {
         } => {
             // Blocking collectives become their nonblocking equivalents so
             // the offload thread never stalls (paper §3.3).
+            lo.converted.inc();
             let req = match op {
                 SimColl::Barrier => mpi.ibarrier(comm).await,
-                SimColl::Allreduce {
-                    payload,
-                    dtype,
-                    op,
-                } => mpi.iallreduce(comm, payload, dtype, op).await,
+                SimColl::Allreduce { payload, dtype, op } => {
+                    mpi.iallreduce(comm, payload, dtype, op).await
+                }
                 SimColl::Reduce {
                     root,
                     payload,
@@ -539,9 +594,7 @@ mod tests {
                 let env = off.env().clone();
                 if off.rank() == 0 {
                     let t0 = env.now();
-                    let r1 = off
-                        .isend(COMM_WORLD, 1, 1, Bytes::synthetic(8))
-                        .await;
+                    let r1 = off.isend(COMM_WORLD, 1, 1, Bytes::synthetic(8)).await;
                     let small = env.now() - t0;
                     let t1 = env.now();
                     let r2 = off
@@ -625,8 +678,8 @@ mod tests {
         // copies of a many-message burst are split across two cores, so the
         // burst completes sooner.
         let total_wait = |threads: usize| {
-            let (outs, _) = Universe::new(2, MachineProfile::xeon(), ThreadLevel::Funneled)
-                .run(move |mpi| {
+            let (outs, _) =
+                Universe::new(2, MachineProfile::xeon(), ThreadLevel::Funneled).run(move |mpi| {
                     let off = SimOffload::start_multi(mpi, threads);
                     Box::pin(async move {
                         let env = off.env().clone();
@@ -669,8 +722,8 @@ mod tests {
         // barrier-like wait (receive that completes late), the other keeps
         // doing sends. Because the offload thread converts everything to
         // nonblocking internally, the second thread's traffic flows.
-        let (outs, _) = Universe::new(2, MachineProfile::xeon(), ThreadLevel::Funneled).run(
-            |mpi| {
+        let (outs, _) =
+            Universe::new(2, MachineProfile::xeon(), ThreadLevel::Funneled).run(|mpi| {
                 let off = SimOffload::start(mpi);
                 Box::pin(async move {
                     let env = off.env().clone();
@@ -712,8 +765,7 @@ mod tests {
                         (got, 0)
                     }
                 })
-            },
-        );
+            });
         assert_eq!(outs[0], (50, 16));
         assert_eq!(outs[1].0, 50);
     }

@@ -85,7 +85,10 @@ fn collectives_from_one_thread_while_others_send() {
             got
         }));
     }
-    let outs: Vec<f64> = join.into_iter().map(|j| j.join().expect("thread")).collect();
+    let outs: Vec<f64> = join
+        .into_iter()
+        .map(|j| j.join().expect("thread"))
+        .collect();
     // Collective results: sum over i of (0+i)+(1+i) = sum (1+2i) for i in 0..40
     let expect_coll: f64 = (0..40).map(|i| 1.0 + 2.0 * i as f64).sum();
     assert_eq!(outs[0], expect_coll);
@@ -121,6 +124,61 @@ fn tiny_pool_forces_backpressure_not_corruption() {
     let sum = receiver.join().expect("receiver");
     let expect: u64 = (0..300u64).map(|i| i % 256).sum();
     assert_eq!(sum, expect);
+    for r in ranks {
+        r.finalize();
+    }
+}
+
+#[cfg(feature = "obs-enabled")]
+#[test]
+fn pool_occupancy_high_water_stays_within_capacity() {
+    // The occupancy gauge's high-water mark must never exceed the pool
+    // capacity, even with several app threads racing alloc/free, and the
+    // alloc/free counters must balance once every wait has returned.
+    const POOL_CAP: usize = 8;
+    const APP_THREADS: usize = 3;
+    const MSGS: usize = 100;
+    let ranks = offload_world_sized(2, 16, POOL_CAP);
+    let h0 = ranks[0].handle();
+    let h1 = ranks[1].handle();
+    let senders: Vec<_> = (0..APP_THREADS as u32)
+        .map(|t| {
+            let h = h0.clone();
+            thread::spawn(move || {
+                for i in 0..MSGS {
+                    h.send(1, t, Arc::new(vec![(i % 256) as u8]));
+                }
+            })
+        })
+        .collect();
+    let receiver = thread::spawn(move || {
+        for _ in 0..APP_THREADS * MSGS {
+            let _ = h1.recv(Some(0), None);
+        }
+    });
+    for s in senders {
+        s.join().expect("sender");
+    }
+    receiver.join().expect("receiver");
+
+    let snap = h0.obs().snapshot();
+    let occ = snap.gauge("pool.occupancy");
+    assert!(
+        occ.high_water as usize <= POOL_CAP,
+        "occupancy HWM {} exceeds pool capacity {POOL_CAP}",
+        occ.high_water
+    );
+    assert!(occ.high_water >= 1, "the pool was actually used");
+    assert_eq!(
+        snap.counter("pool.allocs"),
+        snap.counter("pool.frees"),
+        "every slot allocated was freed by a wait"
+    );
+    assert!(snap.counter("queue.push_ok") >= (APP_THREADS * MSGS) as u64);
+    assert!(
+        snap.histogram("offload.drained_per_wakeup").count > 0,
+        "the service loop recorded its wakeups"
+    );
     for r in ranks {
         r.finalize();
     }

@@ -127,7 +127,10 @@ impl<T> Future for Recv<T> {
         if self.inner.senders.get() == 0 {
             return Poll::Ready(None);
         }
-        self.inner.waiters.borrow_mut().push_back(cx.waker().clone());
+        self.inner
+            .waiters
+            .borrow_mut()
+            .push_back(cx.waker().clone());
         Poll::Pending
     }
 }

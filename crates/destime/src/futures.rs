@@ -43,7 +43,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Sim, Env};
+    use crate::{Env, Sim};
 
     #[test]
     fn left_wins_tie() {

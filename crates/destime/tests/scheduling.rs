@@ -16,7 +16,8 @@ fn virtual_time_is_independent_of_task_count() {
             let handles: Vec<_> = (0..n)
                 .map(|_| {
                     let env = env.clone();
-                    env.clone().spawn(async move { env.advance(1_000_000).await })
+                    env.clone()
+                        .spawn(async move { env.advance(1_000_000).await })
                 })
                 .collect();
             for h in handles {

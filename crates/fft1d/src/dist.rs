@@ -184,7 +184,11 @@ pub fn gather_natural(plan: &DistPlan, outs: &[Vec<Complex64>]) -> Vec<Complex64
 /// Blocking transpose-algorithm distributed FFT in decimated layouts (see
 /// [`scatter_natural`]/[`gather_natural`] for the index mapping). `local`
 /// holds this rank's `n1/p` rows of length `n2`.
-pub async fn fft_dist<C: Comm>(comm: &C, plan: &DistPlan, mut local: Vec<Complex64>) -> Vec<Complex64> {
+pub async fn fft_dist<C: Comm>(
+    comm: &C,
+    plan: &DistPlan,
+    mut local: Vec<Complex64>,
+) -> Vec<Complex64> {
     assert_eq!(local.len(), plan.local_len());
     assert_eq!(comm.size(), plan.p);
     let rank = comm.rank();

@@ -4,11 +4,13 @@
 
 pub mod calibrate;
 pub mod micro;
+pub mod obsreport;
 pub mod table;
 
 pub use calibrate::{calibrate, Calibration};
 pub use micro::{
     isend_issue_cost, nbc_issue_cost, nbc_overlap, osu_bandwidth, osu_latency, osu_mt_latency,
-    overlap_p2p, CollOp, OverlapResult,
+    overlap_p2p, overlap_p2p_observed, CollOp, ObservedOverlap, OverlapResult,
 };
+pub use obsreport::{append_metrics, dump_trace, metrics_table, trace_path_from_args};
 pub use table::{fmt_bytes, fmt_ns, Table};

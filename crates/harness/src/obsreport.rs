@@ -1,0 +1,91 @@
+//! Metric snapshots in benchmark reports, and the `--trace <path>` hook.
+//!
+//! Experiments capture an [`obs::Snapshot`] per phase (via
+//! `Comm::obs_registry` / `AnyComm::offload_service_obs`), diff consecutive
+//! snapshots to attribute activity to the phase, and append the result to
+//! the same table/CSV reports the timing numbers go to.
+
+use crate::table::Table;
+
+/// Render a snapshot (usually a [`obs::Snapshot::diff`]) as a two-column
+/// metric/value table, ready for [`Table::print`] or [`Table::to_csv`].
+pub fn metrics_table(snap: &obs::Snapshot) -> Table {
+    let mut t = Table::new(vec!["metric", "value"]);
+    for (name, value) in snap.render_lines() {
+        t.row(vec![name, value]);
+    }
+    t
+}
+
+/// Append a snapshot to an existing report table as `[phase] metric` rows.
+/// The table must have exactly two columns.
+pub fn append_metrics(table: &mut Table, phase: &str, snap: &obs::Snapshot) {
+    for (name, value) in snap.render_lines() {
+        table.row(vec![format!("[{phase}] {name}"), value]);
+    }
+}
+
+/// Parse a `--trace <path>` (or `--trace=<path>`) argument from the process
+/// command line. Returns `None` when absent so callers can skip recording
+/// entirely.
+pub fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    trace_path_from(std::env::args().skip(1))
+}
+
+fn trace_path_from(args: impl Iterator<Item = String>) -> Option<std::path::PathBuf> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
+
+/// Write `recorder` as Chrome trace JSON to `path` and echo where it went.
+/// A disabled recorder still writes a valid (empty) trace. An unwritable
+/// path is reported, not panicked on — the run's results still stand.
+pub fn dump_trace(recorder: &obs::Recorder, path: &std::path::Path) {
+    match recorder.write_chrome_json(path) {
+        Ok(()) => println!(
+            "[trace written to {} — open in https://ui.perfetto.dev]",
+            path.display()
+        ),
+        Err(e) => eprintln!("[could not write trace to {}: {e}]", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_flag_both_spellings() {
+        let sep = trace_path_from(
+            ["--iters", "3", "--trace", "/tmp/t.json"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(sep.unwrap().to_str(), Some("/tmp/t.json"));
+        let eq = trace_path_from(["--trace=/tmp/u.json"].map(String::from).into_iter());
+        assert_eq!(eq.unwrap().to_str(), Some("/tmp/u.json"));
+        assert!(trace_path_from(["--quiet"].map(String::from).into_iter()).is_none());
+    }
+
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn metrics_rows_round_trip_to_csv() {
+        let reg = obs::Registry::default();
+        reg.counter("queue.push_ok").add(3);
+        reg.gauge("queue.depth").set(2);
+        let t = metrics_table(&reg.snapshot());
+        let csv = t.to_csv();
+        assert!(csv.contains("queue.push_ok,3"), "csv was: {csv}");
+        let mut report = Table::new(vec!["metric", "value"]);
+        append_metrics(&mut report, "compute", &reg.snapshot());
+        assert!(report.render().contains("[compute] queue.push_ok"));
+    }
+}

@@ -44,7 +44,7 @@ impl Table {
             line
         };
         out.push_str(&fmt_row(&self.headers, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncol.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -63,14 +63,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .headers
-                .iter()
-                .map(&esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.headers.iter().map(&esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(&esc).collect::<Vec<_>>().join(","));
@@ -125,6 +118,19 @@ mod tests {
         assert!(lines[0].contains("long-header"));
         // All lines same width.
         assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn zero_column_table_renders() {
+        // Regression: `2 * (ncol - 1)` underflowed usize when headers were
+        // empty, panicking in the separator-width computation.
+        let t = Table::new(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2, "header line + empty separator");
+        let mut t = Table::new(Vec::<String>::new());
+        t.row(Vec::<String>::new());
+        assert!(t.render().ends_with('\n'));
+        assert_eq!(t.to_csv(), "\n\n");
     }
 
     #[test]

@@ -109,6 +109,13 @@ impl Mpi {
         self.cell().inner.borrow().stats
     }
 
+    /// This rank's engine metrics registry (protocol counters, queue-depth
+    /// gauges, lock wait). Snapshot/diff it around a phase to attribute
+    /// engine activity to that phase.
+    pub fn obs_registry(&self) -> obs::Registry {
+        self.cell().inner.borrow().obs.registry.clone()
+    }
+
     /// Contended/total acquisitions of the library lock (diagnostics).
     pub fn lock_contention(&self) -> (u64, u64) {
         let l = &self.cell().lock;
@@ -120,8 +127,15 @@ impl Mpi {
     /// Model entry into the MPI library: returns (guard, extra cost).
     async fn enter(&self) -> (Option<destime::sync::SimMutexGuard<()>>, Nanos) {
         if self.world.level.locked() {
+            let t0 = self.world.env.now();
             let g = self.cell().lock.lock().await;
-            let extra = self.cell().inner.borrow().profile.mt_lock_extra_ns;
+            let waited = self.world.env.now() - t0;
+            let inner = self.cell().inner.borrow();
+            let extra = inner.profile.mt_lock_extra_ns;
+            // Attribute both the queueing delay and the serialization
+            // surcharge to lock wait (THREAD_MULTIPLE cost, paper §2).
+            inner.obs.lock_wait_ns.add(waited + extra);
+            drop(inner);
             (Some(g), extra)
         } else {
             (None, 0)
@@ -340,12 +354,7 @@ impl Mpi {
     }
 
     /// Blocking `MPI_Recv`; returns `(status, payload)`.
-    pub async fn recv(
-        &self,
-        comm: CommId,
-        src: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> (Status, Bytes) {
+    pub async fn recv(&self, comm: CommId, src: Option<Rank>, tag: Option<Tag>) -> (Status, Bytes) {
         let r = self.irecv(comm, src, tag).await;
         let status = self.wait(&r).await.expect("recv completes with status");
         let data = r.take_data().expect("recv completes with data");
@@ -599,10 +608,7 @@ impl Mpi {
     /// target windows.
     pub async fn win_fence(&self, win: crate::engine::WinId) {
         let pending = self.cell().inner.borrow_mut().take_rma_origin(win);
-        let reqs: Vec<Request> = pending
-            .into_iter()
-            .map(|inner| Request { inner })
-            .collect();
+        let reqs: Vec<Request> = pending.into_iter().map(|inner| Request { inner }).collect();
         self.waitall(&reqs).await;
         self.barrier(COMM_WORLD).await;
     }

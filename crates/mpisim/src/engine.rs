@@ -195,6 +195,44 @@ pub struct RankStats {
     pub nbc_started: u64,
 }
 
+/// Lock-free metric handles for one rank's engine, resolved once at
+/// construction. Mirrors [`RankStats`] but adds protocol splits (eager vs
+/// rendezvous), queue-depth gauges with high-water marks, and the
+/// `THREAD_MULTIPLE` lock wait — all exported through [`obs::Registry`]
+/// snapshots so harness reports can diff them per phase.
+pub struct EngineObs {
+    pub registry: obs::Registry,
+    pub progress_polls: obs::Counter,
+    pub eager_sends: obs::Counter,
+    pub rndv_sends: obs::Counter,
+    pub unexpected_hits: obs::Counter,
+    pub nbc_started: obs::Counter,
+    /// Simulated ns application threads spent waiting on the library lock
+    /// (`THREAD_MULTIPLE` serialization, charged in `api::enter`).
+    pub lock_wait_ns: obs::Counter,
+    pub unexpected_depth: obs::Gauge,
+    pub posted_depth: obs::Gauge,
+    pub active_nbcs: obs::Gauge,
+}
+
+impl Default for EngineObs {
+    fn default() -> Self {
+        let registry = obs::Registry::default();
+        Self {
+            progress_polls: registry.counter("mpi.progress_polls"),
+            eager_sends: registry.counter("mpi.eager_sends"),
+            rndv_sends: registry.counter("mpi.rndv_sends"),
+            unexpected_hits: registry.counter("mpi.unexpected_hits"),
+            nbc_started: registry.counter("mpi.nbc_started"),
+            lock_wait_ns: registry.counter("mpi.lock_wait_ns"),
+            unexpected_depth: registry.gauge("mpi.unexpected_depth"),
+            posted_depth: registry.gauge("mpi.posted_depth"),
+            active_nbcs: registry.gauge("mpi.active_nbcs"),
+            registry,
+        }
+    }
+}
+
 /// The synchronous per-rank engine.
 pub struct RankInner {
     pub(crate) world_rank: Rank,
@@ -212,6 +250,7 @@ pub struct RankInner {
     /// Outstanding origin-side RMA requests per window (drained by fence).
     rma_origin: HashMap<WinId, Vec<Rc<ReqInner>>>,
     pub(crate) stats: RankStats,
+    pub(crate) obs: EngineObs,
 }
 
 impl RankInner {
@@ -239,7 +278,16 @@ impl RankInner {
             win_seq: 0,
             rma_origin: HashMap::new(),
             stats: RankStats::default(),
+            obs: EngineObs::default(),
         }
+    }
+
+    /// Keep the queue-depth gauges (and their high-water marks) in step
+    /// with the matching structures. Cheap: three relaxed stores.
+    fn sync_obs_depths(&self) {
+        self.obs.unexpected_depth.set(self.unexpected.len() as u64);
+        self.obs.posted_depth.set(self.posted.len() as u64);
+        self.obs.active_nbcs.set(self.nbcs.len() as u64);
     }
 
     pub fn comm(&self, id: CommId) -> &CommInfo {
@@ -317,6 +365,7 @@ impl RankInner {
             // Eager: the sender copies into an internal buffer inside the
             // call (this is what makes posting cost grow with size, Fig 4)
             // and completes locally right away.
+            self.obs.eager_sends.inc();
             cost = MachineProfile::transfer_ns(len, p.eager_copy_gbps);
             fabric.transmit(
                 self.world_rank,
@@ -333,6 +382,7 @@ impl RankInner {
             req.complete(None, None);
         } else {
             // Rendezvous: send RTS, park the payload until CTS.
+            self.obs.rndv_sends.inc();
             cost = p.rndv_ctrl_ns;
             *req.parked.borrow_mut() = Some((dst_world, tag, payload));
             fabric.transmit(
@@ -372,11 +422,10 @@ impl RankInner {
         // Check the unexpected queue first (MPI matching order).
         if let Some(pos) = self.unexpected.iter().position(|u| {
             let (ucomm, usrc, utag) = u.key();
-            ucomm == comm
-                && src_world.is_none_or(|s| s == usrc)
-                && tag.is_none_or(|t| t == utag)
+            ucomm == comm && src_world.is_none_or(|s| s == usrc) && tag.is_none_or(|t| t == utag)
         }) {
             self.stats.unexpected_hits += 1;
+            self.obs.unexpected_hits.inc();
             let u = self.unexpected.remove(pos).expect("indexed entry");
             match u {
                 Unexpected::Eager {
@@ -386,10 +435,7 @@ impl RankInner {
                     ..
                 } => {
                     // Copy out of the internal eager buffer into user space.
-                    cost += MachineProfile::transfer_ns(
-                        payload.len(),
-                        self.profile.mem_copy_gbps,
-                    );
+                    cost += MachineProfile::transfer_ns(payload.len(), self.profile.mem_copy_gbps);
                     req.complete(
                         Some(Status {
                             source: usrc,
@@ -426,6 +472,7 @@ impl RankInner {
                 req: req.clone(),
             });
         }
+        self.sync_obs_depths();
         (req, cost)
     }
 
@@ -502,10 +549,7 @@ impl RankInner {
                 origin_req: req.clone(),
             },
         );
-        self.rma_origin
-            .entry(win)
-            .or_default()
-            .push(req.clone());
+        self.rma_origin.entry(win).or_default().push(req.clone());
         (req, cost)
     }
 
@@ -534,10 +578,7 @@ impl RankInner {
                 origin_req: req.clone(),
             },
         );
-        self.rma_origin
-            .entry(win)
-            .or_default()
-            .push(req.clone());
+        self.rma_origin.entry(win).or_default().push(req.clone());
         (req, cost)
     }
 
@@ -561,12 +602,14 @@ impl RankInner {
     /// statement.
     pub(crate) fn progress(&mut self, fabric: &Fabric<WireMsg>, now: Nanos) -> Nanos {
         self.stats.progress_polls += 1;
+        self.obs.progress_polls.inc();
         let mut cost = self.profile.progress_poll_ns;
         let packets = fabric.endpoint(self.world_rank).drain_ready(now);
         for msg in packets {
             cost += self.handle_wire(fabric, now + cost, msg);
         }
         cost += self.advance_nbcs(fabric, now + cost);
+        self.sync_obs_depths();
         cost
     }
 
@@ -598,6 +641,7 @@ impl RankInner {
                         tag,
                         payload,
                     });
+                    self.obs.unexpected_depth.set(self.unexpected.len() as u64);
                 }
                 cost
             }
@@ -630,6 +674,7 @@ impl RankInner {
                         len,
                         sender_req,
                     });
+                    self.obs.unexpected_depth.set(self.unexpected.len() as u64);
                 }
                 cost
             }
@@ -685,8 +730,7 @@ impl RankInner {
                 origin_req,
             } => {
                 let n = payload.len();
-                let cost =
-                    p.match_cost_ns + MachineProfile::transfer_ns(n, p.mem_copy_gbps);
+                let cost = p.match_cost_ns + MachineProfile::transfer_ns(n, p.mem_copy_gbps);
                 let buf = self.windows.get_mut(&win).expect("put to unknown window");
                 if let Some(data) = payload.as_real() {
                     buf[offset..offset + n].copy_from_slice(data);
@@ -740,9 +784,7 @@ impl RankInner {
 
     fn match_posted(&self, comm: CommId, src: Rank, tag: Tag) -> Option<usize> {
         self.posted.iter().position(|r| {
-            r.comm == comm
-                && r.src.is_none_or(|s| s == src)
-                && r.tag.is_none_or(|t| t == tag)
+            r.comm == comm && r.src.is_none_or(|s| s == src) && r.tag.is_none_or(|t| t == tag)
         })
     }
 
@@ -750,6 +792,7 @@ impl RankInner {
 
     /// Start a collective described by `rounds`; posts round 0 immediately.
     /// Returns `(user request, caller cost)`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn start_nbc(
         &mut self,
         fabric: &Fabric<WireMsg>,
@@ -761,6 +804,7 @@ impl RankInner {
         rounds: Vec<Round>,
     ) -> (Rc<ReqInner>, Nanos) {
         self.stats.nbc_started += 1;
+        self.obs.nbc_started.inc();
         let user_req = ReqInner::new(ReqKind::Collective);
         let mut inst = NbcInstance {
             comm,
@@ -794,6 +838,7 @@ impl RankInner {
                 }
             }
         }
+        self.sync_obs_depths();
         (user_req, cost)
     }
 
@@ -931,12 +976,9 @@ impl NbcInstance {
             }
             RecvAction::CombineAcc { dtype, op } => {
                 let n = payload.len();
-                match (&mut self.acc, &payload) {
-                    (Bytes::Real(acc), Bytes::Real(other)) => {
-                        combine(*dtype, *op, Rc::make_mut(acc).as_mut_slice(), other);
-                    }
-                    // Synthetic reductions keep the nominal size.
-                    _ => {}
+                // Synthetic reductions keep the nominal size.
+                if let (Bytes::Real(acc), Bytes::Real(other)) = (&mut self.acc, &payload) {
+                    combine(*dtype, *op, Rc::make_mut(acc).as_mut_slice(), other);
                 }
                 // ~1 flop per element charged at copy bandwidth is a fair
                 // stand-in for a memory-bound reduction loop.
@@ -968,7 +1010,9 @@ impl NbcInstance {
             DataSrc::Acc => self.acc.clone(),
             DataSrc::AccChunk(range) => slice_bytes(&self.acc, range.clone()),
             DataSrc::InputChunk(range) => slice_bytes(
-                self.input.as_ref().expect("collective without input buffer"),
+                self.input
+                    .as_ref()
+                    .expect("collective without input buffer"),
                 range.clone(),
             ),
             DataSrc::Fixed(b) => b.clone(),

@@ -79,16 +79,9 @@ fn p2p_and_collectives_interleave_without_cross_matching() {
             let from = (mpi.rank() + 3) % 4;
             let rx = mpi.irecv(COMM_WORLD, Some(from), Some(1)).await;
             let coll = mpi
-                .iallreduce(
-                    COMM_WORLD,
-                    f64s_to_bytes(&[1.0]),
-                    Dtype::F64,
-                    ReduceOp::Sum,
-                )
+                .iallreduce(COMM_WORLD, f64s_to_bytes(&[1.0]), Dtype::F64, ReduceOp::Sum)
                 .await;
-            let tx = mpi
-                .isend(COMM_WORLD, peer, 1, vec![mpi.rank() as u8])
-                .await;
+            let tx = mpi.isend(COMM_WORLD, peer, 1, vec![mpi.rank() as u8]).await;
             mpi.waitall(&[rx.clone(), coll.clone(), tx]).await;
             let ring = rx.take_data().expect("ring").to_vec()[0];
             let sum = bytes_to_f64s(&coll.take_data().expect("sum").to_vec())[0];
@@ -146,15 +139,11 @@ fn hundreds_of_outstanding_requests() {
             } else {
                 let mut reqs = Vec::new();
                 for i in 0..N {
-                    reqs.push(
-                        mpi.irecv(COMM_WORLD, Some(0), Some((i % 7) as u32)).await,
-                    );
+                    reqs.push(mpi.irecv(COMM_WORLD, Some(0), Some((i % 7) as u32)).await);
                 }
                 mpi.waitall(&reqs).await;
                 // Every request delivered its payload.
-                reqs.iter()
-                    .filter(|r| r.take_data().is_some())
-                    .count()
+                reqs.iter().filter(|r| r.take_data().is_some()).count()
             }
         })
     });
@@ -225,12 +214,7 @@ fn large_allreduce_uses_rsag_and_sums_correctly() {
                     .map(|i| (mpi.rank() + 1) as f64 * (i % 17) as f64)
                     .collect();
                 let out = mpi
-                    .allreduce(
-                        COMM_WORLD,
-                        f64s_to_bytes(&mine),
-                        Dtype::F64,
-                        ReduceOp::Sum,
-                    )
+                    .allreduce(COMM_WORLD, f64s_to_bytes(&mine), Dtype::F64, ReduceOp::Sum)
                     .await;
                 bytes_to_f64s(&out.to_vec())
             })

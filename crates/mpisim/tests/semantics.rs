@@ -299,7 +299,9 @@ fn allreduce_max_and_min() {
             let mx = mpi
                 .allreduce(COMM_WORLD, mine.clone(), Dtype::F64, ReduceOp::Max)
                 .await;
-            let mn = mpi.allreduce(COMM_WORLD, mine, Dtype::F64, ReduceOp::Min).await;
+            let mn = mpi
+                .allreduce(COMM_WORLD, mine, Dtype::F64, ReduceOp::Min)
+                .await;
             (
                 bytes_to_f64s(&mx.to_vec())[0],
                 bytes_to_f64s(&mn.to_vec())[0],
@@ -388,7 +390,9 @@ fn gather_and_scatter_roundtrip() {
         Box::pin(async move {
             let root = 1;
             // Gather each rank's id block at root.
-            let g = mpi.igather(COMM_WORLD, root, vec![mpi.rank() as u8; 3]).await;
+            let g = mpi
+                .igather(COMM_WORLD, root, vec![mpi.rank() as u8; 3])
+                .await;
             mpi.wait(&g).await;
             let gathered = g.take_data().expect("gather result");
             // Root scatters it right back.

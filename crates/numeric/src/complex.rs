@@ -197,6 +197,7 @@ impl<T: Real> Mul for Complex<T> {
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1
     fn div(self, o: Self) -> Self {
         self * o.recip()
     }
@@ -312,7 +313,7 @@ mod tests {
     #[test]
     fn cis_lies_on_unit_circle() {
         for k in 0..16 {
-            let z = Complex64::cis(k as f64 * 0.39269908169872414);
+            let z = Complex64::cis(k as f64 * std::f64::consts::FRAC_PI_8);
             assert!((z.norm() - 1.0).abs() < 1e-12);
         }
     }

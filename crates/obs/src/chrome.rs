@@ -1,0 +1,436 @@
+//! Chrome trace-event JSON: emission from a [`Recorder`] and a hand-rolled
+//! structural validator (no serde — this crate is dependency-free).
+//!
+//! The emitted document is the "JSON Object Format" of the Trace Event
+//! spec: `{"traceEvents": [...], "displayTimeUnit": "ns"}`, loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Timestamps
+//! (`ts`) and durations (`dur`) are microseconds with fractional ns.
+
+use crate::trace::Recorder;
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn push_ts(out: &mut String, ns: u64) {
+    // µs with ns resolution, no float formatting surprises.
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+/// Serialize every track of `rec` as Chrome trace events. Each track
+/// contributes a `thread_name` metadata event plus its ring contents, in
+/// recorded order (monotone per track under the virtual clock).
+pub fn to_chrome_json(rec: &Recorder) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    emit_tracks(rec, &mut out, &mut first);
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(feature = "enabled")]
+fn emit_tracks(rec: &Recorder, out: &mut String, first: &mut bool) {
+    let mut sep = |out: &mut String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    rec.for_each_track(|t| {
+        sep(out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"ts\":0,\"args\":{{\"name\":\"",
+            t.pid, t.tid
+        ));
+        escape_into(out, &t.label);
+        // Surface ring overwrites so a truncated trace is never mistaken
+        // for a complete one.
+        let dropped = t.dropped.load(std::sync::atomic::Ordering::Relaxed);
+        out.push_str(&format!("\",\"dropped\":{dropped}}}}}"));
+        for ev in t.events.lock().expect("obs track ring").iter() {
+            sep(out);
+            if ev.dur_ns == 0 {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":",
+                    t.pid, t.tid
+                ));
+                push_ts(out, ev.ts_ns);
+            } else {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":",
+                    t.pid, t.tid
+                ));
+                push_ts(out, ev.ts_ns);
+                out.push_str(",\"dur\":");
+                push_ts(out, ev.dur_ns);
+            }
+            out.push_str(",\"name\":\"");
+            escape_into(out, ev.name);
+            out.push_str("\"}");
+        }
+    });
+}
+
+#[cfg(not(feature = "enabled"))]
+fn emit_tracks(_rec: &Recorder, _out: &mut String, _first: &mut bool) {}
+
+// ---------------------------------------------------------------------------
+// Hand-rolled JSON parser + structural validator
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for validation purposes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (errors carry a byte offset).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut kvs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kvs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                kvs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kvs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte `{}` at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Copy the full UTF-8 sequence starting at this byte.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+                let _ = c;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+/// One validated trace event (non-metadata rows carry timestamps).
+#[derive(Clone, Debug)]
+pub struct ChromeEvent {
+    pub name: String,
+    pub ph: String,
+    pub ts_us: f64,
+    pub dur_us: Option<f64>,
+    pub pid: u32,
+    pub tid: u32,
+}
+
+/// Structural validation of a Chrome trace document: a top-level object
+/// with a `traceEvents` array whose members each carry `ph` (string),
+/// `ts` (number), `pid`/`tid` (numbers), and `name` (string). Returns the
+/// events in array order so callers can additionally assert per-track
+/// timestamp monotonicity.
+pub fn validate_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let doc = parse_json(text)?;
+    let events = doc.get("traceEvents").ok_or("missing `traceEvents` key")?;
+    let items = match events {
+        Json::Arr(items) => items,
+        _ => return Err("`traceEvents` is not an array".into()),
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for (i, ev) in items.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: bad or missing `{field}`");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        if ph.is_empty() {
+            return Err(ctx("ph"));
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("ts"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("tid"))?;
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative ts"));
+        }
+        out.push(ChromeEvent {
+            name: name.to_string(),
+            ph: ph.to_string(),
+            ts_us: ts,
+            dur_us: ev.get("dur").and_then(Json::as_num),
+            pid: pid as u32,
+            tid: tid as u32,
+        });
+    }
+    Ok(out)
+}
+
+/// Assert that non-metadata events on each `(pid, tid)` track have
+/// non-decreasing timestamps — the DES virtual-clock invariant.
+pub fn check_monotone_per_track(events: &[ChromeEvent]) -> Result<(), String> {
+    let mut last: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.ph == "M" {
+            continue;
+        }
+        let key = (ev.pid, ev.tid);
+        if let Some(&prev) = last.get(&key) {
+            if ev.ts_us < prev {
+                return Err(format!(
+                    "event {i} ({}) on track {key:?}: ts {} < previous {}",
+                    ev.name, ev.ts_us, prev
+                ));
+            }
+        }
+        last.insert(key, ev.ts_us);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let j = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\"y","c":null,"d":true}"#).expect("parse");
+        assert_eq!(j.get("b").and_then(Json::as_str), Some("x\"y"));
+        assert_eq!(j.get("c"), Some(&Json::Null));
+        match j.get("a") {
+            Some(Json::Arr(items)) => assert_eq!(items[2], Json::Num(-300.0)),
+            other => panic!("bad array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a":1} extra"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":{}}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_trace() {
+        let rec = Recorder::disabled();
+        let events = validate_chrome_trace(&rec.to_chrome_json()).expect("valid");
+        assert!(events.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn recorded_events_roundtrip_and_stay_monotone() {
+        let rec = Recorder::virtual_clock();
+        let track = rec.track(3, 1, "offload-3");
+        track.instant_at("wakeup", 100);
+        track.complete_at("drain", 100, 350);
+        track.instant_at("sweep", 400);
+        let json = rec.to_chrome_json();
+        let events = validate_chrome_trace(&json).expect("valid trace");
+        // thread_name metadata + 3 events
+        assert_eq!(events.len(), 4);
+        check_monotone_per_track(&events).expect("monotone");
+        let drain = events.iter().find(|e| e.name == "drain").expect("drain");
+        assert_eq!(drain.ph, "X");
+        assert!((drain.ts_us - 0.1).abs() < 1e-9);
+        assert_eq!(drain.dur_us, Some(0.25));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn ring_buffer_drops_oldest_and_keeps_tail() {
+        let rec = Recorder::with_track_capacity(crate::trace::Clock::Virtual, 16);
+        let track = rec.track(0, 0, "ring");
+        for i in 0..100u64 {
+            track.instant_at("tick", i);
+        }
+        let events = validate_chrome_trace(&rec.to_chrome_json()).expect("valid");
+        let ticks: Vec<_> = events.iter().filter(|e| e.ph == "i").collect();
+        assert_eq!(ticks.len(), 16);
+        // flight-recorder semantics: the *latest* events survive
+        assert!((ticks.last().expect("tail").ts_us - 0.099).abs() < 1e-9);
+        check_monotone_per_track(&events).expect("monotone");
+    }
+}

@@ -1,0 +1,486 @@
+//! Lock-free counters, gauges with high-water marks, and log2-bucketed
+//! histograms, grouped per rank in a [`Registry`].
+//!
+//! Handles are `Arc`-shared with the registry: a hot path clones its
+//! handles once at construction and afterwards touches only `Relaxed`
+//! atomics; `snapshot()` walks the registry on the cold path. Handles also
+//! work unregistered ([`Counter::default`] etc.) so data structures can
+//! embed metrics without threading a registry through every constructor.
+
+use std::collections::BTreeMap;
+
+/// A gauge's current value and the highest value it ever reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeReading {
+    pub value: u64,
+    pub high_water: u64,
+}
+
+/// A histogram's totals plus its non-empty log2 buckets as
+/// `(inclusive upper bound, count)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramReading {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramReading {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time reading of every metric in a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeReading>,
+    pub histograms: BTreeMap<String, HistogramReading>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when absent (e.g. the no-op build).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> GaugeReading {
+        self.gauges.get(name).copied().unwrap_or_default()
+    }
+
+    pub fn histogram(&self, name: &str) -> HistogramReading {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// What happened between `earlier` and `self`: counters and histogram
+    /// totals subtract; gauges keep the later reading (their high-water
+    /// mark is since creation, not since the base snapshot).
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let base = earlier.histogram(k);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|&(ub, n)| {
+                        let b = base
+                            .buckets
+                            .iter()
+                            .find(|&&(bu, _)| bu == ub)
+                            .map_or(0, |&(_, bn)| bn);
+                        (ub, n.saturating_sub(b))
+                    })
+                    .filter(|&(_, n)| n > 0)
+                    .collect();
+                (
+                    k.clone(),
+                    HistogramReading {
+                        count: h.count.saturating_sub(base.count),
+                        sum: h.sum.saturating_sub(base.sum),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// `(name, formatted value)` pairs for report rendering, skipping
+    /// zero-valued counters and empty histograms.
+    pub fn render_lines(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            if *v > 0 {
+                out.push((k.clone(), v.to_string()));
+            }
+        }
+        for (k, g) in &self.gauges {
+            out.push((k.clone(), format!("{} (hwm {})", g.value, g.high_water)));
+        }
+        for (k, h) in &self.histograms {
+            if h.count > 0 {
+                out.push((
+                    k.clone(),
+                    format!("n={} mean={:.1} max<=2^{}", h.count, h.mean(), {
+                        h.buckets
+                            .last()
+                            .map_or(0, |&(ub, _)| 64 - u64::leading_zeros(ub.max(1)) as u64)
+                    }),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{GaugeReading, HistogramReading, Snapshot};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, Mutex};
+
+    /// Monotone event counter: one `Relaxed` RMW per increment.
+    #[derive(Clone, Debug)]
+    pub struct Counter(Arc<AtomicU64>);
+
+    impl Default for Counter {
+        fn default() -> Self {
+            Self(Arc::new(AtomicU64::new(0)))
+        }
+    }
+
+    impl Counter {
+        #[inline]
+        pub fn inc(&self) {
+            self.0.fetch_add(1, Relaxed);
+        }
+
+        #[inline]
+        pub fn add(&self, n: u64) {
+            self.0.fetch_add(n, Relaxed);
+        }
+
+        #[inline]
+        pub fn get(&self) -> u64 {
+            self.0.load(Relaxed)
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct GaugeCore {
+        value: AtomicU64,
+        high: AtomicU64,
+    }
+
+    /// Instantaneous level (queue depth, pool occupancy) that also tracks
+    /// its high-water mark.
+    #[derive(Clone, Debug, Default)]
+    pub struct Gauge(Arc<GaugeCore>);
+
+    impl Gauge {
+        #[inline]
+        pub fn set(&self, v: u64) {
+            self.0.value.store(v, Relaxed);
+            self.0.high.fetch_max(v, Relaxed);
+        }
+
+        #[inline]
+        pub fn add(&self, d: u64) {
+            let now = self.0.value.fetch_add(d, Relaxed) + d;
+            self.0.high.fetch_max(now, Relaxed);
+        }
+
+        #[inline]
+        pub fn sub(&self, d: u64) {
+            self.0.value.fetch_sub(d, Relaxed);
+        }
+
+        #[inline]
+        pub fn get(&self) -> u64 {
+            self.0.value.load(Relaxed)
+        }
+
+        #[inline]
+        pub fn high_water(&self) -> u64 {
+            self.0.high.load(Relaxed)
+        }
+
+        fn read(&self) -> GaugeReading {
+            GaugeReading {
+                value: self.get(),
+                high_water: self.high_water(),
+            }
+        }
+    }
+
+    /// Bucket `i` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts
+    /// zeros. 64 buckets of `u64` cover the full range.
+    #[derive(Debug)]
+    struct HistCore {
+        buckets: [AtomicU64; 65],
+        count: AtomicU64,
+        sum: AtomicU64,
+    }
+
+    /// Log2-bucketed distribution (latencies in ns, batch sizes).
+    #[derive(Clone, Debug)]
+    pub struct Histogram(Arc<HistCore>);
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Self(Arc::new(HistCore {
+                buckets: [const { AtomicU64::new(0) }; 65],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }))
+        }
+    }
+
+    impl Histogram {
+        #[inline]
+        pub fn record(&self, v: u64) {
+            let idx = (64 - v.leading_zeros()) as usize;
+            self.0.buckets[idx].fetch_add(1, Relaxed);
+            self.0.count.fetch_add(1, Relaxed);
+            self.0.sum.fetch_add(v, Relaxed);
+        }
+
+        #[inline]
+        pub fn count(&self) -> u64 {
+            self.0.count.load(Relaxed)
+        }
+
+        fn read(&self) -> HistogramReading {
+            let buckets = self
+                .0
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Relaxed);
+                    (n > 0).then(|| {
+                        let ub = if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+                        (ub, n)
+                    })
+                })
+                .collect();
+            HistogramReading {
+                count: self.count(),
+                sum: self.0.sum.load(Relaxed),
+                buckets,
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct RegInner {
+        counters: BTreeMap<String, Counter>,
+        gauges: BTreeMap<String, Gauge>,
+        histograms: BTreeMap<String, Histogram>,
+    }
+
+    /// A named family of metrics, typically one per rank. Registration
+    /// locks; recording through the returned handles does not.
+    #[derive(Clone, Default)]
+    pub struct Registry(Arc<Mutex<RegInner>>);
+
+    impl Registry {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// True when metrics are actually recorded (the `enabled` build).
+        pub const fn is_enabled(&self) -> bool {
+            true
+        }
+
+        pub fn counter(&self, name: &str) -> Counter {
+            let mut inner = self.0.lock().expect("obs registry");
+            inner.counters.entry(name.to_string()).or_default().clone()
+        }
+
+        pub fn gauge(&self, name: &str) -> Gauge {
+            let mut inner = self.0.lock().expect("obs registry");
+            inner.gauges.entry(name.to_string()).or_default().clone()
+        }
+
+        pub fn histogram(&self, name: &str) -> Histogram {
+            let mut inner = self.0.lock().expect("obs registry");
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_default()
+                .clone()
+        }
+
+        pub fn snapshot(&self) -> Snapshot {
+            let inner = self.0.lock().expect("obs registry");
+            Snapshot {
+                counters: inner
+                    .counters
+                    .iter()
+                    .map(|(k, c)| (k.clone(), c.get()))
+                    .collect(),
+                gauges: inner
+                    .gauges
+                    .iter()
+                    .map(|(k, g)| (k.clone(), g.read()))
+                    .collect(),
+                histograms: inner
+                    .histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.read()))
+                    .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    //! No-op flavour: every type is zero-sized, every method inlines to
+    //! nothing, so recording sites vanish from optimized builds.
+
+    use super::Snapshot;
+
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        #[inline(always)]
+        pub fn inc(&self) {}
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+        #[inline(always)]
+        pub fn get(&self) -> u64 {
+            0
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Gauge;
+
+    impl Gauge {
+        #[inline(always)]
+        pub fn set(&self, _v: u64) {}
+        #[inline(always)]
+        pub fn add(&self, _d: u64) {}
+        #[inline(always)]
+        pub fn sub(&self, _d: u64) {}
+        #[inline(always)]
+        pub fn get(&self) -> u64 {
+            0
+        }
+        #[inline(always)]
+        pub fn high_water(&self) -> u64 {
+            0
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        #[inline(always)]
+        pub fn record(&self, _v: u64) {}
+        #[inline(always)]
+        pub fn count(&self) -> u64 {
+            0
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Registry;
+
+    impl Registry {
+        pub fn new() -> Self {
+            Self
+        }
+        pub const fn is_enabled(&self) -> bool {
+            false
+        }
+        pub fn counter(&self, _name: &str) -> Counter {
+            Counter
+        }
+        pub fn gauge(&self, _name: &str) -> Gauge {
+            Gauge
+        }
+        pub fn histogram(&self, _name: &str) -> Histogram {
+            Histogram
+        }
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::default()
+        }
+    }
+}
+
+pub use imp::{Counter, Gauge, Histogram, Registry};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot_diff() {
+        let reg = Registry::new();
+        let c = reg.counter("polls");
+        c.inc();
+        c.add(4);
+        let base = reg.snapshot();
+        c.add(10);
+        let diff = reg.snapshot().diff(&base);
+        assert_eq!(base.counter("polls"), 5);
+        assert_eq!(diff.counter("polls"), 10);
+        assert_eq!(diff.counter("missing"), 0);
+    }
+
+    #[test]
+    fn same_name_returns_same_underlying_metric() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        reg.counter("x").inc();
+        assert_eq!(reg.snapshot().counter("x"), 2);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(3);
+        g.add(5);
+        g.sub(6);
+        let r = reg.snapshot().gauge("depth");
+        assert_eq!(r.value, 2);
+        assert_eq!(r.high_water, 8);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 1, 3, 1000] {
+            h.record(v);
+        }
+        let r = reg.snapshot().histogram("lat");
+        assert_eq!(r.count, 5);
+        assert_eq!(r.sum, 1005);
+        // zeros, [1,2), [2,4), [512,1024) buckets present
+        assert_eq!(r.buckets.len(), 4);
+        assert_eq!(r.buckets[0], (0, 1));
+        assert_eq!(r.buckets[1], (1, 2));
+        assert!(r.mean() > 200.0);
+    }
+
+    #[test]
+    fn diff_subtracts_histograms() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record(7);
+        let base = reg.snapshot();
+        h.record(9);
+        let d = reg.snapshot().diff(&base);
+        assert_eq!(d.histogram("lat").count, 1);
+        assert_eq!(d.histogram("lat").sum, 9);
+    }
+}

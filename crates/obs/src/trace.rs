@@ -1,0 +1,327 @@
+//! The flight recorder: per-thread/per-task ring buffers of span and
+//! instant events under a dual clock.
+//!
+//! A [`Recorder`] owns the clock and the set of [`Track`]s (one per OS
+//! thread in live mode, one per rank/task in DES mode). Tracks are bounded
+//! rings — when full the oldest events are overwritten, which is what makes
+//! this a *flight recorder*: always on, last N events recoverable, memory
+//! bounded.
+//!
+//! Clocks:
+//! * [`Clock::Wall`] — timestamps are nanoseconds since the recorder was
+//!   created, measured with `std::time::Instant`. Use [`Track::instant`]
+//!   and the RAII [`Track::span`].
+//! * [`Clock::Virtual`] — timestamps are the DES's `destime::Nanos`,
+//!   passed explicitly by the caller (`obs` cannot depend on the
+//!   simulator). Use [`Track::instant_at`] and [`Track::complete_at`].
+//!
+//! Export with [`crate::chrome::to_chrome_json`] or
+//! [`Recorder::write_chrome_json`].
+
+/// Which timebase a recorder's timestamps are in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Clock {
+    /// Real time from `Instant`, ns since recorder creation (live mode).
+    Wall,
+    /// Simulated `destime::Nanos` supplied at each call (DES mode).
+    Virtual,
+}
+
+/// One recorded event. `dur_ns == 0` renders as an instant, otherwise as a
+/// complete span.
+#[cfg(feature = "enabled")]
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    pub name: &'static str,
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{Clock, Event};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    /// Default per-track capacity: enough for the interesting tail of a
+    /// run at a few hundred bytes/event, bounded no matter how long the
+    /// process lives.
+    const DEFAULT_TRACK_EVENTS: usize = 1 << 16;
+
+    pub(crate) struct TrackInner {
+        pub pid: u32,
+        pub tid: u32,
+        pub label: String,
+        pub events: Mutex<VecDeque<Event>>,
+        pub dropped: AtomicU64,
+        cap: usize,
+    }
+
+    struct RecInner {
+        clock: Clock,
+        epoch: Instant,
+        tracks: Mutex<Vec<Arc<TrackInner>>>,
+        track_cap: usize,
+    }
+
+    /// The flight recorder. Cheap to clone; [`Recorder::disabled`] is a
+    /// no-op sink so call sites never need an `Option`.
+    #[derive(Clone)]
+    pub struct Recorder {
+        inner: Option<Arc<RecInner>>,
+    }
+
+    impl Recorder {
+        pub fn new(clock: Clock) -> Self {
+            Self::with_track_capacity(clock, DEFAULT_TRACK_EVENTS)
+        }
+
+        /// Wall-clock recorder for live (OS-thread) mode.
+        pub fn wall() -> Self {
+            Self::new(Clock::Wall)
+        }
+
+        /// Virtual-clock recorder for DES mode.
+        pub fn virtual_clock() -> Self {
+            Self::new(Clock::Virtual)
+        }
+
+        pub fn with_track_capacity(clock: Clock, events_per_track: usize) -> Self {
+            Self {
+                inner: Some(Arc::new(RecInner {
+                    clock,
+                    epoch: Instant::now(),
+                    tracks: Mutex::new(Vec::new()),
+                    track_cap: events_per_track.max(16),
+                })),
+            }
+        }
+
+        /// A recorder that records nothing and exports an empty trace.
+        pub fn disabled() -> Self {
+            Self { inner: None }
+        }
+
+        pub fn is_enabled(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        pub fn clock(&self) -> Clock {
+            self.inner.as_ref().map_or(Clock::Wall, |i| i.clock)
+        }
+
+        /// Nanoseconds since the recorder's epoch (wall clock only).
+        pub fn now_ns(&self) -> u64 {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.epoch.elapsed().as_nanos() as u64)
+        }
+
+        /// Register an event sink. `pid` groups tracks into a process row
+        /// in the viewer (we use it for the rank); `tid` separates lanes
+        /// within it; `label` names the lane.
+        pub fn track(&self, pid: u32, tid: u32, label: &str) -> Track {
+            let inner = match &self.inner {
+                Some(i) => i,
+                None => {
+                    return Track {
+                        track: None,
+                        rec: None,
+                    }
+                }
+            };
+            let t = Arc::new(TrackInner {
+                pid,
+                tid,
+                label: label.to_string(),
+                events: Mutex::new(VecDeque::new()),
+                dropped: AtomicU64::new(0),
+                cap: inner.track_cap,
+            });
+            inner.tracks.lock().expect("obs tracks").push(t.clone());
+            Track {
+                track: Some(t),
+                rec: Some(inner.clone()),
+            }
+        }
+
+        pub(crate) fn for_each_track(&self, mut f: impl FnMut(&TrackInner)) {
+            if let Some(inner) = &self.inner {
+                for t in inner.tracks.lock().expect("obs tracks").iter() {
+                    f(t);
+                }
+            }
+        }
+
+        /// Export the whole recorder as Chrome trace-event JSON.
+        pub fn to_chrome_json(&self) -> String {
+            crate::chrome::to_chrome_json(self)
+        }
+
+        pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+            std::fs::write(path, self.to_chrome_json())
+        }
+    }
+
+    /// A single lane of the flight recorder; clone freely, records are
+    /// pushed into a bounded ring.
+    #[derive(Clone)]
+    pub struct Track {
+        track: Option<Arc<TrackInner>>,
+        rec: Option<Arc<RecInner>>,
+    }
+
+    impl Track {
+        fn push(&self, ev: Event) {
+            if let Some(t) = &self.track {
+                let mut q = t.events.lock().expect("obs track ring");
+                if q.len() == t.cap {
+                    q.pop_front();
+                    t.dropped.fetch_add(1, Relaxed);
+                }
+                q.push_back(ev);
+            }
+        }
+
+        /// Instant event stamped with the wall clock.
+        pub fn instant(&self, name: &'static str) {
+            if let Some(rec) = &self.rec {
+                self.push(Event {
+                    name,
+                    ts_ns: rec.epoch.elapsed().as_nanos() as u64,
+                    dur_ns: 0,
+                });
+            }
+        }
+
+        /// Instant event at an explicit (virtual) timestamp.
+        pub fn instant_at(&self, name: &'static str, ts_ns: u64) {
+            if self.track.is_some() {
+                self.push(Event {
+                    name,
+                    ts_ns,
+                    dur_ns: 0,
+                });
+            }
+        }
+
+        /// Complete span `[start_ns, end_ns]` at explicit (virtual)
+        /// timestamps.
+        pub fn complete_at(&self, name: &'static str, start_ns: u64, end_ns: u64) {
+            if self.track.is_some() {
+                self.push(Event {
+                    name,
+                    ts_ns: start_ns,
+                    dur_ns: end_ns.saturating_sub(start_ns),
+                });
+            }
+        }
+
+        /// RAII wall-clock span: records a complete event on drop.
+        pub fn span(&self, name: &'static str) -> SpanGuard {
+            match (&self.track, &self.rec) {
+                (Some(_), Some(rec)) => SpanGuard {
+                    track: Some(self.clone()),
+                    name,
+                    start_ns: rec.epoch.elapsed().as_nanos() as u64,
+                },
+                _ => SpanGuard {
+                    track: None,
+                    name,
+                    start_ns: 0,
+                },
+            }
+        }
+    }
+
+    /// Live-mode span in flight; see [`Track::span`].
+    pub struct SpanGuard {
+        track: Option<Track>,
+        name: &'static str,
+        start_ns: u64,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if let Some(track) = &self.track {
+                if let Some(rec) = &track.rec {
+                    let end = rec.epoch.elapsed().as_nanos() as u64;
+                    track.push(Event {
+                        name: self.name,
+                        ts_ns: self.start_ns,
+                        dur_ns: end.saturating_sub(self.start_ns),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::Clock;
+
+    /// No-op flight recorder (the `enabled` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Recorder;
+
+    impl Recorder {
+        pub fn new(_clock: Clock) -> Self {
+            Self
+        }
+        pub fn wall() -> Self {
+            Self
+        }
+        pub fn virtual_clock() -> Self {
+            Self
+        }
+        pub fn with_track_capacity(_clock: Clock, _events_per_track: usize) -> Self {
+            Self
+        }
+        pub fn disabled() -> Self {
+            Self
+        }
+        #[inline(always)]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+        pub fn clock(&self) -> Clock {
+            Clock::Wall
+        }
+        #[inline(always)]
+        pub fn now_ns(&self) -> u64 {
+            0
+        }
+        pub fn track(&self, _pid: u32, _tid: u32, _label: &str) -> Track {
+            Track
+        }
+        pub fn to_chrome_json(&self) -> String {
+            crate::chrome::to_chrome_json(self)
+        }
+        pub fn write_chrome_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+            std::fs::write(path, self.to_chrome_json())
+        }
+    }
+
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Track;
+
+    impl Track {
+        #[inline(always)]
+        pub fn instant(&self, _name: &'static str) {}
+        #[inline(always)]
+        pub fn instant_at(&self, _name: &'static str, _ts_ns: u64) {}
+        #[inline(always)]
+        pub fn complete_at(&self, _name: &'static str, _start_ns: u64, _end_ns: u64) {}
+        #[inline(always)]
+        pub fn span(&self, _name: &'static str) -> SpanGuard {
+            SpanGuard
+        }
+    }
+
+    pub struct SpanGuard;
+}
+
+pub use imp::{Recorder, SpanGuard, Track};

@@ -77,10 +77,7 @@ pub async fn dslash_slab<C: Comm>(
     let last_plane = encode_spinors(&psi_local[(lt_local - 1) * plane..]);
     let (ghost_minus, ghost_plus) = if p == 1 {
         // Periodic wrap within the single rank.
-        (
-            decode_spinors(&last_plane),
-            decode_spinors(&first_plane),
-        )
+        (decode_spinors(&last_plane), decode_spinors(&first_plane))
     } else {
         let rx_minus = comm.irecv(Some(left), Some(100)).await;
         let rx_plus = comm.irecv(Some(right), Some(101)).await;

@@ -93,9 +93,7 @@ impl<T: Real> GaugeField<T> {
     pub fn random(dims: [usize; 4], rng: &mut SplitMix64) -> Self {
         let site = SiteIndex::new(dims);
         Self {
-            links: std::array::from_fn(|_| {
-                (0..site.volume()).map(|_| Su3::random(rng)).collect()
-            }),
+            links: std::array::from_fn(|_| (0..site.volume()).map(|_| Su3::random(rng)).collect()),
             site,
         }
     }

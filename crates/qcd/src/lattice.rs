@@ -1,6 +1,8 @@
 //! 4-D lattice geometry: global extents, processor-grid decomposition, and
 //! the communication/compute accounting used by the simulation drivers.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+
 /// Direction indices.
 pub const X: usize = 0;
 pub const Y: usize = 1;
@@ -288,11 +290,7 @@ mod tests {
         for r in 0..64 {
             for dim in 0..4 {
                 let fwd = d.neighbor(r, dim, 1);
-                assert_eq!(
-                    d.neighbor(fwd, dim, -1),
-                    r,
-                    "rank {r} dim {dim} +1 then -1"
-                );
+                assert_eq!(d.neighbor(fwd, dim, -1), r, "rank {r} dim {dim} +1 then -1");
             }
         }
     }

@@ -80,32 +80,21 @@ pub struct DslashReport {
 }
 
 /// Run the strong-scaling Wilson-Dslash benchmark under one approach.
-pub fn run_dslash(
-    profile: MachineProfile,
-    approach: Approach,
-    cfg: &DslashConfig,
-) -> DslashReport {
+pub fn run_dslash(profile: MachineProfile, approach: Approach, cfg: &DslashConfig) -> DslashReport {
     let ranks = cfg.nodes * profile.ranks_per_node;
     let decomp = Rc::new(Decomposition::new(cfg.lattice, ranks));
     let cfg = Rc::new(cfg.clone());
     let profile2 = profile.clone();
     let decomp2 = decomp.clone();
     let cfg2 = cfg.clone();
-    let (outs, elapsed) = approaches::run_approach(
-        ranks,
-        profile,
-        approach,
-        false,
-        move |comm| {
-            let decomp = decomp2.clone();
-            let cfg = cfg2.clone();
-            let profile = profile2.clone();
-            async move { rank_driver(comm, decomp, cfg, profile).await }
-        },
-    );
+    let (outs, elapsed) = approaches::run_approach(ranks, profile, approach, false, move |comm| {
+        let decomp = decomp2.clone();
+        let cfg = cfg2.clone();
+        let profile = profile2.clone();
+        async move { rank_driver(comm, decomp, cfg, profile).await }
+    });
     let phases = outs[0];
-    let global_flops =
-        cfg.lattice.volume() as f64 * DSLASH_FLOPS_PER_SITE * cfg.iterations as f64;
+    let global_flops = cfg.lattice.volume() as f64 * DSLASH_FLOPS_PER_SITE * cfg.iterations as f64;
     let tflops = global_flops / elapsed as f64 / 1e3;
     let max_face_bytes = (0..4)
         .filter(|&d| decomp.is_partitioned(d))
@@ -226,11 +215,7 @@ async fn rank_driver<C: Comm>(
 /// One full solver iteration modelled on top of Dslash (Fig 11): two
 /// Dslash applications (the even/odd matrix-vector product), BLAS-1 work,
 /// and two global reductions.
-pub fn run_solver(
-    profile: MachineProfile,
-    approach: Approach,
-    cfg: &DslashConfig,
-) -> DslashReport {
+pub fn run_solver(profile: MachineProfile, approach: Approach, cfg: &DslashConfig) -> DslashReport {
     let ranks = cfg.nodes * profile.ranks_per_node;
     let decomp = Rc::new(Decomposition::new(cfg.lattice, ranks));
     let cfg = Rc::new(cfg.clone());
@@ -243,8 +228,7 @@ pub fn run_solver(
         let profile = profile2.clone();
         async move {
             let env = comm.env().clone();
-            let team_size =
-                (profile.cores_per_rank - comm.approach().dedicated_cores()).max(1);
+            let team_size = (profile.cores_per_rank - comm.approach().dedicated_cores()).max(1);
             let team = Team::new(env.clone(), team_size);
             // BLAS-1 work per solver iteration: ~6 vector ops of 24 floats
             // per site (memory bound — charge at copy bandwidth).
@@ -284,9 +268,7 @@ pub fn run_solver(
                                     let tag = (dim * 2 + usize::from(dir < 0)) as u32;
                                     let rtag = (dim * 2 + usize::from(dir > 0)) as u32;
                                     reqs.push(comm.irecv(Some(peer), Some(rtag)).await);
-                                    reqs.push(
-                                        comm.isend(peer, tag, Bytes::synthetic(bytes)).await,
-                                    );
+                                    reqs.push(comm.isend(peer, tag, Bytes::synthetic(bytes)).await);
                                 }
                             }
                             ctx.compute_share(interior_core_ns).await;
@@ -304,11 +286,7 @@ pub fn run_solver(
                         if ctx.is_master() {
                             for _ in 0..2 {
                                 let _ = comm
-                                    .allreduce(
-                                        Bytes::synthetic(16),
-                                        Dtype::F64,
-                                        ReduceOp::Sum,
-                                    )
+                                    .allreduce(Bytes::synthetic(16), Dtype::F64, ReduceOp::Sum)
                                     .await;
                             }
                         }
@@ -386,9 +364,7 @@ pub fn run_dslash_thread_groups(
                 let extra = team_size % n_groups;
                 let group_barriers: Rc<Vec<destime::sync::SimBarrier>> = Rc::new(
                     (0..n_groups)
-                        .map(|g| {
-                            destime::sync::SimBarrier::new(base + usize::from(g < extra))
-                        })
+                        .map(|g| destime::sync::SimBarrier::new(base + usize::from(g < extra)))
                         .collect(),
                 );
                 team.parallel(move |ctx| {
@@ -418,9 +394,7 @@ pub fn run_dslash_thread_groups(
                                     let tag = (dim * 2 + usize::from(dir < 0)) as u32;
                                     let rtag = (dim * 2 + usize::from(dir > 0)) as u32;
                                     reqs.push(comm.irecv(Some(peer), Some(rtag)).await);
-                                    reqs.push(
-                                        comm.isend(peer, tag, Bytes::synthetic(bytes)).await,
-                                    );
+                                    reqs.push(comm.isend(peer, tag, Bytes::synthetic(bytes)).await);
                                 }
                             }
                             ctx.compute_share(interior_core_ns).await;
@@ -432,12 +406,8 @@ pub fn run_dslash_thread_groups(
                                 comm.waitall(&reqs).await;
                             }
                             gbar.wait().await;
-                            ctx.compute(
-                                boundary_core_ns
-                                    / n_groups as u64
-                                    / group.members as u64,
-                            )
-                            .await;
+                            ctx.compute(boundary_core_ns / n_groups as u64 / group.members as u64)
+                                .await;
                             ctx.barrier().await;
                         }
                     }
@@ -446,8 +416,7 @@ pub fn run_dslash_thread_groups(
             }
         },
     );
-    let global_flops =
-        cfg.lattice.volume() as f64 * DSLASH_FLOPS_PER_SITE * cfg.iterations as f64;
+    let global_flops = cfg.lattice.volume() as f64 * DSLASH_FLOPS_PER_SITE * cfg.iterations as f64;
     let tflops = global_flops / elapsed as f64 / 1e3;
     DslashReport {
         approach,

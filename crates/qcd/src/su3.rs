@@ -5,6 +5,8 @@
 //! sites, and the gamma-matrix machinery of the Wilson-Dslash operator in
 //! the DeGrand–Rossi basis.
 
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+
 use numeric::complex::{Complex, Real};
 use numeric::SplitMix64;
 
@@ -115,11 +117,7 @@ impl<T: Real> Su3<T> {
                     rows[i][k] -= rows[j][k] * dot;
                 }
             }
-            let norm = rows[i]
-                .iter()
-                .map(|c| c.norm_sqr())
-                .sum::<T>()
-                .sqrt();
+            let norm = rows[i].iter().map(|c| c.norm_sqr()).sum::<T>().sqrt();
             let inv = T::ONE / norm;
             for k in 0..3 {
                 rows[i][k] = rows[i][k].scale(inv);

@@ -112,9 +112,11 @@ struct RankShared {
     mail: Mutex<MailState>,
 }
 
+type CollResult = Arc<Vec<Arc<Vec<u8>>>>;
+
 struct CollSlot {
     contributions: Mutex<Vec<Option<Arc<Vec<u8>>>>>,
-    result: Mutex<Option<Arc<Vec<Arc<Vec<u8>>>>>>,
+    result: Mutex<Option<CollResult>>,
     arrived: Mutex<usize>,
     generation: Mutex<u64>,
     cv: Condvar,
@@ -170,9 +172,11 @@ impl RtMpi {
     pub fn isend(&self, dst: usize, tag: Tag, data: Arc<Vec<u8>>) -> RtRequest {
         let mailbox = &self.world.ranks[dst].mail;
         let mut mail = mailbox.lock();
-        if let Some(pos) = mail.posted.iter().position(|p| {
-            p.src.is_none_or(|s| s == self.rank) && p.tag.is_none_or(|t| t == tag)
-        }) {
+        if let Some(pos) = mail
+            .posted
+            .iter()
+            .position(|p| p.src.is_none_or(|s| s == self.rank) && p.tag.is_none_or(|t| t == tag))
+        {
             let posted = mail.posted.remove(pos).expect("indexed entry");
             let status = Status {
                 source: self.rank,

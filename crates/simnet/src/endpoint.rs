@@ -78,11 +78,10 @@ impl<M> Endpoint<M> {
     pub fn deposit(&self, arrival: Nanos, msg: M) {
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
-        self.inner.heap.borrow_mut().push(Reverse(Entry {
-            arrival,
-            seq,
-            msg,
-        }));
+        self.inner
+            .heap
+            .borrow_mut()
+            .push(Reverse(Entry { arrival, seq, msg }));
         self.inner.arrivals.notify();
     }
 

@@ -56,10 +56,10 @@ fn full_alltoall_pattern_is_receiver_bound() {
     let f = fabric(n);
     let mut last_per_dst = vec![0u64; n];
     for src in 0..n {
-        for dst in 0..n {
+        for (dst, last) in last_per_dst.iter_mut().enumerate() {
             if src != dst {
                 let t = f.transmit(src, dst, bytes, 0, src * n + dst);
-                last_per_dst[dst] = last_per_dst[dst].max(t);
+                *last = (*last).max(t);
             }
         }
     }
@@ -118,7 +118,10 @@ fn same_pair_delivery_never_overtakes() {
     let f = fabric(2);
     let t1 = f.transmit(0, 1, 60_000, 1_000, 1); // big message, sent "late"
     let t2 = f.transmit(0, 1, 64, 0, 2); // small message, stamped earlier
-    assert!(t2 >= t1, "message 2 ({t2}) must not overtake message 1 ({t1})");
+    assert!(
+        t2 >= t1,
+        "message 2 ({t2}) must not overtake message 1 ({t1})"
+    );
     let delivered = f.endpoint(1).drain_ready(t2.max(t1));
     assert_eq!(delivered, vec![1, 2]);
 }

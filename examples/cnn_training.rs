@@ -43,7 +43,10 @@ fn main() {
     }
     let mut eval_rng = SplitMix64::new(7);
     let acc = accuracy(&net, &mut eval_rng);
-    println!("single rank : loss {first:.3} -> {last:.3}, accuracy {:.1}%", acc * 100.0);
+    println!(
+        "single rank : loss {first:.3} -> {last:.3}, accuracy {:.1}%",
+        acc * 100.0
+    );
 
     // Data-parallel over two simulated ranks, gradients through the
     // offloaded all-reduce.

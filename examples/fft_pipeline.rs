@@ -30,8 +30,10 @@ fn main() {
     fft(&mut want);
 
     let locals = Rc::new(scatter_natural(&plan, &x));
-    for (label, segments) in [("blocking transpose", None), ("pipelined x4 (SOI-style)", Some(4))]
-    {
+    for (label, segments) in [
+        ("blocking transpose", None),
+        ("pipelined x4 (SOI-style)", Some(4)),
+    ] {
         let locals = locals.clone();
         let (outs, _) = run_approach(
             plan.p,

@@ -104,7 +104,9 @@ fn main() {
         s.join().expect("sender");
     }
     let got = recv_thread.join().expect("receiver");
-    println!("\n4 concurrent app threads sent 400 messages through one offload thread: received {got}");
+    println!(
+        "\n4 concurrent app threads sent 400 messages through one offload thread: received {got}"
+    );
 
     for r in ranks {
         r.finalize();

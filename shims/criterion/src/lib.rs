@@ -1,0 +1,126 @@
+//! Offline stand-in for `criterion`, implementing the surface
+//! `benches/queue_micro.rs` uses: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is real (warmup, then timed batches reporting the median
+//! ns/iter of several samples) but intentionally simpler than criterion
+//! proper: no outlier analysis, plots, or saved baselines.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(700);
+const SAMPLES: usize = 11;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        ns_per_iter: Vec::new(),
+        budget: WARMUP,
+    };
+    f(&mut b); // warmup pass — discard
+    b.ns_per_iter.clear();
+    b.budget = MEASURE;
+    f(&mut b);
+    let mut samples = b.ns_per_iter;
+    samples.sort_by(|a, c| a.total_cmp(c));
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+    let lo = samples.first().copied().unwrap_or(f64::NAN);
+    let hi = samples.last().copied().unwrap_or(f64::NAN);
+    println!("{name:<44} time: [{lo:>10.2} ns {median:>10.2} ns {hi:>10.2} ns]");
+}
+
+pub struct Bencher {
+    ns_per_iter: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Size one batch to ~budget/SAMPLES wall time.
+        let mut batch: u64 = 1;
+        let per_sample = self.budget / SAMPLES as u32;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= per_sample / 10 || batch >= 1 << 40 {
+                break;
+            }
+            batch = batch.saturating_mul(if dt.is_zero() {
+                64
+            } else {
+                ((per_sample.as_nanos() / dt.as_nanos().max(1)) as u64).clamp(2, 64)
+            });
+        }
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.ns_per_iter
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

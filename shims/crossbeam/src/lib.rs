@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! handful of external names it relies on are provided by local shims (see
+//! `shims/README.md`). This one covers the only `crossbeam` item the code
+//! uses: [`utils::CachePadded`].
+
+pub mod utils {
+    use core::fmt;
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent atomics — same contract as
+    /// `crossbeam_utils::CachePadded`.
+    ///
+    /// 128 bytes covers the common cases: x86-64 prefetches cache-line
+    /// pairs, and aarch64 cache lines are up to 128 bytes.
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Case loop, config, and the deterministic RNG behind the strategies.
+
+/// SplitMix64: tiny, full-period, and plenty good for test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives the case loop of one `proptest!`-generated test function.
+pub struct TestRunner {
+    name: &'static str,
+    cases: u32,
+    current: u32,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Deterministic per-test seed: failures reproduce across runs and
+        // machines, at the cost of proptest's randomized exploration.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            name,
+            cases: config.cases,
+            current: 0,
+            rng: TestRng::seeded(seed),
+        }
+    }
+
+    /// True while more cases should run; advances the case counter.
+    pub fn next_case(&mut self) -> bool {
+        if self.current < self.cases {
+            self.current += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Panic (failing the `#[test]`) if the case returned an error.
+    pub fn finish_case(&self, outcome: Result<(), TestCaseError>) {
+        if let Err(e) = outcome {
+            panic!(
+                "proptest {}: case {}/{} failed: {}",
+                self.name,
+                self.current,
+                self.cases,
+                e.message()
+            );
+        }
+    }
+}

@@ -40,7 +40,11 @@ async fn exercise_everything(comm: AnyComm) -> Vec<String> {
 
     // allreduce / iallreduce.
     let s = comm
-        .allreduce(Bytes::real(f64s_to_bytes(&[1.0])), Dtype::F64, ReduceOp::Sum)
+        .allreduce(
+            Bytes::real(f64s_to_bytes(&[1.0])),
+            Dtype::F64,
+            ReduceOp::Sum,
+        )
         .await;
     assert_eq!(bytes_to_f64s(&s.to_vec())[0], p as f64);
     let r = comm
@@ -120,9 +124,8 @@ async fn exercise_everything(comm: AnyComm) -> Vec<String> {
         let expect: Vec<u8> = (0..p as u8).flat_map(|x| [x, x]).collect();
         assert_eq!(g, expect);
     }
-    let input = (me == 3).then(|| {
-        Bytes::real((0..p as u8).flat_map(|x| [x * 2, x * 2 + 1]).collect())
-    });
+    let input =
+        (me == 3).then(|| Bytes::real((0..p as u8).flat_map(|x| [x * 2, x * 2 + 1]).collect()));
     let r = comm.iscatter(3, input, 2).await;
     comm.wait(&r).await;
     assert_eq!(

@@ -92,7 +92,7 @@ fn sim_offload_runs_the_program_identically() {
 #[test]
 fn collectives_agree_between_modes() {
     let p = 5; // non-power-of-two exercises the reduce+bcast fallback
-    // Live.
+               // Live.
     let ranks = offload::offload_world(p);
     // Spawn everything first, then join: joining lazily inside the same
     // iterator chain would serialize the ranks and deadlock the collective.
