@@ -32,5 +32,22 @@ else
   echo "== cargo clippy not installed; skipping lint =="
 fi
 
+# Model-checked lane over the lock-free core (queue, lanes, pool, backoff):
+# Miri's weak-memory and aliasing models catch ordering bugs the stress
+# tests can only hope to hit. Both observability modes, since the metric
+# calls sit directly on the hot paths. -Zmiri-disable-isolation lets the
+# parking condvar read the monotonic clock for its timeout backstop.
+if cargo miri --version >/dev/null 2>&1; then
+  MIRI_FILTER="queue:: lane:: pool:: backoff::"
+  # shellcheck disable=SC2086
+  run env MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo miri test -p offload --lib -- $MIRI_FILTER
+  # shellcheck disable=SC2086
+  run env MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo miri test -p offload --lib --no-default-features -- $MIRI_FILTER
+else
+  echo "== cargo miri not installed; skipping model-checked lane =="
+fi
+
 echo
 echo "ci.sh: all checks passed"

@@ -881,6 +881,31 @@ mod tests {
         assert!(cself > base, "comm-self {cself}ns > baseline {base}ns");
     }
 
+    /// The pool's generation check must fire through the full `Comm`
+    /// abstraction, not just at the `SimOffload` layer: waiting twice on the
+    /// same request is a stale-handle bug and must panic loudly rather than
+    /// corrupt a recycled slot.
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn double_wait_through_comm_trait_panics() {
+        let _ = run_approach(
+            2,
+            MachineProfile::xeon(),
+            Approach::Offload,
+            false,
+            move |comm: AnyComm| async move {
+                if comm.rank() == 0 {
+                    let tx = comm.isend(1, 1, Bytes::synthetic(64)).await;
+                    comm.wait(&tx).await;
+                    comm.wait(&tx).await; // stale: the slot was freed above
+                } else {
+                    let (_, _) = comm.recv(Some(0), Some(1)).await;
+                }
+                0u32
+            },
+        );
+    }
+
     /// Nonblocking collectives overlap under offload but not baseline
     /// (Fig 3).
     #[test]

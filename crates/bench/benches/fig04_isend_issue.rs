@@ -2,10 +2,17 @@
 //! ping-pong) versus message size: the baseline's eager-copy cost rises to
 //! the 128 KB rendezvous threshold then drops; comm-self adds the
 //! THREAD_MULTIPLE penalty; offload is flat at the command-queue cost.
+//!
+//! A second, live panel probes the *scaling* axis of the same question:
+//! with many application threads issuing concurrently through the real
+//! offload thread, the sharded per-thread lanes must beat a single shared
+//! MPMC ring — and the obs columns (queue-full retries, the service loop's
+//! idle yields, park/wake counts) show the mechanism, not just the rate.
 
 use approaches::Approach;
 use bench::{emit, size_label, sizes_pow2, us};
-use harness::{isend_issue_cost, Table};
+use harness::{isend_issue_cost, live_isend_issue_rate, Table};
+use offload::CommandPath;
 use simnet::MachineProfile;
 
 fn main() {
@@ -23,5 +30,42 @@ fn main() {
         "fig04_isend_issue",
         "Fig 4 — MPI_Isend issue time (OSU ping-pong, Endeavor Xeon model)",
         &t,
+    );
+
+    // Live panel: real threads against the real offload thread, shared
+    // MPMC command ring vs per-thread submission lanes.
+    const MSGS: usize = 2000;
+    let mut lt = Table::new(vec![
+        "app threads",
+        "shared Kops/s",
+        "lanes Kops/s",
+        "lanes/shared",
+        "shared push_full",
+        "lanes push_full",
+        "shared idle_yields",
+        "lanes idle_yields",
+        "lanes parks",
+        "lanes wakes",
+    ]);
+    for threads in [1usize, 2, 4, 8] {
+        let shared = live_isend_issue_rate(threads, MSGS, CommandPath::SharedQueue);
+        let lanes = live_isend_issue_rate(threads, MSGS, CommandPath::Lanes);
+        lt.row(vec![
+            threads.to_string(),
+            format!("{:.1}", shared.issues_per_sec / 1e3),
+            format!("{:.1}", lanes.issues_per_sec / 1e3),
+            format!("{:.2}", lanes.issues_per_sec / shared.issues_per_sec),
+            shared.snapshot.counter("queue.push_full").to_string(),
+            lanes.snapshot.counter("lanes.push_full").to_string(),
+            shared.snapshot.counter("offload.idle_yields").to_string(),
+            lanes.snapshot.counter("offload.idle_yields").to_string(),
+            lanes.snapshot.counter("offload.parks").to_string(),
+            lanes.snapshot.counter("offload.wakes").to_string(),
+        ]);
+    }
+    emit(
+        "fig04_isend_issue_live",
+        "Fig 4 (live panel) — isend issue throughput, shared MPMC ring vs per-thread lanes",
+        &lt,
     );
 }

@@ -9,12 +9,14 @@
 //!
 //! The crate has two faces over one design:
 //!
-//! * **Real data structures + real threads** ([`queue`], [`pool`],
-//!   [`live`]): the lock-free bounded MPMC command queue (Vyukov ring), the
-//!   generation-tagged request pool with done flags, and a real dedicated
-//!   offload thread per rank over the in-process [`rtmpi`] message layer.
-//!   This is the artifact itself — stress-tested with actual concurrent
-//!   threads.
+//! * **Real data structures + real threads** ([`queue`], [`lane`],
+//!   [`pool`], [`live`]): per-application-thread SPSC submission lanes
+//!   (with a Vyukov MPMC ring as overflow and as the comparison baseline),
+//!   the generation-tagged request pool with done flags, the shared
+//!   adaptive spin→yield→park wait policy ([`backoff`]), and a real
+//!   dedicated offload thread per rank over the in-process [`rtmpi`]
+//!   message layer. This is the artifact itself — stress-tested with
+//!   actual concurrent threads.
 //! * **The calibrated simulation model** ([`sim`]): the identical main
 //!   loop as a discrete-event task, charging per-operation costs from a
 //!   [`simnet::MachineProfile`], so the paper's cluster-scale experiments
@@ -36,13 +38,18 @@
 //! 4. **No head-of-line blocking**: blocking operations are converted to
 //!    their nonblocking equivalents inside the offload thread.
 
+pub mod backoff;
+pub mod lane;
 pub mod live;
 pub mod pool;
 pub mod queue;
 pub mod sim;
 
+pub use backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
+pub use lane::{LaneMetrics, LaneSet, SpscRing};
 pub use live::{
-    offload_world, offload_world_sized, CollKind, Command, Completion, OffloadHandle, OffloadRank,
+    offload_world, offload_world_configured, offload_world_sized, CollKind, Command, CommandPath,
+    Completion, OffloadHandle, OffloadRank,
 };
 pub use pool::{Handle, RequestPool};
 pub use queue::MpmcQueue;

@@ -21,6 +21,8 @@ use std::thread::JoinHandle;
 use mpisim::nbc::{self, DataSrc, RecvAction, Round};
 use mpisim::types::{combine, Bytes};
 
+use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
+use crate::lane::{LaneMetrics, LaneSet};
 use crate::pool::{Handle, PoolMetrics, RequestPool};
 use crate::queue::{MpmcQueue, QueueMetrics};
 
@@ -81,10 +83,98 @@ pub enum CollKind {
     },
 }
 
+/// Which command path carries commands from application threads to the
+/// offload thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommandPath {
+    /// One shared Vyukov MPMC ring — every producer CASes the same cursor.
+    /// Kept as the comparison baseline for the fig04 contention study.
+    SharedQueue,
+    /// Per-application-thread SPSC lanes with an MPMC overflow ring — the
+    /// sharded path (default). See [`crate::lane`].
+    Lanes,
+}
+
+/// Per-lane drain budget of the offload thread's sweep (the fairness rule:
+/// no lane hands over more than this many commands before every other lane
+/// has been offered service).
+const DRAIN_BUDGET: usize = 64;
+
+/// How many SPSC lanes each rank provisions before the overflow ring
+/// catches further producer threads.
+const DEFAULT_LANES: usize = 8;
+
+/// The command channel behind [`OffloadHandle`]: either path, plus the
+/// doorbell the idle offload thread parks on.
+enum CmdChannel {
+    Shared {
+        queue: Box<MpmcQueue<Command>>,
+        doorbell: WakeSignal,
+    },
+    Lanes(Box<LaneSet<Command>>),
+}
+
+impl CmdChannel {
+    fn push_blocking(&self, cmd: Command) {
+        match self {
+            CmdChannel::Shared { queue, doorbell } => {
+                queue.push_blocking(cmd);
+                doorbell.notify();
+            }
+            CmdChannel::Lanes(lanes) => lanes.push_blocking(cmd),
+        }
+    }
+
+    /// Drain up to `budget` commands per lane (or `budget` total for the
+    /// shared queue) into `f`; returns how many were taken.
+    fn drain(&self, budget: usize, mut f: impl FnMut(Command)) -> usize {
+        match self {
+            CmdChannel::Shared { queue, .. } => {
+                let mut n = 0;
+                while n < budget {
+                    match queue.pop() {
+                        Some(cmd) => {
+                            f(cmd);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                n
+            }
+            CmdChannel::Lanes(lanes) => lanes.drain(budget, f),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            CmdChannel::Shared { queue, .. } => queue.is_empty(),
+            CmdChannel::Lanes(lanes) => lanes.is_empty(),
+        }
+    }
+
+    fn approx_len(&self) -> usize {
+        match self {
+            CmdChannel::Shared { queue, .. } => queue.approx_len(),
+            CmdChannel::Lanes(lanes) => lanes.approx_len(),
+        }
+    }
+
+    /// Park the (fully idle) offload thread until a producer pushes.
+    fn wait_nonempty(&self, policy: &WaitPolicy, metrics: &BackoffMetrics) {
+        match self {
+            CmdChannel::Shared { queue, doorbell } => {
+                doorbell.wait_until(policy, metrics, || (!queue.is_empty()).then_some(()));
+            }
+            CmdChannel::Lanes(lanes) => lanes.wait_nonempty(metrics),
+        }
+    }
+}
+
 /// Cloneable per-rank handle used by application threads.
 #[derive(Clone)]
 pub struct OffloadHandle {
-    queue: Arc<MpmcQueue<Command>>,
+    chan: Arc<CmdChannel>,
     pool: Arc<RequestPool<Completion>>,
     registry: obs::Registry,
     rank: usize,
@@ -108,20 +198,44 @@ pub fn offload_world(n: usize) -> Vec<OffloadRank> {
 
 /// As [`offload_world`] with explicit command-queue and request-pool sizes.
 pub fn offload_world_sized(n: usize, queue_cap: usize, pool_cap: usize) -> Vec<OffloadRank> {
+    offload_world_configured(n, queue_cap, pool_cap, CommandPath::Lanes)
+}
+
+/// As [`offload_world_sized`] with an explicit [`CommandPath`] — the knob
+/// the fig04 contention study flips to compare the sharded lanes against
+/// the single shared MPMC ring. For `Lanes`, `queue_cap` sizes each SPSC
+/// lane and the overflow ring.
+pub fn offload_world_configured(
+    n: usize,
+    queue_cap: usize,
+    pool_cap: usize,
+    path: CommandPath,
+) -> Vec<OffloadRank> {
     rtmpi::world(n)
         .into_iter()
         .map(|mpi| {
             let registry = obs::Registry::default();
-            let queue = Arc::new(MpmcQueue::with_metrics(
-                queue_cap,
-                QueueMetrics::registered(&registry, "queue"),
-            ));
+            let chan = Arc::new(match path {
+                CommandPath::SharedQueue => CmdChannel::Shared {
+                    queue: Box::new(MpmcQueue::with_metrics(
+                        queue_cap,
+                        QueueMetrics::registered(&registry, "queue"),
+                    )),
+                    doorbell: WakeSignal::new(),
+                },
+                CommandPath::Lanes => CmdChannel::Lanes(Box::new(LaneSet::with_metrics(
+                    DEFAULT_LANES,
+                    queue_cap,
+                    queue_cap,
+                    LaneMetrics::registered(&registry, "lanes"),
+                ))),
+            });
             let pool = Arc::new(RequestPool::with_metrics(
                 pool_cap,
                 PoolMetrics::registered(&registry, "pool"),
             ));
             let handle = OffloadHandle {
-                queue: queue.clone(),
+                chan: chan.clone(),
                 pool: pool.clone(),
                 registry: registry.clone(),
                 rank: mpi.rank(),
@@ -129,7 +243,7 @@ pub fn offload_world_sized(n: usize, queue_cap: usize, pool_cap: usize) -> Vec<O
             };
             let thread = std::thread::Builder::new()
                 .name(format!("offload-{}", mpi.rank()))
-                .spawn(move || offload_main(mpi, queue, pool, registry))
+                .spawn(move || offload_main(mpi, chan, pool, registry))
                 .expect("spawn offload thread");
             OffloadRank {
                 handle,
@@ -147,7 +261,7 @@ impl OffloadRank {
     /// Shut the offload thread down after it drains outstanding work
     /// (the `MPI_Finalize` interposition point).
     pub fn finalize(mut self) {
-        self.handle.queue.push_blocking(Command::Shutdown);
+        self.handle.chan.push_blocking(Command::Shutdown);
         if let Some(t) = self.thread.take() {
             t.join().expect("offload thread exits cleanly");
         }
@@ -157,7 +271,7 @@ impl OffloadRank {
 impl Drop for OffloadRank {
     fn drop(&mut self) {
         if let Some(t) = self.thread.take() {
-            self.handle.queue.push_blocking(Command::Shutdown);
+            self.handle.chan.push_blocking(Command::Shutdown);
             t.join().expect("offload thread exits cleanly");
         }
     }
@@ -178,7 +292,7 @@ impl OffloadHandle {
     pub fn isend(&self, dst: usize, tag: u32, data: Arc<Vec<u8>>) -> Handle {
         assert!(tag < TAG_INTERNAL_BASE, "application tag too large");
         let slot = self.pool.alloc_blocking();
-        self.queue.push_blocking(Command::Isend {
+        self.chan.push_blocking(Command::Isend {
             dst,
             tag,
             data,
@@ -190,7 +304,7 @@ impl OffloadHandle {
     /// Nonblocking receive.
     pub fn irecv(&self, src: Option<usize>, tag: Option<u32>) -> Handle {
         let slot = self.pool.alloc_blocking();
-        self.queue.push_blocking(Command::Irecv { src, tag, slot });
+        self.chan.push_blocking(Command::Irecv { src, tag, slot });
         slot
     }
 
@@ -225,7 +339,7 @@ impl OffloadHandle {
 
     fn collective(&self, kind: CollKind) -> Arc<Vec<u8>> {
         let slot = self.pool.alloc_blocking();
-        self.queue.push_blocking(Command::Collective { kind, slot });
+        self.chan.push_blocking(Command::Collective { kind, slot });
         match self.wait(slot) {
             Completion::Collective(out) => out,
             other => panic!("collective completed as {other:?}"),
@@ -267,7 +381,7 @@ impl OffloadHandle {
 
     /// Queue depth (diagnostics).
     pub fn queued_commands(&self) -> usize {
-        self.queue.approx_len()
+        self.chan.approx_len()
     }
 
     /// This rank's metrics registry (queue/pool/offload-loop metrics).
@@ -295,7 +409,7 @@ struct LiveNbc {
 
 fn offload_main(
     mpi: rtmpi::RtMpi,
-    queue: Arc<MpmcQueue<Command>>,
+    chan: Arc<CmdChannel>,
     pool: Arc<RequestPool<Completion>>,
     reg: obs::Registry,
 ) {
@@ -305,7 +419,13 @@ fn offload_main(
     let sweeps = reg.counter("offload.testany_sweeps");
     let converted = reg.counter("offload.coll_converted");
     let service_iters = reg.counter("offload.service_iters");
-    let idle_yields = reg.counter("offload.idle_yields");
+    let idle_backoff = BackoffMetrics {
+        spins: reg.counter("offload.idle_spins"),
+        yields: reg.counter("offload.idle_yields"),
+        parks: reg.counter("offload.parks"),
+        wakes: reg.counter("offload.wakes"),
+    };
+    let policy = WaitPolicy::default();
 
     let mut inflight_recv: Vec<(Handle, rtmpi::RtRequest)> = Vec::new();
     let mut nbcs: Vec<LiveNbc> = Vec::new();
@@ -313,39 +433,35 @@ fn offload_main(
     let mut open = true;
     loop {
         let mut advanced = false;
-        // 1. Drain the command queue.
-        let mut drained = 0u64;
-        while let Some(cmd) = queue.pop() {
-            advanced = true;
-            drained += 1;
-            match cmd {
-                Command::Isend {
-                    dst,
-                    tag,
-                    data,
-                    slot,
-                } => {
-                    // rtmpi sends complete at hand-off.
-                    let _ = mpi.isend(dst, tag, data);
-                    pool.complete(slot, Completion::Sent);
-                }
-                Command::Irecv { src, tag, slot } => {
-                    let req = mpi.irecv(src, tag);
-                    inflight_recv.push((slot, req));
-                }
-                Command::Collective { kind, slot } => {
-                    // Blocking collective converted to a nonblocking
-                    // schedule (paper §3.3).
-                    converted.inc();
-                    coll_seq = coll_seq.wrapping_add(1);
-                    let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
-                    nbcs.push(start_live_nbc(&mpi, kind, tag, slot));
-                }
-                Command::Shutdown => open = false,
+        // 1. Drain the command channel (round-robin, budgeted per lane).
+        let drained = chan.drain(DRAIN_BUDGET, |cmd| match cmd {
+            Command::Isend {
+                dst,
+                tag,
+                data,
+                slot,
+            } => {
+                // rtmpi sends complete at hand-off.
+                let _ = mpi.isend(dst, tag, data);
+                pool.complete(slot, Completion::Sent);
             }
-        }
+            Command::Irecv { src, tag, slot } => {
+                let req = mpi.irecv(src, tag);
+                inflight_recv.push((slot, req));
+            }
+            Command::Collective { kind, slot } => {
+                // Blocking collective converted to a nonblocking
+                // schedule (paper §3.3).
+                converted.inc();
+                coll_seq = coll_seq.wrapping_add(1);
+                let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
+                nbcs.push(start_live_nbc(&mpi, kind, tag, slot));
+            }
+            Command::Shutdown => open = false,
+        });
         if drained > 0 {
-            drained_hist.record(drained);
+            advanced = true;
+            drained_hist.record(drained as u64);
         }
         // 2. Sweep in-flight receives (the MPI_Testany analogue).
         if !inflight_recv.is_empty() {
@@ -372,13 +488,23 @@ fn offload_main(
             }
         }
         // 4. Exit or idle.
-        if !open && inflight_recv.is_empty() && nbcs.is_empty() && queue.is_empty() {
+        if !open && inflight_recv.is_empty() && nbcs.is_empty() && chan.is_empty() {
             return;
         }
         if advanced {
             service_iters.inc();
+        } else if inflight_recv.is_empty() && nbcs.is_empty() {
+            // Fully idle: nothing in flight needs polling, so the only
+            // possible wake source is a new command — park on the doorbell
+            // (spin → yield → park). The old loop yielded forever here,
+            // burning a core per rank; on a single-core host that actively
+            // stole cycles from the application threads it was waiting on.
+            chan.wait_nonempty(&policy, &idle_backoff);
         } else {
-            idle_yields.inc();
+            // Work is in flight but did not advance: receives are
+            // completed by *peer* threads (rtmpi is push-style), so this
+            // thread must keep polling — bounded yield, never park.
+            idle_backoff.yields.inc();
             std::thread::yield_now();
         }
     }
@@ -545,14 +671,19 @@ mod tests {
 
     #[test]
     fn isend_returns_before_receiver_posts() {
-        let outs = run_live(2, |mpi| {
+        // Deterministic ordering: the receiver is gated on a barrier the
+        // sender passes only after its isend has already *completed* — no
+        // timing window, unlike the previous sleep-based version.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let outs = run_live(2, move |mpi| {
             if mpi.rank() == 0 {
                 let h = mpi.isend(1, 1, Arc::new(vec![7u8; 100]));
                 // The handle is usable immediately.
                 let c = mpi.wait(h);
+                gate.wait(); // release the receiver only now
                 matches!(c, Completion::Sent)
             } else {
-                thread::sleep(std::time::Duration::from_millis(2));
+                gate.wait(); // guaranteed: sender's isend+wait already done
                 let (_, d) = mpi.recv(Some(0), Some(1));
                 d.len() == 100
             }
@@ -562,14 +693,23 @@ mod tests {
 
     #[test]
     fn test_polls_done_flag_only() {
-        let outs = run_live(2, |mpi| {
+        // Deterministic ordering: the receiver records its first test()
+        // result *before* the barrier that releases the sender, so the
+        // first poll is guaranteed to find the flag unset — the previous
+        // version relied on a 3 ms sleep losing the race.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let outs = run_live(2, move |mpi| {
             if mpi.rank() == 0 {
-                thread::sleep(std::time::Duration::from_millis(3));
+                gate.wait(); // receiver has posted and polled once already
                 mpi.send(1, 2, Arc::new(vec![1]));
                 true
             } else {
                 let h = mpi.irecv(Some(0), Some(2));
                 let mut polls = 0u64;
+                if !mpi.test(h) {
+                    polls += 1;
+                }
+                gate.wait(); // only now may the sender send
                 while !mpi.test(h) {
                     polls += 1;
                     thread::yield_now();
@@ -579,6 +719,71 @@ mod tests {
             }
         });
         assert!(outs[1], "receiver actually had to poll");
+    }
+
+    /// Waiting the same handle twice is use-after-free of the pool slot:
+    /// the generation check must kill it loudly (the old spin-wait hung
+    /// forever on `is_done(stale) == false`).
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn double_wait_on_live_handle_panics() {
+        let ranks = offload_world(2);
+        let h = ranks[0].handle();
+        let r = h.isend(1, 1, Arc::new(vec![1, 2, 3]));
+        let _ = h.wait(r); // first wait: takes the completion, frees the slot
+        let _ = h.wait(r); // second wait: stale generation
+    }
+
+    /// Both command paths run the same traffic correctly — the fig04
+    /// comparison knob must not change semantics.
+    #[test]
+    fn shared_queue_path_still_works() {
+        let ranks = offload_world_configured(2, 64, 64, CommandPath::SharedQueue);
+        let h0 = ranks[0].handle();
+        let h1 = ranks[1].handle();
+        let a = thread::spawn(move || {
+            for i in 0..100u8 {
+                h0.send(1, 1, Arc::new(vec![i]));
+            }
+        });
+        let b = thread::spawn(move || {
+            (0..100)
+                .map(|_| h1.recv(Some(0), Some(1)).1[0])
+                .collect::<Vec<_>>()
+        });
+        a.join().expect("sender");
+        let got = b.join().expect("receiver");
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        for r in ranks {
+            r.finalize();
+        }
+    }
+
+    /// The offload thread parks when fully idle instead of burning a core,
+    /// and wakes on the doorbell when traffic resumes.
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn idle_offload_thread_parks_and_wakes() {
+        let ranks = offload_world(2);
+        let h0 = ranks[0].handle();
+        let h1 = ranks[1].handle();
+        // Idle long enough for the offload threads to escalate to parking.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while h0.obs().snapshot().counter("offload.parks") == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle offload thread never parked"
+            );
+            thread::yield_now();
+        }
+        // Traffic still flows after parking (the doorbell wakes it).
+        let sender = thread::spawn(move || h0.send(1, 7, Arc::new(vec![42])));
+        let (_, d) = h1.recv(Some(0), Some(7));
+        sender.join().expect("sender");
+        assert_eq!(d[0], 42);
+        for r in ranks {
+            r.finalize();
+        }
     }
 
     #[test]

@@ -16,13 +16,24 @@
 //!   pointer);
 //! * each slot carries a *generation* bumped on `free`, and handles embed
 //!   the generation they were allocated under, so use-after-free of a
-//!   handle is detected (`is_done`/`take` on a stale handle panics in
-//!   debug, returns conservative answers in release).
+//!   handle is detected. Ownership operations (`complete`, `take`, `free`,
+//!   `wait_take`) **panic** on a generation mismatch in every build — a
+//!   stale handle there is a double-wait or use-after-free that would
+//!   otherwise read another request's completion. The query `is_done`
+//!   (the `MPI_Test` path) stays conservative: it counts the detection
+//!   and reports `false`.
+//!
+//! Blocking operations (`alloc_blocking`, `wait_take`) escalate
+//! spin → yield → park via [`crate::backoff`]: `complete` rings the
+//! completion signal, `free` rings the vacancy signal, and both are one
+//! atomic load when nobody is parked.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
+
+use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 
 const NIL: u32 = u32::MAX;
 
@@ -49,6 +60,10 @@ pub struct PoolMetrics {
     pub frees: obs::Counter,
     pub occupancy: obs::Gauge,
     pub stale_detected: obs::Counter,
+    /// How waiters on the done flag escalated (`wait_take`).
+    pub waiter: BackoffMetrics,
+    /// How allocators facing an exhausted pool escalated.
+    pub alloc_waiter: BackoffMetrics,
 }
 
 impl PoolMetrics {
@@ -60,6 +75,8 @@ impl PoolMetrics {
             frees: registry.counter(&format!("{prefix}.frees")),
             occupancy: registry.gauge(&format!("{prefix}.occupancy")),
             stale_detected: registry.counter(&format!("{prefix}.stale_detected")),
+            waiter: BackoffMetrics::registered(registry, &format!("{prefix}.wait")),
+            alloc_waiter: BackoffMetrics::registered(registry, &format!("{prefix}.alloc_wait")),
         }
     }
 }
@@ -68,6 +85,11 @@ impl PoolMetrics {
 pub struct RequestPool<T> {
     slots: Box<[PoolSlot<T>]>,
     metrics: PoolMetrics,
+    /// Rung by `complete`; `wait_take` parks here for the done flag.
+    completion: WakeSignal,
+    /// Rung by `free`; `alloc_blocking` parks here when exhausted.
+    vacancy: WakeSignal,
+    policy: WaitPolicy,
     /// Packed head: upper 32 bits = pop tag, lower 32 = slot index or NIL.
     head: CachePadded<AtomicU64>,
     outstanding: CachePadded<AtomicU32>,
@@ -118,6 +140,9 @@ impl<T> RequestPool<T> {
         Self {
             slots,
             metrics,
+            completion: WakeSignal::new(),
+            vacancy: WakeSignal::new(),
+            policy: WaitPolicy::default(),
             head: CachePadded::new(AtomicU64::new(pack(0, 0))),
             outstanding: CachePadded::new(AtomicU32::new(0)),
         }
@@ -168,29 +193,28 @@ impl<T> RequestPool<T> {
         }
     }
 
-    /// Spin (yielding) until a slot is available.
+    /// Allocate, adaptively waiting (spin → yield → park on the vacancy
+    /// signal) while the pool is exhausted. The old implementation yielded
+    /// forever, burning a core until some other thread freed a slot.
     pub fn alloc_blocking(&self) -> Handle {
-        let mut spins = 0u32;
-        loop {
-            if let Some(h) = self.alloc() {
-                return h;
-            }
-            spins += 1;
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+        self.vacancy
+            .wait_until(&self.policy, &self.metrics.alloc_waiter, || self.alloc())
     }
 
+    /// Ownership check: panics on a stale handle in **every** build. A
+    /// generation mismatch on an ownership operation means double-wait or
+    /// use-after-free — proceeding would touch another request's slot.
     fn check(&self, h: Handle) -> &PoolSlot<T> {
         let slot = &self.slots[h.idx as usize];
-        debug_assert_eq!(
-            slot.generation.load(Ordering::Relaxed),
-            h.generation,
-            "stale request handle"
-        );
+        let current = slot.generation.load(Ordering::Relaxed);
+        if current != h.generation {
+            self.metrics.stale_detected.inc();
+            panic!(
+                "stale request handle: slot {} is at generation {} but the handle \
+                 was allocated under generation {} (double wait or use-after-free)",
+                h.idx, current, h.generation
+            );
+        }
         slot
     }
 
@@ -202,6 +226,8 @@ impl<T> RequestPool<T> {
         // SAFETY: sole writer before the Release store below.
         unsafe { *slot.value.get() = Some(value) };
         slot.done.store(true, Ordering::Release);
+        // One atomic load when no waiter is parked.
+        self.completion.notify();
     }
 
     /// Has the request completed? (The application's `MPI_Test` fast path.)
@@ -250,6 +276,7 @@ impl<T> RequestPool<T> {
                     let was = self.outstanding.fetch_sub(1, Ordering::Relaxed);
                     self.metrics.frees.inc();
                     self.metrics.occupancy.set(was.saturating_sub(1) as u64);
+                    self.vacancy.notify();
                     return;
                 }
                 Err(actual) => head = actual,
@@ -257,18 +284,20 @@ impl<T> RequestPool<T> {
         }
     }
 
-    /// Spin-wait (yielding) for completion, then take the value and free
-    /// the slot — the full `MPI_Wait` fast path of the offload design.
+    /// Wait for completion (adaptively: spin → yield → park on the
+    /// completion signal), then take the value and free the slot — the
+    /// full `MPI_Wait` path of the offload design. Panics on a stale
+    /// handle (a double-wait would otherwise spin forever: the old
+    /// implementation looped on `is_done(stale) == false` at 100% CPU).
     pub fn wait_take(&self, h: Handle) -> Option<T> {
-        let mut spins = 0u32;
-        while !self.is_done(h) {
-            spins += 1;
-            if spins > 256 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+        // Validate ownership up front (and on every recheck via `take`):
+        // the generation cannot change under a live handle, whose owner is
+        // the only thread allowed to free it.
+        let slot = self.check(h);
+        self.completion
+            .wait_until(&self.policy, &self.metrics.waiter, || {
+                slot.done.load(Ordering::Acquire).then_some(())
+            });
         let v = self.take(h);
         self.free(h);
         v
@@ -353,6 +382,94 @@ mod tests {
         };
         assert_eq!(pool.wait_take(h), Some(42));
         completer.join().expect("completer");
+    }
+
+    /// Satellite regression: a long `wait_take` must park (and be woken by
+    /// `complete`), not spin-burn a core — proven by the obs counters.
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn long_wait_parks_instead_of_spinning() {
+        let reg = obs::Registry::default();
+        let pool: Arc<RequestPool<u64>> = Arc::new(RequestPool::with_metrics(
+            4,
+            PoolMetrics::registered(&reg, "pool"),
+        ));
+        let h = pool.alloc().expect("slot");
+        let waiter = {
+            let pool = pool.clone();
+            thread::spawn(move || pool.wait_take(h))
+        };
+        // No completer yet: the waiter must escalate to parking.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while reg.snapshot().counter("pool.wait.parks") == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "waiter never parked (yields={})",
+                reg.snapshot().counter("pool.wait.yields")
+            );
+            thread::yield_now();
+        }
+        pool.complete(h, 9);
+        assert_eq!(waiter.join().expect("waiter"), Some(9));
+        let s = reg.snapshot();
+        assert!(s.counter("pool.wait.wakes") >= 1);
+        // The spin budget is bounded: far fewer spins than a 10s busy loop.
+        assert!(s.counter("pool.wait.spins") <= 64);
+    }
+
+    /// Satellite regression: exhausted-pool allocation parks until `free`.
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn exhausted_alloc_parks_until_free() {
+        let reg = obs::Registry::default();
+        let pool: Arc<RequestPool<()>> = Arc::new(RequestPool::with_metrics(
+            1,
+            PoolMetrics::registered(&reg, "pool"),
+        ));
+        let h = pool.alloc().expect("only slot");
+        let allocator = {
+            let pool = pool.clone();
+            thread::spawn(move || pool.alloc_blocking())
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while reg.snapshot().counter("pool.alloc_wait.parks") == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "allocator never parked"
+            );
+            thread::yield_now();
+        }
+        pool.free(h);
+        let h2 = allocator.join().expect("allocator");
+        pool.free(h2);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    /// Double-wait must die on the generation check with a clear message,
+    /// not hang or hand back another request's completion.
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn double_wait_panics_on_generation_check() {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(2);
+        let h = pool.alloc().expect("slot");
+        pool.complete(h, 5);
+        assert_eq!(pool.wait_take(h), Some(5)); // first wait: fine, frees
+        let _ = pool.wait_take(h); // second wait: stale generation
+    }
+
+    /// Use-after-free of a *recycled* slot: the old handle must not read
+    /// the new occupant's completion.
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn recycled_slot_take_panics_for_old_handle() {
+        let pool: RequestPool<u32> = RequestPool::with_capacity(1);
+        let h1 = pool.alloc().expect("slot");
+        pool.complete(h1, 1);
+        assert_eq!(pool.wait_take(h1), Some(1));
+        let h2 = pool.alloc().expect("recycled slot");
+        assert_eq!(h1.idx, h2.idx, "slot must actually be recycled");
+        pool.complete(h2, 2);
+        let _ = pool.take(h1); // stale: would alias h2's completion
     }
 
     /// The offload pattern under stress: many "application" threads

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::utils::CachePadded;
 
+use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
+
 struct Slot<T> {
     seq: AtomicUsize,
     value: UnsafeCell<MaybeUninit<T>>,
@@ -38,6 +40,8 @@ pub struct QueueMetrics {
     pub pop_ok: obs::Counter,
     pub pop_empty: obs::Counter,
     pub depth: obs::Gauge,
+    /// How blocked producers escalated (spin/yield/park) on a full queue.
+    pub producer: BackoffMetrics,
 }
 
 impl QueueMetrics {
@@ -49,6 +53,7 @@ impl QueueMetrics {
             pop_ok: registry.counter(&format!("{prefix}.pop_ok")),
             pop_empty: registry.counter(&format!("{prefix}.pop_empty")),
             depth: registry.gauge(&format!("{prefix}.depth")),
+            producer: BackoffMetrics::registered(registry, &format!("{prefix}.producer")),
         }
     }
 }
@@ -58,6 +63,10 @@ pub struct MpmcQueue<T> {
     buffer: Box<[Slot<T>]>,
     mask: usize,
     metrics: QueueMetrics,
+    /// Consumers ring this after each pop; producers blocked on a full
+    /// queue park on it (see [`MpmcQueue::push_blocking`]).
+    not_full: WakeSignal,
+    policy: WaitPolicy,
     enqueue_pos: CachePadded<AtomicUsize>,
     dequeue_pos: CachePadded<AtomicUsize>,
 }
@@ -89,6 +98,8 @@ impl<T> MpmcQueue<T> {
             buffer,
             mask: cap - 1,
             metrics,
+            not_full: WakeSignal::new(),
+            policy: WaitPolicy::default(),
             enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
             dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
         }
@@ -160,6 +171,9 @@ impl<T> MpmcQueue<T> {
                             let value = unsafe { (*slot.value.get()).assume_init_read() };
                             slot.seq.store(pos + self.mask + 1, Ordering::Release);
                             self.metrics.pop_ok.inc();
+                            // One load when no producer is parked; see the
+                            // backoff module for the lost-wakeup analysis.
+                            self.not_full.notify();
                             return Some(value);
                         }
                         Err(actual) => pos = actual,
@@ -174,24 +188,24 @@ impl<T> MpmcQueue<T> {
         }
     }
 
-    /// Spin (with yields) until the value is enqueued. Used by application
-    /// threads when the command queue is momentarily full.
-    pub fn push_blocking(&self, mut value: T) {
-        let mut spins = 0u32;
-        loop {
-            match self.push(value) {
-                Ok(()) => return,
-                Err(v) => {
-                    value = v;
-                    spins += 1;
-                    if spins > 64 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
+    /// Enqueue, adaptively waiting while the queue is full: bounded spin,
+    /// bounded `yield_now`, then park until a consumer pops. The old
+    /// implementation never escalated past `yield_now`, so a full queue
+    /// with a descheduled consumer livelocked at 100% CPU — on a single
+    /// core the spinning producer actively kept the consumer off the CPU
+    /// it needed to drain.
+    pub fn push_blocking(&self, value: T) {
+        let mut slot = Some(value);
+        self.not_full
+            .wait_until(&self.policy, &self.metrics.producer, || {
+                match self.push(slot.take().expect("value still pending")) {
+                    Ok(()) => Some(()),
+                    Err(v) => {
+                        slot = Some(v);
+                        None
                     }
                 }
-            }
-        }
+            });
     }
 
     /// Approximate number of queued items (racy; diagnostics only).
@@ -338,6 +352,45 @@ mod tests {
                 "producer {p} order violated"
             );
         }
+    }
+
+    /// Regression for the busy-wait bug: a producer against a *stalled*
+    /// consumer must escalate to parking (visible in the backoff
+    /// counters), then complete once the consumer pops. The old
+    /// `push_blocking` yielded forever and never parked.
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn blocked_producer_parks_against_stalled_consumer() {
+        let reg = obs::Registry::default();
+        let q = Arc::new(MpmcQueue::with_metrics(
+            2,
+            QueueMetrics::registered(&reg, "q"),
+        ));
+        q.push(0u32).unwrap();
+        q.push(1u32).unwrap();
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || q.push_blocking(2u32))
+        };
+        // The consumer is stalled (this thread does not pop). The producer
+        // must burn through its spin/yield budget and park.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while reg.snapshot().counter("q.producer.parks") == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "producer never parked; counters: yields={} spins={}",
+                reg.snapshot().counter("q.producer.yields"),
+                reg.snapshot().counter("q.producer.spins"),
+            );
+            thread::yield_now();
+        }
+        // Unstall: one pop frees a slot and wakes the producer.
+        assert_eq!(q.pop(), Some(0));
+        producer.join().expect("producer completes after wake");
+        let s = reg.snapshot();
+        assert!(s.counter("q.producer.wakes") >= 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
     }
 
     /// MPMC stress: concurrent producers and consumers; total multiset of

@@ -28,12 +28,79 @@ use mpisim::{Bytes, CommId, Dtype, Mpi, Rank, ReduceOp, Request, Status, Tag};
 /// Completion payload written into the (modelled) request-pool slot.
 type OutSlot = Rc<RefCell<Option<(Option<Status>, Option<Bytes>)>>>;
 
-/// The offloaded request handle the application holds: a pool slot index
-/// reduced, in the model, to its done flag and result cell.
+/// Handle into the modelled request pool: slot index plus the generation
+/// it was allocated under, mirroring [`crate::pool::Handle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimHandle {
+    idx: u32,
+    generation: u32,
+}
+
+/// The modelled request pool: the DES twin of [`crate::pool::RequestPool`]'s
+/// slot lifecycle. It tracks *which* slots are live (occupancy, with
+/// high-water mark) and tags each with a generation so a double-`wait` or
+/// use-after-free fails the same generation check as the live pool —
+/// simulated runs must surface the same application bugs the real
+/// infrastructure panics on. Single-threaded (DES), so plain `RefCell`s.
+/// The slab grows on demand: a leaked (never-waited) request costs one
+/// slot of modelled occupancy, never a hang.
+struct SimSlab {
+    generations: RefCell<Vec<u32>>,
+    free: RefCell<Vec<u32>>,
+    allocs: obs::Counter,
+    frees: obs::Counter,
+    occupancy: obs::Gauge,
+}
+
+impl SimSlab {
+    fn new(reg: &obs::Registry) -> Self {
+        Self {
+            generations: RefCell::new(Vec::new()),
+            free: RefCell::new(Vec::new()),
+            allocs: reg.counter("pool.allocs"),
+            frees: reg.counter("pool.frees"),
+            occupancy: reg.gauge("pool.occupancy"),
+        }
+    }
+
+    fn alloc(&self) -> SimHandle {
+        let idx = self.free.borrow_mut().pop().unwrap_or_else(|| {
+            let mut gens = self.generations.borrow_mut();
+            gens.push(0);
+            (gens.len() - 1) as u32
+        });
+        self.allocs.inc();
+        self.occupancy.add(1);
+        SimHandle {
+            idx,
+            generation: self.generations.borrow()[idx as usize],
+        }
+    }
+
+    fn free(&self, h: SimHandle) {
+        let mut gens = self.generations.borrow_mut();
+        let current = gens[h.idx as usize];
+        assert_eq!(
+            current, h.generation,
+            "stale request handle: slot {} is at generation {} but the handle \
+             was allocated under generation {} (double wait or use-after-free)",
+            h.idx, current, h.generation
+        );
+        gens[h.idx as usize] = current.wrapping_add(1);
+        drop(gens);
+        self.free.borrow_mut().push(h.idx);
+        self.frees.inc();
+        self.occupancy.sub(1);
+    }
+}
+
+/// The offloaded request handle the application holds: a pool slot (with
+/// generation tag) plus, in the model, its done flag and result cell.
 #[derive(Clone)]
 pub struct OffReq {
     done: Flag,
     out: OutSlot,
+    slot: SimHandle,
 }
 
 impl OffReq {
@@ -41,7 +108,8 @@ impl OffReq {
         self.done.is_set()
     }
 
-    /// Completion status (receives).
+    /// Completion status (receives). Keeps working after `wait` freed the
+    /// pool slot: status/data live in the result cell the handle owns.
     pub fn status(&self) -> Option<Status> {
         self.out.borrow().as_ref().and_then(|(s, _)| *s)
     }
@@ -49,6 +117,11 @@ impl OffReq {
     /// Take the received/collective payload.
     pub fn take_data(&self) -> Option<Bytes> {
         self.out.borrow_mut().as_mut().and_then(|(_, d)| d.take())
+    }
+
+    /// The modelled pool slot (diagnostics).
+    pub fn slot_index(&self) -> u32 {
+        self.slot.idx
     }
 }
 
@@ -125,16 +198,23 @@ struct Inner {
     tx: Sender<SimCmd>,
     costs: Costs,
     registry: obs::Registry,
+    slab: Rc<SimSlab>,
     task: RefCell<Option<Vec<destime::JoinHandle<()>>>>,
 }
 
 /// Metric handles for the offload service loop, resolved once at startup.
+/// Names match the live service loop (`crate::live`) so fig reports can
+/// show the same obs columns for both modes: `offload.parks` /
+/// `offload.wakes` count deep-idle parking (here: awaiting the channel),
+/// `lanes.occupancy` is the modelled submission-lane depth at each drain.
 struct LoopObs {
     drained: obs::Histogram,
     sweeps: obs::Counter,
     converted: obs::Counter,
     retired: obs::Counter,
     parks: obs::Counter,
+    wakes: obs::Counter,
+    occupancy: obs::Gauge,
 }
 
 impl LoopObs {
@@ -144,7 +224,9 @@ impl LoopObs {
             sweeps: reg.counter("offload.testany_sweeps"),
             converted: reg.counter("offload.coll_converted"),
             retired: reg.counter("offload.reqs_retired"),
-            parks: reg.counter("offload.deep_idle_parks"),
+            parks: reg.counter("offload.parks"),
+            wakes: reg.counter("offload.wakes"),
+            occupancy: reg.gauge("lanes.occupancy"),
         }
     }
 }
@@ -211,6 +293,7 @@ impl SimOffload {
                 track,
             )));
         }
+        let slab = Rc::new(SimSlab::new(&registry));
         Self {
             inner: Rc::new(Inner {
                 mpi,
@@ -218,6 +301,7 @@ impl SimOffload {
                 tx,
                 costs,
                 registry,
+                slab,
                 task: RefCell::new(Some(tasks)),
             }),
         }
@@ -249,6 +333,7 @@ impl SimOffload {
         OffReq {
             done: Flag::new(),
             out: Rc::new(RefCell::new(None)),
+            slot: self.inner.slab.alloc(),
         }
     }
 
@@ -302,10 +387,15 @@ impl SimOffload {
         req.is_done()
     }
 
-    /// `MPI_Wait` equivalent: check the done flag, park until set.
+    /// `MPI_Wait` equivalent: check the done flag, park until set, free
+    /// the modelled pool slot. As in the live pool, waiting the same
+    /// request twice fails the generation check with a "stale request
+    /// handle" panic — `status`/`take_data`/`test` remain valid after the
+    /// wait (they read the handle's own result cell, not the slot).
     pub async fn wait(&self, req: &OffReq) -> Option<Status> {
         self.inner.env.advance(self.inner.costs.done_check).await;
         req.done.wait().await;
+        self.inner.slab.free(req.slot);
         req.status()
     }
 
@@ -410,6 +500,7 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>, reg: obs::Registry, track:
         // Stop draining once this thread saw its shutdown token so sibling
         // offload threads (multi-threaded offload) get theirs.
         let t_service = env.now();
+        lo.occupancy.set(rx.len() as u64);
         let mut drained = 0u64;
         while open {
             let Some(cmd) = rx.try_recv() else { break };
@@ -456,6 +547,7 @@ async fn offload_task(mpi: Mpi, rx: Receiver<SimCmd>, reg: obs::Registry, track:
             lo.parks.inc();
             match rx.recv().await {
                 Some(cmd) => {
+                    lo.wakes.inc();
                     env.advance(p.cmd_dequeue_ns).await;
                     lo.drained.record(1);
                     if !issue(&mpi, cmd, &mut inflight, &lo).await {
@@ -582,6 +674,83 @@ mod tests {
             })
         });
         assert_eq!(outs[0], vec![3, 2, 1]);
+    }
+
+    /// Double-waiting a simulated request must fail the generation check
+    /// exactly like the live pool — the DES executor is single-threaded,
+    /// so the panic propagates straight to the test.
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn sim_double_wait_panics_on_generation_check() {
+        let _ = run_offloaded(2, |off| {
+            Box::pin(async move {
+                if off.rank() == 0 {
+                    let r = off.isend(COMM_WORLD, 1, 1, Bytes::synthetic(8)).await;
+                    off.wait(&r).await; // frees the modelled slot
+                    off.wait(&r).await; // stale generation: panics
+                } else {
+                    let r = off.irecv(COMM_WORLD, Some(0), Some(1)).await;
+                    off.wait(&r).await;
+                }
+            })
+        });
+    }
+
+    /// A recycled slot must not let an old handle alias the new request:
+    /// waiting a stale clone after the slot was reused panics.
+    #[test]
+    #[should_panic(expected = "stale request handle")]
+    fn sim_recycled_slot_rejects_stale_handle() {
+        let _ = run_offloaded(2, |off| {
+            Box::pin(async move {
+                if off.rank() == 0 {
+                    let r1 = off.isend(COMM_WORLD, 1, 1, Bytes::synthetic(8)).await;
+                    let stale = r1.clone();
+                    off.wait(&r1).await;
+                    // The freed slot is recycled by the next allocation.
+                    let r2 = off.isend(COMM_WORLD, 1, 2, Bytes::synthetic(8)).await;
+                    assert_eq!(r2.slot_index(), stale.slot_index());
+                    off.wait(&stale).await; // would alias r2's slot: panics
+                } else {
+                    let a = off.irecv(COMM_WORLD, Some(0), Some(1)).await;
+                    let b = off.irecv(COMM_WORLD, Some(0), Some(2)).await;
+                    off.waitall(&[a, b]).await;
+                }
+            })
+        });
+    }
+
+    /// `test`/`status`/`take_data` stay valid after `wait` freed the slot
+    /// (the Comm matrix relies on test-after-wait), and the modelled pool
+    /// occupancy returns to zero when every request is waited.
+    #[test]
+    fn sim_pool_tracks_occupancy_and_tolerates_test_after_wait() {
+        let (outs, _) = run_offloaded(2, |off| {
+            Box::pin(async move {
+                let reg = off.obs().clone();
+                if off.rank() == 0 {
+                    let r = off.isend(COMM_WORLD, 1, 1, Bytes::real(vec![7])).await;
+                    off.wait(&r).await;
+                    let still_done = r.is_done();
+                    #[cfg(feature = "obs-enabled")]
+                    {
+                        let s = reg.snapshot();
+                        assert!(s.counter("pool.allocs") >= 1);
+                        assert_eq!(s.counter("pool.allocs"), s.counter("pool.frees"));
+                        assert_eq!(s.gauge("pool.occupancy").value, 0);
+                        assert!(s.gauge("pool.occupancy").high_water >= 1);
+                    }
+                    let _ = &reg;
+                    still_done
+                } else {
+                    let r = off.irecv(COMM_WORLD, Some(0), Some(1)).await;
+                    off.wait(&r).await;
+                    let d = r.take_data().expect("data readable after wait");
+                    d.to_vec() == vec![7]
+                }
+            })
+        });
+        assert!(outs[0] && outs[1]);
     }
 
     #[test]

@@ -174,7 +174,8 @@ fn pool_occupancy_high_water_stays_within_capacity() {
         snap.counter("pool.frees"),
         "every slot allocated was freed by a wait"
     );
-    assert!(snap.counter("queue.push_ok") >= (APP_THREADS * MSGS) as u64);
+    // The default command path is the sharded lane set.
+    assert!(snap.counter("lanes.push_ok") >= (APP_THREADS * MSGS) as u64);
     assert!(
         snap.histogram("offload.drained_per_wakeup").count > 0,
         "the service loop recorded its wakeups"

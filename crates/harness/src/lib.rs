@@ -9,8 +9,9 @@ pub mod table;
 
 pub use calibrate::{calibrate, Calibration};
 pub use micro::{
-    isend_issue_cost, nbc_issue_cost, nbc_overlap, osu_bandwidth, osu_latency, osu_mt_latency,
-    overlap_p2p, overlap_p2p_observed, CollOp, ObservedOverlap, OverlapResult,
+    isend_issue_cost, live_isend_issue_rate, nbc_issue_cost, nbc_overlap, osu_bandwidth,
+    osu_latency, osu_mt_latency, osu_mt_latency_observed, overlap_p2p, overlap_p2p_observed,
+    CollOp, LiveIssueResult, ObservedOverlap, OverlapResult,
 };
 pub use obsreport::{append_metrics, dump_trace, metrics_table, trace_path_from_args};
 pub use table::{fmt_bytes, fmt_ns, Table};

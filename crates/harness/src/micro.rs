@@ -454,6 +454,137 @@ pub fn osu_mt_latency(
     outs[0]
 }
 
+/// As [`osu_mt_latency`] but also returning the offload service thread's
+/// metrics snapshot from rank 0 (empty for approaches without a service
+/// thread, and in `--no-default-features` builds): the Fig 6 report can
+/// then show *why* the latency scales — drain batching, parks/wakes, lane
+/// occupancy — next to the latency itself.
+pub fn osu_mt_latency_observed(
+    profile: MachineProfile,
+    approach: Approach,
+    threads: usize,
+    size: usize,
+    iters: usize,
+) -> (Nanos, obs::Snapshot) {
+    let (outs, _) = run_approach(
+        2,
+        internode(profile),
+        approach,
+        true,
+        move |comm: AnyComm| async move {
+            let env = comm.env().clone();
+            let peer = 1 - comm.rank();
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let comm = comm.clone();
+                let env2 = env.clone();
+                handles.push(env.spawn(async move {
+                    let tag_a = 100 + t as u32;
+                    let tag_b = 200 + t as u32;
+                    let t0 = env2.now();
+                    for _ in 0..iters {
+                        if comm.rank() == 0 {
+                            comm.send(peer, tag_a, Bytes::synthetic(size)).await;
+                            let _ = comm.recv(Some(peer), Some(tag_b)).await;
+                        } else {
+                            let _ = comm.recv(Some(peer), Some(tag_a)).await;
+                            comm.send(peer, tag_b, Bytes::synthetic(size)).await;
+                        }
+                    }
+                    (env2.now() - t0) / (2 * iters as u64)
+                }));
+            }
+            let mut acc = 0u64;
+            for h in handles {
+                acc += h.join().await;
+            }
+            let snap = comm
+                .offload_service_obs()
+                .map(|r| r.snapshot())
+                .unwrap_or_default();
+            (acc / threads as u64, snap)
+        },
+    );
+    outs.into_iter().next().expect("rank 0 output")
+}
+
+/// Aggregate issue throughput of the *live* (real threads, real offload
+/// thread) command path under multithreaded contention, plus rank 0's
+/// offload-service metrics snapshot.
+pub struct LiveIssueResult {
+    /// Nonblocking sends issued per second, summed across app threads.
+    pub issues_per_sec: f64,
+    /// Rank 0's offload registry at the end of the run (empty without the
+    /// `obs-enabled` feature).
+    pub snapshot: obs::Snapshot,
+}
+
+/// Live companion to Fig 4's issue-cost question, aimed at the *scaling*
+/// axis rather than the per-call cost: `threads` application threads on
+/// rank 0 each stream `msgs` windowed 64-byte isends through the chosen
+/// [`offload::CommandPath`] while rank 1 drains them with matching
+/// receiver threads. A single shared MPMC ring makes every producer CAS on
+/// the same cache line; per-thread lanes shard that contention away, which
+/// the returned `push_full` / `idle_yields` / park counters make visible.
+pub fn live_isend_issue_rate(
+    threads: usize,
+    msgs: usize,
+    path: offload::CommandPath,
+) -> LiveIssueResult {
+    use std::sync::{Arc, Barrier};
+    const WINDOW: usize = 32;
+    let ranks = offload::offload_world_configured(2, 256, 256, path);
+    let h0 = ranks[0].handle();
+    let h1 = ranks[1].handle();
+    let start = Arc::new(Barrier::new(threads + 1));
+    let receivers: Vec<_> = (0..threads as u32)
+        .map(|t| {
+            let h = h1.clone();
+            std::thread::spawn(move || {
+                for _ in 0..msgs {
+                    let _ = h.recv(Some(0), Some(t));
+                }
+            })
+        })
+        .collect();
+    let senders: Vec<_> = (0..threads as u32)
+        .map(|t| {
+            let h = h0.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                let payload = std::sync::Arc::new(vec![0u8; 64]);
+                start.wait();
+                let mut sent = 0;
+                while sent < msgs {
+                    let burst = WINDOW.min(msgs - sent);
+                    let reqs: Vec<_> = (0..burst).map(|_| h.isend(1, t, payload.clone())).collect();
+                    for r in reqs {
+                        let _ = h.wait(r);
+                    }
+                    sent += burst;
+                }
+            })
+        })
+        .collect();
+    start.wait();
+    let t0 = std::time::Instant::now();
+    for s in senders {
+        s.join().expect("sender thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    for r in receivers {
+        r.join().expect("receiver thread");
+    }
+    let snapshot = h0.obs().snapshot();
+    for r in ranks {
+        r.finalize();
+    }
+    LiveIssueResult {
+        issues_per_sec: (threads * msgs) as f64 / elapsed,
+        snapshot,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
