@@ -32,21 +32,78 @@ else
   echo "== cargo clippy not installed; skipping lint =="
 fi
 
-# Model-checked lane over the lock-free core (queue, lanes, pool, backoff):
-# Miri's weak-memory and aliasing models catch ordering bugs the stress
-# tests can only hope to hit. Both observability modes, since the metric
-# calls sit directly on the hot paths. -Zmiri-disable-isolation lets the
-# parking condvar read the monotonic clock for its timeout backstop.
+# Comment-discipline lint over the lock-free core and the checker itself:
+# every `unsafe` needs a `// SAFETY:` comment just above it, and every
+# `Ordering::SeqCst` outside test code needs an `// ORDERING:` comment
+# saying why nothing weaker suffices. Cheap textual enforcement of the
+# invariants the model checker and Miri lanes then actually verify.
+echo
+echo "== comment-discipline lint (SAFETY / ORDERING) =="
+lint_status=0
+for f in crates/core/src/*.rs crates/check/src/*.rs crates/check/src/rt/*.rs; do
+  awk -v file="$f" '
+    {
+      line = $0
+      sub(/^[[:space:]]+/, "", line)
+    }
+    # Everything from the unit-test module down is exempt (test code may
+    # use SeqCst freely; `unsafe` there is still flagged).
+    $0 ~ /^#\[cfg\(test\)\]/ { in_test = 1 }
+    line ~ /^\/\// {
+      if (line ~ /^\/\/ SAFETY:/) safety = NR
+      if (line ~ /^\/\/ ORDERING:/) ordering = NR
+      next
+    }
+    !in_test && match(line, /(^|[^A-Za-z0-9_"])unsafe([^A-Za-z0-9_]|$)/) {
+      if (NR - safety > 8 && line !~ /\/\/ SAFETY:/) {
+        printf "%s:%d: unsafe without a preceding // SAFETY: comment\n", file, NR
+        bad = 1
+      }
+    }
+    !in_test && index(line, "Ordering::SeqCst") {
+      if (NR - ordering > 8 && line !~ /\/\/ ORDERING:/) {
+        printf "%s:%d: SeqCst without a preceding // ORDERING: comment\n", file, NR
+        bad = 1
+      }
+    }
+    END { exit bad }
+  ' "$f" || lint_status=1
+done
+if [ "$lint_status" -ne 0 ]; then
+  echo "comment-discipline lint FAILED (see above)"
+  exit 1
+fi
+echo "comment-discipline lint passed"
+
+# Deterministic model-checker lane (always on: the checker is std-only).
+# Explores thread interleavings of the lock-free core under a bounded-
+# preemption DFS plus a seeded random walk, with vector-clock race and
+# lost-wakeup detection. The seed is pinned so CI is reproducible; export
+# OFFLOAD_MODEL_SEED / OFFLOAD_MODEL_ITERS to explore differently. A
+# separate target dir keeps the --cfg flag from thrashing the main cache.
+run env CARGO_TARGET_DIR=target/model RUSTFLAGS="--cfg offload_model" \
+  OFFLOAD_MODEL_SEED="${OFFLOAD_MODEL_SEED:-1592598549}" \
+  cargo test -p check -q
+
+# Weak-memory lane (gated: Miri is not in every toolchain): the model lane
+# above explores interleavings under sequential consistency only, so Miri
+# remains the lane that catches relaxed-memory and aliasing bugs. Covers
+# the lock-free core plus the engine modules that drive it (live::, sim::).
+# -Zmiri-disable-isolation lets the parking condvar read the monotonic
+# clock for its timeout backstop.
 if cargo miri --version >/dev/null 2>&1; then
-  MIRI_FILTER="queue:: lane:: pool:: backoff::"
+  MIRI_FILTER="queue:: lane:: pool:: backoff:: live:: sim::"
   # shellcheck disable=SC2086
   run env MIRIFLAGS="-Zmiri-disable-isolation" \
-    cargo miri test -p offload --lib -- $MIRI_FILTER
+    cargo miri test -p offload --lib -- $MIRI_FILTER \
+    || { echo "cargo miri lane FAILED — this is a real bug, not an environment"; \
+         echo "problem; do not re-run with miri skipped."; exit 1; }
   # shellcheck disable=SC2086
   run env MIRIFLAGS="-Zmiri-disable-isolation" \
-    cargo miri test -p offload --lib --no-default-features -- $MIRI_FILTER
+    cargo miri test -p offload --lib --no-default-features -- $MIRI_FILTER \
+    || { echo "cargo miri lane FAILED (--no-default-features)"; exit 1; }
 else
-  echo "== cargo miri not installed; skipping model-checked lane =="
+  echo "== cargo miri not installed; skipping weak-memory lane =="
 fi
 
 echo

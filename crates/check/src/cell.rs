@@ -1,0 +1,165 @@
+//! Facade cell for *data* (non-atomic) shared state.
+//!
+//! [`UnsafeCell`] wraps `std::cell::UnsafeCell` with a closure-based access
+//! API (`with` / `with_mut`) so that, under `--cfg offload_model`, every
+//! data access is visible to the race detector. Accesses are **not**
+//! schedule points — interleaving coverage comes from the atomic/lock
+//! operations around them — but each one is checked FastTrack-style against
+//! the location's last-write epoch and read set. An unordered conflicting
+//! pair fails the execution with both access stacks.
+
+#[cfg(offload_model)]
+use crate::clock::ReadSet;
+#[cfg(offload_model)]
+use crate::rt::exec::{self, CellState};
+
+pub struct UnsafeCell<T: ?Sized> {
+    #[cfg(offload_model)]
+    slot: exec::RegSlot,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: unlike `std::cell::UnsafeCell`, this cell is deliberately
+// shareable across threads — that is the situation the race detector
+// exists to judge. Soundness is unchanged: `with`/`with_mut` only hand out
+// raw pointers, and dereferencing them is the caller's `unsafe` obligation
+// (exactly as with `.get()` on the std cell behind a `Sync` wrapper).
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: as above — sharing only exposes raw pointers, never references.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            #[cfg(offload_model)]
+            slot: exec::RegSlot::new(),
+            inner: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Read access: runs `f` with a shared raw pointer to the contents.
+    /// The caller upholds `std::cell::UnsafeCell`'s aliasing rules exactly
+    /// as it would with `.get()`; in model mode the access is additionally
+    /// race-checked against concurrent writers.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        #[cfg(offload_model)]
+        self.record(false);
+        f(self.inner.get())
+    }
+
+    /// Write access: runs `f` with an exclusive raw pointer to the
+    /// contents. Model mode records it as a write for the race detector.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        #[cfg(offload_model)]
+        self.record(true);
+        f(self.inner.get())
+    }
+
+    /// Exclusive access through `&mut self` — statically race-free, so no
+    /// instrumentation is needed even in model mode.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    #[cfg(offload_model)]
+    fn record(&self, write: bool) {
+        use crate::FailureKind;
+
+        // Facade calls from Drop impls during a ModelAbort unwind must not
+        // touch the (aborting) execution.
+        if std::thread::panicking() {
+            return;
+        }
+        let Some((shared, tid)) = exec::current() else {
+            return;
+        };
+        let mut g = shared.inner.lock().unwrap();
+        if g.abort {
+            drop(g);
+            exec::panic_abort();
+        }
+        let idx = self.slot.index(&mut g, |g| {
+            g.cells.push(CellState {
+                write: None,
+                write_stack: None,
+                write_op: String::new(),
+                reads: ReadSet::Empty,
+                read_stacks: std::collections::HashMap::new(),
+            });
+            g.cells.len() - 1
+        });
+        let clock = g.threads[tid].clock.clone();
+        let epoch = clock.epoch(tid);
+        let kind = if write { "write" } else { "read" };
+
+        // Conflict checks: any write conflicts with the last write and all
+        // unordered reads; a read conflicts with the last write only.
+        let mut conflict: Option<(&'static str, usize)> = None;
+        if let Some((wt, wc)) = g.cells[idx].write {
+            if wt != tid && clock.get(wt) < wc {
+                conflict = Some(("write", wt));
+            }
+        }
+        if write && conflict.is_none() {
+            if let Err(e) = g.cells[idx].reads.all_covered_by(&clock) {
+                if e.tid != tid {
+                    conflict = Some(("read", e.tid));
+                }
+            }
+        }
+
+        if let Some((prev_kind, prev_tid)) = conflict {
+            let prev_stack = if prev_kind == "write" {
+                g.cells[idx].write_stack.take()
+            } else {
+                g.cells[idx].read_stacks.remove(&prev_tid)
+            };
+            let mut details = format!(
+                "data race on cell #{idx}: {kind} by thread {tid} [{}] is unordered with \
+                 a previous {prev_kind} by thread {prev_tid} [{}]\n  current thread's last \
+                 sync op: {}\n  previous writer's op at the time: {}",
+                g.threads[tid].name,
+                g.threads[prev_tid].name,
+                g.threads[tid].last_op,
+                g.cells[idx].write_op,
+            );
+            if g.cfg.capture_stacks {
+                let cur = std::backtrace::Backtrace::force_capture();
+                details.push_str(&format!("\n--- current {kind} stack ---\n{cur}"));
+                match prev_stack {
+                    Some(bt) => {
+                        details.push_str(&format!("\n--- previous {prev_kind} stack ---\n{bt}"))
+                    }
+                    None => details.push_str("\n(previous access stack not captured)"),
+                }
+            } else {
+                details.push_str("\n(stacks disabled; set OFFLOAD_MODEL_STACKS=1)");
+            }
+            shared.fail_locked(&mut g, FailureKind::DataRace, details);
+            drop(g);
+            exec::panic_abort();
+        }
+
+        let capture = g.cfg.capture_stacks;
+        if write {
+            g.cells[idx].write = Some((tid, epoch.count));
+            g.cells[idx].write_stack = capture.then(std::backtrace::Backtrace::force_capture);
+            g.cells[idx].write_op = g.threads[tid].last_op.clone();
+            g.cells[idx].reads = ReadSet::Empty;
+            g.cells[idx].read_stacks.clear();
+        } else {
+            g.cells[idx].reads.record(epoch, &clock);
+            if capture {
+                g.cells[idx]
+                    .read_stacks
+                    .insert(tid, std::backtrace::Backtrace::force_capture());
+            }
+        }
+    }
+}

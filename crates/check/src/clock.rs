@@ -1,0 +1,170 @@
+//! Vector clocks for happens-before tracking (FastTrack-style epochs).
+//!
+//! Every model thread carries a [`VectorClock`]; component `t` counts the
+//! release points thread `t` has passed. An *epoch* `(tid, count)` names a
+//! single event — the representation FastTrack uses for last-write/last-read
+//! summaries. Happens-before between an epoch and a thread is then a single
+//! component comparison instead of a full vector scan, which is the whole
+//! point of the epoch optimization.
+
+/// A vector clock over model-thread ids. Grows on demand; a missing
+/// component reads as zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    c: Vec<u32>,
+}
+
+impl VectorClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.c.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component (a release point).
+    pub fn tick(&mut self, tid: usize) {
+        if self.c.len() <= tid {
+            self.c.resize(tid + 1, 0);
+        }
+        self.c[tid] += 1;
+    }
+
+    /// Component-wise maximum: `self ← self ⊔ other` (an acquire edge).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (s, o) in self.c.iter_mut().zip(other.c.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Does the epoch `(tid, count)` happen-before (or equal) this clock?
+    /// This is FastTrack's `epoch ⪯ clock` check: one component read.
+    pub fn covers(&self, epoch: Epoch) -> bool {
+        epoch.count <= self.get(epoch.tid)
+    }
+
+    /// The current epoch of thread `tid` under this clock.
+    pub fn epoch(&self, tid: usize) -> Epoch {
+        Epoch {
+            tid,
+            count: self.get(tid),
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.c.clear();
+    }
+}
+
+/// One event: "thread `tid` at local time `count`".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Epoch {
+    pub tid: usize,
+    pub count: u32,
+}
+
+/// The read summary of a shared location: FastTrack keeps a single epoch
+/// while reads are totally ordered and inflates to a full vector only when
+/// concurrent reads appear.
+#[derive(Clone, Debug, Default, Hash)]
+pub enum ReadSet {
+    #[default]
+    Empty,
+    /// All reads so far are ordered; the last one is enough.
+    Epoch(Epoch),
+    /// Concurrent readers seen: per-thread last-read counts.
+    Vector(VectorClock),
+}
+
+impl ReadSet {
+    /// Record a read at `epoch` by a thread whose clock is `clock`.
+    pub fn record(&mut self, epoch: Epoch, clock: &VectorClock) {
+        match self {
+            ReadSet::Empty => *self = ReadSet::Epoch(epoch),
+            ReadSet::Epoch(prev) => {
+                if prev.tid == epoch.tid || clock.covers(*prev) {
+                    *self = ReadSet::Epoch(epoch);
+                } else {
+                    // Two concurrent readers: inflate.
+                    let mut v = VectorClock::new();
+                    if v.c.len() <= prev.tid.max(epoch.tid) {
+                        v.c.resize(prev.tid.max(epoch.tid) + 1, 0);
+                    }
+                    v.c[prev.tid] = prev.count;
+                    v.c[epoch.tid] = epoch.count;
+                    *self = ReadSet::Vector(v);
+                }
+            }
+            ReadSet::Vector(v) => {
+                if v.c.len() <= epoch.tid {
+                    v.c.resize(epoch.tid + 1, 0);
+                }
+                v.c[epoch.tid] = v.c[epoch.tid].max(epoch.count);
+            }
+        }
+    }
+
+    /// Is every recorded read ordered before `clock`? Returns the first
+    /// uncovered read epoch otherwise (the racing access).
+    pub fn all_covered_by(&self, clock: &VectorClock) -> Result<(), Epoch> {
+        match self {
+            ReadSet::Empty => Ok(()),
+            ReadSet::Epoch(e) => {
+                if clock.covers(*e) {
+                    Ok(())
+                } else {
+                    Err(*e)
+                }
+            }
+            ReadSet::Vector(v) => {
+                for (tid, &count) in v.c.iter().enumerate() {
+                    if count > 0 && !clock.covers(Epoch { tid, count }) {
+                        return Err(Epoch { tid, count });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_join_order() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.tick(0); // a = [1]
+        b.join(&a); // b = [1]
+        b.tick(1); // b = [1,1]
+        assert!(b.covers(a.epoch(0)));
+        assert!(!a.covers(b.epoch(1)));
+    }
+
+    #[test]
+    fn readset_inflates_on_concurrent_reads() {
+        let mut rs = ReadSet::default();
+        let mut t0 = VectorClock::new();
+        t0.tick(0);
+        let mut t1 = VectorClock::new();
+        t1.tick(1);
+        rs.record(t0.epoch(0), &t0);
+        rs.record(t1.epoch(1), &t1); // concurrent with t0's read
+        assert!(matches!(rs, ReadSet::Vector(_)));
+        // A writer that has seen neither read races with both.
+        let fresh = VectorClock::new();
+        assert!(rs.all_covered_by(&fresh).is_err());
+        // A writer that joined both is ordered after them.
+        let mut sync = VectorClock::new();
+        sync.join(&t0);
+        sync.join(&t1);
+        assert!(rs.all_covered_by(&sync).is_ok());
+    }
+}

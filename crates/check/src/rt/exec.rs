@@ -1,0 +1,676 @@
+//! One model execution: cooperative threads, schedule points, and the
+//! happens-before / race bookkeeping.
+//!
+//! Model "threads" are real OS threads, but exactly one ever runs: every
+//! facade operation is a *schedule point* that takes the execution lock,
+//! hands the baton to whichever thread the [`Picker`] chooses, and performs
+//! its shared-memory effect under that same lock. The interleaving is
+//! therefore sequentially consistent and fully determined by the choice
+//! sequence — which is what makes failing schedules replayable from a
+//! printed string.
+//!
+//! Synchronization semantics modelled (see DESIGN.md §11 for what is *not*):
+//! * `Release` stores publish the writer's vector clock on the atomic;
+//!   `Acquire` loads join it. `Relaxed` stores break the release chain
+//!   (publish no clock); `Relaxed` RMWs continue it, matching C++ release
+//!   sequences.
+//! * Mutex unlock/lock transfer clocks the same way; `Condvar` wakeups do
+//!   not (the mutex is the carrier, as in POSIX).
+//! * `UnsafeCell` data accesses are checked FastTrack-style against the
+//!   location's last-write epoch and read set; an unordered conflicting
+//!   pair is a [`FailureKind::DataRace`].
+//! * A state with no runnable thread wakes a timed condvar waiter if one
+//!   exists (the timeout backstop); otherwise it is a
+//!   [`FailureKind::Deadlock`] — which is how lost wakeups surface.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use super::picker::{PickCtx, PickResult, Picker};
+use crate::clock::{ReadSet, VectorClock};
+use crate::{Failure, FailureKind};
+
+/// Global execution-id counter: statics holding facade atomics survive
+/// across executions, so their per-execution registration is keyed on this.
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Panic payload used to unwind model threads when a run is torn down.
+/// Swallowed by the thread wrapper; never reported as a test failure.
+pub(crate) struct ModelAbort;
+
+/// `wait_timeout` durations at or above this are modelled as *untimed*
+/// waits — the knob model tests use to "disable the 1 ms backstop"
+/// (`WaitPolicy { park_timeout: Duration::MAX, .. }`).
+pub(crate) const UNTIMED_THRESHOLD: std::time::Duration = std::time::Duration::from_secs(3600);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    Mutex(usize),
+    Condvar { cv: usize, timed: bool },
+    Join(usize),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub name: String,
+    pub status: Status,
+    pub clock: VectorClock,
+    pub op_count: u64,
+    /// Human description of the last schedule point (for deadlock reports).
+    pub last_op: String,
+    /// Set when a timed condvar wait was released by its timeout.
+    pub timed_out: bool,
+}
+
+pub(crate) struct VarState {
+    /// Mirrored value (also written through to the real std atomic by the
+    /// facade, so fallback paths and cross-execution statics stay coherent).
+    pub value: u64,
+    /// Clock published by the head of the current release sequence; empty
+    /// when the latest store was `Relaxed` (no synchronization to acquire).
+    pub sync_clock: VectorClock,
+}
+
+pub(crate) struct CellState {
+    pub write: Option<(usize, u32)>, // (tid, component) — last-write epoch
+    pub write_stack: Option<std::backtrace::Backtrace>,
+    pub write_op: String,
+    pub reads: ReadSet,
+    pub read_stacks: HashMap<usize, std::backtrace::Backtrace>,
+}
+
+pub(crate) struct MutexState {
+    pub held_by: Option<usize>,
+    pub clock: VectorClock,
+}
+
+#[derive(Default)]
+pub(crate) struct CvState {
+    /// FIFO waiter list: (tid, timed).
+    pub waiters: Vec<(usize, bool)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    Completed,
+    /// Cut short by the state-hash pruner (cycle or fully-explored state).
+    Pruned,
+    Failed,
+}
+
+pub(crate) struct RunCfg {
+    pub max_ops: u64,
+    pub max_threads: usize,
+    pub preemption_bound: u32,
+    pub cycle_limit: u32,
+    pub capture_stacks: bool,
+}
+
+pub(crate) struct ExecInner {
+    pub id: u64,
+    pub cfg: RunCfg,
+    pub picker: Box<dyn Picker>,
+    pub threads: Vec<ThreadState>,
+    pub cur: usize,
+    pub live: usize,
+    pub done: bool,
+    pub abort: bool,
+    pub outcome: Outcome,
+    pub failure: Option<Failure>,
+    pub ops: u64,
+    pub preemptions: u32,
+    pub vars: Vec<VarState>,
+    pub cells: Vec<CellState>,
+    pub mutexes: Vec<MutexState>,
+    pub cvs: Vec<CvState>,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Choice indices taken this run (the replayable schedule).
+    pub trace: Vec<usize>,
+    /// In-run cycle detector: position-independent state hash → hit count.
+    cycle_seen: HashMap<u64, u32>,
+}
+
+pub(crate) struct ExecShared {
+    pub inner: Mutex<ExecInner>,
+    pub cv: Condvar,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local: which execution (if any) the current OS thread belongs to.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<ExecShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current model-thread context, or `None` on a plain OS thread (the
+/// facade then falls through to std behavior).
+pub(crate) fn current() -> Option<(Arc<ExecShared>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn panic_abort() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+/// Facade entry check: the model context, unless this thread is already
+/// unwinding. Facade calls from `Drop` impls during a `ModelAbort` unwind
+/// must take the std fallback — a nested panic would abort the process.
+pub(crate) fn ctx() -> Option<(Arc<ExecShared>, usize)> {
+    if std::thread::panicking() {
+        None
+    } else {
+        current()
+    }
+}
+
+impl ExecShared {
+    pub(crate) fn new(picker: Box<dyn Picker>, cfg: RunCfg) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(ExecInner {
+                id: NEXT_EXEC_ID.fetch_add(1, StdOrdering::Relaxed),
+                cfg,
+                picker,
+                threads: Vec::new(),
+                cur: 0,
+                live: 0,
+                done: false,
+                abort: false,
+                outcome: Outcome::Completed,
+                failure: None,
+                ops: 0,
+                preemptions: 0,
+                vars: Vec::new(),
+                cells: Vec::new(),
+                mutexes: Vec::new(),
+                cvs: Vec::new(),
+                os_handles: Vec::new(),
+                trace: Vec::new(),
+                cycle_seen: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Spawn a model thread running `f`. The thread starts Runnable but
+    /// does not execute until scheduled.
+    pub(crate) fn spawn_model(
+        self: &Arc<Self>,
+        name: String,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        let parent = current().map(|(_, tid)| tid);
+        let tid = g.threads.len();
+        if tid >= g.cfg.max_threads {
+            let details = format!("model thread limit ({}) exceeded", g.cfg.max_threads);
+            self.fail_locked(&mut g, FailureKind::Panic, details);
+            drop(g);
+            panic_abort();
+        }
+        // Spawn happens-before everything in the child: the child inherits
+        // the parent's clock *before* the parent ticks — publish, then
+        // advance, so the parent's post-spawn events are not covered by
+        // what the child holds. The child then ticks its own component so
+        // its epochs start at 1 (epoch 0 is "before anything", which every
+        // clock trivially covers).
+        let mut clock = if let Some(p) = parent {
+            let c = g.threads[p].clock.clone();
+            g.threads[p].clock.tick(p);
+            c
+        } else {
+            VectorClock::new()
+        };
+        clock.tick(tid);
+        g.threads.push(ThreadState {
+            name,
+            status: Status::Runnable,
+            clock,
+            op_count: 0,
+            last_op: "spawned".into(),
+            timed_out: false,
+        });
+        g.live += 1;
+        let exec = Arc::clone(self);
+        let os = std::thread::Builder::new()
+            .name(format!("model-{tid}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+                // The initial wait must sit inside catch_unwind too: an
+                // abort before first scheduling unwinds from here, and
+                // thread_finished must still run or wait_done hangs.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    {
+                        let g = exec.inner.lock().unwrap();
+                        let g = exec.wait_my_turn(g, tid);
+                        drop(g);
+                    }
+                    f()
+                }));
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                exec.thread_finished(tid, result.err());
+            })
+            .expect("spawn model OS thread");
+        g.os_handles.push(os);
+        drop(g);
+        tid
+    }
+
+    fn wait_my_turn<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecInner> {
+        loop {
+            if g.abort {
+                drop(g);
+                panic_abort();
+            }
+            if g.cur == tid && g.threads[tid].status == Status::Runnable {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// A schedule point: record the op, maybe hand the baton elsewhere, and
+    /// return the guard under which the caller performs the op's effect.
+    /// `voluntary` marks yield-like points where switching away costs no
+    /// preemption from the bound.
+    pub(crate) fn schedule_point<'a>(
+        &'a self,
+        tid: usize,
+        op: impl FnOnce() -> String,
+        voluntary: bool,
+    ) -> MutexGuard<'a, ExecInner> {
+        let mut g = self.inner.lock().unwrap();
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        debug_assert_eq!(g.cur, tid, "only the scheduled thread runs");
+        g.threads[tid].last_op = op();
+        g.threads[tid].op_count += 1;
+        g.ops += 1;
+        if g.ops > g.cfg.max_ops {
+            let details = format!(
+                "execution exceeded {} schedule points without terminating \
+                 (livelock, or raise OFFLOAD_MODEL_MAX_OPS)",
+                g.cfg.max_ops
+            );
+            self.fail_locked(&mut g, FailureKind::OpBudget, details);
+            drop(g);
+            panic_abort();
+        }
+        // In-run cycle pruning: a shared-memory state (values + statuses,
+        // position-independent) repeating many times means this branch is
+        // spinning without progress under an unfair schedule — cut it.
+        let cycle_hash = cycle_hash(&g);
+        let hits = g.cycle_seen.entry(cycle_hash).or_insert(0);
+        *hits += 1;
+        if *hits > g.cfg.cycle_limit {
+            g.outcome = Outcome::Pruned;
+            self.abort_locked(&mut g);
+            drop(g);
+            panic_abort();
+        }
+        self.pick_next(&mut g, Some(tid), voluntary);
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        if g.cur != tid {
+            self.cv.notify_all();
+            g = self.wait_my_turn(g, tid);
+        }
+        g
+    }
+
+    /// Block the current thread on `on` and hand the baton elsewhere.
+    /// Returns once this thread is scheduled again.
+    pub(crate) fn block_current<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        tid: usize,
+        on: BlockOn,
+    ) -> MutexGuard<'a, ExecInner> {
+        g.threads[tid].status = Status::Blocked(on);
+        self.pick_next(&mut g, None, true);
+        if g.abort {
+            drop(g);
+            panic_abort();
+        }
+        self.cv.notify_all();
+        self.wait_my_turn(g, tid)
+    }
+
+    /// Choose who runs next. `running` is the thread at a schedule point
+    /// (still runnable), `None` when the previous thread blocked/finished.
+    fn pick_next(&self, g: &mut ExecInner, running: Option<usize>, voluntary: bool) {
+        // Candidate order: current-first, then by tid — so choice 0 is
+        // "keep going", and DFS perturbs from the natural execution.
+        let mut candidates: Vec<usize> = Vec::new();
+        if let Some(r) = running {
+            candidates.push(r);
+        }
+        for (t, th) in g.threads.iter().enumerate() {
+            if th.status == Status::Runnable && Some(t) != running {
+                candidates.push(t);
+            }
+        }
+        if candidates.is_empty() {
+            // Nobody can run. Fire a timeout backstop if one is armed,
+            // otherwise this is a deadlock (e.g. a lost wakeup).
+            let timed: Vec<usize> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, th)| match th.status {
+                    Status::Blocked(BlockOn::Condvar { timed: true, .. }) => Some(t),
+                    _ => None,
+                })
+                .collect();
+            if timed.is_empty() {
+                if g.live == 0 {
+                    g.done = true;
+                    return;
+                }
+                let details = self.deadlock_report(g);
+                self.fail_locked(g, FailureKind::Deadlock, details);
+                return;
+            }
+            let chosen = self.decide(g, &timed, true);
+            let Some(chosen) = chosen else { return };
+            // The timeout fires: leave the condvar waiter list and resume
+            // (the thread re-acquires its mutex when it runs).
+            if let Status::Blocked(BlockOn::Condvar { cv, .. }) = g.threads[chosen].status.clone() {
+                g.cvs[cv].waiters.retain(|&(t, _)| t != chosen);
+            }
+            g.threads[chosen].status = Status::Runnable;
+            g.threads[chosen].timed_out = true;
+            g.cur = chosen;
+            return;
+        }
+        // Enforce the preemption bound: switching away from a thread that
+        // could keep running is a preemption, unless it volunteered.
+        let constrained = if running.is_some()
+            && !voluntary
+            && g.preemptions >= g.cfg.preemption_bound
+            && candidates.len() > 1
+        {
+            &candidates[..1]
+        } else {
+            &candidates[..]
+        };
+        let chosen = self.decide(g, constrained, false);
+        let Some(chosen) = chosen else { return };
+        if Some(chosen) != running && running.is_some() && !voluntary {
+            g.preemptions += 1;
+        }
+        g.cur = chosen;
+    }
+
+    /// Ask the picker; handles pruning. Returns the chosen tid.
+    fn decide(&self, g: &mut ExecInner, candidates: &[usize], timeout_fire: bool) -> Option<usize> {
+        if candidates.len() == 1 {
+            // No decision to make; don't burden the schedule string.
+            return Some(candidates[0]);
+        }
+        let memo = memo_hash(g, timeout_fire);
+        let ctx = PickCtx {
+            candidates,
+            memo_hash: memo,
+        };
+        match g.picker.pick(&ctx) {
+            PickResult::Choose(i) => {
+                g.trace.push(i);
+                Some(candidates[i])
+            }
+            PickResult::Prune => {
+                g.outcome = Outcome::Pruned;
+                self.abort_locked(g);
+                None
+            }
+        }
+    }
+
+    fn deadlock_report(&self, g: &ExecInner) -> String {
+        let mut s =
+            String::from("all live threads are blocked and no timeout backstop is armed:\n");
+        for (t, th) in g.threads.iter().enumerate() {
+            if th.status == Status::Finished {
+                continue;
+            }
+            let on = match &th.status {
+                Status::Blocked(BlockOn::Mutex(m)) => format!("mutex #{m}"),
+                Status::Blocked(BlockOn::Condvar { cv, timed }) => {
+                    format!(
+                        "condvar #{cv} ({})",
+                        if *timed { "timed" } else { "untimed" }
+                    )
+                }
+                Status::Blocked(BlockOn::Join(j)) => format!("join of thread {j}"),
+                other => format!("{other:?}"),
+            };
+            s.push_str(&format!(
+                "  thread {t} [{}]: blocked on {on}, last op: {}\n",
+                th.name, th.last_op
+            ));
+        }
+        s
+    }
+
+    pub(crate) fn fail_locked(&self, g: &mut ExecInner, kind: FailureKind, details: String) {
+        if g.failure.is_none() {
+            g.failure = Some(Failure {
+                kind,
+                details,
+                schedule: schedule_string(&g.trace),
+                seed: None,
+            });
+            g.outcome = Outcome::Failed;
+        }
+        self.abort_locked(g);
+    }
+
+    fn abort_locked(&self, g: &mut ExecInner) {
+        g.abort = true;
+        // Release every blocked thread so it can observe the abort flag,
+        // unwind via ModelAbort, and exit its OS thread.
+        for th in g.threads.iter_mut() {
+            if matches!(th.status, Status::Blocked(_)) {
+                th.status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn thread_finished(&self, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut g = self.inner.lock().unwrap();
+        g.threads[tid].status = Status::Finished;
+        g.live -= 1;
+        if let Some(payload) = panic {
+            if !payload.is::<ModelAbort>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let detail = format!(
+                    "model thread {tid} [{}] panicked: {msg}",
+                    g.threads[tid].name
+                );
+                self.fail_locked(&mut g, FailureKind::Panic, detail);
+            }
+        }
+        if g.live == 0 {
+            g.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if !g.abort {
+            // Thread finish is a release point; joiners acquire its clock.
+            g.threads[tid].clock.tick(tid);
+            // Wake any joiners.
+            let joiners: Vec<usize> = g
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(t, th)| {
+                    (th.status == Status::Blocked(BlockOn::Join(tid))).then_some(t)
+                })
+                .collect();
+            for j in joiners {
+                g.threads[j].status = Status::Runnable;
+            }
+            if g.cur == tid {
+                self.pick_next(&mut g, None, true);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Controller side: wait for the run to finish, then join OS threads.
+    pub(crate) fn wait_done(&self) -> (Outcome, Option<Failure>, Vec<usize>) {
+        let handles = {
+            let mut g = self.inner.lock().unwrap();
+            while !g.done {
+                g = self.cv.wait(g).unwrap();
+            }
+            std::mem::take(&mut g.os_handles)
+        };
+        for h in handles {
+            let _ = h.join(); // ModelAbort unwinds are expected
+        }
+        let mut g = self.inner.lock().unwrap();
+        (g.outcome, g.failure.take(), std::mem::take(&mut g.trace))
+    }
+}
+
+/// Per-object registration slot: maps a facade object (atomic, cell,
+/// mutex, condvar — possibly a `static` outliving many executions) to its
+/// index in the current execution's registry, keyed by execution id.
+pub(crate) struct RegSlot(Mutex<(u64, usize)>);
+
+impl RegSlot {
+    pub const fn new() -> Self {
+        Self(Mutex::new((0, 0)))
+    }
+
+    /// The object's index in this execution, registering via `make` on
+    /// first touch. Call with the execution lock held (`g`).
+    pub fn index(&self, g: &mut ExecInner, make: impl FnOnce(&mut ExecInner) -> usize) -> usize {
+        let mut s = self.0.lock().unwrap();
+        if s.0 != g.id {
+            s.1 = make(g);
+            s.0 = g.id;
+        }
+        s.1
+    }
+}
+
+/// Is the release half of `ord` set (store side publishes its clock)?
+pub(crate) fn is_release(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Release | AcqRel | SeqCst)
+}
+
+/// Is the acquire half of `ord` set (load side joins the var's clock)?
+pub(crate) fn is_acquire(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Acquire | AcqRel | SeqCst)
+}
+
+/// Release a model mutex: publish the holder's clock, free it, and wake
+/// every thread blocked on acquisition.
+pub(crate) fn unlock_model(g: &mut ExecInner, tid: usize, mid: usize) {
+    debug_assert_eq!(g.mutexes[mid].held_by, Some(tid), "unlock by non-holder");
+    g.mutexes[mid].clock = g.threads[tid].clock.clone();
+    g.threads[tid].clock.tick(tid);
+    g.mutexes[mid].held_by = None;
+    for th in g.threads.iter_mut() {
+        if th.status == Status::Blocked(BlockOn::Mutex(mid)) {
+            th.status = Status::Runnable;
+        }
+    }
+}
+
+/// Render a choice trace as the printable, replayable schedule string.
+pub(crate) fn schedule_string(trace: &[usize]) -> String {
+    trace
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Position-independent hash: shared values + thread statuses. Used for
+/// in-run cycle (livelock) pruning — identical states mean no progress.
+fn cycle_hash(g: &ExecInner) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    g.cur.hash(&mut h);
+    for th in &g.threads {
+        std::mem::discriminant(&th.status).hash(&mut h);
+        if let Status::Blocked(on) = &th.status {
+            on.hash(&mut h);
+        }
+    }
+    for v in &g.vars {
+        v.value.hash(&mut h);
+    }
+    for m in &g.mutexes {
+        m.held_by.hash(&mut h);
+    }
+    for c in &g.cvs {
+        c.waiters.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Position-*dependent* hash for the cross-run stale-path pruner: includes
+/// op counts and all detector clocks, so two equal hashes mean (modulo
+/// collisions) the same continuation — exploring it twice is redundant.
+fn memo_hash(g: &ExecInner, timeout_fire: bool) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cycle_hash(g).hash(&mut h);
+    timeout_fire.hash(&mut h);
+    for th in &g.threads {
+        th.op_count.hash(&mut h);
+        th.clock.hash(&mut h);
+    }
+    for v in &g.vars {
+        v.sync_clock.hash(&mut h);
+    }
+    for m in &g.mutexes {
+        m.clock.hash(&mut h);
+    }
+    for c in &g.cells {
+        c.write.hash(&mut h);
+        c.reads.hash(&mut h);
+    }
+    h.finish()
+}
+
+impl Hash for BlockOn {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            BlockOn::Mutex(m) => (0u8, m).hash(state),
+            BlockOn::Condvar { cv, timed } => (1u8, cv, timed).hash(state),
+            BlockOn::Join(j) => (2u8, j).hash(state),
+        }
+    }
+}

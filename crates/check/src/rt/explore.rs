@@ -1,0 +1,147 @@
+//! The exploration driver: runs the model closure repeatedly under DFS,
+//! random-walk, or exact-replay schedules and aggregates the result.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use super::exec::{ExecShared, ModelAbort, Outcome, RunCfg};
+use super::picker::{DfsPicker, NullPicker, Picker, RandomPicker, Record, ReplayPicker};
+use crate::{Config, Failure, Stats, Strategy};
+
+/// Install (once) a panic hook that silences the `ModelAbort` unwinds used
+/// to tear down aborted runs — they are control flow, not failures.
+fn install_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn run_cfg(cfg: &Config) -> RunCfg {
+    RunCfg {
+        max_ops: cfg.max_ops,
+        max_threads: cfg.max_threads,
+        preemption_bound: cfg.preemption_bound,
+        cycle_limit: cfg.cycle_limit,
+        capture_stacks: cfg.capture_stacks,
+    }
+}
+
+/// One execution under `picker`. Returns the outcome, the failure (if
+/// any), the choice trace, and the picker's record.
+fn run_once(
+    picker: Box<dyn Picker>,
+    cfg: &Config,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Outcome, Option<Failure>, Vec<usize>, Record) {
+    let exec = ExecShared::new(picker, run_cfg(cfg));
+    let body = Arc::clone(f);
+    exec.spawn_model("main".into(), Box::new(move || body()));
+    let (outcome, failure, trace) = exec.wait_done();
+    let picker = {
+        let mut g = exec.inner.lock().unwrap();
+        std::mem::replace(&mut g.picker, Box::new(NullPicker))
+    };
+    (outcome, failure, trace, picker.finish())
+}
+
+pub(crate) fn explore_impl(cfg: &Config, f: Arc<dyn Fn() + Send + Sync>) -> Result<Stats, Failure> {
+    install_hook();
+    match &cfg.strategy {
+        Strategy::Replay(schedule) => {
+            let picker = Box::new(ReplayPicker::new(schedule.clone()));
+            let (_, failure, _, _) = run_once(picker, cfg, &f);
+            match failure {
+                Some(fail) => Err(fail),
+                None => Ok(Stats {
+                    schedules: 1,
+                    pruned: 0,
+                    exhausted: false,
+                }),
+            }
+        }
+        Strategy::Random { seed, iters } => {
+            let mut pruned = 0;
+            for i in 0..*iters {
+                let run_seed = seed.wrapping_add(i);
+                let picker = Box::new(RandomPicker::new(run_seed));
+                let (outcome, failure, _, _) = run_once(picker, cfg, &f);
+                if let Some(mut fail) = failure {
+                    fail.seed = Some(run_seed);
+                    return Err(fail);
+                }
+                if outcome == Outcome::Pruned {
+                    pruned += 1;
+                }
+            }
+            Ok(Stats {
+                schedules: *iters,
+                pruned,
+                exhausted: false,
+            })
+        }
+        Strategy::Dfs => {
+            let mut prefix: Vec<usize> = Vec::new();
+            let mut memo: HashSet<(u64, usize)> = HashSet::new();
+            let mut schedules = 0u64;
+            let mut pruned = 0u64;
+            loop {
+                let picker = Box::new(DfsPicker::new(
+                    std::mem::take(&mut prefix),
+                    std::mem::take(&mut memo),
+                    cfg.prune,
+                ));
+                let (outcome, failure, _, record) = run_once(picker, cfg, &f);
+                schedules += 1;
+                if let Some(fail) = failure {
+                    return Err(fail);
+                }
+                if outcome == Outcome::Pruned {
+                    pruned += 1;
+                }
+                memo = record.memo;
+                if schedules >= cfg.max_schedules {
+                    return Ok(Stats {
+                        schedules,
+                        pruned,
+                        exhausted: false,
+                    });
+                }
+                // Backtrack: deepest decision with an unexplored sibling.
+                let decisions = record.decisions;
+                let mut next: Option<Vec<usize>> = None;
+                for d in (0..decisions.len()).rev() {
+                    let dec = &decisions[d];
+                    for c in dec.chosen + 1..dec.n_candidates {
+                        if cfg.prune && memo.contains(&(dec.memo_hash, c)) {
+                            continue;
+                        }
+                        let mut p: Vec<usize> = decisions[..d].iter().map(|x| x.chosen).collect();
+                        p.push(c);
+                        next = Some(p);
+                        break;
+                    }
+                    if next.is_some() {
+                        break;
+                    }
+                }
+                match next {
+                    Some(p) => prefix = p,
+                    None => {
+                        return Ok(Stats {
+                            schedules,
+                            pruned,
+                            exhausted: true,
+                        })
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The instrumented model runtime — compiled only under
+//! `--cfg offload_model`; the plain build's facade routes straight to std.
+
+pub(crate) mod exec;
+pub(crate) mod explore;
+pub(crate) mod picker;

@@ -1,0 +1,179 @@
+//! Schedule choice strategies.
+//!
+//! A [`Picker`] is consulted at every schedule point that has more than one
+//! candidate. Three implementations:
+//!
+//! * [`DfsPicker`] — depth-first enumeration of choice sequences under the
+//!   preemption bound, with a cross-run *stale-path memo*: every decision is
+//!   tagged with a full-state hash, and a `(state, choice)` pair that was
+//!   already explored from another prefix is skipped (confluent paths reach
+//!   identical states, so their subtrees are identical too).
+//! * [`RandomPicker`] — a seeded xorshift walk for state spaces DFS cannot
+//!   exhaust; every failure prints the seed that reproduces it.
+//! * [`ReplayPicker`] — plays back a printed schedule string exactly, then
+//!   continues with choice 0 ("keep running the current thread").
+
+use std::collections::HashSet;
+
+pub(crate) struct PickCtx<'a> {
+    pub candidates: &'a [usize],
+    /// Position-dependent state hash (see `exec::memo_hash`).
+    pub memo_hash: u64,
+}
+
+pub(crate) enum PickResult {
+    /// Index into `candidates`.
+    Choose(usize),
+    /// Every choice from this state is already explored — abandon the run.
+    Prune,
+}
+
+pub(crate) trait Picker: Send {
+    fn pick(&mut self, ctx: &PickCtx) -> PickResult;
+    /// Hand the run's record back to the explorer (DFS: decisions + memo).
+    fn finish(self: Box<Self>) -> Record;
+}
+
+/// What a run leaves behind for backtracking.
+#[derive(Default)]
+pub(crate) struct Record {
+    pub decisions: Vec<Decision>,
+    pub memo: HashSet<(u64, usize)>,
+}
+
+/// Placeholder swapped into the execution while the real picker's record
+/// is extracted.
+pub(crate) struct NullPicker;
+
+impl Picker for NullPicker {
+    fn pick(&mut self, _ctx: &PickCtx) -> PickResult {
+        PickResult::Choose(0)
+    }
+    fn finish(self: Box<Self>) -> Record {
+        Record::default()
+    }
+}
+
+/// One recorded decision of a DFS run.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    pub n_candidates: usize,
+    pub chosen: usize,
+    pub memo_hash: u64,
+}
+
+pub(crate) struct DfsPicker {
+    /// Choices to replay from the previous backtrack.
+    prefix: Vec<usize>,
+    pos: usize,
+    pub decisions: Vec<Decision>,
+    /// Shared across runs by move-in/move-out: explored (state, choice).
+    pub memo: HashSet<(u64, usize)>,
+    /// When false, the memo only records (pruning disabled).
+    pub prune: bool,
+}
+
+impl DfsPicker {
+    pub fn new(prefix: Vec<usize>, memo: HashSet<(u64, usize)>, prune: bool) -> Self {
+        Self {
+            prefix,
+            pos: 0,
+            decisions: Vec::new(),
+            memo,
+            prune,
+        }
+    }
+}
+
+impl Picker for DfsPicker {
+    fn pick(&mut self, ctx: &PickCtx) -> PickResult {
+        let n = ctx.candidates.len();
+        let chosen = if self.pos < self.prefix.len() {
+            self.prefix[self.pos].min(n - 1)
+        } else if self.prune {
+            // First unexplored choice from this state, if any.
+            match (0..n).find(|&c| !self.memo.contains(&(ctx.memo_hash, c))) {
+                Some(c) => c,
+                None => return PickResult::Prune,
+            }
+        } else {
+            0
+        };
+        self.pos += 1;
+        self.memo.insert((ctx.memo_hash, chosen));
+        self.decisions.push(Decision {
+            n_candidates: n,
+            chosen,
+            memo_hash: ctx.memo_hash,
+        });
+        PickResult::Choose(chosen)
+    }
+
+    fn finish(self: Box<Self>) -> Record {
+        Record {
+            decisions: self.decisions,
+            memo: self.memo,
+        }
+    }
+}
+
+/// SplitMix64 — tiny, seedable, good enough for schedule sampling.
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub(crate) struct RandomPicker {
+    rng: SplitMix64,
+}
+
+impl RandomPicker {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64(seed),
+        }
+    }
+}
+
+impl Picker for RandomPicker {
+    fn pick(&mut self, ctx: &PickCtx) -> PickResult {
+        PickResult::Choose((self.rng.next() % ctx.candidates.len() as u64) as usize)
+    }
+    fn finish(self: Box<Self>) -> Record {
+        Record::default()
+    }
+}
+
+pub(crate) struct ReplayPicker {
+    schedule: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplayPicker {
+    pub fn new(schedule: Vec<usize>) -> Self {
+        Self { schedule, pos: 0 }
+    }
+}
+
+impl Picker for ReplayPicker {
+    fn pick(&mut self, ctx: &PickCtx) -> PickResult {
+        let c = self
+            .schedule
+            .get(self.pos)
+            .copied()
+            .unwrap_or(0)
+            .min(ctx.candidates.len() - 1);
+        self.pos += 1;
+        PickResult::Choose(c)
+    }
+    fn finish(self: Box<Self>) -> Record {
+        Record::default()
+    }
+}

@@ -1,0 +1,681 @@
+//! The `sync` facade: drop-in replacements for `std::sync` primitives.
+//!
+//! In a normal build these are the std types themselves (re-exports) or
+//! `#[repr(transparent)]`-thin wrappers with identical codegen — the
+//! production offload stack pays nothing for being model-checkable. Under
+//! `RUSTFLAGS="--cfg offload_model"` every operation becomes a *schedule
+//! point* of the deterministic scheduler in [`crate::rt`], and the ordering
+//! argument (`Ordering::Release`, `Acquire`, …) drives the vector-clock
+//! happens-before tracking used by the race detector.
+//!
+//! Model-mode types still work when used from a thread that is *not* part
+//! of a model execution (e.g. other tests in the same binary): they fall
+//! back to the real std primitive they embed.
+
+#[cfg(not(offload_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(offload_model)]
+pub use model_sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+pub use std::sync::{Arc, LockResult};
+
+pub mod atomic {
+    //! Facade atomics. Model mode mirrors every write through to the
+    //! embedded std atomic so fallback readers (threads outside the model
+    //! execution) and `static`s that outlive one execution stay coherent.
+
+    #[cfg(not(offload_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(offload_model)]
+    pub use model::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(offload_model)]
+    mod model {
+        use std::sync::atomic::Ordering;
+
+        use crate::clock::VectorClock;
+        use crate::rt::exec::{ctx, is_acquire, is_release, ExecInner, RegSlot, VarState};
+
+        /// Value transport between the typed facade and the `u64`-valued
+        /// model variable registry.
+        pub(crate) trait AsU64: Copy {
+            fn to_u64(self) -> u64;
+            fn from_u64(v: u64) -> Self;
+        }
+
+        macro_rules! as_u64_int {
+            ($($ty:ty),*) => {$(
+                impl AsU64 for $ty {
+                    fn to_u64(self) -> u64 {
+                        self as u64
+                    }
+                    fn from_u64(v: u64) -> Self {
+                        v as $ty
+                    }
+                }
+            )*};
+        }
+        as_u64_int!(u32, u64, usize);
+
+        impl AsU64 for bool {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v != 0
+            }
+        }
+
+        macro_rules! model_atomic {
+            ($name:ident, $ty:ty, $kind:literal) => {
+                pub struct $name {
+                    /// The real atomic: authoritative in fallback mode,
+                    /// write-through mirror in model mode.
+                    std: std::sync::atomic::$name,
+                    slot: RegSlot,
+                }
+
+                impl $name {
+                    pub const fn new(v: $ty) -> Self {
+                        Self {
+                            std: std::sync::atomic::$name::new(v),
+                            slot: RegSlot::new(),
+                        }
+                    }
+
+                    fn register(&self, g: &mut ExecInner) -> usize {
+                        let init = AsU64::to_u64(self.std.load(Ordering::Relaxed));
+                        self.slot.index(g, |g| {
+                            g.vars.push(VarState {
+                                value: init,
+                                sync_clock: VectorClock::new(),
+                            });
+                            g.vars.len() - 1
+                        })
+                    }
+
+                    pub fn load(&self, ord: Ordering) -> $ty {
+                        if let Some((exec, tid)) = ctx() {
+                            assert!(
+                                !matches!(ord, Ordering::Release | Ordering::AcqRel),
+                                "invalid ordering for atomic load"
+                            );
+                            let mut g =
+                                exec.schedule_point(tid, || concat!($kind, ".load").into(), false);
+                            let idx = self.register(&mut g);
+                            let val = g.vars[idx].value;
+                            if is_acquire(ord) {
+                                let sc = g.vars[idx].sync_clock.clone();
+                                g.threads[tid].clock.join(&sc);
+                            }
+                            drop(g);
+                            AsU64::from_u64(val)
+                        } else {
+                            self.std.load(ord)
+                        }
+                    }
+
+                    pub fn store(&self, v: $ty, ord: Ordering) {
+                        if let Some((exec, tid)) = ctx() {
+                            assert!(
+                                !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+                                "invalid ordering for atomic store"
+                            );
+                            let mut g =
+                                exec.schedule_point(tid, || concat!($kind, ".store").into(), false);
+                            let idx = self.register(&mut g);
+                            if is_release(ord) {
+                                g.vars[idx].sync_clock = g.threads[tid].clock.clone();
+                                g.threads[tid].clock.tick(tid);
+                            } else {
+                                // A plain store breaks any release sequence
+                                // headed here: later acquires get nothing.
+                                g.vars[idx].sync_clock.clear();
+                            }
+                            g.vars[idx].value = AsU64::to_u64(v);
+                            // ORDERING: write-through to the std mirror so
+                            // Drop-path / outside-execution readers see the
+                            // final value; SeqCst because this runs under
+                            // the exec lock and is not perf-sensitive —
+                            // the *modeled* ordering is `ord` above.
+                            self.std.store(v, Ordering::SeqCst);
+                            drop(g);
+                        } else {
+                            self.std.store(v, ord);
+                        }
+                    }
+
+                    /// Model path of every read-modify-write: RMWs always
+                    /// see the latest value; a relaxed RMW leaves the
+                    /// variable's sync clock in place (it *continues* the
+                    /// release sequence, per the C++ model), while a
+                    /// releasing one joins its own clock in.
+                    fn rmw(
+                        &self,
+                        exec: &crate::rt::exec::ExecShared,
+                        tid: usize,
+                        ord: Ordering,
+                        name: &'static str,
+                        f: impl FnOnce(u64) -> u64,
+                    ) -> $ty {
+                        let mut g =
+                            exec.schedule_point(tid, || format!("{}.{}", $kind, name), false);
+                        let idx = self.register(&mut g);
+                        let old = g.vars[idx].value;
+                        if is_acquire(ord) {
+                            let sc = g.vars[idx].sync_clock.clone();
+                            g.threads[tid].clock.join(&sc);
+                        }
+                        if is_release(ord) {
+                            let c = g.threads[tid].clock.clone();
+                            g.vars[idx].sync_clock.join(&c);
+                            g.threads[tid].clock.tick(tid);
+                        }
+                        let new = f(old);
+                        g.vars[idx].value = new;
+                        // ORDERING: std-mirror write-through (see `store`);
+                        // SeqCst for simplicity, the modeled ordering is
+                        // what the RMW was called with.
+                        self.std.store(AsU64::from_u64(new), Ordering::SeqCst);
+                        drop(g);
+                        AsU64::from_u64(old)
+                    }
+
+                    pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                        match ctx() {
+                            Some((exec, tid)) => {
+                                self.rmw(&exec, tid, ord, "swap", |_| AsU64::to_u64(v))
+                            }
+                            None => self.std.swap(v, ord),
+                        }
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        match ctx() {
+                            Some((exec, tid)) => {
+                                assert!(
+                                    !matches!(failure, Ordering::Release | Ordering::AcqRel),
+                                    "invalid failure ordering for compare_exchange"
+                                );
+                                let mut g = exec.schedule_point(
+                                    tid,
+                                    || concat!($kind, ".compare_exchange").into(),
+                                    false,
+                                );
+                                let idx = self.register(&mut g);
+                                let old = g.vars[idx].value;
+                                if old == AsU64::to_u64(current) {
+                                    if is_acquire(success) {
+                                        let sc = g.vars[idx].sync_clock.clone();
+                                        g.threads[tid].clock.join(&sc);
+                                    }
+                                    if is_release(success) {
+                                        let c = g.threads[tid].clock.clone();
+                                        g.vars[idx].sync_clock.join(&c);
+                                        g.threads[tid].clock.tick(tid);
+                                    }
+                                    g.vars[idx].value = AsU64::to_u64(new);
+                                    // ORDERING: std-mirror write-through
+                                    // (see `store`); the modeled ordering
+                                    // is `success`.
+                                    self.std.store(new, Ordering::SeqCst);
+                                    drop(g);
+                                    Ok(AsU64::from_u64(old))
+                                } else {
+                                    if is_acquire(failure) {
+                                        let sc = g.vars[idx].sync_clock.clone();
+                                        g.threads[tid].clock.join(&sc);
+                                    }
+                                    drop(g);
+                                    Err(AsU64::from_u64(old))
+                                }
+                            }
+                            None => self.std.compare_exchange(current, new, success, failure),
+                        }
+                    }
+
+                    /// The model has no spurious CAS failures — `weak` is
+                    /// `compare_exchange` (one fewer failure path to
+                    /// explore; spurious-retry loops are already covered by
+                    /// genuine interference schedules).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        match ctx() {
+                            Some(_) => self.compare_exchange(current, new, success, failure),
+                            None => self
+                                .std
+                                .compare_exchange_weak(current, new, success, failure),
+                        }
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.debug_tuple(stringify!($name))
+                            .field(&self.std.load(Ordering::Relaxed))
+                            .finish()
+                    }
+                }
+            };
+        }
+
+        macro_rules! model_atomic_int_ops {
+            ($name:ident, $ty:ty) => {
+                impl $name {
+                    pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                        match ctx() {
+                            Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_add", |old| {
+                                AsU64::to_u64(<$ty as AsU64>::from_u64(old).wrapping_add(v))
+                            }),
+                            None => self.std.fetch_add(v, ord),
+                        }
+                    }
+
+                    pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                        match ctx() {
+                            Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_sub", |old| {
+                                AsU64::to_u64(<$ty as AsU64>::from_u64(old).wrapping_sub(v))
+                            }),
+                            None => self.std.fetch_sub(v, ord),
+                        }
+                    }
+
+                    pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                        match ctx() {
+                            Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_or", |old| {
+                                AsU64::to_u64(<$ty as AsU64>::from_u64(old) | v)
+                            }),
+                            None => self.std.fetch_or(v, ord),
+                        }
+                    }
+
+                    pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                        match ctx() {
+                            Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_and", |old| {
+                                AsU64::to_u64(<$ty as AsU64>::from_u64(old) & v)
+                            }),
+                            None => self.std.fetch_and(v, ord),
+                        }
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, bool, "AtomicBool");
+        model_atomic!(AtomicU32, u32, "AtomicU32");
+        model_atomic!(AtomicU64, u64, "AtomicU64");
+        model_atomic!(AtomicUsize, usize, "AtomicUsize");
+        model_atomic_int_ops!(AtomicU32, u32);
+        model_atomic_int_ops!(AtomicU64, u64);
+        model_atomic_int_ops!(AtomicUsize, usize);
+
+        impl AtomicBool {
+            pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+                match ctx() {
+                    Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_or", |old| {
+                        AsU64::to_u64(bool::from_u64(old) | v)
+                    }),
+                    None => self.std.fetch_or(v, ord),
+                }
+            }
+
+            pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+                match ctx() {
+                    Some((exec, tid)) => self.rmw(&exec, tid, ord, "fetch_and", |old| {
+                        AsU64::to_u64(bool::from_u64(old) & v)
+                    }),
+                    None => self.std.fetch_and(v, ord),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(offload_model)]
+mod model_sync {
+    use std::time::Duration;
+
+    use crate::clock::VectorClock;
+    use crate::rt::exec::{
+        ctx, current, unlock_model, BlockOn, ExecInner, MutexState, RegSlot, Status,
+        UNTIMED_THRESHOLD,
+    };
+
+    /// Model-aware mutex. Inside a model execution, lock/unlock are
+    /// schedule points and clock-transfer edges; outside, the embedded std
+    /// mutex does the real locking.
+    pub struct Mutex<T: ?Sized> {
+        slot: RegSlot,
+        raw: std::sync::Mutex<()>,
+        cell: std::cell::UnsafeCell<T>,
+    }
+
+    // SAFETY: exclusion is guaranteed either by the model scheduler
+    // (exactly one thread holds `held_by`) or by the embedded raw mutex on
+    // the fallback path, so `&Mutex<T>` never hands out aliased `&mut T`.
+    unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+    // SAFETY: as above — all access to the cell goes through a guard that
+    // proves exclusive ownership.
+    unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        /// Model mutex id when model-locked; `None` on the fallback path.
+        mid: Option<usize>,
+        raw: Option<std::sync::MutexGuard<'a, ()>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Self {
+                slot: RegSlot::new(),
+                raw: std::sync::Mutex::new(()),
+                cell: std::cell::UnsafeCell::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            Ok(self.cell.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        fn register(&self, g: &mut ExecInner) -> usize {
+            self.slot.index(g, |g| {
+                g.mutexes.push(MutexState {
+                    held_by: None,
+                    clock: VectorClock::new(),
+                });
+                g.mutexes.len() - 1
+            })
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some((exec, tid)) = ctx() {
+                let mut g = exec.schedule_point(tid, || "mutex.lock".into(), false);
+                let mid = self.register(&mut g);
+                loop {
+                    if g.mutexes[mid].held_by.is_none() {
+                        g.mutexes[mid].held_by = Some(tid);
+                        let c = g.mutexes[mid].clock.clone();
+                        g.threads[tid].clock.join(&c);
+                        break;
+                    }
+                    g = exec.block_current(g, tid, BlockOn::Mutex(mid));
+                }
+                drop(g);
+                Ok(MutexGuard {
+                    lock: self,
+                    mid: Some(mid),
+                    raw: None,
+                })
+            } else {
+                let raw = self.raw.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    mid: None,
+                    raw: Some(raw),
+                })
+            }
+        }
+
+        pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+            Ok(self.cell.get_mut())
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: holding the guard means holding the mutex (model or
+            // raw), so no other reference to the cell exists.
+            unsafe { &*self.lock.cell.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref` — the guard is the exclusion proof.
+            unsafe { &mut *self.lock.cell.get() }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(mid) = self.mid {
+                // During a ModelAbort unwind the execution is being torn
+                // down — skip the bookkeeping (a nested panic would abort).
+                if std::thread::panicking() {
+                    return;
+                }
+                if let Some((exec, tid)) = current() {
+                    let mut g = exec.schedule_point(tid, || "mutex.unlock".into(), false);
+                    unlock_model(&mut g, tid, mid);
+                }
+            }
+        }
+    }
+
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model-aware condvar. Wakeups transfer no clocks — the mutex is the
+    /// happens-before carrier, exactly as under POSIX. A `wait_timeout`
+    /// whose duration is ≥ 1 hour is modelled as *untimed* (that is the
+    /// "backstop disabled" configuration model tests use); a shorter one
+    /// arms a timeout backstop that fires only when nothing else can run.
+    pub struct Condvar {
+        slot: RegSlot,
+        raw: std::sync::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Self {
+                slot: RegSlot::new(),
+                raw: std::sync::Condvar::new(),
+            }
+        }
+
+        fn register(&self, g: &mut ExecInner) -> usize {
+            self.slot.index(g, |g| {
+                g.cvs.push(Default::default());
+                g.cvs.len() - 1
+            })
+        }
+
+        pub fn wait<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            if guard.mid.is_some() && ctx().is_some() {
+                Ok(self.wait_model(guard, None).0)
+            } else {
+                let (lock, raw) = Self::into_raw(guard);
+                let raw = self.raw.wait(raw).unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    mid: None,
+                    raw: Some(raw),
+                })
+            }
+        }
+
+        pub fn wait_timeout<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            if guard.mid.is_some() && ctx().is_some() {
+                Ok(self.wait_model(guard, Some(dur)))
+            } else {
+                let (lock, raw) = Self::into_raw(guard);
+                let (raw, res) = self
+                    .raw
+                    .wait_timeout(raw, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok((
+                    MutexGuard {
+                        lock,
+                        mid: None,
+                        raw: Some(raw),
+                    },
+                    WaitTimeoutResult(res.timed_out()),
+                ))
+            }
+        }
+
+        /// Take the raw std guard out without running our Drop.
+        fn into_raw<'a, T: ?Sized>(
+            guard: MutexGuard<'a, T>,
+        ) -> (&'a Mutex<T>, std::sync::MutexGuard<'a, ()>) {
+            let mut guard = guard;
+            let raw = guard
+                .raw
+                .take()
+                .expect("condvar wait on a model-locked mutex outside its execution");
+            let lock = guard.lock;
+            std::mem::forget(guard);
+            (lock, raw)
+        }
+
+        fn wait_model<'a, T: ?Sized>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Option<Duration>,
+        ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+            let (exec, tid) = current().expect("model ctx");
+            let mid = guard.mid.expect("model-locked guard");
+            let lock = guard.lock;
+            std::mem::forget(guard);
+            let timed = matches!(dur, Some(d) if d < UNTIMED_THRESHOLD);
+            let mut g =
+                exec.schedule_point(tid, move || format!("condvar.wait(timed={timed})"), true);
+            let cvid = self.register(&mut g);
+            unlock_model(&mut g, tid, mid);
+            g.cvs[cvid].waiters.push((tid, timed));
+            g = exec.block_current(g, tid, BlockOn::Condvar { cv: cvid, timed });
+            let timed_out = std::mem::replace(&mut g.threads[tid].timed_out, false);
+            // Re-acquire the mutex before returning, as std does.
+            loop {
+                if g.mutexes[mid].held_by.is_none() {
+                    g.mutexes[mid].held_by = Some(tid);
+                    let c = g.mutexes[mid].clock.clone();
+                    g.threads[tid].clock.join(&c);
+                    break;
+                }
+                g = exec.block_current(g, tid, BlockOn::Mutex(mid));
+            }
+            drop(g);
+            (
+                MutexGuard {
+                    lock,
+                    mid: Some(mid),
+                    raw: None,
+                },
+                WaitTimeoutResult(timed_out),
+            )
+        }
+
+        pub fn notify_one(&self) {
+            if let Some((exec, tid)) = ctx() {
+                let mut g = exec.schedule_point(tid, || "condvar.notify_one".into(), false);
+                let cvid = self.register(&mut g);
+                if !g.cvs[cvid].waiters.is_empty() {
+                    let (t, _) = g.cvs[cvid].waiters.remove(0);
+                    if matches!(
+                        g.threads[t].status,
+                        Status::Blocked(BlockOn::Condvar { .. })
+                    ) {
+                        g.threads[t].status = Status::Runnable;
+                    }
+                }
+                drop(g);
+            }
+            self.raw.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            if let Some((exec, tid)) = ctx() {
+                let mut g = exec.schedule_point(tid, || "condvar.notify_all".into(), false);
+                let cvid = self.register(&mut g);
+                let waiters = std::mem::take(&mut g.cvs[cvid].waiters);
+                for (t, _) in waiters {
+                    if matches!(
+                        g.threads[t].status,
+                        Status::Blocked(BlockOn::Condvar { .. })
+                    ) {
+                        g.threads[t].status = Status::Runnable;
+                    }
+                }
+                drop(g);
+            }
+            self.raw.notify_all();
+        }
+    }
+}
+
+/// Pads and aligns a value to 128 bytes so neighbouring fields land on
+/// separate cache lines (same contract as crossbeam's `CachePadded`; 128
+/// covers adjacent-line prefetchers). Identical in both build modes —
+/// padding needs no instrumentation.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}

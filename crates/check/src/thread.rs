@@ -1,0 +1,104 @@
+//! Facade over `std::thread`. Plain builds re-export std; model builds
+//! route `spawn`/`join` through the deterministic scheduler so the spawned
+//! closure becomes a model thread with its own vector clock.
+
+#[cfg(not(offload_model))]
+pub use std::thread::{sleep, spawn, yield_now, JoinHandle, Result};
+
+#[cfg(offload_model)]
+pub use model::{sleep, spawn, yield_now, JoinHandle};
+#[cfg(offload_model)]
+pub use std::thread::Result;
+
+#[cfg(offload_model)]
+mod model {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::rt::exec::{ctx, current, panic_abort, BlockOn, ExecShared, Status};
+
+    pub struct JoinHandle<T>(Inner<T>);
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<ExecShared>,
+            tid: usize,
+            slot: Arc<std::sync::Mutex<Option<T>>>,
+        },
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((exec, tid)) = ctx() {
+            // Spawn is itself a schedule point (and a release edge — the
+            // child inherits the parent's clock inside spawn_model).
+            drop(exec.schedule_point(tid, || "thread::spawn".into(), false));
+            let slot = Arc::new(std::sync::Mutex::new(None));
+            let into = Arc::clone(&slot);
+            let child = exec.spawn_model(
+                format!("spawned-by-{tid}"),
+                Box::new(move || {
+                    let v = f();
+                    *into.lock().unwrap() = Some(v);
+                }),
+            );
+            JoinHandle(Inner::Model {
+                exec,
+                tid: child,
+                slot,
+            })
+        } else {
+            JoinHandle(Inner::Std(std::thread::spawn(f)))
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, tid, slot } => {
+                    let (_, me) = current().expect("join of a model thread from outside its run");
+                    let mut g =
+                        exec.schedule_point(me, move || format!("join(thread {tid})"), true);
+                    if g.threads[tid].status != Status::Finished {
+                        g = exec.block_current(g, me, BlockOn::Join(tid));
+                    }
+                    // Join is an acquire edge from everything the child did.
+                    let c = g.threads[tid].clock.clone();
+                    g.threads[me].clock.join(&c);
+                    drop(g);
+                    match slot.lock().unwrap().take() {
+                        Some(v) => Ok(v),
+                        // The child never produced a value: it panicked (the
+                        // failure is already recorded) or the run is being
+                        // torn down — unwind this thread too.
+                        None => panic_abort(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A voluntary schedule point; outside a model run, the real yield.
+    pub fn yield_now() {
+        if let Some((exec, tid)) = ctx() {
+            drop(exec.schedule_point(tid, || "thread::yield_now".into(), true));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Model time is logical: sleeping is modelled as a voluntary yield
+    /// (any other thread may run an unbounded amount before we resume).
+    pub fn sleep(dur: Duration) {
+        if let Some((exec, tid)) = ctx() {
+            drop(exec.schedule_point(tid, move || format!("thread::sleep({dur:?})"), true));
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Self-tests for the model checker: known-good programs must pass, known
+//! seeded bugs must be found, and failures must be replayable.
+//!
+//! Tests that *expect* a failure only make sense in the model build (a
+//! plain build runs the closure once on real primitives), so they are
+//! gated on `cfg(offload_model)`. Passing programs run in both modes.
+
+use std::sync::Arc;
+
+use check::cell::UnsafeCell;
+use check::sync::atomic::{AtomicUsize, Ordering};
+use check::sync::Mutex;
+use check::{Config, Strategy};
+
+#[cfg(offload_model)]
+use check::sync::atomic::AtomicBool;
+#[cfg(offload_model)]
+use check::sync::Condvar;
+#[cfg(offload_model)]
+use check::FailureKind;
+
+/// DFS must find the failure in `f` and report `kind`. Returns it.
+#[cfg(offload_model)]
+fn expect_failure(kind: FailureKind, f: impl Fn() + Send + Sync + 'static) -> check::Failure {
+    let cfg = Config {
+        capture_stacks: false, // keep expected-failure tests fast
+        ..Config::default()
+    };
+    match check::explore(cfg, f) {
+        Ok(stats) => panic!(
+            "expected {kind:?}, but {} schedules passed",
+            stats.schedules
+        ),
+        Err(failure) => {
+            assert_eq!(failure.kind, kind, "wrong failure kind: {failure}");
+            failure
+        }
+    }
+}
+
+#[test]
+fn mutex_counter_is_race_free() {
+    let stats = check::model(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n = Arc::clone(&n);
+            handles.push(check::thread::spawn(move || {
+                *n.lock().unwrap() += 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(stats.schedules >= 1);
+}
+
+#[test]
+fn release_acquire_message_passing_is_race_free() {
+    check::model(|| {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let consumer = {
+            let data = Arc::clone(&data);
+            let flag = Arc::clone(&flag);
+            check::thread::spawn(move || {
+                if flag.load(Ordering::Acquire) == 1 {
+                    // SAFETY: the acquire load saw the producer's release
+                    // store, so the write to `data` happens-before us.
+                    let v = data.with(|p| unsafe { *p });
+                    assert_eq!(v, 42);
+                }
+            })
+        };
+        // SAFETY: no other thread accesses `data` until the release store
+        // below publishes it.
+        data.with_mut(|p| unsafe { *p = 42 });
+        flag.store(1, Ordering::Release);
+        consumer.join().unwrap();
+    });
+}
+
+/// The seeded ordering bug the issue calls for: the exact message-passing
+/// pattern above, but the publishing store is `Relaxed` — no release edge,
+/// so the consumer's data read races with the producer's write.
+#[cfg(offload_model)]
+#[test]
+fn relaxed_publish_is_a_data_race() {
+    let failure = expect_failure(FailureKind::DataRace, || {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let consumer = {
+            let data = Arc::clone(&data);
+            let flag = Arc::clone(&flag);
+            check::thread::spawn(move || {
+                if flag.load(Ordering::Acquire) == 1 {
+                    // Racy: the relaxed store below published no clock.
+                    let _ = data.with(|p| unsafe { *p });
+                }
+            })
+        };
+        data.with_mut(|p| unsafe { *p = 42 });
+        flag.store(1, Ordering::Relaxed); // BUG: should be Release
+        consumer.join().unwrap();
+    });
+    // Failure output must carry a replayable schedule string.
+    assert!(!failure.schedule.is_empty());
+}
+
+/// Two plain (unsynchronized) writers: the most basic race.
+#[cfg(offload_model)]
+#[test]
+fn unsynchronized_writers_race() {
+    expect_failure(FailureKind::DataRace, || {
+        let data = Arc::new(UnsafeCell::new(0u64));
+        let other = {
+            let data = Arc::clone(&data);
+            check::thread::spawn(move || {
+                data.with_mut(|p| unsafe { *p += 1 });
+            })
+        };
+        data.with_mut(|p| unsafe { *p += 1 });
+        other.join().unwrap();
+    });
+}
+
+/// Classic ABBA deadlock — found and reported as Deadlock.
+#[cfg(offload_model)]
+#[test]
+fn abba_deadlock_is_found() {
+    expect_failure(FailureKind::Deadlock, || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            check::thread::spawn(move || {
+                let _b = b.lock().unwrap();
+                let _a = a.lock().unwrap();
+            })
+        };
+        let _a = a.lock().unwrap();
+        let _b = b.lock().unwrap();
+        drop(_b);
+        drop(_a);
+        t.join().unwrap();
+    });
+}
+
+/// Lost wakeup, WakeSignal-shaped: the readiness flag lives *outside* the
+/// condvar's mutex, and the waiter does not re-check it after taking the
+/// lock. The notify can then land between the flag check and the wait
+/// registration — and is lost. An untimed wait deadlocks; the bounded-park
+/// backstop re-checks and masks the bug.
+#[cfg(offload_model)]
+fn lost_wakeup_body(timed: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let sync = Arc::new((Mutex::new(()), Condvar::new()));
+        let notifier = {
+            let flag = Arc::clone(&flag);
+            let sync = Arc::clone(&sync);
+            check::thread::spawn(move || {
+                flag.store(true, Ordering::Release);
+                // BUG (for the untimed variant): notify without holding
+                // the mutex, so it can race the waiter's registration.
+                sync.1.notify_all();
+            })
+        };
+        while !flag.load(Ordering::Acquire) {
+            let (lock, cv) = &*sync;
+            let guard = lock.lock().unwrap();
+            // BUG: no flag re-check under the lock before waiting.
+            let dur = if timed {
+                // The production backstop: a bounded park re-checks.
+                std::time::Duration::from_millis(1)
+            } else {
+                // Backstop disabled (`park_timeout: Duration::MAX`):
+                // a lost wakeup now blocks forever.
+                std::time::Duration::MAX
+            };
+            let _ = cv.wait_timeout(guard, dur).unwrap();
+        }
+        notifier.join().unwrap();
+    }
+}
+
+#[cfg(offload_model)]
+#[test]
+fn lost_wakeup_without_backstop_deadlocks() {
+    expect_failure(FailureKind::Deadlock, lost_wakeup_body(false));
+}
+
+#[cfg(offload_model)]
+#[test]
+fn lost_wakeup_with_backstop_passes() {
+    check::model(lost_wakeup_body(true));
+}
+
+/// A failing schedule string replays to the identical failure.
+#[cfg(offload_model)]
+#[test]
+fn failing_schedule_replays() {
+    fn body() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let data = Arc::new(UnsafeCell::new(0u64));
+            let other = {
+                let data = Arc::clone(&data);
+                check::thread::spawn(move || {
+                    data.with_mut(|p| unsafe { *p = 1 });
+                })
+            };
+            data.with_mut(|p| unsafe { *p = 2 });
+            other.join().unwrap();
+        }
+    }
+    let failure = expect_failure(FailureKind::DataRace, body());
+    let mut cfg = Config::replay(&failure.schedule);
+    cfg.capture_stacks = false;
+    let replayed = check::explore(cfg, body()).expect_err("replay must reproduce the failure");
+    assert_eq!(replayed.kind, FailureKind::DataRace);
+}
+
+/// A random walk reports the run seed that failed, and replaying exactly
+/// that seed for one iteration reproduces the failure.
+#[cfg(offload_model)]
+#[test]
+fn random_walk_seed_reproduces() {
+    fn body() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let data = Arc::new(UnsafeCell::new(0u64));
+            let other = {
+                let data = Arc::clone(&data);
+                check::thread::spawn(move || {
+                    data.with_mut(|p| unsafe { *p = 1 });
+                })
+            };
+            data.with_mut(|p| unsafe { *p = 2 });
+            other.join().unwrap();
+        }
+    }
+    let mut cfg = Config::random(check::DEFAULT_SEED, 64);
+    cfg.capture_stacks = false;
+    let failure = check::explore(cfg, body()).expect_err("random walk must find the race");
+    let seed = failure.seed.expect("random failures carry their seed");
+    let mut cfg = Config::random(seed, 1);
+    cfg.capture_stacks = false;
+    let again = check::explore(cfg, body()).expect_err("seed must reproduce");
+    assert_eq!(again.kind, FailureKind::DataRace);
+}
+
+/// DFS on a passing program terminates and (at these sizes) exhausts the
+/// bounded schedule space.
+#[test]
+fn dfs_exhausts_small_programs() {
+    let stats = check::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let n = Arc::clone(&n);
+            check::thread::spawn(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    #[cfg(offload_model)]
+    assert!(
+        stats.exhausted,
+        "tiny program must be exhaustible: {stats:?}"
+    );
+    let _ = stats;
+}
+
+/// The strategies are part of the public API surface; keep them
+/// constructible in both build modes.
+#[test]
+fn config_constructors() {
+    let c = Config::replay("0.1.2");
+    assert!(matches!(c.strategy, Strategy::Replay(ref v) if v == &[0, 1, 2]));
+    let c = Config::random(7, 3);
+    assert!(matches!(c.strategy, Strategy::Random { seed: 7, iters: 3 }));
+}

@@ -30,10 +30,17 @@
 //!
 //! All counters come from `obs` and compile to ZSTs with
 //! `--no-default-features`; the waiting logic itself is always live.
+//!
+//! Synchronization comes from the `check` facade (std in normal builds,
+//! model-checked under `--cfg offload_model`). The model treats a
+//! `wait_timeout` of an hour or more as *untimed* — that is how model
+//! tests disable the park backstop ([`WaitPolicy::no_backstop`]) and prove
+//! the wake protocol itself has no lost wakeup.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+use check::sync::atomic::{AtomicU32, Ordering};
+use check::sync::{Condvar, Mutex};
 
 /// How long each escalation phase runs before moving to the next.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +71,19 @@ impl WaitPolicy {
             spins: 4,
             yields: 4,
             park_timeout: Duration::from_millis(1),
+        }
+    }
+
+    /// [`WaitPolicy::eager_park`] with the timeout backstop disabled
+    /// (`park_timeout` so large the model runtime treats the park as
+    /// untimed). Model tests use this to prove the wake protocol is
+    /// correct *by itself*: under this policy a lost wakeup is a deadlock
+    /// the checker reports, not a 1 ms hiccup the backstop papers over.
+    pub fn no_backstop() -> Self {
+        Self {
+            spins: 1,
+            yields: 0,
+            park_timeout: Duration::MAX,
         }
     }
 }
@@ -97,7 +117,6 @@ impl BackoffMetrics {
 
 /// An eventcount-flavored wake channel: cheap for notifiers when nobody
 /// waits, a plain condvar when somebody does.
-#[derive(Default)]
 pub struct WakeSignal {
     /// Number of threads currently in (or entering) the park phase.
     waiters: AtomicU32,
@@ -105,9 +124,19 @@ pub struct WakeSignal {
     cv: Condvar,
 }
 
+impl Default for WakeSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl WakeSignal {
-    pub fn new() -> Self {
-        Self::default()
+    pub const fn new() -> Self {
+        Self {
+            waiters: AtomicU32::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
     }
 
     /// Wake every parked waiter. One atomic load when nobody is parked.
@@ -119,6 +148,12 @@ impl WakeSignal {
     /// re-checks the condition, so the cost is bounded latency, never a
     /// hang.
     pub fn notify(&self) {
+        // ORDERING: SeqCst keeps this load in a single total order with
+        // the waiter's `fetch_add(waiters)` and both sides' condition
+        // accesses — if the waiter registered before our condition update
+        // became visible, we must see waiters > 0 here. Acquire/release
+        // alone would allow the classic store-buffer reordering (both
+        // sides miss each other) on which the wakeup is lost.
         if self.waiters.load(Ordering::SeqCst) > 0 {
             drop(self.lock.lock().unwrap());
             self.cv.notify_all();
@@ -140,7 +175,7 @@ impl WakeSignal {
                 metrics.spins.add(u64::from(i));
                 return r;
             }
-            core::hint::spin_loop();
+            check::hint::spin_loop();
         }
         metrics.spins.add(u64::from(policy.spins));
         // Phase 2: bounded yield.
@@ -149,20 +184,28 @@ impl WakeSignal {
                 return r;
             }
             metrics.yields.inc();
-            std::thread::yield_now();
+            check::thread::yield_now();
         }
         // Phase 3: park until notified (or the timeout backstop fires).
         loop {
+            // ORDERING: SeqCst pairs with the SeqCst waiters-load in
+            // `notify` (see there): registration must be globally ordered
+            // against the notifier's condition update, or both sides can
+            // miss each other and the wakeup is lost.
             self.waiters.fetch_add(1, Ordering::SeqCst);
             let guard = self.lock.lock().unwrap();
             if let Some(r) = ready() {
                 drop(guard);
+                // ORDERING: SeqCst for symmetry with the registration
+                // above; this is the unregister half of the same protocol.
                 self.waiters.fetch_sub(1, Ordering::SeqCst);
                 return r;
             }
             metrics.parks.inc();
             let (guard, _timed_out) = self.cv.wait_timeout(guard, policy.park_timeout).unwrap();
             drop(guard);
+            // ORDERING: SeqCst — unregister half of the notify protocol,
+            // as above.
             self.waiters.fetch_sub(1, Ordering::SeqCst);
             metrics.wakes.inc();
             if let Some(r) = ready() {
@@ -175,9 +218,9 @@ impl WakeSignal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use check::sync::atomic::AtomicBool;
+    use check::thread;
     use std::sync::Arc;
-    use std::thread;
 
     #[test]
     fn ready_immediately_never_parks() {

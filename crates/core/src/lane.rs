@@ -30,10 +30,11 @@
 
 use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 use crate::queue::MpmcQueue;
-use crossbeam::utils::CachePadded;
-use std::cell::{RefCell, UnsafeCell};
+use check::cell::UnsafeCell;
+use check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use check::sync::CachePadded;
+use std::cell::RefCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A bounded single-producer single-consumer ring.
 ///
@@ -49,7 +50,13 @@ pub struct SpscRing<T> {
     tail: CachePadded<AtomicUsize>,
 }
 
+// SAFETY: the SPSC contract (one producer thread, one consumer thread)
+// plus the release store on `tail` / acquire load in `pop` hand each value
+// off with a happens-before edge; a slot is never accessed by both sides
+// at once because the cursors never cross.
 unsafe impl<T: Send> Send for SpscRing<T> {}
+// SAFETY: as above — shared access is safe because the cursor protocol
+// partitions the slots between the two sides.
 unsafe impl<T: Send> Sync for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
@@ -75,9 +82,9 @@ impl<T> SpscRing<T> {
         if tail.wrapping_sub(self.head.load(Ordering::Acquire)) == self.buf.len() {
             return Err(value);
         }
-        unsafe {
-            (*self.buf[tail & (self.buf.len() - 1)].get()).write(value);
-        }
+        // SAFETY: only the single producer writes slots, and the acquire
+        // check above proved this slot's previous value was consumed.
+        self.buf[tail & (self.buf.len() - 1)].with_mut(|p| unsafe { (*p).write(value) });
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
@@ -88,16 +95,26 @@ impl<T> SpscRing<T> {
         if self.tail.load(Ordering::Acquire) == head {
             return None;
         }
-        let value = unsafe { (*self.buf[head & (self.buf.len() - 1)].get()).assume_init_read() };
+        // SAFETY: the acquire load of `tail` proved the producer published
+        // this slot; only the single consumer reads slots out.
+        let value =
+            self.buf[head & (self.buf.len() - 1)].with(|p| unsafe { (*p).assume_init_read() });
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
-    /// Racy size estimate — exact from the producer or consumer thread.
+    /// Racy size estimate — exact from the producer or consumer thread,
+    /// clamped to `[0, capacity]` for everyone else (the two cursor loads
+    /// are not a snapshot).
     pub fn len(&self) -> usize {
-        self.tail
-            .load(Ordering::Acquire)
-            .wrapping_sub(self.head.load(Ordering::Acquire))
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        let diff = tail.wrapping_sub(head);
+        if (diff as isize) < 0 {
+            0
+        } else {
+            diff.min(self.buf.len())
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -199,6 +216,13 @@ impl<T> LaneSet<T> {
 
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Replace the wait policy used by blocked producers and the idle
+    /// consumer. Model tests shrink the budgets so the schedule space
+    /// stays explorable; production code keeps the default.
+    pub fn set_wait_policy(&mut self, policy: WaitPolicy) {
+        self.policy = policy;
     }
 
     pub fn metrics(&self) -> &LaneMetrics {
@@ -321,8 +345,8 @@ impl<T> LaneSet<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use check::thread;
     use std::sync::Arc;
-    use std::thread;
 
     #[test]
     fn spsc_ring_round_trips_in_order() {

@@ -28,10 +28,9 @@
 //! completion signal, `free` rings the vacancy signal, and both are one
 //! atomic load when nobody is parked.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-
-use crossbeam::utils::CachePadded;
+use check::cell::UnsafeCell;
+use check::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use check::sync::CachePadded;
 
 use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 
@@ -99,6 +98,8 @@ pub struct RequestPool<T> {
 // the Release store of `done`) and one reader (the handle owner, after its
 // Acquire load of `done`); slots are never reused until freed by the owner.
 unsafe impl<T: Send> Send for RequestPool<T> {}
+// SAFETY: as above — the done-flag handoff plus single-owner free protocol
+// make concurrent shared access to the slot cells safe.
 unsafe impl<T: Send> Sync for RequestPool<T> {}
 
 /// Handle to an allocated request slot (the application's `MPI_Request`).
@@ -159,6 +160,13 @@ impl<T> RequestPool<T> {
     /// Currently allocated slots.
     pub fn outstanding(&self) -> usize {
         self.outstanding.load(Ordering::Relaxed) as usize
+    }
+
+    /// Replace the wait policy used by `alloc_blocking` and `wait_take`.
+    /// Model tests shrink the budgets (or disable the park backstop) so the
+    /// schedule space stays explorable; production code keeps the default.
+    pub fn set_wait_policy(&mut self, policy: WaitPolicy) {
+        self.policy = policy;
     }
 
     /// Allocate a slot; `None` if the pool is exhausted.
@@ -224,7 +232,7 @@ impl<T> RequestPool<T> {
         let slot = self.check(h);
         debug_assert!(!slot.done.load(Ordering::Relaxed), "double completion");
         // SAFETY: sole writer before the Release store below.
-        unsafe { *slot.value.get() = Some(value) };
+        slot.value.with_mut(|p| unsafe { *p = Some(value) });
         slot.done.store(true, Ordering::Release);
         // One atomic load when no waiter is parked.
         self.completion.notify();
@@ -251,7 +259,7 @@ impl<T> RequestPool<T> {
         }
         // SAFETY: owner-side read after the Acquire load; the completer
         // wrote before its Release store and will not touch the slot again.
-        unsafe { (*slot.value.get()).take() }
+        slot.value.with_mut(|p| unsafe { (*p).take() })
     }
 
     /// Return the slot to the free list, invalidating all existing handles
@@ -259,7 +267,7 @@ impl<T> RequestPool<T> {
     pub fn free(&self, h: Handle) {
         let slot = self.check(h);
         // SAFETY: owner has exclusive access; drop any untaken value.
-        unsafe { *slot.value.get() = None };
+        slot.value.with_mut(|p| unsafe { *p = None });
         slot.generation.fetch_add(1, Ordering::Relaxed);
         slot.done.store(false, Ordering::Relaxed);
         let mut head = self.head.load(Ordering::Acquire);
@@ -315,8 +323,8 @@ fn unpack(v: u64) -> (u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use check::thread;
     use std::sync::Arc;
-    use std::thread;
 
     #[test]
     fn alloc_complete_take_free_roundtrip() {

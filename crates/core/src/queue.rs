@@ -14,12 +14,22 @@
 //!   the consumer's `seq.load(Acquire)` then happens-after the value write.
 //! * Symmetrically the consumer releases the emptied slot with
 //!   `seq.store(pos + mask + 1, Release)` for the producer's next lap.
+//!
+//! All cursor/sequence arithmetic is `wrapping_*`: the positions are free-
+//! running counters that are *expected* to wrap `usize` on long-lived
+//! queues, and the lap comparisons below are written as wrapping
+//! differences so they stay correct across the wrap (see the
+//! `seq_counters_survive_usize_wraparound` test).
+//!
+//! Synchronization primitives come from the `check` facade: identical to
+//! std in a normal build, model-checked under `--cfg offload_model`
+//! (DESIGN.md §11).
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use check::cell::UnsafeCell;
+use check::sync::atomic::{AtomicUsize, Ordering};
+use check::sync::CachePadded;
 
 use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 
@@ -75,6 +85,7 @@ pub struct MpmcQueue<T> {
 // release/acquire handoff on each slot's sequence number; a slot's value is
 // accessed only by the unique thread that won the corresponding CAS.
 unsafe impl<T: Send> Send for MpmcQueue<T> {}
+// SAFETY: as above — the per-slot seq handoff partitions value accesses.
 unsafe impl<T: Send> Sync for MpmcQueue<T> {}
 
 impl<T> MpmcQueue<T> {
@@ -87,22 +98,43 @@ impl<T> MpmcQueue<T> {
     /// Create a queue whose signals feed pre-registered metric handles
     /// (see [`QueueMetrics::registered`]).
     pub fn with_metrics(cap: usize, metrics: QueueMetrics) -> Self {
+        Self::with_start_pos(cap, metrics, 0)
+    }
+
+    /// As [`MpmcQueue::with_metrics`], but with both cursors starting at
+    /// `start` — lets tests begin a hair below `usize::MAX` and prove the
+    /// ring survives counter wraparound. Not part of the public API.
+    #[doc(hidden)]
+    pub fn with_start_pos(cap: usize, metrics: QueueMetrics, start: usize) -> Self {
         let cap = cap.max(2).next_power_of_two();
+        let mask = cap - 1;
         let buffer: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
-                seq: AtomicUsize::new(i),
+                // Invariant: the slot at index `(start + i) & mask` is free
+                // for the enqueue at position `start + i`.
+                seq: AtomicUsize::new(start.wrapping_add(i)),
                 value: UnsafeCell::new(MaybeUninit::uninit()),
             })
             .collect();
+        // `start` must be slot-aligned or the per-slot seq assignment above
+        // would belong to different slots than the cursors expect.
+        debug_assert_eq!(start & mask, 0, "start_pos must be a multiple of capacity");
         Self {
             buffer,
-            mask: cap - 1,
+            mask,
             metrics,
             not_full: WakeSignal::new(),
             policy: WaitPolicy::default(),
-            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
-            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+            enqueue_pos: CachePadded::new(AtomicUsize::new(start)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(start)),
         }
+    }
+
+    /// Replace the producer-side wait policy (spin/yield budgets and park
+    /// backstop). Model tests shrink the budgets so the schedule space
+    /// stays explorable; production code keeps the default.
+    pub fn set_wait_policy(&mut self, policy: WaitPolicy) {
+        self.policy = policy;
     }
 
     pub fn capacity(&self) -> usize {
@@ -119,20 +151,22 @@ impl<T> MpmcQueue<T> {
         loop {
             let slot = &self.buffer[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
-            match seq as isize - pos as isize {
+            // Wrapping difference, then signed: correct even when `pos`
+            // wraps usize::MAX (plain `seq - pos` would see a huge gap).
+            match seq.wrapping_sub(pos) as isize {
                 0 => {
                     // Slot free for this lap: claim it.
                     match self.enqueue_pos.compare_exchange_weak(
                         pos,
-                        pos + 1,
+                        pos.wrapping_add(1),
                         Ordering::Relaxed,
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
                             // SAFETY: winning the CAS gives exclusive write
                             // access to this slot until we bump `seq`.
-                            unsafe { (*slot.value.get()).write(value) };
-                            slot.seq.store(pos + 1, Ordering::Release);
+                            slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                             self.metrics.push_ok.inc();
                             self.metrics.depth.set(self.approx_len() as u64);
                             return Ok(());
@@ -156,11 +190,12 @@ impl<T> MpmcQueue<T> {
         loop {
             let slot = &self.buffer[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
-            match seq as isize - (pos + 1) as isize {
+            // Wrapping difference, as in `push` — survives pos wraparound.
+            match seq.wrapping_sub(pos.wrapping_add(1)) as isize {
                 0 => {
                     match self.dequeue_pos.compare_exchange_weak(
                         pos,
-                        pos + 1,
+                        pos.wrapping_add(1),
                         Ordering::Relaxed,
                         Ordering::Relaxed,
                     ) {
@@ -168,8 +203,9 @@ impl<T> MpmcQueue<T> {
                             // SAFETY: winning the CAS gives exclusive read
                             // access; the producer's Release store on `seq`
                             // made the value visible.
-                            let value = unsafe { (*slot.value.get()).assume_init_read() };
-                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
+                            slot.seq
+                                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                             self.metrics.pop_ok.inc();
                             // One load when no producer is parked; see the
                             // backoff module for the lost-wakeup analysis.
@@ -208,11 +244,22 @@ impl<T> MpmcQueue<T> {
             });
     }
 
-    /// Approximate number of queued items (racy; diagnostics only).
+    /// Approximate number of queued items — a *racy estimate*, for
+    /// diagnostics only. The two cursors are read independently (no
+    /// snapshot), so concurrent pushes/pops between the two loads can make
+    /// the raw difference negative or larger than `capacity()`; the result
+    /// is clamped to `[0, capacity]` so the depth gauge never records an
+    /// impossible high-water mark. The wrapping subtraction keeps the
+    /// estimate correct across counter wraparound.
     pub fn approx_len(&self) -> usize {
         let e = self.enqueue_pos.load(Ordering::Relaxed);
         let d = self.dequeue_pos.load(Ordering::Relaxed);
-        e.saturating_sub(d)
+        let diff = e.wrapping_sub(d);
+        if (diff as isize) < 0 {
+            0
+        } else {
+            diff.min(self.capacity())
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -230,9 +277,9 @@ impl<T> Drop for MpmcQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use check::sync::atomic::AtomicU64;
+    use check::thread;
     use std::sync::Arc;
-    use std::thread;
 
     #[test]
     fn fifo_single_thread() {
@@ -286,6 +333,75 @@ mod tests {
                 assert_eq!(q.pop(), Some(lap * 4 + i));
             }
         }
+    }
+
+    /// Regression: the lap comparisons used to be computed as
+    /// `seq as isize - pos as isize`, which breaks when the free-running
+    /// cursors cross `usize::MAX` — the difference of the raw casts is
+    /// nowhere near the true (wrapping) lap distance, so a healthy queue
+    /// reported itself full/empty forever. Start both cursors one lap
+    /// short of the wrap and push/pop across it.
+    #[test]
+    fn seq_counters_survive_usize_wraparound() {
+        let cap = 4usize;
+        // Highest capacity-aligned start: the cursors wrap after `cap`
+        // pushes.
+        let start = usize::MAX - (cap - 1);
+        let q = MpmcQueue::with_start_pos(cap, QueueMetrics::default(), start);
+        // Fill the lap that straddles the wrap.
+        for i in 0..cap {
+            q.push(i).expect("room before wrap");
+            assert_eq!(q.approx_len(), i + 1, "len across the wrap");
+        }
+        assert!(q.push(99).is_err(), "full exactly at capacity");
+        // Drain across the wrap: FIFO preserved, len counts down.
+        for i in 0..cap {
+            assert_eq!(q.pop(), Some(i));
+            assert_eq!(q.approx_len(), cap - i - 1);
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        // Several more post-wrap laps for good measure.
+        for lap in 0..3 {
+            for i in 0..cap {
+                q.push(lap * 10 + i).expect("room");
+            }
+            for i in 0..cap {
+                assert_eq!(q.pop(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    /// The length estimate is clamped: whatever the interleaving, it never
+    /// exceeds capacity (it used to, transiently, when the two cursor
+    /// loads straddled concurrent pops — poisoning the depth gauge's
+    /// high-water mark).
+    #[test]
+    fn approx_len_is_clamped_to_capacity() {
+        let q = Arc::new(MpmcQueue::with_capacity(4));
+        let stop = Arc::new(AtomicU64::new(0));
+        let observer = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut max_seen = 0;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    max_seen = max_seen.max(q.approx_len());
+                }
+                max_seen
+            })
+        };
+        for _ in 0..10_000 {
+            if q.push(1u32).is_ok() {
+                q.pop();
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        let max_seen = observer.join().expect("observer");
+        assert!(
+            max_seen <= q.capacity(),
+            "approx_len leaked past capacity: {max_seen}"
+        );
     }
 
     #[test]
