@@ -20,6 +20,16 @@ run cargo test --workspace -q
 run cargo test -q -p offload -p mpisim --no-default-features
 run cargo check -q --benches --workspace
 
+# Multi-process smoke: ranks as OS processes over Unix-domain sockets
+# running the live halo-exchange panel (baseline / iprobe / offload over
+# the wire backend). The launcher's own --timeout kills a wedged job; the
+# outer `timeout` is the backstop against a wedged *launcher*. Miri and
+# model-checker lanes never see this (they run other packages' lib tests).
+echo
+echo "== multi-process wire smoke (4 ranks over UDS) =="
+timeout 60 target/release/offload-run -n 4 --timeout 50 halo_exchange \
+  || { echo "wire smoke lane FAILED"; exit 1; }
+
 if cargo fmt --version >/dev/null 2>&1; then
   run cargo fmt --all -- --check
 else

@@ -16,6 +16,12 @@
 //!
 //! [`AnyComm`] packs them behind one concrete type so experiment harnesses
 //! can select a strategy at runtime while application code stays generic.
+//!
+//! The [`live`] module carries the same comparison onto real transports
+//! (OS threads, and OS *processes* over sockets via `crates/wire`) —
+//! see its docs.
+
+pub mod live;
 
 use destime::futures::race;
 use destime::sync::Flag;

@@ -1,0 +1,403 @@
+//! Live counterparts of the approach matrix: the same baseline / iprobe /
+//! offload comparison, but over a real [`rtmpi::Transport`] (in-process
+//! mailboxes or the `crates/wire` socket backend) instead of the
+//! discrete-event simulator.
+//!
+//! The application-visible surface is deliberately the one the paper's
+//! unmodified apps use — isend / irecv / wait / barrier — and the three
+//! strategies differ *only* in who drives transport progress, and when:
+//!
+//! * [`LiveApproach::Baseline`]: nobody polls until the application blocks
+//!   in [`LiveComm::wait`] — over the wire backend an incoming rendezvous
+//!   RTS therefore sits unanswered until the wait, the behaviour the paper
+//!   attacks.
+//! * [`LiveApproach::Iprobe`]: the application sprinkles
+//!   [`LiveComm::progress_hint`] into its compute loop (the MPI_Iprobe
+//!   workaround) — progress happens, but on the application's clock and
+//!   the application's core.
+//! * [`LiveApproach::Offload`]: commands go to the dedicated offload
+//!   thread (`offload::OffloadRank`), whose service loop polls the
+//!   transport continuously — rendezvous handshakes complete during
+//!   application compute without the application doing anything.
+//!
+//! Blocking waits honour the transport's op timeout and surface peer
+//! death as [`TransportError`] instead of hanging — the launcher-level
+//! robustness story depends on this.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use offload::{Completion, OffloadHandle, OffloadRank};
+use rtmpi::{OpOutcome, Status, Transport, TransportError};
+
+/// Tag space reserved for [`LiveComm::barrier`] rounds — above the offload
+/// thread's own internal collective tags (`TAG_INTERNAL_BASE ..
+/// TAG_INTERNAL_BASE + 0x0fff_ffff`).
+const TAG_BARRIER_BASE: u32 = offload::live::TAG_INTERNAL_BASE + 0x1000_0000;
+
+/// The three strategies with live (real-transport) implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiveApproach {
+    Baseline,
+    Iprobe,
+    Offload,
+}
+
+impl LiveApproach {
+    pub const ALL: [LiveApproach; 3] = [
+        LiveApproach::Baseline,
+        LiveApproach::Iprobe,
+        LiveApproach::Offload,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveApproach::Baseline => "baseline",
+            LiveApproach::Iprobe => "iprobe",
+            LiveApproach::Offload => "offload",
+        }
+    }
+}
+
+/// One rank's communication object (see module docs).
+/// What a completed wait yields: `None` for a finished send, the status
+/// and payload for a finished receive.
+pub type WaitOutcome = Option<(Status, Arc<[u8]>)>;
+
+pub struct LiveComm<T: Transport> {
+    inner: Inner<T>,
+    rank: usize,
+    size: usize,
+}
+
+enum Inner<T: Transport> {
+    /// Baseline / iprobe: the application thread owns the transport.
+    Direct { t: T, probe_on_hint: bool },
+    /// Offload: the dedicated thread owns it; we hold the command handle.
+    Offload {
+        world: OffloadRank<T>,
+        handle: OffloadHandle,
+    },
+}
+
+/// Request handle for [`LiveComm`] operations.
+pub enum LiveReq<T: Transport> {
+    Direct(T::Req),
+    Offload(offload::Handle),
+}
+
+impl<T: Transport> LiveComm<T> {
+    /// Wrap an owned transport in the chosen strategy.
+    pub fn start(approach: LiveApproach, t: T) -> Self {
+        let (rank, size) = (t.rank(), t.size());
+        let inner = match approach {
+            LiveApproach::Baseline => Inner::Direct {
+                t,
+                probe_on_hint: false,
+            },
+            LiveApproach::Iprobe => Inner::Direct {
+                t,
+                probe_on_hint: true,
+            },
+            LiveApproach::Offload => {
+                let world = offload::offload_rank(t);
+                let handle = world.handle();
+                Inner::Offload { world, handle }
+            }
+        };
+        LiveComm { inner, rank, size }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Nonblocking send.
+    pub fn isend(&mut self, dst: usize, tag: u32, data: Arc<[u8]>) -> LiveReq<T> {
+        match &mut self.inner {
+            Inner::Direct { t, .. } => LiveReq::Direct(t.isend(dst, tag, data)),
+            Inner::Offload { handle, .. } => LiveReq::Offload(handle.isend(dst, tag, data)),
+        }
+    }
+
+    /// Nonblocking receive (`None` filters are wildcards).
+    pub fn irecv(&mut self, src: Option<usize>, tag: Option<u32>) -> LiveReq<T> {
+        match &mut self.inner {
+            Inner::Direct { t, .. } => {
+                // A post is an application-initiated MPI call: a buffered
+                // RTS accepted right here is synchronous progress, not the
+                // work of an async actor — mark it so the transport's
+                // handshake attribution stays honest.
+                t.set_in_wait(true);
+                let r = t.irecv(src, tag);
+                t.set_in_wait(false);
+                LiveReq::Direct(r)
+            }
+            Inner::Offload { handle, .. } => LiveReq::Offload(handle.irecv(src, tag)),
+        }
+    }
+
+    /// Give the library a chance to progress, from application compute.
+    /// Baseline: deliberately a no-op (that is the baseline's flaw).
+    /// Iprobe: polls the transport once. Offload: a no-op — the offload
+    /// thread is already polling.
+    pub fn progress_hint(&mut self) {
+        if let Inner::Direct {
+            t,
+            probe_on_hint: true,
+        } = &mut self.inner
+        {
+            t.progress();
+        }
+    }
+
+    /// Blocking wait; `Ok(None)` for sends, `Ok(Some(..))` for receives.
+    /// Honours the transport's op timeout; surfaces peer death.
+    pub fn wait(&mut self, req: LiveReq<T>) -> Result<WaitOutcome, TransportError> {
+        match (&mut self.inner, req) {
+            (Inner::Direct { t, .. }, LiveReq::Direct(r)) => {
+                // The baseline's defining moment: progress happens *here*,
+                // because the application finally blocked.
+                t.set_in_wait(true);
+                let deadline = t.op_timeout().map(|d| Instant::now() + d);
+                let out = loop {
+                    if let Some(out) = t.try_take(&r) {
+                        break out;
+                    }
+                    let advanced = t.progress();
+                    if let Some(out) = t.try_take(&r) {
+                        break out;
+                    }
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            t.cancel(&r);
+                            break Err(TransportError::Timeout {
+                                waited_ms: t
+                                    .op_timeout()
+                                    .map(|d| d.as_millis() as u64)
+                                    .unwrap_or(0),
+                            });
+                        }
+                    }
+                    // Completion needs the peer to act; give it the core
+                    // instead of burning our whole quantum re-polling an
+                    // unchanged transport (ruinous on oversubscribed
+                    // machines, where the peer can't run until we yield).
+                    if !advanced {
+                        std::thread::yield_now();
+                    }
+                };
+                t.set_in_wait(false);
+                match out {
+                    Ok(OpOutcome::Sent) => Ok(None),
+                    Ok(OpOutcome::Received(st, d)) => Ok(Some((st, d))),
+                    Err(e) => Err(e),
+                }
+            }
+            (Inner::Offload { handle, .. }, LiveReq::Offload(h)) => match handle.wait_result(h)? {
+                Completion::Sent => Ok(None),
+                Completion::Received(st, d) => Ok(Some((st, d))),
+                Completion::Collective(_) => unreachable!("p2p wait got a collective"),
+                Completion::Failed(e) => Err(e),
+            },
+            _ => panic!("request handed to a different LiveComm"),
+        }
+    }
+
+    /// Blocking send.
+    pub fn send(&mut self, dst: usize, tag: u32, data: Arc<[u8]>) -> Result<(), TransportError> {
+        let r = self.isend(dst, tag, data);
+        self.wait(r).map(|_| ())
+    }
+
+    /// Blocking receive.
+    pub fn recv(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<u32>,
+    ) -> Result<(Status, Arc<[u8]>), TransportError> {
+        let r = self.irecv(src, tag);
+        Ok(self.wait(r)?.expect("receive yields payload"))
+    }
+
+    /// Barrier. Offload mode rides the offload thread's own collective
+    /// machinery; the direct modes run a dissemination barrier over
+    /// point-to-point messages in a reserved tag space. Safe to reuse
+    /// back-to-back: per-(source, tag) FIFO keeps generations ordered.
+    pub fn barrier(&mut self) -> Result<(), TransportError> {
+        let (r, n) = (self.rank, self.size);
+        if n == 1 {
+            return Ok(());
+        }
+        if let Inner::Offload { handle, .. } = &self.inner {
+            handle.barrier();
+            return Ok(());
+        }
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let tag = TAG_BARRIER_BASE + k;
+            let to = (r + dist) % n;
+            let from = (r + n - dist) % n;
+            let (s, rx) = match &mut self.inner {
+                Inner::Direct { t, .. } => (
+                    LiveReq::Direct(t.isend(to, tag, Arc::from(Vec::new()))),
+                    LiveReq::Direct(t.irecv(Some(from), Some(tag))),
+                ),
+                Inner::Offload { .. } => unreachable!(),
+            };
+            self.wait(s)?;
+            self.wait(rx)?;
+            dist <<= 1;
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// The per-strategy metrics registries: (command-path registry if the
+    /// strategy has an offload thread, transport registry if the transport
+    /// keeps one).
+    pub fn obs(&self) -> (Option<obs::Registry>, Option<obs::Registry>) {
+        match &self.inner {
+            Inner::Direct { t, .. } => (None, t.obs_registry()),
+            Inner::Offload { handle, .. } => {
+                (Some(handle.obs().clone()), handle.transport_obs().cloned())
+            }
+        }
+    }
+
+    /// Tear down the strategy and hand the transport back, so one process
+    /// can run several approaches sequentially over the same mesh.
+    pub fn finalize(self) -> T {
+        match self.inner {
+            Inner::Direct { t, .. } => t,
+            Inner::Offload { world, .. } => world.finalize_reclaim(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring exchange + barrier under one strategy; returns the reclaimed
+    /// transport for the next strategy.
+    fn ring_round<T: Transport>(approach: LiveApproach, t: T, payload_len: usize) -> T {
+        let mut comm = LiveComm::start(approach, t);
+        let (r, n) = (comm.rank(), comm.size());
+        let payload: Arc<[u8]> = (0..payload_len).map(|i| (i as u8) ^ (r as u8)).collect();
+        let s = comm.isend((r + 1) % n, 9, payload);
+        let rx = comm.irecv(Some((r + n - 1) % n), Some(9));
+        // A compute phase that hints (a no-op except under iprobe).
+        for _ in 0..64 {
+            comm.progress_hint();
+            std::thread::yield_now();
+        }
+        let (st, data) = comm.wait(rx).expect("recv ok").expect("payload");
+        assert_eq!(st.source, (r + n - 1) % n);
+        assert_eq!(data.len(), payload_len);
+        let left = (r + n - 1) % n;
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(b, (i as u8) ^ (left as u8));
+        }
+        comm.wait(s).expect("send ok");
+        comm.barrier().expect("barrier ok");
+        comm.finalize()
+    }
+
+    fn all_approaches_sequentially<T, F>(make: F, payload_len: usize)
+    where
+        T: Transport,
+        F: Fn() -> Vec<T>,
+    {
+        let world = make();
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut t = t;
+                    // All three strategies back-to-back over the same
+                    // transport: finalize must leave it reusable.
+                    for a in LiveApproach::ALL {
+                        t = ring_round(a, t, payload_len);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread ok");
+        }
+    }
+
+    #[test]
+    fn approaches_over_rtmpi_world() {
+        all_approaches_sequentially(|| rtmpi::world(4), 1024);
+    }
+
+    #[test]
+    fn approaches_over_wire_loopback_eager() {
+        all_approaches_sequentially(|| wire::loopback(3), 512);
+    }
+
+    #[test]
+    fn approaches_over_wire_loopback_rendezvous() {
+        // Above the default eager crossover: the full RTS→CTS→DATA path
+        // under every strategy.
+        all_approaches_sequentially(|| wire::loopback(2), 64 * 1024);
+    }
+
+    /// The attribution story the harness panel relies on: under baseline
+    /// the wire backend completes rendezvous handshakes at-wait; under
+    /// offload it completes them asynchronously.
+    #[test]
+    #[cfg(feature = "obs-enabled")]
+    fn wire_handshake_attribution_differs_by_approach() {
+        for (approach, at_wait_expected) in [
+            (LiveApproach::Baseline, true),
+            (LiveApproach::Offload, false),
+        ] {
+            let world = wire::loopback(2);
+            let handles: Vec<_> = world
+                .into_iter()
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        let mut comm = LiveComm::start(approach, t);
+                        let (r, n) = (comm.rank(), comm.size());
+                        let big: Arc<[u8]> = Arc::from(vec![7u8; 64 * 1024]);
+                        let s = comm.isend((r + 1) % n, 3, big);
+                        let rx = comm.irecv(Some((r + 1) % n), Some(3));
+                        if approach == LiveApproach::Offload {
+                            // Give the offload thread time to run the
+                            // handshake while the app "computes".
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                        }
+                        comm.wait(rx).expect("recv ok");
+                        comm.wait(s).expect("send ok");
+                        let (_, transport_obs) = comm.obs();
+                        let snap = transport_obs.expect("wire keeps a registry").snapshot();
+                        (
+                            snap.counter("wire.rndv_handshake_at_wait"),
+                            snap.counter("wire.rndv_handshake_async"),
+                        )
+                    })
+                })
+                .collect();
+            let (mut at_wait, mut async_) = (0, 0);
+            for h in handles {
+                let (w, a) = h.join().expect("rank thread ok");
+                at_wait += w;
+                async_ += a;
+            }
+            assert_eq!(at_wait + async_, 2, "one handshake per rank");
+            if at_wait_expected {
+                assert_eq!(async_, 0, "baseline never progresses outside wait");
+            } else {
+                assert_eq!(at_wait, 0, "offload never blocks the app in wait");
+            }
+        }
+    }
+}

@@ -48,8 +48,8 @@ pub mod sim;
 pub use backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 pub use lane::{LaneMetrics, LaneSet, SpscRing};
 pub use live::{
-    offload_world, offload_world_configured, offload_world_sized, CollKind, Command, CommandPath,
-    Completion, OffloadHandle, OffloadRank,
+    offload_rank, offload_rank_configured, offload_world, offload_world_configured,
+    offload_world_sized, CollKind, Command, CommandPath, Completion, OffloadHandle, OffloadRank,
 };
 pub use pool::{Handle, RequestPool};
 pub use queue::MpmcQueue;

@@ -1,7 +1,12 @@
 //! Live mode: the offload infrastructure on real OS threads (paper §3).
 //!
 //! One dedicated offload thread per rank services the lock-free command
-//! queue and is the only thread that touches the message layer (`rtmpi`).
+//! queue and is the only thread that touches the message layer. The
+//! message layer is any [`rtmpi::Transport`]: the in-process mailboxes
+//! (`rtmpi::RtMpi`, push-style, nothing to poll) or the socket wire
+//! backend (`crates/wire`, a real pending protocol that advances only
+//! when the owner polls it — which is exactly what this thread does, and
+//! exactly what the paper's asynchronous-progress argument is about).
 //! Application threads — any number, concurrently, i.e. full
 //! `MPI_THREAD_MULTIPLE` semantics — serialize their calls into
 //! [`Command`]s, allocate a request-pool slot for the reply, and either
@@ -17,9 +22,11 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use mpisim::nbc::{self, DataSrc, RecvAction, Round};
 use mpisim::types::{combine, Bytes};
+use rtmpi::{OpOutcome, Transport, TransportError};
 
 use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 use crate::lane::{LaneMetrics, LaneSet};
@@ -35,10 +42,13 @@ pub enum Completion {
     /// A send was handed to the message layer.
     Sent,
     /// A receive completed.
-    Received(rtmpi::Status, Arc<Vec<u8>>),
+    Received(rtmpi::Status, Arc<[u8]>),
     /// A collective completed; payload is its result buffer (empty for
     /// barrier).
-    Collective(Arc<Vec<u8>>),
+    Collective(Arc<[u8]>),
+    /// The transport could not complete the operation: the peer died or
+    /// the configured per-op timeout expired. Surfaced instead of hanging.
+    Failed(TransportError),
 }
 
 /// A serialized MPI call (what travels on the command queue).
@@ -46,7 +56,7 @@ pub enum Command {
     Isend {
         dst: usize,
         tag: u32,
-        data: Arc<Vec<u8>>,
+        data: Arc<[u8]>,
         slot: Handle,
     },
     Irecv {
@@ -177,16 +187,20 @@ pub struct OffloadHandle {
     chan: Arc<CmdChannel>,
     pool: Arc<RequestPool<Completion>>,
     registry: obs::Registry,
+    transport_obs: Option<obs::Registry>,
     rank: usize,
     size: usize,
 }
 
-/// Owner object for one rank: join the offload thread via [`finalize`].
+/// Owner object for one rank: join the offload thread via [`finalize`], or
+/// take the transport back via [`finalize_reclaim`] (e.g. to run several
+/// approaches sequentially over one socket mesh).
 ///
 /// [`finalize`]: OffloadRank::finalize
-pub struct OffloadRank {
+/// [`finalize_reclaim`]: OffloadRank::finalize_reclaim
+pub struct OffloadRank<T: Transport = rtmpi::RtMpi> {
     handle: OffloadHandle,
-    thread: Option<JoinHandle<()>>,
+    thread: Option<JoinHandle<T>>,
 }
 
 /// Build an `n`-rank live world: spawns one offload thread per rank over a
@@ -213,47 +227,63 @@ pub fn offload_world_configured(
 ) -> Vec<OffloadRank> {
     rtmpi::world(n)
         .into_iter()
-        .map(|mpi| {
-            let registry = obs::Registry::default();
-            let chan = Arc::new(match path {
-                CommandPath::SharedQueue => CmdChannel::Shared {
-                    queue: Box::new(MpmcQueue::with_metrics(
-                        queue_cap,
-                        QueueMetrics::registered(&registry, "queue"),
-                    )),
-                    doorbell: WakeSignal::new(),
-                },
-                CommandPath::Lanes => CmdChannel::Lanes(Box::new(LaneSet::with_metrics(
-                    DEFAULT_LANES,
-                    queue_cap,
-                    queue_cap,
-                    LaneMetrics::registered(&registry, "lanes"),
-                ))),
-            });
-            let pool = Arc::new(RequestPool::with_metrics(
-                pool_cap,
-                PoolMetrics::registered(&registry, "pool"),
-            ));
-            let handle = OffloadHandle {
-                chan: chan.clone(),
-                pool: pool.clone(),
-                registry: registry.clone(),
-                rank: mpi.rank(),
-                size: mpi.size(),
-            };
-            let thread = std::thread::Builder::new()
-                .name(format!("offload-{}", mpi.rank()))
-                .spawn(move || offload_main(mpi, chan, pool, registry))
-                .expect("spawn offload thread");
-            OffloadRank {
-                handle,
-                thread: Some(thread),
-            }
-        })
+        .map(|mpi| offload_rank_configured(mpi, queue_cap, pool_cap, path))
         .collect()
 }
 
-impl OffloadRank {
+/// Put one offload thread in front of an owned transport (the per-process
+/// entry point for the wire backend, where each rank builds exactly one
+/// transport from its environment).
+pub fn offload_rank<T: Transport>(transport: T) -> OffloadRank<T> {
+    offload_rank_configured(transport, 1024, 1024, CommandPath::Lanes)
+}
+
+/// As [`offload_rank`] with explicit sizes and [`CommandPath`].
+pub fn offload_rank_configured<T: Transport>(
+    transport: T,
+    queue_cap: usize,
+    pool_cap: usize,
+    path: CommandPath,
+) -> OffloadRank<T> {
+    let registry = obs::Registry::default();
+    let chan = Arc::new(match path {
+        CommandPath::SharedQueue => CmdChannel::Shared {
+            queue: Box::new(MpmcQueue::with_metrics(
+                queue_cap,
+                QueueMetrics::registered(&registry, "queue"),
+            )),
+            doorbell: WakeSignal::new(),
+        },
+        CommandPath::Lanes => CmdChannel::Lanes(Box::new(LaneSet::with_metrics(
+            DEFAULT_LANES,
+            queue_cap,
+            queue_cap,
+            LaneMetrics::registered(&registry, "lanes"),
+        ))),
+    });
+    let pool = Arc::new(RequestPool::with_metrics(
+        pool_cap,
+        PoolMetrics::registered(&registry, "pool"),
+    ));
+    let handle = OffloadHandle {
+        chan: chan.clone(),
+        pool: pool.clone(),
+        registry: registry.clone(),
+        transport_obs: transport.obs_registry(),
+        rank: transport.rank(),
+        size: transport.size(),
+    };
+    let thread = std::thread::Builder::new()
+        .name(format!("offload-{}", transport.rank()))
+        .spawn(move || offload_main(transport, chan, pool, registry))
+        .expect("spawn offload thread");
+    OffloadRank {
+        handle,
+        thread: Some(thread),
+    }
+}
+
+impl<T: Transport> OffloadRank<T> {
     pub fn handle(&self) -> OffloadHandle {
         self.handle.clone()
     }
@@ -261,19 +291,28 @@ impl OffloadRank {
     /// Shut the offload thread down after it drains outstanding work
     /// (the `MPI_Finalize` interposition point).
     pub fn finalize(mut self) {
+        let _ = self.shutdown_join();
+    }
+
+    /// As [`finalize`], but hand the transport back to the caller — so a
+    /// process can run baseline, iprobe and offload sequentially over the
+    /// same socket mesh.
+    ///
+    /// [`finalize`]: OffloadRank::finalize
+    pub fn finalize_reclaim(mut self) -> T {
+        self.shutdown_join().expect("offload thread joined once")
+    }
+
+    fn shutdown_join(&mut self) -> Option<T> {
+        let t = self.thread.take()?;
         self.handle.chan.push_blocking(Command::Shutdown);
-        if let Some(t) = self.thread.take() {
-            t.join().expect("offload thread exits cleanly");
-        }
+        Some(t.join().expect("offload thread exits cleanly"))
     }
 }
 
-impl Drop for OffloadRank {
+impl<T: Transport> Drop for OffloadRank<T> {
     fn drop(&mut self) {
-        if let Some(t) = self.thread.take() {
-            self.handle.chan.push_blocking(Command::Shutdown);
-            t.join().expect("offload thread exits cleanly");
-        }
+        let _ = self.shutdown_join();
     }
 }
 
@@ -289,7 +328,7 @@ impl OffloadHandle {
     /// Nonblocking send: serialize, enqueue, return. The visible cost is
     /// one pool allocation plus one queue push — independent of message
     /// size (paper Fig 4).
-    pub fn isend(&self, dst: usize, tag: u32, data: Arc<Vec<u8>>) -> Handle {
+    pub fn isend(&self, dst: usize, tag: u32, data: Arc<[u8]>) -> Handle {
         assert!(tag < TAG_INTERNAL_BASE, "application tag too large");
         let slot = self.pool.alloc_blocking();
         self.chan.push_blocking(Command::Isend {
@@ -319,8 +358,19 @@ impl OffloadHandle {
         self.pool.wait_take(h).expect("completion value present")
     }
 
+    /// As [`wait`], mapping transport failures (peer death, op timeout)
+    /// to `Err` instead of a [`Completion::Failed`] variant.
+    ///
+    /// [`wait`]: OffloadHandle::wait
+    pub fn wait_result(&self, h: Handle) -> Result<Completion, TransportError> {
+        match self.wait(h) {
+            Completion::Failed(e) => Err(e),
+            c => Ok(c),
+        }
+    }
+
     /// Blocking send.
-    pub fn send(&self, dst: usize, tag: u32, data: Arc<Vec<u8>>) {
+    pub fn send(&self, dst: usize, tag: u32, data: Arc<[u8]>) {
         let h = self.isend(dst, tag, data);
         match self.wait(h) {
             Completion::Sent => {}
@@ -329,7 +379,7 @@ impl OffloadHandle {
     }
 
     /// Blocking receive.
-    pub fn recv(&self, src: Option<usize>, tag: Option<u32>) -> (rtmpi::Status, Arc<Vec<u8>>) {
+    pub fn recv(&self, src: Option<usize>, tag: Option<u32>) -> (rtmpi::Status, Arc<[u8]>) {
         let h = self.irecv(src, tag);
         match self.wait(h) {
             Completion::Received(st, data) => (st, data),
@@ -337,7 +387,7 @@ impl OffloadHandle {
         }
     }
 
-    fn collective(&self, kind: CollKind) -> Arc<Vec<u8>> {
+    fn collective(&self, kind: CollKind) -> Arc<[u8]> {
         let slot = self.pool.alloc_blocking();
         self.chan.push_blocking(Command::Collective { kind, slot });
         match self.wait(slot) {
@@ -364,19 +414,19 @@ impl OffloadHandle {
     pub fn alltoall(&self, input: Vec<u8>, block: usize) -> Vec<u8> {
         assert_eq!(input.len(), self.size * block);
         let out = self.collective(CollKind::Alltoall { input, block });
-        out.as_ref().clone()
+        out.to_vec()
     }
 
     /// Offloaded broadcast.
     pub fn bcast(&self, root: usize, payload: Vec<u8>) -> Vec<u8> {
         let out = self.collective(CollKind::Bcast { root, payload });
-        out.as_ref().clone()
+        out.to_vec()
     }
 
     /// Offloaded allgather.
     pub fn allgather(&self, mine: Vec<u8>) -> Vec<u8> {
         let out = self.collective(CollKind::Allgather { mine });
-        out.as_ref().clone()
+        out.to_vec()
     }
 
     /// Queue depth (diagnostics).
@@ -391,34 +441,66 @@ impl OffloadHandle {
     pub fn obs(&self) -> &obs::Registry {
         &self.registry
     }
+
+    /// The transport's own metrics registry, when it keeps one (the wire
+    /// backend's protocol counters — bytes on wire, rendezvous handshake
+    /// attribution). `None` for the in-process substrate.
+    pub fn transport_obs(&self) -> Option<&obs::Registry> {
+        self.transport_obs.as_ref()
+    }
 }
 
 // ---------------------------------------------------------------------------
 // The offload thread.
 // ---------------------------------------------------------------------------
 
-struct LiveNbc {
+/// An application-issued operation the transport has not completed yet.
+struct InflightOp<R> {
+    slot: Handle,
+    req: R,
+    /// Set only when the transport has an op timeout configured (keeps
+    /// clock reads out of the in-process fast path entirely).
+    issued: Option<Instant>,
+}
+
+/// One in-flight receive of a collective round: the transport request,
+/// what to do with the payload, and the payload once it has arrived.
+type NbcRecv<R> = (R, RecvAction, Option<Arc<[u8]>>);
+
+struct LiveNbc<R> {
     rounds: Vec<Round>,
     cur: usize,
-    inflight: Vec<(rtmpi::RtRequest, RecvAction)>,
+    /// Receives of the current round; the payload is filled in as each
+    /// completes so round actions can be applied once all are present.
+    inflight: Vec<NbcRecv<R>>,
     acc: Vec<u8>,
     input: Option<Vec<u8>>,
     tag: u32,
     slot: Handle,
 }
 
-fn offload_main(
-    mpi: rtmpi::RtMpi,
+fn completion_of(out: Result<OpOutcome, TransportError>) -> Completion {
+    match out {
+        Ok(OpOutcome::Sent) => Completion::Sent,
+        Ok(OpOutcome::Received(st, d)) => Completion::Received(st, d),
+        Err(e) => Completion::Failed(e),
+    }
+}
+
+fn offload_main<T: Transport>(
+    mut mpi: T,
     chan: Arc<CmdChannel>,
     pool: Arc<RequestPool<Completion>>,
     reg: obs::Registry,
-) {
+) -> T {
     // Metric handles are resolved once; per-iteration cost is a couple of
     // relaxed atomic ops (and nothing at all in no-op builds).
     let drained_hist = reg.histogram("offload.drained_per_wakeup");
     let sweeps = reg.counter("offload.testany_sweeps");
     let converted = reg.counter("offload.coll_converted");
     let service_iters = reg.counter("offload.service_iters");
+    let progress_polls = reg.counter("offload.progress_polls");
+    let op_timeouts = reg.counter("offload.op_timeouts");
     let idle_backoff = BackoffMetrics {
         spins: reg.counter("offload.idle_spins"),
         yields: reg.counter("offload.idle_yields"),
@@ -427,12 +509,20 @@ fn offload_main(
     };
     let policy = WaitPolicy::default();
 
-    let mut inflight_recv: Vec<(Handle, rtmpi::RtRequest)> = Vec::new();
-    let mut nbcs: Vec<LiveNbc> = Vec::new();
+    let needs_progress = mpi.needs_progress();
+    let op_timeout = mpi.op_timeout();
+    let mut inflight: Vec<InflightOp<T::Req>> = Vec::new();
+    // Collective-round sends whose outcomes nobody waits on; swept so the
+    // transport can retire their state.
+    let mut loose_sends: Vec<T::Req> = Vec::new();
+    let mut nbcs: Vec<LiveNbc<T::Req>> = Vec::new();
     let mut coll_seq: u32 = 0;
     let mut open = true;
     loop {
         let mut advanced = false;
+        // Clock reads only happen on transports with a configured timeout
+        // (i.e. never for the in-process substrate, incl. under Miri).
+        let issued_at = op_timeout.map(|_| Instant::now());
         // 1. Drain the command channel (round-robin, budgeted per lane).
         let drained = chan.drain(DRAIN_BUDGET, |cmd| match cmd {
             Command::Isend {
@@ -441,13 +531,28 @@ fn offload_main(
                 data,
                 slot,
             } => {
-                // rtmpi sends complete at hand-off.
-                let _ = mpi.isend(dst, tag, data);
-                pool.complete(slot, Completion::Sent);
+                let req = mpi.isend(dst, tag, data);
+                // In-process sends complete at hand-off; wire sends stay
+                // pending until flushed and (rendezvous) acknowledged.
+                match mpi.try_take(&req) {
+                    Some(out) => pool.complete(slot, completion_of(out)),
+                    None => inflight.push(InflightOp {
+                        slot,
+                        req,
+                        issued: issued_at,
+                    }),
+                }
             }
             Command::Irecv { src, tag, slot } => {
                 let req = mpi.irecv(src, tag);
-                inflight_recv.push((slot, req));
+                match mpi.try_take(&req) {
+                    Some(out) => pool.complete(slot, completion_of(out)),
+                    None => inflight.push(InflightOp {
+                        slot,
+                        req,
+                        issued: issued_at,
+                    }),
+                }
             }
             Command::Collective { kind, slot } => {
                 // Blocking collective converted to a nonblocking
@@ -455,7 +560,7 @@ fn offload_main(
                 converted.inc();
                 coll_seq = coll_seq.wrapping_add(1);
                 let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
-                nbcs.push(start_live_nbc(&mpi, kind, tag, slot));
+                nbcs.push(start_live_nbc(&mut mpi, kind, tag, slot, &mut loose_sends));
             }
             Command::Shutdown => open = false,
         });
@@ -463,54 +568,109 @@ fn offload_main(
             advanced = true;
             drained_hist.record(drained as u64);
         }
-        // 2. Sweep in-flight receives (the MPI_Testany analogue).
-        if !inflight_recv.is_empty() {
+        // 2. Drive the transport's pending protocol state. For the wire
+        // backend this *is* the paper's asynchronous progress: rendezvous
+        // handshakes complete here, during application compute, instead of
+        // inside MPI_Wait.
+        if needs_progress {
+            progress_polls.inc();
+            if mpi.progress() {
+                advanced = true;
+            }
+        }
+        // 3. Sweep in-flight operations (the MPI_Testany analogue).
+        if !inflight.is_empty() {
             sweeps.inc();
         }
-        inflight_recv.retain(|(slot, req)| {
-            if let Some((st, data)) = req.try_take() {
-                pool.complete(*slot, Completion::Received(st, data));
-                advanced = true;
-                false
-            } else {
-                true
-            }
-        });
-        // 3. Advance collective schedules.
         let mut i = 0;
-        while i < nbcs.len() {
-            if advance_live_nbc(&mpi, &mut nbcs[i]) {
-                let done = nbcs.swap_remove(i);
-                pool.complete(done.slot, Completion::Collective(Arc::new(done.acc)));
+        while i < inflight.len() {
+            let op = &inflight[i];
+            let completed = match mpi.try_take(&op.req) {
+                Some(out) => {
+                    pool.complete(op.slot, completion_of(out));
+                    true
+                }
+                None => match (op_timeout, op.issued) {
+                    (Some(limit), Some(t0)) if t0.elapsed() >= limit => {
+                        mpi.cancel(&op.req);
+                        op_timeouts.inc();
+                        pool.complete(
+                            op.slot,
+                            Completion::Failed(TransportError::Timeout {
+                                waited_ms: limit.as_millis() as u64,
+                            }),
+                        );
+                        true
+                    }
+                    _ => false,
+                },
+            };
+            if completed {
+                inflight.swap_remove(i);
                 advanced = true;
             } else {
                 i += 1;
             }
         }
-        // 4. Exit or idle.
-        if !open && inflight_recv.is_empty() && nbcs.is_empty() && chan.is_empty() {
-            return;
+        loose_sends.retain(|req| mpi.try_take(req).is_none());
+        // 4. Advance collective schedules.
+        let mut i = 0;
+        while i < nbcs.len() {
+            match advance_live_nbc(&mut mpi, &mut nbcs[i], &mut loose_sends) {
+                Ok(true) => {
+                    let done = nbcs.swap_remove(i);
+                    pool.complete(done.slot, Completion::Collective(Arc::from(done.acc)));
+                    advanced = true;
+                }
+                Ok(false) => i += 1,
+                Err(e) => {
+                    let dead = nbcs.swap_remove(i);
+                    pool.complete(dead.slot, Completion::Failed(e));
+                    advanced = true;
+                }
+            }
+        }
+        // 5. Exit or idle.
+        if !open && inflight.is_empty() && nbcs.is_empty() && chan.is_empty() {
+            // Flush loose collective sends so the transport comes back
+            // with no dangling protocol state.
+            while !loose_sends.is_empty() {
+                if needs_progress {
+                    mpi.progress();
+                }
+                loose_sends.retain(|req| mpi.try_take(req).is_none());
+                std::thread::yield_now();
+            }
+            return mpi;
         }
         if advanced {
             service_iters.inc();
-        } else if inflight_recv.is_empty() && nbcs.is_empty() {
+        } else if inflight.is_empty() && nbcs.is_empty() && loose_sends.is_empty() {
             // Fully idle: nothing in flight needs polling, so the only
             // possible wake source is a new command — park on the doorbell
-            // (spin → yield → park). The old loop yielded forever here,
-            // burning a core per rank; on a single-core host that actively
-            // stole cycles from the application threads it was waiting on.
+            // (spin → yield → park). Safe for the wire backend too: sends
+            // complete only after their bytes are flushed, so an empty
+            // in-flight set means no outbox bytes are stuck, and inbound
+            // traffic waits in kernel buffers until a receive command
+            // arrives (which rings the doorbell).
             chan.wait_nonempty(&policy, &idle_backoff);
         } else {
-            // Work is in flight but did not advance: receives are
-            // completed by *peer* threads (rtmpi is push-style), so this
-            // thread must keep polling — bounded yield, never park.
+            // Work is in flight but did not advance: completion depends on
+            // peers (push-style mailboxes) or on polling the sockets, so
+            // this thread must keep polling — bounded yield, never park.
             idle_backoff.yields.inc();
             std::thread::yield_now();
         }
     }
 }
 
-fn start_live_nbc(mpi: &rtmpi::RtMpi, kind: CollKind, tag: u32, slot: Handle) -> LiveNbc {
+fn start_live_nbc<T: Transport>(
+    mpi: &mut T,
+    kind: CollKind,
+    tag: u32,
+    slot: Handle,
+    loose_sends: &mut Vec<T::Req>,
+) -> LiveNbc<T::Req> {
     let (p, r) = (mpi.size(), mpi.rank());
     let (acc, input, rounds) = match kind {
         CollKind::Barrier => (Vec::new(), None, nbc::barrier_rounds(p, r)),
@@ -550,52 +710,80 @@ fn start_live_nbc(mpi: &rtmpi::RtMpi, kind: CollKind, tag: u32, slot: Handle) ->
         tag,
         slot,
     };
-    post_live_round(mpi, &mut inst);
+    post_live_round(mpi, &mut inst, loose_sends);
     inst
 }
 
-/// Post rounds starting at `cur` until one has pending receives (or the
-/// schedule ends).
-fn post_live_round(mpi: &rtmpi::RtMpi, inst: &mut LiveNbc) {
-    while inst.cur < inst.rounds.len() {
-        let round = inst.rounds[inst.cur].clone();
-        for send in &round.sends {
-            let data = resolve_live(inst, &send.data);
-            let _ = mpi.isend(send.peer, inst.tag, Arc::new(data));
-        }
-        for recv in &round.recvs {
-            let req = mpi.irecv(Some(recv.peer), Some(inst.tag));
-            inst.inflight.push((req, recv.action.clone()));
-        }
-        if inst.inflight.iter().all(|(r, _)| r.is_done()) {
-            apply_live_actions(inst);
-            inst.cur += 1;
-        } else {
-            return;
-        }
-    }
-}
-
-/// Returns true when the schedule has fully completed.
-fn advance_live_nbc(mpi: &rtmpi::RtMpi, inst: &mut LiveNbc) -> bool {
+/// Post the sends and receives of round `cur` (no-op past the end).
+fn post_live_round<T: Transport>(
+    mpi: &mut T,
+    inst: &mut LiveNbc<T::Req>,
+    loose_sends: &mut Vec<T::Req>,
+) {
     if inst.cur >= inst.rounds.len() {
-        return true;
+        return;
     }
-    if !inst.inflight.iter().all(|(r, _)| r.is_done()) {
-        return false;
+    let round = inst.rounds[inst.cur].clone();
+    for send in &round.sends {
+        let data = resolve_live(inst, &send.data);
+        let req = mpi.isend(send.peer, inst.tag, Arc::from(data));
+        if mpi.try_take(&req).is_none() {
+            loose_sends.push(req);
+        }
     }
-    apply_live_actions(inst);
-    inst.cur += 1;
-    post_live_round(mpi, inst);
-    inst.cur >= inst.rounds.len()
+    for recv in &round.recvs {
+        let req = mpi.irecv(Some(recv.peer), Some(inst.tag));
+        inst.inflight.push((req, recv.action.clone(), None));
+    }
 }
 
-fn apply_live_actions(inst: &mut LiveNbc) {
-    for (req, action) in std::mem::take(&mut inst.inflight) {
-        let (_, data) = req.try_take().expect("completed recv has data");
+/// Returns `Ok(true)` when the schedule has fully completed, cascading
+/// through as many rounds as complete immediately.
+fn advance_live_nbc<T: Transport>(
+    mpi: &mut T,
+    inst: &mut LiveNbc<T::Req>,
+    loose_sends: &mut Vec<T::Req>,
+) -> Result<bool, TransportError> {
+    loop {
+        if inst.cur >= inst.rounds.len() {
+            return Ok(true);
+        }
+        if !poll_nbc_inflight(mpi, inst)? {
+            return Ok(false);
+        }
+        apply_live_actions(inst);
+        inst.cur += 1;
+        post_live_round(mpi, inst, loose_sends);
+    }
+}
+
+/// Poll this round's receives, stashing payloads as they complete.
+/// `Ok(true)` when every receive has its payload.
+fn poll_nbc_inflight<T: Transport>(
+    mpi: &mut T,
+    inst: &mut LiveNbc<T::Req>,
+) -> Result<bool, TransportError> {
+    let mut all = true;
+    for (req, _, data) in inst.inflight.iter_mut() {
+        if data.is_some() {
+            continue;
+        }
+        match mpi.try_take(req) {
+            Some(Ok(OpOutcome::Received(_, d))) => *data = Some(d),
+            Some(Ok(OpOutcome::Sent)) => unreachable!("receive completed as a send"),
+            Some(Err(e)) => return Err(e),
+            None => all = false,
+        }
+    }
+    Ok(all)
+}
+
+fn apply_live_actions<R>(inst: &mut LiveNbc<R>) {
+    for (_, action, data) in std::mem::take(&mut inst.inflight) {
+        let data = data.expect("completed recv has data");
         match action {
             RecvAction::Discard => {}
-            RecvAction::ReplaceAcc => inst.acc = data.as_ref().clone(),
+            RecvAction::ReplaceAcc => inst.acc = data.to_vec(),
             RecvAction::CombineAcc { dtype, op } => {
                 combine(dtype, op, &mut inst.acc, &data);
             }
@@ -610,7 +798,7 @@ fn apply_live_actions(inst: &mut LiveNbc) {
     }
 }
 
-fn resolve_live(inst: &LiveNbc, src: &DataSrc) -> Vec<u8> {
+fn resolve_live<R>(inst: &LiveNbc<R>, src: &DataSrc) -> Vec<u8> {
     match src {
         DataSrc::Acc => inst.acc.clone(),
         DataSrc::AccChunk(r) => inst.acc[r.clone()].to_vec(),
@@ -654,15 +842,15 @@ mod tests {
     fn offloaded_ping_pong() {
         let outs = run_live(2, |mpi| {
             if mpi.rank() == 0 {
-                mpi.send(1, 5, Arc::new(vec![1, 2, 3]));
+                mpi.send(1, 5, Arc::from(vec![1, 2, 3]));
                 let (_, d) = mpi.recv(Some(1), Some(6));
-                d.as_ref().clone()
+                d.to_vec()
             } else {
                 let (st, d) = mpi.recv(Some(0), Some(5));
                 assert_eq!(st.source, 0);
-                let mut back = d.as_ref().clone();
+                let mut back = d.to_vec();
                 back.reverse();
-                mpi.send(0, 6, Arc::new(back));
+                mpi.send(0, 6, Arc::from(back));
                 Vec::new()
             }
         });
@@ -677,7 +865,7 @@ mod tests {
         let gate = Arc::new(std::sync::Barrier::new(2));
         let outs = run_live(2, move |mpi| {
             if mpi.rank() == 0 {
-                let h = mpi.isend(1, 1, Arc::new(vec![7u8; 100]));
+                let h = mpi.isend(1, 1, Arc::from(vec![7u8; 100]));
                 // The handle is usable immediately.
                 let c = mpi.wait(h);
                 gate.wait(); // release the receiver only now
@@ -701,7 +889,7 @@ mod tests {
         let outs = run_live(2, move |mpi| {
             if mpi.rank() == 0 {
                 gate.wait(); // receiver has posted and polled once already
-                mpi.send(1, 2, Arc::new(vec![1]));
+                mpi.send(1, 2, Arc::from(vec![1]));
                 true
             } else {
                 let h = mpi.irecv(Some(0), Some(2));
@@ -729,7 +917,7 @@ mod tests {
     fn double_wait_on_live_handle_panics() {
         let ranks = offload_world(2);
         let h = ranks[0].handle();
-        let r = h.isend(1, 1, Arc::new(vec![1, 2, 3]));
+        let r = h.isend(1, 1, Arc::from(vec![1, 2, 3]));
         let _ = h.wait(r); // first wait: takes the completion, frees the slot
         let _ = h.wait(r); // second wait: stale generation
     }
@@ -743,7 +931,7 @@ mod tests {
         let h1 = ranks[1].handle();
         let a = thread::spawn(move || {
             for i in 0..100u8 {
-                h0.send(1, 1, Arc::new(vec![i]));
+                h0.send(1, 1, Arc::from(vec![i]));
             }
         });
         let b = thread::spawn(move || {
@@ -777,7 +965,7 @@ mod tests {
             thread::yield_now();
         }
         // Traffic still flows after parking (the doorbell wakes it).
-        let sender = thread::spawn(move || h0.send(1, 7, Arc::new(vec![42])));
+        let sender = thread::spawn(move || h0.send(1, 7, Arc::from(vec![42])));
         let (_, d) = h1.recv(Some(0), Some(7));
         sender.join().expect("sender");
         assert_eq!(d[0], 42);
@@ -853,7 +1041,7 @@ mod tests {
                 let h = h0.clone();
                 thread::spawn(move || {
                     for i in 0..50u32 {
-                        h.send(1, t, Arc::new(vec![(t * 100 + i % 100) as u8]));
+                        h.send(1, t, Arc::from(vec![(t * 100 + i % 100) as u8]));
                     }
                 })
             })
@@ -882,7 +1070,7 @@ mod tests {
             if mpi.rank() == 0 {
                 for batch in 0..20 {
                     let hs: Vec<_> = (0..64)
-                        .map(|i| mpi.isend(1, 3, Arc::new(vec![(batch * 64 + i) as u8])))
+                        .map(|i| mpi.isend(1, 3, Arc::from(vec![(batch * 64 + i) as u8])))
                         .collect();
                     for h in hs {
                         let _ = mpi.wait(h);

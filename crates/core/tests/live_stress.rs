@@ -29,7 +29,7 @@ fn mixed_p2p_and_collective_storm() {
                     // Every thread both sends and receives with its twin on
                     // the neighbor ranks.
                     let rx = h.irecv(Some(left), Some(tag));
-                    h.send(right, tag, Arc::new(vec![(i % 251) as u8; 64]));
+                    h.send(right, tag, Arc::from(vec![(i % 251) as u8; 64]));
                     match h.wait(rx) {
                         Completion::Received(st, data) => {
                             assert_eq!(st.source, left);
@@ -77,7 +77,7 @@ fn collectives_from_one_thread_while_others_send() {
             let mut got = 0.0;
             for i in 0..200u32 {
                 let rx = h.irecv(Some(peer), Some(7));
-                h.send(peer, 7, Arc::new(vec![(i % 200) as u8]));
+                h.send(peer, 7, Arc::from(vec![(i % 200) as u8]));
                 if let Completion::Received(_, d) = h.wait(rx) {
                     got += d[0] as f64;
                 }
@@ -109,7 +109,7 @@ fn tiny_pool_forces_backpressure_not_corruption() {
     let h1 = ranks[1].handle();
     let sender = thread::spawn(move || {
         for i in 0..300u32 {
-            h0.send(1, 1, Arc::new(vec![(i % 256) as u8]));
+            h0.send(1, 1, Arc::from(vec![(i % 256) as u8]));
         }
     });
     let receiver = thread::spawn(move || {
@@ -146,7 +146,7 @@ fn pool_occupancy_high_water_stays_within_capacity() {
             let h = h0.clone();
             thread::spawn(move || {
                 for i in 0..MSGS {
-                    h.send(1, t, Arc::new(vec![(i % 256) as u8]));
+                    h.send(1, t, Arc::from(vec![(i % 256) as u8]));
                 }
             })
         })
@@ -193,7 +193,7 @@ fn finalize_drains_outstanding_work() {
     let h0 = ranks[0].handle();
     let h1 = ranks[1].handle();
     let reqs: Vec<_> = (0..100u32)
-        .map(|i| h0.isend(1, i % 4, Arc::new(vec![i as u8])))
+        .map(|i| h0.isend(1, i % 4, Arc::from(vec![i as u8])))
         .collect();
     let receiver = thread::spawn(move || {
         let mut n = 0;

@@ -3,15 +3,20 @@
 //! real lock-free structures.
 
 pub mod calibrate;
+pub mod liveoverlap;
 pub mod micro;
 pub mod obsreport;
 pub mod table;
 
 pub use calibrate::{calibrate, Calibration};
+pub use liveoverlap::{live_overlap, live_overlap_table, LiveOverlapRow};
 pub use micro::{
     isend_issue_cost, live_isend_issue_rate, nbc_issue_cost, nbc_overlap, osu_bandwidth,
     osu_latency, osu_mt_latency, osu_mt_latency_observed, overlap_p2p, overlap_p2p_observed,
     CollOp, LiveIssueResult, ObservedOverlap, OverlapResult,
 };
-pub use obsreport::{append_metrics, dump_trace, metrics_table, trace_path_from_args};
+pub use obsreport::{
+    append_metrics, dump_trace, dump_trace_prefixed, merge_traces, metrics_table,
+    trace_path_from_args,
+};
 pub use table::{fmt_bytes, fmt_ns, Table};

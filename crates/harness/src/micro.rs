@@ -552,7 +552,7 @@ pub fn live_isend_issue_rate(
             let h = h0.clone();
             let start = start.clone();
             std::thread::spawn(move || {
-                let payload = std::sync::Arc::new(vec![0u8; 64]);
+                let payload: std::sync::Arc<[u8]> = std::sync::Arc::from(vec![0u8; 64]);
                 start.wait();
                 let mut sent = 0;
                 while sent < msgs {

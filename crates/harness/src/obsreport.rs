@@ -58,6 +58,48 @@ pub fn dump_trace(recorder: &obs::Recorder, path: &std::path::Path) {
     }
 }
 
+/// Per-process trace dump for multi-process (wire) runs: writes
+/// `{prefix}-rank{rank}.json` and stamps the recorder's process identity
+/// first, so the per-rank files can be merged into one timeline (see
+/// [`merge_traces`]) without rank 0's thread ids colliding with rank 1's.
+pub fn dump_trace_prefixed(recorder: &obs::Recorder, prefix: &str, rank: usize) {
+    recorder.set_process(
+        rank as u32,
+        &format!("rank {rank} (pid {})", std::process::id()),
+    );
+    dump_trace(
+        recorder,
+        std::path::Path::new(&format!("{prefix}-rank{rank}.json")),
+    );
+}
+
+/// Merge Chrome trace documents (as emitted by this stack) into one by
+/// concatenating their `traceEvents` arrays. Ranks recorded via
+/// [`dump_trace_prefixed`] occupy distinct pids, so the merged view shows
+/// one process row per rank.
+pub fn merge_traces<'a>(docs: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for doc in docs {
+        let Some(start) = doc.find("\"traceEvents\":[") else {
+            continue;
+        };
+        let body = &doc[start + "\"traceEvents\":[".len()..];
+        let Some(end) = body.rfind(']') else { continue };
+        let body = &body[..end];
+        if body.trim().is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(body);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +115,34 @@ mod tests {
         let eq = trace_path_from(["--trace=/tmp/u.json"].map(String::from).into_iter());
         assert_eq!(eq.unwrap().to_str(), Some("/tmp/u.json"));
         assert!(trace_path_from(["--quiet"].map(String::from).into_iter()).is_none());
+    }
+
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn merged_ranks_keep_distinct_pids() {
+        let mut docs = Vec::new();
+        for rank in 0..3u32 {
+            let rec = obs::Recorder::wall();
+            rec.set_process(rank, &format!("rank {rank}"));
+            let t = rec.track(0, 7, "app");
+            t.instant("tick");
+            docs.push(rec.to_chrome_json());
+        }
+        let merged = merge_traces(docs.iter().map(String::as_str));
+        let events = obs::chrome::validate_chrome_trace(&merged).expect("merged trace valid");
+        let pids: std::collections::BTreeSet<u32> = events.iter().map(|e| e.pid).collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        obs::chrome::check_monotone_per_track(&events).expect("per-track monotone");
+    }
+
+    #[test]
+    fn merge_of_empty_traces_is_valid() {
+        let rec = obs::Recorder::disabled();
+        let doc = rec.to_chrome_json();
+        let merged = merge_traces([doc.as_str(), doc.as_str()]);
+        assert!(obs::chrome::validate_chrome_trace(&merged)
+            .expect("valid")
+            .is_empty());
     }
 
     #[cfg(feature = "obs-enabled")]

@@ -53,11 +53,24 @@ fn emit_tracks(rec: &Recorder, out: &mut String, first: &mut bool) {
         }
         *first = false;
     };
+    // Multi-process identity: when set, the recorder's process pid (the
+    // rank) overrides every track's registered pid, and the process row
+    // itself gets named — per-rank traces then merge without colliding.
+    let process = rec.process();
+    if let Some((pid, name)) = &process {
+        sep(out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"ts\":0,\"args\":{{\"name\":\""
+        ));
+        escape_into(out, name);
+        out.push_str("\"}}");
+    }
     rec.for_each_track(|t| {
+        let pid = process.as_ref().map_or(t.pid, |(p, _)| *p);
         sep(out);
         out.push_str(&format!(
             "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"ts\":0,\"args\":{{\"name\":\"",
-            t.pid, t.tid
+            pid, t.tid
         ));
         escape_into(out, &t.label);
         // Surface ring overwrites so a truncated trace is never mistaken
@@ -69,13 +82,13 @@ fn emit_tracks(rec: &Recorder, out: &mut String, first: &mut bool) {
             if ev.dur_ns == 0 {
                 out.push_str(&format!(
                     "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":",
-                    t.pid, t.tid
+                    pid, t.tid
                 ));
                 push_ts(out, ev.ts_ns);
             } else {
                 out.push_str(&format!(
                     "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":",
-                    t.pid, t.tid
+                    pid, t.tid
                 ));
                 push_ts(out, ev.ts_ns);
                 out.push_str(",\"dur\":");
@@ -416,6 +429,32 @@ mod tests {
         assert_eq!(drain.ph, "X");
         assert!((drain.ts_us - 0.1).abs() < 1e-9);
         assert_eq!(drain.dur_us, Some(0.25));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn process_identity_overrides_track_pids() {
+        let rec = Recorder::virtual_clock();
+        // Tracks registered with the in-process default pid 0…
+        let a = rec.track(0, 1, "app");
+        let b = rec.track(0, 2, "offload");
+        a.instant_at("post", 10);
+        b.complete_at("drain", 20, 30);
+        // …then the process learns it is rank 3 of a multi-process job.
+        rec.set_process(3, "rank 3 (pid 4711)");
+        let json = rec.to_chrome_json();
+        let events = validate_chrome_trace(&json).expect("valid trace");
+        assert!(
+            events.iter().all(|e| e.pid == 3),
+            "all events re-stamped with the rank pid: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.ph == "M" && e.name == "process_name"),
+            "process_name metadata present"
+        );
+        assert!(json.contains("rank 3 (pid 4711)"));
     }
 
     #[cfg(feature = "enabled")]

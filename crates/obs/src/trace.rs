@@ -64,6 +64,11 @@ mod imp {
         epoch: Instant,
         tracks: Mutex<Vec<Arc<TrackInner>>>,
         track_cap: usize,
+        /// Process identity for multi-process runs: every exported event
+        /// carries this pid (the rank), and the trace gains a
+        /// `process_name` metadata row, so per-rank traces merge into one
+        /// timeline without colliding thread ids.
+        process: Mutex<Option<(u32, String)>>,
     }
 
     /// The flight recorder. Cheap to clone; [`Recorder::disabled`] is a
@@ -95,6 +100,7 @@ mod imp {
                     epoch: Instant::now(),
                     tracks: Mutex::new(Vec::new()),
                     track_cap: events_per_track.max(16),
+                    process: Mutex::new(None),
                 })),
             }
         }
@@ -145,6 +151,24 @@ mod imp {
                 track: Some(t),
                 rec: Some(inner.clone()),
             }
+        }
+
+        /// Declare which process (rank) this recorder belongs to. All
+        /// exported events are stamped with `pid` regardless of the pid
+        /// their track was registered with, and the export carries a
+        /// `process_name` metadata event naming the process row — use
+        /// the rank as the pid and something like `"rank 2 (pid 4711)"`
+        /// as the name so merged multi-process traces stay readable.
+        pub fn set_process(&self, pid: u32, name: &str) {
+            if let Some(inner) = &self.inner {
+                *inner.process.lock().expect("obs process") = Some((pid, name.to_string()));
+            }
+        }
+
+        pub(crate) fn process(&self) -> Option<(u32, String)> {
+            self.inner
+                .as_ref()
+                .and_then(|i| i.process.lock().expect("obs process").clone())
         }
 
         pub(crate) fn for_each_track(&self, mut f: impl FnMut(&TrackInner)) {
@@ -297,6 +321,8 @@ mod imp {
         pub fn track(&self, _pid: u32, _tid: u32, _label: &str) -> Track {
             Track
         }
+        #[inline(always)]
+        pub fn set_process(&self, _pid: u32, _name: &str) {}
         pub fn to_chrome_json(&self) -> String {
             crate::chrome::to_chrome_json(self)
         }

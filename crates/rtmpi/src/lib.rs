@@ -16,13 +16,23 @@
 //! modelled system (see DESIGN.md).
 //!
 //! Matching follows MPI rules: FIFO per (source, tag) with wildcard
-//! support, unexpected-message buffering, probe.
+//! support, unexpected-message buffering, probe. The matching logic lives
+//! in [`matchq`] and is shared with the socket wire backend
+//! (`crates/wire`), so the two live substrates agree on it by
+//! construction. Payloads are handed off as `Arc<[u8]>` — one allocation,
+//! no double indirection — which is also the shape of the wire backend's
+//! receive buffers.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+
+pub mod matchq;
+pub mod transport;
+
+pub use matchq::MatchQueue;
+pub use transport::{OpOutcome, Transport, TransportError};
 
 /// Message tag.
 pub type Tag = u32;
@@ -37,7 +47,7 @@ pub struct Status {
 
 struct ReqState {
     done: AtomicBool,
-    result: Mutex<Option<(Status, Arc<Vec<u8>>)>>,
+    result: Mutex<Option<(Status, Arc<[u8]>)>>,
     cv: Condvar,
 }
 
@@ -58,13 +68,13 @@ impl RtRequest {
         }
     }
 
-    fn completed(status: Option<(Status, Arc<Vec<u8>>)>) -> Self {
+    fn completed(status: Option<(Status, Arc<[u8]>)>) -> Self {
         let r = Self::new();
         r.complete(status);
         r
     }
 
-    fn complete(&self, status: Option<(Status, Arc<Vec<u8>>)>) {
+    fn complete(&self, status: Option<(Status, Arc<[u8]>)>) {
         let mut g = self.state.result.lock();
         *g = status;
         self.state.done.store(true, Ordering::Release);
@@ -78,7 +88,7 @@ impl RtRequest {
 
     /// Block the calling OS thread until completion; returns the payload
     /// for receives (`None` for sends).
-    pub fn wait(&self) -> Option<(Status, Arc<Vec<u8>>)> {
+    pub fn wait(&self) -> Option<(Status, Arc<[u8]>)> {
         let mut g = self.state.result.lock();
         while !self.state.done.load(Ordering::Acquire) {
             self.state.cv.wait(&mut g);
@@ -87,7 +97,7 @@ impl RtRequest {
     }
 
     /// Take the payload if complete.
-    pub fn try_take(&self) -> Option<(Status, Arc<Vec<u8>>)> {
+    pub fn try_take(&self) -> Option<(Status, Arc<[u8]>)> {
         if self.is_done() {
             self.state.result.lock().take()
         } else {
@@ -96,26 +106,14 @@ impl RtRequest {
     }
 }
 
-struct PostedRecv {
-    src: Option<usize>,
-    tag: Option<Tag>,
-    req: RtRequest,
-}
-
-#[derive(Default)]
-struct MailState {
-    posted: VecDeque<PostedRecv>,
-    unexpected: VecDeque<(usize, Tag, Arc<Vec<u8>>)>,
-}
-
 struct RankShared {
-    mail: Mutex<MailState>,
+    mail: Mutex<MatchQueue<RtRequest, Arc<[u8]>>>,
 }
 
-type CollResult = Arc<Vec<Arc<Vec<u8>>>>;
+type CollResult = Arc<Vec<Arc<[u8]>>>;
 
 struct CollSlot {
-    contributions: Mutex<Vec<Option<Arc<Vec<u8>>>>>,
+    contributions: Mutex<Vec<Option<Arc<[u8]>>>>,
     result: Mutex<Option<CollResult>>,
     arrived: Mutex<usize>,
     generation: Mutex<u64>,
@@ -140,7 +138,7 @@ pub fn world(n: usize) -> Vec<RtMpi> {
     let shared = Arc::new(WorldShared {
         ranks: (0..n)
             .map(|_| RankShared {
-                mail: Mutex::new(MailState::default()),
+                mail: Mutex::new(MatchQueue::new()),
             })
             .collect(),
         coll: CollSlot {
@@ -169,23 +167,18 @@ impl RtMpi {
     }
 
     /// Nonblocking send. Completes immediately (payload hand-off).
-    pub fn isend(&self, dst: usize, tag: Tag, data: Arc<Vec<u8>>) -> RtRequest {
+    pub fn isend(&self, dst: usize, tag: Tag, data: Arc<[u8]>) -> RtRequest {
         let mailbox = &self.world.ranks[dst].mail;
         let mut mail = mailbox.lock();
-        if let Some(pos) = mail
-            .posted
-            .iter()
-            .position(|p| p.src.is_none_or(|s| s == self.rank) && p.tag.is_none_or(|t| t == tag))
-        {
-            let posted = mail.posted.remove(pos).expect("indexed entry");
+        if let Some(posted) = mail.take_posted(self.rank, tag) {
             let status = Status {
                 source: self.rank,
                 tag,
                 len: data.len(),
             };
-            posted.req.complete(Some((status, data)));
+            posted.token.complete(Some((status, data)));
         } else {
-            mail.unexpected.push_back((self.rank, tag, data));
+            mail.push_unexpected(self.rank, tag, data);
         }
         RtRequest::completed(None)
     }
@@ -193,49 +186,48 @@ impl RtMpi {
     /// Nonblocking receive; `None` filters are wildcards.
     pub fn irecv(&self, src: Option<usize>, tag: Option<Tag>) -> RtRequest {
         let mut mail = self.world.ranks[self.rank].mail.lock();
-        if let Some(pos) = mail
-            .unexpected
-            .iter()
-            .position(|(s, t, _)| src.is_none_or(|x| x == *s) && tag.is_none_or(|x| x == *t))
-        {
-            let (s, t, data) = mail.unexpected.remove(pos).expect("indexed entry");
+        if let Some(u) = mail.take_unexpected(src, tag) {
             let status = Status {
-                source: s,
-                tag: t,
-                len: data.len(),
+                source: u.src,
+                tag: u.tag,
+                len: u.msg.len(),
             };
-            return RtRequest::completed(Some((status, data)));
+            return RtRequest::completed(Some((status, u.msg)));
         }
         let req = RtRequest::new();
-        mail.posted.push_back(PostedRecv {
-            src,
-            tag,
-            req: req.clone(),
-        });
+        mail.push_posted(src, tag, req.clone());
         req
     }
 
     /// Blocking send.
-    pub fn send(&self, dst: usize, tag: Tag, data: Arc<Vec<u8>>) {
+    pub fn send(&self, dst: usize, tag: Tag, data: Arc<[u8]>) {
         self.isend(dst, tag, data).wait();
     }
 
     /// Blocking receive.
-    pub fn recv(&self, src: Option<usize>, tag: Option<Tag>) -> (Status, Arc<Vec<u8>>) {
+    pub fn recv(&self, src: Option<usize>, tag: Option<Tag>) -> (Status, Arc<[u8]>) {
         self.irecv(src, tag).wait().expect("recv yields payload")
+    }
+
+    /// Blocking receive into a caller-provided buffer, truncating when the
+    /// arrival is larger (MPI's receive-count semantics: `Status.len`
+    /// reports the bytes actually delivered into `buf`, never more than
+    /// its capacity).
+    pub fn recv_into(&self, src: Option<usize>, tag: Option<Tag>, buf: &mut [u8]) -> Status {
+        let (st, data) = self.recv(src, tag);
+        let n = st.len.min(buf.len());
+        buf[..n].copy_from_slice(&data[..n]);
+        Status { len: n, ..st }
     }
 
     /// Is a matching message waiting unexpectedly?
     pub fn iprobe(&self, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
         let mail = self.world.ranks[self.rank].mail.lock();
-        mail.unexpected
-            .iter()
-            .find(|(s, t, _)| src.is_none_or(|x| x == *s) && tag.is_none_or(|x| x == *t))
-            .map(|(s, t, d)| Status {
-                source: *s,
-                tag: *t,
-                len: d.len(),
-            })
+        mail.probe(src, tag).map(|(s, t, d)| Status {
+            source: s,
+            tag: t,
+            len: d.len(),
+        })
     }
 
     /// Generation-counted reusable barrier across all ranks.
@@ -258,7 +250,7 @@ impl RtMpi {
 
     /// Allgather: returns all contributions indexed by rank. Also the
     /// building block for the other collectives.
-    pub fn allgather(&self, mine: Arc<Vec<u8>>) -> Vec<Arc<Vec<u8>>> {
+    pub fn allgather(&self, mine: Arc<[u8]>) -> Vec<Arc<[u8]>> {
         let coll = &self.world.coll;
         let n = self.size();
         let mut arrived = coll.arrived.lock();
@@ -267,7 +259,7 @@ impl RtMpi {
         *arrived += 1;
         if *arrived == n {
             // Leader: assemble, publish, release.
-            let gathered: Vec<Arc<Vec<u8>>> = coll
+            let gathered: Vec<Arc<[u8]>> = coll
                 .contributions
                 .lock()
                 .iter_mut()
@@ -295,7 +287,7 @@ impl RtMpi {
     /// Sum-allreduce over f64 lanes.
     pub fn allreduce_f64_sum(&self, mine: &[f64]) -> Vec<f64> {
         let bytes: Vec<u8> = mine.iter().flat_map(|x| x.to_le_bytes()).collect();
-        let all = self.allgather(Arc::new(bytes));
+        let all = self.allgather(Arc::from(bytes));
         let mut acc = vec![0.0f64; mine.len()];
         for contrib in &all {
             for (i, c) in contrib.chunks_exact(8).enumerate() {
@@ -310,7 +302,7 @@ impl RtMpi {
     pub fn alltoall(&self, input: &[u8], block: usize) -> Vec<u8> {
         let n = self.size();
         assert_eq!(input.len(), n * block);
-        let all = self.allgather(Arc::new(input.to_vec()));
+        let all = self.allgather(Arc::from(input));
         let mut out = vec![0u8; n * block];
         for (src, contrib) in all.iter().enumerate() {
             out[src * block..(src + 1) * block]
@@ -320,14 +312,62 @@ impl RtMpi {
     }
 
     /// Broadcast from `root`.
-    pub fn bcast(&self, root: usize, mine: Option<Arc<Vec<u8>>>) -> Arc<Vec<u8>> {
+    pub fn bcast(&self, root: usize, mine: Option<Arc<[u8]>>) -> Arc<[u8]> {
         let contribution = if self.rank == root {
             mine.expect("root provides payload")
         } else {
-            Arc::new(Vec::new())
+            Arc::from(Vec::new())
         };
         let all = self.allgather(contribution);
         all[root].clone()
+    }
+}
+
+impl Transport for RtMpi {
+    type Req = RtRequest;
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.ranks.len()
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, data: Arc<[u8]>) -> RtRequest {
+        RtMpi::isend(self, dst, tag, data)
+    }
+
+    fn irecv(&mut self, src: Option<usize>, tag: Option<Tag>) -> RtRequest {
+        RtMpi::irecv(self, src, tag)
+    }
+
+    /// Push-style delivery: sends complete receives directly, there is no
+    /// pending wire state to drive.
+    fn progress(&mut self) -> bool {
+        false
+    }
+
+    fn is_done(&mut self, req: &RtRequest) -> bool {
+        req.is_done()
+    }
+
+    fn try_take(&mut self, req: &RtRequest) -> Option<Result<OpOutcome, TransportError>> {
+        if !req.is_done() {
+            return None;
+        }
+        Some(Ok(match req.try_take() {
+            Some((st, data)) => OpOutcome::Received(st, data),
+            None => OpOutcome::Sent,
+        }))
+    }
+
+    fn needs_progress(&self) -> bool {
+        false
+    }
+
+    fn iprobe(&mut self, src: Option<usize>, tag: Option<Tag>) -> Option<Status> {
+        RtMpi::iprobe(self, src, tag)
     }
 }
 
@@ -357,14 +397,14 @@ mod tests {
     fn ping_pong_roundtrip() {
         let outs = spawn_world(2, |mpi| {
             if mpi.rank() == 0 {
-                mpi.send(1, 5, Arc::new(vec![1, 2, 3]));
+                mpi.send(1, 5, Arc::from(vec![1, 2, 3]));
                 let (_, d) = mpi.recv(Some(1), Some(6));
-                d.as_ref().clone()
+                d.to_vec()
             } else {
                 let (_, d) = mpi.recv(Some(0), Some(5));
-                let mut back = d.as_ref().clone();
+                let mut back = d.to_vec();
                 back.push(4);
-                mpi.send(0, 6, Arc::new(back));
+                mpi.send(0, 6, Arc::from(back));
                 Vec::new()
             }
         });
@@ -375,7 +415,7 @@ mod tests {
     fn unexpected_message_is_buffered() {
         let outs = spawn_world(2, |mpi| {
             if mpi.rank() == 0 {
-                mpi.send(1, 1, Arc::new(vec![9]));
+                mpi.send(1, 1, Arc::from(vec![9]));
                 mpi.barrier();
                 0
             } else {
@@ -392,7 +432,7 @@ mod tests {
         let outs = spawn_world(2, |mpi| {
             if mpi.rank() == 0 {
                 for i in 0..20u8 {
-                    mpi.send(1, 3, Arc::new(vec![i]));
+                    mpi.send(1, 3, Arc::from(vec![i]));
                 }
                 Vec::new()
             } else {
@@ -412,7 +452,7 @@ mod tests {
                 srcs.sort_unstable();
                 srcs
             } else {
-                mpi.send(0, 10 + mpi.rank() as u32, Arc::new(vec![0]));
+                mpi.send(0, 10 + mpi.rank() as u32, Arc::from(vec![0]));
                 Vec::new()
             }
         });
@@ -435,7 +475,7 @@ mod tests {
     #[test]
     fn allgather_collects_in_rank_order() {
         let outs = spawn_world(3, |mpi| {
-            let all = mpi.allgather(Arc::new(vec![mpi.rank() as u8; 2]));
+            let all = mpi.allgather(Arc::from(vec![mpi.rank() as u8; 2]));
             all.iter().map(|v| v[0]).collect::<Vec<_>>()
         });
         for o in outs {
@@ -467,8 +507,8 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let outs = spawn_world(3, |mpi| {
-            let payload = (mpi.rank() == 2).then(|| Arc::new(vec![7u8, 8]));
-            mpi.bcast(2, payload).as_ref().clone()
+            let payload = (mpi.rank() == 2).then(|| Arc::from(vec![7u8, 8]));
+            mpi.bcast(2, payload).to_vec()
         });
         for o in outs {
             assert_eq!(o, vec![7, 8]);
@@ -492,10 +532,34 @@ mod tests {
     }
 
     #[test]
+    fn recv_into_status_len_matches_delivered_bytes() {
+        let outs = spawn_world(2, |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 7, Arc::from((0u8..17).collect::<Vec<u8>>()));
+                mpi.send(1, 8, Arc::from((0u8..17).collect::<Vec<u8>>()));
+                (0, Vec::new())
+            } else {
+                // Arrival larger than the buffer: truncate, report what fit.
+                let mut small = [0u8; 8];
+                let st = mpi.recv_into(Some(0), Some(7), &mut small);
+                assert_eq!(st.len, 8);
+                assert_eq!(&small, &[0, 1, 2, 3, 4, 5, 6, 7]);
+                // Buffer larger than the arrival: report the true length.
+                let mut big = [0xffu8; 32];
+                let st2 = mpi.recv_into(Some(0), Some(8), &mut big);
+                assert_eq!(st2.len, 17);
+                assert!(big[17..].iter().all(|&b| b == 0xff));
+                (st.len, big[..st2.len].to_vec())
+            }
+        });
+        assert_eq!(outs[1].1, (0u8..17).collect::<Vec<u8>>());
+    }
+
+    #[test]
     fn iprobe_reports_without_consuming() {
         let outs = spawn_world(2, |mpi| {
             if mpi.rank() == 0 {
-                mpi.send(1, 4, Arc::new(vec![0u8; 17]));
+                mpi.send(1, 4, Arc::from(vec![0u8; 17]));
                 mpi.barrier();
                 true
             } else {

@@ -20,7 +20,7 @@ proptest! {
         let tags2 = tags.clone();
         let sender = thread::spawn(move || {
             for (i, &t) in tags2.iter().enumerate() {
-                tx_side.send(1, t, Arc::new(vec![i as u8]));
+                tx_side.send(1, t, Arc::from(vec![i as u8]));
             }
         });
         // Receive per tag, in tag order — message payloads must appear in
@@ -53,7 +53,7 @@ proptest! {
         let rx_side = world.pop().expect("rank 1");
         let tx_side = world.pop().expect("rank 0");
         let sender = thread::spawn(move || {
-            tx_side.send(1, tag, Arc::new(vec![7u8; len]));
+            tx_side.send(1, tag, Arc::from(vec![7u8; len]));
             tx_side.barrier();
         });
         rx_side.barrier();
@@ -81,9 +81,9 @@ proptest! {
                     let sum = mpi.allreduce_f64_sum(&mine);
                     let bc = mpi.bcast(
                         root,
-                        (me == root).then(|| Arc::new(vec![root as u8; 3])),
+                        (me == root).then(|| Arc::from(vec![root as u8; 3])),
                     );
-                    (sum, bc.as_ref().clone())
+                    (sum, bc.to_vec())
                 })
             })
             .collect();

@@ -1,0 +1,17 @@
+//! Multi-process launcher for wire-backend rank programs.
+//!
+//! `offload-run -n 4 halo_exchange` spawns four OS processes, points them
+//! at a shared bootstrap directory via the `WIRE_*` environment, prefixes
+//! their stderr with `[rank N]`, kills the job if it outlives `--timeout`
+//! (default 120 s), and exits 0 only if every rank exited 0.
+
+fn main() {
+    let spec = match wire::launcher::parse_args(std::env::args().skip(1)) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(wire::launcher::launch(&spec));
+}

@@ -1,0 +1,208 @@
+//! Building the mesh: every pair of ranks shares one stream socket.
+//!
+//! Process worlds ([`from_env`]) read `WIRE_RANK` / `WIRE_SIZE` /
+//! `WIRE_DIR` — the environment `offload-run` sets up — and connect a full
+//! mesh under the bootstrap directory: rank `k` listens on
+//! `rank-k.sock`, dials every lower rank (with retry, since siblings
+//! start concurrently), and accepts from every higher rank, identifying
+//! inbound connections by their `Hello` frame. With `WIRE_TCP=1` each
+//! rank instead listens on an ephemeral 127.0.0.1 port and publishes it
+//! as `rank-k.port` in the same directory (written atomically via
+//! rename).
+//!
+//! Loopback worlds ([`loopback`]) build the same mesh inside one process
+//! from `socketpair`s — no listeners, no bootstrap directory — so engine
+//! tests and the matching matrix run the real framing and protocol code
+//! without child processes.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::engine::{Stream, WireComm, WireConfig};
+use crate::proto::{FrameKind, Header, HEADER_LEN};
+
+/// How long a rank keeps retrying to reach its siblings before giving up.
+const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(20);
+const RETRY_SLEEP: Duration = Duration::from_millis(5);
+
+/// Bootstrap a rank from the `WIRE_*` environment (set by `offload-run`).
+pub fn from_env() -> std::io::Result<WireComm> {
+    let rank: usize = env_req(crate::ENV_RANK)?;
+    let size: usize = env_req(crate::ENV_SIZE)?;
+    let dir = std::env::var(crate::ENV_DIR)
+        .map_err(|_| bad_input(format!("{} not set", crate::ENV_DIR)))?;
+    let cfg = WireConfig::from_env();
+    connect_mesh(rank, size, Path::new(&dir), cfg)
+}
+
+fn env_req<T: std::str::FromStr>(name: &str) -> std::io::Result<T> {
+    std::env::var(name)
+        .map_err(|_| bad_input(format!("{name} not set")))?
+        .trim()
+        .parse()
+        .map_err(|_| bad_input(format!("{name} unparsable")))
+}
+
+fn bad_input(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
+}
+
+fn sock_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank-{rank}.sock"))
+}
+
+fn port_path(dir: &Path, rank: usize) -> PathBuf {
+    dir.join(format!("rank-{rank}.port"))
+}
+
+enum Listener {
+    Uds(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Listener::Uds(l) => Stream::from(l.accept()?.0),
+            Listener::Tcp(l) => Stream::from(l.accept()?.0),
+        })
+    }
+}
+
+/// Full-mesh bootstrap for one rank (see module docs).
+fn connect_mesh(
+    rank: usize,
+    size: usize,
+    dir: &Path,
+    cfg: WireConfig,
+) -> std::io::Result<WireComm> {
+    assert!(rank < size);
+    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    // 1. Publish our own endpoint.
+    let listener = if cfg.tcp {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        let port = l.local_addr()?.port();
+        // Atomic publish: peers must never read a half-written file.
+        let tmp = dir.join(format!(".rank-{rank}.port.tmp"));
+        std::fs::write(&tmp, port.to_string())?;
+        std::fs::rename(&tmp, port_path(dir, rank))?;
+        Listener::Tcp(l)
+    } else {
+        let path = sock_path(dir, rank);
+        let _ = std::fs::remove_file(&path);
+        Listener::Uds(UnixListener::bind(&path)?)
+    };
+    let mut streams: Vec<Option<Stream>> = (0..size).map(|_| None).collect();
+    // 2. Dial every lower rank (they may not have bound yet — retry).
+    for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+        let mut stream = loop {
+            let attempt: std::io::Result<Stream> = if cfg.tcp {
+                std::fs::read_to_string(port_path(dir, peer))
+                    .and_then(|s| {
+                        s.trim()
+                            .parse::<u16>()
+                            .map_err(|_| bad_input(format!("bad port file for rank {peer}")))
+                    })
+                    .and_then(|port| TcpStream::connect(("127.0.0.1", port)))
+                    .map(Stream::from)
+            } else {
+                UnixStream::connect(sock_path(dir, peer)).map(Stream::from)
+            };
+            match attempt {
+                Ok(s) => break s,
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("rank {rank}: bootstrap to rank {peer} timed out: {e}"),
+                    ));
+                }
+                Err(_) => std::thread::sleep(RETRY_SLEEP),
+            }
+        };
+        // Identify ourselves so the acceptor knows which rank this is.
+        let hello = Header {
+            kind: FrameKind::Hello,
+            src: rank as u32,
+            tag: 0,
+            xid: 0,
+            len: 0,
+        };
+        stream.write_all_blocking(&hello.encode())?;
+        *slot = Some(stream);
+    }
+    // 3. Accept from every higher rank; the Hello frame says who it is.
+    for _ in rank + 1..size {
+        let mut stream = listener.accept()?;
+        let mut hdr = [0u8; HEADER_LEN];
+        stream.read_exact_blocking(&mut hdr)?;
+        let hello = Header::decode(&hdr).map_err(bad_input)?;
+        if hello.kind != FrameKind::Hello {
+            return Err(bad_input(format!(
+                "rank {rank}: expected Hello, got {:?}",
+                hello.kind
+            )));
+        }
+        let peer = hello.src as usize;
+        if peer <= rank || peer >= size || streams[peer].is_some() {
+            return Err(bad_input(format!(
+                "rank {rank}: bogus Hello from rank {peer}"
+            )));
+        }
+        streams[peer] = Some(stream);
+    }
+    // 4. Switch the mesh to nonblocking; the engine owns it from here.
+    for s in streams.iter().flatten() {
+        s.set_nonblocking(true)?;
+    }
+    Ok(WireComm::new(rank, size, streams, cfg))
+}
+
+impl Stream {
+    fn write_all_blocking(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.write_all(buf),
+            Stream::Tcp(s) => s.write_all(buf),
+        }
+    }
+
+    fn read_exact_blocking(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.read_exact(buf),
+            Stream::Tcp(s) => s.read_exact(buf),
+        }
+    }
+}
+
+/// An `n`-rank world inside one process: a full `socketpair` mesh running
+/// the identical framing/protocol code. Each [`WireComm`] is `Send` —
+/// hand one to each thread.
+pub fn loopback(n: usize) -> Vec<WireComm> {
+    loopback_configured(n, WireConfig::default())
+}
+
+/// As [`loopback`] with explicit knobs (crossover, timeout).
+pub fn loopback_configured(n: usize, cfg: WireConfig) -> Vec<WireComm> {
+    assert!(n > 0);
+    let mut meshes: Vec<Vec<Option<Stream>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    // Cross-indexed assignment (meshes[a][b] and meshes[b][a]) rules out
+    // a single iter_mut traversal.
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..n {
+        for b in a + 1..n {
+            let (sa, sb) = UnixStream::pair().expect("socketpair");
+            sa.set_nonblocking(true).expect("nonblocking");
+            sb.set_nonblocking(true).expect("nonblocking");
+            meshes[a][b] = Some(Stream::from(sa));
+            meshes[b][a] = Some(Stream::from(sb));
+        }
+    }
+    meshes
+        .into_iter()
+        .enumerate()
+        .map(|(rank, streams)| WireComm::new(rank, n, streams, cfg.clone()))
+        .collect()
+}

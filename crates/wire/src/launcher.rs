@@ -1,0 +1,265 @@
+//! What `offload-run` does: spawn `-n` rank processes, wire up their
+//! `WIRE_*` environment, babysit them (prefix their stderr, kill the whole
+//! job on timeout), reap them, and report per-rank outcomes.
+//!
+//! Usage: `offload-run -n 4 [--timeout 60] [--tcp] <program> [args...]`
+//!
+//! Bare program names resolve against the cargo example/binary output
+//! directories (`target/{release,debug}/examples`, then
+//! `target/{release,debug}`), then `$PATH`; names containing `/` are used
+//! as-is.
+
+use std::io::{BufRead, BufReader};
+use std::os::unix::process::ExitStatusExt;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A parsed `offload-run` invocation.
+#[derive(Clone, Debug)]
+pub struct LaunchSpec {
+    pub n: usize,
+    pub program: PathBuf,
+    pub args: Vec<String>,
+    pub timeout: Duration,
+    pub tcp: bool,
+}
+
+/// What one rank did, for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankOutcome {
+    Exited(i32),
+    Signaled(i32),
+    TimedOut,
+}
+
+impl std::fmt::Display for RankOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankOutcome::Exited(0) => write!(f, "ok"),
+            RankOutcome::Exited(c) => write!(f, "exited with code {c}"),
+            RankOutcome::Signaled(s) => write!(f, "killed by signal {s}"),
+            RankOutcome::TimedOut => write!(f, "timed out (killed)"),
+        }
+    }
+}
+
+/// Parse CLI arguments (without the leading program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec, String> {
+    let mut it = args.into_iter();
+    let mut n: Option<usize> = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut tcp = false;
+    let mut program: Option<String> = None;
+    let mut rest = Vec::new();
+    while let Some(a) = it.next() {
+        if program.is_some() {
+            rest.push(a);
+            continue;
+        }
+        match a.as_str() {
+            "-n" | "--ranks" => {
+                let v = it.next().ok_or("-n needs a value")?;
+                n = Some(v.parse().map_err(|_| format!("bad rank count {v:?}"))?);
+            }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs seconds")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad timeout {v:?}"))?;
+                timeout = Duration::from_secs(secs);
+            }
+            "--tcp" => tcp = true,
+            "-h" | "--help" => return Err(usage()),
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}\n{}", usage())),
+            _ => program = Some(a),
+        }
+    }
+    let n = n.ok_or_else(|| format!("missing -n <ranks>\n{}", usage()))?;
+    if n == 0 {
+        return Err("-n must be at least 1".into());
+    }
+    let program = program.ok_or_else(|| format!("missing program\n{}", usage()))?;
+    Ok(LaunchSpec {
+        n,
+        program: resolve_program(&program),
+        args: rest,
+        timeout,
+        tcp,
+    })
+}
+
+fn usage() -> String {
+    "usage: offload-run -n <ranks> [--timeout <secs>] [--tcp] <program> [args...]".into()
+}
+
+/// Bare names try the cargo output dirs before falling back to `$PATH`.
+fn resolve_program(name: &str) -> PathBuf {
+    if name.contains('/') {
+        return PathBuf::from(name);
+    }
+    for dir in [
+        "target/release/examples",
+        "target/debug/examples",
+        "target/release",
+        "target/debug",
+    ] {
+        let candidate = PathBuf::from(dir).join(name);
+        if candidate.is_file() {
+            return candidate;
+        }
+    }
+    PathBuf::from(name)
+}
+
+/// Spawn, babysit, reap. Returns the process exit code `offload-run`
+/// should use: 0 iff every rank exited 0.
+pub fn launch(spec: &LaunchSpec) -> i32 {
+    let dir = std::env::temp_dir().join(format!("wire-run-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "offload-run: cannot create bootstrap dir {}: {e}",
+            dir.display()
+        );
+        return 2;
+    }
+    let mut children: Vec<Option<Child>> = Vec::with_capacity(spec.n);
+    let mut log_threads = Vec::new();
+    for rank in 0..spec.n {
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.args)
+            .env(crate::ENV_RANK, rank.to_string())
+            .env(crate::ENV_SIZE, spec.n.to_string())
+            .env(crate::ENV_DIR, &dir)
+            .stderr(Stdio::piped());
+        if spec.tcp {
+            cmd.env(crate::ENV_TCP, "1");
+        }
+        match cmd.spawn() {
+            Ok(mut child) => {
+                // Prefix each rank's stderr lines so interleaved output
+                // stays attributable.
+                if let Some(err) = child.stderr.take() {
+                    log_threads.push(std::thread::spawn(move || {
+                        for line in BufReader::new(err).lines() {
+                            match line {
+                                Ok(l) => eprintln!("[rank {rank}] {l}"),
+                                Err(_) => break,
+                            }
+                        }
+                    }));
+                }
+                children.push(Some(child));
+            }
+            Err(e) => {
+                eprintln!(
+                    "offload-run: failed to spawn rank {rank} ({}): {e}",
+                    spec.program.display()
+                );
+                // Kill whatever already started; the job cannot form.
+                for c in children.iter_mut().flatten() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+                return 2;
+            }
+        }
+    }
+    // Babysit: poll until every rank exits or the deadline passes.
+    let deadline = Instant::now() + spec.timeout;
+    let mut outcomes: Vec<Option<RankOutcome>> = vec![None; spec.n];
+    loop {
+        let mut running = 0;
+        for (rank, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot else { continue };
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    outcomes[rank] = Some(status_outcome(&status));
+                    *slot = None;
+                }
+                Ok(None) => running += 1,
+                Err(e) => {
+                    eprintln!("offload-run: wait on rank {rank} failed: {e}");
+                    outcomes[rank] = Some(RankOutcome::Exited(2));
+                    *slot = None;
+                }
+            }
+        }
+        if running == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "offload-run: timeout after {:?} — killing {running} remaining rank(s)",
+                spec.timeout
+            );
+            for (rank, slot) in children.iter_mut().enumerate() {
+                if let Some(child) = slot {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    outcomes[rank] = Some(RankOutcome::TimedOut);
+                    *slot = None;
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for t in log_threads {
+        let _ = t.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    // Report.
+    let mut code = 0;
+    for (rank, outcome) in outcomes.iter().enumerate() {
+        let outcome = outcome.as_ref().expect("every rank reaped");
+        if *outcome != RankOutcome::Exited(0) {
+            eprintln!("offload-run: rank {rank} {outcome}");
+            code = 1;
+        }
+    }
+    if code == 0 {
+        eprintln!("offload-run: all {} rank(s) ok", spec.n);
+    }
+    code
+}
+
+fn status_outcome(status: &std::process::ExitStatus) -> RankOutcome {
+    if let Some(code) = status.code() {
+        RankOutcome::Exited(code)
+    } else if let Some(sig) = status.signal() {
+        RankOutcome::Signaled(sig)
+    } else {
+        RankOutcome::Exited(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_invocation() {
+        let spec = parse_args(
+            ["-n", "4", "--timeout", "60", "--tcp", "prog", "--flag", "x"].map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(spec.n, 4);
+        assert_eq!(spec.timeout, Duration::from_secs(60));
+        assert!(spec.tcp);
+        assert_eq!(spec.args, vec!["--flag", "x"]);
+    }
+
+    #[test]
+    fn flags_after_program_go_to_the_program() {
+        let spec = parse_args(["-n", "2", "prog", "-n", "9"].map(String::from)).expect("parses");
+        assert_eq!(spec.n, 2);
+        assert_eq!(spec.args, vec!["-n", "9"]);
+    }
+
+    #[test]
+    fn rejects_missing_n_and_program() {
+        assert!(parse_args(["prog"].map(String::from)).is_err());
+        assert!(parse_args(["-n", "2"].map(String::from)).is_err());
+        assert!(parse_args(["-n", "0", "prog"].map(String::from)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! `wire` — ranks as OS processes over real sockets.
+//!
+//! This is the substrate on which the paper's asynchronous-progress problem
+//! actually exists. The in-process layer (`rtmpi`) delivers push-style: a
+//! send completes the matching receive directly, so nothing is ever pending
+//! and nobody has to poll. Here every rank is a separate process connected
+//! over Unix-domain sockets (TCP via `WIRE_TCP=1`), messages travel as
+//! length-prefixed frames, and large transfers use a real rendezvous
+//! handshake (RTS → CTS → DATA) whose state machine advances **only** when
+//! someone calls [`rtmpi::Transport::progress`] on the engine. The baseline
+//! approach polls only inside `MPI_Wait` — so a rendezvous genuinely stalls
+//! until the application waits — while the offload thread's service loop
+//! polls continuously and demonstrably completes the handshake during
+//! application compute (counted by `wire.rndv_handshake_async` vs
+//! `wire.rndv_handshake_at_wait`).
+//!
+//! Module map:
+//! * [`proto`] — the frame header and its encoding (24-byte LE prefix).
+//! * [`engine`] — [`WireComm`]: the nonblocking per-rank progress engine
+//!   (unexpected-message queue, MPI FIFO matching via [`rtmpi::MatchQueue`],
+//!   eager/rendezvous protocol, peer-death detection).
+//! * [`bootstrap`] — process worlds from `WIRE_RANK`/`WIRE_SIZE`/`WIRE_DIR`
+//!   env (rank-0 mesh exchange), and in-process loopback worlds for tests.
+//! * [`launcher`] — what the `offload-run` binary does: spawn `-n` ranks,
+//!   wire the env, babysit (stderr prefixing, timeout kill, per-rank exit
+//!   reporting), reap.
+//!
+//! Configuration (environment):
+//! * `WIRE_EAGER_MAX` — eager/rendezvous crossover in bytes (default 4096).
+//! * `WIRE_TIMEOUT_MS` — per-operation pending timeout (default 30000).
+//! * `WIRE_TCP=1` — TCP over loopback instead of Unix-domain sockets.
+
+pub mod bootstrap;
+pub mod engine;
+pub mod launcher;
+pub mod proto;
+
+pub use bootstrap::{from_env, loopback, loopback_configured};
+pub use engine::{WireComm, WireConfig, WireReq};
+
+/// Environment variable naming this process's rank (set by `offload-run`).
+pub const ENV_RANK: &str = "WIRE_RANK";
+/// Environment variable naming the world size.
+pub const ENV_SIZE: &str = "WIRE_SIZE";
+/// Environment variable naming the bootstrap directory (sockets live here).
+pub const ENV_DIR: &str = "WIRE_DIR";
+/// Eager/rendezvous crossover override, in bytes.
+pub const ENV_EAGER_MAX: &str = "WIRE_EAGER_MAX";
+/// Per-operation pending timeout override, in milliseconds.
+pub const ENV_TIMEOUT_MS: &str = "WIRE_TIMEOUT_MS";
+/// Set to `1` to use TCP over 127.0.0.1 instead of Unix-domain sockets.
+pub const ENV_TCP: &str = "WIRE_TCP";
+
+/// Is this process running under `offload-run` (i.e. as a wire rank)?
+pub fn is_wire_process() -> bool {
+    std::env::var(ENV_RANK).is_ok()
+}

@@ -1,0 +1,144 @@
+//! The wire frame format: a fixed 24-byte little-endian header, optionally
+//! followed by a payload body.
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  kind   (0 Hello, 1 Eager, 2 Rts, 3 Cts, 4 Data)
+//!      1     3  (pad, zero)
+//!      4     4  src    (sender rank, u32 LE)
+//!      8     4  tag    (message tag, u32 LE)
+//!     12     4  xid    (rendezvous exchange id, sender-assigned)
+//!     16     8  len    (payload length in bytes, u64 LE)
+//! ```
+//!
+//! `len` is the *message* length in every frame that names one: for
+//! `Eager` and `Data` it is also the body length that follows the header;
+//! for `Rts` it announces the payload the sender wants to transfer (no
+//! body); `Hello` and `Cts` carry no body and `len` is zero.
+
+/// Fixed header size on the wire.
+pub const HEADER_LEN: usize = 24;
+
+/// Frame discriminator (byte 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Bootstrap identification: `src` is the connecting rank.
+    Hello = 0,
+    /// Small message, payload inline.
+    Eager = 1,
+    /// Rendezvous request-to-send: announces `len` bytes under `tag`.
+    Rts = 2,
+    /// Rendezvous clear-to-send: receiver matched the RTS, echoes `xid`.
+    Cts = 3,
+    /// Rendezvous payload for `xid`, body inline.
+    Data = 4,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => FrameKind::Hello,
+            1 => FrameKind::Eager,
+            2 => FrameKind::Rts,
+            3 => FrameKind::Cts,
+            4 => FrameKind::Data,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    pub kind: FrameKind,
+    pub src: u32,
+    pub tag: u32,
+    pub xid: u32,
+    pub len: u64,
+}
+
+impl Header {
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0] = self.kind as u8;
+        out[4..8].copy_from_slice(&self.src.to_le_bytes());
+        out[8..12].copy_from_slice(&self.tag.to_le_bytes());
+        out[12..16].copy_from_slice(&self.xid.to_le_bytes());
+        out[16..24].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    pub fn decode(buf: &[u8; HEADER_LEN]) -> Result<Header, String> {
+        let kind = FrameKind::from_u8(buf[0])
+            .ok_or_else(|| format!("bad frame kind byte {:#x}", buf[0]))?;
+        let word = |r: std::ops::Range<usize>| {
+            u32::from_le_bytes(buf[r].try_into().expect("4-byte slice"))
+        };
+        Ok(Header {
+            kind,
+            src: word(4..8),
+            tag: word(8..12),
+            xid: word(12..16),
+            len: u64::from_le_bytes(buf[16..24].try_into().expect("8-byte slice")),
+        })
+    }
+
+    /// Bytes of body following this header on the wire.
+    pub fn body_len(&self) -> usize {
+        match self.kind {
+            FrameKind::Eager | FrameKind::Data => self.len as usize,
+            FrameKind::Hello | FrameKind::Rts | FrameKind::Cts => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Eager,
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Data,
+        ] {
+            let h = Header {
+                kind,
+                src: 3,
+                tag: 0x1234_5678,
+                xid: 42,
+                len: (1 << 33) + 7,
+            };
+            let enc = h.encode();
+            assert_eq!(Header::decode(&enc).expect("decodes"), h);
+        }
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0] = 9;
+        assert!(Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn body_len_by_kind() {
+        let mut h = Header {
+            kind: FrameKind::Rts,
+            src: 0,
+            tag: 0,
+            xid: 0,
+            len: 1000,
+        };
+        assert_eq!(h.body_len(), 0, "RTS announces but carries no body");
+        h.kind = FrameKind::Eager;
+        assert_eq!(h.body_len(), 1000);
+        h.kind = FrameKind::Data;
+        assert_eq!(h.body_len(), 1000);
+        h.kind = FrameKind::Cts;
+        assert_eq!(h.body_len(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of `offload-run` driving real rank processes over
+//! Unix-domain sockets, using the `wire-victim` fixture binary.
+//!
+//! These spawn child processes (cargo provides the binary paths via
+//! `CARGO_BIN_EXE_*`), so they are integration tests, excluded from the
+//! Miri and model-checker lanes by construction (those run lib tests of
+//! other crates only).
+
+use std::process::Command;
+
+fn offload_run() -> &'static str {
+    env!("CARGO_BIN_EXE_offload-run")
+}
+
+fn victim() -> &'static str {
+    env!("CARGO_BIN_EXE_wire-victim")
+}
+
+#[test]
+fn four_ranks_ring_exchange_over_uds() {
+    let out = Command::new(offload_run())
+        .args(["-n", "4", "--timeout", "60", victim()])
+        .env("WIRE_VICTIM_MODE", "ok")
+        .output()
+        .expect("offload-run spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "launcher failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    for r in 0..4 {
+        assert!(
+            stdout.contains(&format!("rank {r} ok")),
+            "rank {r} missing from output:\n{stdout}\nstderr:\n{stderr}"
+        );
+    }
+    assert!(
+        stderr.contains("all 4 rank(s) ok"),
+        "summary line:\n{stderr}"
+    );
+}
+
+#[test]
+fn two_ranks_over_tcp() {
+    let out = Command::new(offload_run())
+        .args(["-n", "2", "--timeout", "60", "--tcp", victim()])
+        .env("WIRE_VICTIM_MODE", "ok")
+        .output()
+        .expect("offload-run spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "tcp launcher failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("rank 0 ok") && stdout.contains("rank 1 ok"));
+}
+
+/// The robustness satellite: a rank SIGKILLed mid-rendezvous must surface
+/// as `PeerLost` on its peers within the configured timeout (not a hang),
+/// and the launcher must name the failed rank.
+#[test]
+fn sigkilled_rank_mid_rendezvous_reports_peer_lost() {
+    let out = Command::new(offload_run())
+        .args(["-n", "2", "--timeout", "60", victim()])
+        .env("WIRE_VICTIM_MODE", "kill")
+        // Keep the backstop well under the launcher timeout so a detection
+        // failure shows as the rank erroring out, not the job timing out.
+        .env("WIRE_TIMEOUT_MS", "10000")
+        .output()
+        .expect("offload-run spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Rank 0 saw the death as a clean PeerLost error…
+    assert!(
+        stdout.contains("peer lost detected: rank 1"),
+        "rank 0 did not observe PeerLost\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // …the launcher reports the victim (killed by SIGKILL = signal 9)…
+    assert!(
+        stderr.contains("rank 1 killed by signal 9"),
+        "launcher did not attribute the death\nstderr:\n{stderr}"
+    );
+    // …and the job as a whole is reported as failed.
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+}
+
+/// A job that outlives `--timeout` is killed and reported, not left
+/// wedged: one rank bootstraps and then sleeps forever.
+#[test]
+fn hung_job_is_killed_at_timeout() {
+    let out = Command::new(offload_run())
+        .args(["-n", "2", "--timeout", "3", victim()])
+        .env("WIRE_VICTIM_MODE", "hang")
+        .output()
+        .expect("offload-run spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("timed out"),
+        "timeout not reported\nstderr:\n{stderr}"
+    );
+}

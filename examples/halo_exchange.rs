@@ -8,6 +8,14 @@
 //! Run: `cargo run --release --example halo_exchange`
 //! Trace: `cargo run --release --example halo_exchange -- --trace halo.json`
 //! then open the JSON in <https://ui.perfetto.dev>.
+//!
+//! **Multi-process mode:** under the wire launcher each rank is an OS
+//! process over real Unix-domain sockets, and the same comparison runs on
+//! the live strategies (baseline / iprobe / offload over
+//! `approaches::live`): `offload-run -n 4 halo_exchange`. With
+//! `--trace <prefix>` every rank dumps `<prefix>-rankN.json`; the files
+//! merge into one timeline (`harness::merge_traces`) because each rank
+//! occupies its own pid row.
 
 use approaches::{run_approach_traced, AnyComm, Approach, Comm};
 use harness::Table;
@@ -16,6 +24,67 @@ use simnet::MachineProfile;
 
 const FACE_BYTES: usize = 512 * 1024; // rendezvous regime
 const COMPUTE_NS: u64 = 2_000_000; // 2 ms internal volume
+
+/// Face size for the live (socket) panel: still far above the eager
+/// crossover, small enough that the ci smoke lane stays quick.
+const WIRE_FACE_BYTES: usize = 256 * 1024;
+const WIRE_ITERS: usize = 4;
+
+/// One rank of the multi-process panel (we are inside `offload-run`).
+/// Ranks pair up (0↔1, 2↔3, …) and run the §4.1 overlap measurement
+/// under each live strategy sequentially over the same socket mesh.
+fn wire_main() {
+    let transport = match wire::from_env() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("halo_exchange: wire bootstrap failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    use rtmpi::Transport as _;
+    let (rank, size) = (transport.rank(), transport.size());
+    assert!(
+        size >= 2 && size % 2 == 0,
+        "wire mode pairs ranks; use an even -n"
+    );
+    let peer = rank ^ 1;
+
+    let trace_prefix = harness::trace_path_from_args();
+    let recorder = if trace_prefix.is_some() {
+        obs::Recorder::wall()
+    } else {
+        obs::Recorder::disabled()
+    };
+    let track = recorder.track(0, 0, "approach phases");
+
+    let mut rows = Vec::new();
+    let mut t = transport;
+    for approach in approaches::live::LiveApproach::ALL {
+        let t0 = recorder.now_ns();
+        let (row, back) = harness::live_overlap(approach, t, peer, WIRE_FACE_BYTES, WIRE_ITERS);
+        t = back;
+        track.complete_at(approach.name(), t0, recorder.now_ns());
+        rows.push(row);
+    }
+
+    if let Some(prefix) = &trace_prefix {
+        harness::dump_trace_prefixed(&recorder, &prefix.display().to_string(), rank);
+    }
+    if rank == 0 {
+        println!(
+            "== live halo exchange over the wire: {} faces, {} ranks (this pair: 0↔1) ==",
+            harness::fmt_bytes(WIRE_FACE_BYTES),
+            size
+        );
+        harness::live_overlap_table(&rows).print("rank 0 observed");
+        println!(
+            "\nrndv@wait counts rendezvous handshakes that had to wait for the\n\
+             application to reach MPI; rndv async counts handshakes a progress\n\
+             actor completed during compute. Baseline is all @wait, offload is\n\
+             all async — and its wait time collapses accordingly."
+        );
+    }
+}
 
 type IterOut = ((u64, u64, u64), obs::Snapshot, Option<obs::Snapshot>);
 
@@ -47,6 +116,9 @@ async fn stencil_iteration(comm: AnyComm) -> IterOut {
 }
 
 fn main() {
+    if wire::is_wire_process() {
+        return wire_main();
+    }
     let trace_path = harness::trace_path_from_args();
     println!(
         "== halo exchange, {} faces, {} ms compute, 8 ranks (Endeavor Xeon model) ==",

@@ -37,7 +37,7 @@ fn main() {
                 let left = (me + h.size() - 1) % h.size();
                 let rx = h.irecv(Some(left), Some(1));
                 let t0 = Instant::now();
-                let tx = h.isend(right, 1, Arc::new(vec![me as u8; 1 << 20]));
+                let tx = h.isend(right, 1, Arc::from(vec![me as u8; 1 << 20]));
                 let post = t0.elapsed();
                 // The 1 MiB isend returned without copying or blocking:
                 let sent = h.wait(tx);
@@ -87,7 +87,7 @@ fn main() {
             let h = h0.clone();
             thread::spawn(move || {
                 for i in 0..100 {
-                    h.send(1, t, Arc::new(vec![(i % 256) as u8]));
+                    h.send(1, t, Arc::from(vec![(i % 256) as u8]));
                 }
             })
         })

@@ -41,9 +41,9 @@
 //! let h1 = ranks[1].handle();
 //! let t = std::thread::spawn(move || {
 //!     let (_, data) = h1.recv(Some(0), Some(7));
-//!     data.as_ref().clone()
+//!     data.to_vec()
 //! });
-//! h0.send(1, 7, Arc::new(vec![1, 2, 3]));
+//! h0.send(1, 7, Arc::from(vec![1, 2, 3]));
 //! assert_eq!(t.join().unwrap(), vec![1, 2, 3]);
 //! for r in ranks {
 //!     r.finalize();

@@ -213,3 +213,127 @@ fn core_spec_concurrent_pollers_preserve_message_order() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The same matching contract against the *wire* backend: real sockets
+// (loopback pairs in-process), MPI-style FIFO (source, tag) matching with
+// wildcards, 2–4 ranks, payloads on both sides of the eager/rendezvous
+// crossover.
+// ---------------------------------------------------------------------------
+
+mod wire_matrix {
+    use approaches::live::{LiveApproach, LiveComm};
+    use rtmpi::Transport;
+    use std::sync::Arc;
+
+    /// Distinguishable payload: sender rank, sequence number, size regime.
+    fn payload(src: usize, seq: u8, len: usize) -> Arc<[u8]> {
+        let mut v = vec![seq; len];
+        v[0] = src as u8;
+        Arc::from(v)
+    }
+
+    /// Every (wildcard × exact) combination of source and tag filters, with
+    /// FIFO order within each (source, tag) stream. Rank 0 receives, every
+    /// other rank sends three messages (tags 1, 2, 1 — in that order) whose
+    /// sizes straddle the eager crossover.
+    fn wildcard_matrix(n: usize, eager: usize) {
+        let world = wire::loopback(n);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let small = 64;
+                    let big = eager * 4; // rendezvous regime
+                    let mut c = LiveComm::start(LiveApproach::Baseline, t);
+                    let (r, n) = (c.rank(), c.size());
+                    if r != 0 {
+                        // Sequence per sender: tag 1 (eager), tag 2
+                        // (rendezvous), tag 1 again (rendezvous).
+                        c.send(0, 1, payload(r, 10, small)).expect("send 1");
+                        c.send(0, 2, payload(r, 20, big)).expect("send 2");
+                        c.send(0, 1, payload(r, 30, big)).expect("send 3");
+                        // Ack ensures the world stays up until rank 0 is done.
+                        c.recv(Some(0), Some(9)).expect("ack");
+                        return;
+                    }
+                    // Phase A — exact source, wildcard tag: must deliver each
+                    // sender's FIFO-first message (tag 1, seq 10).
+                    for s in 1..n {
+                        let (st, d) = c.recv(Some(s), None).expect("recv A");
+                        assert_eq!((st.source, st.tag, st.len), (s, 1, small));
+                        assert_eq!((d[0] as usize, d[1]), (s, 10));
+                    }
+                    // Phase B — wildcard source, exact tag: the tag-2
+                    // rendezvous messages, one per sender, any order.
+                    let mut seen = vec![false; n];
+                    for _ in 1..n {
+                        let (st, d) = c.recv(None, Some(2)).expect("recv B");
+                        assert_eq!((st.tag, st.len), (2, big));
+                        assert_eq!((d[0] as usize, d[1]), (st.source, 20));
+                        assert!(!seen[st.source], "duplicate source {}", st.source);
+                        seen[st.source] = true;
+                    }
+                    assert!(seen[1..].iter().all(|&s| s), "all senders matched");
+                    // Phase C — full wildcard: only the trailing tag-1
+                    // messages remain; FIFO within each sender's stream
+                    // means these are the seq-30 payloads.
+                    for _ in 1..n {
+                        let (st, d) = c.recv(None, None).expect("recv C");
+                        assert_eq!((st.tag, st.len), (1, big));
+                        assert_eq!((d[0] as usize, d[1]), (st.source, 30));
+                    }
+                    for s in 1..n {
+                        c.send(s, 9, payload(0, 0, 1)).expect("ack");
+                    }
+                    // Everything consumed: iprobe on the reclaimed
+                    // transport finds nothing buffered.
+                    let mut t = c.finalize();
+                    assert!(t.iprobe(None, None).is_none());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread");
+        }
+    }
+
+    #[test]
+    fn wildcard_matrix_over_wire_2_to_4_ranks() {
+        for n in 2..=4 {
+            // Default crossover (4096) keeps small/big on opposite sides.
+            wildcard_matrix(n, 4096);
+        }
+    }
+
+    /// A receive posted *before* anything arrives must match the first
+    /// frame its filters accept, not a later one — posted-order matching
+    /// against live socket delivery.
+    #[test]
+    fn posted_wildcards_match_in_post_order() {
+        let world = wire::loopback(2);
+        let mut it = world.into_iter();
+        let receiver = it.next().expect("rank 0");
+        let sender = it.next().expect("rank 1");
+        let rx_thread = std::thread::spawn(move || {
+            let mut c = LiveComm::start(LiveApproach::Baseline, receiver);
+            // Two wildcard receives posted before any data exists: they
+            // must resolve in post order against the sender's FIFO.
+            let r1 = c.irecv(None, None);
+            let r2 = c.irecv(Some(1), Some(5));
+            let (st1, d1) = c.wait(r1).expect("first").expect("payload");
+            let (st2, d2) = c.wait(r2).expect("second").expect("payload");
+            assert_eq!((st1.tag, d1[1]), (5, 1));
+            assert_eq!((st2.tag, d2[1]), (5, 2));
+            c.send(1, 9, payload(0, 0, 1)).expect("ack");
+        });
+        let tx_thread = std::thread::spawn(move || {
+            let mut c = LiveComm::start(LiveApproach::Baseline, sender);
+            c.send(0, 5, payload(1, 1, 8000)).expect("send 1");
+            c.send(0, 5, payload(1, 2, 64)).expect("send 2");
+            c.recv(Some(0), Some(9)).expect("ack");
+        });
+        rx_thread.join().expect("receiver");
+        tx_thread.join().expect("sender");
+    }
+}

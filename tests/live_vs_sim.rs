@@ -30,7 +30,7 @@ fn live_offload_runs_the_program() {
                 let right = (me + 1) % h.size();
                 let left = (me + h.size() - 1) % h.size();
                 let rx = h.irecv(Some(left), Some(1));
-                h.send(right, 1, Arc::new(vec![me as u8]));
+                h.send(right, 1, Arc::from(vec![me as u8]));
                 let (_, data) = match h.wait(rx) {
                     offload::Completion::Received(st, d) => (st, d),
                     other => panic!("{other:?}"),
