@@ -30,6 +30,22 @@ echo "== multi-process wire smoke (4 ranks over UDS) =="
 timeout 60 target/release/offload-run -n 4 --timeout 50 halo_exchange \
   || { echo "wire smoke lane FAILED"; exit 1; }
 
+# Cluster observability smoke: the same panel with the stats plane on.
+# Every rank ships periodic snapshots to the launcher, which writes the
+# aggregated JSON report; stats-check gates on all 4 ranks being present
+# and every rank showing asynchronously-completed rendezvous handshakes
+# (the offload phase's signature — WIRE_EAGER_MAX keeps the faces on the
+# rendezvous path regardless of the example's message sizing).
+echo
+echo "== cluster stats plane smoke (4 ranks, aggregated JSON report) =="
+timeout 60 env WIRE_EAGER_MAX=4096 \
+  target/release/offload-run -n 4 --timeout 50 \
+  --stats-interval 50 --stats-out /tmp/stats.json halo_exchange \
+  || { echo "stats plane lane FAILED (launch)"; exit 1; }
+target/release/stats-check /tmp/stats.json --ranks 4 \
+  --positive wire.rndv_handshake_async \
+  || { echo "stats plane lane FAILED (report validation)"; exit 1; }
+
 if cargo fmt --version >/dev/null 2>&1; then
   run cargo fmt --all -- --check
 else

@@ -501,6 +501,10 @@ fn offload_main<T: Transport>(
     let service_iters = reg.counter("offload.service_iters");
     let progress_polls = reg.counter("offload.progress_polls");
     let op_timeouts = reg.counter("offload.op_timeouts");
+    // Consecutive service iterations with work in flight but no
+    // advancement; the high-water mark is this loop's stall evidence
+    // (the offload-side complement of the engine's stall watchdog).
+    let no_advance_streak = reg.gauge("offload.no_advance_streak");
     let idle_backoff = BackoffMetrics {
         spins: reg.counter("offload.idle_spins"),
         yields: reg.counter("offload.idle_yields"),
@@ -518,6 +522,7 @@ fn offload_main<T: Transport>(
     let mut nbcs: Vec<LiveNbc<T::Req>> = Vec::new();
     let mut coll_seq: u32 = 0;
     let mut open = true;
+    let mut streak: u64 = 0;
     loop {
         let mut advanced = false;
         // Clock reads only happen on transports with a configured timeout
@@ -645,6 +650,10 @@ fn offload_main<T: Transport>(
         }
         if advanced {
             service_iters.inc();
+            if streak != 0 {
+                streak = 0;
+                no_advance_streak.set(0);
+            }
         } else if inflight.is_empty() && nbcs.is_empty() && loose_sends.is_empty() {
             // Fully idle: nothing in flight needs polling, so the only
             // possible wake source is a new command — park on the doorbell
@@ -658,6 +667,8 @@ fn offload_main<T: Transport>(
             // Work is in flight but did not advance: completion depends on
             // peers (push-style mailboxes) or on polling the sockets, so
             // this thread must keep polling — bounded yield, never park.
+            streak += 1;
+            no_advance_streak.set(streak);
             idle_backoff.yields.inc();
             std::thread::yield_now();
         }

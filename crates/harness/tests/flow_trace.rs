@@ -1,0 +1,89 @@
+//! Acceptance test for cross-rank rendezvous flow tracing: a 4-rank wire
+//! world (in-process loopback sockets, the same framing/protocol code the
+//! multi-process panel runs) does rendezvous exchanges with a flow track
+//! attached to every engine; the per-rank Chrome traces are merged the
+//! same way `offload-run … --trace` output is, and the merged document
+//! must contain a matched `ph:"s"`/`ph:"f"` pair for every rendezvous —
+//! start on the sender's rank row, finish on the receiver's.
+#![cfg(feature = "obs-enabled")]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtmpi::{OpOutcome, Transport};
+
+const RANKS: usize = 4;
+const PAYLOAD: usize = 32 * 1024; // far above the test eager crossover
+
+#[test]
+fn merged_trace_pairs_every_rendezvous_flow() {
+    let cfg = wire::WireConfig {
+        eager_max: 64, // force the rendezvous path
+        ..wire::WireConfig::default()
+    };
+    let world = wire::loopback_configured(RANKS, cfg);
+    let mut handles = Vec::new();
+    for (rank, mut comm) in world.into_iter().enumerate() {
+        handles.push(std::thread::spawn(move || {
+            let recorder = obs::Recorder::wall();
+            comm.set_flow_track(recorder.track(0, 1, "wire rendezvous"));
+            // Pairwise halo: r ↔ r^1, one rendezvous each way.
+            let peer = rank ^ 1;
+            let payload: Vec<u8> = (0..PAYLOAD).map(|i| (i as u8) ^ (rank as u8)).collect();
+            let s = comm.isend(peer, 1, Arc::from(payload));
+            let r = comm.irecv(Some(peer), Some(1));
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let (mut sent, mut got) = (false, false);
+            while !(sent && got) {
+                comm.progress();
+                if !sent && comm.try_take(&s).is_some() {
+                    sent = true;
+                }
+                if !got {
+                    if let Some(out) = comm.try_take(&r) {
+                        match out {
+                            Ok(OpOutcome::Received(st, _)) => assert_eq!(st.len, PAYLOAD),
+                            other => panic!("rank {rank}: recv failed: {other:?}"),
+                        }
+                        got = true;
+                    }
+                }
+                assert!(Instant::now() < deadline, "rank {rank} wedged");
+                std::thread::yield_now();
+            }
+            // Same per-rank pid stamping the multi-process panel uses.
+            recorder.set_process(rank as u32, &format!("rank {rank}"));
+            recorder.to_chrome_json()
+        }));
+    }
+    let docs: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread"))
+        .collect();
+    let merged = harness::merge_traces(docs.iter().map(String::as_str));
+    let events = obs::chrome::validate_chrome_trace(&merged).expect("merged trace valid");
+    let matched = obs::chrome::check_flow_pairs(&events).expect("every flow id pairs up");
+    assert_eq!(
+        matched, RANKS,
+        "one matched s/f flow per rendezvous send:\n{merged}"
+    );
+    // The arrows genuinely cross rank rows: for at least one flow id the
+    // start and finish sit on different pids.
+    let mut cross_rank = false;
+    let mut starts = std::collections::BTreeMap::new();
+    for ev in &events {
+        if ev.ph == "s" {
+            starts.insert(ev.id.expect("flow id"), ev.pid);
+        }
+    }
+    for ev in &events {
+        if ev.ph == "f" {
+            if let Some(&start_pid) = starts.get(&ev.id.expect("flow id")) {
+                if start_pid != ev.pid {
+                    cross_rank = true;
+                }
+            }
+        }
+    }
+    assert!(cross_rank, "flows connect different rank rows:\n{merged}");
+}

@@ -79,20 +79,42 @@ fn emit_tracks(rec: &Recorder, out: &mut String, first: &mut bool) {
         out.push_str(&format!("\",\"dropped\":{dropped}}}}}"));
         for ev in t.events.lock().expect("obs track ring").iter() {
             sep(out);
-            if ev.dur_ns == 0 {
-                out.push_str(&format!(
-                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":",
-                    pid, t.tid
-                ));
-                push_ts(out, ev.ts_ns);
-            } else {
-                out.push_str(&format!(
-                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":",
-                    pid, t.tid
-                ));
-                push_ts(out, ev.ts_ns);
-                out.push_str(",\"dur\":");
-                push_ts(out, ev.dur_ns);
+            match ev.flow {
+                crate::trace::FlowPhase::None if ev.dur_ns == 0 => {
+                    out.push_str(&format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":",
+                        pid, t.tid
+                    ));
+                    push_ts(out, ev.ts_ns);
+                }
+                crate::trace::FlowPhase::None => {
+                    out.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":",
+                        pid, t.tid
+                    ));
+                    push_ts(out, ev.ts_ns);
+                    out.push_str(",\"dur\":");
+                    push_ts(out, ev.dur_ns);
+                }
+                flow => {
+                    // Causal flow events: `bp:"e"` binds the arrow end to
+                    // the enclosing slice so Perfetto draws it even when
+                    // the finish lands between slices.
+                    let ph = match flow {
+                        crate::trace::FlowPhase::Start => "s",
+                        crate::trace::FlowPhase::Step => "t",
+                        _ => "f",
+                    };
+                    out.push_str(&format!("{{\"ph\":\"{ph}\","));
+                    if ph == "f" {
+                        out.push_str("\"bp\":\"e\",");
+                    }
+                    out.push_str(&format!(
+                        "\"cat\":\"flow\",\"id\":{},\"pid\":{},\"tid\":{},\"ts\":",
+                        ev.flow_id, pid, t.tid
+                    ));
+                    push_ts(out, ev.ts_ns);
+                }
             }
             out.push_str(",\"name\":\"");
             escape_into(out, ev.name);
@@ -305,6 +327,8 @@ pub struct ChromeEvent {
     pub dur_us: Option<f64>,
     pub pid: u32,
     pub tid: u32,
+    /// Flow binding id (`ph` is `s`/`t`/`f`), absent on ordinary events.
+    pub id: Option<u64>,
 }
 
 /// Structural validation of a Chrome trace document: a top-level object
@@ -348,6 +372,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
         if ts < 0.0 {
             return Err(format!("event {i}: negative ts"));
         }
+        if matches!(ph, "s" | "t" | "f") && ev.get("id").is_none() {
+            return Err(format!("event {i}: flow event without an `id`"));
+        }
         out.push(ChromeEvent {
             name: name.to_string(),
             ph: ph.to_string(),
@@ -355,6 +382,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
             dur_us: ev.get("dur").and_then(Json::as_num),
             pid: pid as u32,
             tid: tid as u32,
+            id: ev.get("id").and_then(Json::as_num).map(|n| n as u64),
         });
     }
     Ok(out)
@@ -380,6 +408,33 @@ pub fn check_monotone_per_track(events: &[ChromeEvent]) -> Result<(), String> {
         last.insert(key, ev.ts_us);
     }
     Ok(())
+}
+
+/// Assert that every flow id with a `ph:"s"` start also has a `ph:"f"`
+/// finish and vice versa — a dangling arrow means a protocol exchange was
+/// recorded half-done. Returns the number of distinct matched flows.
+pub fn check_flow_pairs(events: &[ChromeEvent]) -> Result<usize, String> {
+    let mut starts: std::collections::BTreeSet<u64> = Default::default();
+    let mut finishes: std::collections::BTreeSet<u64> = Default::default();
+    for ev in events {
+        let Some(id) = ev.id else { continue };
+        match ev.ph.as_str() {
+            "s" => {
+                starts.insert(id);
+            }
+            "f" => {
+                finishes.insert(id);
+            }
+            _ => {}
+        }
+    }
+    if let Some(id) = starts.difference(&finishes).next() {
+        return Err(format!("flow {id:#x} started but never finished"));
+    }
+    if let Some(id) = finishes.difference(&starts).next() {
+        return Err(format!("flow {id:#x} finished but never started"));
+    }
+    Ok(starts.len())
 }
 
 #[cfg(test)]
@@ -455,6 +510,41 @@ mod tests {
             "process_name metadata present"
         );
         assert!(json.contains("rank 3 (pid 4711)"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn flow_events_roundtrip_with_ids_and_pair_up() {
+        let rec = Recorder::wall();
+        let sender = rec.track(0, 1, "rank0");
+        let receiver = rec.track(1, 2, "rank1");
+        sender.flow_start("rndv", 0xdead_0001);
+        receiver.flow_step("rndv", 0xdead_0001);
+        receiver.flow_finish("rndv", 0xdead_0001);
+        let events = validate_chrome_trace(&rec.to_chrome_json()).expect("valid");
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.ph.as_str(), "s" | "t" | "f"))
+            .collect();
+        assert_eq!(flows.len(), 3);
+        assert!(flows.iter().all(|e| e.id == Some(0xdead_0001)));
+        assert_eq!(check_flow_pairs(&events).expect("paired"), 1);
+    }
+
+    #[test]
+    fn dangling_flow_is_rejected() {
+        let one = |ph: &str| ChromeEvent {
+            name: "rndv".into(),
+            ph: ph.into(),
+            ts_us: 1.0,
+            dur_us: None,
+            pid: 0,
+            tid: 0,
+            id: Some(9),
+        };
+        assert!(check_flow_pairs(&[one("s")]).is_err(), "unfinished");
+        assert!(check_flow_pairs(&[one("f")]).is_err(), "unstarted");
+        assert_eq!(check_flow_pairs(&[one("s"), one("f")]), Ok(1));
     }
 
     #[cfg(feature = "enabled")]

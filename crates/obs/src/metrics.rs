@@ -106,7 +106,9 @@ impl Snapshot {
     }
 
     /// `(name, formatted value)` pairs for report rendering, skipping
-    /// zero-valued counters and empty histograms.
+    /// zero-valued counters and empty histograms. Globally sorted by
+    /// metric name (not grouped by metric type) so rendered tables are
+    /// byte-stable across runs and diffable.
     pub fn render_lines(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for (k, v) in &self.counters {
@@ -129,9 +131,122 @@ impl Snapshot {
                 ));
             }
         }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
+
+    /// Compact binary serialization for shipping a snapshot over the wire
+    /// (the cluster stats plane). Little-endian, length-prefixed strings,
+    /// no external dependencies; round-trips exactly through
+    /// [`Snapshot::from_bytes`], including histogram buckets.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            let b = s.as_bytes();
+            out.extend_from_slice(&(b.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            out.extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
+        }
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (k, v) in &self.counters {
+            put_str(&mut out, k);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (k, g) in &self.gauges {
+            put_str(&mut out, k);
+            out.extend_from_slice(&g.value.to_le_bytes());
+            out.extend_from_slice(&g.high_water.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for (k, h) in &self.histograms {
+            put_str(&mut out, k);
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+            for &(ub, n) in &h.buckets {
+                out.extend_from_slice(&ub.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Snapshot::to_bytes`]. Tolerant of nothing: any
+    /// truncation, bad magic, or invalid UTF-8 is an error (stats frames
+    /// cross a process boundary, so corrupt input must not panic).
+    pub fn from_bytes(buf: &[u8]) -> Result<Snapshot, String> {
+        struct Rd<'a>(&'a [u8], usize);
+        impl Rd<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                let s = self
+                    .0
+                    .get(self.1..self.1 + n)
+                    .ok_or_else(|| format!("snapshot truncated at byte {}", self.1))?;
+                self.1 += n;
+                Ok(s)
+            }
+            fn u16(&mut self) -> Result<u16, String> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2B")))
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+            }
+            fn string(&mut self) -> Result<String, String> {
+                let n = self.u16()? as usize;
+                std::str::from_utf8(self.take(n)?)
+                    .map(str::to_string)
+                    .map_err(|_| "snapshot name not UTF-8".to_string())
+            }
+        }
+        let mut rd = Rd(buf, 0);
+        if rd.take(SNAP_MAGIC.len())? != SNAP_MAGIC {
+            return Err("bad snapshot magic".into());
+        }
+        let mut snap = Snapshot::default();
+        for _ in 0..rd.u32()? {
+            let k = rd.string()?;
+            snap.counters.insert(k, rd.u64()?);
+        }
+        for _ in 0..rd.u32()? {
+            let k = rd.string()?;
+            let reading = GaugeReading {
+                value: rd.u64()?,
+                high_water: rd.u64()?,
+            };
+            snap.gauges.insert(k, reading);
+        }
+        for _ in 0..rd.u32()? {
+            let k = rd.string()?;
+            let count = rd.u64()?;
+            let sum = rd.u64()?;
+            let nb = rd.u32()? as usize;
+            let mut buckets = Vec::with_capacity(nb.min(65));
+            for _ in 0..nb {
+                buckets.push((rd.u64()?, rd.u64()?));
+            }
+            snap.histograms.insert(
+                k,
+                HistogramReading {
+                    count,
+                    sum,
+                    buckets,
+                },
+            );
+        }
+        if rd.1 != buf.len() {
+            return Err(format!("snapshot has {} trailing bytes", buf.len() - rd.1));
+        }
+        Ok(snap)
+    }
 }
+
+/// Magic prefix of the [`Snapshot::to_bytes`] format (version bumps the
+/// digit).
+const SNAP_MAGIC: &[u8; 4] = b"OBS1";
 
 #[cfg(feature = "enabled")]
 mod imp {
@@ -260,7 +375,9 @@ mod imp {
                 .filter_map(|(i, b)| {
                     let n = b.load(Relaxed);
                     (n > 0).then(|| {
-                        let ub = if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+                        // Subtract in u128: `(1 << 64) as u64 - 1` would
+                        // truncate to 0 first and underflow for bucket 64.
+                        let ub = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
                         (ub, n)
                     })
                 })
@@ -470,6 +587,80 @@ mod tests {
         assert_eq!(r.buckets[0], (0, 1));
         assert_eq!(r.buckets[1], (1, 2));
         assert!(r.mean() > 200.0);
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_first_and_last_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record(0);
+        h.record(u64::MAX);
+        let r = reg.snapshot().histogram("lat");
+        assert_eq!(r.count, 2);
+        assert_eq!(r.sum, u64::MAX); // 0 + MAX
+        assert_eq!(r.buckets.len(), 2);
+        // Zeros occupy the dedicated first bucket (upper bound 0)…
+        assert_eq!(r.buckets[0], (0, 1));
+        // …and u64::MAX the 65th bucket, whose inclusive upper bound is
+        // u64::MAX itself ((1u128 << 64) - 1 truncated to u64).
+        assert_eq!(r.buckets[1], (u64::MAX, 1));
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip_exactly() {
+        let reg = Registry::new();
+        reg.counter("wire.bytes_tx").add(123_456_789);
+        reg.counter("zero"); // zero-valued counters survive the roundtrip
+        let g = reg.gauge("pool.occupancy");
+        g.set(7);
+        g.sub(3);
+        let h = reg.histogram("lat");
+        for v in [0u64, 1, 900, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).expect("roundtrip");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        // The extremes are still in the first/last bucket after the trip.
+        let hist = back.histogram("lat");
+        assert_eq!(hist.buckets.first(), Some(&(0u64, 1u64)));
+        assert_eq!(hist.buckets.last(), Some(&(u64::MAX, 1u64)));
+    }
+
+    #[test]
+    fn snapshot_from_bytes_rejects_corrupt_input() {
+        let snap = {
+            let reg = Registry::new();
+            reg.counter("c").inc();
+            reg.snapshot()
+        };
+        let good = snap.to_bytes();
+        assert!(Snapshot::from_bytes(&[]).is_err(), "empty");
+        assert!(Snapshot::from_bytes(b"NOPE").is_err(), "bad magic");
+        assert!(
+            Snapshot::from_bytes(&good[..good.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Snapshot::from_bytes(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn render_lines_sorted_by_name_across_metric_types() {
+        let reg = Registry::new();
+        reg.counter("zebra").inc();
+        reg.gauge("alpha").set(1);
+        reg.histogram("m.middle").record(5);
+        reg.counter("b.count").inc();
+        let lines = reg.snapshot().render_lines();
+        let names: Vec<&str> = lines.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "render_lines not sorted: {names:?}");
+        assert_eq!(names, vec!["alpha", "b.count", "m.middle", "zebra"]);
     }
 
     #[test]

@@ -27,19 +27,35 @@ pub enum Clock {
     Virtual,
 }
 
+/// Which role an event plays in a cross-track causal flow (Chrome
+/// `ph:"s"/"t"/"f"` events, drawn as arrows between tracks in Perfetto).
+/// `None` is an ordinary instant/span event.
+#[cfg(feature = "enabled")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FlowPhase {
+    None,
+    Start,
+    Step,
+    Finish,
+}
+
 /// One recorded event. `dur_ns == 0` renders as an instant, otherwise as a
-/// complete span.
+/// complete span; a non-`None` flow phase renders as a flow event bound to
+/// `flow_id` (arrows survive multi-process trace merging because the id is
+/// globally keyed by the caller).
 #[cfg(feature = "enabled")]
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Event {
     pub name: &'static str,
     pub ts_ns: u64,
     pub dur_ns: u64,
+    pub flow: FlowPhase,
+    pub flow_id: u64,
 }
 
 #[cfg(feature = "enabled")]
 mod imp {
-    use super::{Clock, Event};
+    use super::{Clock, Event, FlowPhase};
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
     use std::sync::{Arc, Mutex};
@@ -216,6 +232,8 @@ mod imp {
                     name,
                     ts_ns: rec.epoch.elapsed().as_nanos() as u64,
                     dur_ns: 0,
+                    flow: FlowPhase::None,
+                    flow_id: 0,
                 });
             }
         }
@@ -227,6 +245,8 @@ mod imp {
                     name,
                     ts_ns,
                     dur_ns: 0,
+                    flow: FlowPhase::None,
+                    flow_id: 0,
                 });
             }
         }
@@ -239,8 +259,41 @@ mod imp {
                     name,
                     ts_ns: start_ns,
                     dur_ns: end_ns.saturating_sub(start_ns),
+                    flow: FlowPhase::None,
+                    flow_id: 0,
                 });
             }
+        }
+
+        fn flow(&self, name: &'static str, phase: FlowPhase, id: u64) {
+            if let Some(rec) = &self.rec {
+                self.push(Event {
+                    name,
+                    ts_ns: rec.epoch.elapsed().as_nanos() as u64,
+                    dur_ns: 0,
+                    flow: phase,
+                    flow_id: id,
+                });
+            }
+        }
+
+        /// Open a causal flow (Chrome `ph:"s"`), wall-clock stamped. `id`
+        /// binds the start to later [`Track::flow_step`] /
+        /// [`Track::flow_finish`] events, possibly on other tracks or —
+        /// after trace merging — other processes, so pick an id that is
+        /// globally unique across the whole job.
+        pub fn flow_start(&self, name: &'static str, id: u64) {
+            self.flow(name, FlowPhase::Start, id);
+        }
+
+        /// Intermediate hop of flow `id` (Chrome `ph:"t"`).
+        pub fn flow_step(&self, name: &'static str, id: u64) {
+            self.flow(name, FlowPhase::Step, id);
+        }
+
+        /// Terminate flow `id` (Chrome `ph:"f"` with `bp:"e"`).
+        pub fn flow_finish(&self, name: &'static str, id: u64) {
+            self.flow(name, FlowPhase::Finish, id);
         }
 
         /// RAII wall-clock span: records a complete event on drop.
@@ -276,6 +329,8 @@ mod imp {
                         name: self.name,
                         ts_ns: self.start_ns,
                         dur_ns: end.saturating_sub(self.start_ns),
+                        flow: FlowPhase::None,
+                        flow_id: 0,
                     });
                 }
             }
@@ -341,6 +396,12 @@ mod imp {
         pub fn instant_at(&self, _name: &'static str, _ts_ns: u64) {}
         #[inline(always)]
         pub fn complete_at(&self, _name: &'static str, _start_ns: u64, _end_ns: u64) {}
+        #[inline(always)]
+        pub fn flow_start(&self, _name: &'static str, _id: u64) {}
+        #[inline(always)]
+        pub fn flow_step(&self, _name: &'static str, _id: u64) {}
+        #[inline(always)]
+        pub fn flow_finish(&self, _name: &'static str, _id: u64) {}
         #[inline(always)]
         pub fn span(&self, _name: &'static str) -> SpanGuard {
             SpanGuard

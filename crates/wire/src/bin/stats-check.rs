@@ -1,0 +1,56 @@
+//! CI gate for the cluster stats report.
+//!
+//! `stats-check <report.json> --ranks 4 [--positive <metric>]...`
+//!
+//! Exits 0 iff the report parses, covers exactly `--ranks` ranks (0..n,
+//! once each), and every `--positive` metric is `> 0` on every rank that
+//! exited cleanly. Validation itself lives in [`wire::stats`] so tests
+//! exercise the same code path.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut ranks: Option<usize> = None;
+    let mut positive = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ranks" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => ranks = Some(n),
+                    Err(_) => die(&format!("bad rank count {v:?}")),
+                }
+            }
+            "--positive" => match args.next() {
+                Some(m) => positive.push(m),
+                None => die("--positive needs a metric name"),
+            },
+            _ if a.starts_with('-') => die(&format!("unknown flag {a}")),
+            _ if path.is_none() => path = Some(a),
+            _ => die("more than one report path given"),
+        }
+    }
+    let Some(path) = path else {
+        die("missing report path");
+    };
+    let Some(ranks) = ranks else {
+        die("missing --ranks <n>");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    match wire::stats::validate_report(&text, ranks, &positive) {
+        Ok(n) => println!(
+            "stats-check: {path} ok ({n} ranks, {} positive metric(s))",
+            positive.len()
+        ),
+        Err(e) => die(&format!("{path}: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("stats-check: {msg}");
+    eprintln!("usage: stats-check <report.json> --ranks <n> [--positive <metric>]...");
+    std::process::exit(1);
+}

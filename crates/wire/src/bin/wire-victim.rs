@@ -10,6 +10,11 @@
 //!   0); if it would hang or sees anything else it exits 1. This is the
 //!   robustness case: an abrupt peer death fails dependent operations
 //!   loudly instead of wedging the job.
+//! * `stall`: every rank but 0 posts a receive rank 0 will never answer
+//!   and polls progress long enough for the stall watchdog (armed by the
+//!   launcher via `WIRE_STALL_MS`) to fire, then cancels and exits 0 —
+//!   the job succeeds but the launcher must flag the ranks as stragglers
+//!   with their last snapshot attached.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +32,7 @@ fn main() {
     let mode = std::env::var("WIRE_VICTIM_MODE").unwrap_or_else(|_| "ok".into());
     match mode.as_str() {
         "kill" => kill_mode(&mut comm),
+        "stall" => stall_mode(&mut comm),
         // Exercise the launcher's timeout kill: bootstrap, then wedge.
         "hang" => loop {
             std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -119,4 +125,23 @@ fn kill_mode(comm: &mut wire::WireComm) {
         }
         _ => {} // bystander ranks just exit
     }
+}
+
+fn stall_mode(comm: &mut wire::WireComm) {
+    let r = comm.rank();
+    let poll_for = std::time::Duration::from_millis(600);
+    if r == 0 {
+        // Stay connected (no EOF for the others) but never send, so their
+        // receives genuinely cannot advance; outlive their poll window.
+        std::thread::sleep(poll_for + std::time::Duration::from_millis(300));
+        return;
+    }
+    let rx = comm.irecv(Some(0), Some(42));
+    let deadline = Instant::now() + poll_for;
+    while Instant::now() < deadline {
+        comm.progress();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    comm.cancel(&rx);
+    println!("rank {r} stalled on purpose");
 }

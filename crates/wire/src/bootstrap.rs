@@ -35,7 +35,26 @@ pub fn from_env() -> std::io::Result<WireComm> {
     let dir = std::env::var(crate::ENV_DIR)
         .map_err(|_| bad_input(format!("{} not set", crate::ENV_DIR)))?;
     let cfg = WireConfig::from_env();
-    connect_mesh(rank, size, Path::new(&dir), cfg)
+    let mut comm = connect_mesh(rank, size, Path::new(&dir), cfg)?;
+    // Observability plane, when the launcher set one up. Best-effort: a
+    // missing collector must not take the rank down with it.
+    if let Ok(path) = std::env::var(crate::ENV_STATS_SOCK) {
+        match UnixStream::connect(&path) {
+            Ok(stream) => {
+                let interval = env_opt(crate::ENV_STATS_INTERVAL_MS).unwrap_or(200);
+                comm.set_stats_stream(stream, Duration::from_millis(interval));
+            }
+            Err(e) => eprintln!("wire: rank {rank}: stats socket {path} unreachable: {e}"),
+        }
+    }
+    if let Some(ms) = env_opt(crate::ENV_STALL_MS) {
+        comm.set_stall_window(Duration::from_millis(ms));
+    }
+    Ok(comm)
+}
+
+fn env_opt(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 fn env_req<T: std::str::FromStr>(name: &str) -> std::io::Result<T> {

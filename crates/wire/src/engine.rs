@@ -33,11 +33,18 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rtmpi::{MatchQueue, OpOutcome, Status, Tag, Transport, TransportError};
 
 use crate::proto::{FrameKind, Header, HEADER_LEN};
+
+/// Globally unique flow id for one rendezvous exchange. `xid` alone is
+/// only unique per sender, so the sender's rank disambiguates; both sides
+/// know it (it is the RTS header's `src`).
+fn flow_id(sender: usize, xid: u32) -> u64 {
+    ((sender as u64) << 32) | xid as u64
+}
 
 /// Engine knobs, usually read from the environment ([`WireConfig::from_env`]).
 #[derive(Clone, Debug)]
@@ -199,6 +206,27 @@ enum Pending {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct WireReq(u64);
 
+/// Best-effort rank→launcher stats channel: a blocking Unix stream the
+/// launcher drains on its side. Writes are small (one snapshot frame); a
+/// failed write disables the link for the rest of the run rather than
+/// perturbing the data path.
+struct StatsLink {
+    stream: UnixStream,
+    interval: Duration,
+    last_emit: Option<Instant>,
+}
+
+/// Progress-stall watchdog state. "Advancement" is the engine's own
+/// definition — some frame moved or some request completed — so a trip
+/// means the data path is genuinely wedged, not merely idle: it only
+/// fires while operations are pending.
+struct Watchdog {
+    window: Duration,
+    last_advance: Instant,
+    /// One report per stall episode; re-armed when progress resumes.
+    tripped: bool,
+}
+
 /// The per-rank wire transport (see module docs).
 pub struct WireComm {
     rank: usize,
@@ -214,6 +242,9 @@ pub struct WireComm {
     next_xid: u32,
     cfg: WireConfig,
     in_wait: bool,
+    stats: Option<StatsLink>,
+    watchdog: Option<Watchdog>,
+    flow: Option<obs::Track>,
     registry: obs::Registry,
     c_bytes_tx: obs::Counter,
     c_bytes_rx: obs::Counter,
@@ -225,6 +256,7 @@ pub struct WireComm {
     c_rndv_at_wait: obs::Counter,
     c_rndv_async: obs::Counter,
     c_peer_lost: obs::Counter,
+    c_stalls: obs::Counter,
 }
 
 impl WireComm {
@@ -249,6 +281,9 @@ impl WireComm {
             next_xid: 0,
             cfg,
             in_wait: false,
+            stats: None,
+            watchdog: None,
+            flow: None,
             c_bytes_tx: c("wire.bytes_tx"),
             c_bytes_rx: c("wire.bytes_rx"),
             c_frames_tx: c("wire.frames_tx"),
@@ -259,7 +294,111 @@ impl WireComm {
             c_rndv_at_wait: c("wire.rndv_handshake_at_wait"),
             c_rndv_async: c("wire.rndv_handshake_async"),
             c_peer_lost: c("wire.peer_lost"),
+            c_stalls: c("wire.stalls"),
             registry,
+        }
+    }
+
+    /// Attach the rank→launcher stats channel: an initial snapshot goes
+    /// out on the first `progress` call, then one every `interval`, and a
+    /// final one when the transport drops (so the collector's last view
+    /// includes work done after the last periodic tick).
+    pub fn set_stats_stream(&mut self, stream: UnixStream, interval: Duration) {
+        self.stats = Some(StatsLink {
+            stream,
+            interval,
+            last_emit: None,
+        });
+    }
+
+    /// Arm the progress-stall watchdog: if no advancement happens for
+    /// `window` while operations are pending, emit one `Stall` frame (and
+    /// a stderr line) per episode and bump `wire.stalls`.
+    pub fn set_stall_window(&mut self, window: Duration) {
+        self.watchdog = Some(Watchdog {
+            window,
+            last_advance: Instant::now(),
+            tripped: false,
+        });
+    }
+
+    /// Attach a trace track for cross-rank rendezvous flow events:
+    /// RTS-send starts a flow, CTS-send steps it, DATA-recv finishes it.
+    /// Give every rank's engine a track on the same recorder pid layout
+    /// and `merge_traces` output draws each handshake as one arrow.
+    pub fn set_flow_track(&mut self, track: obs::Track) {
+        self.flow = Some(track);
+    }
+
+    /// Ship one snapshot frame on the stats socket (best effort; a failed
+    /// write drops the link). `Stall` frames carry the watchdog evidence
+    /// in the header: `xid` = stalled milliseconds, `tag` = pending ops.
+    fn emit_obs_frame(&mut self, kind: FrameKind, stall_ms: u32, pending_ops: u32) {
+        let Some(link) = self.stats.as_mut() else {
+            return;
+        };
+        let body = self.registry.snapshot().to_bytes();
+        let hdr = Header {
+            kind,
+            src: self.rank as u32,
+            tag: pending_ops,
+            xid: stall_ms,
+            len: body.len() as u64,
+        };
+        let ok = link
+            .stream
+            .write_all(&hdr.encode())
+            .and_then(|()| link.stream.write_all(&body))
+            .is_ok();
+        if !ok {
+            self.stats = None;
+        }
+    }
+
+    /// Per-poll observability upkeep: periodic stats emission and the
+    /// stall watchdog. Only called when at least one of them is
+    /// configured, so unconfigured engines never touch the clock.
+    fn observability_tick(&mut self, advanced: bool) {
+        let now = Instant::now();
+        let due = match self.stats.as_mut() {
+            Some(link) => match link.last_emit {
+                Some(t) if now.duration_since(t) < link.interval => false,
+                _ => {
+                    link.last_emit = Some(now);
+                    true
+                }
+            },
+            None => false,
+        };
+        if due {
+            self.emit_obs_frame(FrameKind::Stats, 0, 0);
+        }
+        let mut stall: Option<(u32, u32)> = None;
+        if let Some(wd) = self.watchdog.as_mut() {
+            let pending = self
+                .pending
+                .values()
+                .filter(|p| !matches!(p, Pending::Done(_)))
+                .count();
+            if advanced || pending == 0 {
+                wd.last_advance = now;
+                wd.tripped = false;
+            } else if !wd.tripped && now.duration_since(wd.last_advance) >= wd.window {
+                wd.tripped = true;
+                let ms = now
+                    .duration_since(wd.last_advance)
+                    .as_millis()
+                    .min(u32::MAX as u128) as u32;
+                stall = Some((ms, pending.min(u32::MAX as usize) as u32));
+            }
+        }
+        if let Some((ms, pending)) = stall {
+            self.c_stalls.inc();
+            eprintln!(
+                "wire: rank {} progress stalled for {}ms with {} pending operation(s)",
+                self.rank, ms, pending
+            );
+            self.emit_obs_frame(FrameKind::Stall, ms, pending);
         }
     }
 
@@ -311,6 +450,9 @@ impl WireComm {
                 self.pending.insert(id, Pending::AwaitData);
                 self.await_data.insert((src, xid), id);
                 self.count_handshake();
+                if let Some(t) = &self.flow {
+                    t.flow_step("rndv", flow_id(src, xid));
+                }
             }
             _ => self.finish(id, Err(TransportError::PeerLost { peer: src })),
         }
@@ -370,6 +512,9 @@ impl WireComm {
             }
             FrameKind::Data => {
                 if let Some(id) = self.await_data.remove(&(src, hdr.xid)) {
+                    if let Some(t) = &self.flow {
+                        t.flow_finish("rndv", flow_id(src, hdr.xid));
+                    }
                     let st = Status {
                         source: src,
                         tag: hdr.tag,
@@ -378,6 +523,9 @@ impl WireComm {
                     self.finish(id, Ok(OpOutcome::Received(st, Arc::from(body))));
                 }
             }
+            // Stats-plane control frames ride the rank→launcher socket,
+            // never the mesh; tolerate and drop if one shows up here.
+            FrameKind::Stats | FrameKind::Stall => {}
         }
     }
 
@@ -556,6 +704,16 @@ impl WireComm {
     }
 }
 
+impl Drop for WireComm {
+    fn drop(&mut self) {
+        // Final snapshot: progress() stops before the last work's counters
+        // hit a periodic tick, so ship the complete totals on teardown.
+        if self.stats.is_some() {
+            self.emit_obs_frame(FrameKind::Stats, 0, 0);
+        }
+    }
+}
+
 impl Transport for WireComm {
     type Req = WireReq;
 
@@ -619,6 +777,9 @@ impl Transport for WireComm {
                     peer.queue_frame(frame, &[]);
                     self.c_frames_tx.inc();
                     self.c_rndv_tx.inc();
+                    if let Some(t) = &self.flow {
+                        t.flow_start("rndv", flow_id(self.rank, xid));
+                    }
                     let req = self.alloc_req(Pending::RndvAwaitCts { dst, data });
                     let WireReq(id) = req;
                     self.sent_rndv.insert(xid, id);
@@ -674,6 +835,9 @@ impl Transport for WireComm {
             advanced |= self.flush_peer(p);
             advanced |= self.read_peer(p);
             advanced |= self.flush_peer(p);
+        }
+        if self.stats.is_some() || self.watchdog.is_some() {
+            self.observability_tick(advanced);
         }
         advanced
     }
@@ -912,6 +1076,137 @@ mod tests {
         }
         srcs.sort_unstable();
         assert_eq!(srcs, vec![0, 1]);
+    }
+
+    /// Read whole stats-plane frames off the test end of the stats pair.
+    fn drain_stats(rx: &mut UnixStream) -> Vec<(Header, Vec<u8>)> {
+        use std::io::Read;
+        rx.set_nonblocking(true).expect("nonblocking");
+        let mut bytes = Vec::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            match rx.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => bytes.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("stats read failed: {e}"),
+            }
+        }
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while bytes.len() - off >= HEADER_LEN {
+            let hdr = Header::decode(bytes[off..off + HEADER_LEN].try_into().expect("header"))
+                .expect("stats frame decodes");
+            let body_len = hdr.body_len();
+            assert!(bytes.len() - off >= HEADER_LEN + body_len, "whole frame");
+            frames.push((
+                hdr,
+                bytes[off + HEADER_LEN..off + HEADER_LEN + body_len].to_vec(),
+            ));
+            off += HEADER_LEN + body_len;
+        }
+        assert_eq!(off, bytes.len(), "no trailing partial frame");
+        frames
+    }
+
+    #[test]
+    fn stats_link_ships_initial_periodic_and_final_snapshots() {
+        let (mut a, b) = two(WireConfig::default());
+        let (tx, mut rx) = UnixStream::pair().expect("stats pair");
+        a.set_stats_stream(tx, Duration::from_millis(5));
+        a.progress(); // initial frame, no interval wait
+        let frames = drain_stats(&mut rx);
+        assert_eq!(frames.len(), 1, "first poll emits immediately");
+        assert_eq!(frames[0].0.kind, FrameKind::Stats);
+        assert_eq!(frames[0].0.src, 0);
+        let snap = obs::Snapshot::from_bytes(&frames[0].1).expect("snapshot parses");
+        #[cfg(feature = "obs-enabled")]
+        assert!(snap.counter("wire.progress_polls") >= 1);
+        #[cfg(not(feature = "obs-enabled"))]
+        assert!(snap.is_empty());
+        // Periodic: another frame after the interval elapses.
+        std::thread::sleep(Duration::from_millis(10));
+        a.progress();
+        assert_eq!(
+            drain_stats(&mut rx).len(),
+            1,
+            "periodic frame after interval"
+        );
+        // Back-to-back polls inside the interval stay quiet.
+        a.progress();
+        a.progress();
+        assert!(drain_stats(&mut rx).is_empty(), "quiet inside the interval");
+        // Teardown ships the final totals.
+        drop(a);
+        drop(b);
+        let last = drain_stats(&mut rx);
+        assert_eq!(last.len(), 1, "drop emits a final snapshot");
+        assert_eq!(last[0].0.kind, FrameKind::Stats);
+    }
+
+    #[test]
+    fn watchdog_trips_once_per_stall_episode_with_evidence() {
+        let cfg = WireConfig {
+            eager_max: 8,
+            ..WireConfig::default()
+        };
+        let (mut a, mut b) = two(cfg);
+        let (tx, mut rx) = UnixStream::pair().expect("stats pair");
+        a.set_stats_stream(tx, Duration::from_secs(3600)); // periodic: quiet
+        a.set_stall_window(Duration::from_millis(20));
+        let _ = drain_stats(&mut rx); // swallow the initial frame
+        a.progress();
+        let _ = drain_stats(&mut rx);
+        // A receive that cannot advance: the peer never sends.
+        let r = a.irecv(Some(1), Some(7));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let stall = loop {
+            a.progress();
+            let frames = drain_stats(&mut rx);
+            if let Some(f) = frames.iter().find(|(h, _)| h.kind == FrameKind::Stall) {
+                break f.clone();
+            }
+            assert!(std::time::Instant::now() < deadline, "watchdog fired");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert!(
+            stall.0.xid >= 20,
+            "stalled at least the window: {}",
+            stall.0.xid
+        );
+        assert_eq!(stall.0.tag, 1, "one pending operation");
+        obs::Snapshot::from_bytes(&stall.1).expect("stall carries the snapshot");
+        // One report per episode: more stuck polls add no frames.
+        for _ in 0..50 {
+            a.progress();
+        }
+        assert!(
+            drain_stats(&mut rx)
+                .iter()
+                .all(|(h, _)| h.kind != FrameKind::Stall),
+            "no duplicate stall report"
+        );
+        // Advancement re-arms: deliver the message, then stall again.
+        let s = b.isend(0, 7, Arc::from(vec![1u8; 3]));
+        pump(&mut a, &mut b, |a, b| {
+            let _ = b.try_take(&s);
+            a.try_take(&r)
+        })
+        .expect("recv completes");
+        let _ = drain_stats(&mut rx);
+        let _r2 = a.irecv(Some(1), Some(8));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            a.progress();
+            if drain_stats(&mut rx)
+                .iter()
+                .any(|(h, _)| h.kind == FrameKind::Stall)
+            {
+                break; // second episode reported after re-arm
+            }
+            assert!(std::time::Instant::now() < deadline, "watchdog re-armed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

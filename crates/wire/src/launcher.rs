@@ -2,7 +2,16 @@
 //! `WIRE_*` environment, babysit them (prefix their stderr, kill the whole
 //! job on timeout), reap them, and report per-rank outcomes.
 //!
-//! Usage: `offload-run -n 4 [--timeout 60] [--tcp] <program> [args...]`
+//! Usage: `offload-run -n 4 [--timeout 60] [--tcp] [--stats-interval <ms>]
+//! [--stats-out <path>] [--stall-ms <ms>] <program> [args...]`
+//!
+//! With `--stats-interval` (or `--stats-out`) the launcher also runs the
+//! cluster observability plane ([`crate::stats`]): it binds `stats.sock`
+//! in the bootstrap directory, points ranks at it via `WIRE_STATS_SOCK`,
+//! prints a live min/median/max cluster table while the job runs, flags
+//! stalled ranks as stragglers, and writes the final JSON report to
+//! `--stats-out`. The stall watchdog window defaults to
+//! `max(250ms, 10 × interval)`; `--stall-ms` overrides it.
 //!
 //! Bare program names resolve against the cargo example/binary output
 //! directories (`target/{release,debug}/examples`, then
@@ -23,6 +32,30 @@ pub struct LaunchSpec {
     pub args: Vec<String>,
     pub timeout: Duration,
     pub tcp: bool,
+    /// Stats emission period; `Some` turns the observability plane on.
+    pub stats_interval: Option<Duration>,
+    /// Where to write the final JSON cluster report.
+    pub stats_out: Option<PathBuf>,
+    /// Progress-stall watchdog window override (milliseconds).
+    pub stall_ms: Option<u64>,
+}
+
+impl LaunchSpec {
+    /// The plane runs if any of its flags were given; `--stats-out` alone
+    /// implies the default interval.
+    fn stats_enabled(&self) -> bool {
+        self.stats_interval.is_some() || self.stats_out.is_some()
+    }
+
+    fn stats_interval_ms(&self) -> u64 {
+        self.stats_interval
+            .map_or(200, |d| d.as_millis().max(1) as u64)
+    }
+
+    fn stall_window_ms(&self) -> u64 {
+        self.stall_ms
+            .unwrap_or_else(|| (10 * self.stats_interval_ms()).max(250))
+    }
 }
 
 /// What one rank did, for reporting.
@@ -50,6 +83,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
     let mut n: Option<usize> = None;
     let mut timeout = Duration::from_secs(120);
     let mut tcp = false;
+    let mut stats_interval = None;
+    let mut stats_out = None;
+    let mut stall_ms = None;
     let mut program: Option<String> = None;
     let mut rest = Vec::new();
     while let Some(a) = it.next() {
@@ -68,6 +104,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
                 timeout = Duration::from_secs(secs);
             }
             "--tcp" => tcp = true,
+            "--stats-interval" => {
+                let v = it.next().ok_or("--stats-interval needs milliseconds")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad interval {v:?}"))?;
+                stats_interval = Some(Duration::from_millis(ms.max(1)));
+            }
+            "--stats-out" => {
+                let v = it.next().ok_or("--stats-out needs a path")?;
+                stats_out = Some(PathBuf::from(v));
+            }
+            "--stall-ms" => {
+                let v = it.next().ok_or("--stall-ms needs milliseconds")?;
+                stall_ms = Some(v.parse().map_err(|_| format!("bad stall window {v:?}"))?);
+            }
             "-h" | "--help" => return Err(usage()),
             _ if a.starts_with('-') => return Err(format!("unknown flag {a}\n{}", usage())),
             _ => program = Some(a),
@@ -84,11 +133,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
         args: rest,
         timeout,
         tcp,
+        stats_interval,
+        stats_out,
+        stall_ms,
     })
 }
 
 fn usage() -> String {
-    "usage: offload-run -n <ranks> [--timeout <secs>] [--tcp] <program> [args...]".into()
+    "usage: offload-run -n <ranks> [--timeout <secs>] [--tcp] \
+     [--stats-interval <ms>] [--stats-out <path>] [--stall-ms <ms>] \
+     <program> [args...]"
+        .into()
 }
 
 /// Bare names try the cargo output dirs before falling back to `$PATH`.
@@ -121,6 +176,24 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
         );
         return 2;
     }
+    // The observability plane: bind the stats socket before any rank
+    // starts so the first progress() snapshot always has a collector.
+    let collector = if spec.stats_enabled() {
+        let sock = dir.join("stats.sock");
+        match crate::stats::Collector::start(&sock, spec.n) {
+            Ok(c) => Some((c, sock)),
+            Err(e) => {
+                eprintln!(
+                    "offload-run: cannot bind stats socket {}: {e}",
+                    sock.display()
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                return 2;
+            }
+        }
+    } else {
+        None
+    };
     let mut children: Vec<Option<Child>> = Vec::with_capacity(spec.n);
     let mut log_threads = Vec::new();
     for rank in 0..spec.n {
@@ -132,6 +205,14 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
             .stderr(Stdio::piped());
         if spec.tcp {
             cmd.env(crate::ENV_TCP, "1");
+        }
+        if let Some((_, sock)) = &collector {
+            cmd.env(crate::ENV_STATS_SOCK, sock)
+                .env(
+                    crate::ENV_STATS_INTERVAL_MS,
+                    spec.stats_interval_ms().to_string(),
+                )
+                .env(crate::ENV_STALL_MS, spec.stall_window_ms().to_string());
         }
         match cmd.spawn() {
             Ok(mut child) => {
@@ -159,6 +240,9 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
                     let _ = c.kill();
                     let _ = c.wait();
                 }
+                if let Some((c, _)) = collector {
+                    let _ = c.finish();
+                }
                 let _ = std::fs::remove_dir_all(&dir);
                 return 2;
             }
@@ -167,6 +251,7 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
     // Babysit: poll until every rank exits or the deadline passes.
     let deadline = Instant::now() + spec.timeout;
     let mut outcomes: Vec<Option<RankOutcome>> = vec![None; spec.n];
+    let mut next_table = Instant::now() + Duration::from_secs(2);
     loop {
         let mut running = 0;
         for (rank, slot) in children.iter_mut().enumerate() {
@@ -187,6 +272,17 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
         if running == 0 {
             break;
         }
+        // Long-running job with the plane on: refresh the live cluster
+        // table so an operator can see straggling before the timeout.
+        if let Some((c, _)) = &collector {
+            if Instant::now() >= next_table {
+                next_table = Instant::now() + Duration::from_secs(2);
+                eprint!(
+                    "offload-run: live cluster stats\n{}",
+                    crate::stats::cluster_table(&c.peek())
+                );
+            }
+        }
         if Instant::now() >= deadline {
             eprintln!(
                 "offload-run: timeout after {:?} — killing {running} remaining rank(s)",
@@ -206,6 +302,58 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
     }
     for t in log_threads {
         let _ = t.join();
+    }
+    // Observability epilogue: final cluster table, straggler flags, JSON.
+    if let Some((c, _)) = collector {
+        let stats = c.finish();
+        eprint!(
+            "offload-run: final cluster stats\n{}",
+            crate::stats::cluster_table(&stats)
+        );
+        let rows: Vec<crate::stats::RankRow> = stats
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rs)| {
+                let outcome = outcomes[rank].as_ref().expect("every rank reaped");
+                crate::stats::RankRow {
+                    rank,
+                    outcome: outcome.to_string(),
+                    dead: !matches!(outcome, RankOutcome::Exited(_)),
+                    stats: rs,
+                }
+            })
+            .collect();
+        for row in &rows {
+            if let Some(st) = row.stats.stall {
+                eprintln!(
+                    "offload-run: rank {} STRAGGLER — progress stalled {}ms with {} pending op(s); last snapshot had {} metric(s)",
+                    row.rank,
+                    st.stalled_ms,
+                    st.pending_ops,
+                    row.stats
+                        .last
+                        .as_ref()
+                        .map_or(0, |s| crate::stats::scalar_metrics(s).len())
+                );
+            }
+            if row.dead {
+                eprintln!(
+                    "offload-run: rank {} died ({}); {} snapshot(s) collected before death",
+                    row.rank, row.outcome, row.stats.snapshots
+                );
+            }
+        }
+        if let Some(path) = &spec.stats_out {
+            let report = crate::stats::render_report(&rows);
+            if let Err(e) = std::fs::write(path, report) {
+                eprintln!(
+                    "offload-run: cannot write stats report {}: {e}",
+                    path.display()
+                );
+            } else {
+                eprintln!("offload-run: stats report written to {}", path.display());
+            }
+        }
     }
     let _ = std::fs::remove_dir_all(&dir);
     // Report.
@@ -254,6 +402,39 @@ mod tests {
         let spec = parse_args(["-n", "2", "prog", "-n", "9"].map(String::from)).expect("parses");
         assert_eq!(spec.n, 2);
         assert_eq!(spec.args, vec!["-n", "9"]);
+    }
+
+    #[test]
+    fn parses_stats_flags() {
+        let spec = parse_args(
+            [
+                "-n",
+                "4",
+                "--stats-interval",
+                "50",
+                "--stats-out",
+                "/tmp/s.json",
+                "prog",
+            ]
+            .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(spec.stats_interval, Some(Duration::from_millis(50)));
+        assert_eq!(spec.stats_out, Some(PathBuf::from("/tmp/s.json")));
+        assert!(spec.stats_enabled());
+        assert_eq!(spec.stall_window_ms(), 500, "default stall = 10× interval");
+        let spec =
+            parse_args(["-n", "2", "--stall-ms", "99", "prog"].map(String::from)).expect("parses");
+        assert_eq!(spec.stall_ms, Some(99));
+        assert!(
+            !spec.stats_enabled(),
+            "--stall-ms alone does not enable stats"
+        );
+        // Default interval when only --stats-out is given.
+        let spec = parse_args(["-n", "2", "--stats-out", "r.json", "prog"].map(String::from))
+            .expect("parses");
+        assert!(spec.stats_enabled());
+        assert_eq!(spec.stats_interval_ms(), 200);
     }
 
     #[test]

@@ -29,11 +29,15 @@
 //! * `WIRE_EAGER_MAX` — eager/rendezvous crossover in bytes (default 4096).
 //! * `WIRE_TIMEOUT_MS` — per-operation pending timeout (default 30000).
 //! * `WIRE_TCP=1` — TCP over loopback instead of Unix-domain sockets.
+//! * `WIRE_STATS_SOCK` / `WIRE_STATS_INTERVAL_MS` / `WIRE_STALL_MS` — the
+//!   observability plane: where to ship periodic `Stats` frames, how
+//!   often, and the progress-stall watchdog window (see [`stats`]).
 
 pub mod bootstrap;
 pub mod engine;
 pub mod launcher;
 pub mod proto;
+pub mod stats;
 
 pub use bootstrap::{from_env, loopback, loopback_configured};
 pub use engine::{WireComm, WireConfig, WireReq};
@@ -50,6 +54,16 @@ pub const ENV_EAGER_MAX: &str = "WIRE_EAGER_MAX";
 pub const ENV_TIMEOUT_MS: &str = "WIRE_TIMEOUT_MS";
 /// Set to `1` to use TCP over 127.0.0.1 instead of Unix-domain sockets.
 pub const ENV_TCP: &str = "WIRE_TCP";
+/// Path of the launcher's stats-collector Unix socket; when set, the
+/// engine ships periodic `Stats` frames (serialized `obs::Snapshot`s) and
+/// stall events there.
+pub const ENV_STATS_SOCK: &str = "WIRE_STATS_SOCK";
+/// Stats emission interval in milliseconds (default 200 when the socket
+/// is configured).
+pub const ENV_STATS_INTERVAL_MS: &str = "WIRE_STATS_INTERVAL_MS";
+/// Progress-stall watchdog window in milliseconds; unset leaves the
+/// watchdog disarmed.
+pub const ENV_STALL_MS: &str = "WIRE_STALL_MS";
 
 /// Is this process running under `offload-run` (i.e. as a wire rank)?
 pub fn is_wire_process() -> bool {

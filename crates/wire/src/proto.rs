@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  kind   (0 Hello, 1 Eager, 2 Rts, 3 Cts, 4 Data)
+//!      0     1  kind   (0 Hello, 1 Eager, 2 Rts, 3 Cts, 4 Data,
+//!                       5 Stats, 6 Stall)
 //!      1     3  (pad, zero)
 //!      4     4  src    (sender rank, u32 LE)
 //!      8     4  tag    (message tag, u32 LE)
@@ -15,9 +16,26 @@
 //! `Eager` and `Data` it is also the body length that follows the header;
 //! for `Rts` it announces the payload the sender wants to transfer (no
 //! body); `Hello` and `Cts` carry no body and `len` is zero.
+//!
+//! `Stats` and `Stall` are the observability plane's control frames,
+//! carried on the rank→launcher stats socket (never the rank↔rank mesh):
+//! the body is a compact serialized `obs::Snapshot`
+//! (`obs::Snapshot::to_bytes`). A `Stall` frame additionally reports the
+//! watchdog's evidence in the header: `xid` is how long progress has made
+//! no advancement (milliseconds, saturating) and `tag` is how many
+//! operations were pending at the time.
+//!
+//! No frame may announce more than [`MAX_FRAME_LEN`] bytes: `decode`
+//! rejects larger `len` values outright, so a hostile or corrupt header
+//! can never drive a multi-gigabyte allocation in the body read path.
 
 /// Fixed header size on the wire.
 pub const HEADER_LEN: usize = 24;
+
+/// Largest `len` any frame may carry (1 GiB). Generous for every message
+/// this stack produces, small enough that a corrupt length cannot make the
+/// receiver balloon its staging buffer before the read fails.
+pub const MAX_FRAME_LEN: u64 = 1 << 30;
 
 /// Frame discriminator (byte 0).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,6 +50,12 @@ pub enum FrameKind {
     Cts = 3,
     /// Rendezvous payload for `xid`, body inline.
     Data = 4,
+    /// Periodic per-rank metrics snapshot (stats socket only); body is a
+    /// serialized `obs::Snapshot`.
+    Stats = 5,
+    /// Progress-stall watchdog event (stats socket only); body is the
+    /// rank's snapshot at the moment the watchdog fired.
+    Stall = 6,
 }
 
 impl FrameKind {
@@ -42,6 +66,8 @@ impl FrameKind {
             2 => FrameKind::Rts,
             3 => FrameKind::Cts,
             4 => FrameKind::Data,
+            5 => FrameKind::Stats,
+            6 => FrameKind::Stall,
             _ => return None,
         })
     }
@@ -74,19 +100,28 @@ impl Header {
         let word = |r: std::ops::Range<usize>| {
             u32::from_le_bytes(buf[r].try_into().expect("4-byte slice"))
         };
+        let len = u64::from_le_bytes(buf[16..24].try_into().expect("8-byte slice"));
+        if len > MAX_FRAME_LEN {
+            return Err(format!(
+                "frame len {} exceeds maximum {} ({:?})",
+                len, MAX_FRAME_LEN, kind
+            ));
+        }
         Ok(Header {
             kind,
             src: word(4..8),
             tag: word(8..12),
             xid: word(12..16),
-            len: u64::from_le_bytes(buf[16..24].try_into().expect("8-byte slice")),
+            len,
         })
     }
 
     /// Bytes of body following this header on the wire.
     pub fn body_len(&self) -> usize {
         match self.kind {
-            FrameKind::Eager | FrameKind::Data => self.len as usize,
+            FrameKind::Eager | FrameKind::Data | FrameKind::Stats | FrameKind::Stall => {
+                self.len as usize
+            }
             FrameKind::Hello | FrameKind::Rts | FrameKind::Cts => 0,
         }
     }
@@ -104,13 +139,15 @@ mod tests {
             FrameKind::Rts,
             FrameKind::Cts,
             FrameKind::Data,
+            FrameKind::Stats,
+            FrameKind::Stall,
         ] {
             let h = Header {
                 kind,
                 src: 3,
                 tag: 0x1234_5678,
                 xid: 42,
-                len: (1 << 33) + 7,
+                len: (1 << 27) + 7,
             };
             let enc = h.encode();
             assert_eq!(Header::decode(&enc).expect("decodes"), h);
@@ -122,6 +159,37 @@ mod tests {
         let mut buf = [0u8; HEADER_LEN];
         buf[0] = 9;
         assert!(Header::decode(&buf).is_err());
+        buf[0] = 0xff;
+        assert!(Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn oversized_len_is_rejected() {
+        // Exactly at the cap decodes; one past it is refused, for body-ful
+        // and body-less kinds alike (an RTS announcing an absurd transfer
+        // is just as bogus as an eager frame claiming one inline).
+        for kind in [FrameKind::Eager, FrameKind::Rts, FrameKind::Stats] {
+            let mut h = Header {
+                kind,
+                src: 0,
+                tag: 0,
+                xid: 0,
+                len: MAX_FRAME_LEN,
+            };
+            assert!(Header::decode(&h.encode()).is_ok(), "{kind:?} at cap");
+            h.len = MAX_FRAME_LEN + 1;
+            let err = Header::decode(&h.encode()).expect_err("past cap");
+            assert!(err.contains("exceeds maximum"), "{err}");
+        }
+        // Hostile all-ones length.
+        let h = Header {
+            kind: FrameKind::Data,
+            src: 0,
+            tag: 0,
+            xid: 0,
+            len: u64::MAX,
+        };
+        assert!(Header::decode(&h.encode()).is_err());
     }
 
     #[test]
@@ -140,5 +208,9 @@ mod tests {
         assert_eq!(h.body_len(), 1000);
         h.kind = FrameKind::Cts;
         assert_eq!(h.body_len(), 0);
+        h.kind = FrameKind::Stats;
+        assert_eq!(h.body_len(), 1000, "stats snapshot rides inline");
+        h.kind = FrameKind::Stall;
+        assert_eq!(h.body_len(), 1000, "stall carries the last snapshot");
     }
 }

@@ -1,0 +1,535 @@
+//! The launcher side of the cluster observability plane.
+//!
+//! Each rank's engine ships `Stats` frames (a serialized
+//! [`obs::Snapshot`]) and `Stall` watchdog events over a dedicated Unix
+//! socket the launcher binds in the bootstrap directory (`stats.sock`,
+//! advertised as `WIRE_STATS_SOCK`). The [`Collector`] accepts one
+//! connection per rank and folds every frame into shared per-rank state;
+//! the launcher renders that state as a live min/median/max cluster table
+//! while the job runs and as a JSON report (`--stats-out`) when it ends.
+//!
+//! The plane is strictly best-effort and one-directional: ranks never
+//! block on the launcher (writes are small; a failed write disables the
+//! rank's link), and a missing or dead collector never affects the data
+//! path. Frames ride the same 24-byte header as the mesh
+//! ([`crate::proto`]); a `Stall` frame carries its evidence in the header
+//! (`xid` = stalled milliseconds, `tag` = pending operations) with the
+//! rank's last snapshot as the body, so a straggler is reported with the
+//! state it stalled in rather than dying silently at the job timeout.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{FrameKind, Header, HEADER_LEN};
+
+/// Watchdog evidence carried by a `Stall` frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallInfo {
+    pub stalled_ms: u32,
+    pub pending_ops: u32,
+}
+
+/// Everything the collector has heard from one rank.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// `Stats` frames received (the initial frame arrives on the rank's
+    /// first `progress` call, so a rank that bootstrapped at all has ≥ 1).
+    pub snapshots: u64,
+    /// Most recent snapshot, whichever frame kind carried it.
+    pub last: Option<obs::Snapshot>,
+    /// Latest stall event, if the rank's watchdog ever tripped.
+    pub stall: Option<StallInfo>,
+}
+
+/// Accepts rank connections on the stats socket and folds their frames
+/// into per-rank state. One acceptor thread, one reader thread per rank.
+pub struct Collector {
+    shared: Arc<Mutex<Vec<RankStats>>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Bind `sock` and start collecting for an `n`-rank job.
+    pub fn start(sock: &Path, n: usize) -> std::io::Result<Collector> {
+        let listener = UnixListener::bind(sock)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Mutex::new(vec![RankStats::default(); n]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut readers = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            let stop = Arc::clone(&stop);
+                            readers.push(std::thread::spawn(move || {
+                                read_frames(stream, &shared, &stop)
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            })
+        };
+        Ok(Collector {
+            shared,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Clone the current per-rank state (live table rendering).
+    pub fn peek(&self) -> Vec<RankStats> {
+        self.shared.lock().expect("collector mutex").clone()
+    }
+
+    /// Stop accepting, join the reader threads, return the final state.
+    pub fn finish(mut self) -> Vec<RankStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.lock().expect("collector mutex").clone()
+    }
+}
+
+/// Read every frame a rank ships until EOF or shutdown.
+fn read_frames(mut stream: UnixStream, shared: &Mutex<Vec<RankStats>>, stop: &AtomicBool) {
+    // A short read timeout keeps the thread responsive to `stop` even
+    // when the rank is alive but quiet (e.g. SIGSTOPed).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    loop {
+        let mut hdr_buf = [0u8; HEADER_LEN];
+        if !read_full(&mut stream, &mut hdr_buf, stop) {
+            return;
+        }
+        let Ok(hdr) = Header::decode(&hdr_buf) else {
+            return; // corrupt stream: drop the link
+        };
+        let mut body = vec![0u8; hdr.body_len()];
+        if !read_full(&mut stream, &mut body, stop) {
+            return;
+        }
+        let snap = obs::Snapshot::from_bytes(&body).ok();
+        let mut ranks = shared.lock().expect("collector mutex");
+        let Some(slot) = ranks.get_mut(hdr.src as usize) else {
+            continue; // bogus rank id; keep the stream, drop the frame
+        };
+        match hdr.kind {
+            FrameKind::Stats => {
+                slot.snapshots += 1;
+                if let Some(s) = snap {
+                    slot.last = Some(s);
+                }
+            }
+            FrameKind::Stall => {
+                slot.stall = Some(StallInfo {
+                    stalled_ms: hdr.xid,
+                    pending_ops: hdr.tag,
+                });
+                if let Some(s) = snap {
+                    slot.last = Some(s);
+                }
+            }
+            _ => {} // only stats-plane frames belong on this socket
+        }
+    }
+}
+
+/// Fill `buf` completely; false on EOF, error, or shutdown.
+fn read_full(stream: &mut UnixStream, buf: &mut [u8], stop: &AtomicBool) -> bool {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return false,
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and rendering
+// ---------------------------------------------------------------------------
+
+/// One snapshot flattened to `name → value` scalars: counters as-is,
+/// gauges as `name` (value) and `name.hwm`, histograms as `name.count`
+/// and `name.sum`. This is the shape min/median/max aggregates over.
+pub fn scalar_metrics(snap: &obs::Snapshot) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for (k, v) in &snap.counters {
+        out.insert(k.clone(), *v);
+    }
+    for (k, g) in &snap.gauges {
+        out.insert(k.clone(), g.value);
+        out.insert(format!("{k}.hwm"), g.high_water);
+    }
+    for (k, h) in &snap.histograms {
+        out.insert(format!("{k}.count"), h.count);
+        out.insert(format!("{k}.sum"), h.sum);
+    }
+    out
+}
+
+/// Min/median/max of one metric across the ranks that reported it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aggregate {
+    pub min: u64,
+    pub median: u64,
+    pub max: u64,
+}
+
+/// Aggregate every metric any rank reported, keyed by metric name
+/// (BTreeMap: deterministic order for table and report stability).
+pub fn aggregate(stats: &[RankStats]) -> BTreeMap<String, Aggregate> {
+    let mut per: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    for rs in stats {
+        if let Some(snap) = &rs.last {
+            for (k, v) in scalar_metrics(snap) {
+                per.entry(k).or_default().push(v);
+            }
+        }
+    }
+    per.into_iter()
+        .map(|(k, mut vs)| {
+            vs.sort_unstable();
+            let agg = Aggregate {
+                min: vs[0],
+                median: vs[vs.len() / 2],
+                max: *vs.last().expect("non-empty"),
+            };
+            (k, agg)
+        })
+        .collect()
+}
+
+/// The live cluster table: one header line, then min/median/max per
+/// metric (all-zero rows elided for signal), then a per-rank status line.
+pub fn cluster_table(stats: &[RankStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:>12} {:>12} {:>12}\n",
+        "metric", "min", "median", "max"
+    ));
+    for (k, a) in aggregate(stats) {
+        if a.max == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12} {:>12}\n",
+            k, a.min, a.median, a.max
+        ));
+    }
+    for (rank, rs) in stats.iter().enumerate() {
+        out.push_str(&format!("rank {rank}: {} snapshot(s)", rs.snapshots));
+        if let Some(st) = rs.stall {
+            out.push_str(&format!(
+                "  STALLED {}ms with {} pending op(s)",
+                st.stalled_ms, st.pending_ops
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+/// One rank's row in the final report: collector state joined with the
+/// launcher's verdict on the process itself.
+#[derive(Clone, Debug)]
+pub struct RankRow {
+    pub rank: usize,
+    /// The launcher's `RankOutcome`, displayed ("ok", "killed by signal 9", …).
+    pub outcome: String,
+    /// Did the process die without a clean exit (signal or timeout kill)?
+    pub dead: bool,
+    pub stats: RankStats,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The final JSON report: per-rank rows (outcome, liveness, stall
+/// evidence, last snapshot flattened to scalars) plus the cluster
+/// aggregate. Hand-rolled; parseable by `obs::chrome::parse_json`.
+pub fn render_report(rows: &[RankRow]) -> String {
+    let mut out = String::from("{\n  \"ranks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"rank\": {}, ", row.rank));
+        out.push_str(&format!("\"outcome\": \"{}\", ", json_escape(&row.outcome)));
+        out.push_str(&format!("\"dead\": {}, ", row.dead));
+        out.push_str(&format!("\"snapshots\": {}, ", row.stats.snapshots));
+        match row.stats.stall {
+            Some(st) => out.push_str(&format!(
+                "\"stall\": {{\"stalled_ms\": {}, \"pending_ops\": {}}}, ",
+                st.stalled_ms, st.pending_ops
+            )),
+            None => out.push_str("\"stall\": null, "),
+        }
+        out.push_str("\"metrics\": {");
+        if let Some(snap) = &row.stats.last {
+            let scalars = scalar_metrics(snap);
+            let mut first = true;
+            for (k, v) in scalars {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("\"{}\": {}", json_escape(&k), v));
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"aggregate\": {\n");
+    let stats: Vec<RankStats> = rows.iter().map(|r| r.stats.clone()).collect();
+    let agg = aggregate(&stats);
+    let n = agg.len();
+    for (i, (k, a)) in agg.into_iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"min\": {}, \"median\": {}, \"max\": {}}}",
+            json_escape(&k),
+            a.min,
+            a.median,
+            a.max
+        ));
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Validate a rendered report: parses, has exactly `ranks` rows covering
+/// ranks `0..ranks`, and every metric named in `positive` is `> 0` on
+/// every rank that exited cleanly (dead ranks are exempt — their last
+/// snapshot legitimately predates the work). Returns the parsed rank
+/// count on success. This is what the `stats-check` CI gate runs.
+pub fn validate_report(text: &str, ranks: usize, positive: &[String]) -> Result<usize, String> {
+    use obs::chrome::Json;
+    let doc = obs::chrome::parse_json(text)?;
+    let rows = match doc.get("ranks") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("report has no \"ranks\" array".into()),
+    };
+    if rows.len() != ranks {
+        return Err(format!("expected {ranks} rank rows, found {}", rows.len()));
+    }
+    let mut seen = vec![false; ranks];
+    for row in rows {
+        let rank = row
+            .get("rank")
+            .and_then(Json::as_num)
+            .ok_or("rank row missing \"rank\"")? as usize;
+        if rank >= ranks || seen[rank] {
+            return Err(format!("bogus or duplicate rank {rank}"));
+        }
+        seen[rank] = true;
+        let dead = matches!(row.get("dead"), Some(Json::Bool(true)));
+        let metrics = row.get("metrics").ok_or("rank row missing \"metrics\"")?;
+        if dead {
+            continue;
+        }
+        for name in positive {
+            let v = metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+            if v <= 0.0 {
+                return Err(format!("rank {rank}: metric {name:?} not positive ({v})"));
+            }
+        }
+    }
+    if doc.get("aggregate").is_none() {
+        return Err("report has no \"aggregate\" object".into());
+    }
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(counters: &[(&str, u64)]) -> obs::Snapshot {
+        let mut s = obs::Snapshot::default();
+        for (k, v) in counters {
+            s.counters.insert((*k).into(), *v);
+        }
+        s
+    }
+
+    fn stats_with(counters: &[(&str, u64)]) -> RankStats {
+        RankStats {
+            snapshots: 1,
+            last: Some(snap_with(counters)),
+            stall: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_is_min_median_max_over_ranks() {
+        let stats = [
+            stats_with(&[("wire.bytes_tx", 30)]),
+            stats_with(&[("wire.bytes_tx", 10)]),
+            stats_with(&[("wire.bytes_tx", 20)]),
+        ];
+        let agg = aggregate(&stats);
+        let a = agg.get("wire.bytes_tx").expect("aggregated");
+        assert_eq!((a.min, a.median, a.max), (10, 20, 30));
+    }
+
+    #[test]
+    fn report_roundtrips_through_validation() {
+        let rows: Vec<RankRow> = (0..3)
+            .map(|rank| RankRow {
+                rank,
+                outcome: "ok".into(),
+                dead: false,
+                stats: stats_with(&[("wire.rndv_handshake_async", 2 + rank as u64)]),
+            })
+            .collect();
+        let text = render_report(&rows);
+        let n = validate_report(&text, 3, &["wire.rndv_handshake_async".into()])
+            .expect("report validates");
+        assert_eq!(n, 3);
+        // Wrong rank count and a zero metric both fail.
+        assert!(validate_report(&text, 4, &[]).is_err());
+        assert!(validate_report(&text, 3, &["wire.peer_lost".into()]).is_err());
+    }
+
+    #[test]
+    fn dead_rank_is_exempt_from_positive_checks_but_counted() {
+        let rows = vec![
+            RankRow {
+                rank: 0,
+                outcome: "ok".into(),
+                dead: false,
+                stats: stats_with(&[("wire.frames_tx", 5)]),
+            },
+            RankRow {
+                rank: 1,
+                outcome: "killed by signal 9".into(),
+                dead: true,
+                stats: RankStats {
+                    snapshots: 1,
+                    last: Some(snap_with(&[("wire.frames_tx", 0)])),
+                    stall: None,
+                },
+            },
+        ];
+        let text = render_report(&rows);
+        validate_report(&text, 2, &["wire.frames_tx".into()]).expect("dead rank exempt");
+        // The dead rank's row still carries its evidence.
+        assert!(text.contains("\"dead\": true"));
+        assert!(text.contains("killed by signal 9"));
+    }
+
+    #[test]
+    fn stall_rows_render_evidence() {
+        let rows = vec![RankRow {
+            rank: 0,
+            outcome: "ok".into(),
+            dead: false,
+            stats: RankStats {
+                snapshots: 3,
+                last: Some(snap_with(&[("wire.stalls", 1)])),
+                stall: Some(StallInfo {
+                    stalled_ms: 312,
+                    pending_ops: 2,
+                }),
+            },
+        }];
+        let text = render_report(&rows);
+        assert!(text.contains("\"stalled_ms\": 312"));
+        assert!(text.contains("\"pending_ops\": 2"));
+        let table = cluster_table(&[rows[0].stats.clone()]);
+        assert!(table.contains("STALLED 312ms"));
+    }
+
+    #[test]
+    fn collector_folds_frames_per_rank() {
+        let dir = std::env::temp_dir().join(format!("wire-stats-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let sock = dir.join("stats.sock");
+        let col = Collector::start(&sock, 2).expect("collector binds");
+        // Rank 1 ships one Stats frame and one Stall frame by hand.
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        let body = snap_with(&[("wire.frames_rx", 7)]).to_bytes();
+        for (kind, xid, tag) in [(FrameKind::Stats, 0, 0), (FrameKind::Stall, 450, 3)] {
+            let hdr = Header {
+                kind,
+                src: 1,
+                tag,
+                xid,
+                len: body.len() as u64,
+            };
+            use std::io::Write;
+            stream.write_all(&hdr.encode()).expect("header");
+            stream.write_all(&body).expect("body");
+        }
+        drop(stream);
+        // Wait for the reader to fold both frames.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let state = col.peek();
+            if state[1].snapshots == 1 && state[1].stall.is_some() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "collector saw frames");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let state = col.finish();
+        assert_eq!(state[0].snapshots, 0, "rank 0 never reported");
+        assert_eq!(state[1].snapshots, 1);
+        assert_eq!(
+            state[1].stall,
+            Some(StallInfo {
+                stalled_ms: 450,
+                pending_ops: 3
+            })
+        );
+        let last = state[1].last.as_ref().expect("snapshot retained");
+        assert_eq!(last.counter("wire.frames_rx"), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -86,6 +86,140 @@ fn sigkilled_rank_mid_rendezvous_reports_peer_lost() {
     assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
 }
 
+/// The stats-aggregation satellite: a rank SIGKILLed mid-run must appear
+/// in the final JSON report as dead, with its last received snapshot, and
+/// the launcher exit code must be nonzero.
+#[test]
+fn stats_report_marks_sigkilled_rank_dead_with_last_snapshot() {
+    let report = std::env::temp_dir().join(format!("wire-stats-kill-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&report);
+    let out = Command::new(offload_run())
+        .args([
+            "-n",
+            "2",
+            "--timeout",
+            "60",
+            "--stats-interval",
+            "25",
+            "--stats-out",
+            report.to_str().expect("utf8 path"),
+            victim(),
+        ])
+        .env("WIRE_VICTIM_MODE", "kill")
+        .env("WIRE_TIMEOUT_MS", "10000")
+        .output()
+        .expect("offload-run spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "nonzero exit\nstderr:\n{stderr}"
+    );
+    let text = std::fs::read_to_string(&report).expect("report written");
+    // Structurally valid for 2 ranks (no positive-metric requirements:
+    // which metrics moved before the kill is timing-dependent).
+    wire::stats::validate_report(&text, 2, &[]).expect("report validates");
+    let doc = obs::chrome::parse_json(&text).expect("report parses");
+    let rows = match doc.get("ranks") {
+        Some(obs::chrome::Json::Arr(a)) => a,
+        other => panic!("no ranks array: {other:?}"),
+    };
+    let dead_row = rows
+        .iter()
+        .find(|r| r.get("rank").and_then(|j| j.as_num()) == Some(1.0))
+        .expect("rank 1 present");
+    assert_eq!(
+        dead_row.get("dead"),
+        Some(&obs::chrome::Json::Bool(true)),
+        "rank 1 marked dead:\n{text}"
+    );
+    assert!(
+        dead_row
+            .get("outcome")
+            .and_then(|j| j.as_str())
+            .is_some_and(|s| s.contains("signal 9")),
+        "outcome names the signal:\n{text}"
+    );
+    // The victim polled progress before dying, so its initial snapshot
+    // arrived: the report carries evidence from before the death.
+    assert!(
+        dead_row
+            .get("snapshots")
+            .and_then(|j| j.as_num())
+            .is_some_and(|n| n >= 1.0),
+        "last snapshot collected before the kill:\n{text}"
+    );
+    assert!(
+        stderr.contains("rank 1 died"),
+        "launcher flags the death in its epilogue:\nstderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_file(&report);
+}
+
+/// The straggler acceptance case: a rank whose progress engine is wedged
+/// (pending op, no advancement) is reported with stall evidence before
+/// any timeout fires — the job itself still exits 0.
+#[test]
+fn stalled_rank_is_flagged_as_straggler_with_evidence() {
+    let report = std::env::temp_dir().join(format!("wire-stats-stall-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&report);
+    let out = Command::new(offload_run())
+        .args([
+            "-n",
+            "2",
+            "--timeout",
+            "60",
+            "--stats-interval",
+            "25",
+            "--stall-ms",
+            "100",
+            "--stats-out",
+            report.to_str().expect("utf8 path"),
+            victim(),
+        ])
+        .env("WIRE_VICTIM_MODE", "stall")
+        .output()
+        .expect("offload-run spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "stalling is not dying — job exits 0\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("rank 1 STRAGGLER"),
+        "straggler flagged\nstderr:\n{stderr}"
+    );
+    // The rank's own watchdog line surfaced through stderr prefixing too.
+    assert!(
+        stderr.contains("[rank 1] wire: rank 1 progress stalled"),
+        "rank-side watchdog line\nstderr:\n{stderr}"
+    );
+    let text = std::fs::read_to_string(&report).expect("report written");
+    wire::stats::validate_report(&text, 2, &[]).expect("report validates");
+    let doc = obs::chrome::parse_json(&text).expect("report parses");
+    let rows = match doc.get("ranks") {
+        Some(obs::chrome::Json::Arr(a)) => a,
+        other => panic!("no ranks array: {other:?}"),
+    };
+    let straggler = rows
+        .iter()
+        .find(|r| r.get("rank").and_then(|j| j.as_num()) == Some(1.0))
+        .expect("rank 1 present");
+    let stall = straggler.get("stall").expect("stall field");
+    assert!(
+        stall
+            .get("stalled_ms")
+            .and_then(|j| j.as_num())
+            .is_some_and(|ms| ms >= 100.0),
+        "stall evidence carries the window:\n{text}"
+    );
+    assert!(
+        stall.get("pending_ops").and_then(|j| j.as_num()) == Some(1.0),
+        "one pending op recorded:\n{text}"
+    );
+    let _ = std::fs::remove_file(&report);
+}
+
 /// A job that outlives `--timeout` is killed and reported, not left
 /// wedged: one rank bootstraps and then sleeps forever.
 #[test]

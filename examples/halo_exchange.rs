@@ -34,7 +34,7 @@ const WIRE_ITERS: usize = 4;
 /// Ranks pair up (0↔1, 2↔3, …) and run the §4.1 overlap measurement
 /// under each live strategy sequentially over the same socket mesh.
 fn wire_main() {
-    let transport = match wire::from_env() {
+    let mut transport = match wire::from_env() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("halo_exchange: wire bootstrap failed: {e}");
@@ -56,6 +56,11 @@ fn wire_main() {
         obs::Recorder::disabled()
     };
     let track = recorder.track(0, 0, "approach phases");
+    // Cross-rank rendezvous flow arrows: the engine emits s/t/f events at
+    // RTS-send, CTS-send, and DATA-recv on this track; after per-rank
+    // dumps are merged, each handshake draws as one arrow between rank
+    // rows in Perfetto (dump_trace_prefixed restamps pids per rank).
+    transport.set_flow_track(recorder.track(0, 1, "wire rendezvous"));
 
     let mut rows = Vec::new();
     let mut t = transport;
