@@ -1,6 +1,16 @@
 #!/usr/bin/env bash
 # Local/CI gate: build, test (both observability modes), format, lint.
 # Fully offline — all dependencies are path deps inside the repo.
+#
+# Usage: ci.sh [all|bench-gate|bench-baseline]
+#   all            — every lane below, including the perf-trajectory gate.
+#   bench-gate     — only the perf-trajectory gate: re-measure the quick
+#                    panels into a scratch dir and bench-compare them
+#                    against the committed BENCH_*.json baselines, failing
+#                    on any out-of-noise-band regression.
+#   bench-baseline — regenerate the BENCH_*.json baselines at the repo
+#                    root (same pinned shape the gate uses); review the
+#                    diff and commit them.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -11,6 +21,67 @@ run() {
   echo "== $* =="
   "$@"
 }
+
+# Re-measure every snapshot panel into "$1" under the pinned CI shape:
+# BENCH_QUICK=1 (trimmed live sweeps, recorded in the snapshot's env
+# fingerprint so full-mode snapshots can never gate against quick
+# baselines) and BENCH_REPEATS=3 (the noise band comes from the repeats).
+bench_panels() {
+  local out="$1"
+  run cargo build --release -p wire --bins
+  run cargo build --release --example halo_exchange
+  for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib; do
+    echo
+    echo "== bench panel $p =="
+    env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 BENCH_REPEATS=3 \
+      cargo bench -q -p bench --bench "$p" \
+      || { echo "bench panel $p FAILED"; exit 1; }
+  done
+  echo
+  echo "== bench panel live_overlap (2 ranks over UDS) =="
+  timeout 90 env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 \
+    target/release/offload-run -n 2 --timeout 60 halo_exchange \
+    || { echo "bench panel live_overlap FAILED"; exit 1; }
+}
+
+bench_gate() {
+  run cargo build --release -p bench --bin bench-compare
+  local fresh
+  fresh=$(mktemp -d /tmp/bench_gate.XXXXXX)
+  bench_panels "$fresh"
+  echo
+  echo "== bench-compare: fresh run vs committed baselines =="
+  target/release/bench-compare --baseline-dir . --fresh-dir "$fresh" \
+    || { echo "bench-gate lane FAILED (perf regression outside the noise band)"; exit 1; }
+}
+
+bench_baseline() {
+  run cargo build --release -p bench --bin bench-compare
+  bench_panels .
+  echo
+  echo "== schema-validating regenerated baselines =="
+  target/release/bench-compare --check . \
+    || { echo "bench-baseline FAILED (invalid snapshot emitted)"; exit 1; }
+  echo "bench-baseline: BENCH_*.json regenerated at the repo root — review the diff and commit"
+}
+
+case "${1:-all}" in
+  bench-gate)
+    bench_gate
+    echo
+    echo "ci.sh bench-gate: passed"
+    exit 0
+    ;;
+  bench-baseline)
+    bench_baseline
+    exit 0
+    ;;
+  all) ;;
+  *)
+    echo "usage: ci.sh [all|bench-gate|bench-baseline]" >&2
+    exit 2
+    ;;
+esac
 
 run cargo build --release --workspace
 run cargo test --workspace -q
@@ -131,6 +202,12 @@ if cargo miri --version >/dev/null 2>&1; then
 else
   echo "== cargo miri not installed; skipping weak-memory lane =="
 fi
+
+# Perf-trajectory gate: quick panels under the pinned CI shape, diffed
+# against the committed BENCH_*.json baselines using each series'
+# recorded noise band. Wall-clock series are `info` (never gate); the
+# deterministic DES and protocol-counter series gate hard.
+bench_gate
 
 echo
 echo "ci.sh: all checks passed"

@@ -10,19 +10,40 @@
 //! idle yields, park/wake counts) show the mechanism, not just the rate.
 
 use approaches::Approach;
-use bench::{emit, size_label, sizes_pow2, us};
+use bench::{benchjson, emit, size_label, sizes_pow2, us, Direction, PanelSnapshot};
 use harness::{isend_issue_cost, live_isend_issue_rate, Table};
 use offload::CommandPath;
 use simnet::MachineProfile;
 
+/// Sizes snapshotted for the perf-trajectory gate (eager / pre-rendezvous
+/// / rendezvous regimes of the issue-cost curve).
+const SNAP_SIZES: [usize; 3] = [64, 64 * 1024, 2 << 20];
+
 fn main() {
     let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let mut snap = PanelSnapshot::new(
+        "fig04_isend_issue",
+        "Fig 4 — MPI_Isend issue time + live shared-vs-lanes issue rate",
+    );
     let mut t = Table::new(vec!["size", "baseline us", "comm-self us", "offload us"]);
     for &size in &sizes_pow2(64, 2 << 20) {
         let mut cells = vec![size_label(size)];
         for &a in &approaches {
             let ns = isend_issue_cost(MachineProfile::xeon(), a, size, 5);
             cells.push(us(ns));
+            if SNAP_SIZES.contains(&size) {
+                // Deterministic DES cost: repeats agree exactly, so the
+                // noise band is 0 and any drift gates.
+                let samples: Vec<f64> = (0..bench::bench_repeats())
+                    .map(|_| isend_issue_cost(MachineProfile::xeon(), a, size, 5) as f64 / 1e3)
+                    .collect();
+                snap.push_series(
+                    format!("issue_us.{}.{}", a.name(), size_label(size)),
+                    "us",
+                    Direction::Lower,
+                    samples,
+                );
+            }
         }
         t.row(cells);
     }
@@ -33,8 +54,15 @@ fn main() {
     );
 
     // Live panel: real threads against the real offload thread, shared
-    // MPMC command ring vs per-thread submission lanes.
-    const MSGS: usize = 2000;
+    // MPMC command ring vs per-thread submission lanes. Quick (gate) mode
+    // trims the sweep: wall-clock throughput on a loaded CI box is
+    // recorded as `info`, so the trimmed shape loses nothing the gate
+    // would use.
+    let (msgs, thread_sweep): (usize, &[usize]) = if bench::quick_mode() {
+        (500, &[1, 2])
+    } else {
+        (2000, &[1, 2, 4, 8])
+    };
     let mut lt = Table::new(vec![
         "app threads",
         "shared Kops/s",
@@ -47,9 +75,27 @@ fn main() {
         "lanes parks",
         "lanes wakes",
     ]);
-    for threads in [1usize, 2, 4, 8] {
-        let shared = live_isend_issue_rate(threads, MSGS, CommandPath::SharedQueue);
-        let lanes = live_isend_issue_rate(threads, MSGS, CommandPath::Lanes);
+    for &threads in thread_sweep {
+        let shared = live_isend_issue_rate(threads, msgs, CommandPath::SharedQueue);
+        let lanes = live_isend_issue_rate(threads, msgs, CommandPath::Lanes);
+        snap.push_series(
+            format!("issue_rate_kops.shared.t{threads}"),
+            "Kops/s",
+            Direction::Info,
+            vec![shared.issues_per_sec / 1e3],
+        );
+        snap.push_series(
+            format!("issue_rate_kops.lanes.t{threads}"),
+            "Kops/s",
+            Direction::Info,
+            vec![lanes.issues_per_sec / 1e3],
+        );
+        snap.push_series(
+            format!("lanes_vs_shared.t{threads}"),
+            "ratio",
+            Direction::Info,
+            vec![lanes.issues_per_sec / shared.issues_per_sec],
+        );
         lt.row(vec![
             threads.to_string(),
             format!("{:.1}", shared.issues_per_sec / 1e3),
@@ -68,4 +114,5 @@ fn main() {
         "Fig 4 (live panel) — isend issue throughput, shared MPMC ring vs per-thread lanes",
         &lt,
     );
+    benchjson::emit_snapshot(&snap);
 }

@@ -8,13 +8,30 @@
 //! added.
 
 use approaches::Approach;
-use bench::{emit, size_label, sizes_pow2, us};
+use bench::{benchjson, emit, size_label, sizes_pow2, us, Direction, PanelSnapshot};
 use harness::{osu_mt_latency, osu_mt_latency_observed, Table};
 use simnet::MachineProfile;
 
 fn main() {
     let approaches = [Approach::Baseline, Approach::CommSelf, Approach::Offload];
+    let mut snap = PanelSnapshot::new(
+        "fig06_mt_latency",
+        "Fig 6 — OSU multithreaded latency + offload service metrics (DES)",
+    );
     for (panel, threads) in [("a", 2usize), ("b", 4), ("c", 8)] {
+        // 16 B is the latency-dominated point of each sub-figure; the DES
+        // is deterministic, so the snapshot series gate on any drift.
+        for &a in &approaches {
+            let samples: Vec<f64> = (0..bench::bench_repeats())
+                .map(|_| osu_mt_latency(MachineProfile::xeon(), a, threads, 16, 4) as f64 / 1e3)
+                .collect();
+            snap.push_series(
+                format!("mt_latency_us.{}.p{threads}.16B", a.name()),
+                "us",
+                Direction::Lower,
+                samples,
+            );
+        }
         let mut t = Table::new(vec!["size", "baseline us", "comm-self us", "offload us"]);
         for &size in &sizes_pow2(8, 16 * 1024) {
             let mut cells = vec![size_label(size)];
@@ -43,17 +60,32 @@ fn main() {
         "reqs retired",
     ]);
     for threads in [2usize, 4, 8] {
-        let (ns, snap) =
+        let (ns, obs_snap) =
             osu_mt_latency_observed(MachineProfile::xeon(), Approach::Offload, threads, 16, 4);
-        let drained = snap.histogram("offload.drained_per_wakeup");
+        let drained = obs_snap.histogram("offload.drained_per_wakeup");
+        // Service-loop shape: informational series so the trajectory
+        // records *how* the latency stays flat, without gating on
+        // internal scheduling details.
+        snap.push_series(
+            format!("drained_mean.p{threads}"),
+            "cmds/wakeup",
+            Direction::Info,
+            vec![drained.mean()],
+        );
+        snap.push_series(
+            format!("reqs_retired.p{threads}"),
+            "count",
+            Direction::Info,
+            vec![obs_snap.counter("offload.reqs_retired") as f64],
+        );
         ot.row(vec![
             threads.to_string(),
             us(ns),
             format!("{:.2}", drained.mean()),
-            snap.counter("offload.parks").to_string(),
-            snap.counter("offload.wakes").to_string(),
-            snap.gauge("lanes.occupancy").high_water.to_string(),
-            snap.counter("offload.reqs_retired").to_string(),
+            obs_snap.counter("offload.parks").to_string(),
+            obs_snap.counter("offload.wakes").to_string(),
+            obs_snap.gauge("lanes.occupancy").high_water.to_string(),
+            obs_snap.counter("offload.reqs_retired").to_string(),
         ]);
     }
     emit(
@@ -61,4 +93,5 @@ fn main() {
         "Fig 6 (obs panel) — offload service metrics while scaling thread pairs",
         &ot,
     );
+    benchjson::emit_snapshot(&snap);
 }

@@ -1,0 +1,168 @@
+//! `bench-compare` — the perf-trajectory regression gate.
+//!
+//! Two modes:
+//!
+//! * `bench-compare --check <dir>` — validate every `BENCH_*.json` in
+//!   `<dir>` against the snapshot schema. Exit 0 if all parse and
+//!   validate, 2 otherwise.
+//! * `bench-compare --baseline-dir <dir> --fresh-dir <dir>
+//!   [--rel-slack <f>]` — diff fresh snapshots against committed
+//!   baselines, classify every series using the recorded noise bands,
+//!   print a delta table per panel, and exit 1 on any gate failure
+//!   (regressed / missing / broken / panel lost).
+//!
+//! Exit codes: 0 = gate passed, 1 = regression gate failed, 2 = usage
+//! or I/O error.
+
+use harness::benchjson::{self, CompareOpts, GateReport, PanelSnapshot, Verdict};
+use harness::Table;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-compare --check <dir>\n       bench-compare --baseline-dir <dir> --fresh-dir <dir> [--rel-slack <f>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_dir: Option<PathBuf> = None;
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut opts = CompareOpts::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => match it.next() {
+                Some(d) => check_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--baseline-dir" => match it.next() {
+                Some(d) => baseline_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--fresh-dir" => match it.next() {
+                Some(d) => fresh_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--rel-slack" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 && v.is_finite() => opts.rel_slack = v,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    match (check_dir, baseline_dir, fresh_dir) {
+        (Some(dir), None, None) => run_check(&dir),
+        (None, Some(base), Some(fresh)) => run_compare(&base, &fresh, opts),
+        _ => usage(),
+    }
+}
+
+/// Schema-validate every snapshot in `dir`.
+fn run_check(dir: &Path) -> ExitCode {
+    let panels = benchjson::list_panels(dir);
+    if panels.is_empty() {
+        eprintln!(
+            "bench-compare: no BENCH_*.json snapshots in {}",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let mut bad = 0usize;
+    for p in &panels {
+        let path = dir.join(format!("BENCH_{p}.json"));
+        match PanelSnapshot::read_from(&path) {
+            Ok(s) => println!(
+                "ok      {:<24} series={:<2} sha={} mode={}",
+                p,
+                s.series.len(),
+                s.git_sha,
+                s.env.mode
+            ),
+            Err(e) => {
+                eprintln!("INVALID {p}: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        println!("{} snapshot(s) valid", panels.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{bad} of {} snapshot(s) invalid", panels.len());
+        ExitCode::from(2)
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.3}"),
+        Some(_) => "nan".into(),
+        None => "-".into(),
+    }
+}
+
+/// Run the gate and render the delta tables.
+fn run_compare(base: &Path, fresh: &Path, opts: CompareOpts) -> ExitCode {
+    let report: GateReport = match benchjson::compare_dirs(base, fresh, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for pd in &report.panels {
+        let mut t = Table::new(vec![
+            "series", "unit", "baseline", "fresh", "delta", "band", "verdict",
+        ]);
+        for r in &pd.rows {
+            t.row(vec![
+                r.name.clone(),
+                r.unit.clone(),
+                fmt_opt(r.base_median),
+                fmt_opt(r.fresh_median),
+                fmt_opt(r.delta),
+                format!("{:.3}", r.band),
+                match &r.verdict {
+                    Verdict::Broken(why) => format!("BROKEN ({why})"),
+                    v => v.label().to_string(),
+                },
+            ]);
+        }
+        t.print(&format!(
+            "panel {} (rel_slack={})",
+            pd.panel, opts.rel_slack
+        ));
+        for n in &pd.notes {
+            println!("  note: {n}");
+        }
+        println!();
+    }
+    for p in &report.missing_baseline {
+        println!("panel {p}: fresh snapshot has no committed baseline");
+    }
+    for p in &report.missing_fresh {
+        println!("panel {p}: committed baseline but fresh run produced no snapshot");
+    }
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!(
+            "bench-compare: gate PASSED ({} panel(s))",
+            report.panels.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-compare: gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

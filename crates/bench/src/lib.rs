@@ -5,7 +5,10 @@
 //! `target/paper_reports/` so EXPERIMENTS.md can reference stable artifacts.
 
 use harness::Table;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+pub use harness::benchjson::{self, Direction, PanelSnapshot};
+pub use harness::{bench_repeats, emit_snapshot, quick_mode};
 
 /// Standard power-of-two byte sweep `lo..=hi`.
 pub fn sizes_pow2(lo: usize, hi: usize) -> Vec<usize> {
@@ -23,23 +26,40 @@ pub fn size_label(b: usize) -> String {
     harness::fmt_bytes(b)
 }
 
-/// Where report CSVs land: `<workspace>/target/paper_reports`.
+/// Where report CSVs land: `<target dir>/paper_reports`.
 pub fn report_dir() -> PathBuf {
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        // Bench binaries run with the crate as cwd; anchor at the
-        // workspace root instead.
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").into()
-    });
-    let dir = PathBuf::from(target).join("paper_reports");
+    let dir =
+        target_dir_from(std::env::var("CARGO_TARGET_DIR").ok().as_deref()).join("paper_reports");
     std::fs::create_dir_all(&dir).expect("create report directory");
     dir
 }
 
-/// Print the table and save its CSV twin.
+/// Resolve the cargo target directory. A *relative* `CARGO_TARGET_DIR` is
+/// anchored at the workspace root, not the process cwd — bench binaries
+/// run with the crate as cwd, so anchoring at cwd would scatter
+/// `crates/bench/<dir>` directories around the tree.
+fn target_dir_from(cargo_target_dir: Option<&str>) -> PathBuf {
+    let root = harness::benchjson::workspace_root();
+    match cargo_target_dir {
+        Some(t) if Path::new(t).is_absolute() => PathBuf::from(t),
+        Some(t) => root.join(t),
+        None => root.join("target"),
+    }
+}
+
+/// Print the table and save its CSV twin, stamped with a provenance
+/// header (`# git_sha=… env=…`) so `target/paper_reports` artifacts stay
+/// attributable after they are copied around.
 pub fn emit(name: &str, title: &str, table: &Table) {
     table.print(title);
     let path = report_dir().join(format!("{name}.csv"));
-    std::fs::write(&path, table.to_csv()).expect("write report CSV");
+    let stamped = format!(
+        "# git_sha={} env={}\n{}",
+        harness::benchjson::git_sha(),
+        harness::benchjson::EnvFingerprint::current(),
+        table.to_csv()
+    );
+    std::fs::write(&path, stamped).expect("write report CSV");
     println!("[saved {}]", path.display());
 }
 
@@ -66,5 +86,36 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(us(1_234), "1.23");
+    }
+
+    #[test]
+    fn relative_cargo_target_dir_anchors_at_workspace_root() {
+        let root = harness::benchjson::workspace_root();
+        assert_eq!(target_dir_from(None), root.join("target"));
+        assert_eq!(
+            target_dir_from(Some("custom-target")),
+            root.join("custom-target"),
+            "relative CARGO_TARGET_DIR must not resolve against the cwd"
+        );
+        assert_eq!(
+            target_dir_from(Some("/abs/target")),
+            PathBuf::from("/abs/target")
+        );
+    }
+
+    #[test]
+    fn emitted_csv_carries_provenance_header() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["a", "1"]);
+        emit("provenance_header_test", "test table", &t);
+        let text = std::fs::read_to_string(report_dir().join("provenance_header_test.csv"))
+            .expect("csv written");
+        let first = text.lines().next().expect("non-empty");
+        assert!(
+            first.starts_with("# git_sha=") && first.contains(" env=cpus="),
+            "header was: {first}"
+        );
+        assert!(text.contains("k,v\na,1\n"), "body intact: {text}");
+        let _ = std::fs::remove_file(report_dir().join("provenance_header_test.csv"));
     }
 }

@@ -1,0 +1,219 @@
+//! End-to-end tests of the `bench-compare` gate binary: snapshot
+//! directories are staged under a scratch dir and the real binary
+//! (`CARGO_BIN_EXE_bench-compare`) is run against them, asserting exit
+//! codes and the printed delta tables.
+
+use harness::benchjson::{Direction, PanelSnapshot};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_compare_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn snapshot(panel: &str, series: &[(&str, Direction, &[f64])]) -> PanelSnapshot {
+    let mut s = PanelSnapshot::new(panel, format!("test panel {panel}"));
+    for (name, dir, samples) in series {
+        s.push_series(*name, "us", *dir, samples.to_vec());
+    }
+    s
+}
+
+fn run_gate(base: &Path, fresh: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .args(["--baseline-dir"])
+        .arg(base)
+        .arg("--fresh-dir")
+        .arg(fresh)
+        .output()
+        .expect("spawn bench-compare")
+}
+
+fn run_check(dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .arg("--check")
+        .arg(dir)
+        .output()
+        .expect("spawn bench-compare")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code")
+}
+
+fn text(out: &Output) -> String {
+    format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+#[test]
+fn clean_rerun_passes_and_prints_delta_table() {
+    let dir = scratch("clean");
+    let (base, fresh) = (dir.join("base"), dir.join("fresh"));
+    // Noise band [9, 11]; fresh median inside it.
+    snapshot("p", &[("lat", Direction::Lower, &[9.0, 10.0, 11.0])])
+        .write_to(&base)
+        .unwrap();
+    snapshot("p", &[("lat", Direction::Lower, &[10.0, 10.5, 11.0])])
+        .write_to(&fresh)
+        .unwrap();
+    let out = run_gate(&base, &fresh);
+    let t = text(&out);
+    assert_eq!(code(&out), 0, "output: {t}");
+    assert!(t.contains("gate PASSED"), "output: {t}");
+    assert!(t.contains("verdict"), "delta table header missing: {t}");
+    assert!(t.contains("unchanged"), "output: {t}");
+}
+
+#[test]
+fn regression_outside_band_fails_inside_band_passes() {
+    let dir = scratch("band");
+    let (base, fo, fi) = (dir.join("base"), dir.join("out"), dir.join("in"));
+    // Baseline: median 10, noise 2, rel_slack 0.25 ⇒ band 2 + 2.5 = 4.5
+    // (fresh noise 0). worse > 4.5 regresses.
+    snapshot("p", &[("lat", Direction::Lower, &[9.0, 10.0, 11.0])])
+        .write_to(&base)
+        .unwrap();
+    snapshot("p", &[("lat", Direction::Lower, &[14.6, 14.6, 14.6])])
+        .write_to(&fo)
+        .unwrap();
+    snapshot("p", &[("lat", Direction::Lower, &[14.4, 14.4, 14.4])])
+        .write_to(&fi)
+        .unwrap();
+    let out = run_gate(&base, &fo);
+    assert_eq!(
+        code(&out),
+        1,
+        "just outside the band must fail: {}",
+        text(&out)
+    );
+    assert!(text(&out).contains("REGRESSED"), "output: {}", text(&out));
+    let out = run_gate(&base, &fi);
+    assert_eq!(
+        code(&out),
+        0,
+        "just inside the band must pass: {}",
+        text(&out)
+    );
+}
+
+#[test]
+fn missing_baseline_panel_fails_with_instructions() {
+    let dir = scratch("nobase");
+    let (base, fresh) = (dir.join("base"), dir.join("fresh"));
+    std::fs::create_dir_all(&base).unwrap();
+    snapshot("orphan", &[("x", Direction::Lower, &[1.0])])
+        .write_to(&fresh)
+        .unwrap();
+    let out = run_gate(&base, &fresh);
+    assert_eq!(code(&out), 1);
+    assert!(
+        text(&out).contains("no committed baseline"),
+        "output: {}",
+        text(&out)
+    );
+}
+
+#[test]
+fn panel_lost_from_fresh_run_fails() {
+    let dir = scratch("nofresh");
+    let (base, fresh) = (dir.join("base"), dir.join("fresh"));
+    snapshot("kept", &[("x", Direction::Lower, &[1.0])])
+        .write_to(&base)
+        .unwrap();
+    snapshot("lost", &[("x", Direction::Lower, &[1.0])])
+        .write_to(&base)
+        .unwrap();
+    snapshot("kept", &[("x", Direction::Lower, &[1.0])])
+        .write_to(&fresh)
+        .unwrap();
+    let out = run_gate(&base, &fresh);
+    assert_eq!(code(&out), 1);
+    assert!(
+        text(&out).contains("fresh run produced no snapshot"),
+        "output: {}",
+        text(&out)
+    );
+}
+
+#[test]
+fn empty_dirs_are_a_usage_error_not_a_pass() {
+    let dir = scratch("empty");
+    let (base, fresh) = (dir.join("base"), dir.join("fresh"));
+    std::fs::create_dir_all(&base).unwrap();
+    std::fs::create_dir_all(&fresh).unwrap();
+    let out = run_gate(&base, &fresh);
+    assert_eq!(code(&out), 2, "output: {}", text(&out));
+}
+
+#[test]
+fn zero_and_nan_medians() {
+    let dir = scratch("degenerate");
+    let (base, fresh) = (dir.join("base"), dir.join("fresh"));
+    snapshot(
+        "p",
+        &[
+            ("zeros", Direction::Lower, &[0.0, 0.0, 0.0]),
+            ("went_nan", Direction::Lower, &[1.0, 1.0, 1.0]),
+        ],
+    )
+    .write_to(&base)
+    .unwrap();
+    snapshot(
+        "p",
+        &[
+            // 0 → 0 with zero noise and zero slack contribution: unchanged.
+            ("zeros", Direction::Lower, &[0.0, 0.0, 0.0]),
+            (
+                "went_nan",
+                Direction::Lower,
+                &[f64::NAN, f64::NAN, f64::NAN],
+            ),
+        ],
+    )
+    .write_to(&fresh)
+    .unwrap();
+    let out = run_gate(&base, &fresh);
+    assert_eq!(code(&out), 1, "NaN median must gate: {}", text(&out));
+    let t = text(&out);
+    assert!(t.contains("BROKEN"), "output: {t}");
+    assert!(t.contains("unchanged"), "0 -> 0 must stay unchanged: {t}");
+}
+
+#[test]
+fn check_mode_validates_and_rejects() {
+    let dir = scratch("check");
+    snapshot("good", &[("x", Direction::Higher, &[1.0, 2.0, 3.0])])
+        .write_to(&dir)
+        .unwrap();
+    let out = run_check(&dir);
+    assert_eq!(code(&out), 0, "output: {}", text(&out));
+    assert!(text(&out).contains("1 snapshot(s) valid"));
+
+    std::fs::write(dir.join("BENCH_bad.json"), "{ not json").unwrap();
+    let out = run_check(&dir);
+    assert_eq!(code(&out), 2);
+    assert!(text(&out).contains("INVALID bad"), "output: {}", text(&out));
+}
+
+#[test]
+fn snapshot_file_round_trip_is_exact() {
+    let dir = scratch("roundtrip");
+    let snap = snapshot(
+        "rt",
+        &[
+            ("a", Direction::Lower, &[3.0, 1.0, 2.0]),
+            ("b", Direction::Info, &[0.5]),
+        ],
+    );
+    let path = snap.write_to(&dir).unwrap();
+    let back = PanelSnapshot::read_from(&path).unwrap();
+    assert_eq!(back, snap);
+    assert_eq!(back.to_json(), snap.to_json());
+}

@@ -1,0 +1,15 @@
+//! Capture the toolchain version at build time so `benchjson` snapshots
+//! can fingerprint the environment they were measured under.
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=HARNESS_RUSTC_VERSION={version}");
+}

@@ -2,12 +2,16 @@
 //! the `Comm` trait, table/CSV reporting, and wall-clock calibration of the
 //! real lock-free structures.
 
+pub mod benchjson;
 pub mod calibrate;
 pub mod liveoverlap;
 pub mod micro;
 pub mod obsreport;
 pub mod table;
 
+pub use benchjson::{
+    bench_repeats, emit_snapshot, quick_mode, CompareOpts, Direction, PanelSnapshot, Series,
+};
 pub use calibrate::{calibrate, Calibration};
 pub use liveoverlap::{live_overlap, live_overlap_table, LiveOverlapRow};
 pub use micro::{

@@ -158,4 +158,19 @@ mod tests {
         append_metrics(&mut report, "compute", &reg.snapshot());
         assert!(report.render().contains("[compute] queue.push_ok"));
     }
+
+    #[cfg(feature = "obs-enabled")]
+    #[test]
+    fn metric_tables_carry_tail_percentiles() {
+        let reg = obs::Registry::default();
+        let h = reg.histogram("svc.batch");
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        let csv = metrics_table(&reg.snapshot()).to_csv();
+        assert!(
+            csv.contains("p50=") && csv.contains("p95=") && csv.contains("p99="),
+            "histogram row must expose tail percentiles, csv was: {csv}"
+        );
+    }
 }

@@ -33,6 +33,61 @@ impl HistogramReading {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the log2 buckets.
+    ///
+    /// The sample of rank `ceil(q · count)` is located in its bucket and
+    /// linearly interpolated inside it (bucket `i` spans
+    /// `[2^(i-1), 2^i - 1]`; bucket 0 is exactly the value 0), so the
+    /// estimate is always within the true sample's bucket — the error is
+    /// bounded by the bucket width, never by the tail length. An empty
+    /// histogram estimates 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut below = 0u64;
+        for &(ub, n) in &self.buckets {
+            if n > 0 && rank <= below + n {
+                let lb = bucket_lower_bound(ub);
+                if lb >= ub {
+                    return ub; // single-value buckets (0 and 1) are exact
+                }
+                // Rank k of n samples sits at the (k − ½)/n point of the
+                // bucket under the uniform-within-bucket assumption; a
+                // single-sample bucket therefore estimates its midpoint.
+                let frac = (((rank - below) as f64 - 0.5) / n as f64).clamp(0.0, 1.0);
+                return lb + (frac * (ub - lb) as f64).round() as u64;
+            }
+            below += n;
+        }
+        self.buckets.last().map_or(0, |&(ub, _)| ub)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Inclusive lower bound of the log2 bucket whose inclusive upper bound is
+/// `ub`: bucket 0 holds zeros, bucket 1 holds the value 1, bucket `i ≥ 2`
+/// spans `[2^(i-1), 2^i - 1]` (for `ub = u64::MAX` that is `2^63`).
+fn bucket_lower_bound(ub: u64) -> u64 {
+    if ub <= 1 {
+        ub
+    } else {
+        ub / 2 + 1
+    }
 }
 
 /// A point-in-time reading of every metric in a [`Registry`].
@@ -123,11 +178,14 @@ impl Snapshot {
             if h.count > 0 {
                 out.push((
                     k.clone(),
-                    format!("n={} mean={:.1} max<=2^{}", h.count, h.mean(), {
-                        h.buckets
-                            .last()
-                            .map_or(0, |&(ub, _)| 64 - u64::leading_zeros(ub.max(1)) as u64)
-                    }),
+                    format!(
+                        "n={} mean={:.1} p50={} p95={} p99={}",
+                        h.count,
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99()
+                    ),
                 ));
             }
         }
@@ -661,6 +719,80 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(names, sorted, "render_lines not sorted: {names:?}");
         assert_eq!(names, vec!["alpha", "b.count", "m.middle", "zebra"]);
+    }
+
+    #[test]
+    fn quantiles_on_log2_edge_values() {
+        // Empty histogram: every quantile estimates 0.
+        assert_eq!(HistogramReading::default().p50(), 0);
+
+        // Zeros live in the exact bucket 0.
+        let reg = Registry::new();
+        let h = reg.histogram("z");
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let r = reg.snapshot().histogram("z");
+        assert_eq!((r.p50(), r.p99()), (0, 0));
+
+        // u64::MAX lands in the last bucket [2^63, u64::MAX]; the estimate
+        // must stay inside that bucket (no overflow, no wraparound).
+        let reg = Registry::new();
+        let h = reg.histogram("m");
+        h.record(u64::MAX);
+        let r = reg.snapshot().histogram("m");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = r.quantile(q);
+            assert!(est >= 1 << 63, "q={q} est={est}");
+        }
+
+        // A single-sample bucket estimates its midpoint: one sample in
+        // [512, 1023] reads as 512 + (1023-512)/2 rounded.
+        let reg = Registry::new();
+        let h = reg.histogram("s");
+        h.record(777);
+        let r = reg.snapshot().histogram("s");
+        assert_eq!(r.p50(), 512 + ((1023u64 - 512) as f64 * 0.5).round() as u64);
+
+        // Exact buckets 0 and 1 are exact at every quantile.
+        let reg = Registry::new();
+        let h = reg.histogram("e");
+        h.record(0);
+        h.record(1);
+        let r = reg.snapshot().histogram("e");
+        assert_eq!(r.quantile(0.25), 0);
+        assert_eq!(r.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn quantiles_order_and_bucket_membership() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        // 90 fast samples in [64,127], 10 slow in [4096,8191]: p50 must sit
+        // in the fast bucket, p95/p99 in the slow one, monotonically.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let r = reg.snapshot().histogram("lat");
+        assert!((64..=127).contains(&r.p50()), "p50={}", r.p50());
+        assert!((4096..=8191).contains(&r.p95()), "p95={}", r.p95());
+        assert!(r.p50() <= r.p95() && r.p95() <= r.p99());
+    }
+
+    #[test]
+    fn render_lines_carry_percentiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record(5000);
+        let lines = reg.snapshot().render_lines();
+        let (_, v) = &lines[0];
+        assert!(
+            v.contains("p50=") && v.contains("p95=") && v.contains("p99="),
+            "line was: {v}"
+        );
     }
 
     #[test]

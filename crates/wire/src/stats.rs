@@ -35,6 +35,62 @@ pub struct StallInfo {
     pub pending_ops: u32,
 }
 
+/// How many recent snapshots [`SnapshotHistory`] retains besides the
+/// first. Long runs at many ranks ship thousands of periodic frames; the
+/// collector must stay O(ranks), not O(frames).
+pub const HISTORY_CAP: usize = 8;
+
+/// Bounded per-rank snapshot trajectory: the first snapshot ever received
+/// (the rank's starting state) plus the `HISTORY_CAP` most recent ones.
+/// Everything in between is dropped and counted, so collector memory is
+/// constant per rank no matter how long the job runs or how fast the rank
+/// ships frames.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotHistory {
+    first: Option<obs::Snapshot>,
+    recent: std::collections::VecDeque<obs::Snapshot>,
+    dropped: u64,
+}
+
+impl SnapshotHistory {
+    pub fn push(&mut self, snap: obs::Snapshot) {
+        if self.first.is_none() {
+            self.first = Some(snap.clone());
+        }
+        if self.recent.len() == HISTORY_CAP {
+            self.recent.pop_front();
+            self.dropped += 1;
+        }
+        self.recent.push_back(snap);
+    }
+
+    /// The rank's first-ever snapshot (kept even once the ring wraps).
+    pub fn first(&self) -> Option<&obs::Snapshot> {
+        self.first.as_ref()
+    }
+
+    /// The most recent snapshot.
+    pub fn last(&self) -> Option<&obs::Snapshot> {
+        self.recent.back()
+    }
+
+    /// Recent snapshots, oldest first (≤ [`HISTORY_CAP`]).
+    pub fn recent(&self) -> impl Iterator<Item = &obs::Snapshot> {
+        self.recent.iter()
+    }
+
+    /// Snapshots retained right now (first + recent, no double count).
+    pub fn retained(&self) -> usize {
+        let first_separate = self.dropped > 0 && self.first.is_some();
+        self.recent.len() + usize::from(first_separate)
+    }
+
+    /// Snapshots evicted from the ring to stay within the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
 /// Everything the collector has heard from one rank.
 #[derive(Clone, Debug, Default)]
 pub struct RankStats {
@@ -43,6 +99,8 @@ pub struct RankStats {
     pub snapshots: u64,
     /// Most recent snapshot, whichever frame kind carried it.
     pub last: Option<obs::Snapshot>,
+    /// Bounded trajectory: first snapshot + the most recent few.
+    pub history: SnapshotHistory,
     /// Latest stall event, if the rank's watchdog ever tripped.
     pub stall: Option<StallInfo>,
 }
@@ -135,6 +193,7 @@ fn read_frames(mut stream: UnixStream, shared: &Mutex<Vec<RankStats>>, stop: &At
             FrameKind::Stats => {
                 slot.snapshots += 1;
                 if let Some(s) = snap {
+                    slot.history.push(s.clone());
                     slot.last = Some(s);
                 }
             }
@@ -144,6 +203,7 @@ fn read_frames(mut stream: UnixStream, shared: &Mutex<Vec<RankStats>>, stop: &At
                     pending_ops: hdr.tag,
                 });
                 if let Some(s) = snap {
+                    slot.history.push(s.clone());
                     slot.last = Some(s);
                 }
             }
@@ -181,8 +241,9 @@ fn read_full(stream: &mut UnixStream, buf: &mut [u8], stop: &AtomicBool) -> bool
 // ---------------------------------------------------------------------------
 
 /// One snapshot flattened to `name → value` scalars: counters as-is,
-/// gauges as `name` (value) and `name.hwm`, histograms as `name.count`
-/// and `name.sum`. This is the shape min/median/max aggregates over.
+/// gauges as `name` (value) and `name.hwm`, histograms as `name.count`,
+/// `name.sum` and the `name.p50`/`.p95`/`.p99` tail estimates. This is
+/// the shape min/median/max aggregates over.
 pub fn scalar_metrics(snap: &obs::Snapshot) -> BTreeMap<String, u64> {
     let mut out = BTreeMap::new();
     for (k, v) in &snap.counters {
@@ -195,6 +256,11 @@ pub fn scalar_metrics(snap: &obs::Snapshot) -> BTreeMap<String, u64> {
     for (k, h) in &snap.histograms {
         out.insert(format!("{k}.count"), h.count);
         out.insert(format!("{k}.sum"), h.sum);
+        if h.count > 0 {
+            out.insert(format!("{k}.p50"), h.p50());
+            out.insert(format!("{k}.p95"), h.p95());
+            out.insert(format!("{k}.p99"), h.p99());
+        }
     }
     out
 }
@@ -302,6 +368,11 @@ pub fn render_report(rows: &[RankRow]) -> String {
         out.push_str(&format!("\"outcome\": \"{}\", ", json_escape(&row.outcome)));
         out.push_str(&format!("\"dead\": {}, ", row.dead));
         out.push_str(&format!("\"snapshots\": {}, ", row.stats.snapshots));
+        out.push_str(&format!(
+            "\"history\": {{\"retained\": {}, \"dropped\": {}}}, ",
+            row.stats.history.retained(),
+            row.stats.history.dropped()
+        ));
         match row.stats.stall {
             Some(st) => out.push_str(&format!(
                 "\"stall\": {{\"stalled_ms\": {}, \"pending_ops\": {}}}, ",
@@ -401,8 +472,100 @@ mod tests {
         RankStats {
             snapshots: 1,
             last: Some(snap_with(counters)),
+            history: SnapshotHistory::default(),
             stall: None,
         }
+    }
+
+    #[test]
+    fn history_keeps_first_and_recent_within_cap() {
+        let mut h = SnapshotHistory::default();
+        let total = HISTORY_CAP * 10 + 3;
+        for i in 0..total {
+            h.push(snap_with(&[("tick", i as u64)]));
+        }
+        // Bounded: first + at most HISTORY_CAP recent, the rest counted.
+        assert_eq!(h.recent().count(), HISTORY_CAP);
+        assert_eq!(h.retained(), HISTORY_CAP + 1);
+        assert_eq!(h.dropped() as usize, total - HISTORY_CAP);
+        // The first snapshot survives the wrap; the last is the newest.
+        assert_eq!(h.first().expect("first").counter("tick"), 0);
+        assert_eq!(h.last().expect("last").counter("tick"), (total - 1) as u64);
+        // Recent window is contiguous and oldest-first.
+        let ticks: Vec<u64> = h.recent().map(|s| s.counter("tick")).collect();
+        let want: Vec<u64> = ((total - HISTORY_CAP)..total).map(|i| i as u64).collect();
+        assert_eq!(ticks, want);
+    }
+
+    #[test]
+    fn history_under_cap_retains_everything() {
+        let mut h = SnapshotHistory::default();
+        for i in 0..3u64 {
+            h.push(snap_with(&[("tick", i)]));
+        }
+        assert_eq!(h.retained(), 3, "first is still inside the ring");
+        assert_eq!(h.dropped(), 0);
+        assert_eq!(h.first().expect("first").counter("tick"), 0);
+    }
+
+    #[test]
+    fn collector_history_is_bounded_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("wire-hist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let sock = dir.join("stats.sock");
+        let col = Collector::start(&sock, 1).expect("collector binds");
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        let frames = (HISTORY_CAP * 3) as u64;
+        for i in 0..frames {
+            let body = snap_with(&[("tick", i)]).to_bytes();
+            let hdr = Header {
+                kind: FrameKind::Stats,
+                src: 0,
+                tag: 0,
+                xid: 0,
+                len: body.len() as u64,
+            };
+            use std::io::Write;
+            stream.write_all(&hdr.encode()).expect("header");
+            stream.write_all(&body).expect("body");
+        }
+        drop(stream);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if col.peek()[0].snapshots == frames {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "collector saw frames");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let state = col.finish();
+        assert_eq!(state[0].snapshots, frames);
+        assert!(state[0].history.retained() <= HISTORY_CAP + 1);
+        assert_eq!(state[0].history.first().expect("first").counter("tick"), 0);
+        assert_eq!(
+            state[0].history.last().expect("last").counter("tick"),
+            frames - 1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scalar_metrics_include_histogram_percentiles() {
+        let mut s = obs::Snapshot::default();
+        s.histograms.insert(
+            "lat".into(),
+            obs::HistogramReading {
+                count: 1,
+                sum: 777,
+                buckets: vec![(1023, 1)],
+            },
+        );
+        let m = scalar_metrics(&s);
+        assert_eq!(m.get("lat.count"), Some(&1));
+        let p50 = *m.get("lat.p50").expect("p50 present");
+        assert!((512..=1023).contains(&p50), "p50={p50}");
+        assert!(m.contains_key("lat.p95") && m.contains_key("lat.p99"));
     }
 
     #[test]
@@ -452,6 +615,7 @@ mod tests {
                 stats: RankStats {
                     snapshots: 1,
                     last: Some(snap_with(&[("wire.frames_tx", 0)])),
+                    history: SnapshotHistory::default(),
                     stall: None,
                 },
             },
@@ -472,6 +636,7 @@ mod tests {
             stats: RankStats {
                 snapshots: 3,
                 last: Some(snap_with(&[("wire.stalls", 1)])),
+                history: SnapshotHistory::default(),
                 stall: Some(StallInfo {
                     stalled_ms: 312,
                     pending_ops: 2,
