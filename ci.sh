@@ -29,7 +29,8 @@ run() {
 bench_panels() {
   local out="$1"
   run cargo build --release -p wire --bins
-  run cargo build --release --example halo_exchange
+  run cargo build --release --example halo_exchange --example qcd_solver \
+    --example fft_pipeline
   for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib; do
     echo
     echo "== bench panel $p =="
@@ -42,6 +43,18 @@ bench_panels() {
   timeout 90 env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 \
     target/release/offload-run -n 2 --timeout 60 halo_exchange \
     || { echo "bench panel live_overlap FAILED"; exit 1; }
+  # NBC-over-wire panels: the qcd/fft drivers' collective schedules at 4
+  # ranks. Wall-clock series are info; the round-send (`coll_tx`) and
+  # handshake-attribution counters are deterministic under the pinned
+  # shape and gate hard.
+  for panel in "qcd_wire qcd_solver" "fft_wire fft_pipeline"; do
+    set -- $panel
+    echo
+    echo "== bench panel $1 (4 ranks over UDS) =="
+    timeout 120 env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 BENCH_REPEATS=3 \
+      target/release/offload-run -n 4 --timeout 90 "$2" \
+      || { echo "bench panel $1 FAILED"; exit 1; }
+  done
 }
 
 bench_gate() {
@@ -116,6 +129,31 @@ timeout 60 env WIRE_EAGER_MAX=4096 \
 target/release/stats-check /tmp/stats.json --ranks 4 \
   --positive wire.rndv_handshake_async \
   || { echo "stats plane lane FAILED (report validation)"; exit 1; }
+
+# NBC wire smoke: the full collective surface (barrier/bcast/reduce/
+# allreduce/allgather/alltoall/gather/scatter) as round schedules over
+# real sockets under every live strategy, element-verified in-process;
+# stats-check gates on every rank having issued round sends in the
+# reserved tag space (wire.coll_tx) with zero protocol errors — the
+# frames were counted by the engine itself, not inferred from timing.
+echo
+echo "== NBC wire smoke (4 ranks, all collectives, stats-gated) =="
+run cargo build --release --example nbc_smoke --example cnn_training
+timeout 60 target/release/offload-run -n 4 --timeout 50 \
+  --stats-interval 50 --stats-out /tmp/nbc_stats.json nbc_smoke \
+  || { echo "NBC wire smoke lane FAILED (launch)"; exit 1; }
+target/release/stats-check /tmp/nbc_stats.json --ranks 4 \
+  --positive wire.coll_tx \
+  || { echo "NBC wire smoke lane FAILED (report validation)"; exit 1; }
+
+# Data-parallel CNN training end-to-end over the wire: replicas must stay
+# synchronized through the gradient-allreduce schedules (asserted by the
+# example itself via a weight-checksum allgather).
+echo
+echo "== CNN data-parallel wire smoke (4 ranks) =="
+timeout 120 env BENCH_QUICK=1 BENCH_REPEATS=1 \
+  target/release/offload-run -n 4 --timeout 90 cnn_training \
+  || { echo "CNN wire smoke lane FAILED"; exit 1; }
 
 if cargo fmt --version >/dev/null 2>&1; then
   run cargo fmt --all -- --check

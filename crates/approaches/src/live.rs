@@ -23,17 +23,34 @@
 //! Blocking waits honour the transport's op timeout and surface peer
 //! death as [`TransportError`] instead of hanging — the launcher-level
 //! robustness story depends on this.
+//!
+//! **Collectives.** All three strategies expose the full `Comm` collective
+//! surface (barrier, bcast, reduce, allreduce incl. Rabenseifner,
+//! allgather, alltoall, gather, scatter) as nonblocking schedules:
+//! [`LiveComm::icollective`] posts the first round and returns a
+//! [`LiveCollReq`]; [`LiveComm::coll_wait`] drives it to completion. The
+//! round plans come from one shared compiler ([`offload::nbc_plan`], built
+//! on `mpisim::nbc`), so the offload thread's executor and the direct-mode
+//! inline executor here run identical algorithms. Rounds travel in the
+//! reserved tag space ([`rtmpi::TAG_DIRECT_COLL_BASE`] for direct mode,
+//! [`rtmpi::TAG_COLL_BASE`] for the offload thread), which wildcard
+//! receives can never match — an app `ANY_TAG` recv posted mid-barrier
+//! stays pending until real app traffic arrives. Who makes the rounds
+//! progress is exactly the strategy split: baseline only inside
+//! `coll_wait` (in-wait attribution), iprobe also on `progress_hint`, and
+//! offload continuously on the dedicated thread (async attribution).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use offload::{Completion, OffloadHandle, OffloadRank};
+use mpisim::nbc::{RecvAction, Round};
+use mpisim::types::{Dtype, ReduceOp};
+use offload::{nbc_apply, nbc_plan, nbc_resolve, Completion, OffloadHandle, OffloadRank};
 use rtmpi::{OpOutcome, Status, Transport, TransportError};
 
-/// Tag space reserved for [`LiveComm::barrier`] rounds — above the offload
-/// thread's own internal collective tags (`TAG_INTERNAL_BASE ..
-/// TAG_INTERNAL_BASE + 0x0fff_ffff`).
-const TAG_BARRIER_BASE: u32 = offload::live::TAG_INTERNAL_BASE + 0x1000_0000;
+// The collective surface of [`LiveComm`] speaks `CollKind`; re-export it
+// so application drivers need no direct `offload` dependency.
+pub use offload::CollKind;
 
 /// The three strategies with live (real-transport) implementations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +85,14 @@ pub struct LiveComm<T: Transport> {
     inner: Inner<T>,
     rank: usize,
     size: usize,
+    /// In-flight direct-mode collective schedules (slot-indexed by
+    /// [`LiveCollReq::Direct`]); always empty in offload mode.
+    direct_nbcs: Vec<Option<DirectNbc<T>>>,
+    /// Collective sequence number — every rank issues collectives in the
+    /// same program order (the MPI ordering rule), so equal sequence
+    /// numbers name the same collective instance across ranks and the
+    /// derived round tag agrees without negotiation.
+    coll_seq: u32,
 }
 
 enum Inner<T: Transport> {
@@ -84,6 +109,119 @@ enum Inner<T: Transport> {
 pub enum LiveReq<T: Transport> {
     Direct(T::Req),
     Offload(offload::Handle),
+}
+
+/// Request handle for an in-flight [`LiveComm`] collective.
+pub enum LiveCollReq {
+    /// Index into the direct-mode schedule slots.
+    Direct(usize),
+    /// The offload thread's pool handle.
+    Offload(offload::Handle),
+}
+
+/// One in-flight direct-mode collective: the same round-schedule state the
+/// offload thread keeps (`offload::live::LiveNbc`), but owned by the
+/// application thread and advanced only when *it* touches MPI — which is
+/// the point of the baseline/iprobe comparison.
+/// One posted round receive: the request, what to do with its payload,
+/// and the payload once the transport delivers it.
+type InflightRecv<R> = (R, RecvAction, Option<Arc<[u8]>>);
+
+struct DirectNbc<T: Transport> {
+    rounds: Vec<Round>,
+    cur: usize,
+    /// This round's receives; payloads fill in as they complete.
+    inflight: Vec<InflightRecv<T::Req>>,
+    /// Round sends not yet retired by the transport (drained across
+    /// rounds; all must complete before the schedule is done).
+    sends: Vec<T::Req>,
+    acc: Vec<u8>,
+    input: Option<Vec<u8>>,
+    tag: u32,
+    /// Set when a hint-driven advance hit a transport error; surfaced at
+    /// the wait.
+    failed: Option<TransportError>,
+}
+
+/// Post the sends and receives of round `cur` (no-op past the end).
+fn post_direct_round<T: Transport>(t: &mut T, nbc: &mut DirectNbc<T>) {
+    if nbc.cur >= nbc.rounds.len() {
+        return;
+    }
+    let round = nbc.rounds[nbc.cur].clone();
+    for send in &round.sends {
+        let data = nbc_resolve(&nbc.acc, nbc.input.as_ref(), &send.data);
+        let req = t.isend(send.peer, nbc.tag, Arc::from(data));
+        if t.try_take(&req).is_none() {
+            nbc.sends.push(req);
+        }
+    }
+    for recv in &round.recvs {
+        let req = t.irecv(Some(recv.peer), Some(nbc.tag));
+        nbc.inflight.push((req, recv.action.clone(), None));
+    }
+}
+
+/// Advance a direct-mode schedule as far as the transport's current state
+/// allows, cascading through rounds that complete immediately. `Ok(true)`
+/// once every round has applied *and* every round send has been retired
+/// (so the transport carries no dangling protocol state afterwards).
+fn advance_direct_nbc<T: Transport>(
+    t: &mut T,
+    nbc: &mut DirectNbc<T>,
+) -> Result<bool, TransportError> {
+    let mut i = 0;
+    while i < nbc.sends.len() {
+        match t.try_take(&nbc.sends[i]) {
+            Some(Ok(_)) => {
+                nbc.sends.swap_remove(i);
+            }
+            Some(Err(e)) => return Err(e),
+            None => i += 1,
+        }
+    }
+    loop {
+        if nbc.cur >= nbc.rounds.len() {
+            return Ok(nbc.sends.is_empty());
+        }
+        let mut all = true;
+        for (req, _, data) in nbc.inflight.iter_mut() {
+            if data.is_some() {
+                continue;
+            }
+            match t.try_take(req) {
+                Some(Ok(OpOutcome::Received(_, d))) => *data = Some(d),
+                Some(Ok(OpOutcome::Sent)) => unreachable!("receive completed as a send"),
+                Some(Err(e)) => return Err(e),
+                None => all = false,
+            }
+        }
+        if !all {
+            return Ok(false);
+        }
+        for (_, action, data) in std::mem::take(&mut nbc.inflight) {
+            nbc_apply(
+                &mut nbc.acc,
+                &action,
+                &data.expect("completed recv has data"),
+            );
+        }
+        nbc.cur += 1;
+        post_direct_round(t, nbc);
+    }
+}
+
+/// Cancel whatever the failed schedule still has posted, so the transport
+/// does not carry orphaned receives into the next operation.
+fn cancel_direct_nbc<T: Transport>(t: &mut T, nbc: &mut DirectNbc<T>) {
+    for req in nbc.sends.drain(..) {
+        t.cancel(&req);
+    }
+    for (req, _, data) in nbc.inflight.drain(..) {
+        if data.is_none() {
+            t.cancel(&req);
+        }
+    }
 }
 
 impl<T: Transport> LiveComm<T> {
@@ -105,7 +243,13 @@ impl<T: Transport> LiveComm<T> {
                 Inner::Offload { world, handle }
             }
         };
-        LiveComm { inner, rank, size }
+        LiveComm {
+            inner,
+            rank,
+            size,
+            direct_nbcs: Vec::new(),
+            coll_seq: 0,
+        }
     }
 
     pub fn rank(&self) -> usize {
@@ -143,8 +287,9 @@ impl<T: Transport> LiveComm<T> {
 
     /// Give the library a chance to progress, from application compute.
     /// Baseline: deliberately a no-op (that is the baseline's flaw).
-    /// Iprobe: polls the transport once. Offload: a no-op — the offload
-    /// thread is already polling.
+    /// Iprobe: polls the transport once and advances any in-flight
+    /// collective schedules — rounds complete on the application's clock.
+    /// Offload: a no-op — the offload thread is already polling.
     pub fn progress_hint(&mut self) {
         if let Inner::Direct {
             t,
@@ -152,6 +297,15 @@ impl<T: Transport> LiveComm<T> {
         } = &mut self.inner
         {
             t.progress();
+            for nbc in self.direct_nbcs.iter_mut().flatten() {
+                if nbc.failed.is_some() {
+                    continue;
+                }
+                if let Err(e) = advance_direct_nbc(t, nbc) {
+                    cancel_direct_nbc(t, nbc);
+                    nbc.failed = Some(e);
+                }
+            }
         }
     }
 
@@ -224,38 +378,182 @@ impl<T: Transport> LiveComm<T> {
         Ok(self.wait(r)?.expect("receive yields payload"))
     }
 
-    /// Barrier. Offload mode rides the offload thread's own collective
-    /// machinery; the direct modes run a dissemination barrier over
-    /// point-to-point messages in a reserved tag space. Safe to reuse
-    /// back-to-back: per-(source, tag) FIFO keeps generations ordered.
+    /// Begin a nonblocking collective (the `MPI_Ibarrier`/`MPI_Iallreduce`
+    /// family). Every rank must issue its collectives in the same order
+    /// with matching arguments. Direct modes compile the schedule with
+    /// [`offload::nbc_plan`] and post round 0 here (an application-
+    /// initiated MPI call, so handshake attribution marks it in-wait);
+    /// offload mode hands the kind to the dedicated thread.
+    pub fn icollective(&mut self, kind: CollKind) -> LiveCollReq {
+        match &mut self.inner {
+            Inner::Direct { t, .. } => {
+                self.coll_seq = self.coll_seq.wrapping_add(1);
+                let tag = rtmpi::TAG_DIRECT_COLL_BASE + (self.coll_seq % rtmpi::TAG_COLL_SPAN);
+                let (acc, input, rounds) = nbc_plan(self.size, self.rank, kind);
+                let mut nbc = DirectNbc {
+                    rounds,
+                    cur: 0,
+                    inflight: Vec::new(),
+                    sends: Vec::new(),
+                    acc,
+                    input,
+                    tag,
+                    failed: None,
+                };
+                t.set_in_wait(true);
+                post_direct_round(t, &mut nbc);
+                t.set_in_wait(false);
+                let idx = match self.direct_nbcs.iter().position(Option::is_none) {
+                    Some(i) => i,
+                    None => {
+                        self.direct_nbcs.push(None);
+                        self.direct_nbcs.len() - 1
+                    }
+                };
+                self.direct_nbcs[idx] = Some(nbc);
+                LiveCollReq::Direct(idx)
+            }
+            Inner::Offload { handle, .. } => LiveCollReq::Offload(handle.start_collective(kind)),
+        }
+    }
+
+    /// Complete a collective started with [`icollective`], returning its
+    /// result buffer (empty for barrier). Honours the transport's op
+    /// timeout; surfaces peer death mid-schedule as an error, with the
+    /// schedule's remaining operations cancelled.
+    ///
+    /// [`icollective`]: LiveComm::icollective
+    pub fn coll_wait(&mut self, req: LiveCollReq) -> Result<Vec<u8>, TransportError> {
+        match (&mut self.inner, req) {
+            (Inner::Direct { t, .. }, LiveCollReq::Direct(idx)) => {
+                let mut nbc = self.direct_nbcs[idx]
+                    .take()
+                    .expect("collective waited at most once");
+                if let Some(e) = nbc.failed.take() {
+                    return Err(e);
+                }
+                t.set_in_wait(true);
+                let deadline = t.op_timeout().map(|d| Instant::now() + d);
+                let res = loop {
+                    match advance_direct_nbc(t, &mut nbc) {
+                        Ok(true) => break Ok(()),
+                        Ok(false) => {}
+                        Err(e) => break Err(e),
+                    }
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            break Err(TransportError::Timeout {
+                                waited_ms: t
+                                    .op_timeout()
+                                    .map(|d| d.as_millis() as u64)
+                                    .unwrap_or(0),
+                            });
+                        }
+                    }
+                    if !t.progress() {
+                        std::thread::yield_now();
+                    }
+                };
+                t.set_in_wait(false);
+                match res {
+                    Ok(()) => Ok(std::mem::take(&mut nbc.acc)),
+                    Err(e) => {
+                        cancel_direct_nbc(t, &mut nbc);
+                        Err(e)
+                    }
+                }
+            }
+            (Inner::Offload { handle, .. }, LiveCollReq::Offload(h)) => {
+                match handle.wait_result(h)? {
+                    Completion::Collective(out) => Ok(out.to_vec()),
+                    other => panic!("collective completed as {other:?}"),
+                }
+            }
+            _ => panic!("collective request handed to a different LiveComm"),
+        }
+    }
+
+    fn collective(&mut self, kind: CollKind) -> Result<Vec<u8>, TransportError> {
+        let req = self.icollective(kind);
+        self.coll_wait(req)
+    }
+
+    /// Barrier — a dissemination schedule ([`mpisim::nbc::barrier_rounds`])
+    /// in the reserved tag space. Safe to reuse back-to-back: each
+    /// instance gets a fresh sequence tag, and per-(source, tag) FIFO
+    /// keeps any same-tag reuse ordered.
     pub fn barrier(&mut self) -> Result<(), TransportError> {
-        let (r, n) = (self.rank, self.size);
-        if n == 1 {
-            return Ok(());
+        self.collective(CollKind::Barrier).map(|_| ())
+    }
+
+    /// Blocking allreduce over raw `dtype` lanes.
+    pub fn allreduce(
+        &mut self,
+        dtype: Dtype,
+        op: ReduceOp,
+        data: Vec<u8>,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.collective(CollKind::Allreduce { dtype, op, data })
+    }
+
+    /// Blocking f64 sum allreduce.
+    pub fn allreduce_f64_sum(&mut self, mine: &[f64]) -> Result<Vec<f64>, TransportError> {
+        let bytes: Vec<u8> = mine.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let out = self.allreduce(Dtype::F64, ReduceOp::Sum, bytes)?;
+        Ok(out
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte lane")))
+            .collect())
+    }
+
+    /// Blocking reduce to `root` (result meaningful on the root only).
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        dtype: Dtype,
+        op: ReduceOp,
+        data: Vec<u8>,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.collective(CollKind::Reduce {
+            root,
+            dtype,
+            op,
+            data,
+        })
+    }
+
+    /// Blocking broadcast from `root` (payload on root only).
+    pub fn bcast(&mut self, root: usize, payload: Vec<u8>) -> Result<Vec<u8>, TransportError> {
+        self.collective(CollKind::Bcast { root, payload })
+    }
+
+    /// Blocking allgather of equal contributions.
+    pub fn allgather(&mut self, mine: Vec<u8>) -> Result<Vec<u8>, TransportError> {
+        self.collective(CollKind::Allgather { mine })
+    }
+
+    /// Blocking personalized all-to-all of `block`-byte blocks.
+    pub fn alltoall(&mut self, input: Vec<u8>, block: usize) -> Result<Vec<u8>, TransportError> {
+        assert_eq!(input.len(), self.size * block);
+        self.collective(CollKind::Alltoall { input, block })
+    }
+
+    /// Blocking gather of equal blocks to `root`.
+    pub fn gather(&mut self, root: usize, mine: Vec<u8>) -> Result<Vec<u8>, TransportError> {
+        self.collective(CollKind::Gather { root, mine })
+    }
+
+    /// Blocking scatter of `block`-byte blocks from `root`.
+    pub fn scatter(
+        &mut self,
+        root: usize,
+        input: Vec<u8>,
+        block: usize,
+    ) -> Result<Vec<u8>, TransportError> {
+        if self.rank == root {
+            assert_eq!(input.len(), self.size * block);
         }
-        if let Inner::Offload { handle, .. } = &self.inner {
-            handle.barrier();
-            return Ok(());
-        }
-        let mut k = 0u32;
-        let mut dist = 1usize;
-        while dist < n {
-            let tag = TAG_BARRIER_BASE + k;
-            let to = (r + dist) % n;
-            let from = (r + n - dist) % n;
-            let (s, rx) = match &mut self.inner {
-                Inner::Direct { t, .. } => (
-                    LiveReq::Direct(t.isend(to, tag, Arc::from(Vec::new()))),
-                    LiveReq::Direct(t.irecv(Some(from), Some(tag))),
-                ),
-                Inner::Offload { .. } => unreachable!(),
-            };
-            self.wait(s)?;
-            self.wait(rx)?;
-            dist <<= 1;
-            k += 1;
-        }
-        Ok(())
+        self.collective(CollKind::Scatter { root, input, block })
     }
 
     /// The per-strategy metrics registries: (command-path registry if the
@@ -271,8 +569,14 @@ impl<T: Transport> LiveComm<T> {
     }
 
     /// Tear down the strategy and hand the transport back, so one process
-    /// can run several approaches sequentially over the same mesh.
+    /// can run several approaches sequentially over the same mesh. Every
+    /// collective must have been waited first — an abandoned schedule
+    /// would leave posted receives on the reclaimed transport.
     pub fn finalize(self) -> T {
+        debug_assert!(
+            self.direct_nbcs.iter().all(Option::is_none),
+            "finalize with an unwaited collective in flight"
+        );
         match self.inner {
             Inner::Direct { t, .. } => t,
             Inner::Offload { world, .. } => world.finalize_reclaim(),
@@ -336,6 +640,203 @@ mod tests {
     #[test]
     fn approaches_over_rtmpi_world() {
         all_approaches_sequentially(|| rtmpi::world(4), 1024);
+    }
+
+    /// The full collective surface under one strategy; every result is
+    /// exactly checkable. Returns the reclaimed transport.
+    fn collective_round<T: Transport>(approach: LiveApproach, t: T) -> T {
+        let mut comm = LiveComm::start(approach, t);
+        let (r, n) = (comm.rank(), comm.size());
+
+        // Small allreduce (recursive doubling / reduce+bcast path).
+        let sum = comm.allreduce_f64_sum(&[r as f64, 1.0]).expect("allreduce");
+        let total: f64 = (0..n).map(|x| x as f64).sum();
+        assert_eq!(sum, vec![total, n as f64]);
+
+        // Large allreduce: Rabenseifner on power-of-two worlds.
+        let lanes = 4096; // 32 KiB of f64
+        let mine: Vec<f64> = (0..lanes).map(|l| (r + l) as f64).collect();
+        let big = comm.allreduce_f64_sum(&mine).expect("rsag allreduce");
+        for (l, &v) in big.iter().enumerate() {
+            let expect: f64 = (0..n).map(|x| (x + l) as f64).sum();
+            assert_eq!(v, expect, "lane {l}");
+        }
+
+        // Bcast from a non-zero root.
+        let root = n - 1;
+        let payload = if r == root {
+            vec![9u8, 8, 7]
+        } else {
+            Vec::new()
+        };
+        assert_eq!(comm.bcast(root, payload).expect("bcast"), vec![9, 8, 7]);
+
+        // Reduce to root 0 (meaningful there only).
+        let mine: Vec<u8> = [r as f64].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let red = comm
+            .reduce(0, Dtype::F64, ReduceOp::Sum, mine)
+            .expect("reduce");
+        if r == 0 {
+            assert_eq!(f64::from_le_bytes(red[..8].try_into().unwrap()), total);
+        }
+
+        // Allgather + alltoall + gather + scatter with rank-tagged blocks.
+        let g = comm.allgather(vec![r as u8; 2]).expect("allgather");
+        let expect: Vec<u8> = (0..n).flat_map(|x| [x as u8; 2]).collect();
+        assert_eq!(g, expect);
+
+        let input: Vec<u8> = (0..n).map(|d| (r * n + d) as u8).collect();
+        let a2a = comm.alltoall(input, 1).expect("alltoall");
+        let expect: Vec<u8> = (0..n).map(|s| (s * n + r) as u8).collect();
+        assert_eq!(a2a, expect);
+
+        let gat = comm.gather(1, vec![r as u8]).expect("gather");
+        if r == 1 {
+            assert_eq!(gat, (0..n).map(|x| x as u8).collect::<Vec<_>>());
+        }
+
+        let input = if r == 0 {
+            (0..n as u8).map(|i| 100 + i).collect()
+        } else {
+            Vec::new()
+        };
+        let sc = comm.scatter(0, input, 1).expect("scatter");
+        assert_eq!(sc, vec![100 + r as u8]);
+
+        comm.barrier().expect("barrier");
+        comm.finalize()
+    }
+
+    fn collectives_under_all_approaches<T, F>(make: F)
+    where
+        T: Transport,
+        F: Fn() -> Vec<T>,
+    {
+        let world = make();
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut t = t;
+                    for a in LiveApproach::ALL {
+                        t = collective_round(a, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread ok");
+        }
+    }
+
+    #[test]
+    fn collectives_over_rtmpi_world() {
+        collectives_under_all_approaches(|| rtmpi::world(4));
+    }
+
+    #[test]
+    fn collectives_over_wire_loopback() {
+        collectives_under_all_approaches(|| wire::loopback(4));
+    }
+
+    /// Collectives on a non-power-of-two world take the reduce+bcast
+    /// allreduce fallback and the general binomial trees.
+    #[test]
+    fn collectives_over_three_ranks() {
+        collectives_under_all_approaches(|| rtmpi::world(3));
+    }
+
+    /// Nonblocking collective with compute between post and wait — the
+    /// fig-3/5 shape — under every strategy, overlapping two schedules.
+    #[test]
+    fn icollective_overlaps_with_compute_and_pipelines() {
+        let world = wire::loopback(2);
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut t = t;
+                    for a in LiveApproach::ALL {
+                        let mut comm = LiveComm::start(a, t);
+                        let r = comm.rank();
+                        let h1 = comm.icollective(CollKind::Allreduce {
+                            dtype: Dtype::F64,
+                            op: ReduceOp::Sum,
+                            data: (r as f64).to_le_bytes().to_vec(),
+                        });
+                        let h2 = comm.icollective(CollKind::Allgather {
+                            mine: vec![r as u8],
+                        });
+                        for _ in 0..64 {
+                            comm.progress_hint();
+                            std::thread::yield_now();
+                        }
+                        let sum = comm.coll_wait(h1).expect("allreduce");
+                        assert_eq!(f64::from_le_bytes(sum[..8].try_into().unwrap()), 1.0);
+                        assert_eq!(comm.coll_wait(h2).expect("allgather"), vec![0, 1]);
+                        t = comm.finalize();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread ok");
+        }
+    }
+
+    /// The wildcard tag-leak regression (ISSUE 7): an `ANY_SOURCE`/`ANY_TAG`
+    /// receive posted *before* a barrier must not steal barrier tokens or
+    /// collective rounds — it completes with the app message sent after
+    /// the barrier, under every strategy and at 2 and 4 ranks.
+    fn wildcard_recv_survives_barrier<T: Transport>(world: Vec<T>) {
+        let n = world.len();
+        let handles: Vec<_> = world
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut t = t;
+                    for a in LiveApproach::ALL {
+                        let mut comm = LiveComm::start(a, t);
+                        let r = comm.rank();
+                        // Rank 0 posts the wildcard recv first...
+                        let rx = (r == 0).then(|| comm.irecv(None, None));
+                        // ...then everyone runs collectives whose rounds all
+                        // travel through rank 0's matching queue.
+                        comm.barrier().expect("barrier");
+                        let g = comm.allgather(vec![r as u8]).expect("allgather");
+                        assert_eq!(g, (0..n as u8).collect::<Vec<_>>());
+                        comm.barrier().expect("barrier 2");
+                        // Only now does the app message appear.
+                        if r == 1 {
+                            comm.send(0, 42, Arc::from(vec![0xEE])).expect("send");
+                        }
+                        if let Some(rx) = rx {
+                            let (st, data) = comm.wait(rx).expect("recv ok").expect("payload");
+                            assert_eq!(st.source, 1, "wildcard matched internal traffic");
+                            assert_eq!(st.tag, 42, "wildcard stole a reserved tag");
+                            assert_eq!(data.to_vec(), vec![0xEE]);
+                        }
+                        comm.barrier().expect("exit barrier");
+                        t = comm.finalize();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rank thread ok");
+        }
+    }
+
+    #[test]
+    fn wildcard_recv_during_barrier_rtmpi_2_and_4_ranks() {
+        wildcard_recv_survives_barrier(rtmpi::world(2));
+        wildcard_recv_survives_barrier(rtmpi::world(4));
+    }
+
+    #[test]
+    fn wildcard_recv_during_barrier_wire_loopback() {
+        wildcard_recv_survives_barrier(wire::loopback(2));
+        wildcard_recv_survives_barrier(wire::loopback(4));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! model-parallel FC) discrete-event driver reproducing Fig 14.
 
 pub mod layers;
+pub mod live_driver;
 pub mod model;
 pub mod network;
 pub mod sim_driver;

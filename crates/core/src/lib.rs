@@ -48,9 +48,14 @@ pub mod sim;
 pub use backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
 pub use lane::{LaneMetrics, LaneSet, SpscRing};
 pub use live::{
-    offload_rank, offload_rank_configured, offload_world, offload_world_configured,
-    offload_world_sized, CollKind, Command, CommandPath, Completion, OffloadHandle, OffloadRank,
+    nbc_apply, nbc_plan, nbc_resolve, offload_rank, offload_rank_configured, offload_world,
+    offload_world_configured, offload_world_sized, CollKind, Command, CommandPath, Completion,
+    OffloadHandle, OffloadRank,
 };
 pub use pool::{Handle, RequestPool};
+// Collective element types/operators appear in this crate's public API
+// (`CollKind`, `OffloadHandle::allreduce`); re-export them so
+// transport-level consumers need no direct `mpisim` dependency.
+pub use mpisim::types::{Dtype, ReduceOp};
 pub use queue::MpmcQueue;
 pub use sim::{OffReq, SimColl, SimOffload};

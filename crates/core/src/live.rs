@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mpisim::nbc::{self, DataSrc, RecvAction, Round};
-use mpisim::types::{combine, Bytes};
+use mpisim::types::{combine, Bytes, Dtype, ReduceOp};
 use rtmpi::{OpOutcome, Transport, TransportError};
 
 use crate::backoff::{BackoffMetrics, WaitPolicy, WakeSignal};
@@ -34,7 +34,11 @@ use crate::pool::{Handle, PoolMetrics, RequestPool};
 use crate::queue::{MpmcQueue, QueueMetrics};
 
 /// Application tags must stay below this (internal collective tag space).
-pub const TAG_INTERNAL_BASE: u32 = mpisim::TAG_INTERNAL_BASE;
+/// The offload thread's schedules tag their rounds inside
+/// `[rtmpi::TAG_COLL_BASE, TAG_COLL_BASE + TAG_COLL_SPAN)`; direct-mode
+/// schedules (`approaches::live`) use the sibling range above it. Wildcard
+/// receives never match either (see `rtmpi::matchq`).
+pub const TAG_INTERNAL_BASE: u32 = rtmpi::TAG_COLL_BASE;
 
 /// Result of a completed offloaded operation.
 #[derive(Clone, Debug)]
@@ -72,11 +76,28 @@ pub enum Command {
     Shutdown,
 }
 
-/// Offloadable collective operations.
+/// Offloadable collective operations — the full `Comm` collective surface.
+/// Each maps onto a round-based nonblocking schedule from [`mpisim::nbc`]
+/// (see [`nbc_plan`]); the same plans drive the direct-mode inline executor
+/// in `approaches::live`.
 pub enum CollKind {
     Barrier,
-    /// Element-wise f64 sum allreduce.
-    AllreduceF64Sum(Vec<u8>),
+    /// Element-wise allreduce of `data` (raw little-endian lanes of
+    /// `dtype`). Rabenseifner reduce-scatter + allgather kicks in for large
+    /// payloads on power-of-two worlds (`mpisim::nbc::allreduce_rounds_sized`).
+    Allreduce {
+        dtype: Dtype,
+        op: ReduceOp,
+        data: Vec<u8>,
+    },
+    /// Element-wise reduce to `root`; the result buffer is meaningful on
+    /// the root only (other ranks get their partial back).
+    Reduce {
+        root: usize,
+        dtype: Dtype,
+        op: ReduceOp,
+        data: Vec<u8>,
+    },
     /// Personalized all-to-all of `block`-byte blocks.
     Alltoall {
         input: Vec<u8>,
@@ -90,6 +111,19 @@ pub enum CollKind {
     /// Allgather of equal contributions.
     Allgather {
         mine: Vec<u8>,
+    },
+    /// Gather of equal `mine` blocks to `root` (root gets `size × block`
+    /// bytes; other ranks get their own block back).
+    Gather {
+        root: usize,
+        mine: Vec<u8>,
+    },
+    /// Scatter of `block`-byte blocks from `root`'s `input` (empty on
+    /// non-roots); every rank gets its block.
+    Scatter {
+        root: usize,
+        input: Vec<u8>,
+        block: usize,
     },
 }
 
@@ -387,9 +421,23 @@ impl OffloadHandle {
         }
     }
 
-    fn collective(&self, kind: CollKind) -> Arc<[u8]> {
+    /// Begin an offloaded collective and return its request handle — the
+    /// `MPI_Iallreduce`-family entry point. The offload thread converts it
+    /// to a round schedule and drives it asynchronously; complete it with
+    /// [`wait`] / [`wait_result`] (a [`Completion::Collective`] carries the
+    /// result buffer, [`Completion::Failed`] surfaces peer death mid-
+    /// schedule instead of hanging).
+    ///
+    /// [`wait`]: OffloadHandle::wait
+    /// [`wait_result`]: OffloadHandle::wait_result
+    pub fn start_collective(&self, kind: CollKind) -> Handle {
         let slot = self.pool.alloc_blocking();
         self.chan.push_blocking(Command::Collective { kind, slot });
+        slot
+    }
+
+    fn collective(&self, kind: CollKind) -> Arc<[u8]> {
+        let slot = self.start_collective(kind);
         match self.wait(slot) {
             Completion::Collective(out) => out,
             other => panic!("collective completed as {other:?}"),
@@ -401,13 +449,30 @@ impl OffloadHandle {
         let _ = self.collective(CollKind::Barrier);
     }
 
+    /// Offloaded allreduce over raw `dtype` lanes.
+    pub fn allreduce(&self, dtype: Dtype, op: ReduceOp, data: Vec<u8>) -> Vec<u8> {
+        self.collective(CollKind::Allreduce { dtype, op, data })
+            .to_vec()
+    }
+
     /// Offloaded f64 sum allreduce.
     pub fn allreduce_f64_sum(&self, mine: &[f64]) -> Vec<f64> {
         let bytes: Vec<u8> = mine.iter().flat_map(|x| x.to_le_bytes()).collect();
-        let out = self.collective(CollKind::AllreduceF64Sum(bytes));
+        let out = self.allreduce(Dtype::F64, ReduceOp::Sum, bytes);
         out.chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte lane")))
             .collect()
+    }
+
+    /// Offloaded reduce to `root` (result meaningful on the root only).
+    pub fn reduce(&self, root: usize, dtype: Dtype, op: ReduceOp, data: Vec<u8>) -> Vec<u8> {
+        self.collective(CollKind::Reduce {
+            root,
+            dtype,
+            op,
+            data,
+        })
+        .to_vec()
     }
 
     /// Offloaded all-to-all.
@@ -426,6 +491,22 @@ impl OffloadHandle {
     /// Offloaded allgather.
     pub fn allgather(&self, mine: Vec<u8>) -> Vec<u8> {
         let out = self.collective(CollKind::Allgather { mine });
+        out.to_vec()
+    }
+
+    /// Offloaded gather to `root` (root gets `size × block` bytes).
+    pub fn gather(&self, root: usize, mine: Vec<u8>) -> Vec<u8> {
+        let out = self.collective(CollKind::Gather { root, mine });
+        out.to_vec()
+    }
+
+    /// Offloaded scatter from `root` (`input` empty on non-roots; `block`
+    /// must agree on every rank).
+    pub fn scatter(&self, root: usize, input: Vec<u8>, block: usize) -> Vec<u8> {
+        if self.rank == root {
+            assert_eq!(input.len(), self.size * block);
+        }
+        let out = self.collective(CollKind::Scatter { root, input, block });
         out.to_vec()
     }
 
@@ -564,7 +645,7 @@ fn offload_main<T: Transport>(
                 // schedule (paper §3.3).
                 converted.inc();
                 coll_seq = coll_seq.wrapping_add(1);
-                let tag = TAG_INTERNAL_BASE + (coll_seq % 0x0fff_ffff);
+                let tag = TAG_INTERNAL_BASE + (coll_seq % rtmpi::TAG_COLL_SPAN);
                 nbcs.push(start_live_nbc(&mut mpi, kind, tag, slot, &mut loose_sends));
             }
             Command::Shutdown => open = false,
@@ -675,25 +756,27 @@ fn offload_main<T: Transport>(
     }
 }
 
-fn start_live_nbc<T: Transport>(
-    mpi: &mut T,
-    kind: CollKind,
-    tag: u32,
-    slot: Handle,
-    loose_sends: &mut Vec<T::Req>,
-) -> LiveNbc<T::Req> {
-    let (p, r) = (mpi.size(), mpi.rank());
-    let (acc, input, rounds) = match kind {
+/// Compile a collective into its initial accumulator, retained input
+/// buffer, and round schedule. This is the one mapping from the `Comm`
+/// collective surface onto the [`mpisim::nbc`] round generators — shared by
+/// the offload thread's executor here and the direct-mode inline executor
+/// in `approaches::live`, so the two live paths cannot drift apart on
+/// algorithm selection (e.g. when Rabenseifner kicks in).
+pub fn nbc_plan(p: usize, r: usize, kind: CollKind) -> (Vec<u8>, Option<Vec<u8>>, Vec<Round>) {
+    match kind {
         CollKind::Barrier => (Vec::new(), None, nbc::barrier_rounds(p, r)),
-        CollKind::AllreduceF64Sum(mine) => {
-            let rounds = nbc::allreduce_rounds_sized(
-                p,
-                r,
-                mpisim::Dtype::F64,
-                mpisim::ReduceOp::Sum,
-                mine.len(),
-            );
-            (mine, None, rounds)
+        CollKind::Allreduce { dtype, op, data } => {
+            let rounds = nbc::allreduce_rounds_sized(p, r, dtype, op, data.len());
+            (data, None, rounds)
+        }
+        CollKind::Reduce {
+            root,
+            dtype,
+            op,
+            data,
+        } => {
+            let rounds = nbc::reduce_rounds(p, r, root, dtype, op);
+            (data, None, rounds)
         }
         CollKind::Alltoall { input, block } => {
             assert_eq!(input.len(), p * block);
@@ -711,7 +794,68 @@ fn start_live_nbc<T: Transport>(
             acc[r * block..(r + 1) * block].copy_from_slice(&mine);
             (acc, None, nbc::allgather_rounds(p, r, block))
         }
-    };
+        CollKind::Gather { root, mine } => {
+            let block = mine.len();
+            let acc = if r == root {
+                let mut acc = vec![0u8; p * block];
+                acc[r * block..(r + 1) * block].copy_from_slice(&mine);
+                acc
+            } else {
+                // Non-roots send their accumulator up and keep it.
+                mine
+            };
+            (acc, None, nbc::gather_rounds(p, r, root, block))
+        }
+        CollKind::Scatter { root, input, block } => {
+            if r == root {
+                assert_eq!(input.len(), p * block);
+                let acc = input[r * block..(r + 1) * block].to_vec();
+                (acc, Some(input), nbc::scatter_rounds(p, r, root, block))
+            } else {
+                // Replaced by the root's block on arrival.
+                (Vec::new(), None, nbc::scatter_rounds(p, r, root, block))
+            }
+        }
+    }
+}
+
+/// Apply one completed round receive to the accumulator — the reduction /
+/// placement step of the schedule, shared with the direct-mode executor.
+pub fn nbc_apply(acc: &mut Vec<u8>, action: &RecvAction, data: &[u8]) {
+    match action {
+        RecvAction::Discard => {}
+        RecvAction::ReplaceAcc => *acc = data.to_vec(),
+        RecvAction::CombineAcc { dtype, op } => combine(*dtype, *op, acc, data),
+        RecvAction::CombineAt { offset, dtype, op } => {
+            let end = offset + data.len();
+            combine(*dtype, *op, &mut acc[*offset..end], data);
+        }
+        RecvAction::StoreAt(off) => acc[*off..off + data.len()].copy_from_slice(data),
+    }
+}
+
+/// Materialize a round send's payload from the schedule state, shared with
+/// the direct-mode executor.
+pub fn nbc_resolve(acc: &[u8], input: Option<&Vec<u8>>, src: &DataSrc) -> Vec<u8> {
+    match src {
+        DataSrc::Acc => acc.to_vec(),
+        DataSrc::AccChunk(r) => acc[r.clone()].to_vec(),
+        DataSrc::InputChunk(r) => input.expect("input buffer")[r.clone()].to_vec(),
+        DataSrc::Fixed(b) => match b {
+            Bytes::Real(v) => v.as_ref().clone(),
+            Bytes::Synthetic(n) => vec![0; *n],
+        },
+    }
+}
+
+fn start_live_nbc<T: Transport>(
+    mpi: &mut T,
+    kind: CollKind,
+    tag: u32,
+    slot: Handle,
+    loose_sends: &mut Vec<T::Req>,
+) -> LiveNbc<T::Req> {
+    let (acc, input, rounds) = nbc_plan(mpi.size(), mpi.rank(), kind);
     let mut inst = LiveNbc {
         rounds,
         cur: 0,
@@ -792,33 +936,12 @@ fn poll_nbc_inflight<T: Transport>(
 fn apply_live_actions<R>(inst: &mut LiveNbc<R>) {
     for (_, action, data) in std::mem::take(&mut inst.inflight) {
         let data = data.expect("completed recv has data");
-        match action {
-            RecvAction::Discard => {}
-            RecvAction::ReplaceAcc => inst.acc = data.to_vec(),
-            RecvAction::CombineAcc { dtype, op } => {
-                combine(dtype, op, &mut inst.acc, &data);
-            }
-            RecvAction::CombineAt { offset, dtype, op } => {
-                let end = offset + data.len();
-                combine(dtype, op, &mut inst.acc[offset..end], &data);
-            }
-            RecvAction::StoreAt(off) => {
-                inst.acc[off..off + data.len()].copy_from_slice(&data);
-            }
-        }
+        nbc_apply(&mut inst.acc, &action, &data);
     }
 }
 
 fn resolve_live<R>(inst: &LiveNbc<R>, src: &DataSrc) -> Vec<u8> {
-    match src {
-        DataSrc::Acc => inst.acc.clone(),
-        DataSrc::AccChunk(r) => inst.acc[r.clone()].to_vec(),
-        DataSrc::InputChunk(r) => inst.input.as_ref().expect("input buffer")[r.clone()].to_vec(),
-        DataSrc::Fixed(b) => match b {
-            Bytes::Real(v) => v.as_ref().clone(),
-            Bytes::Synthetic(n) => vec![0; *n],
-        },
-    }
+    nbc_resolve(&inst.acc, inst.input.as_ref(), src)
 }
 
 #[cfg(test)]
@@ -1019,6 +1142,60 @@ mod tests {
         for (r, o) in outs.iter().enumerate() {
             let expect: Vec<u8> = (0..3).map(|s| (s * 3 + r) as u8).collect();
             assert_eq!(o, &expect);
+        }
+    }
+
+    #[test]
+    fn offloaded_reduce_gather_scatter() {
+        let outs = run_live(4, |mpi| {
+            let r = mpi.rank();
+            // Reduce to root 2: lanes are rank-tagged so the sum is checkable.
+            let mine: Vec<u8> = [r as f64, 1.0]
+                .iter()
+                .flat_map(|x| x.to_le_bytes())
+                .collect();
+            let red = mpi.reduce(2, Dtype::F64, ReduceOp::Sum, mine);
+            // Gather rank bytes to root 1.
+            let g = mpi.gather(1, vec![r as u8; 2]);
+            // Scatter distinct blocks from root 0.
+            let input = if r == 0 {
+                (0..8).map(|i| 10 + i as u8).collect()
+            } else {
+                Vec::new()
+            };
+            let s = mpi.scatter(0, input, 2);
+            (red, g, s)
+        });
+        for (r, (red, g, s)) in outs.into_iter().enumerate() {
+            if r == 2 {
+                let lanes: Vec<f64> = red
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                assert_eq!(lanes, vec![6.0, 4.0]);
+            }
+            if r == 1 {
+                assert_eq!(g, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+            }
+            assert_eq!(s, vec![10 + 2 * r as u8, 11 + 2 * r as u8]);
+        }
+    }
+
+    /// Large power-of-two allreduce takes the Rabenseifner reduce-scatter +
+    /// allgather schedule (chunked CombineAt/StoreAt actions) and still
+    /// sums correctly through the offload executor.
+    #[test]
+    fn offloaded_allreduce_takes_rsag_path() {
+        let lanes = 4096; // 32 KiB ≥ the RSAG threshold, divisible by 4·8
+        let outs = run_live(4, move |mpi| {
+            let mine: Vec<f64> = (0..lanes).map(|l| (mpi.rank() + l) as f64).collect();
+            mpi.allreduce_f64_sum(&mine)
+        });
+        for o in outs {
+            for (l, &v) in o.iter().enumerate() {
+                let expect: f64 = (0..4).map(|r| (r + l) as f64).sum();
+                assert_eq!(v, expect, "lane {l}");
+            }
         }
     }
 

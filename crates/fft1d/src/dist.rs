@@ -87,7 +87,7 @@ impl DistPlan {
 
 /// Row FFT + twiddle for rows `[row0, row0+rows)` of the local slab, then
 /// pack the all-to-all send buffer (one block per destination rank).
-fn rows_fft_twiddle_pack(
+pub(crate) fn rows_fft_twiddle_pack(
     plan: &DistPlan,
     rank: usize,
     local: &mut [Complex64],
@@ -119,7 +119,7 @@ fn rows_fft_twiddle_pack(
 
 /// Scatter one source rank's all-to-all block into the column-major
 /// receive matrix `cols_mat[k2_local][n1]`.
-fn unpack_block(
+pub(crate) fn unpack_block(
     plan: &DistPlan,
     src: usize,
     seg_row0: usize,

@@ -6,6 +6,7 @@
 //! performance driver reproducing Table 2 and Figure 13.
 
 pub mod dist;
+pub mod live_driver;
 pub mod local;
 pub mod sim_driver;
 

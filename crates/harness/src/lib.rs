@@ -6,6 +6,7 @@ pub mod benchjson;
 pub mod calibrate;
 pub mod liveoverlap;
 pub mod micro;
+pub mod nbcoverlap;
 pub mod obsreport;
 pub mod table;
 
@@ -13,12 +14,13 @@ pub use benchjson::{
     bench_repeats, emit_snapshot, quick_mode, CompareOpts, Direction, PanelSnapshot, Series,
 };
 pub use calibrate::{calibrate, Calibration};
-pub use liveoverlap::{live_overlap, live_overlap_table, LiveOverlapRow};
+pub use liveoverlap::{compute_with_hints, live_overlap, live_overlap_table, LiveOverlapRow};
 pub use micro::{
     isend_issue_cost, live_isend_issue_rate, nbc_issue_cost, nbc_overlap, osu_bandwidth,
     osu_latency, osu_mt_latency, osu_mt_latency_observed, overlap_p2p, overlap_p2p_observed,
     CollOp, LiveIssueResult, ObservedOverlap, OverlapResult,
 };
+pub use nbcoverlap::{nbc_overlap_live, nbc_overlap_snapshot, nbc_overlap_table, NbcOverlapRow};
 pub use obsreport::{
     append_metrics, dump_trace, dump_trace_prefixed, merge_traces, metrics_table,
     trace_path_from_args,

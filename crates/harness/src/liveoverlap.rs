@@ -48,8 +48,9 @@ pub struct LiveOverlapRow {
 /// yield after each chunk stands in for the paper's dedicated progress
 /// core: on an undersubscribed machine it is what lets the offload
 /// thread (a different thread, same box) run *during* compute at all,
-/// without the application itself touching MPI.
-fn compute_with_hints<T: Transport>(comm: &mut LiveComm<T>, dur: Duration) {
+/// without the application itself touching MPI. Shared with the NBC
+/// overlap panel ([`crate::nbcoverlap`]).
+pub fn compute_with_hints<T: Transport>(comm: &mut LiveComm<T>, dur: Duration) {
     let end = Instant::now() + dur;
     while Instant::now() < end {
         let chunk = Instant::now() + Duration::from_micros(5);

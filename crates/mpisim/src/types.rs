@@ -9,8 +9,10 @@ pub type Rank = usize;
 pub type Tag = u32;
 
 /// Tags at or above this value are reserved for internal collective
-/// schedules.
-pub const TAG_INTERNAL_BASE: Tag = 0x7000_0000;
+/// schedules. This is the one shared reserved-tag constant for the whole
+/// workspace — re-exported from `rtmpi` so the simulator, the live
+/// substrates, and the wildcard-matching rules all agree on the boundary.
+pub const TAG_INTERNAL_BASE: Tag = rtmpi::TAG_RESERVED_BASE;
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Option<Rank> = None;

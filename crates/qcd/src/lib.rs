@@ -9,6 +9,7 @@
 pub mod dist;
 pub mod dslash;
 pub mod lattice;
+pub mod live_driver;
 pub mod sim_driver;
 pub mod solver;
 pub mod su3;

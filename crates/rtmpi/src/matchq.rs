@@ -36,13 +36,24 @@ pub struct Unexpected<M> {
 
 /// Does a `(src, tag)` filter pair accept an arrival from `src`/`tag`?
 /// `None` is the MPI wildcard (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`).
+///
+/// A wildcard tag deliberately does **not** match the reserved internal
+/// tag space (`tag >= `[`crate::TAG_RESERVED_BASE`]): collective rounds
+/// and barrier tokens travel on reserved tags, and an application
+/// `ANY_TAG` receive must never consume them. Internal receives always
+/// name their exact tag, so exact matches in the reserved range are
+/// unaffected.
 pub fn filter_matches(
     src_filter: Option<usize>,
     tag_filter: Option<Tag>,
     src: usize,
     tag: Tag,
 ) -> bool {
-    src_filter.is_none_or(|s| s == src) && tag_filter.is_none_or(|t| t == tag)
+    let tag_ok = match tag_filter {
+        Some(t) => t == tag,
+        None => tag < crate::TAG_RESERVED_BASE,
+    };
+    src_filter.is_none_or(|s| s == src) && tag_ok
 }
 
 /// The two-sided matching queue: posted receives on one side, unexpected
@@ -155,6 +166,51 @@ mod tests {
         assert!(filter_matches(None, Some(9), 3, 9));
         assert!(!filter_matches(Some(2), None, 3, 9));
         assert!(!filter_matches(None, Some(8), 3, 9));
+    }
+
+    #[test]
+    fn wildcard_tag_excludes_reserved_internal_space() {
+        use crate::{TAG_COLL_SPAN, TAG_DIRECT_COLL_BASE, TAG_RESERVED_BASE};
+        // ANY_TAG never matches reserved tags, from either sub-range...
+        assert!(!filter_matches(None, None, 0, TAG_RESERVED_BASE));
+        assert!(!filter_matches(Some(0), None, 0, TAG_RESERVED_BASE + 17));
+        assert!(!filter_matches(None, None, 2, TAG_DIRECT_COLL_BASE));
+        assert!(!filter_matches(
+            None,
+            None,
+            2,
+            TAG_DIRECT_COLL_BASE + TAG_COLL_SPAN - 1
+        ));
+        // ...while exact filters on reserved tags (what collective-round
+        // receives post) still match, and the app range is untouched.
+        assert!(filter_matches(
+            Some(1),
+            Some(TAG_RESERVED_BASE + 17),
+            1,
+            TAG_RESERVED_BASE + 17
+        ));
+        assert!(filter_matches(None, None, 1, TAG_RESERVED_BASE - 1));
+    }
+
+    #[test]
+    fn wildcard_recv_skips_buffered_internal_arrival() {
+        let mut q: MatchQueue<(), u8> = MatchQueue::new();
+        // A barrier token arrives before the wildcard recv is served...
+        q.push_unexpected(1, crate::TAG_DIRECT_COLL_BASE, 0xB0);
+        q.push_unexpected(1, 5, 0xA0);
+        // ...the ANY_SOURCE/ANY_TAG recv must take the *app* message.
+        assert_eq!(q.take_unexpected(None, None).map(|u| u.msg), Some(0xA0));
+        // The token stays for the exact-tag internal receive.
+        assert_eq!(
+            q.take_unexpected(Some(1), Some(crate::TAG_DIRECT_COLL_BASE))
+                .map(|u| u.msg),
+            Some(0xB0)
+        );
+        // An internal arrival never matches a posted wildcard recv either.
+        let mut q: MatchQueue<u32, ()> = MatchQueue::new();
+        q.push_posted(None, None, 7);
+        assert!(q.take_posted(0, crate::TAG_RESERVED_BASE + 3).is_none());
+        assert_eq!(q.take_posted(0, 3).map(|p| p.token), Some(7));
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //!   0); if it would hang or sees anything else it exits 1. This is the
 //!   robustness case: an abrupt peer death fails dependent operations
 //!   loudly instead of wedging the job.
+//! * `kill-allreduce`: the `kill` scenario lifted to the offloaded
+//!   collective path. Every rank but 1 enters an offloaded allreduce
+//!   whose schedule needs rank 1; rank 1 bootstraps, lingers until its
+//!   peers are mid-schedule, and SIGKILLs itself without ever joining.
+//!   Survivors must see `PeerLost` surface through the offload thread on
+//!   the collective's own handle (prints `peer lost detected in
+//!   allreduce: rank 1`, exits 0) — never a hang or a panic.
 //! * `stall`: every rank but 0 posts a receive rank 0 will never answer
 //!   and polls progress long enough for the stall watchdog (armed by the
 //!   launcher via `WIRE_STALL_MS`) to fire, then cancels and exits 0 —
@@ -32,6 +39,7 @@ fn main() {
     let mode = std::env::var("WIRE_VICTIM_MODE").unwrap_or_else(|_| "ok".into());
     match mode.as_str() {
         "kill" => kill_mode(&mut comm),
+        "kill-allreduce" => kill_allreduce_mode(comm),
         "stall" => stall_mode(&mut comm),
         // Exercise the launcher's timeout kill: bootstrap, then wedge.
         "hang" => loop {
@@ -125,6 +133,44 @@ fn kill_mode(comm: &mut wire::WireComm) {
         }
         _ => {} // bystander ranks just exit
     }
+}
+
+fn kill_allreduce_mode(comm: wire::WireComm) {
+    let r = comm.rank();
+    assert!(comm.size() >= 2, "kill-allreduce needs at least 2 ranks");
+    if r == 1 {
+        // Let the survivors get well inside the schedule (their first
+        // round posts a rendezvous towards us that can never advance),
+        // then die abruptly without ever joining the collective.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let me = std::process::id();
+        let _ = std::process::Command::new("sh")
+            .arg("-c")
+            .arg(format!("kill -9 {me}"))
+            .status();
+        std::process::abort();
+    }
+    let node = offload::offload_rank(comm);
+    let h = node.handle();
+    // Rendezvous-sized lanes: every round is a real RTS/CTS/DATA exchange.
+    let lanes: Vec<u8> = (0..4096u64)
+        .flat_map(|i| (i as f64).to_le_bytes())
+        .collect();
+    let slot = h.start_collective(offload::CollKind::Allreduce {
+        dtype: offload::Dtype::F64,
+        op: offload::ReduceOp::Sum,
+        data: lanes,
+    });
+    match h.wait_result(slot) {
+        Err(TransportError::PeerLost { peer }) => {
+            println!("peer lost detected in allreduce: rank {peer}");
+        }
+        other => {
+            eprintln!("rank {r}: expected PeerLost from allreduce, got {other:?}");
+            std::process::exit(1);
+        }
+    }
+    node.finalize();
 }
 
 fn stall_mode(comm: &mut wire::WireComm) {

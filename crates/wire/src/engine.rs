@@ -257,6 +257,12 @@ pub struct WireComm {
     c_rndv_async: obs::Counter,
     c_peer_lost: obs::Counter,
     c_stalls: obs::Counter,
+    /// Malformed-but-framed protocol events: stray/duplicate/wrong-source
+    /// CTS, DATA nobody awaits, a peer vanishing mid-handshake. Each one
+    /// is counted and absorbed — never a panic.
+    c_protocol_errors: obs::Counter,
+    /// Sends issued in the reserved collective tag space (NBC rounds).
+    c_coll_tx: obs::Counter,
 }
 
 impl WireComm {
@@ -295,6 +301,8 @@ impl WireComm {
             c_rndv_async: c("wire.rndv_handshake_async"),
             c_peer_lost: c("wire.peer_lost"),
             c_stalls: c("wire.stalls"),
+            c_protocol_errors: c("wire.protocol_errors"),
+            c_coll_tx: c("wire.coll_tx"),
             registry,
         }
     }
@@ -491,10 +499,16 @@ impl WireComm {
                 }
             }
             FrameKind::Cts => {
-                if let Some(id) = self.sent_rndv.remove(&hdr.xid) {
-                    let state = self.pending.get(&id);
-                    if let Some(Pending::RndvAwaitCts { dst, data }) = state {
+                let Some(&id) = self.sent_rndv.get(&hdr.xid) else {
+                    // Stray CTS: no rendezvous send owns this xid (never
+                    // issued, already answered, or reaped at peer death).
+                    self.c_protocol_errors.inc();
+                    return;
+                };
+                match self.pending.get(&id) {
+                    Some(Pending::RndvAwaitCts { dst, data }) if *dst == src => {
                         let (dst, data) = (*dst, data.clone());
+                        self.sent_rndv.remove(&hdr.xid);
                         let frame = Header {
                             kind: FrameKind::Data,
                             src: self.rank as u32,
@@ -502,25 +516,47 @@ impl WireComm {
                             xid: hdr.xid,
                             len: data.len() as u64,
                         };
-                        let peer = self.peers[dst].as_mut().expect("CTS from connected peer");
-                        let mark = peer.queue_frame(frame, &data);
-                        peer.flush_marks.push_back((mark, id));
-                        self.c_frames_tx.inc();
-                        self.pending.insert(id, Pending::RndvSendData);
+                        match &mut self.peers[dst] {
+                            Some(peer) if peer.alive => {
+                                let mark = peer.queue_frame(frame, &data);
+                                peer.flush_marks.push_back((mark, id));
+                                self.c_frames_tx.inc();
+                                self.pending.insert(id, Pending::RndvSendData);
+                            }
+                            // The destination vanished between RTS and
+                            // CTS: fail the owning op, don't panic.
+                            _ => {
+                                self.c_protocol_errors.inc();
+                                self.finish(id, Err(TransportError::PeerLost { peer: dst }));
+                            }
+                        }
+                    }
+                    // CTS arriving on the wrong peer's socket: keep the
+                    // xid mapping so the genuine answer still completes.
+                    Some(_) => self.c_protocol_errors.inc(),
+                    // Owner was cancelled; the CTS itself is legitimate —
+                    // retire the dangling mapping quietly.
+                    None => {
+                        self.sent_rndv.remove(&hdr.xid);
                     }
                 }
             }
             FrameKind::Data => {
-                if let Some(id) = self.await_data.remove(&(src, hdr.xid)) {
-                    if let Some(t) = &self.flow {
-                        t.flow_finish("rndv", flow_id(src, hdr.xid));
+                match self.await_data.remove(&(src, hdr.xid)) {
+                    Some(id) => {
+                        if let Some(t) = &self.flow {
+                            t.flow_finish("rndv", flow_id(src, hdr.xid));
+                        }
+                        let st = Status {
+                            source: src,
+                            tag: hdr.tag,
+                            len: body.len(),
+                        };
+                        self.finish(id, Ok(OpOutcome::Received(st, Arc::from(body))));
                     }
-                    let st = Status {
-                        source: src,
-                        tag: hdr.tag,
-                        len: body.len(),
-                    };
-                    self.finish(id, Ok(OpOutcome::Received(st, Arc::from(body))));
+                    // DATA nobody awaits: duplicate, forged, or the
+                    // receive side already gave up on this exchange.
+                    None => self.c_protocol_errors.inc(),
                 }
             }
             // Stats-plane control frames ride the rank→launcher socket,
@@ -727,6 +763,9 @@ impl Transport for WireComm {
 
     fn isend(&mut self, dst: usize, tag: Tag, data: Arc<[u8]>) -> WireReq {
         assert!(dst < self.size, "destination rank out of range");
+        if tag >= rtmpi::TAG_RESERVED_BASE {
+            self.c_coll_tx.inc();
+        }
         if dst == self.rank {
             // Self-send: deliver through the local mailbox.
             match self.mailbox.take_posted(dst, tag) {
@@ -758,11 +797,16 @@ impl Transport for WireComm {
                     self.c_eager_tx.inc();
                     let req = self.alloc_req(Pending::EagerSend);
                     let WireReq(id) = req;
-                    self.peers[dst]
-                        .as_mut()
-                        .expect("peer present")
-                        .flush_marks
-                        .push_back((mark, id));
+                    match &mut self.peers[dst] {
+                        Some(peer) if peer.alive => peer.flush_marks.push_back((mark, id)),
+                        // Unreachable single-threaded (the peer was alive
+                        // a moment ago), but a protocol fault must not
+                        // panic the engine: fail the op instead.
+                        _ => {
+                            self.c_protocol_errors.inc();
+                            self.finish(id, Err(TransportError::PeerLost { peer: dst }));
+                        }
+                    }
                     req
                 } else {
                     let xid = self.next_xid;
@@ -1242,5 +1286,244 @@ mod tests {
             a.try_take(&r2),
             Some(Err(TransportError::PeerLost { peer: 1 }))
         );
+    }
+
+    // ---- protocol-fault injection: forged frames must never panic ------
+
+    /// Rank 0 engine whose peers are raw test-held sockets, so the test
+    /// can forge arbitrary frames on each peer's wire.
+    fn injectable(peers: usize) -> (WireComm, Vec<UnixStream>) {
+        let mut streams: Vec<Option<Stream>> = vec![None];
+        let mut held = Vec::new();
+        for _ in 0..peers {
+            let (mine, theirs) = UnixStream::pair().expect("socketpair");
+            mine.set_nonblocking(true).expect("nonblocking");
+            streams.push(Some(Stream::from(mine)));
+            held.push(theirs);
+        }
+        (
+            WireComm::new(0, peers + 1, streams, WireConfig::default()),
+            held,
+        )
+    }
+
+    fn inject(sock: &mut UnixStream, hdr: Header, body: &[u8]) {
+        sock.write_all(&hdr.encode()).expect("inject header");
+        sock.write_all(body).expect("inject body");
+    }
+
+    /// Drain whole frames the engine has flushed toward a test-held peer.
+    fn drain_frames(sock: &mut UnixStream) -> Vec<(Header, Vec<u8>)> {
+        sock.set_nonblocking(true).expect("nonblocking");
+        let mut bytes = Vec::new();
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            match sock.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => bytes.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("drain failed: {e}"),
+            }
+        }
+        let mut frames = Vec::new();
+        let mut off = 0;
+        while bytes.len() - off >= HEADER_LEN {
+            let hdr = Header::decode(bytes[off..off + HEADER_LEN].try_into().expect("header"))
+                .expect("frame decodes");
+            let body_len = hdr.body_len();
+            assert!(bytes.len() - off >= HEADER_LEN + body_len, "whole frame");
+            frames.push((
+                hdr,
+                bytes[off + HEADER_LEN..off + HEADER_LEN + body_len].to_vec(),
+            ));
+            off += HEADER_LEN + body_len;
+        }
+        frames
+    }
+
+    #[cfg(feature = "obs-enabled")]
+    fn protocol_errors(c: &WireComm) -> u64 {
+        c.obs().snapshot().counter("wire.protocol_errors")
+    }
+
+    #[test]
+    fn stray_cts_for_unknown_xid_is_counted_not_panicked() {
+        let (mut a, mut peers) = injectable(1);
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Cts,
+                src: 1,
+                tag: 3,
+                xid: 99, // never issued by rank 0
+                len: 0,
+            },
+            &[],
+        );
+        for _ in 0..100 {
+            a.progress();
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
+        // The engine is still healthy: an eager send completes normally.
+        let s = a.isend(1, 1, Arc::from(vec![7u8]));
+        let out = (0..100)
+            .find_map(|_| {
+                a.progress();
+                a.try_take(&s)
+            })
+            .expect("send flushes");
+        assert!(matches!(out, Ok(OpOutcome::Sent)));
+    }
+
+    #[test]
+    fn duplicate_cts_after_real_handshake_is_absorbed() {
+        let (mut a, mut peers) = injectable(1);
+        let payload = vec![9u8; WireConfig::default().eager_max + 1];
+        let s = a.isend(1, 5, Arc::from(payload.clone()));
+        // Act as rank 1: receive the RTS, answer with a CTS.
+        let rts = loop {
+            a.progress();
+            let got = drain_frames(&mut peers[0]);
+            if let Some(f) = got.into_iter().find(|(h, _)| h.kind == FrameKind::Rts) {
+                break f.0;
+            }
+        };
+        let cts = Header {
+            kind: FrameKind::Cts,
+            src: 1,
+            tag: rts.tag,
+            xid: rts.xid,
+            len: rts.len,
+        };
+        inject(&mut peers[0], cts, &[]);
+        // The handshake completes and DATA goes out.
+        let data = loop {
+            a.progress();
+            if let Some(out) = a.try_take(&s) {
+                assert!(matches!(out, Ok(OpOutcome::Sent)));
+            }
+            let got = drain_frames(&mut peers[0]);
+            if let Some(f) = got.into_iter().find(|(h, _)| h.kind == FrameKind::Data) {
+                break f;
+            }
+        };
+        assert_eq!(data.1, payload);
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 0);
+        // A duplicate CTS for the already-answered xid is counted, not
+        // acted on: no second DATA frame, no panic.
+        inject(&mut peers[0], cts, &[]);
+        for _ in 0..100 {
+            a.progress();
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
+        assert!(
+            drain_frames(&mut peers[0])
+                .iter()
+                .all(|(h, _)| h.kind != FrameKind::Data),
+            "duplicate CTS must not resend DATA"
+        );
+    }
+
+    #[test]
+    fn wrong_source_cts_keeps_exchange_alive_for_real_peer() {
+        let (mut a, mut peers) = injectable(2);
+        let payload = vec![3u8; WireConfig::default().eager_max + 1];
+        let s = a.isend(1, 8, Arc::from(payload.clone()));
+        let rts = loop {
+            a.progress();
+            let got = drain_frames(&mut peers[0]);
+            if let Some(f) = got.into_iter().find(|(h, _)| h.kind == FrameKind::Rts) {
+                break f.0;
+            }
+        };
+        // Rank 2 forges a CTS for rank 1's exchange: counted and dropped.
+        inject(
+            &mut peers[1],
+            Header {
+                kind: FrameKind::Cts,
+                src: 2,
+                tag: rts.tag,
+                xid: rts.xid,
+                len: rts.len,
+            },
+            &[],
+        );
+        for _ in 0..100 {
+            a.progress();
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
+        assert!(a.try_take(&s).is_none(), "send still awaiting real CTS");
+        // The genuine CTS from rank 1 still completes the exchange.
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Cts,
+                src: 1,
+                tag: rts.tag,
+                xid: rts.xid,
+                len: rts.len,
+            },
+            &[],
+        );
+        let out = (0..100)
+            .find_map(|_| {
+                a.progress();
+                a.try_take(&s)
+            })
+            .expect("send completes after real CTS");
+        assert!(matches!(out, Ok(OpOutcome::Sent)));
+        let data: Vec<_> = drain_frames(&mut peers[0])
+            .into_iter()
+            .filter(|(h, _)| h.kind == FrameKind::Data)
+            .collect();
+        assert_eq!(data.len(), 1, "exactly one DATA, to the real peer");
+        assert_eq!(data[0].1, payload);
+    }
+
+    #[test]
+    fn unknown_data_frame_is_counted_not_panicked() {
+        let (mut a, mut peers) = injectable(1);
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Data,
+                src: 1,
+                tag: 4,
+                xid: 77, // no receive awaits this exchange
+                len: 5,
+            },
+            &[1, 2, 3, 4, 5],
+        );
+        for _ in 0..100 {
+            a.progress();
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
+        // A posted receive is untouched by the stray DATA.
+        let r = a.irecv(Some(1), Some(4));
+        assert!(a.try_take(&r).is_none(), "stray DATA never matches a recv");
+    }
+
+    #[test]
+    fn reserved_tag_sends_bump_coll_tx() {
+        let (mut a, mut b) = two(WireConfig::default());
+        let _ = a.isend(1, 2, Arc::from(vec![1u8]));
+        let coll_tag = rtmpi::TAG_COLL_BASE + 4;
+        let s = a.isend(1, coll_tag, Arc::from(vec![2u8]));
+        let r = b.irecv(Some(0), Some(coll_tag));
+        pump(&mut a, &mut b, |a, b| {
+            let _ = a.try_take(&s);
+            b.try_take(&r)
+        })
+        .expect("reserved-tag recv completes");
+        #[cfg(feature = "obs-enabled")]
+        {
+            assert_eq!(a.obs().snapshot().counter("wire.coll_tx"), 1);
+            assert_eq!(b.obs().snapshot().counter("wire.coll_tx"), 0);
+        }
     }
 }

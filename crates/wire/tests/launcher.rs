@@ -86,6 +86,33 @@ fn sigkilled_rank_mid_rendezvous_reports_peer_lost() {
     assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
 }
 
+/// The same robustness property lifted to offloaded collectives: a rank
+/// SIGKILLed while its peer is inside a wire-backed allreduce schedule
+/// must surface as `PeerLost` on the collective's own handle — through
+/// the offload thread and the request pool — not as a hang or a panic.
+#[test]
+fn sigkilled_rank_mid_allreduce_reports_peer_lost() {
+    let out = Command::new(offload_run())
+        .args(["-n", "2", "--timeout", "60", victim()])
+        .env("WIRE_VICTIM_MODE", "kill-allreduce")
+        // Backstop well under the launcher timeout: a detection failure
+        // shows as the rank erroring out, not the job timing out.
+        .env("WIRE_TIMEOUT_MS", "10000")
+        .output()
+        .expect("offload-run spawns");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("peer lost detected in allreduce: rank 1"),
+        "rank 0 did not observe PeerLost in the collective\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("rank 1 killed by signal 9"),
+        "launcher did not attribute the death\nstderr:\n{stderr}"
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+}
+
 /// The stats-aggregation satellite: a rank SIGKILLed mid-run must appear
 /// in the final JSON report as dead, with its last received snapshot, and
 /// the launcher exit code must be nonzero.

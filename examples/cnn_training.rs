@@ -4,6 +4,11 @@
 //! and confirm both reach the same accuracy.
 //!
 //! Run: `cargo run --release --example cnn_training`
+//!
+//! **Multi-process mode:** under the wire launcher each rank is an OS
+//! process over real Unix-domain sockets running data-parallel SGD with
+//! the gradient all-reduce as an NBC schedule through the live
+//! strategies: `offload-run -n 4 cnn_training` (see `cnn::live_driver`).
 
 use approaches::{run_approach, AnyComm, Approach, Comm};
 use cnn::network::{synthetic_batch, SmallCnn};
@@ -16,6 +21,76 @@ const STEPS: usize = 40;
 const BATCH: usize = 16;
 const LR: f32 = 0.1;
 
+/// Training steps for the multi-process run — enough to catch replica
+/// divergence, short enough for a smoke lane.
+const WIRE_STEPS: usize = 8;
+
+/// One rank of the multi-process run (we are inside `offload-run`):
+/// train data-parallel replicas over every live strategy on the same
+/// socket mesh, check the replicas stay synchronized, then run the
+/// fig-3-style gradient-allreduce overlap panel.
+fn wire_main() {
+    use cnn::live_driver;
+    let transport = match wire::from_env() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cnn_training: wire bootstrap failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    use rtmpi::Transport as _;
+    let (rank, size) = (transport.rank(), transport.size());
+    assert!(size >= 2, "data-parallel training needs at least 2 ranks");
+    let iters = if harness::quick_mode() { 2 } else { 4 };
+
+    // Correctness: every strategy trains the same replicas to (nearly)
+    // the same weights — reductions may reassociate, nothing more.
+    let mut t = transport;
+    for approach in approaches::live::LiveApproach::ALL {
+        let mut comm = approaches::live::LiveComm::start(approach, t);
+        let net = live_driver::train_data_parallel_live(&mut comm, WIRE_STEPS, LR)
+            .expect("data-parallel training");
+        let spread = live_driver::weight_spread(&mut comm, &net).expect("weight allgather");
+        assert!(
+            spread < 1e-3,
+            "{} replicas diverged: weight-checksum spread {spread:e}",
+            approach.name()
+        );
+        if rank == 0 {
+            println!(
+                "{:8}: {} steps x {} ranks, replica weight spread {spread:.2e}",
+                approach.name(),
+                WIRE_STEPS,
+                size
+            );
+        }
+        t = comm.finalize();
+    }
+
+    // Overlap panel: the step-0 gradient reduction with forward/backward
+    // passes inserted, repeated for the perf snapshot.
+    let mut by_repeat = Vec::new();
+    for _ in 0..harness::bench_repeats() {
+        let mut rows = Vec::new();
+        for approach in approaches::live::LiveApproach::ALL {
+            let (row, back) = live_driver::nbc_overlap_panel(approach, t, iters);
+            t = back;
+            rows.push(row);
+        }
+        by_repeat.push(rows);
+    }
+    if rank == 0 {
+        println!("\n== gradient allreduce overlap over the wire, {size} ranks ==");
+        harness::nbc_overlap_table(by_repeat.last().expect("one repeat")).print("rank 0 observed");
+        harness::emit_snapshot(&harness::nbc_overlap_snapshot(
+            "cnn_wire",
+            "§5.3 data-parallel gradient allreduce over the socket wire (rank 0)",
+            &by_repeat,
+        ));
+    }
+    println!("rank {rank} ok");
+}
+
 fn accuracy(net: &SmallCnn, rng: &mut SplitMix64) -> f64 {
     let (x, labels) = synthetic_batch(128, 8, 8, rng);
     let pred = net.predict(&x);
@@ -23,6 +98,9 @@ fn accuracy(net: &SmallCnn, rng: &mut SplitMix64) -> f64 {
 }
 
 fn main() {
+    if wire::is_wire_process() {
+        return wire_main();
+    }
     println!("== CNN training on the synthetic quadrant task ==\n");
 
     // Single-rank reference run.

@@ -5,6 +5,12 @@
 //! pipelined transform.
 //!
 //! Run: `cargo run --release --example fft_pipeline`
+//!
+//! **Multi-process mode:** under the wire launcher each rank is an OS
+//! process over real Unix-domain sockets, the global transpose an NBC
+//! alltoall schedule through the live strategies:
+//! `offload-run -n 4 fft_pipeline` (fig-5-style panel, see
+//! `fft1d::live_driver`).
 
 use approaches::{run_approach, AnyComm, Approach, Comm};
 use fft1d::dist::{fft_dist, fft_dist_pipelined, gather_natural, scatter_natural, DistPlan};
@@ -12,7 +18,93 @@ use fft1d::local::{fft, max_rel_error};
 use numeric::{Complex, Complex64, SplitMix64};
 use std::rc::Rc;
 
+/// One rank of the multi-process panel (we are inside `offload-run`):
+/// first the blocking distributed transform under each live strategy
+/// (correctness — the spectrum must match the reference column FFTs of
+/// the expected transpose), then the fig-5-style alltoall overlap
+/// measurement, repeated `bench_repeats()` times for the perf snapshot.
+fn wire_main() {
+    use fft1d::live_driver;
+    let transport = match wire::from_env() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fft_pipeline: wire bootstrap failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    use rtmpi::Transport as _;
+    let (rank, size) = (transport.rank(), transport.size());
+    let plan = live_driver::panel_plan(size);
+    let iters = if harness::quick_mode() { 2 } else { 4 };
+
+    let mut t = transport;
+    // Correctness: the full transform over the live collective agrees
+    // with a locally recomputed reference on every rank and strategy.
+    for approach in approaches::live::LiveApproach::ALL {
+        let mut comm = approaches::live::LiveComm::start(approach, t);
+        let out = live_driver::fft_dist_live(&mut comm, &plan, live_driver::rank_slab(&plan, rank))
+            .expect("distributed FFT");
+        let reference = {
+            // Column-FFT the expected receive buffer — same math, no comm.
+            let bytes = live_driver::expected_transpose(&plan, rank);
+            let block = plan.rows_local() * plan.cols_local() * 16;
+            let mut cols_mat = vec![vec![Complex64::zero(); plan.n1]; plan.cols_local()];
+            for src in 0..plan.p {
+                let blk = fft1d::dist::decode(&bytes[src * block..(src + 1) * block]);
+                for (bi, v) in blk.iter().enumerate() {
+                    let i = bi / plan.cols_local();
+                    let k2l = bi % plan.cols_local();
+                    cols_mat[k2l][src * plan.rows_local() + i] = *v;
+                }
+            }
+            let mut res = Vec::with_capacity(plan.local_len());
+            for col in cols_mat.iter_mut() {
+                fft(col);
+                res.extend_from_slice(col);
+            }
+            res
+        };
+        let err = max_rel_error(&out, &reference);
+        assert!(err < 1e-12, "{}: spectrum error {err:e}", approach.name());
+        if rank == 0 {
+            println!(
+                "{:8}: {}-point distributed FFT over {size} ranks, max rel err {err:.2e}",
+                approach.name(),
+                plan.n()
+            );
+        }
+        t = comm.finalize();
+    }
+
+    let mut by_repeat = Vec::new();
+    for _ in 0..harness::bench_repeats() {
+        let mut rows = Vec::new();
+        for approach in approaches::live::LiveApproach::ALL {
+            let (row, back) = live_driver::nbc_overlap_panel(approach, t, iters);
+            t = back;
+            rows.push(row);
+        }
+        by_repeat.push(rows);
+    }
+    if rank == 0 {
+        println!(
+            "\n== live FFT transpose over the wire: {}x{} points, {} ranks ==",
+            plan.n1, plan.n2, size
+        );
+        harness::nbc_overlap_table(by_repeat.last().expect("one repeat")).print("rank 0 observed");
+        harness::emit_snapshot(&harness::nbc_overlap_snapshot(
+            "fft_wire",
+            "§5.2 transpose alltoall over the socket wire (rank 0, row-FFT compute)",
+            &by_repeat,
+        ));
+    }
+    println!("rank {rank} ok");
+}
+
 fn main() {
+    if wire::is_wire_process() {
+        return wire_main();
+    }
     let plan = DistPlan::new(64, 64, 4);
     println!(
         "== distributed FFT: {} points as {}x{} over {} ranks ==\n",
