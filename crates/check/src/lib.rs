@@ -52,6 +52,8 @@
 
 pub mod cell;
 pub mod clock;
+#[cfg(feature = "proto")]
+pub mod proto;
 pub mod sync;
 pub mod thread;
 

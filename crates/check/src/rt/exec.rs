@@ -178,6 +178,7 @@ impl ExecShared {
     pub(crate) fn new(picker: Box<dyn Picker>, cfg: RunCfg) -> Arc<Self> {
         Arc::new(Self {
             inner: Mutex::new(ExecInner {
+                // ORDERING: Relaxed — unique-ID tick, nothing published.
                 id: NEXT_EXEC_ID.fetch_add(1, StdOrdering::Relaxed),
                 cfg,
                 picker,

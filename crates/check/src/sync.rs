@@ -88,6 +88,9 @@ pub mod atomic {
                     }
 
                     fn register(&self, g: &mut ExecInner) -> usize {
+                        // ORDERING: Relaxed — snapshots the pre-model
+                        // initial value; once registered, every access
+                        // goes through the model's var table instead.
                         let init = AsU64::to_u64(self.std.load(Ordering::Relaxed));
                         self.slot.index(g, |g| {
                             g.vars.push(VarState {
@@ -100,6 +103,8 @@ pub mod atomic {
 
                     pub fn load(&self, ord: Ordering) -> $ty {
                         if let Some((exec, tid)) = ctx() {
+                            // ORDERING: validates the caller's ordering
+                            // (std would panic too) — not a choice here.
                             assert!(
                                 !matches!(ord, Ordering::Release | Ordering::AcqRel),
                                 "invalid ordering for atomic load"
@@ -121,6 +126,8 @@ pub mod atomic {
 
                     pub fn store(&self, v: $ty, ord: Ordering) {
                         if let Some((exec, tid)) = ctx() {
+                            // ORDERING: validates the caller's ordering —
+                            // not a choice here.
                             assert!(
                                 !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
                                 "invalid ordering for atomic store"
@@ -203,6 +210,8 @@ pub mod atomic {
                     ) -> Result<$ty, $ty> {
                         match ctx() {
                             Some((exec, tid)) => {
+                                // ORDERING: validates the caller's failure
+                                // ordering — not a choice here.
                                 assert!(
                                     !matches!(failure, Ordering::Release | Ordering::AcqRel),
                                     "invalid failure ordering for compare_exchange"
@@ -267,6 +276,7 @@ pub mod atomic {
                 impl std::fmt::Debug for $name {
                     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
                         f.debug_tuple(stringify!($name))
+                            // ORDERING: Relaxed — racy debug formatting.
                             .field(&self.std.load(Ordering::Relaxed))
                             .finish()
                     }

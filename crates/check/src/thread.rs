@@ -5,8 +5,22 @@
 #[cfg(not(offload_model))]
 pub use std::thread::{sleep, spawn, yield_now, JoinHandle, Result};
 
+/// [`spawn`] with an OS-visible thread name (shows up in debuggers and
+/// panic messages). Panics if the OS refuses to spawn, like `spawn` does.
+#[cfg(not(offload_model))]
+pub fn spawn_named<F, T>(name: String, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(f)
+        .expect("spawn named thread")
+}
+
 #[cfg(offload_model)]
-pub use model::{sleep, spawn, yield_now, JoinHandle};
+pub use model::{sleep, spawn, spawn_named, yield_now, JoinHandle};
 #[cfg(offload_model)]
 pub use std::thread::Result;
 
@@ -33,6 +47,25 @@ mod model {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
+        spawn_inner(None, f)
+    }
+
+    /// Named spawn: the name reaches the model's thread table (so failure
+    /// reports say `offload-0` instead of `spawned-by-3`) or, outside a
+    /// model run, the OS thread.
+    pub fn spawn_named<F, T>(name: String, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_inner(Some(name), f)
+    }
+
+    fn spawn_inner<F, T>(name: Option<String>, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
         if let Some((exec, tid)) = ctx() {
             // Spawn is itself a schedule point (and a release edge — the
             // child inherits the parent's clock inside spawn_model).
@@ -40,7 +73,7 @@ mod model {
             let slot = Arc::new(std::sync::Mutex::new(None));
             let into = Arc::clone(&slot);
             let child = exec.spawn_model(
-                format!("spawned-by-{tid}"),
+                name.unwrap_or_else(|| format!("spawned-by-{tid}")),
                 Box::new(move || {
                     let v = f();
                     *into.lock().unwrap() = Some(v);
@@ -52,7 +85,11 @@ mod model {
                 slot,
             })
         } else {
-            JoinHandle(Inner::Std(std::thread::spawn(f)))
+            let mut b = std::thread::Builder::new();
+            if let Some(name) = name {
+                b = b.name(name);
+            }
+            JoinHandle(Inner::Std(b.spawn(f).expect("spawn named thread")))
         }
     }
 

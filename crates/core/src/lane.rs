@@ -78,6 +78,10 @@ impl<T> SpscRing<T> {
 
     /// Producer side. `Err(value)` when full.
     pub fn push(&self, value: T) -> Result<(), T> {
+        // ORDERING: Relaxed on `tail` — the producer is its only writer,
+        // so it always sees its own latest value. Acquire on `head` pairs
+        // with the consumer's Release, proving the slot was drained before
+        // we overwrite it.
         let tail = self.tail.load(Ordering::Relaxed);
         if tail.wrapping_sub(self.head.load(Ordering::Acquire)) == self.buf.len() {
             return Err(value);
@@ -85,12 +89,17 @@ impl<T> SpscRing<T> {
         // SAFETY: only the single producer writes slots, and the acquire
         // check above proved this slot's previous value was consumed.
         self.buf[tail & (self.buf.len() - 1)].with_mut(|p| unsafe { (*p).write(value) });
+        // ORDERING: Release — publishes the slot write to the consumer's
+        // Acquire load of `tail`.
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
     /// Consumer side.
     pub fn pop(&self) -> Option<T> {
+        // ORDERING: Relaxed on `head` — the consumer is its only writer.
+        // Acquire on `tail` pairs with the producer's Release, making the
+        // published value visible before we read the slot.
         let head = self.head.load(Ordering::Relaxed);
         if self.tail.load(Ordering::Acquire) == head {
             return None;
@@ -99,6 +108,8 @@ impl<T> SpscRing<T> {
         // this slot; only the single consumer reads slots out.
         let value =
             self.buf[head & (self.buf.len() - 1)].with(|p| unsafe { (*p).assume_init_read() });
+        // ORDERING: Release — hands the emptied slot back to the
+        // producer's Acquire load of `head`.
         self.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
@@ -107,6 +118,9 @@ impl<T> SpscRing<T> {
     /// clamped to `[0, capacity]` for everyone else (the two cursor loads
     /// are not a snapshot).
     pub fn len(&self) -> usize {
+        // ORDERING: Acquire/Acquire — exact for whichever cursor the
+        // calling thread owns; for third parties this is an estimate (the
+        // two loads are not a snapshot) and the clamp below absorbs that.
         let tail = self.tail.load(Ordering::Acquire);
         let head = self.head.load(Ordering::Acquire);
         let diff = tail.wrapping_sub(head);
@@ -202,6 +216,7 @@ impl<T> LaneSet<T> {
         metrics: LaneMetrics,
     ) -> Self {
         Self {
+            // ORDERING: Relaxed — unique-ID tick; nothing is published.
             id: NEXT_SET_ID.fetch_add(1, Ordering::Relaxed),
             lanes: (0..lanes.max(1)).map(|_| SpscRing::new(lane_cap)).collect(),
             overflow: MpmcQueue::with_capacity(overflow_cap),
@@ -237,6 +252,8 @@ impl<T> LaneSet<T> {
             if let Some(&(_, lane)) = claims.iter().find(|(id, _)| *id == self.id) {
                 return (lane != OVERFLOW).then_some(lane as usize);
             }
+            // ORDERING: Relaxed — atomicity alone makes claims unique;
+            // lane handoff synchronizes through the ring cursors, not here.
             let claimed = self.next_lane.fetch_add(1, Ordering::Relaxed);
             let lane = if claimed < self.lanes.len() {
                 claimed as u32
@@ -292,6 +309,8 @@ impl<T> LaneSet<T> {
     /// number drained. Consumer-only.
     pub fn drain(&self, budget_per_lane: usize, mut f: impl FnMut(T)) -> usize {
         let n = self.lanes.len();
+        // ORDERING: Relaxed/Relaxed — consumer-only fairness cursor; no
+        // other thread reads it, so there is nothing to order.
         let start = self.cursor.load(Ordering::Relaxed);
         self.cursor.store((start + 1) % n, Ordering::Relaxed);
         let mut total = 0;

@@ -20,8 +20,8 @@
 //! constructions used by the simulated MPI (`mpisim::nbc`) — one
 //! implementation of the algorithms, two executors.
 
+use check::thread::JoinHandle;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mpisim::nbc::{self, DataSrc, RecvAction, Round};
@@ -307,10 +307,9 @@ pub fn offload_rank_configured<T: Transport>(
         rank: transport.rank(),
         size: transport.size(),
     };
-    let thread = std::thread::Builder::new()
-        .name(format!("offload-{}", transport.rank()))
-        .spawn(move || offload_main(transport, chan, pool, registry))
-        .expect("spawn offload thread");
+    let thread = check::thread::spawn_named(format!("offload-{}", transport.rank()), move || {
+        offload_main(transport, chan, pool, registry)
+    });
     OffloadRank {
         handle,
         thread: Some(thread),
@@ -725,7 +724,7 @@ fn offload_main<T: Transport>(
                     mpi.progress();
                 }
                 loose_sends.retain(|req| mpi.try_take(req).is_none());
-                std::thread::yield_now();
+                check::thread::yield_now();
             }
             return mpi;
         }
@@ -751,7 +750,7 @@ fn offload_main<T: Transport>(
             streak += 1;
             no_advance_streak.set(streak);
             idle_backoff.yields.inc();
-            std::thread::yield_now();
+            check::thread::yield_now();
         }
     }
 }

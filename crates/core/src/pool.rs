@@ -159,6 +159,7 @@ impl<T> RequestPool<T> {
 
     /// Currently allocated slots.
     pub fn outstanding(&self) -> usize {
+        // ORDERING: Relaxed — diagnostic gauge read, no publication.
         self.outstanding.load(Ordering::Relaxed) as usize
     }
 
@@ -171,6 +172,8 @@ impl<T> RequestPool<T> {
 
     /// Allocate a slot; `None` if the pool is exhausted.
     pub fn alloc(&self) -> Option<Handle> {
+        // ORDERING: Acquire — must observe the freeing thread's writes to
+        // the head slot (its `next` link) before dereferencing it.
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (tag, idx) = unpack(head);
@@ -178,7 +181,14 @@ impl<T> RequestPool<T> {
                 self.metrics.alloc_exhausted.inc();
                 return None;
             }
+            // ORDERING: Relaxed — `next` was made visible by the Acquire
+            // on `head` (the freeing thread stored it before its Release
+            // CAS); this is a re-read of already-synchronized data.
             let next = self.slots[idx as usize].next.load(Ordering::Relaxed);
+            // ORDERING: AcqRel on success — Acquire re-synchronizes with
+            // whoever last touched the new head; Release publishes the tag
+            // bump to the next CAS in line. Acquire on failure: the retry
+            // dereferences the freshly observed head's `next`.
             match self.head.compare_exchange_weak(
                 head,
                 pack(tag.wrapping_add(1), next),
@@ -187,12 +197,18 @@ impl<T> RequestPool<T> {
             ) {
                 Ok(_) => {
                     let slot = &self.slots[idx as usize];
+                    // ORDERING: Relaxed ×3 — the slot is exclusively ours
+                    // after the CAS; handing the Handle to another thread
+                    // is the caller's (synchronized) job. `outstanding` is
+                    // a diagnostic counter.
                     slot.done.store(false, Ordering::Relaxed);
                     let was = self.outstanding.fetch_add(1, Ordering::Relaxed);
                     self.metrics.allocs.inc();
                     self.metrics.occupancy.set(was as u64 + 1);
                     return Some(Handle {
                         idx,
+                        // ORDERING: Relaxed — slot is exclusively ours
+                        // after the CAS (see above).
                         generation: slot.generation.load(Ordering::Relaxed),
                     });
                 }
@@ -214,6 +230,9 @@ impl<T> RequestPool<T> {
     /// use-after-free — proceeding would touch another request's slot.
     fn check(&self, h: Handle) -> &PoolSlot<T> {
         let slot = &self.slots[h.idx as usize];
+        // ORDERING: Relaxed — the generation can only change under a
+        // handle its owner freed, i.e. after a caller bug; this is a
+        // best-effort tripwire, not a synchronization point.
         let current = slot.generation.load(Ordering::Relaxed);
         if current != h.generation {
             self.metrics.stale_detected.inc();
@@ -230,9 +249,12 @@ impl<T> RequestPool<T> {
     /// Called by the offload thread exactly once per allocation.
     pub fn complete(&self, h: Handle, value: T) {
         let slot = self.check(h);
+        // ORDERING: Relaxed — debug tripwire only.
         debug_assert!(!slot.done.load(Ordering::Relaxed), "double completion");
         // SAFETY: sole writer before the Release store below.
         slot.value.with_mut(|p| unsafe { *p = Some(value) });
+        // ORDERING: Release — publishes the value write to the owner's
+        // Acquire load of `done` in is_done/take/wait_take.
         slot.done.store(true, Ordering::Release);
         // One atomic load when no waiter is parked.
         self.completion.notify();
@@ -241,12 +263,15 @@ impl<T> RequestPool<T> {
     /// Has the request completed? (The application's `MPI_Test` fast path.)
     pub fn is_done(&self, h: Handle) -> bool {
         let slot = &self.slots[h.idx as usize];
+        // ORDERING: Relaxed — stale-handle tripwire, as in `check`.
         if slot.generation.load(Ordering::Relaxed) != h.generation {
             // Generation-tag mismatch: a stale handle outlived its slot —
             // the ABA this pool's counted pointers exist to catch.
             self.metrics.stale_detected.inc();
             return false;
         }
+        // ORDERING: Acquire — pairs with complete()'s Release so a true
+        // result licenses reading the value.
         slot.done.load(Ordering::Acquire)
     }
 
@@ -254,6 +279,8 @@ impl<T> RequestPool<T> {
     /// after `is_done`.
     pub fn take(&self, h: Handle) -> Option<T> {
         let slot = self.check(h);
+        // ORDERING: Acquire — pairs with complete()'s Release; the value
+        // read below is only licensed by an observed `done == true`.
         if !slot.done.load(Ordering::Acquire) {
             return None;
         }
@@ -268,12 +295,22 @@ impl<T> RequestPool<T> {
         let slot = self.check(h);
         // SAFETY: owner has exclusive access; drop any untaken value.
         slot.value.with_mut(|p| unsafe { *p = None });
+        // ORDERING: Relaxed ×2 — owner-side resets; they are published to
+        // the next allocator by the Release half of the CAS below.
         slot.generation.fetch_add(1, Ordering::Relaxed);
         slot.done.store(false, Ordering::Relaxed);
+        // ORDERING: Acquire — observe the current head slot before linking
+        // to it, as in `alloc`.
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (tag, idx) = unpack(head);
+            // ORDERING: Relaxed — ordered before the CAS by its Release
+            // half; allocators read it only after their Acquire of `head`.
             slot.next.store(idx, Ordering::Relaxed);
+            // ORDERING: AcqRel on success — Release publishes the reset
+            // slot and its `next` link to the next allocator's Acquire;
+            // Acquire re-synchronizes on the observed head. Acquire on
+            // failure for the retry's dereference.
             match self.head.compare_exchange_weak(
                 head,
                 pack(tag.wrapping_add(1), h.idx),
@@ -281,6 +318,7 @@ impl<T> RequestPool<T> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // ORDERING: Relaxed — diagnostic gauge.
                     let was = self.outstanding.fetch_sub(1, Ordering::Relaxed);
                     self.metrics.frees.inc();
                     self.metrics.occupancy.set(was.saturating_sub(1) as u64);
@@ -304,6 +342,8 @@ impl<T> RequestPool<T> {
         let slot = self.check(h);
         self.completion
             .wait_until(&self.policy, &self.metrics.waiter, || {
+                // ORDERING: Acquire — same edge as `take`; pairs with
+                // complete()'s Release store on `done`.
                 slot.done.load(Ordering::Acquire).then_some(())
             });
         let v = self.take(h);

@@ -147,15 +147,22 @@ impl<T> MpmcQueue<T> {
 
     /// Try to enqueue; returns the value back if the queue is full.
     pub fn push(&self, value: T) -> Result<(), T> {
+        // ORDERING: Relaxed — the cursor load is only a starting hint for
+        // the CAS loop; the Acquire on `seq` below carries the real edge.
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.buffer[pos & self.mask];
+            // ORDERING: Acquire — pairs with the consumer's Release that
+            // recycled this slot, so its previous occupant is dead here.
             let seq = slot.seq.load(Ordering::Acquire);
             // Wrapping difference, then signed: correct even when `pos`
             // wraps usize::MAX (plain `seq - pos` would see a huge gap).
             match seq.wrapping_sub(pos) as isize {
                 0 => {
                     // Slot free for this lap: claim it.
+                    // ORDERING: Relaxed/Relaxed — winning the cursor CAS
+                    // publishes nothing by itself; the value only becomes
+                    // visible through the Release store on `seq` below.
                     match self.enqueue_pos.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
@@ -166,6 +173,8 @@ impl<T> MpmcQueue<T> {
                             // SAFETY: winning the CAS gives exclusive write
                             // access to this slot until we bump `seq`.
                             slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                            // ORDERING: Release — publishes the slot write
+                            // to the consumer's Acquire load of `seq`.
                             slot.seq.store(pos.wrapping_add(1), Ordering::Release);
                             self.metrics.push_ok.inc();
                             self.metrics.depth.set(self.approx_len() as u64);
@@ -179,6 +188,8 @@ impl<T> MpmcQueue<T> {
                     self.metrics.push_full.inc();
                     return Err(value);
                 }
+                // ORDERING: Relaxed — refreshed hint; any value is
+                // immediately re-validated by the Acquire `seq` load.
                 _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
             }
         }
@@ -186,13 +197,19 @@ impl<T> MpmcQueue<T> {
 
     /// Try to dequeue; `None` when empty.
     pub fn pop(&self) -> Option<T> {
+        // ORDERING: Relaxed — starting hint for the CAS loop, as in `push`.
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.buffer[pos & self.mask];
+            // ORDERING: Acquire — pairs with the producer's Release on
+            // `seq`, making the written value visible before we read it.
             let seq = slot.seq.load(Ordering::Acquire);
             // Wrapping difference, as in `push` — survives pos wraparound.
             match seq.wrapping_sub(pos.wrapping_add(1)) as isize {
                 0 => {
+                    // ORDERING: Relaxed/Relaxed — claiming the cursor needs
+                    // no edge of its own; visibility of the value came from
+                    // the Acquire `seq` load that qualified this slot.
                     match self.dequeue_pos.compare_exchange_weak(
                         pos,
                         pos.wrapping_add(1),
@@ -204,6 +221,8 @@ impl<T> MpmcQueue<T> {
                             // access; the producer's Release store on `seq`
                             // made the value visible.
                             let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
+                            // ORDERING: Release — hands the emptied slot
+                            // back to producers' Acquire loads of `seq`.
                             slot.seq
                                 .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                             self.metrics.pop_ok.inc();
@@ -219,6 +238,7 @@ impl<T> MpmcQueue<T> {
                     self.metrics.pop_empty.inc();
                     return None; // empty
                 }
+                // ORDERING: Relaxed — refreshed hint, re-validated above.
                 _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
             }
         }
@@ -252,6 +272,8 @@ impl<T> MpmcQueue<T> {
     /// impossible high-water mark. The wrapping subtraction keeps the
     /// estimate correct across counter wraparound.
     pub fn approx_len(&self) -> usize {
+        // ORDERING: Relaxed — racy-by-design diagnostic (see above); no
+        // ordering would turn two independent loads into a snapshot.
         let e = self.enqueue_pos.load(Ordering::Relaxed);
         let d = self.dequeue_pos.load(Ordering::Relaxed);
         let diff = e.wrapping_sub(d);

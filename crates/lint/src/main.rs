@@ -1,0 +1,129 @@
+//! `offload-lint` CLI — walks the workspace, runs every rule, applies the
+//! allowlist, and reports. Exit status: 0 clean, 1 findings (or unused
+//! allowlist entries), 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::{apply_allowlist, json_report, parse_allowlist, rel_of, scan_source, workspace_files};
+
+const USAGE: &str = "\
+offload-lint [--root DIR] [--allow FILE] [--json]
+
+  --root DIR    workspace root to scan (default: current directory)
+  --allow FILE  allowlist file (default: <root>/.lint-allow if present)
+  --json        emit the machine-readable findings report on stdout
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allow needs a value"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let allow = {
+        let path = allow_path.unwrap_or_else(|| root.join(".lint-allow"));
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match parse_allowlist(&src) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("offload-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            // A missing default allowlist is fine; an explicit one must exist.
+            Err(_) if allow_path_was_default(&path, &root) => Vec::new(),
+            Err(e) => {
+                eprintln!("offload-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let files = match workspace_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("offload-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "offload-lint: no .rs files under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("offload-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(scan_source(&rel_of(&root, path), &src));
+    }
+
+    let (kept, suppressed, unused) = apply_allowlist(findings, &allow);
+
+    if json {
+        print!("{}", json_report(&kept, suppressed.len()));
+    } else {
+        for f in &kept {
+            println!("{f}");
+        }
+    }
+    for line in &unused {
+        eprintln!("offload-lint: .lint-allow line {line}: entry matched nothing — remove it");
+    }
+    if kept.is_empty() && unused.is_empty() {
+        if !json {
+            eprintln!(
+                "offload-lint: {} files clean ({} finding(s) allowlisted)",
+                files.len(),
+                suppressed.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!(
+                "offload-lint: {} finding(s), {} stale allowlist entr(y/ies)",
+                kept.len(),
+                unused.len()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn allow_path_was_default(path: &std::path::Path, root: &std::path::Path) -> bool {
+    path == root.join(".lint-allow")
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("offload-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -75,6 +75,8 @@ fn emit_tracks(rec: &Recorder, out: &mut String, first: &mut bool) {
         escape_into(out, &t.label);
         // Surface ring overwrites so a truncated trace is never mistaken
         // for a complete one.
+        // ORDERING: Relaxed — monotone diagnostic counter; the events ring
+        // itself is read under its mutex.
         let dropped = t.dropped.load(std::sync::atomic::Ordering::Relaxed);
         out.push_str(&format!("\",\"dropped\":{dropped}}}}}"));
         for ev in t.events.lock().expect("obs track ring").iter() {

@@ -1,0 +1,30 @@
+//! Seeded, known-fixed bugs kept reinjectable for the protocol model
+//! checker's regression suite (`check::proto`). Compiled only under the
+//! `model-faults` cargo feature and **off by default even then**: each
+//! fault is a runtime flag a test arms explicitly, so feature unification
+//! during a workspace build changes nothing for other tests.
+//!
+//! The point of keeping the bugs alive: the explorer's value claim is "it
+//! would have caught these". Arming a fault and asserting the explorer
+//! finds it within a bounded budget keeps that claim machine-checked
+//! instead of folklore.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fault: wildcard-tag receives match the reserved internal tag space
+/// again (the pre-PR7 leak — an application `ANY_TAG` receive could steal
+/// a collective round's token, wedging the NBC schedule).
+pub static WILDCARD_RESERVED_LEAK: AtomicBool = AtomicBool::new(false);
+
+/// Arm/disarm the wildcard reserved-tag leak. Returns the previous state
+/// so tests can restore it.
+pub fn set_wildcard_reserved_leak(on: bool) -> bool {
+    // ORDERING: SeqCst — test-only toggle, never on a hot path.
+    WILDCARD_RESERVED_LEAK.swap(on, Ordering::SeqCst)
+}
+
+/// Is the wildcard reserved-tag leak armed?
+pub fn wildcard_reserved_leak() -> bool {
+    // ORDERING: SeqCst — test-only read, never on a hot path.
+    WILDCARD_RESERVED_LEAK.load(Ordering::SeqCst)
+}

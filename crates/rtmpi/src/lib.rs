@@ -28,6 +28,8 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+#[cfg(feature = "model-faults")]
+pub mod faults;
 pub mod matchq;
 pub mod transport;
 
@@ -99,12 +101,17 @@ impl RtRequest {
     fn complete(&self, status: Option<(Status, Arc<[u8]>)>) {
         let mut g = self.state.result.lock();
         *g = status;
+        // ORDERING: Release — publishes the result write to is_done()'s
+        // Acquire for lock-free completion polling; waiters under the
+        // mutex are covered by the lock itself.
         self.state.done.store(true, Ordering::Release);
         self.state.cv.notify_all();
     }
 
     /// Nonblocking completion check.
     pub fn is_done(&self) -> bool {
+        // ORDERING: Acquire — pairs with complete()'s Release; a true
+        // result licenses taking the payload.
         self.state.done.load(Ordering::Acquire)
     }
 
@@ -112,6 +119,9 @@ impl RtRequest {
     /// for receives (`None` for sends).
     pub fn wait(&self) -> Option<(Status, Arc<[u8]>)> {
         let mut g = self.state.result.lock();
+        // ORDERING: Acquire — same edge as is_done; the mutex alone would
+        // suffice here, but the flag must stay coherent with the
+        // lock-free fast path.
         while !self.state.done.load(Ordering::Acquire) {
             self.state.cv.wait(&mut g);
         }

@@ -51,6 +51,11 @@ pub fn filter_matches(
 ) -> bool {
     let tag_ok = match tag_filter {
         Some(t) => t == tag,
+        // Seeded regression (check::proto rediscovers it): before the
+        // exclusion below, ANY_TAG matched reserved tags and could steal a
+        // collective round's frame from the NBC schedule.
+        #[cfg(feature = "model-faults")]
+        None if crate::faults::wildcard_reserved_leak() => true,
         None => tag < crate::TAG_RESERVED_BASE,
     };
     src_filter.is_none_or(|s| s == src) && tag_ok

@@ -10,12 +10,12 @@
 //!   0); if it would hang or sees anything else it exits 1. This is the
 //!   robustness case: an abrupt peer death fails dependent operations
 //!   loudly instead of wedging the job.
-//! * `kill-allreduce`: the `kill` scenario lifted to the offloaded
-//!   collective path. Every rank but 1 enters an offloaded allreduce
-//!   whose schedule needs rank 1; rank 1 bootstraps, lingers until its
-//!   peers are mid-schedule, and SIGKILLs itself without ever joining.
-//!   Survivors must see `PeerLost` surface through the offload thread on
-//!   the collective's own handle (prints `peer lost detected in
+//! * `kill-allreduce`: the `kill` scenario lifted to the collective path.
+//!   Every rank but 1 enters an allreduce (driven round-by-round through
+//!   `wire::nbcrun` over the wire transport) whose schedule needs rank 1;
+//!   rank 1 bootstraps, lingers until its peers are mid-schedule, and
+//!   SIGKILLs itself without ever joining. Survivors must see `PeerLost`
+//!   surface on the collective itself (prints `peer lost detected in
 //!   allreduce: rank 1`, exits 0) — never a hang or a panic.
 //! * `stall`: every rank but 0 posts a receive rank 0 will never answer
 //!   and polls progress long enough for the stall watchdog (armed by the
@@ -39,7 +39,7 @@ fn main() {
     let mode = std::env::var("WIRE_VICTIM_MODE").unwrap_or_else(|_| "ok".into());
     match mode.as_str() {
         "kill" => kill_mode(&mut comm),
-        "kill-allreduce" => kill_allreduce_mode(comm),
+        "kill-allreduce" => kill_allreduce_mode(&mut comm),
         "stall" => stall_mode(&mut comm),
         // Exercise the launcher's timeout kill: bootstrap, then wedge.
         "hang" => loop {
@@ -135,7 +135,8 @@ fn kill_mode(comm: &mut wire::WireComm) {
     }
 }
 
-fn kill_allreduce_mode(comm: wire::WireComm) {
+fn kill_allreduce_mode(comm: &mut wire::WireComm) {
+    use wire::nbcrun::{Coll, Dtype, NbcRun, ReduceOp};
     let r = comm.rank();
     assert!(comm.size() >= 2, "kill-allreduce needs at least 2 ranks");
     if r == 1 {
@@ -150,27 +151,45 @@ fn kill_allreduce_mode(comm: wire::WireComm) {
             .status();
         std::process::abort();
     }
-    let node = offload::offload_rank(comm);
-    let h = node.handle();
     // Rendezvous-sized lanes: every round is a real RTS/CTS/DATA exchange.
     let lanes: Vec<u8> = (0..4096u64)
         .flat_map(|i| (i as f64).to_le_bytes())
         .collect();
-    let slot = h.start_collective(offload::CollKind::Allreduce {
-        dtype: offload::Dtype::F64,
-        op: offload::ReduceOp::Sum,
-        data: lanes,
-    });
-    match h.wait_result(slot) {
-        Err(TransportError::PeerLost { peer }) => {
-            println!("peer lost detected in allreduce: rank {peer}");
+    let mut run = NbcRun::start(
+        comm,
+        rtmpi::TAG_COLL_BASE,
+        Coll::Allreduce {
+            dtype: Dtype::F64,
+            op: ReduceOp::Sum,
+            data: lanes,
+        },
+    );
+    let limit = comm.op_timeout().expect("wire has a timeout");
+    let deadline = Instant::now() + limit;
+    loop {
+        comm.progress();
+        match run.poll(comm) {
+            Ok(false) => {}
+            Ok(true) => {
+                eprintln!("rank {r}: allreduce completed without rank 1?");
+                std::process::exit(1);
+            }
+            Err(TransportError::PeerLost { peer }) => {
+                println!("peer lost detected in allreduce: rank {peer}");
+                run.abort(comm);
+                return;
+            }
+            Err(other) => {
+                eprintln!("rank {r}: expected PeerLost from allreduce, got {other:?}");
+                std::process::exit(1);
+            }
         }
-        other => {
-            eprintln!("rank {r}: expected PeerLost from allreduce, got {other:?}");
+        if Instant::now() >= deadline {
+            eprintln!("rank {r}: allreduce hung waiting for PeerLost");
             std::process::exit(1);
         }
+        std::thread::yield_now();
     }
-    node.finalize();
 }
 
 fn stall_mode(comm: &mut wire::WireComm) {

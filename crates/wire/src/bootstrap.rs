@@ -15,13 +15,13 @@
 //! tests and the matching matrix run the real framing and protocol code
 //! without child processes.
 
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use crate::engine::{Stream, WireComm, WireConfig};
+use crate::engine::{WireComm, WireConfig};
+use crate::fabric::Stream;
 use crate::proto::{FrameKind, Header, HEADER_LEN};
 
 /// How long a rank keeps retrying to reach its siblings before giving up.
@@ -177,22 +177,6 @@ fn connect_mesh(
         s.set_nonblocking(true)?;
     }
     Ok(WireComm::new(rank, size, streams, cfg))
-}
-
-impl Stream {
-    fn write_all_blocking(&mut self, buf: &[u8]) -> std::io::Result<()> {
-        match self {
-            Stream::Uds(s) => s.write_all(buf),
-            Stream::Tcp(s) => s.write_all(buf),
-        }
-    }
-
-    fn read_exact_blocking(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
-        match self {
-            Stream::Uds(s) => s.read_exact(buf),
-            Stream::Tcp(s) => s.read_exact(buf),
-        }
-    }
 }
 
 /// An `n`-rank world inside one process: a full `socketpair` mesh running

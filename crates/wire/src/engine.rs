@@ -1,10 +1,10 @@
-//! The per-rank progress engine: nonblocking sockets, frame parsing, MPI
-//! matching, and the eager/rendezvous protocol state machines.
+//! The per-rank progress engine: frame delivery (via [`FrameFabric`]),
+//! MPI matching, and the eager/rendezvous protocol state machines.
 //!
 //! The engine is single-owner (`&mut self` everywhere, per the
 //! [`rtmpi::Transport`] contract) and advances **only** inside
-//! [`progress`]: nothing here reads or writes a socket on `isend`/`irecv`
-//! beyond queueing bytes into the per-peer outbox. That is the point — the
+//! [`progress`]: nothing here touches the fabric on `isend`/`irecv`
+//! beyond queueing a frame toward a peer. That is the point — the
 //! paper's progress problem is *whose thread polls, and when*:
 //!
 //! * baseline: the application polls only inside `MPI_Wait`, so an
@@ -19,25 +19,36 @@
 //! [`rtmpi::MatchQueue`]; matching an RTS queues the CTS and parks the
 //! request until the DATA frame delivers.
 //!
-//! Peer death (EOF / connection reset) fails — with
+//! The engine is generic over its [`FrameFabric`]: production runs the
+//! nonblocking socket mesh ([`crate::fabric::SocketFabric`], the default
+//! type parameter, so plain `WireComm` means the socket flavour); the
+//! protocol model checker (`check::proto`) substitutes a deterministic
+//! in-process fabric and explores delivery interleavings.
+//!
+//! Peer death (EOF / connection reset / corrupt stream) fails — with
 //! [`TransportError::PeerLost`] — every operation that still depends on
 //! the dead rank: posted receives naming it, rendezvous sends awaiting its
 //! CTS, receives awaiting its DATA, and buffered RTS descriptors whose
 //! DATA can no longer arrive. Wildcard receives stay posted: another peer
 //! may still match them.
 //!
+//! Anything a peer can put on the wire is handled without panicking:
+//! stray/duplicate/wrong-source CTS, DATA nobody awaits, DATA shorter or
+//! longer than its RTS announced, control frames (`Stats`/`Stall`) that
+//! belong on the stats socket — each is counted in `wire.protocol_errors`
+//! and absorbed.
+//!
 //! [`progress`]: rtmpi::Transport::progress
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rtmpi::{MatchQueue, OpOutcome, Status, Tag, Transport, TransportError};
 
-use crate::proto::{FrameKind, Header, HEADER_LEN};
+use crate::fabric::{FrameFabric, SocketFabric, Stream};
+use crate::proto::{FrameKind, Header};
 
 /// Globally unique flow id for one rendezvous exchange. `xid` alone is
 /// only unique per sender, so the sender's rank disambiguates; both sides
@@ -90,94 +101,6 @@ fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
-/// Either socket flavour, nonblocking after bootstrap.
-pub(crate) enum Stream {
-    Uds(UnixStream),
-    Tcp(TcpStream),
-}
-
-impl Stream {
-    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
-        match self {
-            Stream::Uds(s) => s.set_nonblocking(nb),
-            Stream::Tcp(s) => s.set_nonblocking(nb),
-        }
-    }
-
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Uds(s) => s.read(buf),
-            Stream::Tcp(s) => s.read(buf),
-        }
-    }
-
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Uds(s) => s.write(buf),
-            Stream::Tcp(s) => s.write(buf),
-        }
-    }
-}
-
-impl From<UnixStream> for Stream {
-    fn from(s: UnixStream) -> Self {
-        Stream::Uds(s)
-    }
-}
-
-impl From<TcpStream> for Stream {
-    fn from(s: TcpStream) -> Self {
-        Stream::Tcp(s)
-    }
-}
-
-/// One connected peer: socket plus staging buffers and flush bookkeeping.
-struct Peer {
-    stream: Stream,
-    alive: bool,
-    /// Unparsed inbound bytes (`in_consumed` already parsed, compacted
-    /// periodically).
-    inbuf: Vec<u8>,
-    in_consumed: usize,
-    /// Outbound bytes not yet written (`out_flushed` already written,
-    /// compacted periodically).
-    outbuf: Vec<u8>,
-    out_flushed: usize,
-    /// Cumulative bytes ever queued / ever flushed to this peer; send
-    /// completion marks are positions in this cumulative stream.
-    queued_total: u64,
-    flushed_total: u64,
-    /// FIFO of (cumulative flush mark, request id): the request completes
-    /// once `flushed_total` passes the mark. Marks are monotonic.
-    flush_marks: VecDeque<(u64, u64)>,
-}
-
-impl Peer {
-    fn new(stream: Stream) -> Self {
-        Peer {
-            stream,
-            alive: true,
-            inbuf: Vec::new(),
-            in_consumed: 0,
-            outbuf: Vec::new(),
-            out_flushed: 0,
-            queued_total: 0,
-            flushed_total: 0,
-            flush_marks: VecDeque::new(),
-        }
-    }
-
-    /// Queue header+body; returns the cumulative mark at which the frame
-    /// is fully flushed.
-    fn queue_frame(&mut self, header: Header, body: &[u8]) -> u64 {
-        debug_assert_eq!(header.body_len(), body.len());
-        self.outbuf.extend_from_slice(&header.encode());
-        self.outbuf.extend_from_slice(body);
-        self.queued_total += (HEADER_LEN + body.len()) as u64;
-        self.queued_total
-    }
-}
-
 /// A buffered arrival awaiting a matching receive.
 enum Arrival {
     /// Fully delivered eager payload.
@@ -227,15 +150,26 @@ struct Watchdog {
     tripped: bool,
 }
 
-/// The per-rank wire transport (see module docs).
-pub struct WireComm {
+/// The per-rank wire transport (see module docs). `F` is the frame
+/// delivery substrate; the default is the real socket mesh.
+pub struct WireComm<F: FrameFabric = SocketFabric> {
     rank: usize,
     size: usize,
-    peers: Vec<Option<Peer>>,
+    fabric: F,
+    /// Per-peer FIFO of (cumulative flush mark, request id): the request
+    /// completes once the fabric's flushed total passes the mark. Marks
+    /// are monotonic per link.
+    marks: Vec<VecDeque<(u64, u64)>>,
+    /// Peers whose protocol state has already been reaped after death.
+    reaped: Vec<bool>,
+    /// Reused frame buffer for fabric receives (no per-poll allocation on
+    /// the quiet path).
+    frames_scratch: Vec<(Header, Vec<u8>)>,
     mailbox: MatchQueue<u64, Arrival>,
     pending: HashMap<u64, Pending>,
-    /// Receiver side: (src, xid) → request awaiting that DATA frame.
-    await_data: HashMap<(usize, u32), u64>,
+    /// Receiver side: (src, xid) → (request awaiting that DATA frame,
+    /// payload length the RTS announced — a mismatching DATA is counted).
+    await_data: HashMap<(usize, u32), (u64, u64)>,
     /// Sender side: xid → rendezvous send awaiting its CTS.
     sent_rndv: HashMap<u32, u64>,
     next_req: u64,
@@ -258,14 +192,15 @@ pub struct WireComm {
     c_peer_lost: obs::Counter,
     c_stalls: obs::Counter,
     /// Malformed-but-framed protocol events: stray/duplicate/wrong-source
-    /// CTS, DATA nobody awaits, a peer vanishing mid-handshake. Each one
-    /// is counted and absorbed — never a panic.
+    /// CTS, DATA nobody awaits or with a length its RTS never announced,
+    /// stats-plane frames on the mesh, a peer vanishing mid-handshake.
+    /// Each one is counted and absorbed — never a panic.
     c_protocol_errors: obs::Counter,
     /// Sends issued in the reserved collective tag space (NBC rounds).
     c_coll_tx: obs::Counter,
 }
 
-impl WireComm {
+impl WireComm<SocketFabric> {
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -273,12 +208,25 @@ impl WireComm {
         cfg: WireConfig,
     ) -> Self {
         assert_eq!(streams.len(), size);
+        Self::from_fabric(rank, size, SocketFabric::new(streams), cfg)
+    }
+}
+
+impl<F: FrameFabric> WireComm<F> {
+    /// Build an engine over an arbitrary fabric (the model checker's
+    /// entry point; socket worlds come from [`crate::bootstrap`]).
+    pub fn from_fabric(rank: usize, size: usize, fabric: F, cfg: WireConfig) -> Self {
+        assert_eq!(fabric.size(), size);
+        assert!(rank < size);
         let registry = obs::Registry::default();
         let c = |n: &str| registry.counter(n);
         WireComm {
             rank,
             size,
-            peers: streams.into_iter().map(|s| s.map(Peer::new)).collect(),
+            fabric,
+            marks: (0..size).map(|_| VecDeque::new()).collect(),
+            reaped: vec![false; size],
+            frames_scratch: Vec::new(),
             mailbox: MatchQueue::new(),
             pending: HashMap::new(),
             await_data: HashMap::new(),
@@ -342,6 +290,7 @@ impl WireComm {
     /// write drops the link). `Stall` frames carry the watchdog evidence
     /// in the header: `xid` = stalled milliseconds, `tag` = pending ops.
     fn emit_obs_frame(&mut self, kind: FrameKind, stall_ms: u32, pending_ops: u32) {
+        use std::io::Write;
         let Some(link) = self.stats.as_mut() else {
             return;
         };
@@ -365,7 +314,8 @@ impl WireComm {
 
     /// Per-poll observability upkeep: periodic stats emission and the
     /// stall watchdog. Only called when at least one of them is
-    /// configured, so unconfigured engines never touch the clock.
+    /// configured, so unconfigured engines never touch the clock — this
+    /// is what keeps model-checked runs deterministic.
     fn observability_tick(&mut self, advanced: bool) {
         let now = Instant::now();
         let due = match self.stats.as_mut() {
@@ -444,6 +394,10 @@ impl WireComm {
     /// Match an RTS arrival to receive request `id`: queue the CTS and
     /// park the request until the DATA frame.
     fn accept_rts(&mut self, id: u64, src: usize, tag: Tag, xid: u32, len: usize) {
+        if !self.fabric.alive(src) {
+            self.finish(id, Err(TransportError::PeerLost { peer: src }));
+            return;
+        }
         let cts = Header {
             kind: FrameKind::Cts,
             src: self.rank as u32,
@@ -451,22 +405,19 @@ impl WireComm {
             xid,
             len: len as u64,
         };
-        match &mut self.peers[src] {
-            Some(p) if p.alive => {
-                p.queue_frame(cts, &[]);
-                self.c_frames_tx.inc();
-                self.pending.insert(id, Pending::AwaitData);
-                self.await_data.insert((src, xid), id);
-                self.count_handshake();
-                if let Some(t) = &self.flow {
-                    t.flow_step("rndv", flow_id(src, xid));
-                }
-            }
-            _ => self.finish(id, Err(TransportError::PeerLost { peer: src })),
+        self.fabric.queue(src, &cts, &[]);
+        self.c_frames_tx.inc();
+        self.pending.insert(id, Pending::AwaitData);
+        self.await_data.insert((src, xid), (id, len as u64));
+        self.count_handshake();
+        if let Some(t) = &self.flow {
+            t.flow_step("rndv", flow_id(src, xid));
         }
     }
 
-    /// Deliver one parsed inbound frame from `src`.
+    /// Deliver one parsed inbound frame from `src`. Everything in here is
+    /// peer-controlled input: malformed protocol events are counted in
+    /// `wire.protocol_errors` and absorbed, never panicked on.
     fn deliver(&mut self, src: usize, hdr: Header, body: &[u8]) {
         self.c_frames_rx.inc();
         match hdr.kind {
@@ -502,6 +453,10 @@ impl WireComm {
                 let Some(&id) = self.sent_rndv.get(&hdr.xid) else {
                     // Stray CTS: no rendezvous send owns this xid (never
                     // issued, already answered, or reaped at peer death).
+                    // Seeded regression (check::proto rediscovers it): the
+                    // pre-PR7 engine panicked here.
+                    #[cfg(feature = "model-faults")]
+                    crate::faults::maybe_stray_cts_panic(hdr.xid);
                     self.c_protocol_errors.inc();
                     return;
                 };
@@ -516,19 +471,16 @@ impl WireComm {
                             xid: hdr.xid,
                             len: data.len() as u64,
                         };
-                        match &mut self.peers[dst] {
-                            Some(peer) if peer.alive => {
-                                let mark = peer.queue_frame(frame, &data);
-                                peer.flush_marks.push_back((mark, id));
-                                self.c_frames_tx.inc();
-                                self.pending.insert(id, Pending::RndvSendData);
-                            }
+                        if self.fabric.alive(dst) {
+                            let mark = self.fabric.queue(dst, &frame, &data);
+                            self.marks[dst].push_back((mark, id));
+                            self.c_frames_tx.inc();
+                            self.pending.insert(id, Pending::RndvSendData);
+                        } else {
                             // The destination vanished between RTS and
                             // CTS: fail the owning op, don't panic.
-                            _ => {
-                                self.c_protocol_errors.inc();
-                                self.finish(id, Err(TransportError::PeerLost { peer: dst }));
-                            }
+                            self.c_protocol_errors.inc();
+                            self.finish(id, Err(TransportError::PeerLost { peer: dst }));
                         }
                     }
                     // CTS arriving on the wrong peer's socket: keep the
@@ -543,7 +495,14 @@ impl WireComm {
             }
             FrameKind::Data => {
                 match self.await_data.remove(&(src, hdr.xid)) {
-                    Some(id) => {
+                    Some((id, expected_len)) => {
+                        // A DATA body shorter or longer than its RTS
+                        // announced is a protocol violation (truncation,
+                        // forgery): counted, then delivered with the
+                        // actual length so the operation still resolves.
+                        if body.len() as u64 != expected_len {
+                            self.c_protocol_errors.inc();
+                        }
                         if let Some(t) = &self.flow {
                             t.flow_finish("rndv", flow_id(src, hdr.xid));
                         }
@@ -560,63 +519,33 @@ impl WireComm {
                 }
             }
             // Stats-plane control frames ride the rank→launcher socket,
-            // never the mesh; tolerate and drop if one shows up here.
-            FrameKind::Stats | FrameKind::Stall => {}
+            // never the mesh; a peer sending one here is misbehaving —
+            // counted and dropped.
+            FrameKind::Stats | FrameKind::Stall => self.c_protocol_errors.inc(),
         }
     }
 
-    /// Flush peer `p`'s outbox as far as the socket accepts; returns true
+    /// Flush peer `p`'s outbox as far as the fabric accepts; returns true
     /// if bytes moved. Completes flush-marked sends.
     fn flush_peer(&mut self, p: usize) -> bool {
-        let Some(peer) = self.peers[p].as_mut() else {
-            return false;
-        };
-        if !peer.alive {
+        if !self.fabric.alive(p) {
             return false;
         }
-        let mut moved = false;
-        let mut dead = false;
-        while peer.out_flushed < peer.outbuf.len() {
-            match peer.stream.write(&peer.outbuf[peer.out_flushed..]) {
-                Ok(0) => {
-                    dead = true;
-                    break;
-                }
-                Ok(n) => {
-                    peer.out_flushed += n;
-                    peer.flushed_total += n as u64;
-                    self.c_bytes_tx.add(n as u64);
-                    moved = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    dead = true;
-                    break;
-                }
-            }
-        }
-        // Compact once everything queued so far went out.
-        if peer.out_flushed == peer.outbuf.len() && !peer.outbuf.is_empty() {
-            peer.outbuf.clear();
-            peer.out_flushed = 0;
-        }
+        let res = self.fabric.flush(p);
+        self.c_bytes_tx.add(res.bytes);
+        let mut moved = res.moved;
         // Retire sends whose bytes are fully on the wire.
-        let flushed = peer.flushed_total;
-        let mut done_ids = Vec::new();
-        while let Some(&(mark, id)) = peer.flush_marks.front() {
+        let flushed = self.fabric.flushed(p);
+        while let Some(&(mark, id)) = self.marks[p].front() {
             if mark <= flushed {
-                peer.flush_marks.pop_front();
-                done_ids.push(id);
+                self.marks[p].pop_front();
+                self.finish(id, Ok(OpOutcome::Sent));
+                moved = true;
             } else {
                 break;
             }
         }
-        for id in done_ids {
-            self.finish(id, Ok(OpOutcome::Sent));
-            moved = true;
-        }
-        if dead {
+        if res.died {
             self.peer_dead(p);
         }
         moved
@@ -625,63 +554,19 @@ impl WireComm {
     /// Read everything available from peer `p` and deliver parsed frames;
     /// returns true if bytes moved.
     fn read_peer(&mut self, p: usize) -> bool {
-        let Some(peer) = self.peers[p].as_mut() else {
-            return false;
-        };
-        if !peer.alive {
+        if !self.fabric.alive(p) {
             return false;
         }
-        let mut moved = false;
-        let mut dead = false;
-        let mut scratch = [0u8; 64 * 1024];
-        loop {
-            match peer.stream.read(&mut scratch) {
-                Ok(0) => {
-                    dead = true;
-                    break;
-                }
-                Ok(n) => {
-                    peer.inbuf.extend_from_slice(&scratch[..n]);
-                    self.c_bytes_rx.add(n as u64);
-                    moved = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    dead = true;
-                    break;
-                }
-            }
-        }
-        // Parse complete frames out of the staging buffer.
-        while let Some(peer) = self.peers[p].as_mut() {
-            let avail = &peer.inbuf[peer.in_consumed..];
-            if avail.len() < HEADER_LEN {
-                break;
-            }
-            let hdr = match Header::decode(avail[..HEADER_LEN].try_into().expect("header slice")) {
-                Ok(h) => h,
-                Err(_) => {
-                    // Corrupt stream: treat the peer as lost.
-                    dead = true;
-                    break;
-                }
-            };
-            let body_len = hdr.body_len();
-            if avail.len() < HEADER_LEN + body_len {
-                break; // partial frame; wait for more bytes
-            }
-            let body: Vec<u8> = avail[HEADER_LEN..HEADER_LEN + body_len].to_vec();
-            peer.in_consumed += HEADER_LEN + body_len;
-            // Compact when more than half the buffer is parsed-out.
-            if peer.in_consumed > peer.inbuf.len() / 2 {
-                peer.inbuf.drain(..peer.in_consumed);
-                peer.in_consumed = 0;
-            }
+        let mut frames = std::mem::take(&mut self.frames_scratch);
+        let res = self.fabric.recv(p, &mut frames);
+        self.c_bytes_rx.add(res.bytes);
+        let mut moved = res.moved;
+        for (hdr, body) in frames.drain(..) {
             self.deliver(p, hdr, &body);
             moved = true;
         }
-        if dead {
+        self.frames_scratch = frames;
+        if res.died {
             self.peer_dead(p);
         }
         moved
@@ -689,17 +574,14 @@ impl WireComm {
 
     /// Fail every operation that still depends on rank `p`.
     fn peer_dead(&mut self, p: usize) {
-        let Some(peer) = self.peers[p].as_mut() else {
-            return;
-        };
-        if !peer.alive {
+        if self.reaped[p] {
             return;
         }
-        peer.alive = false;
+        self.reaped[p] = true;
         self.c_peer_lost.inc();
         let lost = || Err(TransportError::PeerLost { peer: p });
         // Sends whose bytes can no longer be flushed or acknowledged.
-        let marks: Vec<u64> = peer.flush_marks.drain(..).map(|(_, id)| id).collect();
+        let marks: Vec<u64> = self.marks[p].drain(..).map(|(_, id)| id).collect();
         for id in marks {
             self.finish(id, lost());
         }
@@ -718,7 +600,7 @@ impl WireComm {
             .await_data
             .iter()
             .filter(|((src, _), _)| *src == p)
-            .map(|(_, id)| *id)
+            .map(|(_, (id, _))| *id)
             .collect();
         self.await_data.retain(|(src, _), _| *src != p);
         for id in stuck_data {
@@ -740,7 +622,7 @@ impl WireComm {
     }
 }
 
-impl Drop for WireComm {
+impl<F: FrameFabric> Drop for WireComm<F> {
     fn drop(&mut self) {
         // Final snapshot: progress() stops before the last work's counters
         // hit a periodic tick, so ship the complete totals on teardown.
@@ -750,7 +632,7 @@ impl Drop for WireComm {
     }
 }
 
-impl Transport for WireComm {
+impl<F: FrameFabric> Transport for WireComm<F> {
     type Req = WireReq;
 
     fn rank(&self) -> usize {
@@ -781,56 +663,43 @@ impl Transport for WireComm {
             }
             return self.alloc_req(Pending::Done(Ok(OpOutcome::Sent)));
         }
+        if !self.fabric.alive(dst) {
+            return self.alloc_req(Pending::Done(Err(TransportError::PeerLost { peer: dst })));
+        }
         let hdr_src = self.rank as u32;
-        match &mut self.peers[dst] {
-            Some(peer) if peer.alive => {
-                if data.len() <= self.cfg.eager_max {
-                    let frame = Header {
-                        kind: FrameKind::Eager,
-                        src: hdr_src,
-                        tag,
-                        xid: 0,
-                        len: data.len() as u64,
-                    };
-                    let mark = peer.queue_frame(frame, &data);
-                    self.c_frames_tx.inc();
-                    self.c_eager_tx.inc();
-                    let req = self.alloc_req(Pending::EagerSend);
-                    let WireReq(id) = req;
-                    match &mut self.peers[dst] {
-                        Some(peer) if peer.alive => peer.flush_marks.push_back((mark, id)),
-                        // Unreachable single-threaded (the peer was alive
-                        // a moment ago), but a protocol fault must not
-                        // panic the engine: fail the op instead.
-                        _ => {
-                            self.c_protocol_errors.inc();
-                            self.finish(id, Err(TransportError::PeerLost { peer: dst }));
-                        }
-                    }
-                    req
-                } else {
-                    let xid = self.next_xid;
-                    self.next_xid = self.next_xid.wrapping_add(1);
-                    let frame = Header {
-                        kind: FrameKind::Rts,
-                        src: hdr_src,
-                        tag,
-                        xid,
-                        len: data.len() as u64,
-                    };
-                    peer.queue_frame(frame, &[]);
-                    self.c_frames_tx.inc();
-                    self.c_rndv_tx.inc();
-                    if let Some(t) = &self.flow {
-                        t.flow_start("rndv", flow_id(self.rank, xid));
-                    }
-                    let req = self.alloc_req(Pending::RndvAwaitCts { dst, data });
-                    let WireReq(id) = req;
-                    self.sent_rndv.insert(xid, id);
-                    req
-                }
+        if data.len() <= self.cfg.eager_max {
+            let frame = Header {
+                kind: FrameKind::Eager,
+                src: hdr_src,
+                tag,
+                xid: 0,
+                len: data.len() as u64,
+            };
+            let mark = self.fabric.queue(dst, &frame, &data);
+            self.c_frames_tx.inc();
+            self.c_eager_tx.inc();
+            let req = self.alloc_req(Pending::EagerSend);
+            self.marks[dst].push_back((mark, req.0));
+            req
+        } else {
+            let xid = self.next_xid;
+            self.next_xid = self.next_xid.wrapping_add(1);
+            let frame = Header {
+                kind: FrameKind::Rts,
+                src: hdr_src,
+                tag,
+                xid,
+                len: data.len() as u64,
+            };
+            self.fabric.queue(dst, &frame, &[]);
+            self.c_frames_tx.inc();
+            self.c_rndv_tx.inc();
+            if let Some(t) = &self.flow {
+                t.flow_start("rndv", flow_id(self.rank, xid));
             }
-            _ => self.alloc_req(Pending::Done(Err(TransportError::PeerLost { peer: dst }))),
+            let req = self.alloc_req(Pending::RndvAwaitCts { dst, data });
+            self.sent_rndv.insert(xid, req.0);
+            req
         }
     }
 
@@ -856,7 +725,7 @@ impl Transport for WireComm {
         // Exact-source receive from a peer already known dead: fail fast
         // instead of waiting out the timeout.
         if let Some(s) = src {
-            if s != self.rank && self.peers[s].as_ref().is_none_or(|p| !p.alive) {
+            if s != self.rank && !self.fabric.alive(s) {
                 return self.alloc_req(Pending::Done(Err(TransportError::PeerLost { peer: s })));
             }
         }
@@ -934,12 +803,12 @@ impl Transport for WireComm {
     }
 }
 
-// Engine-level unit tests run over in-process loopback worlds (socketpair
-// meshes) — see `bootstrap::loopback` — so they need no child processes.
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bootstrap::loopback_configured;
+    use crate::proto::HEADER_LEN;
+    use std::io::{Read, Write};
 
     fn two(cfg: WireConfig) -> (WireComm, WireComm) {
         let mut v = loopback_configured(2, cfg).into_iter();
@@ -1124,7 +993,6 @@ mod tests {
 
     /// Read whole stats-plane frames off the test end of the stats pair.
     fn drain_stats(rx: &mut UnixStream) -> Vec<(Header, Vec<u8>)> {
-        use std::io::Read;
         rx.set_nonblocking(true).expect("nonblocking");
         let mut bytes = Vec::new();
         let mut scratch = [0u8; 4096];
@@ -1139,8 +1007,7 @@ mod tests {
         let mut frames = Vec::new();
         let mut off = 0;
         while bytes.len() - off >= HEADER_LEN {
-            let hdr = Header::decode(bytes[off..off + HEADER_LEN].try_into().expect("header"))
-                .expect("stats frame decodes");
+            let hdr = Header::decode_slice(&bytes[off..]).expect("stats frame decodes");
             let body_len = hdr.body_len();
             assert!(bytes.len() - off >= HEADER_LEN + body_len, "whole frame");
             frames.push((
@@ -1328,8 +1195,7 @@ mod tests {
         let mut frames = Vec::new();
         let mut off = 0;
         while bytes.len() - off >= HEADER_LEN {
-            let hdr = Header::decode(bytes[off..off + HEADER_LEN].try_into().expect("header"))
-                .expect("frame decodes");
+            let hdr = Header::decode_slice(&bytes[off..]).expect("frame decodes");
             let body_len = hdr.body_len();
             assert!(bytes.len() - off >= HEADER_LEN + body_len, "whole frame");
             frames.push((
@@ -1506,6 +1372,152 @@ mod tests {
         // A posted receive is untouched by the stray DATA.
         let r = a.irecv(Some(1), Some(4));
         assert!(a.try_take(&r).is_none(), "stray DATA never matches a recv");
+    }
+
+    #[test]
+    fn stats_and_stall_frames_on_mesh_are_counted_not_panicked() {
+        // Stats-plane control frames belong on the rank→launcher socket;
+        // a peer pushing them onto the mesh is abuse, with and without a
+        // body, repeated or not — each one counted, none acted on.
+        let (mut a, mut peers) = injectable(1);
+        for (kind, body) in [
+            (FrameKind::Stats, &b""[..]),
+            (FrameKind::Stats, &b"bogus snapshot bytes"[..]),
+            (FrameKind::Stall, &b""[..]),
+            (FrameKind::Stall, &b"xx"[..]),
+        ] {
+            inject(
+                &mut peers[0],
+                Header {
+                    kind,
+                    src: 1,
+                    tag: 9,
+                    xid: 1234,
+                    len: body.len() as u64,
+                },
+                body,
+            );
+        }
+        for _ in 0..100 {
+            a.progress();
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 4);
+        // The engine is still healthy afterwards.
+        let s = a.isend(1, 1, Arc::from(vec![7u8]));
+        let out = (0..100)
+            .find_map(|_| {
+                a.progress();
+                a.try_take(&s)
+            })
+            .expect("send flushes");
+        assert!(matches!(out, Ok(OpOutcome::Sent)));
+    }
+
+    #[test]
+    fn truncated_data_is_counted_and_delivered_with_actual_length() {
+        // The peer's RTS announces 100 bytes; the DATA frame that follows
+        // carries only 60. That is a protocol violation (counted), but the
+        // receive still resolves — with the real length, not the promise.
+        let (mut a, mut peers) = injectable(1);
+        let r = a.irecv(Some(1), Some(6));
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Rts,
+                src: 1,
+                tag: 6,
+                xid: 42,
+                len: 100,
+            },
+            &[],
+        );
+        // The engine answers with a CTS echoing the xid.
+        let cts = loop {
+            a.progress();
+            let got = drain_frames(&mut peers[0]);
+            if let Some(f) = got.into_iter().find(|(h, _)| h.kind == FrameKind::Cts) {
+                break f.0;
+            }
+        };
+        assert_eq!(cts.xid, 42);
+        assert_eq!(cts.len, 100);
+        let short = vec![0xcdu8; 60];
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Data,
+                src: 1,
+                tag: 6,
+                xid: 42,
+                len: short.len() as u64,
+            },
+            &short,
+        );
+        let out = (0..100)
+            .find_map(|_| {
+                a.progress();
+                a.try_take(&r)
+            })
+            .expect("recv resolves despite truncation");
+        match out {
+            Ok(OpOutcome::Received(st, d)) => {
+                assert_eq!(st.len, 60, "status reports the actual length");
+                assert_eq!(&d[..], &short[..]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
+    }
+
+    #[test]
+    fn oversized_data_is_counted_and_delivered_with_actual_length() {
+        // The mirror-image violation: DATA carries more than its RTS
+        // announced. Same treatment — counted, delivered as-is.
+        let (mut a, mut peers) = injectable(1);
+        let r = a.irecv(Some(1), Some(6));
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Rts,
+                src: 1,
+                tag: 6,
+                xid: 7,
+                len: 10,
+            },
+            &[],
+        );
+        loop {
+            a.progress();
+            if drain_frames(&mut peers[0])
+                .iter()
+                .any(|(h, _)| h.kind == FrameKind::Cts)
+            {
+                break;
+            }
+        }
+        let long = vec![0xabu8; 25];
+        inject(
+            &mut peers[0],
+            Header {
+                kind: FrameKind::Data,
+                src: 1,
+                tag: 6,
+                xid: 7,
+                len: long.len() as u64,
+            },
+            &long,
+        );
+        let out = (0..100)
+            .find_map(|_| {
+                a.progress();
+                a.try_take(&r)
+            })
+            .expect("recv resolves");
+        assert!(matches!(out, Ok(OpOutcome::Received(st, _)) if st.len == 25));
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(protocol_errors(&a), 1);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! `FrameFabric` — how encoded frames move between ranks.
+//!
+//! The progress engine ([`crate::engine::WireComm`]) owns the *protocol*:
+//! matching, eager/rendezvous state machines, peer-death semantics. This
+//! trait owns the *delivery*: bytes queued toward a peer, bytes flushed,
+//! whole frames arriving back out. Separating the two is what makes the
+//! protocol model-checkable — the engine is generic over its fabric, so
+//! `check::proto` can substitute a deterministic in-process fabric whose
+//! explorer permutes frame-delivery order, delay, duplication, and
+//! peer-death points, while production runs the nonblocking socket mesh
+//! ([`SocketFabric`]) below.
+//!
+//! Contract, in the order the engine relies on it:
+//!
+//! * [`queue`] returns a cumulative per-link **mark** (total bytes ever
+//!   queued on that link, including this frame). Marks are monotonic; the
+//!   frame is "on the wire" once [`flushed`] passes the mark. The engine
+//!   uses marks for send-completion semantics — an eager send completes
+//!   when its bytes left the process, not when they were queued.
+//! * [`flush`] pushes queued bytes as far as the link accepts right now
+//!   (never blocking); [`recv`] pulls every *complete* frame that has
+//!   arrived. Both report whether anything moved and whether the link
+//!   died doing it (EOF, reset, or a corrupt inbound header).
+//! * Once a link reports death it stays dead: [`alive`] is `false`, all
+//!   further operations on it are no-ops. The engine reaps the protocol
+//!   state exactly once.
+//! * Frames on one link are FIFO — a fabric must never reorder deliveries
+//!   from the same peer (the MPI matching order depends on it). Delivery
+//!   order *across* links is unconstrained, which is precisely the
+//!   nondeterminism the model fabric explores.
+//!
+//! [`queue`]: FrameFabric::queue
+//! [`flushed`]: FrameFabric::flushed
+//! [`flush`]: FrameFabric::flush
+//! [`recv`]: FrameFabric::recv
+//! [`alive`]: FrameFabric::alive
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::proto::{Header, HEADER_LEN};
+
+/// What one [`FrameFabric::flush`] / [`FrameFabric::recv`] call did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkPoll {
+    /// Anything moved (bytes flushed, frames arrived).
+    pub moved: bool,
+    /// Bytes that crossed the link boundary in this call (for the
+    /// engine's `wire.bytes_tx` / `wire.bytes_rx` accounting).
+    pub bytes: u64,
+    /// The link failed during this call (EOF, reset, corrupt stream).
+    /// The fabric has already marked it dead; the caller reaps protocol
+    /// state.
+    pub died: bool,
+}
+
+/// Frame transport under the wire engine (see module docs).
+pub trait FrameFabric: Send + 'static {
+    /// World size. Link indices are rank numbers; the self slot exists
+    /// but is never polled.
+    fn size(&self) -> usize;
+
+    /// Is the link to `peer` connected and not yet failed?
+    fn alive(&self, peer: usize) -> bool;
+
+    /// Queue one frame toward `peer`; returns the cumulative mark at
+    /// which the frame is fully flushed. Queueing to a dead link is
+    /// allowed (the bytes go nowhere) — callers check [`Self::alive`]
+    /// first for protocol decisions.
+    fn queue(&mut self, peer: usize, hdr: &Header, body: &[u8]) -> u64;
+
+    /// Cumulative bytes ever flushed on the link to `peer`.
+    fn flushed(&self, peer: usize) -> u64;
+
+    /// Push queued bytes toward `peer` as far as the link accepts,
+    /// without blocking.
+    fn flush(&mut self, peer: usize) -> LinkPoll;
+
+    /// Pull every complete frame that has arrived from `peer`, appending
+    /// to `out` in arrival order.
+    fn recv(&mut self, peer: usize, out: &mut Vec<(Header, Vec<u8>)>) -> LinkPoll;
+}
+
+/// Either socket flavour, nonblocking after bootstrap.
+pub(crate) enum Stream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_nonblocking(nb),
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    pub(crate) fn write_all_blocking(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.write_all(buf),
+            Stream::Tcp(s) => s.write_all(buf),
+        }
+    }
+
+    pub(crate) fn read_exact_blocking(&mut self, buf: &mut [u8]) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.read_exact(buf),
+            Stream::Tcp(s) => s.read_exact(buf),
+        }
+    }
+}
+
+impl From<UnixStream> for Stream {
+    fn from(s: UnixStream) -> Self {
+        Stream::Uds(s)
+    }
+}
+
+impl From<TcpStream> for Stream {
+    fn from(s: TcpStream) -> Self {
+        Stream::Tcp(s)
+    }
+}
+
+/// One connected link: socket plus staging buffers and flush bookkeeping.
+struct SocketLink {
+    stream: Stream,
+    alive: bool,
+    /// Unparsed inbound bytes (`in_consumed` already parsed, compacted
+    /// periodically).
+    inbuf: Vec<u8>,
+    in_consumed: usize,
+    /// Outbound bytes not yet written (`out_flushed` already written,
+    /// compacted periodically).
+    outbuf: Vec<u8>,
+    out_flushed: usize,
+    /// Cumulative bytes ever queued / ever flushed on this link.
+    queued_total: u64,
+    flushed_total: u64,
+}
+
+impl SocketLink {
+    fn new(stream: Stream) -> Self {
+        SocketLink {
+            stream,
+            alive: true,
+            inbuf: Vec::new(),
+            in_consumed: 0,
+            outbuf: Vec::new(),
+            out_flushed: 0,
+            queued_total: 0,
+            flushed_total: 0,
+        }
+    }
+}
+
+/// The real fabric: one nonblocking stream socket per peer.
+pub struct SocketFabric {
+    links: Vec<Option<SocketLink>>,
+}
+
+impl SocketFabric {
+    pub(crate) fn new(streams: Vec<Option<Stream>>) -> Self {
+        SocketFabric {
+            links: streams
+                .into_iter()
+                .map(|s| s.map(SocketLink::new))
+                .collect(),
+        }
+    }
+}
+
+impl FrameFabric for SocketFabric {
+    fn size(&self) -> usize {
+        self.links.len()
+    }
+
+    fn alive(&self, peer: usize) -> bool {
+        self.links[peer].as_ref().is_some_and(|l| l.alive)
+    }
+
+    fn queue(&mut self, peer: usize, hdr: &Header, body: &[u8]) -> u64 {
+        debug_assert_eq!(hdr.body_len(), body.len());
+        let Some(link) = self.links[peer].as_mut() else {
+            return 0;
+        };
+        link.outbuf.extend_from_slice(&hdr.encode());
+        link.outbuf.extend_from_slice(body);
+        link.queued_total += (HEADER_LEN + body.len()) as u64;
+        link.queued_total
+    }
+
+    fn flushed(&self, peer: usize) -> u64 {
+        self.links[peer].as_ref().map_or(0, |l| l.flushed_total)
+    }
+
+    fn flush(&mut self, peer: usize) -> LinkPoll {
+        let mut res = LinkPoll::default();
+        let Some(link) = self.links[peer].as_mut() else {
+            return res;
+        };
+        if !link.alive {
+            return res;
+        }
+        while link.out_flushed < link.outbuf.len() {
+            match link.stream.write(&link.outbuf[link.out_flushed..]) {
+                Ok(0) => {
+                    res.died = true;
+                    break;
+                }
+                Ok(n) => {
+                    link.out_flushed += n;
+                    link.flushed_total += n as u64;
+                    res.bytes += n as u64;
+                    res.moved = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    res.died = true;
+                    break;
+                }
+            }
+        }
+        // Compact once everything queued so far went out.
+        if link.out_flushed == link.outbuf.len() && !link.outbuf.is_empty() {
+            link.outbuf.clear();
+            link.out_flushed = 0;
+        }
+        if res.died {
+            link.alive = false;
+        }
+        res
+    }
+
+    fn recv(&mut self, peer: usize, out: &mut Vec<(Header, Vec<u8>)>) -> LinkPoll {
+        let mut res = LinkPoll::default();
+        let Some(link) = self.links[peer].as_mut() else {
+            return res;
+        };
+        if !link.alive {
+            return res;
+        }
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            match link.stream.read(&mut scratch) {
+                Ok(0) => {
+                    res.died = true;
+                    break;
+                }
+                Ok(n) => {
+                    link.inbuf.extend_from_slice(&scratch[..n]);
+                    res.bytes += n as u64;
+                    res.moved = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    res.died = true;
+                    break;
+                }
+            }
+        }
+        // Parse complete frames out of the staging buffer. The header is
+        // peer-controlled input: a decode failure is a dead link, never a
+        // panic.
+        loop {
+            let avail = &link.inbuf[link.in_consumed..];
+            if avail.len() < HEADER_LEN {
+                break;
+            }
+            let hdr = match Header::decode_slice(avail) {
+                Ok(h) => h,
+                Err(_) => {
+                    res.died = true;
+                    break;
+                }
+            };
+            let body_len = hdr.body_len();
+            if avail.len() < HEADER_LEN + body_len {
+                break; // partial frame; wait for more bytes
+            }
+            let body: Vec<u8> = avail[HEADER_LEN..HEADER_LEN + body_len].to_vec();
+            link.in_consumed += HEADER_LEN + body_len;
+            // Compact when more than half the buffer is parsed-out.
+            if link.in_consumed > link.inbuf.len() / 2 {
+                link.inbuf.drain(..link.in_consumed);
+                link.in_consumed = 0;
+            }
+            out.push((hdr, body));
+            res.moved = true;
+        }
+        if res.died {
+            link.alive = false;
+        }
+        res
+    }
+}

@@ -16,9 +16,17 @@
 //!
 //! Module map:
 //! * [`proto`] — the frame header and its encoding (24-byte LE prefix).
+//! * [`fabric`] — [`FrameFabric`]: the frame-delivery seam under the
+//!   engine. [`SocketFabric`] is the production poll loop; `check::proto`
+//!   substitutes an in-memory fabric to model-check delivery order,
+//!   duplication and peer death (DESIGN.md §15).
 //! * [`engine`] — [`WireComm`]: the nonblocking per-rank progress engine
 //!   (unexpected-message queue, MPI FIFO matching via [`rtmpi::MatchQueue`],
-//!   eager/rendezvous protocol, peer-death detection).
+//!   eager/rendezvous protocol, peer-death detection), generic over the
+//!   fabric.
+//! * [`nbcrun`] — one nonblocking collective as a round schedule driven
+//!   over any [`rtmpi::Transport`] (shared by the live engine, the victim
+//!   binaries, and the protocol model checker).
 //! * [`bootstrap`] — process worlds from `WIRE_RANK`/`WIRE_SIZE`/`WIRE_DIR`
 //!   env (rank-0 mesh exchange), and in-process loopback worlds for tests.
 //! * [`launcher`] — what the `offload-run` binary does: spawn `-n` ranks,
@@ -35,12 +43,17 @@
 
 pub mod bootstrap;
 pub mod engine;
+pub mod fabric;
+#[cfg(feature = "model-faults")]
+pub mod faults;
 pub mod launcher;
+pub mod nbcrun;
 pub mod proto;
 pub mod stats;
 
 pub use bootstrap::{from_env, loopback, loopback_configured};
 pub use engine::{WireComm, WireConfig, WireReq};
+pub use fabric::{FrameFabric, LinkPoll, SocketFabric};
 
 /// Environment variable naming this process's rank (set by `offload-run`).
 pub const ENV_RANK: &str = "WIRE_RANK";

@@ -95,12 +95,23 @@ impl Header {
     }
 
     pub fn decode(buf: &[u8; HEADER_LEN]) -> Result<Header, String> {
+        Self::decode_slice(buf)
+    }
+
+    /// Decode the header at the front of `buf` (which must hold at least
+    /// [`HEADER_LEN`] bytes — more is fine, the tail is ignored). This is
+    /// the peer-controlled input path: every failure mode is a returned
+    /// error, never a panic.
+    pub fn decode_slice(buf: &[u8]) -> Result<Header, String> {
+        if buf.len() < HEADER_LEN {
+            return Err(format!("short header: {} of {HEADER_LEN} bytes", buf.len()));
+        }
         let kind = FrameKind::from_u8(buf[0])
             .ok_or_else(|| format!("bad frame kind byte {:#x}", buf[0]))?;
-        let word = |r: std::ops::Range<usize>| {
-            u32::from_le_bytes(buf[r].try_into().expect("4-byte slice"))
-        };
-        let len = u64::from_le_bytes(buf[16..24].try_into().expect("8-byte slice"));
+        let word = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&buf[16..24]);
+        let len = u64::from_le_bytes(len8);
         if len > MAX_FRAME_LEN {
             return Err(format!(
                 "frame len {} exceeds maximum {} ({:?})",
@@ -109,9 +120,9 @@ impl Header {
         }
         Ok(Header {
             kind,
-            src: word(4..8),
-            tag: word(8..12),
-            xid: word(12..16),
+            src: word(4),
+            tag: word(8),
+            xid: word(12),
             len,
         })
     }
@@ -152,6 +163,26 @@ mod tests {
             let enc = h.encode();
             assert_eq!(Header::decode(&enc).expect("decodes"), h);
         }
+    }
+
+    #[test]
+    fn short_slice_is_rejected() {
+        let h = Header {
+            kind: FrameKind::Eager,
+            src: 1,
+            tag: 2,
+            xid: 3,
+            len: 4,
+        };
+        let enc = h.encode();
+        for cut in 0..HEADER_LEN {
+            let err = Header::decode_slice(&enc[..cut]).expect_err("short header");
+            assert!(err.contains("short header"), "{err}");
+        }
+        // A longer slice decodes the prefix and ignores the tail.
+        let mut long = enc.to_vec();
+        long.extend_from_slice(&[0xaa; 16]);
+        assert_eq!(Header::decode_slice(&long).expect("decodes"), h);
     }
 
     #[test]

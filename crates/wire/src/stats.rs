@@ -125,6 +125,8 @@ impl Collector {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut readers = Vec::new();
+                // ORDERING: Relaxed — quit flag; no data rides on it (the
+                // reader threads are joined before state is consumed).
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
@@ -159,6 +161,8 @@ impl Collector {
 
     /// Stop accepting, join the reader threads, return the final state.
     pub fn finish(mut self) -> Vec<RankStats> {
+        // ORDERING: Relaxed — quit flag; the join() below is the real
+        // synchronization point for everything the threads wrote.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
@@ -225,6 +229,7 @@ fn read_full(stream: &mut UnixStream, buf: &mut [u8], stop: &AtomicBool) -> bool
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // ORDERING: Relaxed — quit flag, as above.
                 if stop.load(Ordering::Relaxed) {
                     return false;
                 }
