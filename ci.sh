@@ -31,7 +31,7 @@ bench_panels() {
   run cargo build --release -p wire --bins
   run cargo build --release --example halo_exchange --example qcd_solver \
     --example fft_pipeline
-  for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib; do
+  for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib shm_calib; do
     echo
     echo "== bench panel $p =="
     env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 BENCH_REPEATS=3 \
@@ -146,6 +146,35 @@ target/release/stats-check /tmp/nbc_stats.json --ranks 4 \
   --positive wire.coll_tx \
   || { echo "NBC wire smoke lane FAILED (report validation)"; exit 1; }
 
+# Shared-memory data-plane smoke: the same collective surface with every
+# post-bootstrap frame riding the per-pair shm rings (WIRE_SHM=1 via the
+# launcher's --shm). stats-check gates on every rank actually using the
+# ring (wire.shm_frames > 0), with zero staging copies on the eager path
+# (wire.eager_alloc == 0) and zero degraded pairs (wire.shm_fallback ==
+# 0) — the zero-copy claim is counted by the engine, not inferred.
+echo
+echo "== shm data-plane smoke (4 ranks, WIRE_SHM=1, zero-alloc gated) =="
+timeout 60 target/release/offload-run -n 4 --timeout 50 --shm \
+  --stats-interval 50 --stats-out /tmp/shm_stats.json nbc_smoke \
+  || { echo "shm smoke lane FAILED (nbc launch)"; exit 1; }
+target/release/stats-check /tmp/shm_stats.json --ranks 4 \
+  --positive wire.shm_frames --positive wire.coll_tx \
+  --zero wire.eager_alloc --zero wire.shm_fallback \
+  || { echo "shm smoke lane FAILED (report validation)"; exit 1; }
+timeout 60 target/release/offload-run -n 4 --timeout 50 --shm halo_exchange \
+  || { echo "shm smoke lane FAILED (halo_exchange)"; exit 1; }
+# Graceful degradation: forcing the handshake to decline must leave the
+# job on the socket data path, not dead.
+timeout 60 env WIRE_SHM_FORCE_FALLBACK=1 \
+  target/release/offload-run -n 2 --timeout 50 --shm halo_exchange \
+  || { echo "shm smoke lane FAILED (forced fallback)"; exit 1; }
+
+# The transport-matrix suite again with the shm plane on: every Comm
+# surface the examples use, now over the ring data path.
+echo
+echo "== comm trait matrix over shm (WIRE_SHM=1) =="
+run env WIRE_SHM=1 cargo test --release -q --test comm_trait_matrix
+
 # Data-parallel CNN training end-to-end over the wire: replicas must stay
 # synchronized through the gradient-allreduce schedules (asserted by the
 # example itself via a weight-checksum allgather).
@@ -184,9 +213,14 @@ run cargo run -q --release -p lint --bin offload-lint -- --root . \
 # lost-wakeup detection. The seed is pinned so CI is reproducible; export
 # OFFLOAD_MODEL_SEED / OFFLOAD_MODEL_ITERS to explore differently. A
 # separate target dir keeps the --cfg flag from thrashing the main cache.
+# shmring rides the same lane: tests/model.rs compiles the ring protocol
+# source against check's instrumented atomics (see crates/shmring), so the
+# SPSC handoff and park/doorbell handshake are explored under the same
+# pinned seed — including a deliberately-broken-ordering test that proves
+# the detector has teeth on this structure.
 run env CARGO_TARGET_DIR=target/model RUSTFLAGS="--cfg offload_model" \
   OFFLOAD_MODEL_SEED="${OFFLOAD_MODEL_SEED:-1592598549}" \
-  cargo test -p check -q
+  cargo test -p check -p shmring -q
 
 # Protocol-model lane (always on, plain build): check::proto runs the
 # *real* wire engine and NBC round schedules over an in-process fabric
@@ -234,6 +268,17 @@ if cargo miri --version >/dev/null 2>&1; then
   run env MIRIFLAGS="-Zmiri-disable-isolation" \
     cargo miri test -p offload --lib --no-default-features -- $MIRI_FILTER \
     || { echo "cargo miri lane FAILED (--no-default-features)"; exit 1; }
+  # The shm data plane's safe layers: the registered-buffer pool and the
+  # ring protocol over its std facade (the mmap'd-segment module itself is
+  # foreign memory Miri cannot model; its discipline is confined to
+  # crates/wire/src/shm.rs by offload-lint). The 10k-message threaded
+  # stream test is skipped — minutes under the interpreter, covered natively.
+  run env MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo miri test -p wire --lib -- regpool:: \
+    || { echo "cargo miri lane FAILED (wire regpool)"; exit 1; }
+  run env MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo miri test -p shmring --test plain -- --skip threaded_stream \
+    || { echo "cargo miri lane FAILED (shmring)"; exit 1; }
 else
   echo "== cargo miri not installed; skipping weak-memory lane =="
 fi

@@ -24,10 +24,16 @@
 //!   span `0x7000_0000..0x8000_0000` outside `crates/rtmpi`: consumers
 //!   must name `TAG_RESERVED_BASE`/`TAG_COLL_BASE` so the span can move.
 //! * `peer-input-hardening` — the wire frame-handling modules
-//!   (`engine.rs`, `proto.rs`, `fabric.rs`) must not use `.unwrap()`,
-//!   `.expect(` or `Instant::now` outside test code: anything a peer can
-//!   put on the wire must be counted, never panicked on, and the model
-//!   fabric requires the data path to be clock-free.
+//!   (`engine.rs`, `proto.rs`, `fabric.rs`, `shm.rs`, `regpool.rs`) must
+//!   not use `.unwrap()`, `.expect(` or `Instant::now` outside test code:
+//!   anything a peer can put on the wire (or in a shared segment) must be
+//!   counted, never panicked on, and the model fabric requires the data
+//!   path to be clock-free.
+//! * `unsafe-confinement` — inside `crates/wire`, `unsafe` and the mmap
+//!   surface live only in `src/shm.rs` (where `safety-comment` already
+//!   demands a justification per use). The rest of the transport stays
+//!   safe Rust, so reviewing the shared-memory trust boundary means
+//!   reading exactly one file.
 //!
 //! ## Allowlist
 //!
@@ -79,6 +85,7 @@ pub const RULES: &[&str] = &[
     "std-concurrency-facade",
     "reserved-tag-literal",
     "peer-input-hardening",
+    "unsafe-confinement",
 ];
 
 /// How many lines above a flagged use a justifying comment may sit.
@@ -149,6 +156,8 @@ struct Scope {
     owns_reserved_span: bool,
     /// Wire frame-handling module (peer-controlled input path).
     peer_input: bool,
+    /// `crates/wire` outside `src/shm.rs` — must stay safe Rust.
+    wire_safe_zone: bool,
 }
 
 fn scope_of(path: &str) -> Scope {
@@ -156,11 +165,14 @@ fn scope_of(path: &str) -> Scope {
         "crates/wire/src/engine.rs",
         "crates/wire/src/proto.rs",
         "crates/wire/src/fabric.rs",
+        "crates/wire/src/shm.rs",
+        "crates/wire/src/regpool.rs",
     ];
     Scope {
         facade_only: path.starts_with("crates/core/src"),
         owns_reserved_span: path.starts_with("crates/rtmpi"),
         peer_input: peer_input_files.contains(&path),
+        wire_safe_zone: path.starts_with("crates/wire/src") && path != "crates/wire/src/shm.rs",
     }
 }
 
@@ -250,6 +262,27 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Finding> {
                  TAG_COLL_BASE instead"
                     .into(),
             );
+        }
+        if !in_test && scope.wire_safe_zone {
+            if has_unsafe_token(line) {
+                push(
+                    "unsafe-confinement",
+                    "`unsafe` in crates/wire outside src/shm.rs; the shared-memory \
+                     trust boundary is confined to that one file"
+                        .into(),
+                );
+            }
+            for needle in ["mmap", "munmap", "memfd_create"] {
+                if line.contains(needle) {
+                    push(
+                        "unsafe-confinement",
+                        format!(
+                            "`{needle}` in crates/wire outside src/shm.rs; the mmap \
+                             surface is confined to that one file"
+                        ),
+                    );
+                }
+            }
         }
         if !in_test && scope.peer_input {
             for needle in [".unwrap()", ".expect(", "Instant::now"] {
@@ -556,6 +589,31 @@ mod tests {
         // unwrap_or_else is not unwrap.
         let soft = "let y = x.unwrap_or_else(|| 0);\n";
         assert!(scan_source("crates/wire/src/engine.rs", soft).is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_mmap_are_confined_to_wire_shm() {
+        // `unsafe` anywhere else in crates/wire fires even WITH a SAFETY
+        // comment — the rule is about location, not justification.
+        let src = "// SAFETY: justified but misplaced.\nlet y = unsafe { x() };\n";
+        assert_eq!(
+            rules_fired("crates/wire/src/fabric.rs", src),
+            ["unsafe-confinement"]
+        );
+        let mmap = "let p = mmap(core::ptr::null_mut(), len, 3, 1, fd, 0);\n";
+        assert_eq!(
+            rules_fired("crates/wire/src/engine.rs", mmap),
+            ["unsafe-confinement"]
+        );
+        // shm.rs itself answers to safety-comment, not confinement.
+        assert_eq!(
+            rules_fired("crates/wire/src/shm.rs", "let y = unsafe { x() };\n"),
+            ["safety-comment"]
+        );
+        assert!(scan_source("crates/wire/src/shm.rs", src).is_empty());
+        // Other crates are out of scope, and wire test code is exempt.
+        assert!(scan_source("crates/core/src/q.rs", "mmap(p, n);\n").is_empty());
+        assert!(scan_source("crates/wire/tests/launcher.rs", mmap).is_empty());
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! CI gate for the cluster stats report.
 //!
-//! `stats-check <report.json> --ranks 4 [--positive <metric>]...`
+//! `stats-check <report.json> --ranks 4 [--positive <metric>]... [--zero <metric>]...`
 //!
 //! Exits 0 iff the report parses, covers exactly `--ranks` ranks (0..n,
-//! once each), and every `--positive` metric is `> 0` on every rank that
-//! exited cleanly. Validation itself lives in [`wire::stats`] so tests
-//! exercise the same code path.
+//! once each), every `--positive` metric is `> 0`, and every `--zero`
+//! metric is absent or `0`, on every rank that exited cleanly. (`--zero`
+//! is how the shm smoke lane pins `wire.eager_alloc` to nothing.)
+//! Validation itself lives in [`wire::stats`] so tests exercise the same
+//! code path.
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut ranks: Option<usize> = None;
     let mut positive = Vec::new();
+    let mut zero = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--ranks" => {
@@ -24,6 +27,10 @@ fn main() {
             "--positive" => match args.next() {
                 Some(m) => positive.push(m),
                 None => die("--positive needs a metric name"),
+            },
+            "--zero" => match args.next() {
+                Some(m) => zero.push(m),
+                None => die("--zero needs a metric name"),
             },
             _ if a.starts_with('-') => die(&format!("unknown flag {a}")),
             _ if path.is_none() => path = Some(a),
@@ -40,10 +47,11 @@ fn main() {
         Ok(t) => t,
         Err(e) => die(&format!("cannot read {path}: {e}")),
     };
-    match wire::stats::validate_report(&text, ranks, &positive) {
+    match wire::stats::validate_report(&text, ranks, &positive, &zero) {
         Ok(n) => println!(
-            "stats-check: {path} ok ({n} ranks, {} positive metric(s))",
-            positive.len()
+            "stats-check: {path} ok ({n} ranks, {} positive / {} zero metric(s))",
+            positive.len(),
+            zero.len()
         ),
         Err(e) => die(&format!("{path}: {e}")),
     }
@@ -51,6 +59,8 @@ fn main() {
 
 fn die(msg: &str) -> ! {
     eprintln!("stats-check: {msg}");
-    eprintln!("usage: stats-check <report.json> --ranks <n> [--positive <metric>]...");
+    eprintln!(
+        "usage: stats-check <report.json> --ranks <n> [--positive <metric>]... [--zero <metric>]..."
+    );
     std::process::exit(1);
 }

@@ -21,8 +21,9 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use crate::engine::{WireComm, WireConfig};
-use crate::fabric::Stream;
+use crate::fabric::{SocketFabric, Stream};
 use crate::proto::{FrameKind, Header, HEADER_LEN};
+use crate::shm::ShmLink;
 
 /// How long a rank keeps retrying to reach its siblings before giving up.
 const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(20);
@@ -172,21 +173,82 @@ fn connect_mesh(
         }
         streams[peer] = Some(stream);
     }
+    // 3.5. Negotiate shared-memory segments while the streams are still
+    // blocking (the memfd rides the UDS handshake via SCM_RIGHTS). Pairs
+    // are processed in rank order on both sides — lower rank creates and
+    // offers, higher rank maps and acks — which gives every pair's
+    // handshake only lexicographically-smaller prerequisites, so the
+    // sequential blocking exchange cannot deadlock. `WIRE_SHM` comes from
+    // the launcher's environment, identical across ranks, so both sides
+    // always agree on whether this step runs.
+    let mut shm_links: Vec<Option<ShmLink>> = (0..size).map(|_| None).collect();
+    let mut shm_fallbacks: u64 = 0;
+    if cfg.shm && cfg.tcp {
+        shm_fallbacks = (size - 1) as u64;
+        eprintln!(
+            "wire: rank {rank}: WIRE_SHM=1 has no fd channel over TCP; using socket data path"
+        );
+    } else if cfg.shm {
+        for peer in 0..size {
+            let Some(stream) = streams[peer].as_mut() else {
+                continue;
+            };
+            let negotiated = if rank < peer {
+                crate::shm::offer_segment(
+                    stream,
+                    rank as u32,
+                    cfg.shm_slots,
+                    cfg.shm_slot_bytes,
+                    cfg.shm_force_fallback,
+                )
+            } else {
+                crate::shm::accept_segment(stream, rank as u32)
+            }
+            .map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("rank {rank}: shm handshake with rank {peer} failed: {e}"),
+                )
+            })?;
+            match negotiated {
+                Some(link) => shm_links[peer] = Some(link),
+                None => {
+                    shm_fallbacks += 1;
+                    eprintln!(
+                        "wire: rank {rank}: shm unavailable toward rank {peer}; using socket data path"
+                    );
+                }
+            }
+        }
+    }
     // 4. Switch the mesh to nonblocking; the engine owns it from here.
     for s in streams.iter().flatten() {
         s.set_nonblocking(true)?;
     }
-    Ok(WireComm::new(rank, size, streams, cfg))
+    let mut fabric = SocketFabric::new(streams);
+    for (peer, link) in shm_links.into_iter().enumerate() {
+        if let Some(link) = link {
+            fabric.attach_shm(peer, link);
+        }
+    }
+    for _ in 0..shm_fallbacks {
+        fabric.note_shm_fallback();
+    }
+    Ok(WireComm::from_fabric(rank, size, fabric, cfg))
 }
 
 /// An `n`-rank world inside one process: a full `socketpair` mesh running
 /// the identical framing/protocol code. Each [`WireComm`] is `Send` —
-/// hand one to each thread.
+/// hand one to each thread. Knobs come from the environment, so
+/// `WIRE_SHM=1` (and friends) reach in-process worlds like the matching
+/// matrix exactly as they reach spawned ranks.
 pub fn loopback(n: usize) -> Vec<WireComm> {
-    loopback_configured(n, WireConfig::default())
+    loopback_configured(n, WireConfig::from_env())
 }
 
-/// As [`loopback`] with explicit knobs (crossover, timeout).
+/// As [`loopback`] with explicit knobs (crossover, timeout, shm, tcp —
+/// `cfg.tcp` joins the pairs over real 127.0.0.1 TCP connections, so the
+/// calibration panels can compare transports inside one process).
 pub fn loopback_configured(n: usize, cfg: WireConfig) -> Vec<WireComm> {
     assert!(n > 0);
     let mut meshes: Vec<Vec<Option<Stream>>> =
@@ -196,16 +258,66 @@ pub fn loopback_configured(n: usize, cfg: WireConfig) -> Vec<WireComm> {
     #[allow(clippy::needless_range_loop)]
     for a in 0..n {
         for b in a + 1..n {
-            let (sa, sb) = UnixStream::pair().expect("socketpair");
+            let (sa, sb) = if cfg.tcp {
+                tcp_pair().expect("tcp pair")
+            } else {
+                let (sa, sb) = UnixStream::pair().expect("socketpair");
+                (Stream::from(sa), Stream::from(sb))
+            };
             sa.set_nonblocking(true).expect("nonblocking");
             sb.set_nonblocking(true).expect("nonblocking");
-            meshes[a][b] = Some(Stream::from(sa));
-            meshes[b][a] = Some(Stream::from(sb));
+            meshes[a][b] = Some(sa);
+            meshes[b][a] = Some(sb);
         }
     }
-    meshes
+    let mut fabrics: Vec<SocketFabric> = meshes.into_iter().map(SocketFabric::new).collect();
+    // In-process shm: both ring endpoints share one mapped segment (the
+    // real memfd/mmap path, minus the fd passing). Failures degrade the
+    // pair to the socket path exactly as in the process world — including
+    // the TCP short-circuit, mirroring `connect_mesh`.
+    if cfg.shm && cfg.tcp {
+        eprintln!("wire: loopback: WIRE_SHM=1 has no fd channel over TCP; using socket data path");
+        for f in fabrics.iter_mut() {
+            for _ in 0..n - 1 {
+                f.note_shm_fallback();
+            }
+        }
+    } else if cfg.shm {
+        for a in 0..n {
+            for b in a + 1..n {
+                let pair = if cfg.shm_force_fallback {
+                    None
+                } else {
+                    crate::shm::loopback_pair(cfg.shm_slots, cfg.shm_slot_bytes).ok()
+                };
+                match pair {
+                    Some((la, lb)) => {
+                        fabrics[a].attach_shm(b, la);
+                        fabrics[b].attach_shm(a, lb);
+                    }
+                    None => {
+                        eprintln!(
+                            "wire: loopback: shm unavailable for pair ({a}, {b}); using socket data path"
+                        );
+                        fabrics[a].note_shm_fallback();
+                        fabrics[b].note_shm_fallback();
+                    }
+                }
+            }
+        }
+    }
+    fabrics
         .into_iter()
         .enumerate()
-        .map(|(rank, streams)| WireComm::new(rank, n, streams, cfg.clone()))
+        .map(|(rank, fabric)| WireComm::from_fabric(rank, n, fabric, cfg.clone()))
         .collect()
+}
+
+/// One connected 127.0.0.1 TCP pair, built through a throwaway listener.
+fn tcp_pair() -> std::io::Result<(Stream, Stream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let a = TcpStream::connect(addr)?;
+    let (b, _) = listener.accept()?;
+    Ok((Stream::from(a), Stream::from(b)))
 }

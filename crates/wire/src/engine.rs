@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use rtmpi::{MatchQueue, OpOutcome, Status, Tag, Transport, TransportError};
 
-use crate::fabric::{FrameFabric, SocketFabric, Stream};
+use crate::fabric::{FrameFabric, SocketFabric};
 use crate::proto::{FrameKind, Header};
 
 /// Globally unique flow id for one rendezvous exchange. `xid` alone is
@@ -69,6 +69,16 @@ pub struct WireConfig {
     /// TCP over 127.0.0.1 instead of Unix-domain sockets (bootstrap only;
     /// the engine is agnostic).
     pub tcp: bool,
+    /// Negotiate the shared-memory data plane per peer pair at bootstrap
+    /// (UDS meshes only; every failure degrades to the socket path).
+    pub shm: bool,
+    /// Ring slot count for negotiated segments (power of two).
+    pub shm_slots: u32,
+    /// Ring slot payload size in bytes.
+    pub shm_slot_bytes: u32,
+    /// Force the shm handshake down its fallback path (tests; also set by
+    /// `WIRE_SHM_FORCE_FALLBACK=1`).
+    pub shm_force_fallback: bool,
 }
 
 impl Default for WireConfig {
@@ -77,13 +87,18 @@ impl Default for WireConfig {
             eager_max: 4096,
             timeout: Duration::from_millis(30_000),
             tcp: false,
+            shm: false,
+            shm_slots: crate::shm::DEFAULT_SLOTS,
+            shm_slot_bytes: crate::shm::DEFAULT_SLOT_BYTES,
+            shm_force_fallback: false,
         }
     }
 }
 
 impl WireConfig {
     /// Defaults overridden by `WIRE_EAGER_MAX` / `WIRE_TIMEOUT_MS` /
-    /// `WIRE_TCP`.
+    /// `WIRE_TCP` / `WIRE_SHM` (+ `WIRE_SHM_SLOTS`, `WIRE_SHM_SLOT_BYTES`,
+    /// `WIRE_SHM_FORCE_FALLBACK`).
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
         if let Some(v) = env_usize(crate::ENV_EAGER_MAX) {
@@ -93,6 +108,15 @@ impl WireConfig {
             cfg.timeout = Duration::from_millis(v as u64);
         }
         cfg.tcp = std::env::var(crate::ENV_TCP).is_ok_and(|v| v == "1");
+        cfg.shm = std::env::var(crate::ENV_SHM).is_ok_and(|v| v == "1");
+        if let Some(v) = env_usize(crate::ENV_SHM_SLOTS) {
+            cfg.shm_slots = v as u32;
+        }
+        if let Some(v) = env_usize(crate::ENV_SHM_SLOT_BYTES) {
+            cfg.shm_slot_bytes = v as u32;
+        }
+        cfg.shm_force_fallback =
+            std::env::var(crate::ENV_SHM_FORCE_FALLBACK).is_ok_and(|v| v == "1");
         cfg
     }
 }
@@ -201,10 +225,14 @@ pub struct WireComm<F: FrameFabric = SocketFabric> {
 }
 
 impl WireComm<SocketFabric> {
+    /// Test-only convenience; production worlds go through
+    /// [`crate::bootstrap`], which builds the fabric itself so it can
+    /// attach negotiated shm links first.
+    #[cfg(test)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        streams: Vec<Option<Stream>>,
+        streams: Vec<Option<crate::fabric::Stream>>,
         cfg: WireConfig,
     ) -> Self {
         assert_eq!(streams.len(), size);
@@ -215,10 +243,11 @@ impl WireComm<SocketFabric> {
 impl<F: FrameFabric> WireComm<F> {
     /// Build an engine over an arbitrary fabric (the model checker's
     /// entry point; socket worlds come from [`crate::bootstrap`]).
-    pub fn from_fabric(rank: usize, size: usize, fabric: F, cfg: WireConfig) -> Self {
+    pub fn from_fabric(rank: usize, size: usize, mut fabric: F, cfg: WireConfig) -> Self {
         assert_eq!(fabric.size(), size);
         assert!(rank < size);
         let registry = obs::Registry::default();
+        fabric.register_obs(&registry);
         let c = |n: &str| registry.counter(n);
         WireComm {
             rank,
@@ -472,7 +501,7 @@ impl<F: FrameFabric> WireComm<F> {
                             len: data.len() as u64,
                         };
                         if self.fabric.alive(dst) {
-                            let mark = self.fabric.queue(dst, &frame, &data);
+                            let mark = self.fabric.queue_shared(dst, &frame, &data);
                             self.marks[dst].push_back((mark, id));
                             self.c_frames_tx.inc();
                             self.pending.insert(id, Pending::RndvSendData);
@@ -522,6 +551,12 @@ impl<F: FrameFabric> WireComm<F> {
             // never the mesh; a peer sending one here is misbehaving —
             // counted and dropped.
             FrameKind::Stats | FrameKind::Stall => self.c_protocol_errors.inc(),
+            // A doorbell is a benign nudge: its arrival already did its
+            // job (the socket read woke this poll).
+            FrameKind::Doorbell => {}
+            // Shm frames belong to the blocking bootstrap handshake; one
+            // surfacing post-bootstrap is a misbehaving peer.
+            FrameKind::Shm => self.c_protocol_errors.inc(),
         }
     }
 
@@ -563,6 +598,9 @@ impl<F: FrameFabric> WireComm<F> {
         let mut moved = res.moved;
         for (hdr, body) in frames.drain(..) {
             self.deliver(p, hdr, &body);
+            // The staging buffer goes back to the fabric's pool — the
+            // receive path's steady state allocates nothing per message.
+            self.fabric.recycle(body);
             moved = true;
         }
         self.frames_scratch = frames;
@@ -675,7 +713,9 @@ impl<F: FrameFabric> Transport for WireComm<F> {
                 xid: 0,
                 len: data.len() as u64,
             };
-            let mark = self.fabric.queue(dst, &frame, &data);
+            // `queue_shared`: the fabric retains the Arc — no staging
+            // copy, which is what keeps `wire.eager_alloc` at zero.
+            let mark = self.fabric.queue_shared(dst, &frame, &data);
             self.c_frames_tx.inc();
             self.c_eager_tx.inc();
             let req = self.alloc_req(Pending::EagerSend);
@@ -807,6 +847,7 @@ impl<F: FrameFabric> Transport for WireComm<F> {
 mod tests {
     use super::*;
     use crate::bootstrap::loopback_configured;
+    use crate::fabric::Stream;
     use crate::proto::HEADER_LEN;
     use std::io::{Read, Write};
 
@@ -1537,5 +1578,132 @@ mod tests {
             assert_eq!(a.obs().snapshot().counter("wire.coll_tx"), 1);
             assert_eq!(b.obs().snapshot().counter("wire.coll_tx"), 0);
         }
+    }
+
+    /// Tight shm geometry: a four-slot ring of 128-byte slots, so even
+    /// modest payloads span slots and the ring fills mid-frame.
+    fn shm_cfg() -> WireConfig {
+        WireConfig {
+            eager_max: 64,
+            shm: true,
+            shm_slots: 4,
+            shm_slot_bytes: 128,
+            ..WireConfig::default()
+        }
+    }
+
+    #[test]
+    fn shm_eager_roundtrip_allocates_no_message_buffers() {
+        let (mut a, mut b) = two(shm_cfg());
+        let s = a.isend(1, 7, Arc::from(vec![1u8, 2, 3]));
+        let r = b.irecv(Some(0), Some(7));
+        let (st, data) = pump(&mut a, &mut b, |a, b| {
+            let _ = a.try_take(&s);
+            match b.try_take(&r) {
+                Some(Ok(OpOutcome::Received(st, d))) => Some((st, d)),
+                Some(other) => panic!("unexpected outcome {other:?}"),
+                None => None,
+            }
+        });
+        assert_eq!((st.source, st.tag, st.len), (0, 7, 3));
+        assert_eq!(&data[..], &[1, 2, 3]);
+        #[cfg(feature = "obs-enabled")]
+        {
+            let a_snap = a.obs().snapshot();
+            assert!(a_snap.counter("wire.shm_frames") > 0, "tx rode the ring");
+            assert_eq!(a_snap.counter("wire.eager_alloc"), 0, "zero-copy send");
+            assert_eq!(a_snap.counter("wire.shm_fallback"), 0);
+            let b_snap = b.obs().snapshot();
+            assert!(b_snap.counter("wire.shm_frames") > 0, "rx rode the ring");
+        }
+    }
+
+    #[test]
+    fn shm_rendezvous_chunks_a_payload_across_many_ring_laps() {
+        // 100 KB through a 512-byte ring: the DATA frame spans ~200 ring
+        // fills, exercising the resumable mid-frame flush cursor.
+        let (mut a, mut b) = two(shm_cfg());
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
+        let s = a.isend(1, 9, Arc::from(payload.clone()));
+        let r = b.irecv(None, None);
+        let (st, data) = pump(&mut a, &mut b, |a, b| {
+            let _ = a.try_take(&s);
+            match b.try_take(&r) {
+                Some(Ok(OpOutcome::Received(st, d))) => Some((st, d)),
+                Some(other) => panic!("unexpected outcome {other:?}"),
+                None => None,
+            }
+        });
+        assert_eq!(st.len, payload.len());
+        assert_eq!(&data[..], &payload[..]);
+        #[cfg(feature = "obs-enabled")]
+        {
+            assert_eq!(a.obs().snapshot().counter("wire.rndv_tx"), 1);
+            assert_eq!(
+                a.obs().snapshot().counter("wire.eager_alloc"),
+                0,
+                "DATA body stays shared, never staged"
+            );
+        }
+    }
+
+    #[test]
+    fn shm_forced_fallback_degrades_to_the_socket_and_counts_once() {
+        let cfg = WireConfig {
+            shm_force_fallback: true,
+            ..shm_cfg()
+        };
+        let (mut a, mut b) = two(cfg);
+        let s = a.isend(1, 4, Arc::from(vec![9u8; 32]));
+        let r = b.irecv(Some(0), Some(4));
+        let out = pump(&mut a, &mut b, |a, b| {
+            let _ = a.try_take(&s);
+            b.try_take(&r)
+        });
+        assert!(matches!(out, Ok(OpOutcome::Received(st, _)) if st.len == 32));
+        #[cfg(feature = "obs-enabled")]
+        {
+            let snap = a.obs().snapshot();
+            assert_eq!(snap.counter("wire.shm_fallback"), 1, "one note per peer");
+            assert_eq!(snap.counter("wire.shm_frames"), 0, "ring never used");
+        }
+    }
+
+    #[test]
+    fn shm_world_survives_bidirectional_traffic_at_three_ranks() {
+        let mut world = loopback_configured(3, shm_cfg());
+        let mut reqs = Vec::new();
+        for src in 0..3 {
+            for dst in 0..3 {
+                if src == dst {
+                    continue;
+                }
+                let body: Arc<[u8]> = Arc::from(vec![(src * 3 + dst) as u8; 200]);
+                let s = world[src].isend(dst, 1, body);
+                let r = world[dst].irecv(Some(src), Some(1));
+                reqs.push((src, s, dst, r));
+            }
+        }
+        for _ in 0..10_000 {
+            for w in world.iter_mut() {
+                w.progress();
+            }
+            reqs.retain(|(src, s, dst, r)| {
+                let _ = world[*src].try_take(s);
+                match world[*dst].try_take(r) {
+                    Some(Ok(OpOutcome::Received(st, d))) => {
+                        assert_eq!(st.len, 200);
+                        assert_eq!(d[0], (src * 3 + dst) as u8);
+                        false
+                    }
+                    Some(other) => panic!("unexpected outcome {other:?}"),
+                    None => true,
+                }
+            });
+            if reqs.is_empty() {
+                return;
+            }
+        }
+        panic!("3-rank shm world did not drain");
     }
 }

@@ -29,17 +29,41 @@
 //!   order *across* links is unconstrained, which is precisely the
 //!   nondeterminism the model fabric explores.
 //!
+//! # Data-plane economics
+//!
+//! The socket fabric holds queued frames as a list of `(header, body)`
+//! pairs rather than one flat byte buffer: a body queued through
+//! [`queue_shared`] stays the engine's `Arc<[u8]>` until its bytes hit
+//! the socket (one `write_vectored` syscall per batch, no staging copy)
+//! or the shared-memory ring (one copy, straight into the slot). Inbound
+//! bodies are staged in buffers leased from the [`crate::regpool`] pool
+//! and handed back by the engine via [`recycle`] after delivery, so the
+//! steady-state receive path performs no per-message allocation either.
+//!
+//! When a link has a shared-memory sibling ([`crate::shm::ShmLink`],
+//! negotiated at bootstrap behind `WIRE_SHM=1`), *all* post-bootstrap
+//! frames for that peer traverse the ring — never the socket — so
+//! per-link FIFO holds trivially. The socket stays open for peer-death
+//! detection (EOF) and the park/doorbell nudge, which are the only bytes
+//! it carries once the segment is mapped.
+//!
 //! [`queue`]: FrameFabric::queue
+//! [`queue_shared`]: FrameFabric::queue_shared
+//! [`recycle`]: FrameFabric::recycle
 //! [`flushed`]: FrameFabric::flushed
 //! [`flush`]: FrameFabric::flush
 //! [`recv`]: FrameFabric::recv
 //! [`alive`]: FrameFabric::alive
 
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::sync::Arc;
 
-use crate::proto::{Header, HEADER_LEN};
+use crate::proto::{FrameKind, Header, HEADER_LEN};
+use crate::regpool::RegPool;
+use crate::shm::ShmLink;
 
 /// What one [`FrameFabric::flush`] / [`FrameFabric::recv`] call did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -70,6 +94,14 @@ pub trait FrameFabric: Send + 'static {
     /// first for protocol decisions.
     fn queue(&mut self, peer: usize, hdr: &Header, body: &[u8]) -> u64;
 
+    /// Like [`Self::queue`], for a body the caller already holds shared:
+    /// a fabric that can, retains the `Arc` instead of copying. The
+    /// default just copies through `queue` — correct for fabrics that do
+    /// not care about allocation (the model fabric).
+    fn queue_shared(&mut self, peer: usize, hdr: &Header, body: &Arc<[u8]>) -> u64 {
+        self.queue(peer, hdr, body)
+    }
+
     /// Cumulative bytes ever flushed on the link to `peer`.
     fn flushed(&self, peer: usize) -> u64;
 
@@ -80,6 +112,14 @@ pub trait FrameFabric: Send + 'static {
     /// Pull every complete frame that has arrived from `peer`, appending
     /// to `out` in arrival order.
     fn recv(&mut self, peer: usize, out: &mut Vec<(Header, Vec<u8>)>) -> LinkPoll;
+
+    /// Hand a delivered frame body back for reuse. Default: drop it —
+    /// only fabrics that lease staging buffers care.
+    fn recycle(&mut self, _body: Vec<u8>) {}
+
+    /// Register the fabric's own counters. Called once by the engine at
+    /// construction; the default registers nothing.
+    fn register_obs(&mut self, _registry: &obs::Registry) {}
 }
 
 /// Either socket flavour, nonblocking after bootstrap.
@@ -110,6 +150,13 @@ impl Stream {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write_vectored(bufs),
+            Stream::Tcp(s) => s.write_vectored(bufs),
+        }
+    }
+
     pub(crate) fn write_all_blocking(&mut self, buf: &[u8]) -> std::io::Result<()> {
         match self {
             Stream::Uds(s) => s.write_all(buf),
@@ -137,21 +184,64 @@ impl From<TcpStream> for Stream {
     }
 }
 
-/// One connected link: socket plus staging buffers and flush bookkeeping.
+/// A queued frame body: shared from the engine (no copy until the wire)
+/// or owned (copied at queue time — the allocation the counters watch).
+enum Body {
+    Shared(Arc<[u8]>),
+    Owned(Vec<u8>),
+}
+
+impl Body {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Shared(b) => b,
+            Body::Owned(b) => b,
+        }
+    }
+}
+
+/// One queued frame: encoded header + body, flushed from the front with
+/// a byte cursor held by the link.
+struct OutFrame {
+    hdr: [u8; HEADER_LEN],
+    body: Body,
+}
+
+impl OutFrame {
+    fn wire_len(&self) -> usize {
+        HEADER_LEN + self.body.as_slice().len()
+    }
+}
+
+/// How many frames one `write_vectored` batch may carry (two slices per
+/// frame). Enough to amortise the syscall; small enough to keep the
+/// slice array on a sane footing.
+const MAX_WRITEV_FRAMES: usize = 16;
+
+/// One connected link: socket plus staging state and flush bookkeeping.
 struct SocketLink {
     stream: Stream,
     alive: bool,
-    /// Unparsed inbound bytes (`in_consumed` already parsed, compacted
-    /// periodically).
+    /// Unparsed inbound *data-plane* bytes (`in_consumed` already parsed,
+    /// compacted periodically). Socket bytes for a plain link; ring bytes
+    /// for an shm link.
     inbuf: Vec<u8>,
     in_consumed: usize,
-    /// Outbound bytes not yet written (`out_flushed` already written,
-    /// compacted periodically).
-    outbuf: Vec<u8>,
-    out_flushed: usize,
+    /// Unparsed inbound *socket* bytes for an shm link (doorbells only).
+    /// Kept apart from `inbuf` so a nudge can never interleave into the
+    /// middle of a partially-assembled ring frame.
+    oobbuf: Vec<u8>,
+    oob_consumed: usize,
+    /// Queued frames not yet fully flushed; `out_off` is how many bytes
+    /// of the front frame already went out.
+    out: VecDeque<OutFrame>,
+    out_off: usize,
     /// Cumulative bytes ever queued / ever flushed on this link.
     queued_total: u64,
     flushed_total: u64,
+    /// The shared-memory sibling, when bootstrap negotiated one. All
+    /// data-plane frames go through it; the socket keeps EOF + doorbell.
+    shm: Option<ShmLink>,
 }
 
 impl SocketLink {
@@ -161,17 +251,73 @@ impl SocketLink {
             alive: true,
             inbuf: Vec::new(),
             in_consumed: 0,
-            outbuf: Vec::new(),
-            out_flushed: 0,
+            oobbuf: Vec::new(),
+            oob_consumed: 0,
+            out: VecDeque::new(),
+            out_off: 0,
             queued_total: 0,
             flushed_total: 0,
+            shm: None,
         }
     }
 }
 
-/// The real fabric: one nonblocking stream socket per peer.
+/// Parse complete frames out of a staging buffer, leasing each non-empty
+/// body from the pool. The header is peer-controlled input: a decode
+/// failure returns `true` (dead link), never a panic. Returns via
+/// `res`/`out`; frames parsed are `out.len()`'s growth.
+fn parse_frames(
+    buf: &mut Vec<u8>,
+    consumed: &mut usize,
+    pool: &RegPool,
+    out: &mut Vec<(Header, Vec<u8>)>,
+    res: &mut LinkPoll,
+) -> bool {
+    loop {
+        let avail = &buf[*consumed..];
+        if avail.len() < HEADER_LEN {
+            break;
+        }
+        let hdr = match Header::decode_slice(avail) {
+            Ok(h) => h,
+            Err(_) => return true,
+        };
+        let body_len = hdr.body_len();
+        if avail.len() < HEADER_LEN + body_len {
+            break; // partial frame; wait for more bytes
+        }
+        let body = if body_len == 0 {
+            Vec::new()
+        } else {
+            let mut b = pool.lease(body_len);
+            b.extend_from_slice(&avail[HEADER_LEN..HEADER_LEN + body_len]);
+            b
+        };
+        *consumed += HEADER_LEN + body_len;
+        // Compact when more than half the buffer is parsed-out.
+        if *consumed > buf.len() / 2 {
+            buf.drain(..*consumed);
+            *consumed = 0;
+        }
+        out.push((hdr, body));
+        res.moved = true;
+    }
+    false
+}
+
+/// The real fabric: one nonblocking stream socket per peer, optionally
+/// doubled by a shared-memory ring pair per link.
 pub struct SocketFabric {
     links: Vec<Option<SocketLink>>,
+    pool: RegPool,
+    c_writev_frames: obs::Counter,
+    c_eager_alloc: obs::Counter,
+    c_shm_frames: obs::Counter,
+    c_shm_fallback: obs::Counter,
+    c_shm_doorbell: obs::Counter,
+    /// Fallbacks noted during bootstrap, before the engine existed to
+    /// register counters; flushed into `c_shm_fallback` at registration.
+    staged_fallbacks: u64,
 }
 
 impl SocketFabric {
@@ -181,7 +327,37 @@ impl SocketFabric {
                 .into_iter()
                 .map(|s| s.map(SocketLink::new))
                 .collect(),
+            pool: RegPool::default(),
+            c_writev_frames: obs::Counter::default(),
+            c_eager_alloc: obs::Counter::default(),
+            c_shm_frames: obs::Counter::default(),
+            c_shm_fallback: obs::Counter::default(),
+            c_shm_doorbell: obs::Counter::default(),
+            staged_fallbacks: 0,
         }
+    }
+
+    /// Attach a negotiated shared-memory ring pair to the link toward
+    /// `peer` (bootstrap only, before the engine starts polling).
+    pub(crate) fn attach_shm(&mut self, peer: usize, shm: ShmLink) {
+        if let Some(Some(link)) = self.links.get_mut(peer) {
+            link.shm = Some(shm);
+        }
+    }
+
+    /// Record that shm setup toward `peer` fell back to the socket data
+    /// path (once per peer; the caller prints the stderr note with its
+    /// reason). Staged until `register_obs` when it happens at bootstrap.
+    pub(crate) fn note_shm_fallback(&mut self) {
+        self.staged_fallbacks += 1;
+        // If the registry is already attached this lands immediately;
+        // the staged count is re-added at registration otherwise.
+        self.c_shm_fallback.inc();
+    }
+
+    /// Does the link toward `peer` run the shared-memory data path?
+    pub fn shm_active(&self, peer: usize) -> bool {
+        self.links[peer].as_ref().is_some_and(|l| l.shm.is_some())
     }
 }
 
@@ -199,8 +375,33 @@ impl FrameFabric for SocketFabric {
         let Some(link) = self.links[peer].as_mut() else {
             return 0;
         };
-        link.outbuf.extend_from_slice(&hdr.encode());
-        link.outbuf.extend_from_slice(body);
+        let owned = if body.is_empty() {
+            Vec::new()
+        } else {
+            // The allocation `queue_shared` exists to avoid: a
+            // per-message staging copy on the send path.
+            if matches!(hdr.kind, FrameKind::Eager | FrameKind::Data) {
+                self.c_eager_alloc.inc();
+            }
+            body.to_vec()
+        };
+        link.out.push_back(OutFrame {
+            hdr: hdr.encode(),
+            body: Body::Owned(owned),
+        });
+        link.queued_total += (HEADER_LEN + body.len()) as u64;
+        link.queued_total
+    }
+
+    fn queue_shared(&mut self, peer: usize, hdr: &Header, body: &Arc<[u8]>) -> u64 {
+        debug_assert_eq!(hdr.body_len(), body.len());
+        let Some(link) = self.links[peer].as_mut() else {
+            return 0;
+        };
+        link.out.push_back(OutFrame {
+            hdr: hdr.encode(),
+            body: Body::Shared(Arc::clone(body)),
+        });
         link.queued_total += (HEADER_LEN + body.len()) as u64;
         link.queued_total
     }
@@ -217,30 +418,10 @@ impl FrameFabric for SocketFabric {
         if !link.alive {
             return res;
         }
-        while link.out_flushed < link.outbuf.len() {
-            match link.stream.write(&link.outbuf[link.out_flushed..]) {
-                Ok(0) => {
-                    res.died = true;
-                    break;
-                }
-                Ok(n) => {
-                    link.out_flushed += n;
-                    link.flushed_total += n as u64;
-                    res.bytes += n as u64;
-                    res.moved = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    res.died = true;
-                    break;
-                }
-            }
-        }
-        // Compact once everything queued so far went out.
-        if link.out_flushed == link.outbuf.len() && !link.outbuf.is_empty() {
-            link.outbuf.clear();
-            link.out_flushed = 0;
+        if link.shm.is_some() {
+            flush_shm(link, &self.c_shm_frames, &self.c_shm_doorbell, &mut res);
+        } else {
+            flush_socket(link, &self.c_writev_frames, &mut res);
         }
         if res.died {
             link.alive = false;
@@ -256,58 +437,362 @@ impl FrameFabric for SocketFabric {
         if !link.alive {
             return res;
         }
-        let mut scratch = [0u8; 64 * 1024];
-        loop {
-            match link.stream.read(&mut scratch) {
-                Ok(0) => {
-                    res.died = true;
-                    break;
-                }
-                Ok(n) => {
-                    link.inbuf.extend_from_slice(&scratch[..n]);
-                    res.bytes += n as u64;
-                    res.moved = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    res.died = true;
-                    break;
-                }
+        if link.shm.is_some() {
+            recv_shm(link, &self.pool, &self.c_shm_frames, out, &mut res);
+        } else {
+            // Parse even when the read ended in EOF/error: complete
+            // frames that arrived ahead of a clean shutdown must still
+            // be delivered before the link is reaped.
+            read_socket(link, &mut res);
+            if parse_frames(
+                &mut link.inbuf,
+                &mut link.in_consumed,
+                &self.pool,
+                out,
+                &mut res,
+            ) {
+                res.died = true;
             }
-        }
-        // Parse complete frames out of the staging buffer. The header is
-        // peer-controlled input: a decode failure is a dead link, never a
-        // panic.
-        loop {
-            let avail = &link.inbuf[link.in_consumed..];
-            if avail.len() < HEADER_LEN {
-                break;
-            }
-            let hdr = match Header::decode_slice(avail) {
-                Ok(h) => h,
-                Err(_) => {
-                    res.died = true;
-                    break;
-                }
-            };
-            let body_len = hdr.body_len();
-            if avail.len() < HEADER_LEN + body_len {
-                break; // partial frame; wait for more bytes
-            }
-            let body: Vec<u8> = avail[HEADER_LEN..HEADER_LEN + body_len].to_vec();
-            link.in_consumed += HEADER_LEN + body_len;
-            // Compact when more than half the buffer is parsed-out.
-            if link.in_consumed > link.inbuf.len() / 2 {
-                link.inbuf.drain(..link.in_consumed);
-                link.in_consumed = 0;
-            }
-            out.push((hdr, body));
-            res.moved = true;
         }
         if res.died {
             link.alive = false;
         }
         res
+    }
+
+    fn recycle(&mut self, body: Vec<u8>) {
+        if body.capacity() > 0 {
+            self.pool.recycle(body);
+        }
+    }
+
+    fn register_obs(&mut self, registry: &obs::Registry) {
+        self.pool.register_obs(registry);
+        self.c_writev_frames = registry.counter("wire.writev_frames");
+        self.c_eager_alloc = registry.counter("wire.eager_alloc");
+        self.c_shm_frames = registry.counter("wire.shm_frames");
+        self.c_shm_fallback = registry.counter("wire.shm_fallback");
+        self.c_shm_doorbell = registry.counter("wire.shm_doorbell");
+        self.c_shm_fallback.add(self.staged_fallbacks);
+    }
+}
+
+/// Drain the socket into the link's staging buffer (`inbuf` for a plain
+/// link; the caller points shm links at `oobbuf` via `read_socket_oob`).
+fn read_socket(link: &mut SocketLink, res: &mut LinkPoll) {
+    let mut scratch = [0u8; 64 * 1024];
+    loop {
+        match link.stream.read(&mut scratch) {
+            Ok(0) => {
+                res.died = true;
+                break;
+            }
+            Ok(n) => {
+                link.inbuf.extend_from_slice(&scratch[..n]);
+                res.bytes += n as u64;
+                res.moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                res.died = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Vectored socket flush: up to [`MAX_WRITEV_FRAMES`] frames per
+/// syscall, header and body as separate slices — no staging copy ever.
+fn flush_socket(link: &mut SocketLink, c_writev_frames: &obs::Counter, res: &mut LinkPoll) {
+    loop {
+        if link.out.is_empty() {
+            return;
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(2 * MAX_WRITEV_FRAMES);
+        let mut skip = link.out_off;
+        for f in link.out.iter().take(MAX_WRITEV_FRAMES) {
+            let body = f.body.as_slice();
+            if skip < HEADER_LEN {
+                slices.push(IoSlice::new(&f.hdr[skip..]));
+                if !body.is_empty() {
+                    slices.push(IoSlice::new(body));
+                }
+            } else if skip - HEADER_LEN < body.len() {
+                slices.push(IoSlice::new(&body[skip - HEADER_LEN..]));
+            }
+            skip = 0; // only the front frame is partially flushed
+        }
+        match link.stream.write_vectored(&slices) {
+            Ok(0) => {
+                res.died = true;
+                return;
+            }
+            Ok(mut n) => {
+                link.flushed_total += n as u64;
+                res.bytes += n as u64;
+                res.moved = true;
+                while n > 0 {
+                    let Some(front) = link.out.front() else { break };
+                    let remaining = front.wire_len() - link.out_off;
+                    if n >= remaining {
+                        n -= remaining;
+                        link.out.pop_front();
+                        link.out_off = 0;
+                        c_writev_frames.inc();
+                    } else {
+                        link.out_off += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                res.died = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Shared-memory flush: copy queued frames straight into ring slots, one
+/// chunk per slot, resumable mid-frame when the ring fills. After any
+/// publish, ring the UDS doorbell if the consumer announced it may park.
+fn flush_shm(
+    link: &mut SocketLink,
+    c_shm_frames: &obs::Counter,
+    c_shm_doorbell: &obs::Counter,
+    res: &mut LinkPoll,
+) {
+    let SocketLink {
+        stream,
+        out,
+        out_off,
+        flushed_total,
+        shm,
+        ..
+    } = link;
+    let Some(shm) = shm.as_mut() else { return };
+    let mut pushed_any = false;
+    'frames: while let Some(front) = out.front() {
+        let body = front.body.as_slice();
+        let total = HEADER_LEN + body.len();
+        while *out_off < total {
+            let start = *out_off;
+            let Some(end) = shm.tx.try_push_with(|w| {
+                let mut off = start;
+                if off < HEADER_LEN {
+                    off += w.put(&front.hdr[off..]);
+                }
+                if off >= HEADER_LEN {
+                    off += w.put(&body[off - HEADER_LEN..]);
+                }
+                off
+            }) else {
+                break 'frames; // ring full; resume at out_off next poll
+            };
+            let wrote = (end - start) as u64;
+            *out_off = end;
+            *flushed_total += wrote;
+            res.bytes += wrote;
+            res.moved = true;
+            pushed_any = true;
+        }
+        out.pop_front();
+        *out_off = 0;
+        c_shm_frames.inc();
+    }
+    if pushed_any && shm.tx.doorbell_needed() {
+        // Best-effort nudge on the socket: the consumer's poll loop (and
+        // its timeout backstop) make a dropped doorbell a latency blip,
+        // never a hang.
+        let bell = Header {
+            kind: FrameKind::Doorbell,
+            src: 0,
+            tag: 0,
+            xid: 0,
+            len: 0,
+        };
+        let _ = stream.write(&bell.encode());
+        c_shm_doorbell.inc();
+    }
+}
+
+/// Shared-memory receive: drain ring chunks into the data staging
+/// buffer, drain the socket into the out-of-band buffer (doorbells; EOF
+/// is how a dead peer is noticed), then parse both.
+fn recv_shm(
+    link: &mut SocketLink,
+    pool: &RegPool,
+    c_shm_frames: &obs::Counter,
+    out: &mut Vec<(Header, Vec<u8>)>,
+    res: &mut LinkPoll,
+) {
+    let SocketLink {
+        stream,
+        inbuf,
+        in_consumed,
+        oobbuf,
+        oob_consumed,
+        shm,
+        ..
+    } = link;
+    let Some(shm) = shm.as_mut() else { return };
+    // The socket carries only bootstrap leftovers and doorbells now, but
+    // EOF here is the peer-death signal the ring cannot provide. It must
+    // be drained BEFORE the ring: a peer's final pushes happen-before its
+    // socket close, so ring chunks published ahead of a clean shutdown
+    // are guaranteed visible to the drain below once EOF has been read.
+    // (The opposite order loses a frame pushed-then-closed inside the
+    // window between the two drains.) Death is noted, not returned:
+    // chunks already in the ring are delivered first.
+    let mut scratch = [0u8; 1024];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                res.died = true;
+                break;
+            }
+            Ok(n) => {
+                oobbuf.extend_from_slice(&scratch[..n]);
+                res.bytes += n as u64;
+                res.moved = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                res.died = true;
+                break;
+            }
+        }
+    }
+    loop {
+        match shm.rx.try_pop(inbuf) {
+            shmring::Pop::Got(n) => {
+                res.bytes += n as u64;
+                res.moved = true;
+            }
+            shmring::Pop::Empty => break,
+            shmring::Pop::Corrupt => {
+                res.died = true;
+                return;
+            }
+        }
+    }
+    if parse_frames(oobbuf, oob_consumed, pool, out, res) {
+        res.died = true;
+        return;
+    }
+    let before = out.len();
+    if parse_frames(inbuf, in_consumed, pool, out, res) {
+        res.died = true;
+        return;
+    }
+    c_shm_frames.add((out.len() - before) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two fabrics joined by one socketpair (A sees the peer as rank 1,
+    /// B as rank 0), with an optional in-process shm segment attached.
+    fn joined(shm: bool) -> (SocketFabric, SocketFabric) {
+        let (sa, sb) = UnixStream::pair().expect("socketpair");
+        sa.set_nonblocking(true).expect("nonblocking");
+        sb.set_nonblocking(true).expect("nonblocking");
+        let mut a = SocketFabric::new(vec![None, Some(Stream::from(sa))]);
+        let mut b = SocketFabric::new(vec![Some(Stream::from(sb)), None]);
+        if shm {
+            let (la, lb) = crate::shm::loopback_pair(4, 128).expect("segment");
+            a.attach_shm(1, la);
+            b.attach_shm(0, lb);
+        }
+        (a, b)
+    }
+
+    fn eager(tag: u32, body: &[u8]) -> Header {
+        Header {
+            kind: FrameKind::Eager,
+            src: 0,
+            tag,
+            xid: 0,
+            len: body.len() as u64,
+        }
+    }
+
+    #[test]
+    fn doorbell_rings_once_per_park_and_rides_the_socket() {
+        let (mut a, mut b) = joined(true);
+        let registry = obs::Registry::default();
+        a.register_obs(&registry);
+        // The consumer announces it may park; the empty ring permits it.
+        let b_rx = &mut b.links[0]
+            .as_mut()
+            .expect("link")
+            .shm
+            .as_mut()
+            .expect("shm")
+            .rx;
+        assert!(b_rx.prepare_park());
+        a.queue(1, &eager(7, &[1, 2, 3]), &[1, 2, 3]);
+        a.flush(1);
+        let mut out = Vec::new();
+        b.recv(0, &mut out);
+        // Out-of-band socket bytes parse first: the doorbell precedes the
+        // frame it announces.
+        let kinds: Vec<FrameKind> = out.iter().map(|(h, _)| h.kind).collect();
+        assert_eq!(kinds, vec![FrameKind::Doorbell, FrameKind::Eager]);
+        assert_eq!(out[1].1, vec![1, 2, 3]);
+        // An awake consumer gets no further nudges.
+        a.queue(1, &eager(8, &[4]), &[4]);
+        a.flush(1);
+        out.clear();
+        b.recv(0, &mut out);
+        let kinds: Vec<FrameKind> = out.iter().map(|(h, _)| h.kind).collect();
+        assert_eq!(kinds, vec![FrameKind::Eager]);
+        #[cfg(feature = "obs-enabled")]
+        {
+            let snap = registry.snapshot();
+            assert_eq!(snap.counter("wire.shm_doorbell"), 1);
+            assert_eq!(snap.counter("wire.shm_frames"), 2);
+        }
+    }
+
+    #[test]
+    fn shm_flush_resumes_a_frame_wider_than_the_ring() {
+        // 600-byte body through a 4x128 ring: the frame cannot fit in one
+        // ring's worth of slots, so flush must park mid-frame and resume.
+        let (mut a, mut b) = joined(true);
+        let body: Vec<u8> = (0..600u32).map(|i| i as u8).collect();
+        a.queue(1, &eager(3, &body), &body);
+        let mut out = Vec::new();
+        for _ in 0..64 {
+            a.flush(1);
+            b.recv(0, &mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out.len(), 1, "frame reassembled across ring laps");
+        assert_eq!(out[0].0.kind, FrameKind::Eager);
+        assert_eq!(out[0].1, body);
+    }
+
+    #[test]
+    fn writev_flush_counts_whole_frames() {
+        let (mut a, mut b) = joined(false);
+        let registry = obs::Registry::default();
+        a.register_obs(&registry);
+        for t in 0..3 {
+            a.queue(1, &eager(t, &[t as u8]), &[t as u8]);
+        }
+        a.flush(1);
+        let mut out = Vec::new();
+        b.recv(0, &mut out);
+        assert_eq!(out.len(), 3);
+        #[cfg(feature = "obs-enabled")]
+        assert_eq!(registry.snapshot().counter("wire.writev_frames"), 3);
     }
 }

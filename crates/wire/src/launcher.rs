@@ -2,8 +2,9 @@
 //! `WIRE_*` environment, babysit them (prefix their stderr, kill the whole
 //! job on timeout), reap them, and report per-rank outcomes.
 //!
-//! Usage: `offload-run -n 4 [--timeout 60] [--tcp] [--stats-interval <ms>]
-//! [--stats-out <path>] [--stall-ms <ms>] <program> [args...]`
+//! Usage: `offload-run -n 4 [--timeout 60] [--tcp] [--shm]
+//! [--stats-interval <ms>] [--stats-out <path>] [--stall-ms <ms>]
+//! <program> [args...]`
 //!
 //! With `--stats-interval` (or `--stats-out`) the launcher also runs the
 //! cluster observability plane ([`crate::stats`]): it binds `stats.sock`
@@ -32,6 +33,8 @@ pub struct LaunchSpec {
     pub args: Vec<String>,
     pub timeout: Duration,
     pub tcp: bool,
+    /// Negotiate shared-memory segments between ranks (`WIRE_SHM=1`).
+    pub shm: bool,
     /// Stats emission period; `Some` turns the observability plane on.
     pub stats_interval: Option<Duration>,
     /// Where to write the final JSON cluster report.
@@ -83,6 +86,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
     let mut n: Option<usize> = None;
     let mut timeout = Duration::from_secs(120);
     let mut tcp = false;
+    let mut shm = false;
     let mut stats_interval = None;
     let mut stats_out = None;
     let mut stall_ms = None;
@@ -104,6 +108,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
                 timeout = Duration::from_secs(secs);
             }
             "--tcp" => tcp = true,
+            "--shm" => shm = true,
             "--stats-interval" => {
                 let v = it.next().ok_or("--stats-interval needs milliseconds")?;
                 let ms: u64 = v.parse().map_err(|_| format!("bad interval {v:?}"))?;
@@ -133,6 +138,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
         args: rest,
         timeout,
         tcp,
+        shm,
         stats_interval,
         stats_out,
         stall_ms,
@@ -140,7 +146,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<LaunchSpec,
 }
 
 fn usage() -> String {
-    "usage: offload-run -n <ranks> [--timeout <secs>] [--tcp] \
+    "usage: offload-run -n <ranks> [--timeout <secs>] [--tcp] [--shm] \
      [--stats-interval <ms>] [--stats-out <path>] [--stall-ms <ms>] \
      <program> [args...]"
         .into()
@@ -205,6 +211,9 @@ pub fn launch(spec: &LaunchSpec) -> i32 {
             .stderr(Stdio::piped());
         if spec.tcp {
             cmd.env(crate::ENV_TCP, "1");
+        }
+        if spec.shm {
+            cmd.env(crate::ENV_SHM, "1");
         }
         if let Some((_, sock)) = &collector {
             cmd.env(crate::ENV_STATS_SOCK, sock)
@@ -394,7 +403,18 @@ mod tests {
         assert_eq!(spec.n, 4);
         assert_eq!(spec.timeout, Duration::from_secs(60));
         assert!(spec.tcp);
+        assert!(!spec.shm);
         assert_eq!(spec.args, vec!["--flag", "x"]);
+    }
+
+    #[test]
+    fn parses_shm_flag() {
+        let spec = parse_args(["-n", "2", "--shm", "prog"].map(String::from)).expect("parses");
+        assert!(spec.shm);
+        // After the program name, --shm belongs to the program.
+        let spec = parse_args(["-n", "2", "prog", "--shm"].map(String::from)).expect("parses");
+        assert!(!spec.shm);
+        assert_eq!(spec.args, vec!["--shm"]);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! * [`nbcrun`] — one nonblocking collective as a round schedule driven
 //!   over any [`rtmpi::Transport`] (shared by the live engine, the victim
 //!   binaries, and the protocol model checker).
+//! * [`shm`] — the shared-memory data plane (`WIRE_SHM=1`): per-pair
+//!   memfd segments passed over the UDS handshake, SPSC rings running the
+//!   model-checked `shmring` protocol, zero syscalls and zero per-message
+//!   allocation on the eager path (DESIGN.md §16).
+//! * [`regpool`] — the registered staging-buffer pool all transports
+//!   lease inbound frame bodies from (lease/recycle, never blocks).
 //! * [`bootstrap`] — process worlds from `WIRE_RANK`/`WIRE_SIZE`/`WIRE_DIR`
 //!   env (rank-0 mesh exchange), and in-process loopback worlds for tests.
 //! * [`launcher`] — what the `offload-run` binary does: spawn `-n` ranks,
@@ -37,6 +43,9 @@
 //! * `WIRE_EAGER_MAX` — eager/rendezvous crossover in bytes (default 4096).
 //! * `WIRE_TIMEOUT_MS` — per-operation pending timeout (default 30000).
 //! * `WIRE_TCP=1` — TCP over loopback instead of Unix-domain sockets.
+//! * `WIRE_SHM=1` — shared-memory data plane between peers (UDS meshes
+//!   only; degrades per-pair to the socket path when unavailable).
+//!   `WIRE_SHM_SLOTS` / `WIRE_SHM_SLOT_BYTES` tune the ring geometry.
 //! * `WIRE_STATS_SOCK` / `WIRE_STATS_INTERVAL_MS` / `WIRE_STALL_MS` — the
 //!   observability plane: where to ship periodic `Stats` frames, how
 //!   often, and the progress-stall watchdog window (see [`stats`]).
@@ -49,6 +58,8 @@ pub mod faults;
 pub mod launcher;
 pub mod nbcrun;
 pub mod proto;
+pub mod regpool;
+pub mod shm;
 pub mod stats;
 
 pub use bootstrap::{from_env, loopback, loopback_configured};
@@ -67,6 +78,15 @@ pub const ENV_EAGER_MAX: &str = "WIRE_EAGER_MAX";
 pub const ENV_TIMEOUT_MS: &str = "WIRE_TIMEOUT_MS";
 /// Set to `1` to use TCP over 127.0.0.1 instead of Unix-domain sockets.
 pub const ENV_TCP: &str = "WIRE_TCP";
+/// Set to `1` to negotiate the shared-memory data plane per peer pair
+/// (UDS meshes only; every failure degrades gracefully to the socket).
+pub const ENV_SHM: &str = "WIRE_SHM";
+/// Ring slot count override (power of two; default 128).
+pub const ENV_SHM_SLOTS: &str = "WIRE_SHM_SLOTS";
+/// Ring slot payload size override, in bytes (default 16384).
+pub const ENV_SHM_SLOT_BYTES: &str = "WIRE_SHM_SLOT_BYTES";
+/// Set to `1` to force the shm handshake down its fallback path (tests).
+pub const ENV_SHM_FORCE_FALLBACK: &str = "WIRE_SHM_FORCE_FALLBACK";
 /// Path of the launcher's stats-collector Unix socket; when set, the
 /// engine ships periodic `Stats` frames (serialized `obs::Snapshot`s) and
 /// stall events there.

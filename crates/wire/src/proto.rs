@@ -4,7 +4,7 @@
 //! ```text
 //! offset  size  field
 //!      0     1  kind   (0 Hello, 1 Eager, 2 Rts, 3 Cts, 4 Data,
-//!                       5 Stats, 6 Stall)
+//!                       5 Stats, 6 Stall, 7 Shm, 8 Doorbell)
 //!      1     3  (pad, zero)
 //!      4     4  src    (sender rank, u32 LE)
 //!      8     4  tag    (message tag, u32 LE)
@@ -24,6 +24,16 @@
 //! watchdog's evidence in the header: `xid` is how long progress has made
 //! no advancement (milliseconds, saturating) and `tag` is how many
 //! operations were pending at the time.
+//!
+//! `Shm` and `Doorbell` belong to the shared-memory data plane
+//! (`crate::shm`). `Shm` rides only the blocking bootstrap handshake,
+//! never the steady-state mesh: it offers/acknowledges a shared segment,
+//! carrying its geometry in the header (`tag` = offer/ack verdict,
+//! `xid` = slot count, `len` = slot payload bytes) with the memfd
+//! attached out-of-band via `SCM_RIGHTS`. `Doorbell` is the only frame
+//! the socket carries for an shm peer after bootstrap: a bodyless nudge
+//! sent when the producer published into the ring while the consumer had
+//! announced it may park.
 //!
 //! No frame may announce more than [`MAX_FRAME_LEN`] bytes: `decode`
 //! rejects larger `len` values outright, so a hostile or corrupt header
@@ -56,6 +66,11 @@ pub enum FrameKind {
     /// Progress-stall watchdog event (stats socket only); body is the
     /// rank's snapshot at the moment the watchdog fired.
     Stall = 6,
+    /// Shared-memory segment offer/ack during bootstrap (no body; the
+    /// geometry rides in `tag`/`xid`/`len`, the memfd via `SCM_RIGHTS`).
+    Shm = 7,
+    /// Wakeup nudge for a possibly-parked shm consumer (no body).
+    Doorbell = 8,
 }
 
 impl FrameKind {
@@ -68,6 +83,8 @@ impl FrameKind {
             4 => FrameKind::Data,
             5 => FrameKind::Stats,
             6 => FrameKind::Stall,
+            7 => FrameKind::Shm,
+            8 => FrameKind::Doorbell,
             _ => return None,
         })
     }
@@ -133,7 +150,11 @@ impl Header {
             FrameKind::Eager | FrameKind::Data | FrameKind::Stats | FrameKind::Stall => {
                 self.len as usize
             }
-            FrameKind::Hello | FrameKind::Rts | FrameKind::Cts => 0,
+            FrameKind::Hello
+            | FrameKind::Rts
+            | FrameKind::Cts
+            | FrameKind::Shm
+            | FrameKind::Doorbell => 0,
         }
     }
 }
@@ -152,6 +173,8 @@ mod tests {
             FrameKind::Data,
             FrameKind::Stats,
             FrameKind::Stall,
+            FrameKind::Shm,
+            FrameKind::Doorbell,
         ] {
             let h = Header {
                 kind,
@@ -189,6 +212,8 @@ mod tests {
     fn bad_kind_is_rejected() {
         let mut buf = [0u8; HEADER_LEN];
         buf[0] = 9;
+        assert!(Header::decode(&buf).is_err());
+        buf[0] = 10;
         assert!(Header::decode(&buf).is_err());
         buf[0] = 0xff;
         assert!(Header::decode(&buf).is_err());
@@ -243,5 +268,9 @@ mod tests {
         assert_eq!(h.body_len(), 1000, "stats snapshot rides inline");
         h.kind = FrameKind::Stall;
         assert_eq!(h.body_len(), 1000, "stall carries the last snapshot");
+        h.kind = FrameKind::Shm;
+        assert_eq!(h.body_len(), 0, "shm offer carries geometry, no body");
+        h.kind = FrameKind::Doorbell;
+        assert_eq!(h.body_len(), 0, "doorbell is a bodyless nudge");
     }
 }

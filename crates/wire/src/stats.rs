@@ -419,11 +419,19 @@ pub fn render_report(rows: &[RankRow]) -> String {
 }
 
 /// Validate a rendered report: parses, has exactly `ranks` rows covering
-/// ranks `0..ranks`, and every metric named in `positive` is `> 0` on
-/// every rank that exited cleanly (dead ranks are exempt — their last
-/// snapshot legitimately predates the work). Returns the parsed rank
+/// ranks `0..ranks`, every metric named in `positive` is `> 0`, and every
+/// metric named in `zero` is absent or `0`, on every rank that exited
+/// cleanly (dead ranks are exempt — their last snapshot legitimately
+/// predates the work). `zero` is how the shm smoke lane pins
+/// `wire.eager_alloc` to nothing: the counter existing with any value
+/// would mean an eager send staged a heap copy. Returns the parsed rank
 /// count on success. This is what the `stats-check` CI gate runs.
-pub fn validate_report(text: &str, ranks: usize, positive: &[String]) -> Result<usize, String> {
+pub fn validate_report(
+    text: &str,
+    ranks: usize,
+    positive: &[String],
+    zero: &[String],
+) -> Result<usize, String> {
     use obs::chrome::Json;
     let doc = obs::chrome::parse_json(text)?;
     let rows = match doc.get("ranks") {
@@ -452,6 +460,12 @@ pub fn validate_report(text: &str, ranks: usize, positive: &[String]) -> Result<
             let v = metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
             if v <= 0.0 {
                 return Err(format!("rank {rank}: metric {name:?} not positive ({v})"));
+            }
+        }
+        for name in zero {
+            let v = metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+            if v != 0.0 {
+                return Err(format!("rank {rank}: metric {name:?} not zero ({v})"));
             }
         }
     }
@@ -596,12 +610,15 @@ mod tests {
             })
             .collect();
         let text = render_report(&rows);
-        let n = validate_report(&text, 3, &["wire.rndv_handshake_async".into()])
+        let n = validate_report(&text, 3, &["wire.rndv_handshake_async".into()], &[])
             .expect("report validates");
         assert_eq!(n, 3);
         // Wrong rank count and a zero metric both fail.
-        assert!(validate_report(&text, 4, &[]).is_err());
-        assert!(validate_report(&text, 3, &["wire.peer_lost".into()]).is_err());
+        assert!(validate_report(&text, 4, &[], &[]).is_err());
+        assert!(validate_report(&text, 3, &["wire.peer_lost".into()], &[]).is_err());
+        // --zero: an absent metric passes, a live one fails.
+        validate_report(&text, 3, &[], &["wire.peer_lost".into()]).expect("absent is zero");
+        assert!(validate_report(&text, 3, &[], &["wire.rndv_handshake_async".into()]).is_err());
     }
 
     #[test]
@@ -619,14 +636,19 @@ mod tests {
                 dead: true,
                 stats: RankStats {
                     snapshots: 1,
-                    last: Some(snap_with(&[("wire.frames_tx", 0)])),
+                    last: Some(snap_with(&[("wire.frames_tx", 0), ("wire.peer_lost", 7)])),
                     history: SnapshotHistory::default(),
                     stall: None,
                 },
             },
         ];
         let text = render_report(&rows);
-        validate_report(&text, 2, &["wire.frames_tx".into()]).expect("dead rank exempt");
+        validate_report(&text, 2, &["wire.frames_tx".into()], &[]).expect("dead rank exempt");
+        // The dead rank's nonzero wire.peer_lost is exempt from --zero;
+        // the live rank's nonzero wire.frames_tx is not.
+        validate_report(&text, 2, &[], &["wire.peer_lost".into()])
+            .expect("dead rank exempt from zero checks too");
+        assert!(validate_report(&text, 2, &[], &["wire.frames_tx".into()]).is_err());
         // The dead rank's row still carries its evidence.
         assert!(text.contains("\"dead\": true"));
         assert!(text.contains("killed by signal 9"));

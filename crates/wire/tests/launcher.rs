@@ -145,7 +145,7 @@ fn stats_report_marks_sigkilled_rank_dead_with_last_snapshot() {
     let text = std::fs::read_to_string(&report).expect("report written");
     // Structurally valid for 2 ranks (no positive-metric requirements:
     // which metrics moved before the kill is timing-dependent).
-    wire::stats::validate_report(&text, 2, &[]).expect("report validates");
+    wire::stats::validate_report(&text, 2, &[], &[]).expect("report validates");
     let doc = obs::chrome::parse_json(&text).expect("report parses");
     let rows = match doc.get("ranks") {
         Some(obs::chrome::Json::Arr(a)) => a,
@@ -222,7 +222,7 @@ fn stalled_rank_is_flagged_as_straggler_with_evidence() {
         "rank-side watchdog line\nstderr:\n{stderr}"
     );
     let text = std::fs::read_to_string(&report).expect("report written");
-    wire::stats::validate_report(&text, 2, &[]).expect("report validates");
+    wire::stats::validate_report(&text, 2, &[], &[]).expect("report validates");
     let doc = obs::chrome::parse_json(&text).expect("report parses");
     let rows = match doc.get("ranks") {
         Some(obs::chrome::Json::Arr(a)) => a,
