@@ -31,7 +31,8 @@ bench_panels() {
   run cargo build --release -p wire --bins
   run cargo build --release --example halo_exchange --example qcd_solver \
     --example fft_pipeline
-  for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib shm_calib; do
+  for p in fig02_overlap_p2p fig04_isend_issue fig06_mt_latency wire_calib shm_calib \
+           fig09_qcd_scaling fig13_fft_scaling fig14_cnn_scaling stats_relay; do
     echo
     echo "== bench panel $p =="
     env BENCH_SNAPSHOT_DIR="$out" BENCH_QUICK=1 BENCH_REPEATS=3 \
@@ -129,6 +130,39 @@ timeout 60 env WIRE_EAGER_MAX=4096 \
 target/release/stats-check /tmp/stats.json --ranks 4 \
   --positive wire.rndv_handshake_async \
   || { echo "stats plane lane FAILED (report validation)"; exit 1; }
+
+# Scale-out observability smoke: a 64-rank world packed 16 ranks/process
+# (4 OS processes) with the stats plane in relay-tree mode (arity 8 →
+# heap height 3, collector depth 2). stats-check gates on the relay
+# section covering all 64 ranks at depth ≥ 2 with in-flight merges
+# actually recorded (obs.relay_merged) — proving the collector heard the
+# whole world through O(k) connections, not 64 stars.
+echo
+echo "== relay tree smoke (64 ranks packed 16/process, depth-2 gated) =="
+timeout 120 target/release/offload-run -n 64 --packed 16 --relay 8 \
+  --timeout 90 --stats-interval 50 --stats-out /tmp/relay_stats.json \
+  packed-world \
+  || { echo "relay tree lane FAILED (launch)"; exit 1; }
+target/release/stats-check /tmp/relay_stats.json --ranks 64 \
+  --positive obs.relay_merged --relay-depth 2 \
+  || { echo "relay tree lane FAILED (report validation)"; exit 1; }
+
+# Black-box postmortem smoke: SIGKILL a depth-1 relay rank mid-run
+# (unpacked — every rank its own process, so only the victim dies) and
+# assert the launcher (a) reports the job failed, and (b) recovered the
+# victim's flight-recorder timeline from its persisted .obb file into the
+# report: ≥ 32 events with strictly increasing sequence numbers.
+echo
+echo "== black-box postmortem smoke (SIGKILL rank 1, dump recovered) =="
+if timeout 120 target/release/offload-run -n 12 --relay 3 \
+  --timeout 90 --stats-interval 50 --stats-out /tmp/kill_stats.json \
+  --kill-rank 1 --kill-after-ms 600 packed-world; then
+  echo "black-box lane FAILED (launcher reported success despite SIGKILL)"
+  exit 1
+fi
+target/release/stats-check /tmp/kill_stats.json --ranks 12 \
+  --blackbox-dead 32 \
+  || { echo "black-box lane FAILED (postmortem validation)"; exit 1; }
 
 # NBC wire smoke: the full collective surface (barrier/bcast/reduce/
 # allreduce/allgather/alltoall/gather/scatter) as round schedules over

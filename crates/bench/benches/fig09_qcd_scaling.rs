@@ -2,12 +2,21 @@
 //! model on 32³×256 and 48³×512 lattices under baseline / iprobe /
 //! comm-self / offload; (b) NERSC Edison model on 48³×512 with the Cray
 //! core-specialization analogue added.
+//!
+//! Under `BENCH_QUICK=1` only the 32³×256 Xeon sweep runs, trimmed to the
+//! snapshotted node counts — the pinned shape the perf-trajectory gate
+//! re-measures. The DES is deterministic, so the TFLOP/s series repeat
+//! exactly (noise 0): offload gates `Higher` (the async-progress win must
+//! not erode), the baseline is recorded as `info` shape.
 
 use approaches::Approach;
-use bench::emit;
+use bench::{benchjson, emit, Direction, PanelSnapshot};
 use harness::Table;
 use qcd::{lattice_32x256, lattice_48x512, run_dslash, Dims, DslashConfig};
 use simnet::MachineProfile;
+
+/// Node counts whose cells land in the trajectory snapshot.
+const SNAP_NODES: [usize; 2] = [8, 64];
 
 fn sweep(
     name: &str,
@@ -16,10 +25,12 @@ fn sweep(
     lattice: Dims,
     nodes_list: &[usize],
     approaches: &[Approach],
+    snap: Option<&mut PanelSnapshot>,
 ) {
     let mut headers = vec!["nodes".to_string()];
     headers.extend(approaches.iter().map(|a| format!("{} TF", a.name())));
     let mut t = Table::new(headers);
+    let mut snap = snap;
     for &nodes in nodes_list {
         let cfg = DslashConfig {
             lattice,
@@ -31,6 +42,22 @@ fn sweep(
         for &a in approaches {
             let r = run_dslash(profile.clone(), a, &cfg);
             cells.push(format!("{:.2}", r.tflops));
+            if let Some(snap) = snap.as_deref_mut() {
+                if SNAP_NODES.contains(&nodes)
+                    && matches!(a, Approach::Baseline | Approach::Offload)
+                {
+                    let mut samples = vec![r.tflops];
+                    samples.extend(
+                        (1..bench::bench_repeats())
+                            .map(|_| run_dslash(profile.clone(), a, &cfg).tflops),
+                    );
+                    let dir = match a {
+                        Approach::Offload => Direction::Higher,
+                        _ => Direction::Info,
+                    };
+                    snap.push_series(format!("tflops.{}.n{nodes}", a.name()), "TF", dir, samples);
+                }
+            }
         }
         t.row(cells);
     }
@@ -38,14 +65,28 @@ fn sweep(
 }
 
 fn main() {
+    let mut snap = PanelSnapshot::new(
+        "fig09_qcd_scaling",
+        "Fig 9 — Dslash strong scaling, 32³×256 (Endeavor Xeon model)",
+    );
+    let xeon_nodes: &[usize] = if bench::quick_mode() {
+        &SNAP_NODES
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
     sweep(
         "fig09a_qcd_scaling_32",
         "Fig 9(a) — Dslash strong scaling, 32³×256 (Endeavor Xeon model)",
         MachineProfile::xeon(),
         lattice_32x256(),
-        &[8, 16, 32, 64, 128, 256],
+        xeon_nodes,
         &Approach::PAPER,
+        Some(&mut snap),
     );
+    benchjson::emit_snapshot(&snap);
+    if bench::quick_mode() {
+        return;
+    }
     sweep(
         "fig09a_qcd_scaling_48",
         "Fig 9(a) — Dslash strong scaling, 48³×512 (Endeavor Xeon model)",
@@ -53,6 +94,7 @@ fn main() {
         lattice_48x512(),
         &[32, 64, 128, 256],
         &Approach::PAPER,
+        None,
     );
     sweep(
         "fig09b_qcd_scaling_edison",
@@ -67,5 +109,6 @@ fn main() {
             Approach::CoreSpec,
             Approach::Offload,
         ],
+        None,
     );
 }

@@ -2,17 +2,34 @@
 //! per node (baseline / comm-self / offload), (b) Xeon Phi model with 2^25
 //! points per node (baseline / offload — the paper could not run comm-self
 //! there).
+//!
+//! Under `BENCH_QUICK=1` only panel (a) runs, trimmed to the snapshotted
+//! node counts — the pinned shape the perf-trajectory gate re-measures.
+//! The DES is deterministic (noise 0): offload GFLOP/s gate `Higher`, the
+//! baseline is recorded as `info` shape.
 
 use approaches::Approach;
-use bench::emit;
+use bench::{benchjson, emit, Direction, PanelSnapshot};
 use fft1d::{run_fft, FftConfig};
 use harness::Table;
 use simnet::MachineProfile;
 
+/// Node counts whose cells land in the trajectory snapshot.
+const SNAP_NODES: [usize; 2] = [2, 8];
+
 fn main() {
+    let mut snap = PanelSnapshot::new(
+        "fig13_fft_scaling",
+        "Fig 13 — FFT weak scaling, 2^29 points/node (Endeavor Xeon model)",
+    );
     // (a) Xeon
+    let nodes_list: &[usize] = if bench::quick_mode() {
+        &SNAP_NODES
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
     let mut t = Table::new(vec!["nodes", "baseline GF", "comm-self GF", "offload GF"]);
-    for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
+    for &nodes in nodes_list {
         let mut cfg = FftConfig::xeon_weak(nodes);
         if nodes >= 64 {
             cfg.iterations = 1; // keep the all-to-all message count sane
@@ -21,6 +38,18 @@ fn main() {
         for a in [Approach::Baseline, Approach::CommSelf, Approach::Offload] {
             let r = run_fft(MachineProfile::xeon(), a, &cfg);
             cells.push(format!("{:.0}", r.gflops));
+            if SNAP_NODES.contains(&nodes) && matches!(a, Approach::Baseline | Approach::Offload) {
+                let mut samples = vec![r.gflops];
+                samples.extend(
+                    (1..bench::bench_repeats())
+                        .map(|_| run_fft(MachineProfile::xeon(), a, &cfg).gflops),
+                );
+                let dir = match a {
+                    Approach::Offload => Direction::Higher,
+                    _ => Direction::Info,
+                };
+                snap.push_series(format!("gflops.{}.n{nodes}", a.name()), "GF", dir, samples);
+            }
         }
         t.row(cells);
     }
@@ -29,6 +58,10 @@ fn main() {
         "Fig 13(a) — FFT weak scaling, 2^29 points/node (Endeavor Xeon model)",
         &t,
     );
+    benchjson::emit_snapshot(&snap);
+    if bench::quick_mode() {
+        return;
+    }
 
     // (b) Xeon Phi
     let mut t = Table::new(vec!["nodes", "baseline GF", "offload GF"]);

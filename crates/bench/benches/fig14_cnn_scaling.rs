@@ -3,14 +3,31 @@
 //! comm-self / offload: similar up to ~8 nodes (compute-bound), then the
 //! async-progress approaches pull ahead as the gradient all-reduces and FC
 //! all-to-alls start to matter.
+//!
+//! Under `BENCH_QUICK=1` the sweep trims to the snapshotted node counts —
+//! the pinned shape the perf-trajectory gate re-measures. The DES is
+//! deterministic (noise 0): offload img/s gate `Higher`, the baseline is
+//! recorded as `info` shape.
 
 use approaches::Approach;
-use bench::emit;
+use bench::{benchjson, emit, Direction, PanelSnapshot};
 use cnn::{run_cnn, CnnConfig};
 use harness::Table;
 use simnet::MachineProfile;
 
+/// Node counts whose cells land in the trajectory snapshot.
+const SNAP_NODES: [usize; 2] = [8, 32];
+
 fn main() {
+    let mut snap = PanelSnapshot::new(
+        "fig14_cnn_scaling",
+        "Fig 14 — CNN training throughput, minibatch 256 (Endeavor Xeon model)",
+    );
+    let nodes_list: &[usize] = if bench::quick_mode() {
+        &SNAP_NODES
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let mut headers = vec!["nodes".to_string()];
     headers.extend(
         Approach::PAPER
@@ -18,12 +35,29 @@ fn main() {
             .map(|a| format!("{} img/s", a.name())),
     );
     let mut t = Table::new(headers);
-    for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+    for &nodes in nodes_list {
         let cfg = CnnConfig::paper(nodes);
         let mut cells = vec![nodes.to_string()];
         for &a in &Approach::PAPER {
             let r = run_cnn(MachineProfile::xeon(), a, &cfg);
             cells.push(format!("{:.0}", r.images_per_sec));
+            if SNAP_NODES.contains(&nodes) && matches!(a, Approach::Baseline | Approach::Offload) {
+                let mut samples = vec![r.images_per_sec];
+                samples.extend(
+                    (1..bench::bench_repeats())
+                        .map(|_| run_cnn(MachineProfile::xeon(), a, &cfg).images_per_sec),
+                );
+                let dir = match a {
+                    Approach::Offload => Direction::Higher,
+                    _ => Direction::Info,
+                };
+                snap.push_series(
+                    format!("img_per_s.{}.n{nodes}", a.name()),
+                    "img/s",
+                    dir,
+                    samples,
+                );
+            }
         }
         t.row(cells);
     }
@@ -32,4 +66,5 @@ fn main() {
         "Fig 14 — CNN training throughput, minibatch 256 (Endeavor Xeon model)",
         &t,
     );
+    benchjson::emit_snapshot(&snap);
 }

@@ -1,0 +1,293 @@
+//! Stats-plane scalability panel: the launcher-side cost of hearing from
+//! a 64-rank world, star topology vs the k-ary relay tree
+//! ([`wire::relay`], arity 8 → depth 2).
+//!
+//! Both topologies are driven synthetically in-process over real Unix
+//! sockets against the real [`wire::stats::Collector`]: 64 per-rank
+//! registries each emit one snapshot per round. In star mode every rank
+//! holds its own collector connection and ships its own `Stats` frame; in
+//! tree mode ranks pump/emit in leaf-to-root order, so each round
+//! coalesces into exactly one `Relay` frame at the collector.
+//!
+//! Wall-clock series are `info` (this box decides how fast a socket is).
+//! The structural counters are deterministic and gate hard:
+//!
+//! * `relay_merged_per_round` — every non-root rank merged exactly once
+//!   per round (63 at 64 ranks);
+//! * `relay_dropped` — 0 in this clean lane (each emission is consumed
+//!   before the next lands; any drop means the coalescing logic changed);
+//! * `collector_conns.tree` / `collector_frames_per_round.tree` — the
+//!   O(k)-connections claim, counted at the collector (1 root connection,
+//!   1 merged frame per round vs 64/64 for the star);
+//! * `relay_depth` / `relay_coverage` — the tree actually had depth 2
+//!   and carried all 64 ranks.
+
+use bench::{benchjson, emit, Direction, PanelSnapshot};
+use harness::Table;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+use wire::proto::{FrameKind, Header, HEADER_LEN};
+use wire::relay::{RelayNode, RelayOpts};
+use wire::stats::Collector;
+
+const RANKS: usize = 64;
+const ARITY: usize = 8;
+
+fn rounds() -> usize {
+    if bench::quick_mode() {
+        20
+    } else {
+        100
+    }
+}
+
+struct RunStats {
+    wall: Duration,
+    /// Bytes shipped over every link (star: rank→collector only; tree:
+    /// all parent links including root→collector).
+    link_bytes: u64,
+    collector_conns: u64,
+    collector_frames: u64,
+    merged_total: u64,
+    dropped_total: u64,
+    depth: u32,
+    coverage: u64,
+}
+
+/// Star topology: every rank dials the collector and ships its own
+/// snapshot each round.
+fn run_star(rounds: usize) -> RunStats {
+    let dir = std::env::temp_dir().join(format!("stats-relay-star-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let sock = dir.join("stats.sock");
+    let col = Collector::start(&sock, RANKS).expect("collector binds");
+    let regs: Vec<obs::Registry> = (0..RANKS).map(|_| obs::Registry::default()).collect();
+    let mut streams: Vec<UnixStream> = (0..RANKS)
+        .map(|_| UnixStream::connect(&sock).expect("rank dials collector"))
+        .collect();
+    let mut link_bytes = 0u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        for (rank, reg) in regs.iter().enumerate() {
+            reg.counter("work.items").add(1 + (rank + round) as u64 % 7);
+            let body = reg.snapshot().to_bytes();
+            let hdr = Header {
+                kind: FrameKind::Stats,
+                src: rank as u32,
+                tag: 0,
+                xid: 0,
+                len: body.len() as u64,
+            };
+            streams[rank].write_all(&hdr.encode()).expect("header");
+            streams[rank].write_all(&body).expect("body");
+            link_bytes += (HEADER_LEN + body.len()) as u64;
+        }
+    }
+    let wall = start.elapsed();
+    drop(streams);
+    let shared = wait_for(col, |s| {
+        s.ranks.iter().map(|r| r.snapshots).sum::<u64>() >= (RANKS * rounds) as u64
+    });
+    let frames: u64 = shared.ranks.iter().map(|r| r.snapshots).sum();
+    let _ = std::fs::remove_dir_all(&dir);
+    RunStats {
+        wall,
+        link_bytes,
+        collector_conns: RANKS as u64,
+        collector_frames: frames,
+        merged_total: 0,
+        dropped_total: 0,
+        depth: 0,
+        coverage: RANKS as u64,
+    }
+}
+
+/// Relay tree: ranks pump/emit leaf-to-root, so every round folds into
+/// one upward frame at the collector.
+fn run_tree(rounds: usize) -> RunStats {
+    let dir = std::env::temp_dir().join(format!("stats-relay-tree-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let sock = dir.join("stats.sock");
+    let col = Collector::start(&sock, RANKS).expect("collector binds");
+    let regs: Vec<obs::Registry> = (0..RANKS).map(|_| obs::Registry::default()).collect();
+    // Parents before children: each node binds its child listener inside
+    // connect(), so rank order guarantees every dial finds its socket.
+    let mut nodes: Vec<RelayNode> = (0..RANKS)
+        .map(|rank| {
+            RelayNode::connect(
+                &RelayOpts {
+                    rank,
+                    size: RANKS,
+                    arity: ARITY,
+                    dir: dir.clone(),
+                    stats_sock: sock.clone(),
+                    interval: Duration::from_millis(1),
+                },
+                &regs[rank],
+            )
+            .expect("relay node connects")
+        })
+        .collect();
+    let start = Instant::now();
+    for round in 0..rounds {
+        // Reverse rank order = children strictly before parents (the heap
+        // parent is always a smaller rank), so every emission this round
+        // is pumped and merged by its parent in the same round —
+        // deterministic counters, no coalescing drops.
+        for rank in (0..RANKS).rev() {
+            regs[rank]
+                .counter("work.items")
+                .add(1 + (rank + round) as u64 % 7);
+            nodes[rank].pump();
+            let own = regs[rank].snapshot();
+            nodes[rank].emit(&own);
+        }
+    }
+    let wall = start.elapsed();
+    let shared = wait_for(col, |s| s.relay.frames() >= rounds as u64);
+    let link_bytes: u64 = regs
+        .iter()
+        .map(|r| r.snapshot().counter("obs.relay_tx_bytes"))
+        .sum();
+    let merged = shared.relay.merged();
+    let stats = RunStats {
+        wall,
+        link_bytes,
+        collector_conns: 1,
+        collector_frames: shared.relay.frames(),
+        merged_total: merged.counter("obs.relay_merged"),
+        dropped_total: merged.counter("obs.relay_dropped"),
+        depth: shared.relay.depth(),
+        coverage: shared.relay.coverage(),
+    };
+    nodes.clear();
+    let _ = std::fs::remove_dir_all(&dir);
+    stats
+}
+
+/// Poll the collector until `done` or a deadline, then finish it.
+fn wait_for(
+    col: Collector,
+    done: impl Fn(&wire::stats::CollectorShared) -> bool,
+) -> wire::stats::CollectorShared {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if done(&col.peek()) || Instant::now() >= deadline {
+            return col.finish();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    let rounds = rounds();
+    let star = run_star(rounds);
+    let tree = run_tree(rounds);
+
+    let mut t = Table::new(vec![
+        "topology",
+        "collector conns",
+        "frames @collector",
+        "link KiB",
+        "merged",
+        "dropped",
+        "depth",
+        "wall ms",
+    ]);
+    for (name, r) in [("star", &star), ("tree", &tree)] {
+        t.row(vec![
+            name.to_string(),
+            r.collector_conns.to_string(),
+            r.collector_frames.to_string(),
+            format!("{:.1}", r.link_bytes as f64 / 1024.0),
+            r.merged_total.to_string(),
+            r.dropped_total.to_string(),
+            r.depth.to_string(),
+            format!("{:.2}", r.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    emit(
+        "stats_relay",
+        "Stats-plane scalability — star vs relay tree, 64 ranks, arity 8",
+        &t,
+    );
+
+    let mut snap = PanelSnapshot::new(
+        "stats_relay",
+        "Stats-plane scalability — star vs relay tree, 64 ranks, arity 8",
+    );
+    // Deterministic structure: gates hard (noise 0 under the driven
+    // leaf-to-root order).
+    snap.push_series(
+        "relay_merged_per_round",
+        "merges",
+        Direction::Higher,
+        vec![tree.merged_total as f64 / rounds as f64],
+    );
+    snap.push_series(
+        "relay_dropped",
+        "drops",
+        Direction::Lower,
+        vec![tree.dropped_total as f64],
+    );
+    snap.push_series(
+        "collector_conns.tree",
+        "conns",
+        Direction::Lower,
+        vec![tree.collector_conns as f64],
+    );
+    snap.push_series(
+        "collector_conns.star",
+        "conns",
+        Direction::Info,
+        vec![star.collector_conns as f64],
+    );
+    snap.push_series(
+        "collector_frames_per_round.tree",
+        "frames",
+        Direction::Lower,
+        vec![tree.collector_frames as f64 / rounds as f64],
+    );
+    snap.push_series(
+        "relay_depth",
+        "levels",
+        Direction::Higher,
+        vec![tree.depth as f64],
+    );
+    snap.push_series(
+        "relay_coverage",
+        "ranks",
+        Direction::Higher,
+        vec![tree.coverage as f64],
+    );
+    // Wall-clock and byte volumes: info (machine-dependent / serialization-
+    // size-dependent), recorded for the trajectory.
+    snap.push_series(
+        "drive_wall_ms.star",
+        "ms",
+        Direction::Info,
+        vec![star.wall.as_secs_f64() * 1e3],
+    );
+    snap.push_series(
+        "drive_wall_ms.tree",
+        "ms",
+        Direction::Info,
+        vec![tree.wall.as_secs_f64() * 1e3],
+    );
+    snap.push_series(
+        "link_kib.star",
+        "KiB",
+        Direction::Info,
+        vec![star.link_bytes as f64 / 1024.0],
+    );
+    snap.push_series(
+        "link_kib.tree",
+        "KiB",
+        Direction::Info,
+        vec![tree.link_bytes as f64 / 1024.0],
+    );
+    benchjson::emit_snapshot(&snap);
+}

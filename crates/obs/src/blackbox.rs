@@ -1,0 +1,446 @@
+//! Black-box flight recorder: a fixed-size lock-free ring of the most
+//! recent protocol/offload events per rank.
+//!
+//! An aircraft black box for ranks: always on, bounded, and read only
+//! after something went wrong. The engine records one compact event per
+//! protocol action (frame sent, frame delivered, peer lost, stall…) —
+//! four `Relaxed`/`Release` stores per event, no locks, no allocation —
+//! and on a dump trigger (stall-watchdog fire, `PeerLost`, panic, final
+//! drop, or a periodic persistence tick) the last `capacity` events are
+//! serialized ([`BlackBoxDump::to_bytes`], magic `OBB1`) so the launcher
+//! can attach a replayable timeline to its JSON report even for a rank
+//! that was SIGKILLed and never said goodbye.
+//!
+//! Events are opaque `(code, a, b, c, d)` tuples here; the wire layer owns
+//! the code table and renders names. Like the rest of `obs`, the whole
+//! recorder is a zero-sized no-op when the `enabled` feature is off.
+//!
+//! Concurrency: the writer claims a slot with a `fetch_add` on the write
+//! cursor, invalidates the slot's sequence word, scribbles the payload,
+//! then publishes the sequence with `Release` (a Vyukov-style seqlock per
+//! slot). A concurrent [`BlackBox::dump`] — e.g. from a panic hook while
+//! the offload thread is mid-record — validates the sequence word before
+//! and after reading and skips torn slots instead of blocking or tearing.
+
+/// Default ring capacity: enough to replay the closing protocol exchange
+/// of a rank (a few rendezvous handshakes plus the stats plane) without
+/// ever mattering for memory (≈ 10 KiB).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One recorded event, decoded out of the ring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BbEvent {
+    /// Global record index (0-based) — monotone across the whole run, so
+    /// `seq` gaps in a dump reveal exactly how many events were torn or
+    /// overwritten mid-read.
+    pub seq: u64,
+    /// Microseconds since the recorder was created (monotonic clock).
+    pub t_us: u64,
+    /// Event kind; the code table lives with whoever records (the wire
+    /// engine), not here.
+    pub code: u16,
+    /// Event operands — for frame events the wire layer uses
+    /// `(peer, tag, xid, len)`.
+    pub a: u32,
+    pub b: u32,
+    pub c: u32,
+    pub d: u64,
+}
+
+/// A decoded dump: the recorder's shape plus the surviving recent events,
+/// oldest first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlackBoxDump {
+    pub capacity: u32,
+    /// Total events ever recorded (≥ `events.len()`); the ring keeps only
+    /// the most recent `capacity` of them.
+    pub recorded: u64,
+    pub events: Vec<BbEvent>,
+}
+
+/// Magic prefix of the [`BlackBoxDump::to_bytes`] format (the digit is
+/// the version).
+const DUMP_MAGIC: &[u8; 4] = b"OBB1";
+
+impl BlackBoxDump {
+    /// Compact little-endian serialization for persisting a dump to the
+    /// postmortem file the launcher reads; round-trips exactly through
+    /// [`BlackBoxDump::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 38);
+        out.extend_from_slice(DUMP_MAGIC);
+        out.extend_from_slice(&self.capacity.to_le_bytes());
+        out.extend_from_slice(&self.recorded.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for e in &self.events {
+            out.extend_from_slice(&e.seq.to_le_bytes());
+            out.extend_from_slice(&e.t_us.to_le_bytes());
+            out.extend_from_slice(&e.code.to_le_bytes());
+            out.extend_from_slice(&e.a.to_le_bytes());
+            out.extend_from_slice(&e.b.to_le_bytes());
+            out.extend_from_slice(&e.c.to_le_bytes());
+            out.extend_from_slice(&e.d.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`BlackBoxDump::to_bytes`]. The file crosses a process
+    /// boundary (rank writes, launcher reads — possibly after a SIGKILL
+    /// landed anywhere), so truncation, bad magic, and trailing garbage
+    /// are errors, never panics.
+    pub fn from_bytes(buf: &[u8]) -> Result<BlackBoxDump, String> {
+        struct Rd<'a>(&'a [u8], usize);
+        impl Rd<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                let s = self
+                    .0
+                    .get(self.1..self.1 + n)
+                    .ok_or_else(|| format!("blackbox dump truncated at byte {}", self.1))?;
+                self.1 += n;
+                Ok(s)
+            }
+            fn u16(&mut self) -> Result<u16, String> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2B")))
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+            }
+        }
+        let mut rd = Rd(buf, 0);
+        if rd.take(DUMP_MAGIC.len())? != DUMP_MAGIC {
+            return Err("bad blackbox magic".into());
+        }
+        let capacity = rd.u32()?;
+        let recorded = rd.u64()?;
+        let n = rd.u32()? as usize;
+        if n > capacity.max(1) as usize {
+            return Err(format!(
+                "blackbox dump claims {n} events, capacity {capacity}"
+            ));
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(BbEvent {
+                seq: rd.u64()?,
+                t_us: rd.u64()?,
+                code: rd.u16()?,
+                a: rd.u32()?,
+                b: rd.u32()?,
+                c: rd.u32()?,
+                d: rd.u64()?,
+            });
+        }
+        if rd.1 != buf.len() {
+            return Err(format!(
+                "blackbox dump has {} trailing bytes",
+                buf.len() - rd.1
+            ));
+        }
+        Ok(BlackBoxDump {
+            capacity,
+            recorded,
+            events,
+        })
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{BbEvent, BlackBoxDump, DEFAULT_CAPACITY};
+    use std::sync::atomic::{AtomicU64, Ordering::*};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    struct Slot {
+        /// 0 = being written; `i + 1` = record `i` committed.
+        seq: AtomicU64,
+        t_us: AtomicU64,
+        /// `code << 32 | a`.
+        w1: AtomicU64,
+        /// `b << 32 | c`.
+        w2: AtomicU64,
+        w3: AtomicU64,
+    }
+
+    struct Ring {
+        next: AtomicU64,
+        mask: usize,
+        origin: Instant,
+        slots: Box<[Slot]>,
+    }
+
+    /// Shared handle to one rank's flight-recorder ring.
+    #[derive(Clone)]
+    pub struct BlackBox(Arc<Ring>);
+
+    impl Default for BlackBox {
+        fn default() -> Self {
+            Self::new(DEFAULT_CAPACITY)
+        }
+    }
+
+    impl BlackBox {
+        /// A ring holding the most recent `capacity` events (rounded up to
+        /// a power of two, clamped to `[16, 2^16]`).
+        pub fn new(capacity: usize) -> BlackBox {
+            let cap = capacity.next_power_of_two().clamp(16, 1 << 16);
+            let slots = (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    t_us: AtomicU64::new(0),
+                    w1: AtomicU64::new(0),
+                    w2: AtomicU64::new(0),
+                    w3: AtomicU64::new(0),
+                })
+                .collect();
+            BlackBox(Arc::new(Ring {
+                next: AtomicU64::new(0),
+                mask: cap - 1,
+                origin: Instant::now(),
+                slots,
+            }))
+        }
+
+        pub const fn is_enabled(&self) -> bool {
+            true
+        }
+
+        pub fn capacity(&self) -> usize {
+            self.0.mask + 1
+        }
+
+        /// Total events ever recorded.
+        pub fn recorded(&self) -> u64 {
+            self.0.next.load(Relaxed)
+        }
+
+        /// Record one event: claim a slot, scribble, publish. Safe from
+        /// any thread; a racing dump skips the slot while it is open.
+        #[inline]
+        pub fn record(&self, code: u16, a: u32, b: u32, c: u32, d: u64) {
+            let r = &*self.0;
+            let i = r.next.fetch_add(1, Relaxed);
+            let slot = &r.slots[(i as usize) & r.mask];
+            slot.seq.store(0, Release);
+            slot.t_us
+                .store(r.origin.elapsed().as_micros() as u64, Relaxed);
+            slot.w1.store(((code as u64) << 32) | a as u64, Relaxed);
+            slot.w2.store(((b as u64) << 32) | c as u64, Relaxed);
+            slot.w3.store(d, Relaxed);
+            slot.seq.store(i + 1, Release);
+        }
+
+        /// Snapshot the surviving recent events, oldest first. Torn slots
+        /// (a writer mid-scribble, or lapped while we read) are skipped —
+        /// their `seq` gap documents the loss.
+        pub fn dump(&self) -> BlackBoxDump {
+            let r = &*self.0;
+            let total = r.next.load(Acquire);
+            let cap = (r.mask + 1) as u64;
+            let start = total.saturating_sub(cap);
+            let mut events = Vec::with_capacity((total - start) as usize);
+            for i in start..total {
+                let slot = &r.slots[(i as usize) & r.mask];
+                if slot.seq.load(Acquire) != i + 1 {
+                    continue;
+                }
+                let t_us = slot.t_us.load(Relaxed);
+                let w1 = slot.w1.load(Relaxed);
+                let w2 = slot.w2.load(Relaxed);
+                let w3 = slot.w3.load(Relaxed);
+                if slot.seq.load(Acquire) != i + 1 {
+                    continue; // lapped mid-read
+                }
+                events.push(BbEvent {
+                    seq: i,
+                    t_us,
+                    code: (w1 >> 32) as u16,
+                    a: w1 as u32,
+                    b: (w2 >> 32) as u32,
+                    c: w2 as u32,
+                    d: w3,
+                });
+            }
+            BlackBoxDump {
+                capacity: (r.mask + 1) as u32,
+                recorded: total,
+                events,
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    //! No-op flavour: recording sites compile to nothing, dumps are empty.
+
+    use super::{BlackBoxDump, DEFAULT_CAPACITY};
+
+    #[derive(Clone, Copy, Default)]
+    pub struct BlackBox;
+
+    impl BlackBox {
+        pub fn new(_capacity: usize) -> BlackBox {
+            let _ = DEFAULT_CAPACITY;
+            BlackBox
+        }
+        pub const fn is_enabled(&self) -> bool {
+            false
+        }
+        pub fn capacity(&self) -> usize {
+            0
+        }
+        pub fn recorded(&self) -> u64 {
+            0
+        }
+        #[inline(always)]
+        pub fn record(&self, _code: u16, _a: u32, _b: u32, _c: u32, _d: u64) {}
+        pub fn dump(&self) -> BlackBoxDump {
+            BlackBoxDump::default()
+        }
+    }
+}
+
+pub use imp::BlackBox;
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+
+    fn sample_dump() -> BlackBoxDump {
+        BlackBoxDump {
+            capacity: 16,
+            recorded: 3,
+            events: vec![
+                BbEvent {
+                    seq: 0,
+                    t_us: 10,
+                    code: 1,
+                    a: 2,
+                    b: 3,
+                    c: 4,
+                    d: 5,
+                },
+                BbEvent {
+                    seq: 2,
+                    t_us: 30,
+                    code: 9,
+                    a: u32::MAX,
+                    b: 0,
+                    c: 7,
+                    d: u64::MAX,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dump_bytes_roundtrip_exactly() {
+        let d = sample_dump();
+        assert_eq!(BlackBoxDump::from_bytes(&d.to_bytes()).expect("rt"), d);
+        let empty = BlackBoxDump::default();
+        assert_eq!(
+            BlackBoxDump::from_bytes(&empty.to_bytes()).expect("rt"),
+            empty
+        );
+    }
+
+    #[test]
+    fn dump_from_bytes_rejects_corrupt_input() {
+        let good = sample_dump().to_bytes();
+        assert!(BlackBoxDump::from_bytes(&[]).is_err(), "empty");
+        assert!(BlackBoxDump::from_bytes(b"NOPE").is_err(), "bad magic");
+        assert!(
+            BlackBoxDump::from_bytes(&good[..good.len() - 1]).is_err(),
+            "truncated"
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(BlackBoxDump::from_bytes(&trailing).is_err(), "trailing");
+        // An event count beyond the declared capacity is structural rot.
+        let mut lying = sample_dump();
+        lying.capacity = 1;
+        assert!(BlackBoxDump::from_bytes(&lying.to_bytes()).is_err());
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        let bb = BlackBox::new(64);
+        for i in 0..10u64 {
+            bb.record(7, i as u32, 2 * i as u32, 3, i);
+        }
+        let d = bb.dump();
+        assert_eq!(d.recorded, 10);
+        assert_eq!(d.capacity, 64);
+        assert_eq!(d.events.len(), 10);
+        for (i, e) in d.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.code, 7);
+            assert_eq!(e.a, i as u32);
+            assert_eq!(e.d, i as u64);
+        }
+        // Timestamps are monotone non-decreasing within one dump.
+        for w in d.events.windows(2) {
+            assert!(w[0].t_us <= w[1].t_us);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_capacity_events() {
+        let bb = BlackBox::new(16); // exact power of two: no rounding
+        assert_eq!(bb.capacity(), 16);
+        for i in 0..100u64 {
+            bb.record(1, 0, 0, 0, i);
+        }
+        let d = bb.dump();
+        assert_eq!(d.recorded, 100);
+        assert_eq!(d.events.len(), 16);
+        assert_eq!(d.events.first().map(|e| e.d), Some(84));
+        assert_eq!(d.events.last().map(|e| e.d), Some(99));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(BlackBox::new(100).capacity(), 128);
+        assert_eq!(BlackBox::new(0).capacity(), 16);
+        assert_eq!(BlackBox::default().capacity(), DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_dump() {
+        let bb = BlackBox::new(64);
+        let writers: Vec<_> = (0..4u32)
+            .map(|w| {
+                let bb = bb.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        bb.record(w as u16, w, 0, 0, i);
+                    }
+                })
+            })
+            .collect();
+        // Dump while they race: every surviving event must be internally
+        // consistent (its payload matches some writer's actual record).
+        for _ in 0..50 {
+            for e in bb.dump().events {
+                assert!(e.code < 4);
+                assert_eq!(e.a, e.code as u32);
+                assert!(e.d < 500);
+            }
+        }
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let d = bb.dump();
+        assert_eq!(d.recorded, 2000);
+        assert_eq!(d.events.len(), 64);
+    }
+}

@@ -26,9 +26,11 @@
 //! No external dependencies; the Chrome JSON is emitted and validated by
 //! hand ([`chrome::validate_chrome_trace`]) — no serde.
 
+pub mod blackbox;
 pub mod chrome;
 pub mod metrics;
 pub mod trace;
 
+pub use blackbox::{BbEvent, BlackBox, BlackBoxDump};
 pub use metrics::{Counter, Gauge, GaugeReading, Histogram, HistogramReading, Registry, Snapshot};
 pub use trace::{Clock, Recorder, SpanGuard, Track};

@@ -91,7 +91,7 @@ fn bucket_lower_bound(ub: u64) -> u64 {
 }
 
 /// A point-in-time reading of every metric in a [`Registry`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, GaugeReading>,
@@ -158,6 +158,44 @@ impl Snapshot {
             gauges: self.gauges.clone(),
             histograms,
         }
+    }
+
+    /// Fold `other` into `self`, producing the metrics a single registry
+    /// would have read had it recorded both ranks' events: counters and
+    /// histogram totals add (saturating — a merged counter can only pin at
+    /// `u64::MAX`, never wrap), gauges keep the maximum of both current
+    /// values and both high-water marks, histogram buckets add bucket-wise
+    /// over the union of upper bounds. The operation is commutative and
+    /// associative with the empty snapshot as identity, so a relay tree
+    /// may fold subtrees in any order and arrive at the same aggregate.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (k, g) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_default();
+            slot.value = slot.value.max(g.value);
+            slot.high_water = slot.high_water.max(g.high_water);
+        }
+        for (k, h) in &other.histograms {
+            let slot = self.histograms.entry(k.clone()).or_default();
+            slot.count = slot.count.saturating_add(h.count);
+            slot.sum = slot.sum.saturating_add(h.sum);
+            for &(ub, n) in &h.buckets {
+                match slot.buckets.binary_search_by_key(&ub, |&(u, _)| u) {
+                    Ok(i) => slot.buckets[i].1 = slot.buckets[i].1.saturating_add(n),
+                    Err(i) => slot.buckets.insert(i, (ub, n)),
+                }
+            }
+        }
+    }
+
+    /// Non-consuming [`Snapshot::merge`]: the fold of both inputs.
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        out.merge(other);
+        out
     }
 
     /// `(name, formatted value)` pairs for report rendering, skipping
@@ -793,6 +831,163 @@ mod tests {
             v.contains("p50=") && v.contains("p95=") && v.contains("p99="),
             "line was: {v}"
         );
+    }
+
+    /// Deterministic xorshift generator for the merge property tests: no
+    /// external proptest dependency, but hundreds of distinct shapes.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    /// A registry-produced snapshot with a pseudo-random subset of shared
+    /// metric names — overlap between operands is what merge has to get
+    /// right.
+    fn arbitrary_snapshot(rng: &mut Rng) -> Snapshot {
+        let reg = Registry::new();
+        const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        for name in NAMES {
+            if rng.next().is_multiple_of(3) {
+                reg.counter(name).add(rng.next() % 1000);
+            }
+            if rng.next().is_multiple_of(3) {
+                let g = reg.gauge(name);
+                g.set(rng.next() % 100);
+                g.set(rng.next() % 100); // value below the high-water mark
+            }
+            if rng.next().is_multiple_of(3) {
+                let h = reg.histogram(name);
+                for _ in 0..(rng.next() % 8) {
+                    h.record(rng.next() % (1 << (rng.next() % 40)).max(1));
+                }
+            }
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_with_empty_identity() {
+        let mut rng = Rng(0x5eed_cafe_f00d_0001);
+        for _ in 0..200 {
+            let a = arbitrary_snapshot(&mut rng);
+            let b = arbitrary_snapshot(&mut rng);
+            let c = arbitrary_snapshot(&mut rng);
+            assert_eq!(a.merged(&b), b.merged(&a), "commutativity");
+            assert_eq!(
+                a.merged(&b).merged(&c),
+                a.merged(&b.merged(&c)),
+                "associativity"
+            );
+            assert_eq!(a.merged(&Snapshot::default()), a, "right identity");
+            assert_eq!(Snapshot::default().merged(&a), a, "left identity");
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges() {
+        let ra = Registry::new();
+        ra.counter("tx").add(7);
+        ra.counter("only_a").inc();
+        let g = ra.gauge("depth");
+        g.set(10);
+        g.set(2); // hwm 10, value 2
+        let rb = Registry::new();
+        rb.counter("tx").add(5);
+        rb.gauge("depth").set(6); // hwm 6, value 6
+        let m = ra.snapshot().merged(&rb.snapshot());
+        assert_eq!(m.counter("tx"), 12);
+        assert_eq!(m.counter("only_a"), 1);
+        let d = m.gauge("depth");
+        assert_eq!((d.value, d.high_water), (6, 10));
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max() {
+        let mut a = Snapshot::default();
+        a.counters.insert("c".into(), u64::MAX - 1);
+        a.histograms.insert(
+            "h".into(),
+            HistogramReading {
+                count: u64::MAX,
+                sum: u64::MAX,
+                buckets: vec![(u64::MAX, u64::MAX)],
+            },
+        );
+        let mut b = Snapshot::default();
+        b.counters.insert("c".into(), 5);
+        b.histograms.insert(
+            "h".into(),
+            HistogramReading {
+                count: 3,
+                sum: 9,
+                buckets: vec![(u64::MAX, 4)],
+            },
+        );
+        let m = a.merged(&b);
+        assert_eq!(m.counter("c"), u64::MAX, "counters pin, never wrap");
+        let h = m.histogram("h");
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.buckets, vec![(u64::MAX, u64::MAX)]);
+    }
+
+    #[test]
+    fn merged_histogram_equals_single_registry_of_all_samples() {
+        // Ground truth: merging two registries' readings must be
+        // indistinguishable — buckets and therefore every quantile — from
+        // one registry that recorded the union of samples.
+        let mut rng = Rng(0x0bad_5eed_0000_0042);
+        for _ in 0..50 {
+            let (ra, rb, rall) = (Registry::new(), Registry::new(), Registry::new());
+            let (ha, hb, hall) = (
+                ra.histogram("lat"),
+                rb.histogram("lat"),
+                rall.histogram("lat"),
+            );
+            for _ in 0..(rng.next() % 64) {
+                let v = rng.next() % (1 << (rng.next() % 64)).max(1);
+                ha.record(v);
+                hall.record(v);
+            }
+            for _ in 0..(rng.next() % 64) {
+                let v = rng.next() % (1 << (rng.next() % 64)).max(1);
+                hb.record(v);
+                hall.record(v);
+            }
+            let merged = ra.snapshot().merged(&rb.snapshot());
+            let truth = rall.snapshot();
+            assert_eq!(merged.histogram("lat"), truth.histogram("lat"));
+            let (m, t) = (merged.histogram("lat"), truth.histogram("lat"));
+            for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                assert_eq!(m.quantile(q), t.quantile(q), "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_keeps_buckets_sorted_for_quantiles() {
+        // Disjoint bucket sets interleave: a has [64,127] and [4096,8191],
+        // b has [512,1023]; the union must stay ordered or quantile() walks
+        // buckets out of order.
+        let (ra, rb) = (Registry::new(), Registry::new());
+        ra.histogram("lat").record(100);
+        ra.histogram("lat").record(5000);
+        rb.histogram("lat").record(777);
+        let m = ra.snapshot().merged(&rb.snapshot());
+        let ubs: Vec<u64> = m.histogram("lat").buckets.iter().map(|b| b.0).collect();
+        let mut sorted = ubs.clone();
+        sorted.sort_unstable();
+        assert_eq!(ubs, sorted);
+        assert_eq!(m.histogram("lat").count, 3);
+        assert!((64..=127).contains(&m.histogram("lat").quantile(0.01)));
+        assert!((4096..=8191).contains(&m.histogram("lat").quantile(1.0)));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Scale-out fixture for `offload-run --packed`: one process hosting
+//! `WIRE_PACK` consecutive ranks as event loops multiplexed on a single
+//! driver thread ([`wire::from_env_packed`]). This is how CI stands up
+//! 64–256-rank worlds — and gives the stats relay tree real depth —
+//! without 64 OS processes.
+//!
+//! Every hosted rank runs repeated ring-exchange rounds (eager and
+//! rendezvous payloads alternating, so the flight recorder sees the full
+//! protocol vocabulary) until `WIRE_WORLD_MS` elapses (default 800ms),
+//! then exits 0. A `PeerLost` anywhere (fault-injection lanes SIGKILL a
+//! sibling process mid-run) is tolerated: the engine stops starting new
+//! rounds but keeps polling progress — keeping its relay subtree and
+//! stats flowing — until the deadline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtmpi::{Transport, TransportError};
+
+struct Hosted {
+    comm: wire::WireComm,
+    /// The current round's still-pending ops (send, recv); a slot goes
+    /// `None` as soon as its op resolves, the round ends when both have.
+    pending: Option<(Option<wire::WireReq>, Option<wire::WireReq>)>,
+    rounds: u64,
+    /// A peer died: no new rounds, progress-only until the deadline.
+    wounded: bool,
+}
+
+/// Poll one op slot: clears it on success, returns the dead peer on
+/// `PeerLost`, exits on any other failure.
+fn poll_slot(comm: &mut wire::WireComm, slot: &mut Option<wire::WireReq>) -> Option<u32> {
+    let Some(req) = slot else { return None };
+    match comm.try_take(req) {
+        None => None,
+        Some(Ok(_)) => {
+            *slot = None;
+            None
+        }
+        Some(Err(TransportError::PeerLost { peer })) => {
+            *slot = None;
+            Some(peer as u32)
+        }
+        Some(Err(e)) => {
+            eprintln!("packed-world: rank {} op failed: {e:?}", comm.rank());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut world: Vec<Hosted> = match wire::from_env_packed() {
+        Ok(comms) => comms
+            .into_iter()
+            .map(|comm| Hosted {
+                comm,
+                pending: None,
+                rounds: 0,
+                wounded: false,
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("packed-world: bootstrap failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let run_for = std::env::var("WIRE_WORLD_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(800));
+    let deadline = Instant::now() + run_for;
+    let n = world[0].comm.size();
+    while Instant::now() < deadline {
+        for h in world.iter_mut() {
+            h.comm.progress();
+            if h.wounded {
+                continue;
+            }
+            match &mut h.pending {
+                None => {
+                    // Start a round: send right, receive from the left.
+                    // Odd rounds go rendezvous-sized so the handshake
+                    // path is exercised at scale too.
+                    let r = h.comm.rank();
+                    let len = if h.rounds % 2 == 1 {
+                        h.comm.eager_max() + 1
+                    } else {
+                        512
+                    };
+                    let payload: Vec<u8> = (0..len).map(|i| (i as u8) ^ (r as u8)).collect();
+                    let s = h.comm.isend((r + 1) % n, 1, Arc::from(payload));
+                    let rx = h.comm.irecv(Some((r + n - 1) % n), Some(1));
+                    h.pending = Some((Some(s), Some(rx)));
+                }
+                Some((s_slot, rx_slot)) => {
+                    let lost =
+                        poll_slot(&mut h.comm, s_slot).or_else(|| poll_slot(&mut h.comm, rx_slot));
+                    if let Some(peer) = lost {
+                        eprintln!(
+                            "packed-world: rank {} lost peer {peer}; winding down",
+                            h.comm.rank()
+                        );
+                        h.wounded = true;
+                    }
+                    if let Some((None, None)) = h.pending {
+                        h.pending = None;
+                        if !h.wounded {
+                            h.rounds += 1;
+                        }
+                    }
+                }
+            }
+        }
+        std::thread::yield_now();
+    }
+    // Cancel whatever round was in flight at the deadline — neighbours
+    // may already have stopped serving, and a clean exit must not hang.
+    for h in world.iter_mut() {
+        if let Some((s, rx)) = h.pending.take() {
+            for req in [s, rx].into_iter().flatten() {
+                h.comm.cancel(&req);
+            }
+        }
+    }
+    for h in &world {
+        println!("rank {} ok ({} round(s))", h.comm.rank(), h.rounds);
+    }
+}

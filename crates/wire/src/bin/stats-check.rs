@@ -1,37 +1,58 @@
 //! CI gate for the cluster stats report.
 //!
-//! `stats-check <report.json> --ranks 4 [--positive <metric>]... [--zero <metric>]...`
+//! `stats-check <report.json> --ranks 4 [--positive <metric>]...
+//! [--zero <metric>]... [--relay-depth <min>] [--blackbox-dead <min>]`
 //!
 //! Exits 0 iff the report parses, covers exactly `--ranks` ranks (0..n,
 //! once each), every `--positive` metric is `> 0`, and every `--zero`
 //! metric is absent or `0`, on every rank that exited cleanly. (`--zero`
-//! is how the shm smoke lane pins `wire.eager_alloc` to nothing.)
-//! Validation itself lives in [`wire::stats`] so tests exercise the same
-//! code path.
+//! is how the shm smoke lane pins `wire.eager_alloc` to nothing.) In
+//! relay-tree worlds the metric checks fall back to the report's merged
+//! relay section; `--relay-depth` additionally requires the realized
+//! tree depth to reach the given minimum with full rank coverage, and
+//! `--blackbox-dead` requires a dead rank whose recovered flight-recorder
+//! timeline carries at least that many well-ordered events. Validation
+//! itself lives in [`wire::stats`] so tests exercise the same code path.
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
-    let mut ranks: Option<usize> = None;
-    let mut positive = Vec::new();
-    let mut zero = Vec::new();
+    let mut checks = wire::stats::ReportChecks::default();
+    let mut have_ranks = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--ranks" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse() {
-                    Ok(n) => ranks = Some(n),
+                    Ok(n) => {
+                        checks.ranks = n;
+                        have_ranks = true;
+                    }
                     Err(_) => die(&format!("bad rank count {v:?}")),
                 }
             }
             "--positive" => match args.next() {
-                Some(m) => positive.push(m),
+                Some(m) => checks.positive.push(m),
                 None => die("--positive needs a metric name"),
             },
             "--zero" => match args.next() {
-                Some(m) => zero.push(m),
+                Some(m) => checks.zero.push(m),
                 None => die("--zero needs a metric name"),
             },
+            "--relay-depth" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(d) => checks.relay_depth_min = Some(d),
+                    Err(_) => die(&format!("bad relay depth {v:?}")),
+                }
+            }
+            "--blackbox-dead" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => checks.blackbox_dead_min = Some(n),
+                    Err(_) => die(&format!("bad blackbox event count {v:?}")),
+                }
+            }
             _ if a.starts_with('-') => die(&format!("unknown flag {a}")),
             _ if path.is_none() => path = Some(a),
             _ => die("more than one report path given"),
@@ -40,18 +61,24 @@ fn main() {
     let Some(path) = path else {
         die("missing report path");
     };
-    let Some(ranks) = ranks else {
+    if !have_ranks {
         die("missing --ranks <n>");
-    };
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => die(&format!("cannot read {path}: {e}")),
     };
-    match wire::stats::validate_report(&text, ranks, &positive, &zero) {
+    match wire::stats::validate_report_checks(&text, &checks) {
         Ok(n) => println!(
-            "stats-check: {path} ok ({n} ranks, {} positive / {} zero metric(s))",
-            positive.len(),
-            zero.len()
+            "stats-check: {path} ok ({n} ranks, {} positive / {} zero metric(s){}{})",
+            checks.positive.len(),
+            checks.zero.len(),
+            checks
+                .relay_depth_min
+                .map_or(String::new(), |d| format!(", relay depth >= {d}")),
+            checks
+                .blackbox_dead_min
+                .map_or(String::new(), |b| format!(", blackbox >= {b} event(s)")),
         ),
         Err(e) => die(&format!("{path}: {e}")),
     }
@@ -60,7 +87,8 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("stats-check: {msg}");
     eprintln!(
-        "usage: stats-check <report.json> --ranks <n> [--positive <metric>]... [--zero <metric>]..."
+        "usage: stats-check <report.json> --ranks <n> [--positive <metric>]... \
+         [--zero <metric>]... [--relay-depth <min>] [--blackbox-dead <min>]"
     );
     std::process::exit(1);
 }

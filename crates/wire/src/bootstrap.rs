@@ -37,21 +37,103 @@ pub fn from_env() -> std::io::Result<WireComm> {
         .map_err(|_| bad_input(format!("{} not set", crate::ENV_DIR)))?;
     let cfg = WireConfig::from_env();
     let mut comm = connect_mesh(rank, size, Path::new(&dir), cfg)?;
-    // Observability plane, when the launcher set one up. Best-effort: a
-    // missing collector must not take the rank down with it.
-    if let Ok(path) = std::env::var(crate::ENV_STATS_SOCK) {
-        match UnixStream::connect(&path) {
-            Ok(stream) => {
-                let interval = env_opt(crate::ENV_STATS_INTERVAL_MS).unwrap_or(200);
-                comm.set_stats_stream(stream, Duration::from_millis(interval));
+    attach_observability(&mut comm, rank, size, Path::new(&dir));
+    Ok(comm)
+}
+
+/// Bootstrap every rank this process hosts: `WIRE_PACK` consecutive
+/// ranks starting at `WIRE_RANK` (the launcher's `--packed` mode). The
+/// poll-driven engine makes each rank an event loop, so one process can
+/// multiplex many of them — how CI gets 64–256-rank worlds (and a relay
+/// tree of real depth) out of a handful of processes.
+///
+/// Hosted ranks bootstrap on concurrent threads: the mesh handshake
+/// between two hosted ranks needs both sides live (one dials while the
+/// other accepts), so a sequential bootstrap would deadlock against
+/// itself.
+pub fn from_env_packed() -> std::io::Result<Vec<WireComm>> {
+    let base: usize = env_req(crate::ENV_RANK)?;
+    let size: usize = env_req(crate::ENV_SIZE)?;
+    let pack = env_opt(crate::ENV_PACK).unwrap_or(1).max(1) as usize;
+    let count = pack.min(size.saturating_sub(base)).max(1);
+    let dir = std::env::var(crate::ENV_DIR)
+        .map_err(|_| bad_input(format!("{} not set", crate::ENV_DIR)))?;
+    let cfg = WireConfig::from_env();
+    let handles: Vec<_> = (base..base + count)
+        .map(|rank| {
+            let dir = dir.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || -> std::io::Result<WireComm> {
+                let mut comm = connect_mesh(rank, size, Path::new(&dir), cfg)?;
+                attach_observability(&mut comm, rank, size, Path::new(&dir));
+                Ok(comm)
+            })
+        })
+        .collect();
+    let mut comms = Vec::with_capacity(count);
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(c)) => comms.push(c),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                return Err(std::io::Error::other(format!(
+                    "bootstrap thread for rank {} panicked",
+                    base + i
+                )))
             }
-            Err(e) => eprintln!("wire: rank {rank}: stats socket {path} unreachable: {e}"),
         }
+    }
+    Ok(comms)
+}
+
+/// Wire the observability plane onto a freshly meshed rank, when the
+/// launcher set one up. Best-effort throughout: a missing collector or a
+/// failed relay bootstrap must not take the rank down with it.
+fn attach_observability(comm: &mut WireComm, rank: usize, size: usize, dir: &Path) {
+    let interval = Duration::from_millis(env_opt(crate::ENV_STATS_INTERVAL_MS).unwrap_or(200));
+    if let Ok(path) = std::env::var(crate::ENV_STATS_SOCK) {
+        match env_opt(crate::ENV_RELAY_ARITY) {
+            // Relay mode: join the k-ary tree — bind this rank's child
+            // listener, dial the parent (rank 0 dials the collector).
+            Some(k) if k >= 1 => {
+                let opts = crate::relay::RelayOpts {
+                    rank,
+                    size,
+                    arity: k as usize,
+                    dir: dir.to_path_buf(),
+                    stats_sock: PathBuf::from(&path),
+                    interval,
+                };
+                match crate::relay::RelayNode::connect(&opts, comm.obs()) {
+                    Ok(node) => comm.set_relay(node),
+                    Err(e) => eprintln!("wire: rank {rank}: relay bootstrap failed: {e}"),
+                }
+            }
+            // Star mode: the classic direct rank→launcher link.
+            _ => match UnixStream::connect(&path) {
+                Ok(stream) => comm.set_stats_stream(stream, interval),
+                Err(e) => eprintln!("wire: rank {rank}: stats socket {path} unreachable: {e}"),
+            },
+        }
+        // Black-box postmortem persistence rides the same directory; the
+        // launcher harvests `blackbox-<rank>.obb` after the run — that
+        // file is all that speaks for a SIGKILLed rank.
+        let bb_file = dir.join(format!("blackbox-{rank}.obb"));
+        comm.set_blackbox_path(bb_file.clone(), interval.max(Duration::from_millis(50)));
+        // A panicking rank dumps through this hook even if the transport
+        // is never dropped (e.g. the panic is in another thread).
+        let bb = comm.blackbox().clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let tmp = bb_file.with_extension("obb.tmp");
+            let _ = std::fs::write(&tmp, bb.dump().to_bytes())
+                .and_then(|()| std::fs::rename(&tmp, &bb_file));
+            prev(info);
+        }));
     }
     if let Some(ms) = env_opt(crate::ENV_STALL_MS) {
         comm.set_stall_window(Duration::from_millis(ms));
     }
-    Ok(comm)
 }
 
 fn env_opt(name: &str) -> Option<u64> {

@@ -201,8 +201,22 @@ pub struct WireComm<F: FrameFabric = SocketFabric> {
     cfg: WireConfig,
     in_wait: bool,
     stats: Option<StatsLink>,
+    /// Relay-tree node replacing the direct stats link at scale: periodic
+    /// emissions become subtree-merged `Relay` frames toward the parent.
+    relay: Option<crate::relay::RelayNode>,
     watchdog: Option<Watchdog>,
     flow: Option<obs::Track>,
+    /// Always-on flight recorder of recent protocol events (a ZST no-op
+    /// when obs is built without `enabled`).
+    bb: obs::BlackBox,
+    /// Postmortem persistence target for the recorder; `None` outside
+    /// launcher worlds.
+    bb_path: Option<std::path::PathBuf>,
+    bb_flush_every: Duration,
+    bb_last_flush: Option<Instant>,
+    /// `recorded` watermark of the last persisted dump (skip clean
+    /// flushes).
+    bb_flushed: Option<u64>,
     registry: obs::Registry,
     c_bytes_tx: obs::Counter,
     c_bytes_rx: obs::Counter,
@@ -265,8 +279,14 @@ impl<F: FrameFabric> WireComm<F> {
             cfg,
             in_wait: false,
             stats: None,
+            relay: None,
             watchdog: None,
             flow: None,
+            bb: obs::BlackBox::default(),
+            bb_path: None,
+            bb_flush_every: Duration::from_millis(100),
+            bb_last_flush: None,
+            bb_flushed: None,
             c_bytes_tx: c("wire.bytes_tx"),
             c_bytes_rx: c("wire.bytes_rx"),
             c_frames_tx: c("wire.frames_tx"),
@@ -307,6 +327,29 @@ impl<F: FrameFabric> WireComm<F> {
         });
     }
 
+    /// Route this rank's observability upward through the stats relay
+    /// tree instead of a direct launcher link: periodic emissions become
+    /// subtree-merged `Relay` frames, stall reports are forwarded as
+    /// event frames, and child subtrees are pumped on every tick.
+    pub fn set_relay(&mut self, node: crate::relay::RelayNode) {
+        self.relay = Some(node);
+    }
+
+    /// Persist the flight recorder to `path` (tmp + rename, so the
+    /// launcher never reads a torn dump) every `flush_every` while
+    /// running, plus on stall, peer loss and teardown — which is how a
+    /// SIGKILLed rank still leaves its last events for the postmortem.
+    pub fn set_blackbox_path(&mut self, path: std::path::PathBuf, flush_every: Duration) {
+        self.bb_path = Some(path);
+        self.bb_flush_every = flush_every;
+    }
+
+    /// This rank's flight recorder (shared handle — e.g. for a panic
+    /// hook's final dump).
+    pub fn blackbox(&self) -> &obs::BlackBox {
+        &self.bb
+    }
+
     /// Attach a trace track for cross-rank rendezvous flow events:
     /// RTS-send starts a flow, CTS-send steps it, DATA-recv finishes it.
     /// Give every rank's engine a track on the same recorder pid layout
@@ -341,12 +384,26 @@ impl<F: FrameFabric> WireComm<F> {
         }
     }
 
-    /// Per-poll observability upkeep: periodic stats emission and the
-    /// stall watchdog. Only called when at least one of them is
-    /// configured, so unconfigured engines never touch the clock — this
-    /// is what keeps model-checked runs deterministic.
+    /// Per-poll observability upkeep: periodic stats/relay emission, the
+    /// stall watchdog, and black-box persistence. Only called when at
+    /// least one of them is configured, so unconfigured engines never
+    /// touch the clock — this is what keeps model-checked runs
+    /// deterministic.
     fn observability_tick(&mut self, advanced: bool) {
         let now = Instant::now();
+        let mut relay_due = false;
+        if let Some(relay) = self.relay.as_mut() {
+            relay.pump();
+            relay_due = relay.due(now);
+        }
+        if relay_due {
+            let own = self.registry.snapshot();
+            if let Some(relay) = self.relay.as_mut() {
+                relay.emit(&own);
+            }
+            self.bb
+                .record(crate::stats::bbcode::RELAY_TX, self.rank as u32, 0, 0, 0);
+        }
         let due = match self.stats.as_mut() {
             Some(link) => match link.last_emit {
                 Some(t) if now.duration_since(t) < link.interval => false,
@@ -359,6 +416,8 @@ impl<F: FrameFabric> WireComm<F> {
         };
         if due {
             self.emit_obs_frame(FrameKind::Stats, 0, 0);
+            self.bb
+                .record(crate::stats::bbcode::STATS_TX, self.rank as u32, 0, 0, 0);
         }
         let mut stall: Option<(u32, u32)> = None;
         if let Some(wd) = self.watchdog.as_mut() {
@@ -385,7 +444,50 @@ impl<F: FrameFabric> WireComm<F> {
                 "wire: rank {} progress stalled for {}ms with {} pending operation(s)",
                 self.rank, ms, pending
             );
-            self.emit_obs_frame(FrameKind::Stall, ms, pending);
+            self.bb
+                .record(crate::stats::bbcode::STALL, pending, 0, 0, ms as u64);
+            if self.relay.is_some() {
+                let body = self.registry.snapshot().to_bytes();
+                if let Some(relay) = self.relay.as_mut() {
+                    relay.send_event_frame(FrameKind::Stall, ms, pending, &body);
+                }
+            } else {
+                self.emit_obs_frame(FrameKind::Stall, ms, pending);
+            }
+            // A stall is a dump trigger: the evidence must survive even
+            // if the operator SIGKILLs the wedged job next.
+            self.flush_blackbox();
+        }
+        if self.bb_path.is_some() {
+            let flush_due = !matches!(self.bb_last_flush,
+                Some(t) if now.duration_since(t) < self.bb_flush_every);
+            if flush_due {
+                self.bb_last_flush = Some(now);
+                self.flush_blackbox();
+            }
+        }
+    }
+
+    /// Persist the flight recorder to its postmortem file. Atomic
+    /// (write-then-rename) so a launcher reading after a SIGKILL sees
+    /// either the previous complete dump or the new one, never a torn
+    /// prefix. Skips when nothing was recorded since the last flush; a
+    /// failed write disables persistence rather than spamming the run.
+    fn flush_blackbox(&mut self) {
+        let Some(path) = self.bb_path.clone() else {
+            return;
+        };
+        let dump = self.bb.dump();
+        if self.bb_flushed == Some(dump.recorded) {
+            return;
+        }
+        self.bb_flushed = Some(dump.recorded);
+        let tmp = path.with_extension("obb.tmp");
+        let ok = std::fs::write(&tmp, dump.to_bytes())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_ok();
+        if !ok {
+            self.bb_path = None;
         }
     }
 
@@ -436,6 +538,13 @@ impl<F: FrameFabric> WireComm<F> {
         };
         self.fabric.queue(src, &cts, &[]);
         self.c_frames_tx.inc();
+        self.bb.record(
+            crate::stats::bbcode::TX_CTS,
+            src as u32,
+            tag,
+            xid,
+            len as u64,
+        );
         self.pending.insert(id, Pending::AwaitData);
         self.await_data.insert((src, xid), (id, len as u64));
         self.count_handshake();
@@ -449,6 +558,13 @@ impl<F: FrameFabric> WireComm<F> {
     /// `wire.protocol_errors` and absorbed, never panicked on.
     fn deliver(&mut self, src: usize, hdr: Header, body: &[u8]) {
         self.c_frames_rx.inc();
+        self.bb.record(
+            crate::stats::bbcode::rx_code(hdr.kind),
+            src as u32,
+            hdr.tag,
+            hdr.xid,
+            hdr.len,
+        );
         match hdr.kind {
             FrameKind::Hello => {} // bootstrap leftover; ignore
             FrameKind::Eager => {
@@ -504,6 +620,13 @@ impl<F: FrameFabric> WireComm<F> {
                             let mark = self.fabric.queue_shared(dst, &frame, &data);
                             self.marks[dst].push_back((mark, id));
                             self.c_frames_tx.inc();
+                            self.bb.record(
+                                crate::stats::bbcode::TX_DATA,
+                                dst as u32,
+                                hdr.tag,
+                                hdr.xid,
+                                frame.len,
+                            );
                             self.pending.insert(id, Pending::RndvSendData);
                         } else {
                             // The destination vanished between RTS and
@@ -547,10 +670,10 @@ impl<F: FrameFabric> WireComm<F> {
                     None => self.c_protocol_errors.inc(),
                 }
             }
-            // Stats-plane control frames ride the rank→launcher socket,
-            // never the mesh; a peer sending one here is misbehaving —
-            // counted and dropped.
-            FrameKind::Stats | FrameKind::Stall => self.c_protocol_errors.inc(),
+            // Stats-plane control frames ride the rank→launcher socket
+            // (or the relay tree), never the mesh; a peer sending one
+            // here is misbehaving — counted and dropped.
+            FrameKind::Stats | FrameKind::Stall | FrameKind::Relay => self.c_protocol_errors.inc(),
             // A doorbell is a benign nudge: its arrival already did its
             // job (the socket read woke this poll).
             FrameKind::Doorbell => {}
@@ -617,6 +740,8 @@ impl<F: FrameFabric> WireComm<F> {
         }
         self.reaped[p] = true;
         self.c_peer_lost.inc();
+        self.bb
+            .record(crate::stats::bbcode::PEER_LOST, p as u32, 0, 0, 0);
         let lost = || Err(TransportError::PeerLost { peer: p });
         // Sends whose bytes can no longer be flushed or acknowledged.
         let marks: Vec<u64> = self.marks[p].drain(..).map(|(_, id)| id).collect();
@@ -652,6 +777,8 @@ impl<F: FrameFabric> WireComm<F> {
         // eager payloads stay consumable.
         self.mailbox
             .retain_unexpected(|u| u.src != p || matches!(u.msg, Arrival::Eager(_)));
+        // Peer loss is a dump trigger: persist the timeline that led here.
+        self.flush_blackbox();
     }
 
     /// This transport's protocol counters.
@@ -667,6 +794,16 @@ impl<F: FrameFabric> Drop for WireComm<F> {
         if self.stats.is_some() {
             self.emit_obs_frame(FrameKind::Stats, 0, 0);
         }
+        if self.relay.is_some() {
+            let own = self.registry.snapshot();
+            if let Some(relay) = self.relay.as_mut() {
+                // One last intake so children that already shipped their
+                // final totals are folded into this node's goodbye frame.
+                relay.pump();
+                relay.emit(&own);
+            }
+        }
+        self.flush_blackbox();
     }
 }
 
@@ -718,6 +855,13 @@ impl<F: FrameFabric> Transport for WireComm<F> {
             let mark = self.fabric.queue_shared(dst, &frame, &data);
             self.c_frames_tx.inc();
             self.c_eager_tx.inc();
+            self.bb.record(
+                crate::stats::bbcode::TX_EAGER,
+                dst as u32,
+                tag,
+                0,
+                data.len() as u64,
+            );
             let req = self.alloc_req(Pending::EagerSend);
             self.marks[dst].push_back((mark, req.0));
             req
@@ -734,6 +878,13 @@ impl<F: FrameFabric> Transport for WireComm<F> {
             self.fabric.queue(dst, &frame, &[]);
             self.c_frames_tx.inc();
             self.c_rndv_tx.inc();
+            self.bb.record(
+                crate::stats::bbcode::TX_RTS,
+                dst as u32,
+                tag,
+                xid,
+                data.len() as u64,
+            );
             if let Some(t) = &self.flow {
                 t.flow_start("rndv", flow_id(self.rank, xid));
             }
@@ -789,7 +940,11 @@ impl<F: FrameFabric> Transport for WireComm<F> {
             advanced |= self.read_peer(p);
             advanced |= self.flush_peer(p);
         }
-        if self.stats.is_some() || self.watchdog.is_some() {
+        if self.stats.is_some()
+            || self.watchdog.is_some()
+            || self.relay.is_some()
+            || self.bb_path.is_some()
+        {
             self.observability_tick(advanced);
         }
         advanced

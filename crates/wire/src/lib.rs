@@ -33,8 +33,12 @@
 //!   allocation on the eager path (DESIGN.md §16).
 //! * [`regpool`] — the registered staging-buffer pool all transports
 //!   lease inbound frame bodies from (lease/recycle, never blocks).
+//! * [`relay`] — the k-ary stats relay tree: ranks ship snapshots to
+//!   their tree parent, parents merge in-flight, the launcher sees O(k)
+//!   connections instead of O(N) (DESIGN.md §17).
 //! * [`bootstrap`] — process worlds from `WIRE_RANK`/`WIRE_SIZE`/`WIRE_DIR`
-//!   env (rank-0 mesh exchange), and in-process loopback worlds for tests.
+//!   env (rank-0 mesh exchange), packed multi-rank worlds
+//!   ([`from_env_packed`]), and in-process loopback worlds for tests.
 //! * [`launcher`] — what the `offload-run` binary does: spawn `-n` ranks,
 //!   wire the env, babysit (stderr prefixing, timeout kill, per-rank exit
 //!   reporting), reap.
@@ -49,6 +53,9 @@
 //! * `WIRE_STATS_SOCK` / `WIRE_STATS_INTERVAL_MS` / `WIRE_STALL_MS` — the
 //!   observability plane: where to ship periodic `Stats` frames, how
 //!   often, and the progress-stall watchdog window (see [`stats`]).
+//! * `WIRE_RELAY_ARITY` — route snapshots through the k-ary relay tree
+//!   instead of the star (see [`relay`]); `WIRE_PACK` — how many ranks
+//!   this process hosts as multiplexed event loops (`--packed`).
 
 pub mod bootstrap;
 pub mod engine;
@@ -59,10 +66,11 @@ pub mod launcher;
 pub mod nbcrun;
 pub mod proto;
 pub mod regpool;
+pub mod relay;
 pub mod shm;
 pub mod stats;
 
-pub use bootstrap::{from_env, loopback, loopback_configured};
+pub use bootstrap::{from_env, from_env_packed, loopback, loopback_configured};
 pub use engine::{WireComm, WireConfig, WireReq};
 pub use fabric::{FrameFabric, LinkPoll, SocketFabric};
 
@@ -97,6 +105,14 @@ pub const ENV_STATS_INTERVAL_MS: &str = "WIRE_STATS_INTERVAL_MS";
 /// Progress-stall watchdog window in milliseconds; unset leaves the
 /// watchdog disarmed.
 pub const ENV_STALL_MS: &str = "WIRE_STALL_MS";
+/// Relay-tree arity: when set (with the stats socket), ranks ship their
+/// snapshots through the k-ary relay tree ([`relay`]) instead of dialing
+/// the launcher directly.
+pub const ENV_RELAY_ARITY: &str = "WIRE_RELAY_ARITY";
+/// Packed multiplexing: how many consecutive ranks (starting at
+/// `WIRE_RANK`) this one process hosts as event loops
+/// ([`from_env_packed`]); unset/1 means the classic one-rank process.
+pub const ENV_PACK: &str = "WIRE_PACK";
 
 /// Is this process running under `offload-run` (i.e. as a wire rank)?
 pub fn is_wire_process() -> bool {

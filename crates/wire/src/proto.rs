@@ -4,7 +4,7 @@
 //! ```text
 //! offset  size  field
 //!      0     1  kind   (0 Hello, 1 Eager, 2 Rts, 3 Cts, 4 Data,
-//!                       5 Stats, 6 Stall, 7 Shm, 8 Doorbell)
+//!                       5 Stats, 6 Stall, 7 Shm, 8 Doorbell, 9 Relay)
 //!      1     3  (pad, zero)
 //!      4     4  src    (sender rank, u32 LE)
 //!      8     4  tag    (message tag, u32 LE)
@@ -24,6 +24,13 @@
 //! watchdog's evidence in the header: `xid` is how long progress has made
 //! no advancement (milliseconds, saturating) and `tag` is how many
 //! operations were pending at the time.
+//!
+//! `Relay` is the hierarchical flavour of `Stats`: a snapshot already
+//! **merged** over a subtree of ranks (`obs::Snapshot::merge`), shipped
+//! up the k-ary relay tree towards the launcher. The header carries the
+//! aggregation metadata: `tag` is how many ranks the merged body covers
+//! and `xid` is the subtree height (1 for a leaf), so the collector can
+//! report tree depth and coverage without unpacking anything.
 //!
 //! `Shm` and `Doorbell` belong to the shared-memory data plane
 //! (`crate::shm`). `Shm` rides only the blocking bootstrap handshake,
@@ -71,6 +78,10 @@ pub enum FrameKind {
     Shm = 7,
     /// Wakeup nudge for a possibly-parked shm consumer (no body).
     Doorbell = 8,
+    /// Subtree-merged metrics snapshot riding the stats relay tree
+    /// (stats/relay sockets only); body is a merged `obs::Snapshot`,
+    /// `tag` = ranks covered, `xid` = subtree height.
+    Relay = 9,
 }
 
 impl FrameKind {
@@ -85,6 +96,7 @@ impl FrameKind {
             6 => FrameKind::Stall,
             7 => FrameKind::Shm,
             8 => FrameKind::Doorbell,
+            9 => FrameKind::Relay,
             _ => return None,
         })
     }
@@ -147,9 +159,11 @@ impl Header {
     /// Bytes of body following this header on the wire.
     pub fn body_len(&self) -> usize {
         match self.kind {
-            FrameKind::Eager | FrameKind::Data | FrameKind::Stats | FrameKind::Stall => {
-                self.len as usize
-            }
+            FrameKind::Eager
+            | FrameKind::Data
+            | FrameKind::Stats
+            | FrameKind::Stall
+            | FrameKind::Relay => self.len as usize,
             FrameKind::Hello
             | FrameKind::Rts
             | FrameKind::Cts
@@ -175,6 +189,7 @@ mod tests {
             FrameKind::Stall,
             FrameKind::Shm,
             FrameKind::Doorbell,
+            FrameKind::Relay,
         ] {
             let h = Header {
                 kind,
@@ -211,9 +226,9 @@ mod tests {
     #[test]
     fn bad_kind_is_rejected() {
         let mut buf = [0u8; HEADER_LEN];
-        buf[0] = 9;
-        assert!(Header::decode(&buf).is_err());
         buf[0] = 10;
+        assert!(Header::decode(&buf).is_err());
+        buf[0] = 11;
         assert!(Header::decode(&buf).is_err());
         buf[0] = 0xff;
         assert!(Header::decode(&buf).is_err());
@@ -272,5 +287,7 @@ mod tests {
         assert_eq!(h.body_len(), 0, "shm offer carries geometry, no body");
         h.kind = FrameKind::Doorbell;
         assert_eq!(h.body_len(), 0, "doorbell is a bodyless nudge");
+        h.kind = FrameKind::Relay;
+        assert_eq!(h.body_len(), 1000, "relay carries the merged snapshot");
     }
 }

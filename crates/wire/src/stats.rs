@@ -16,6 +16,18 @@
 //! (`xid` = stalled milliseconds, `tag` = pending operations) with the
 //! rank's last snapshot as the body, so a straggler is reported with the
 //! state it stalled in rather than dying silently at the job timeout.
+//!
+//! At scale the star topology gives way to the relay tree
+//! ([`crate::relay`]): the collector then accepts O(k) connections
+//! carrying `Relay` frames — subtree-merged snapshots whose header
+//! announces coverage (`tag`) and height (`xid`) — folded into a bounded
+//! [`RelayAgg`] instead of per-rank state, while forwarded `Stall`
+//! frames still land on their original rank's row. The final report also
+//! carries each dead rank's black-box flight-recorder dump
+//! ([`obs::BlackBoxDump`], harvested by the launcher from
+//! `blackbox-<rank>.obb`), rendered with the [`bbcode`] event names so a
+//! SIGKILLed rank leaves a replayable timeline instead of just
+//! `"dead": true`.
 
 use std::collections::BTreeMap;
 use std::io::Read;
@@ -27,6 +39,65 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::proto::{FrameKind, Header, HEADER_LEN};
+
+/// The black-box flight recorder's event-code table. The recorder itself
+/// ([`obs::BlackBox`]) stores opaque `(code, a, b, c, d)` tuples; the
+/// wire layer owns what the codes mean. Frame events use
+/// `(peer, tag, xid, len)` as operands.
+pub mod bbcode {
+    use crate::proto::FrameKind;
+
+    pub const TX_EAGER: u16 = 1;
+    pub const TX_RTS: u16 = 2;
+    pub const TX_CTS: u16 = 3;
+    pub const TX_DATA: u16 = 4;
+    pub const RX_EAGER: u16 = 5;
+    pub const RX_RTS: u16 = 6;
+    pub const RX_CTS: u16 = 7;
+    pub const RX_DATA: u16 = 8;
+    pub const PEER_LOST: u16 = 9;
+    /// Watchdog trip: `a` = pending ops, `d` = stalled milliseconds.
+    pub const STALL: u16 = 10;
+    pub const PROTO_ERR: u16 = 11;
+    /// Upward relay emission.
+    pub const RELAY_TX: u16 = 12;
+    /// Direct (star-mode) stats emission.
+    pub const STATS_TX: u16 = 13;
+    /// Any other delivered frame kind (Hello, Doorbell, …).
+    pub const RX_OTHER: u16 = 14;
+
+    /// Human-readable name for a code (report rendering).
+    pub fn name(code: u16) -> &'static str {
+        match code {
+            TX_EAGER => "tx_eager",
+            TX_RTS => "tx_rts",
+            TX_CTS => "tx_cts",
+            TX_DATA => "tx_data",
+            RX_EAGER => "rx_eager",
+            RX_RTS => "rx_rts",
+            RX_CTS => "rx_cts",
+            RX_DATA => "rx_data",
+            PEER_LOST => "peer_lost",
+            STALL => "stall",
+            PROTO_ERR => "proto_err",
+            RELAY_TX => "relay_tx",
+            STATS_TX => "stats_tx",
+            RX_OTHER => "rx_other",
+            _ => "unknown",
+        }
+    }
+
+    /// The receive-side code for a delivered frame kind.
+    pub fn rx_code(kind: FrameKind) -> u16 {
+        match kind {
+            FrameKind::Eager => RX_EAGER,
+            FrameKind::Rts => RX_RTS,
+            FrameKind::Cts => RX_CTS,
+            FrameKind::Data => RX_DATA,
+            _ => RX_OTHER,
+        }
+    }
+}
 
 /// Watchdog evidence carried by a `Stall` frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,10 +176,100 @@ pub struct RankStats {
     pub stall: Option<StallInfo>,
 }
 
+/// What the collector heard from one directly-connected relay subtree
+/// (keyed by the subtree root's rank — usually just rank 0).
+#[derive(Clone, Debug, Default)]
+pub struct RelaySubtree {
+    /// Ranks the latest merged snapshot covers (`Relay` header `tag`).
+    pub coverage: u32,
+    /// Subtree height, 1 for a lone leaf (`Relay` header `xid`).
+    pub height: u32,
+    /// Relay frames received from this subtree root.
+    pub frames: u64,
+    /// Latest merged snapshot.
+    pub last: Option<obs::Snapshot>,
+}
+
+/// Bounded relay-tree state: one [`RelaySubtree`] per direct child of
+/// the collector — O(k) memory however many ranks the tree covers.
+#[derive(Clone, Debug, Default)]
+pub struct RelayAgg {
+    pub subtrees: BTreeMap<u32, RelaySubtree>,
+}
+
+impl RelayAgg {
+    /// Did any relay frame ever arrive?
+    pub fn active(&self) -> bool {
+        !self.subtrees.is_empty()
+    }
+
+    /// Ranks covered across every subtree.
+    pub fn coverage(&self) -> u64 {
+        self.subtrees.values().map(|s| s.coverage as u64).sum()
+    }
+
+    /// Realized tree depth below the collector: the tallest subtree's
+    /// height minus one (a lone leaf is depth 0).
+    pub fn depth(&self) -> u32 {
+        self.subtrees
+            .values()
+            .map(|s| s.height.saturating_sub(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Relay frames received in total.
+    pub fn frames(&self) -> u64 {
+        self.subtrees.values().map(|s| s.frames).sum()
+    }
+
+    /// All subtrees' latest snapshots merged into the whole-world view.
+    pub fn merged(&self) -> obs::Snapshot {
+        let mut out = obs::Snapshot::default();
+        for sub in self.subtrees.values() {
+            if let Some(s) = &sub.last {
+                out.merge(s);
+            }
+        }
+        out
+    }
+}
+
+/// Everything the collector accumulates: per-rank rows (star mode and
+/// forwarded stall evidence) plus the relay-tree aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct CollectorShared {
+    pub ranks: Vec<RankStats>,
+    pub relay: RelayAgg,
+}
+
+impl CollectorShared {
+    /// Rank-stats rows for table rendering: the per-rank rows when any
+    /// rank reported directly, otherwise one merged pseudo-row per relay
+    /// subtree (so the live table shows the cluster-wide totals, whose
+    /// `obs.relay_merged.d<depth>` counters break activity out by tree
+    /// depth).
+    pub fn table_stats(&self) -> Vec<RankStats> {
+        if self.ranks.iter().any(|r| r.snapshots > 0) || !self.relay.active() {
+            return self.ranks.clone();
+        }
+        self.relay
+            .subtrees
+            .values()
+            .map(|sub| RankStats {
+                snapshots: sub.frames,
+                last: sub.last.clone(),
+                history: SnapshotHistory::default(),
+                stall: None,
+            })
+            .collect()
+    }
+}
+
 /// Accepts rank connections on the stats socket and folds their frames
 /// into per-rank state. One acceptor thread, one reader thread per rank.
 pub struct Collector {
-    shared: Arc<Mutex<Vec<RankStats>>>,
+    shared: Arc<Mutex<CollectorShared>>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
 }
@@ -118,7 +279,10 @@ impl Collector {
     pub fn start(sock: &Path, n: usize) -> std::io::Result<Collector> {
         let listener = UnixListener::bind(sock)?;
         listener.set_nonblocking(true)?;
-        let shared = Arc::new(Mutex::new(vec![RankStats::default(); n]));
+        let shared = Arc::new(Mutex::new(CollectorShared {
+            ranks: vec![RankStats::default(); n],
+            relay: RelayAgg::default(),
+        }));
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -154,13 +318,13 @@ impl Collector {
         })
     }
 
-    /// Clone the current per-rank state (live table rendering).
-    pub fn peek(&self) -> Vec<RankStats> {
+    /// Clone the current state (live table rendering).
+    pub fn peek(&self) -> CollectorShared {
         self.shared.lock().expect("collector mutex").clone()
     }
 
     /// Stop accepting, join the reader threads, return the final state.
-    pub fn finish(mut self) -> Vec<RankStats> {
+    pub fn finish(mut self) -> CollectorShared {
         // ORDERING: Relaxed — quit flag; the join() below is the real
         // synchronization point for everything the threads wrote.
         self.stop.store(true, Ordering::Relaxed);
@@ -172,7 +336,7 @@ impl Collector {
 }
 
 /// Read every frame a rank ships until EOF or shutdown.
-fn read_frames(mut stream: UnixStream, shared: &Mutex<Vec<RankStats>>, stop: &AtomicBool) {
+fn read_frames(mut stream: UnixStream, shared: &Mutex<CollectorShared>, stop: &AtomicBool) {
     // A short read timeout keeps the thread responsive to `stop` even
     // when the rank is alive but quiet (e.g. SIGSTOPed).
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -189,8 +353,22 @@ fn read_frames(mut stream: UnixStream, shared: &Mutex<Vec<RankStats>>, stop: &At
             return;
         }
         let snap = obs::Snapshot::from_bytes(&body).ok();
-        let mut ranks = shared.lock().expect("collector mutex");
-        let Some(slot) = ranks.get_mut(hdr.src as usize) else {
+        let mut shared = shared.lock().expect("collector mutex");
+        if hdr.kind == FrameKind::Relay {
+            // Subtree-merged snapshot from a direct child of the
+            // collector (the relay tree's root, or several roots if the
+            // operator points disjoint trees at one socket). Bounded:
+            // one retained snapshot per direct connection.
+            let sub = shared.relay.subtrees.entry(hdr.src).or_default();
+            sub.frames += 1;
+            sub.coverage = hdr.tag.max(1);
+            sub.height = hdr.xid.max(1);
+            if let Some(s) = snap {
+                sub.last = Some(s);
+            }
+            continue;
+        }
+        let Some(slot) = shared.ranks.get_mut(hdr.src as usize) else {
             continue; // bogus rank id; keep the stream, drop the frame
         };
         match hdr.kind {
@@ -346,6 +524,9 @@ pub struct RankRow {
     /// Did the process die without a clean exit (signal or timeout kill)?
     pub dead: bool,
     pub stats: RankStats,
+    /// The rank's last persisted flight-recorder dump, when the launcher
+    /// found one (`blackbox-<rank>.obb` in the bootstrap directory).
+    pub blackbox: Option<obs::BlackBoxDump>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -362,10 +543,29 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn push_metrics_obj(out: &mut String, snap: &obs::Snapshot) {
+    let mut first = true;
+    for (k, v) in scalar_metrics(snap) {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{}\": {}", json_escape(&k), v));
+    }
+}
+
 /// The final JSON report: per-rank rows (outcome, liveness, stall
-/// evidence, last snapshot flattened to scalars) plus the cluster
-/// aggregate. Hand-rolled; parseable by `obs::chrome::parse_json`.
+/// evidence, last snapshot flattened to scalars, black-box timeline)
+/// plus the cluster aggregate. Hand-rolled; parseable by
+/// `obs::chrome::parse_json`.
 pub fn render_report(rows: &[RankRow]) -> String {
+    render_report_with(rows, None)
+}
+
+/// As [`render_report`], with the relay-tree aggregate when the plane
+/// ran in tree mode: a top-level `"relay"` object carrying coverage,
+/// realized depth, frame count, and the whole-world merged metrics.
+pub fn render_report_with(rows: &[RankRow], relay: Option<&RelayAgg>) -> String {
     let mut out = String::from("{\n  \"ranks\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    {");
@@ -385,22 +585,53 @@ pub fn render_report(rows: &[RankRow]) -> String {
             )),
             None => out.push_str("\"stall\": null, "),
         }
+        match &row.blackbox {
+            Some(bb) => {
+                out.push_str(&format!(
+                    "\"blackbox\": {{\"capacity\": {}, \"recorded\": {}, \"events\": [",
+                    bb.capacity, bb.recorded
+                ));
+                for (j, e) in bb.events.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"seq\": {}, \"t_us\": {}, \"code\": \"{}\", \"a\": {}, \"b\": {}, \"c\": {}, \"d\": {}}}",
+                        e.seq,
+                        e.t_us,
+                        bbcode::name(e.code),
+                        e.a,
+                        e.b,
+                        e.c,
+                        e.d
+                    ));
+                }
+                out.push_str("]}, ");
+            }
+            None => out.push_str("\"blackbox\": null, "),
+        }
         out.push_str("\"metrics\": {");
         if let Some(snap) = &row.stats.last {
-            let scalars = scalar_metrics(snap);
-            let mut first = true;
-            for (k, v) in scalars {
-                if !first {
-                    out.push_str(", ");
-                }
-                first = false;
-                out.push_str(&format!("\"{}\": {}", json_escape(&k), v));
-            }
+            push_metrics_obj(&mut out, snap);
         }
         out.push_str("}}");
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ],\n  \"aggregate\": {\n");
+    out.push_str("  ],\n");
+    match relay.filter(|r| r.active()) {
+        Some(r) => {
+            out.push_str(&format!(
+                "  \"relay\": {{\"coverage\": {}, \"depth\": {}, \"frames\": {}, \"merged\": {{",
+                r.coverage(),
+                r.depth(),
+                r.frames()
+            ));
+            push_metrics_obj(&mut out, &r.merged());
+            out.push_str("}},\n");
+        }
+        None => out.push_str("  \"relay\": null,\n"),
+    }
+    out.push_str("  \"aggregate\": {\n");
     let stats: Vec<RankStats> = rows.iter().map(|r| r.stats.clone()).collect();
     let agg = aggregate(&stats);
     let n = agg.len();
@@ -418,21 +649,60 @@ pub fn render_report(rows: &[RankRow]) -> String {
     out
 }
 
-/// Validate a rendered report: parses, has exactly `ranks` rows covering
-/// ranks `0..ranks`, every metric named in `positive` is `> 0`, and every
-/// metric named in `zero` is absent or `0`, on every rank that exited
-/// cleanly (dead ranks are exempt — their last snapshot legitimately
-/// predates the work). `zero` is how the shm smoke lane pins
-/// `wire.eager_alloc` to nothing: the counter existing with any value
-/// would mean an eager send staged a heap copy. Returns the parsed rank
-/// count on success. This is what the `stats-check` CI gate runs.
-pub fn validate_report(
-    text: &str,
-    ranks: usize,
-    positive: &[String],
-    zero: &[String],
-) -> Result<usize, String> {
+/// Durably write the report: create a pid-suffixed temp sibling, fsync,
+/// then rename over `path` — a reader (or a launcher killed mid-write)
+/// sees either the previous complete report or the new one, never a
+/// truncated file. The pid suffix also keeps two launchers sharing an
+/// output directory from trampling each other's in-flight temp file.
+pub fn write_report_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let file_name = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "report.json".into());
+    let tmp = path.with_file_name(format!("{file_name}.{}.tmp", std::process::id()));
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Everything the `stats-check` CI gate can assert about a report.
+#[derive(Clone, Debug, Default)]
+pub struct ReportChecks {
+    /// Exact number of rank rows, covering ranks `0..ranks`.
+    pub ranks: usize,
+    /// Metrics that must be `> 0` on every clean rank (or, when ranks
+    /// reported only through the relay tree, in the relay merge).
+    pub positive: Vec<String>,
+    /// Metrics that must be absent or `0` on every clean rank.
+    pub zero: Vec<String>,
+    /// Require a `relay` section whose realized tree depth is at least
+    /// this, and (when every rank exited cleanly) whose coverage equals
+    /// the rank count — proof the tree actually carried the world.
+    pub relay_depth_min: Option<u64>,
+    /// Require at least one dead rank whose black-box timeline carries at
+    /// least this many events with monotone timestamps and strictly
+    /// increasing sequence numbers — the postmortem-dump gate.
+    pub blackbox_dead_min: Option<usize>,
+}
+
+/// Validate a rendered report: parses, has exactly `checks.ranks` rows
+/// covering ranks `0..ranks`, every metric named in `positive` is `> 0`,
+/// and every metric named in `zero` is absent or `0`, on every rank that
+/// exited cleanly (dead ranks are exempt — their last snapshot
+/// legitimately predates the work). `zero` is how the shm smoke lane
+/// pins `wire.eager_alloc` to nothing: the counter existing with any
+/// value would mean an eager send staged a heap copy. In relay-tree
+/// worlds ranks may never dial the launcher directly; when a clean
+/// rank's metrics are empty and the report carries a `relay` section,
+/// the positive/zero checks fall back to the relay merge. Returns the
+/// parsed rank count on success.
+pub fn validate_report_checks(text: &str, checks: &ReportChecks) -> Result<usize, String> {
     use obs::chrome::Json;
+    let ranks = checks.ranks;
     let doc = obs::chrome::parse_json(text)?;
     let rows = match doc.get("ranks") {
         Some(Json::Arr(a)) => a,
@@ -441,7 +711,11 @@ pub fn validate_report(
     if rows.len() != ranks {
         return Err(format!("expected {ranks} rank rows, found {}", rows.len()));
     }
+    let relay = doc.get("relay").filter(|r| !matches!(r, Json::Null));
+    let relay_metrics = relay.and_then(|r| r.get("merged"));
     let mut seen = vec![false; ranks];
+    let mut dead_rows = 0usize;
+    let mut blackbox_ok = false;
     for row in rows {
         let rank = row
             .get("rank")
@@ -454,25 +728,116 @@ pub fn validate_report(
         let dead = matches!(row.get("dead"), Some(Json::Bool(true)));
         let metrics = row.get("metrics").ok_or("rank row missing \"metrics\"")?;
         if dead {
+            dead_rows += 1;
+            if let Some(min) = checks.blackbox_dead_min {
+                if let Some(bb) = row.get("blackbox").filter(|b| !matches!(b, Json::Null)) {
+                    blackbox_ok |= check_blackbox_timeline(bb, min)
+                        .map_err(|e| format!("rank {rank}: {e}"))?;
+                }
+            }
             continue;
         }
-        for name in positive {
-            let v = metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+        // A clean rank with no metrics of its own is fine in a relay
+        // world — its counters arrived merged. Point the metric checks
+        // at the relay merge instead.
+        let empty = matches!(metrics, Json::Obj(m) if m.is_empty());
+        let target = if empty && relay_metrics.is_some() {
+            relay_metrics.ok_or("unreachable")?
+        } else {
+            metrics
+        };
+        for name in &checks.positive {
+            let v = target.get(name).and_then(Json::as_num).unwrap_or(0.0);
             if v <= 0.0 {
                 return Err(format!("rank {rank}: metric {name:?} not positive ({v})"));
             }
         }
-        for name in zero {
-            let v = metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+        for name in &checks.zero {
+            let v = target.get(name).and_then(Json::as_num).unwrap_or(0.0);
             if v != 0.0 {
                 return Err(format!("rank {rank}: metric {name:?} not zero ({v})"));
             }
+        }
+    }
+    if let Some(min_depth) = checks.relay_depth_min {
+        let r = relay.ok_or("report has no \"relay\" section but --relay-depth was asked")?;
+        let depth = r.get("depth").and_then(Json::as_num).unwrap_or(-1.0);
+        if depth < min_depth as f64 {
+            return Err(format!("relay depth {depth} < required {min_depth}"));
+        }
+        let coverage = r.get("coverage").and_then(Json::as_num).unwrap_or(0.0);
+        if dead_rows == 0 && coverage != ranks as f64 {
+            return Err(format!(
+                "relay coverage {coverage} != world size {ranks} with no dead ranks"
+            ));
+        }
+    }
+    if checks.blackbox_dead_min.is_some() {
+        if dead_rows == 0 {
+            return Err("--blackbox-dead requires at least one dead rank row".into());
+        }
+        if !blackbox_ok {
+            return Err("no dead rank carried a valid black-box timeline".into());
         }
     }
     if doc.get("aggregate").is_none() {
         return Err("report has no \"aggregate\" object".into());
     }
     Ok(ranks)
+}
+
+/// One dead rank's black-box object: enough events, monotone time,
+/// strictly increasing sequence numbers. `Ok(false)` means present but
+/// too short (another dead rank may still satisfy the gate).
+fn check_blackbox_timeline(bb: &obs::chrome::Json, min: usize) -> Result<bool, String> {
+    use obs::chrome::Json;
+    let events = match bb.get("events") {
+        Some(Json::Arr(a)) => a,
+        _ => return Err("blackbox object has no \"events\" array".into()),
+    };
+    if events.len() < min {
+        return Ok(false);
+    }
+    let mut prev_seq = -1.0f64;
+    let mut prev_t = -1.0f64;
+    for e in events {
+        let seq = e
+            .get("seq")
+            .and_then(Json::as_num)
+            .ok_or("event missing seq")?;
+        let t = e
+            .get("t_us")
+            .and_then(Json::as_num)
+            .ok_or("event missing t_us")?;
+        if seq <= prev_seq {
+            return Err(format!("blackbox seq not strictly increasing at {seq}"));
+        }
+        if t < prev_t {
+            return Err(format!("blackbox t_us went backwards at {t}"));
+        }
+        prev_seq = seq;
+        prev_t = t;
+    }
+    Ok(true)
+}
+
+/// The classic four-argument gate, kept for the smoke lanes that only
+/// pin rank count and counters. See [`validate_report_checks`].
+pub fn validate_report(
+    text: &str,
+    ranks: usize,
+    positive: &[String],
+    zero: &[String],
+) -> Result<usize, String> {
+    validate_report_checks(
+        text,
+        &ReportChecks {
+            ranks,
+            positive: positive.to_vec(),
+            zero: zero.to_vec(),
+            ..ReportChecks::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -552,13 +917,13 @@ mod tests {
         drop(stream);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            if col.peek()[0].snapshots == frames {
+            if col.peek().ranks[0].snapshots == frames {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "collector saw frames");
             std::thread::sleep(Duration::from_millis(5));
         }
-        let state = col.finish();
+        let state = col.finish().ranks;
         assert_eq!(state[0].snapshots, frames);
         assert!(state[0].history.retained() <= HISTORY_CAP + 1);
         assert_eq!(state[0].history.first().expect("first").counter("tick"), 0);
@@ -607,6 +972,7 @@ mod tests {
                 outcome: "ok".into(),
                 dead: false,
                 stats: stats_with(&[("wire.rndv_handshake_async", 2 + rank as u64)]),
+                blackbox: None,
             })
             .collect();
         let text = render_report(&rows);
@@ -629,6 +995,7 @@ mod tests {
                 outcome: "ok".into(),
                 dead: false,
                 stats: stats_with(&[("wire.frames_tx", 5)]),
+                blackbox: None,
             },
             RankRow {
                 rank: 1,
@@ -640,6 +1007,7 @@ mod tests {
                     history: SnapshotHistory::default(),
                     stall: None,
                 },
+                blackbox: None,
             },
         ];
         let text = render_report(&rows);
@@ -669,12 +1037,179 @@ mod tests {
                     pending_ops: 2,
                 }),
             },
+            blackbox: None,
         }];
         let text = render_report(&rows);
         assert!(text.contains("\"stalled_ms\": 312"));
         assert!(text.contains("\"pending_ops\": 2"));
         let table = cluster_table(&[rows[0].stats.clone()]);
         assert!(table.contains("STALLED 312ms"));
+    }
+
+    type SubtreeSpec<'a> = (u32, u32, u32, &'a [(&'a str, u64)]);
+
+    fn relay_agg_with(subtrees: &[SubtreeSpec]) -> RelayAgg {
+        let mut agg = RelayAgg::default();
+        for (src, coverage, height, counters) in subtrees {
+            agg.subtrees.insert(
+                *src,
+                RelaySubtree {
+                    coverage: *coverage,
+                    height: *height,
+                    frames: 1,
+                    last: Some(snap_with(counters)),
+                },
+            );
+        }
+        agg
+    }
+
+    #[test]
+    fn relay_agg_folds_subtrees_by_merge() {
+        let agg = relay_agg_with(&[
+            (0, 5, 3, &[("wire.frames_tx", 10), ("obs.relay_merged", 4)]),
+            (7, 3, 2, &[("wire.frames_tx", 6)]),
+        ]);
+        assert!(agg.active());
+        assert_eq!(agg.coverage(), 8);
+        assert_eq!(agg.depth(), 2, "max height 3 minus one");
+        assert_eq!(agg.frames(), 2);
+        let merged = agg.merged();
+        assert_eq!(merged.counter("wire.frames_tx"), 16);
+        assert_eq!(merged.counter("obs.relay_merged"), 4);
+        assert!(!RelayAgg::default().active());
+    }
+
+    #[test]
+    fn relay_report_section_and_depth_gate() {
+        // A relay world: ranks never dialed the launcher directly, so
+        // their rows carry no metrics — the relay merge vouches for them.
+        let rows: Vec<RankRow> = (0..4)
+            .map(|rank| RankRow {
+                rank,
+                outcome: "ok".into(),
+                dead: false,
+                stats: RankStats::default(),
+                blackbox: None,
+            })
+            .collect();
+        let agg = relay_agg_with(&[(0, 4, 3, &[("obs.relay_merged", 3)])]);
+        let text = render_report_with(&rows, Some(&agg));
+        assert!(text.contains("\"relay\": {\"coverage\": 4, \"depth\": 2"));
+        let checks = ReportChecks {
+            ranks: 4,
+            positive: vec!["obs.relay_merged".into()],
+            relay_depth_min: Some(2),
+            ..ReportChecks::default()
+        };
+        validate_report_checks(&text, &checks).expect("relay fallback satisfies positives");
+        // Depth demanded higher than realized fails.
+        let deeper = ReportChecks {
+            relay_depth_min: Some(3),
+            ..checks.clone()
+        };
+        assert!(validate_report_checks(&text, &deeper).is_err());
+        // Coverage short of the world size fails when nobody died.
+        let short = relay_agg_with(&[(0, 3, 3, &[("obs.relay_merged", 3)])]);
+        let text = render_report_with(&rows, Some(&short));
+        assert!(validate_report_checks(&text, &checks).is_err());
+        // No relay section at all fails the depth gate.
+        let text = render_report(&rows);
+        assert!(text.contains("\"relay\": null"));
+        assert!(validate_report_checks(&text, &checks).is_err());
+    }
+
+    fn bb_dump(n: u64) -> obs::BlackBoxDump {
+        obs::BlackBoxDump {
+            capacity: 64,
+            recorded: n,
+            events: (0..n)
+                .map(|i| obs::BbEvent {
+                    seq: i,
+                    t_us: i * 10,
+                    code: bbcode::TX_EAGER,
+                    a: 1,
+                    b: 2,
+                    c: 3,
+                    d: i,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn blackbox_timeline_gates_dead_ranks() {
+        let rows = vec![
+            RankRow {
+                rank: 0,
+                outcome: "ok".into(),
+                dead: false,
+                stats: stats_with(&[("wire.frames_tx", 5)]),
+                blackbox: None,
+            },
+            RankRow {
+                rank: 1,
+                outcome: "killed by signal 9".into(),
+                dead: true,
+                stats: RankStats::default(),
+                blackbox: Some(bb_dump(40)),
+            },
+        ];
+        let text = render_report(&rows);
+        assert!(text.contains("\"code\": \"tx_eager\""));
+        let checks = ReportChecks {
+            ranks: 2,
+            blackbox_dead_min: Some(32),
+            ..ReportChecks::default()
+        };
+        validate_report_checks(&text, &checks).expect("dead rank's timeline validates");
+        // Too few events fails.
+        let deeper = ReportChecks {
+            blackbox_dead_min: Some(64),
+            ..checks.clone()
+        };
+        assert!(validate_report_checks(&text, &deeper).is_err());
+        // No dead rank at all fails the gate.
+        let live_only = render_report(&rows[..1]);
+        assert!(validate_report_checks(
+            &live_only,
+            &ReportChecks {
+                ranks: 1,
+                blackbox_dead_min: Some(1),
+                ..ReportChecks::default()
+            }
+        )
+        .is_err());
+        // A scrambled sequence is rejected, not just under-counted.
+        let mut bad = bb_dump(40);
+        bad.events[5].seq = 3;
+        let rows_bad = vec![
+            rows[0].clone(),
+            RankRow {
+                blackbox: Some(bad),
+                ..rows[1].clone()
+            },
+        ];
+        assert!(validate_report_checks(&render_report(&rows_bad), &checks).is_err());
+    }
+
+    #[test]
+    fn atomic_report_write_lands_complete() {
+        let dir = std::env::temp_dir().join(format!("wire-atomic-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let path = dir.join("report.json");
+        write_report_atomic(&path, "first\n").expect("first write");
+        write_report_atomic(&path, "second\n").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second\n");
+        // No temp siblings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -703,14 +1238,14 @@ mod tests {
         // Wait for the reader to fold both frames.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            let state = col.peek();
+            let state = col.peek().ranks;
             if state[1].snapshots == 1 && state[1].stall.is_some() {
                 break;
             }
             assert!(std::time::Instant::now() < deadline, "collector saw frames");
             std::thread::sleep(Duration::from_millis(5));
         }
-        let state = col.finish();
+        let state = col.finish().ranks;
         assert_eq!(state[0].snapshots, 0, "rank 0 never reported");
         assert_eq!(state[1].snapshots, 1);
         assert_eq!(
